@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the key agreement: the full bidirectional
+//! MODP-1024 OT protocol (the Table III compute component) and the
+//! information layer alone (the reconciliation cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavekey_core::agreement::{
+    run_agreement, run_agreement_information_layer, AgreementConfig,
+};
+use wavekey_core::channel::PassiveChannel;
+
+fn seeds(len: usize) -> (Vec<bool>, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let s: Vec<bool> = (0..len).map(|_| rng.gen()).collect();
+    (s.clone(), s)
+}
+
+fn bench_agreement(c: &mut Criterion) {
+    let (s_m, s_r) = seeds(48);
+    let mut g = c.benchmark_group("agreement");
+    g.sample_size(10);
+
+    for &l_k in &[128usize, 256, 2048] {
+        let config = AgreementConfig { key_len_bits: l_k, tau: 10.0, ..Default::default() };
+        g.bench_function(format!("full_modp1024_{l_k}bit"), |b| {
+            b.iter(|| {
+                let mut rm = StdRng::seed_from_u64(1);
+                let mut rs = StdRng::seed_from_u64(2);
+                run_agreement(&s_m, &s_r, &config, &mut rm, &mut rs, &mut PassiveChannel)
+                    .unwrap()
+            })
+        });
+    }
+
+    let config = AgreementConfig { tau: 10.0, ..Default::default() };
+    g.bench_function("information_layer_256bit", |b| {
+        b.iter(|| {
+            let mut rm = StdRng::seed_from_u64(1);
+            let mut rs = StdRng::seed_from_u64(2);
+            run_agreement_information_layer(&s_m, &s_r, &config, &mut rm, &mut rs).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_agreement);
+criterion_main!(benches);

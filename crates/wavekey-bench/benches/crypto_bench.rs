@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the cryptographic substrate: hashing,
+//! the 1024-bit group exponentiations that dominate the OT cost, BCH
+//! coding, and a complete single OT instance.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavekey_crypto::bigint::Ubig;
+use wavekey_crypto::ecc::{Bch, CodeOffset};
+use wavekey_crypto::group::DhGroup;
+use wavekey_crypto::hmac::hmac_sha256;
+use wavekey_crypto::ot::{OtReceiver, OtSender};
+use wavekey_crypto::sha256::sha256;
+
+fn bench_hashing(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1024];
+    c.bench_function("sha256_1k", |b| b.iter(|| sha256(black_box(&data))));
+    c.bench_function("hmac_sha256_1k", |b| {
+        b.iter(|| hmac_sha256(black_box(b"key"), black_box(&data)))
+    });
+}
+
+fn bench_group(c: &mut Criterion) {
+    let group = DhGroup::modp_1024();
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = group.random_exponent(&mut rng);
+    let base = group.pow_g(&x);
+    c.bench_function("modp1024_pow_g_fast_path", |b| {
+        b.iter(|| group.pow_g(black_box(&x)))
+    });
+    c.bench_function("modp1024_general_modexp", |b| {
+        b.iter(|| group.pow(black_box(&base), black_box(&x)))
+    });
+    c.bench_function("modp1024_mod_inverse", |b| b.iter(|| group.div(&Ubig::one(), &base)));
+}
+
+fn bench_bch(c: &mut Criterion) {
+    let bch = Bch::new(5).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let msg: Vec<bool> = (0..bch.k()).map(|_| rng.gen()).collect();
+    let cw = bch.encode(&msg).unwrap();
+    let mut corrupted = cw.clone();
+    for i in 0..5 {
+        corrupted[i * 20] = !corrupted[i * 20];
+    }
+    c.bench_function("bch127_t5_encode", |b| b.iter(|| bch.encode(black_box(&msg)).unwrap()));
+    c.bench_function("bch127_t5_decode_5err", |b| {
+        b.iter(|| bch.decode(black_box(&corrupted)).unwrap())
+    });
+    let co = CodeOffset::new(Bch::new(5).unwrap());
+    let key: Vec<bool> = (0..288).map(|_| rng.gen()).collect();
+    c.bench_function("code_offset_commit_288", |b| {
+        let mut r = StdRng::seed_from_u64(3);
+        b.iter(|| co.commit(black_box(&key), &mut r))
+    });
+}
+
+fn bench_ot(c: &mut Criterion) {
+    let group = DhGroup::modp_1024();
+    let mut group_bench = c.benchmark_group("ot");
+    group_bench.sample_size(10);
+    group_bench.bench_function("modp1024_single_instance_roundtrip", |b| {
+        b.iter(|| {
+            let mut rng_s = StdRng::seed_from_u64(10);
+            let mut rng_r = StdRng::seed_from_u64(11);
+            let (sender, ma) =
+                OtSender::start(&group, vec![(vec![1u8; 4], vec![2u8; 4])], &mut rng_s);
+            let (receiver, mb) =
+                OtReceiver::respond(&group, &[true], &ma, &mut rng_r).unwrap();
+            let me = sender.encrypt(&mb).unwrap();
+            receiver.decrypt(&me).unwrap()
+        })
+    });
+    group_bench.finish();
+}
+
+criterion_group!(benches, bench_hashing, bench_group, bench_bch, bench_ot);
+criterion_main!(benches);

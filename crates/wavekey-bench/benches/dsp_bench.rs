@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for the DSP substrate: the per-window
+//! server-side processing cost (§IV-B-2) and key-seed quantization cost
+//! (§IV-C).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wavekey_dsp::{
+    savgol_second_derivative, savgol_smooth, unwrap_phase, EquiprobableQuantizer, GrayCode,
+};
+
+fn bench_savgol(c: &mut Criterion) {
+    let signal: Vec<f64> = (0..400).map(|i| (i as f64 * 0.05).sin()).collect();
+    c.bench_function("savgol_smooth_400", |b| {
+        b.iter(|| savgol_smooth(black_box(&signal), 11, 3).unwrap())
+    });
+    c.bench_function("savgol_second_derivative_400", |b| {
+        b.iter(|| savgol_second_derivative(black_box(&signal), 41, 3, 0.005).unwrap())
+    });
+}
+
+fn bench_unwrap(c: &mut Criterion) {
+    let wrapped: Vec<f64> = (0..400)
+        .map(|i| (i as f64 * 0.063).rem_euclid(std::f64::consts::TAU))
+        .collect();
+    c.bench_function("unwrap_phase_400", |b| {
+        b.iter(|| unwrap_phase(black_box(&wrapped)))
+    });
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let q = EquiprobableQuantizer::new(9).unwrap();
+    let latent: Vec<f64> = (0..12).map(|i| (i as f64 - 6.0) / 4.0).collect();
+    c.bench_function("quantize_latent_12", |b| {
+        b.iter(|| q.quantize_all(black_box(&latent)))
+    });
+    let gray = GrayCode::new(9);
+    let symbols: Vec<usize> = (0..12).map(|i| i % 9).collect();
+    c.bench_function("gray_encode_12", |b| b.iter(|| gray.encode(black_box(&symbols))));
+}
+
+criterion_group!(benches, bench_savgol, bench_unwrap, bench_quantize);
+criterion_main!(benches);

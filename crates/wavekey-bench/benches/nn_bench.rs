@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the neural substrate: single-window
+//! encoder inference (the mobile/server per-gesture cost) and one joint
+//! training step.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wavekey_core::model::{build_decoder, build_imu_encoder, build_rf_encoder};
+use wavekey_nn::init::uniform;
+use wavekey_nn::loss::{mse, mse_pair};
+use wavekey_nn::optim::{Adam, Optimizer};
+
+fn bench_inference(c: &mut Criterion) {
+    let mut imu_en = build_imu_encoder(12, 1);
+    let mut rf_en = build_rf_encoder(12, 2);
+    let a = uniform(vec![1, 3, 200], -1.0, 1.0, 3);
+    let r = uniform(vec![1, 3, 400], -1.0, 1.0, 4);
+    c.bench_function("imu_en_forward_single", |b| {
+        b.iter(|| imu_en.forward(black_box(&a), false))
+    });
+    c.bench_function("rf_en_forward_single", |b| {
+        b.iter(|| rf_en.forward(black_box(&r), false))
+    });
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut imu_en = build_imu_encoder(12, 1);
+    let mut rf_en = build_rf_encoder(12, 2);
+    let mut de = build_decoder(12, 3);
+    let a = uniform(vec![16, 3, 200], -1.0, 1.0, 5);
+    let r = uniform(vec![16, 3, 400], -1.0, 1.0, 6);
+    let mag = uniform(vec![16, 400], -1.0, 1.0, 7);
+    let mut opt_imu = Adam::new(1e-3);
+    let mut opt_rf = Adam::new(1e-3);
+    let mut opt_de = Adam::new(1e-3);
+    let mut g = c.benchmark_group("training");
+    g.sample_size(10);
+    g.bench_function("joint_step_batch16", |b| {
+        b.iter(|| {
+            let f_m = imu_en.forward(&a, true);
+            let f_r = rf_en.forward(&r, true);
+            let de_out = de.forward(&f_m, true);
+            let (_, g_a, g_b) = mse_pair(&f_m, &f_r);
+            let (_, g_de) = mse(&de_out, &mag);
+            imu_en.zero_grad();
+            rf_en.zero_grad();
+            de.zero_grad();
+            let g_via = de.backward(&g_de.scale(0.4));
+            imu_en.backward(&g_a.add(&g_via));
+            rf_en.backward(&g_b);
+            opt_imu.step(&mut imu_en.params_mut());
+            opt_rf.step(&mut rf_en.params_mut());
+            opt_de.step(&mut de.params_mut());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_training_step);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the sensing pipelines: gesture simulation,
+//! the mobile-side §IV-B processing, and the server-side §IV-B-2
+//! processing — the per-key-establishment signal costs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wavekey_imu::gesture::{GestureConfig, GestureGenerator, VolunteerId};
+use wavekey_imu::pipeline::{process_imu, ImuPipelineConfig};
+use wavekey_imu::sensors::{sample_imu, DeviceModel};
+use wavekey_math::Vec3;
+use wavekey_rfid::channel::TagModel;
+use wavekey_rfid::environment::{Environment, UserPlacement};
+use wavekey_rfid::pipeline::{process_rfid, RfidPipelineConfig};
+use wavekey_rfid::reader::{record_rfid, ReaderSpec};
+
+fn bench_pipelines(c: &mut Criterion) {
+    let gesture = GestureGenerator::new(VolunteerId(0), 1).generate(&GestureConfig::default());
+    let imu_rec = sample_imu(&gesture, &DeviceModel::GalaxyWatch.spec(), 2);
+    let env = Environment::room(1);
+    let channel = env.channel(TagModel::Alien9640A, 0, 3);
+    let hand = UserPlacement::default().hand_position(&env);
+    let rfid_rec = record_rfid(
+        &gesture,
+        hand,
+        Vec3::new(0.03, 0.0, 0.0),
+        &channel,
+        &ReaderSpec::default(),
+        3,
+    );
+
+    c.bench_function("gesture_generate", |b| {
+        let mut generator = GestureGenerator::new(VolunteerId(0), 7);
+        b.iter(|| generator.generate(black_box(&GestureConfig::default())))
+    });
+    c.bench_function("imu_sample_recording", |b| {
+        b.iter(|| sample_imu(black_box(&gesture), &DeviceModel::GalaxyWatch.spec(), 5))
+    });
+    c.bench_function("imu_pipeline_process", |b| {
+        b.iter(|| process_imu(black_box(&imu_rec), &ImuPipelineConfig::default()).unwrap())
+    });
+    c.bench_function("rfid_record", |b| {
+        b.iter(|| {
+            record_rfid(
+                black_box(&gesture),
+                hand,
+                Vec3::new(0.03, 0.0, 0.0),
+                &channel,
+                &ReaderSpec::default(),
+                5,
+            )
+        })
+    });
+    c.bench_function("rfid_pipeline_process", |b| {
+        b.iter(|| process_rfid(black_box(&rfid_rec), &RfidPipelineConfig::default()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

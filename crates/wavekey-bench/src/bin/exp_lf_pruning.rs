@@ -1,0 +1,53 @@
+//! Reproduces **§VI-C-1**: determining the latent length `l_f` by
+//! variance-based neuron pruning.
+//!
+//! Paper protocol: train with `l_f = 50`, repeatedly remove the
+//! lowest-output-variance latent neuron from both encoders (and the
+//! decoder input), retrain, and stop when the Eq. (3) loss rises more
+//! than 5 % in one step — landing at `l_f = 12`.
+//!
+//! This run is expensive; the defaults trade scale for wall-clock time
+//! (smaller dataset, shorter retraining). Increase via the CLI.
+//!
+//! ```text
+//! cargo run --release -p wavekey-bench --bin exp_lf_pruning [start_lf] [retrain_epochs] [initial_epochs]
+//! ```
+
+use wavekey_core::dataset::{generate, DatasetConfig};
+use wavekey_core::model::WaveKeyModels;
+use wavekey_core::training::{eval_loss, prune_study, train, TrainingConfig};
+
+fn main() {
+    let start_lf: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let retrain_epochs: usize =
+        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let initial_epochs: usize =
+        std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(12);
+
+    let mut ds_cfg = DatasetConfig::small();
+    ds_cfg.gestures_per_combo = 6;
+    ds_cfg.windows_per_gesture = 8;
+    println!("generating dataset ({} samples)…", ds_cfg.total_samples());
+    let dataset = generate(&ds_cfg);
+
+    let cfg = TrainingConfig { l_f: start_lf, epochs: initial_epochs, ..Default::default() };
+    println!("training initial models at l_f = {start_lf} ({initial_epochs} epochs)…");
+    let mut models = WaveKeyModels::new(start_lf, 0x1f);
+    train(&mut models, &dataset, &cfg, 0x1f).expect("training");
+    let initial = eval_loss(&mut models, &dataset, cfg.lambda);
+    println!("initial loss: {initial:.4}\n");
+
+    println!("pruning (retrain {retrain_epochs} epochs per step, stop at +5 % loss):");
+    let steps = prune_study(&mut models, &dataset, &cfg, retrain_epochs, 4, 0.05, 0x99)
+        .expect("prune study");
+    println!("{:>6} {:>12}", "l_f", "loss");
+    for s in &steps {
+        println!("{:>6} {:>12.4}", s.l_f, s.loss);
+    }
+    let stopped_at = steps.last().expect("at least one step");
+    println!(
+        "\nstopped at l_f = {} (loss {:.4}); the operating point is the previous step.",
+        stopped_at.l_f, stopped_at.loss
+    );
+    println!("paper: pruning from 50 halts at l_f = 12");
+}

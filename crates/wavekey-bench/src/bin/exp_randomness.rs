@@ -1,0 +1,93 @@
+//! Reproduces **§VI-D**: the NIST runs-test randomness evaluation.
+//!
+//! Paper protocol: each of the six volunteers performs 200 gestures in a
+//! static environment; the 200 resulting 256-bit keys are concatenated
+//! into a 51,200-bit *key-chain* per volunteer, and the 200 key-seed
+//! pairs into two *key-seed-chains* per volunteer. The NIST SP 800-22
+//! runs test is applied to every chain.
+//!
+//! ```text
+//! cargo run --release -p wavekey-bench --bin exp_randomness [gestures_per_volunteer]
+//! ```
+
+use wavekey_bench::{experiment_config, trained_models, Scale};
+use wavekey_core::session::{Session, SessionConfig};
+use wavekey_imu::gesture::VolunteerId;
+use wavekey_math::nist::{bytes_to_bits, monobit_test, runs_test};
+use wavekey_math::{min_entropy_rate, shannon_entropy_rate};
+
+fn main() {
+    let gestures: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let models = trained_models(Scale::Small);
+
+    println!("\n§VI-D: NIST randomness tests over per-volunteer chains");
+    println!("({gestures} keys per volunteer)\n");
+
+    let mut key_ps = Vec::new();
+    let mut seed_m_ps = Vec::new();
+    let mut seed_r_ps = Vec::new();
+
+    for v in 0..6u32 {
+        let config = SessionConfig { volunteer: VolunteerId(v), ..experiment_config() };
+        let mut session = Session::new(config, models.clone(), 4000 + u64::from(v));
+        let mut key_chain: Vec<bool> = Vec::new();
+        let mut seed_m_chain: Vec<bool> = Vec::new();
+        let mut seed_r_chain: Vec<bool> = Vec::new();
+        let mut collected = 0usize;
+        let mut attempts = 0usize;
+        while collected < gestures && attempts < gestures * 3 {
+            attempts += 1;
+            match session.establish_key_fast() {
+                Ok(out) => {
+                    key_chain.extend(bytes_to_bits(&out.key));
+                    seed_m_chain.extend(out.s_m.iter());
+                    seed_r_chain.extend(out.s_r.iter());
+                    collected += 1;
+                }
+                Err(_) => continue,
+            }
+        }
+        let key_entropy = shannon_entropy_rate(&key_chain, 8);
+        let seed_entropy = shannon_entropy_rate(&seed_m_chain, 8);
+        let seed_min_entropy = min_entropy_rate(&seed_m_chain, 8);
+        let key_runs = runs_test(&key_chain);
+        let key_freq = monobit_test(&key_chain);
+        let sm_runs = runs_test(&seed_m_chain);
+        let sr_runs = runs_test(&seed_r_chain);
+        println!(
+            "volunteer {v}: key-chain {} bits: runs p = {:.3} (monobit p = {:.3}), \
+             H = {:.3} b/b; seed-chains runs p = {:.3} / {:.3}, \
+             H = {:.3} b/b, H_min = {:.3} b/b",
+            key_chain.len(),
+            key_runs.p_value,
+            key_freq.p_value,
+            key_entropy,
+            sm_runs.p_value,
+            sr_runs.p_value,
+            seed_entropy,
+            seed_min_entropy,
+        );
+        key_ps.push(key_runs.p_value);
+        seed_m_ps.push(sm_runs.p_value);
+        seed_r_ps.push(sr_runs.p_value);
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let min = |v: &[f64]| v.iter().cloned().fold(f64::MAX, f64::min);
+    let mut all_seed = seed_m_ps.clone();
+    all_seed.extend(seed_r_ps.iter());
+    println!(
+        "\nkey-chains:      mean p = {:.3}, min p = {:.3} (paper: 0.92 / 0.90)",
+        mean(&key_ps),
+        min(&key_ps)
+    );
+    println!(
+        "key-seed-chains: mean p = {:.3}, min p = {:.3} (paper: 0.78 / 0.72)",
+        mean(&all_seed),
+        min(&all_seed)
+    );
+    println!("threshold for randomness: p >= 0.05");
+}

@@ -1,0 +1,142 @@
+//! Reproduces **§VI-E**: the device-spoofing security evaluation —
+//! gesture mimicking (600 instances), remote camera recovery (200),
+//! in-situ camera recovery (200) — plus RFID signal spoofing and the
+//! analytic random-guess rate.
+//!
+//! An attack instance *succeeds* when the attacker-derived key-seed lies
+//! within the ECC correction radius η of the victim's seed (the paper's
+//! criterion: such a seed would complete device spoofing).
+//!
+//! ```text
+//! cargo run --release -p wavekey-bench --bin exp_security [mimic_n] [camera_n]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavekey_bench::{experiment_config, trained_models, Scale};
+use wavekey_core::attack::{
+    camera_recover_accel, mimic_accel, random_guess_probability, spoofing_gesture, CameraConfig,
+};
+use wavekey_core::bits::mismatch_rate;
+use wavekey_core::session::{Session, SessionConfig};
+use wavekey_imu::gesture::{GestureGenerator, MimicConfig, VolunteerId};
+use wavekey_imu::sensors::DeviceModel;
+
+fn main() {
+    let mimic_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600);
+    let camera_n: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let models = trained_models(Scale::Small);
+    let config = experiment_config();
+    let eta = config.wavekey.eta();
+    let gcfg = config.gesture;
+    let mut session = Session::new(config.clone(), models, 0x5ec);
+    let mut rng = StdRng::seed_from_u64(0xa77ac4);
+
+    println!("\n§VI-E: device-spoofing attack evaluation (η = {eta:.4})\n");
+
+    // --- Gesture mimicking (paper: 6 victims × 20 gestures × 5 mimics) ---
+    let mut attempts = 0usize;
+    let mut successes = 0usize;
+    let mut rates = Vec::new();
+    while attempts < mimic_n {
+        let victim_id = VolunteerId(rng.gen_range(0..6));
+        session.config_mut().volunteer = victim_id;
+        let victim_gesture = session.new_gesture();
+        let Ok((s_victim, _)) = session.derive_seeds_from_gesture(&victim_gesture) else {
+            continue;
+        };
+        // Five other volunteers mimic this gesture.
+        for mimic_v in 0..6u32 {
+            if mimic_v == victim_id.0 || attempts >= mimic_n {
+                continue;
+            }
+            let mut attacker = GestureGenerator::new(VolunteerId(mimic_v), rng.gen());
+            let Ok(a) = mimic_accel(
+                &victim_gesture,
+                &mut attacker,
+                DeviceModel::Pixel8,
+                &gcfg,
+                &MimicConfig::default(),
+                rng.gen(),
+            ) else {
+                continue;
+            };
+            let latent = session.latent_from_accel(&a);
+            let s_attacker = session.seed_generator().seed_from_latent(&latent);
+            let rate = mismatch_rate(&s_victim, &s_attacker);
+            rates.push(rate);
+            attempts += 1;
+            if rate <= eta {
+                successes += 1;
+            }
+        }
+    }
+    let mean_rate = rates.iter().sum::<f64>() / rates.len() as f64;
+    println!(
+        "gesture mimicking: {successes}/{attempts} succeeded ({:.2} %); mean seed mismatch {:.1} %",
+        100.0 * successes as f64 / attempts as f64,
+        100.0 * mean_rate
+    );
+    println!("  paper: 0/600 (0 %)\n");
+
+    // --- Camera-aided recovery -------------------------------------------
+    for (label, camera, paper) in [
+        ("remote recording (260 FPS, 3-D)", CameraConfig::remote(), "1/200 (0.5 %)"),
+        ("in-situ recording (30 FPS, 2-D)", CameraConfig::in_situ(), "0/200 (0 %)"),
+    ] {
+        let mut successes = 0usize;
+        let mut attempts = 0usize;
+        while attempts < camera_n {
+            session.config_mut().volunteer = VolunteerId(0);
+            let victim_gesture = session.new_gesture();
+            let Ok((s_victim, _)) = session.derive_seeds_from_gesture(&victim_gesture) else {
+                continue;
+            };
+            let a = camera_recover_accel(&victim_gesture, &camera, victim_gesture.pause(), &mut rng);
+            let latent = session.latent_from_accel(&a);
+            let s_attacker = session.seed_generator().seed_from_latent(&latent);
+            attempts += 1;
+            if mismatch_rate(&s_victim, &s_attacker) <= eta {
+                successes += 1;
+            }
+        }
+        println!(
+            "{label}: {successes}/{attempts} succeeded ({:.2} %)",
+            100.0 * successes as f64 / attempts as f64
+        );
+        println!("  paper: {paper}\n");
+    }
+
+    // --- RFID signal spoofing ----------------------------------------------
+    let mut successes = 0usize;
+    let mut attempts = 0usize;
+    while attempts < camera_n {
+        session.config_mut().volunteer = VolunteerId(0);
+        let victim_gesture = session.new_gesture();
+        let Ok((s_victim, _)) = session.derive_seeds_from_gesture(&victim_gesture) else {
+            continue;
+        };
+        // The spoofed RFID stream comes from an unrelated attacker gesture.
+        let mut attacker = GestureGenerator::new(VolunteerId(5), rng.gen());
+        let spoof = spoofing_gesture(&mut attacker, &gcfg);
+        let Ok((_, s_spoofed)) = session.derive_seeds_from_gesture(&spoof) else {
+            continue;
+        };
+        attempts += 1;
+        if mismatch_rate(&s_victim, &s_spoofed) <= eta {
+            successes += 1;
+        }
+    }
+    println!(
+        "rfid signal spoofing: {successes}/{attempts} produced a matching seed ({:.2} %)",
+        100.0 * successes as f64 / attempts as f64
+    );
+    println!("  paper: disrupts correlation → key establishment fails\n");
+
+    // --- Random guessing (analytic) -----------------------------------------
+    let l_s = config.wavekey.l_s();
+    println!(
+        "random guessing (Eq. 4): P_g(l_s = {l_s}, η = {eta:.3}) = {:.3e}",
+        random_guess_probability(l_s, eta)
+    );
+}

@@ -1,0 +1,95 @@
+//! Development probe 3: bisect the cross-modal fidelity loss.
+//!
+//! For single-session windows, compare each side against the ground
+//! truth radial acceleration:
+//!   c_rf  = |corr(phase'', u·a_true)|   (RF-side fidelity)
+//!   c_imu = |corr(canonical-1, u·a_true)| (IMU-side fidelity incl. PCA)
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavekey_core::model::{imu_to_tensor, IMU_SAMPLES};
+use wavekey_dsp::savgol_second_derivative;
+use wavekey_imu::gesture::{GestureConfig, GestureGenerator, VolunteerId};
+use wavekey_imu::pipeline::{process_imu, ImuPipelineConfig};
+use wavekey_imu::sensors::{sample_imu, DeviceModel};
+use wavekey_math::{pearson_correlation, Vec3};
+use wavekey_rfid::channel::TagModel;
+use wavekey_rfid::environment::{Environment, UserPlacement};
+use wavekey_rfid::pipeline::{process_rfid, RfidPipelineConfig};
+use wavekey_rfid::reader::{record_rfid, ReaderSpec};
+
+fn best_lag_corr(a: &[f64], b: &[f64], max_lag: i64) -> f64 {
+    let mut best = 0.0f64;
+    let n0 = a.len().min(b.len());
+    for lag in -max_lag..=max_lag {
+        let (a0, b0) = if lag >= 0 { (lag as usize, 0usize) } else { (0, (-lag) as usize) };
+        let n = n0 - a0.max(b0) - 1;
+        best = best.max(pearson_correlation(&a[a0..a0 + n], &b[b0..b0 + n]).abs());
+    }
+    best
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xb15ec7);
+    let env = Environment::room(1);
+    let placement = UserPlacement::default();
+    let hand = placement.hand_position(&env);
+    let dir = env.antenna - hand;
+    let yaw = dir.y.atan2(dir.x);
+
+    let mut c_rf_all = Vec::new();
+    let mut c_imu_all = Vec::new();
+    let mut c_cross_all = Vec::new();
+    for trial in 0..24 {
+        let mut generator = GestureGenerator::new(VolunteerId(trial % 6), rng.gen());
+        let gesture = generator.generate(&GestureConfig::default()).rotated_yaw(yaw);
+        let noise_seed: u64 = rng.gen();
+
+        // IMU side.
+        let imu_rec = sample_imu(&gesture, &DeviceModel::GalaxyWatch.spec(), noise_seed);
+        let Ok(a) = process_imu(&imu_rec, &ImuPipelineConfig::default()) else { continue };
+        let tensor = imu_to_tensor(&a);
+        let comp1: Vec<f64> =
+            tensor.data()[..IMU_SAMPLES].iter().map(|&x| f64::from(x)).collect();
+
+        // RF side.
+        let channel = env.channel(TagModel::Alien9640A, 0, noise_seed);
+        let rfid_rec = record_rfid(
+            &gesture,
+            hand,
+            Vec3::new(0.03, 0.0, 0.0),
+            &channel,
+            &ReaderSpec::default(),
+            noise_seed,
+        );
+        let Ok(r) = process_rfid(&rfid_rec, &RfidPipelineConfig::default()) else { continue };
+        let d2 = savgol_second_derivative(&r.phase, 41, 3, 1.0 / 200.0).unwrap();
+        let phase_dd_100: Vec<f64> = (0..IMU_SAMPLES).map(|i| d2[2 * i]).collect();
+
+        // Ground truth radial acceleration on the IMU window grid.
+        let base_shift = hand - gesture.position_at(0.0);
+        let truth: Vec<f64> = (0..IMU_SAMPLES)
+            .map(|i| {
+                let t = a.start_time + i as f64 / 100.0;
+                let p = gesture.position_at(t) + base_shift;
+                let u = (env.antenna - p).normalized();
+                // Phase grows with distance; radial acceleration along u.
+                -gesture.acceleration_at(t).dot(u)
+            })
+            .collect();
+
+        c_imu_all.push(best_lag_corr(&comp1, &truth, 10));
+        c_rf_all.push(best_lag_corr(&phase_dd_100, &truth, 30));
+        c_cross_all.push(best_lag_corr(&comp1, &phase_dd_100, 30));
+    }
+    let stats = |v: &mut Vec<f64>| -> (f64, f64, f64) {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (v.iter().sum::<f64>() / v.len() as f64, v[0], v[v.len() / 2])
+    };
+    let (m, lo, med) = stats(&mut c_imu_all);
+    println!("IMU side vs truth:  mean {m:.3}, min {lo:.3}, median {med:.3}");
+    let (m, lo, med) = stats(&mut c_rf_all);
+    println!("RF side vs truth:   mean {m:.3}, min {lo:.3}, median {med:.3}");
+    let (m, lo, med) = stats(&mut c_cross_all);
+    println!("cross (IMU vs RF):  mean {m:.3}, min {lo:.3}, median {med:.3}");
+}

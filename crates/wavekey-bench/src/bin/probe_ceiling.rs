@@ -1,0 +1,64 @@
+//! Development probe: how strong is the physical cross-modal signal?
+//!
+//! For held-out windows, correlate the RFID phase's second derivative
+//! (≈ radial acceleration) against the canonical-frame IMU dominant
+//! component, scanning small lags. This bounds what any encoder pair can
+//! agree on.
+
+use wavekey_core::dataset::{generate, DatasetConfig};
+use wavekey_core::model::{IMU_SAMPLES, RFID_SAMPLES};
+use wavekey_dsp::savgol_second_derivative;
+use wavekey_math::pearson_correlation;
+
+fn main() {
+    let mut cfg = DatasetConfig::tiny();
+    cfg.seed = 0x55;
+    cfg.gestures_per_combo = 4;
+    cfg.windows_per_gesture = 4;
+    let ds = generate(&cfg);
+    println!("samples: {}", ds.len());
+
+    let mut best_corrs = Vec::new();
+    for s in &ds.samples {
+        // Phase channel (standardized), 400 samples at 200 Hz.
+        let phase: Vec<f64> = s.r.data()[..RFID_SAMPLES].iter().map(|&x| f64::from(x)).collect();
+        // Second derivative then downsample to 100 Hz → 200 samples.
+        let d2 = savgol_second_derivative(&phase, 21, 3, 1.0 / 200.0).unwrap();
+        let d2_100: Vec<f64> = (0..IMU_SAMPLES).map(|i| d2[2 * i]).collect();
+        // Canonical IMU component 1 (tensor channel 0).
+        let imu1: Vec<f64> = s.a.data()[..IMU_SAMPLES].iter().map(|&x| f64::from(x)).collect();
+
+        // Scan lags ±0.3 s (±30 samples at 100 Hz).
+        let mut best = 0.0f64;
+        for lag in -30i64..=30 {
+            let (a0, b0) = if lag >= 0 { (lag as usize, 0usize) } else { (0, (-lag) as usize) };
+            let n = IMU_SAMPLES - a0.max(b0);
+            let x = &imu1[a0..a0 + n];
+            let y = &d2_100[b0..b0 + n];
+            let c = pearson_correlation(x, y).abs();
+            best = best.max(c);
+        }
+        best_corrs.push(best);
+    }
+    best_corrs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = best_corrs.iter().sum::<f64>() / best_corrs.len() as f64;
+    println!(
+        "best-lag |corr(imu canonical-1, phase'')|: mean {:.3}, min {:.3}, median {:.3}, max {:.3}",
+        mean,
+        best_corrs[0],
+        best_corrs[best_corrs.len() / 2],
+        best_corrs[best_corrs.len() - 1]
+    );
+
+    // Also: raw magnitude channel informativeness.
+    let mut mag_corrs = Vec::new();
+    for s in &ds.samples {
+        let mag: Vec<f64> = s.r.data()[RFID_SAMPLES..].iter().map(|&x| f64::from(x)).collect();
+        let phase: Vec<f64> = s.r.data()[..RFID_SAMPLES].iter().map(|&x| f64::from(x)).collect();
+        mag_corrs.push(pearson_correlation(&mag, &phase).abs());
+    }
+    println!(
+        "|corr(phase, magnitude)| mean: {:.3}",
+        mag_corrs.iter().sum::<f64>() / mag_corrs.len() as f64
+    );
+}

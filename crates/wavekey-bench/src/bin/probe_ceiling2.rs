@@ -1,0 +1,129 @@
+//! Development probe 2: displacement-level cross-modal ceiling.
+//!
+//! Correlates the (detrended) standardized phase against the detrended
+//! double integral of the canonical IMU dominant component — the feature
+//! family where both sides can agree almost exactly if the simulation
+//! supports it.
+
+use wavekey_core::dataset::{generate, DatasetConfig};
+use wavekey_core::model::{IMU_SAMPLES, RFID_SAMPLES};
+use wavekey_math::pearson_correlation;
+
+/// Removes the best-fit line.
+fn detrend(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len() as f64;
+    let tbar = (n - 1.0) / 2.0;
+    let xbar = xs.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        num += (i as f64 - tbar) * (x - xbar);
+        den += (i as f64 - tbar) * (i as f64 - tbar);
+    }
+    let slope = num / den;
+    xs.iter()
+        .enumerate()
+        .map(|(i, &x)| x - xbar - slope * (i as f64 - tbar))
+        .collect()
+}
+
+fn double_integral(acc: &[f64], dt: f64) -> Vec<f64> {
+    let mut v = 0.0;
+    let mut p = 0.0;
+    let mut out = Vec::with_capacity(acc.len());
+    for &a in acc {
+        out.push(p);
+        v += a * dt;
+        p += v * dt;
+    }
+    out
+}
+
+fn main() {
+    let mut cfg = DatasetConfig::tiny();
+    cfg.seed = 0x55;
+    cfg.gestures_per_combo = 4;
+    cfg.windows_per_gesture = 4;
+    let ds = generate(&cfg);
+
+    let mut best_corrs = Vec::new();
+    let mut lsq_corrs: Vec<f64> = Vec::new();
+    for s in &ds.samples {
+        let phase: Vec<f64> = s.r.data()[..RFID_SAMPLES].iter().map(|&x| f64::from(x)).collect();
+        // Downsample phase to 100 Hz and detrend.
+        let phase_100: Vec<f64> = (0..IMU_SAMPLES).map(|i| phase[2 * i]).collect();
+        let phase_d = detrend(&phase_100);
+
+        let imu1: Vec<f64> = s.a.data()[..IMU_SAMPLES].iter().map(|&x| f64::from(x)).collect();
+        let disp = detrend(&double_integral(&imu1, 0.01));
+
+        let mut best = 0.0f64;
+        for lag in -20i64..=20 {
+            let (a0, b0) = if lag >= 0 { (lag as usize, 0usize) } else { (0, (-lag) as usize) };
+            let n = IMU_SAMPLES - a0.max(b0) - 20;
+            let c = pearson_correlation(&disp[a0..a0 + n], &phase_d[b0..b0 + n]).abs();
+            best = best.max(c);
+        }
+        best_corrs.push(best);
+
+        // LSQ ceiling: best linear combination of the three
+        // double-integrated canonical components (zero lag).
+        let comps: Vec<Vec<f64>> = (0..3)
+            .map(|k| {
+                let ch: Vec<f64> = s.a.data()[k * IMU_SAMPLES..(k + 1) * IMU_SAMPLES]
+                    .iter()
+                    .map(|&x| f64::from(x))
+                    .collect();
+                detrend(&double_integral(&ch, 0.01))
+            })
+            .collect();
+        // Solve 3x3 normal equations for phase_d ≈ Σ w_k comps_k.
+        let mut g = [[0.0f64; 3]; 3];
+        let mut b = [0.0f64; 3];
+        for i in 0..IMU_SAMPLES {
+            for r in 0..3 {
+                b[r] += comps[r][i] * phase_d[i];
+                for c in 0..3 {
+                    g[r][c] += comps[r][i] * comps[c][i];
+                }
+            }
+        }
+        // Cramer's rule.
+        let det = |m: &[[f64; 3]; 3]| -> f64 {
+            m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+                - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+                + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+        };
+        let d0 = det(&g);
+        if d0.abs() > 1e-12 {
+            let mut w = [0.0f64; 3];
+            for k in 0..3 {
+                let mut gk = g;
+                for r in 0..3 {
+                    gk[r][k] = b[r];
+                }
+                w[k] = det(&gk) / d0;
+            }
+            let fit: Vec<f64> = (0..IMU_SAMPLES)
+                .map(|i| w[0] * comps[0][i] + w[1] * comps[1][i] + w[2] * comps[2][i])
+                .collect();
+            lsq_corrs.push(pearson_correlation(&fit, &phase_d).abs());
+        }
+    }
+    best_corrs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "displacement-level ceiling: mean {:.3}, min {:.3}, median {:.3}, max {:.3} (n = {})",
+        best_corrs.iter().sum::<f64>() / best_corrs.len() as f64,
+        best_corrs[0],
+        best_corrs[best_corrs.len() / 2],
+        best_corrs[best_corrs.len() - 1],
+        best_corrs.len(),
+    );
+    lsq_corrs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "LSQ-3 ceiling:              mean {:.3}, min {:.3}, median {:.3}",
+        lsq_corrs.iter().sum::<f64>() / lsq_corrs.len() as f64,
+        lsq_corrs[0],
+        lsq_corrs[lsq_corrs.len() / 2],
+    );
+}

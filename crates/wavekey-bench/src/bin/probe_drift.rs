@@ -1,0 +1,78 @@
+//! Development probe 4: cross-modal fidelity of dataset windows as a
+//! function of the window offset into the long gesture (drift check).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavekey_core::dataset::{record_long_gesture, slice_window};
+use wavekey_core::model::{IMU_SAMPLES, RFID_SAMPLES};
+use wavekey_dsp::savgol_second_derivative;
+use wavekey_imu::gesture::{GestureGenerator, VolunteerId};
+use wavekey_imu::sensors::DeviceModel;
+use wavekey_math::pearson_correlation;
+use wavekey_rfid::channel::TagModel;
+use wavekey_rfid::environment::{Environment, UserPlacement};
+
+fn best_lag_corr(a: &[f64], b: &[f64], max_lag: i64) -> f64 {
+    let mut best = 0.0f64;
+    let n0 = a.len().min(b.len());
+    for lag in -max_lag..=max_lag {
+        let (a0, b0) = if lag >= 0 { (lag as usize, 0usize) } else { (0, (-lag) as usize) };
+        let n = n0 - a0.max(b0) - 1;
+        best = best.max(pearson_correlation(&a[a0..a0 + n], &b[b0..b0 + n]).abs());
+    }
+    best
+}
+
+fn main() {
+    let active: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(15.5);
+    let mut rng = StdRng::seed_from_u64(0xd21f7);
+    let env = Environment::room(1);
+    let placement = UserPlacement::default();
+
+    // offset bucket -> correlations
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); 8];
+    for trial in 0..8u32 {
+        let mut generator = GestureGenerator::new(VolunteerId(trial % 6), rng.gen());
+        let Some(processed) = record_long_gesture(
+            &mut generator,
+            active,
+            DeviceModel::GalaxyWatch,
+            TagModel::Alien9640A,
+            &env,
+            &placement,
+            0,
+            rng.gen(),
+        ) else {
+            continue;
+        };
+        let max_off = (processed.accel.len().saturating_sub(IMU_SAMPLES)) as f64 / 100.0;
+        for b in 0..8 {
+            let t_off = max_off * b as f64 / 8.0;
+            let Some(s) =
+                slice_window(&processed, t_off, VolunteerId(0), DeviceModel::GalaxyWatch, false)
+            else {
+                continue;
+            };
+            let comp1: Vec<f64> =
+                s.a.data()[..IMU_SAMPLES].iter().map(|&x| f64::from(x)).collect();
+            let phase: Vec<f64> =
+                s.r.data()[..RFID_SAMPLES].iter().map(|&x| f64::from(x)).collect();
+            let d2 = savgol_second_derivative(&phase, 41, 3, 1.0 / 200.0).unwrap();
+            let d2_100: Vec<f64> = (0..IMU_SAMPLES).map(|i| d2[2 * i]).collect();
+            buckets[b].push(best_lag_corr(&comp1, &d2_100, 30));
+        }
+    }
+    println!("cross-modal |corr| by window offset (active = {active} s):");
+    for (b, v) in buckets.iter().enumerate() {
+        if v.is_empty() {
+            continue;
+        }
+        println!(
+            "  offset bucket {b} (~{:.1} s): mean {:.3}, min {:.3} (n = {})",
+            (active - 2.8) * b as f64 / 8.0,
+            v.iter().sum::<f64>() / v.len() as f64,
+            v.iter().cloned().fold(f64::MAX, f64::min),
+            v.len()
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Development probe: latent agreement on training data vs held-out
+//! gestures for the cached models.
+
+use wavekey_bench::{trained_models, Scale};
+use wavekey_core::dataset::{generate, Dataset, DatasetConfig};
+use wavekey_core::model::WaveKeyModels;
+use wavekey_nn::loss::mse_pair;
+use wavekey_nn::tensor::Tensor;
+
+fn eval(models: &mut WaveKeyModels, ds: &Dataset, label: &str) {
+    let mut total = 0.0f32;
+    let n = ds.len().min(200);
+    for s in &ds.samples[..n] {
+        let a = Tensor::stack(std::slice::from_ref(&s.a));
+        let r = Tensor::stack(std::slice::from_ref(&s.r));
+        let f_m = models.imu_en.forward(&a, false);
+        let f_r = models.rf_en.forward(&r, false);
+        let (l, _, _) = mse_pair(&f_m, &f_r);
+        total += l;
+    }
+    println!("{label}: latent MSE {:.4} over {n} samples", total / n as f32);
+}
+
+fn main() {
+    let mut models = trained_models(Scale::Small);
+    let train_ds = generate(&DatasetConfig::small());
+    eval(&mut models, &train_ds, "training distribution (same seed)");
+
+    let mut holdout_cfg = DatasetConfig::small();
+    holdout_cfg.seed = 0x9999;
+    holdout_cfg.gestures_per_combo = 2;
+    let holdout = generate(&holdout_cfg);
+    eval(&mut models, &holdout, "held-out gestures (same volunteers)");
+}

@@ -1,0 +1,51 @@
+//! Development probe: latent-space diagnostics on dataset samples.
+
+use wavekey_bench::{trained_models, Scale};
+use wavekey_core::bits::mismatch_rate;
+use wavekey_core::dataset::{generate, DatasetConfig};
+use wavekey_core::seed::SeedGenerator;
+use wavekey_nn::tensor::Tensor;
+
+fn main() {
+    let mut models = trained_models(Scale::Small);
+    let ds = generate(&DatasetConfig::tiny());
+    let sg = SeedGenerator::new(9).unwrap();
+
+    let mut lat_err = Vec::new();
+    let mut seed_mismatch = Vec::new();
+    let mut fm_all: Vec<Vec<f32>> = vec![Vec::new(); models.l_f];
+    for s in &ds.samples {
+        let a = Tensor::stack(std::slice::from_ref(&s.a));
+        let r = Tensor::stack(std::slice::from_ref(&s.r));
+        let f_m = models.imu_en.forward(&a, false);
+        let f_r = models.rf_en.forward(&r, false);
+        let err: f32 = f_m
+            .data()
+            .iter()
+            .zip(f_r.data())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            / f_m.len() as f32;
+        lat_err.push(err);
+        for (i, &v) in f_m.data().iter().enumerate() {
+            fm_all[i].push(v);
+        }
+        let sm = sg.seed_from_latent(f_m.data());
+        let sr = sg.seed_from_latent(f_r.data());
+        seed_mismatch.push(mismatch_rate(&sm, &sr));
+    }
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+    println!("dataset samples: {}", ds.len());
+    println!("latent MSE (eval mode): mean {:.4}", mean(&lat_err));
+    println!(
+        "seed mismatch on dataset windows: mean {:.4}",
+        seed_mismatch.iter().sum::<f64>() / seed_mismatch.len() as f64
+    );
+    // Per-element latent stats under running BN stats: want ~N(0,1).
+    for i in 0..models.l_f.min(12) {
+        let m: f32 = mean(&fm_all[i]);
+        let var: f32 =
+            fm_all[i].iter().map(|v| (v - m) * (v - m)).sum::<f32>() / fm_all[i].len() as f32;
+        println!("f_M[{i}]: mean {m:.3}, var {var:.3}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Development probe 5: distribution of the cross-modal onset
+//! disagreement (IMU detector vs RFID detector).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavekey_imu::gesture::{GestureConfig, GestureGenerator, VolunteerId};
+use wavekey_imu::pipeline::{process_imu, ImuPipelineConfig};
+use wavekey_imu::sensors::{sample_imu, DeviceModel};
+use wavekey_math::Vec3;
+use wavekey_rfid::channel::TagModel;
+use wavekey_rfid::environment::{Environment, UserPlacement};
+use wavekey_rfid::pipeline::{process_rfid, RfidPipelineConfig};
+use wavekey_rfid::reader::{record_rfid, ReaderSpec};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0x0e5e7);
+    let env = Environment::room(1);
+    let placement = UserPlacement::default();
+    let hand = placement.hand_position(&env);
+    let dir = env.antenna - hand;
+    let yaw = dir.y.atan2(dir.x);
+
+    let mut deltas = Vec::new();
+    for v in 0..48u32 {
+        let mut generator = GestureGenerator::new(VolunteerId(v % 6), rng.gen());
+        let gesture = generator.generate(&GestureConfig::default()).rotated_yaw(yaw);
+        let seed: u64 = rng.gen();
+        let imu_rec = sample_imu(&gesture, &DeviceModel::GalaxyWatch.spec(), seed);
+        let rfid_rec = record_rfid(
+            &gesture,
+            hand,
+            Vec3::new(0.03, 0.0, 0.0),
+            &channel_for(&env, seed),
+            &ReaderSpec::default(),
+            seed,
+        );
+        let (Ok(a), Ok(r)) = (
+            process_imu(&imu_rec, &ImuPipelineConfig::default()),
+            process_rfid(&rfid_rec, &RfidPipelineConfig::default()),
+        ) else {
+            continue;
+        };
+        deltas.push((a.start_time - r.start_time) * 1000.0);
+    }
+    deltas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    let std = (deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
+        / deltas.len() as f64)
+        .sqrt();
+    println!(
+        "onset delta (imu − rfid), ms: mean {mean:.1}, std {std:.1}, min {:.1}, max {:.1} (n = {})",
+        deltas[0],
+        deltas[deltas.len() - 1],
+        deltas.len()
+    );
+}
+
+fn channel_for(env: &Environment, seed: u64) -> wavekey_rfid::channel::BackscatterChannel {
+    env.channel(TagModel::Alien9640A, 0, seed)
+}

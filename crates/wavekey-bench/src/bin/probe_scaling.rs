@@ -1,0 +1,58 @@
+//! Development probe: does held-out latent agreement improve with
+//! dataset scale? Usage: `probe_scaling <gestures_per_combo> <epochs> <wd>`
+
+use wavekey_core::dataset::{generate, Dataset, DatasetConfig};
+use wavekey_core::model::WaveKeyModels;
+use wavekey_core::training::{train, TrainingConfig};
+use wavekey_imu::sensors::DeviceModel;
+use wavekey_nn::loss::mse_pair;
+use wavekey_nn::tensor::Tensor;
+
+fn eval_latent(models: &mut WaveKeyModels, ds: &Dataset, cap: usize) -> f32 {
+    let mut total = 0.0f32;
+    let n = ds.len().min(cap);
+    for s in &ds.samples[..n] {
+        let a = Tensor::stack(std::slice::from_ref(&s.a));
+        let r = Tensor::stack(std::slice::from_ref(&s.r));
+        let f_m = models.imu_en.forward(&a, false);
+        let f_r = models.rf_en.forward(&r, false);
+        let (l, _, _) = mse_pair(&f_m, &f_r);
+        total += l;
+    }
+    total / n as f32
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let gestures: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let epochs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let wd: f32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1e-4);
+
+    let mut ds_cfg = DatasetConfig::small();
+    ds_cfg.gestures_per_combo = gestures;
+    ds_cfg.windows_per_gesture = 12;
+    ds_cfg.devices = vec![DeviceModel::GalaxyWatch, DeviceModel::Pixel8];
+    let t = std::time::Instant::now();
+    let ds = generate(&ds_cfg);
+    eprintln!("dataset: {} samples in {:.1} s", ds.len(), t.elapsed().as_secs_f64());
+
+    let mut holdout_cfg = ds_cfg.clone();
+    holdout_cfg.seed = 0x9999;
+    holdout_cfg.gestures_per_combo = 3;
+    let holdout = generate(&holdout_cfg);
+
+    let cfg = TrainingConfig { epochs: 1, weight_decay: wd, ..Default::default() };
+    let mut models = WaveKeyModels::new(cfg.l_f, 7);
+    let t = std::time::Instant::now();
+    for e in 0..epochs {
+        let rep = train(&mut models, &ds, &cfg, 100 + e as u64).unwrap();
+        if e % 5 == 0 || e == epochs - 1 {
+            println!(
+                "epoch {e:>3}: train latent {:.4} | holdout latent {:.4} ({:.0}s)",
+                rep.final_latent_loss,
+                eval_latent(&mut models, &holdout, 150),
+                t.elapsed().as_secs_f64(),
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Development probe 6: what separates high-mismatch sessions from good
+//! ones? Correlates per-session seed mismatch against onset disagreement
+//! and against the latent disagreement pattern.
+
+use wavekey_bench::{trained_models, Scale};
+use wavekey_core::bits::mismatch_rate;
+use wavekey_core::session::{Session, SessionConfig};
+use wavekey_math::pearson_correlation;
+
+fn main() {
+    let models = trained_models(Scale::Small);
+    let mut session = Session::new(SessionConfig::default(), models, 0x7a11);
+
+    let mut mismatches = Vec::new();
+    let mut latent_mses = Vec::new();
+    let mut worst_elem = vec![0usize; 12];
+    for _ in 0..200 {
+        let gesture = session.new_gesture();
+        let Ok((f_m, f_r)) = session.derive_latents_from_gesture(&gesture) else { continue };
+        let sg = session.seed_generator().clone();
+        let s_m = sg.seed_from_latent(&f_m);
+        let s_r = sg.seed_from_latent(&f_r);
+        let mm = mismatch_rate(&s_m, &s_r);
+        mismatches.push(mm);
+        let mse: f32 = f_m
+            .iter()
+            .zip(&f_r)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / 12.0;
+        latent_mses.push(f64::from(mse));
+        if mm > 0.3 {
+            // Which latent elements drive bad sessions?
+            let mut diffs: Vec<(usize, f32)> = f_m
+                .iter()
+                .zip(&f_r)
+                .map(|(a, b)| (a - b).abs())
+                .enumerate()
+                .collect();
+            diffs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            for (i, _) in diffs.iter().take(3) {
+                worst_elem[*i] += 1;
+            }
+        }
+    }
+    let bad = mismatches.iter().filter(|&&m| m > 0.3).count();
+    println!(
+        "sessions: {}, bad (mismatch > 0.3): {} ({:.0}%)",
+        mismatches.len(),
+        bad,
+        100.0 * bad as f64 / mismatches.len() as f64
+    );
+    println!(
+        "corr(mismatch, latent MSE) = {:.3}",
+        pearson_correlation(&mismatches, &latent_mses)
+    );
+    println!("top-3 offender counts per latent element (bad sessions): {worst_elem:?}");
+    let mean_bad_mse: f64 = mismatches
+        .iter()
+        .zip(&latent_mses)
+        .filter(|(m, _)| **m > 0.3)
+        .map(|(_, l)| *l)
+        .sum::<f64>()
+        / bad.max(1) as f64;
+    let mean_good_mse: f64 = mismatches
+        .iter()
+        .zip(&latent_mses)
+        .filter(|(m, _)| **m <= 0.3)
+        .map(|(_, l)| *l)
+        .sum::<f64>()
+        / (mismatches.len() - bad).max(1) as f64;
+    println!("latent MSE: good sessions {mean_good_mse:.3}, bad sessions {mean_bad_mse:.3}");
+}

@@ -1,0 +1,43 @@
+//! Development probe: verbose training with per-epoch loss components
+//! and a train-mode vs eval-mode batch-norm gap check.
+
+use wavekey_core::dataset::{generate, DatasetConfig};
+use wavekey_core::model::WaveKeyModels;
+use wavekey_core::training::{train, TrainingConfig};
+use wavekey_nn::loss::mse_pair;
+use wavekey_nn::tensor::Tensor;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let epochs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let lr: f32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1e-3);
+
+    let mut ds_cfg = DatasetConfig::small();
+    ds_cfg.gestures_per_combo = 4;
+    ds_cfg.windows_per_gesture = 8;
+    let ds = generate(&ds_cfg);
+    println!("dataset: {} samples", ds.len());
+
+    let cfg = TrainingConfig { epochs: 1, lr, ..Default::default() };
+    let mut models = WaveKeyModels::new(cfg.l_f, 7);
+    for e in 0..epochs {
+        let rep = train(&mut models, &ds, &cfg, 100 + e as u64).unwrap();
+        // Eval-mode latent loss on a subset.
+        let mut eval_latent = 0.0f32;
+        let n = ds.len().min(64);
+        for s in &ds.samples[..n] {
+            let a = Tensor::stack(std::slice::from_ref(&s.a));
+            let r = Tensor::stack(std::slice::from_ref(&s.r));
+            let f_m = models.imu_en.forward(&a, false);
+            let f_r = models.rf_en.forward(&r, false);
+            let (l, _, _) = mse_pair(&f_m, &f_r);
+            eval_latent += l;
+        }
+        println!(
+            "epoch {e:>3}: train latent {:.4} recon {:.4} | eval latent {:.4}",
+            rep.final_latent_loss,
+            rep.final_recon_loss,
+            eval_latent / n as f32
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Development probe: trains the autoencoders and reports the key-seed
+//! mismatch statistics that everything else hinges on.
+//!
+//! Not a paper experiment — a calibration check that prints where the
+//! seed mismatch distribution sits relative to the ECC radius η.
+
+use wavekey_bench::{trained_models, Scale};
+use wavekey_core::bits::mismatch_rate;
+use wavekey_core::session::{Session, SessionConfig};
+use wavekey_core::WaveKeyConfig;
+
+fn main() {
+    let models = trained_models(Scale::Small);
+    let config = SessionConfig::default();
+    let eta = config.wavekey.eta();
+    let mut session = Session::new(config, models, 0xbeef);
+
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100usize);
+
+    let mut rates = Vec::new();
+    let mut failures = 0usize;
+    for _ in 0..trials {
+        match session.derive_seeds() {
+            Ok((s_m, s_r)) => rates.push(mismatch_rate(&s_m, &s_r)),
+            Err(_) => failures += 1,
+        }
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| rates[(p * (rates.len() - 1) as f64).round() as usize];
+    println!("trials: {trials}, pipeline failures: {failures}");
+    println!(
+        "seed mismatch rate: mean {:.4}, p50 {:.4}, p90 {:.4}, p99 {:.4}, max {:.4}",
+        rates.iter().sum::<f64>() / rates.len() as f64,
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        rates.last().unwrap(),
+    );
+    println!("eta (ECC radius): {:.4}", eta);
+    let ok = rates.iter().filter(|&&r| r <= eta).count();
+    println!(
+        "fraction of instances within eta: {:.1}% (paper target: >98%)",
+        100.0 * ok as f64 / rates.len() as f64
+    );
+    let wk = WaveKeyConfig::default();
+    println!("l_s = {}, l_b = {}", wk.l_s(), wk.l_b());
+}

@@ -1,0 +1,73 @@
+//! Reproduces **Table I**: key-establishment success rates in four
+//! emulated environments under static (S) and dynamic (D) conditions.
+//!
+//! Paper protocol: in each environment × condition cell, all six
+//! volunteers perform 50 gestures each (300 instances per cell). Success
+//! means the full workflow establishes a key.
+//!
+//! ```text
+//! cargo run --release -p wavekey-bench --bin table1_environments [gestures_per_volunteer]
+//! ```
+
+use wavekey_bench::{experiment_config, print_row, print_sep, trained_models, Scale};
+use wavekey_core::session::{Session, SessionConfig};
+use wavekey_imu::gesture::VolunteerId;
+
+fn main() {
+    let per_volunteer: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    let models = trained_models(Scale::Small);
+
+    println!("\nTable I: key-establishment success rates (%) in different environments");
+    println!("(eta = {:.4})", experiment_config().wavekey.eta());
+    println!("({per_volunteer} gestures per volunteer per cell, 6 volunteers)\n");
+
+    let widths = [6usize, 9, 9, 9, 9, 9, 9, 9, 9];
+    print_row(
+        &[
+            "Envr.".into(),
+            "1/S".into(),
+            "1/D".into(),
+            "2/S".into(),
+            "2/D".into(),
+            "3/S".into(),
+            "3/D".into(),
+            "4/S".into(),
+            "4/D".into(),
+        ],
+        &widths,
+    );
+    print_sep(&widths);
+
+    let mut cells = vec!["P_k".to_string()];
+    for env in 1..=4u32 {
+        for &walkers in &[0usize, 5] {
+            let mut successes = 0usize;
+            let mut total = 0usize;
+            for v in 0..6u32 {
+                let config = SessionConfig {
+                    environment_id: env,
+                    walkers,
+                    volunteer: VolunteerId(v),
+                    ..experiment_config()
+                };
+                let mut session = Session::new(
+                    config,
+                    models.clone(),
+                    u64::from(env) * 1000 + u64::from(v) + walkers as u64 * 77,
+                );
+                for _ in 0..per_volunteer {
+                    total += 1;
+                    if session.establish_key_fast().is_ok() {
+                        successes += 1;
+                    }
+                }
+            }
+            cells.push(format!("{:.1}", 100.0 * successes as f64 / total as f64));
+        }
+    }
+    print_row(&cells, &widths);
+    println!("\npaper reference row: 99.7 99.0 | 100 98.6 | 99.7 99.0 | 99.3 99.0");
+}

@@ -1,0 +1,101 @@
+//! Reproduces **Table II**: key-establishment success rates vs the
+//! user's distance (1–9 m at 0° azimuth) and azimuth (−60°…60° at 5 m),
+//! each under static and dynamic conditions.
+//!
+//! Paper protocol: one volunteer, 200 gestures per configuration per
+//! condition.
+//!
+//! ```text
+//! cargo run --release -p wavekey-bench --bin table2_position [gestures_per_cell]
+//! ```
+
+use wavekey_bench::{experiment_config, print_row, print_sep, trained_models, Scale};
+use wavekey_core::session::{Session, SessionConfig};
+use wavekey_rfid::environment::UserPlacement;
+
+fn success_rate(
+    models: &wavekey_core::WaveKeyModels,
+    placement: UserPlacement,
+    walkers: usize,
+    gestures: usize,
+    seed: u64,
+) -> f64 {
+    let config = SessionConfig { placement, walkers, ..experiment_config() };
+    let mut session = Session::new(config, models.clone(), seed);
+    let mut successes = 0usize;
+    for _ in 0..gestures {
+        if session.establish_key_fast().is_ok() {
+            successes += 1;
+        }
+    }
+    100.0 * successes as f64 / gestures as f64
+}
+
+fn main() {
+    let gestures: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let models = trained_models(Scale::Small);
+
+    println!("\nTable II: key-establishment success rates (%) vs device placement");
+    println!("(eta = {:.4})", experiment_config().wavekey.eta());
+    println!("({gestures} gestures per cell)\n");
+
+    let widths = [18usize, 8, 8, 8, 8, 8];
+
+    // Distance sweep at 0° azimuth.
+    print_row(
+        &["Distance (m)".into(), "1".into(), "3".into(), "5".into(), "7".into(), "9".into()],
+        &widths,
+    );
+    print_sep(&widths);
+    for (label, walkers) in [("Static", 0usize), ("Dynamic", 5)] {
+        let mut cells = vec![label.to_string()];
+        for (i, &d) in [1.0f64, 3.0, 5.0, 7.0, 9.0].iter().enumerate() {
+            cells.push(format!(
+                "{:.1}",
+                success_rate(
+                    &models,
+                    UserPlacement { distance: d, azimuth_deg: 0.0 },
+                    walkers,
+                    gestures,
+                    7000 + i as u64 + walkers as u64 * 31,
+                )
+            ));
+        }
+        print_row(&cells, &widths);
+    }
+    println!("paper: static 99.5 100 99.5 100 99.5 | dynamic 99.5 99.5 99 99 99\n");
+
+    // Azimuth sweep at 5 m.
+    print_row(
+        &[
+            "Angle (deg)".into(),
+            "-60".into(),
+            "-30".into(),
+            "0".into(),
+            "30".into(),
+            "60".into(),
+        ],
+        &widths,
+    );
+    print_sep(&widths);
+    for (label, walkers) in [("Static", 0usize), ("Dynamic", 5)] {
+        let mut cells = vec![label.to_string()];
+        for (i, &az) in [-60.0f64, -30.0, 0.0, 30.0, 60.0].iter().enumerate() {
+            cells.push(format!(
+                "{:.1}",
+                success_rate(
+                    &models,
+                    UserPlacement { distance: 5.0, azimuth_deg: az },
+                    walkers,
+                    gestures,
+                    8000 + i as u64 + walkers as u64 * 31,
+                )
+            ));
+        }
+        print_row(&cells, &widths);
+    }
+    println!("paper: static 100 100 99.5 100 99.5 | dynamic 99.5 99 99 98.5 99");
+}

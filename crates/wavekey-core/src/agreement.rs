@@ -1,0 +1,834 @@
+//! The bidirectional-OT key agreement of §IV-D / Fig. 4.
+//!
+//! Both parties hold similar-but-not-identical key-seeds (`S_M`, `S_R`,
+//! `l_s` bits each). Each generates `l_s` pairs of random `l_b`-bit
+//! sequences and obliviously transfers one sequence per pair to the other
+//! side, the *selection* being driven by the other side's key-seed bits.
+//! Concatenating own-selected and received sequences gives preliminary
+//! keys `K_M`, `K_R` whose mismatch ratio is bounded by the seeds'
+//! mismatch ratio. A code-offset challenge (`ECC(K_M) ‖ N`) lets the
+//! server snap `K_R` onto `K_M` exactly, and an HMAC over the nonce
+//! confirms agreement.
+//!
+//! All three OT rounds are batched into one message per round per
+//! direction (`M_A`, `M_B`, `M_E`), and the two deadline-critical
+//! messages (`M_{A,R}` at the mobile, `M_{B,M}` at the server) must
+//! arrive within `2 + τ` seconds of the gesture start — the time fence
+//! that locks out remote-video key-recovery attacks (§VI-C-3).
+//!
+//! Timing is modeled logically: real computation times are measured with
+//! [`std::time::Instant`] and advanced along per-party clocks that start
+//! at the end of the two-second gesture window; the channel adds a
+//! configurable latency which the adversary may inflate.
+
+use crate::bits::{deinterleave, hamming_distance, interleave, pack_bits, unpack_bits};
+use crate::channel::{Adversary, AdversaryAction, Direction, MessageKind};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use wavekey_crypto::ecc::{Bch, CodeOffset};
+use wavekey_crypto::group::DhGroup;
+use wavekey_crypto::hmac::{hmac_sha256, mac_eq};
+use wavekey_crypto::ot::{OtMessageA, OtMessageB, OtMessageE, OtReceiver, OtSender};
+
+/// Configuration of one key-agreement run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgreementConfig {
+    /// Desired key length `l_k` in bits.
+    pub key_len_bits: usize,
+    /// BCH errors-per-block (`η = t/127`).
+    pub bch_t: usize,
+    /// Deadline slack `τ` (seconds) for `M_{A,R}` and `M_{B,M}`.
+    pub tau: f64,
+    /// The data-acquisition window (the paper's 2 s); protocol clocks
+    /// start here.
+    pub gesture_window: f64,
+    /// Nominal one-way channel latency (seconds); short-range WiFi /
+    /// Bluetooth is ~1 ms.
+    pub channel_delay: f64,
+    /// Use the tiny 61-bit test group instead of MODP-1024. Test-only:
+    /// provides no security.
+    pub use_tiny_group: bool,
+    /// Post-reconciliation privacy amplification: derive the delivered
+    /// key as `HKDF(salt = nonce, ikm = K)` instead of using `K`
+    /// directly. The code-offset challenge publicly leaks the ECC parity
+    /// structure of `K`; the KDF makes the delivered key computationally
+    /// independent of that leakage. Off by default — the paper uses `K`
+    /// directly.
+    pub privacy_amplification: bool,
+}
+
+impl Default for AgreementConfig {
+    fn default() -> Self {
+        AgreementConfig {
+            key_len_bits: 256,
+            bch_t: 5,
+            tau: 0.12,
+            gesture_window: 2.0,
+            channel_delay: 0.001,
+            use_tiny_group: false,
+            privacy_amplification: false,
+        }
+    }
+}
+
+/// Successful agreement result plus diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgreementOutcome {
+    /// The established key (packed bits, `key_len_bits` long).
+    pub key: Vec<u8>,
+    /// The key as bits.
+    pub key_bits: Vec<bool>,
+    /// Seconds the mobile device spent computing.
+    pub mobile_compute: f64,
+    /// Seconds the server spent computing.
+    pub server_compute: f64,
+    /// Logical end-to-end latency including the 2 s gesture.
+    pub elapsed: f64,
+    /// Diagnostic: bits by which `K_M` and `K_R` disagreed before
+    /// reconciliation.
+    pub preliminary_mismatch_bits: usize,
+    /// Preparation time of the mobile's `M_A` (the τ study, §VI-C-3).
+    pub ma_prep: f64,
+    /// Preparation time of the mobile's `M_B`.
+    pub mb_prep: f64,
+}
+
+/// Key-agreement failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgreementError {
+    /// Seed lengths differ or are empty.
+    BadSeeds,
+    /// A deadline-critical message arrived after `2 + τ`.
+    Timeout(MessageKind),
+    /// The adversary dropped a message.
+    Dropped(MessageKind),
+    /// An OT message failed to parse or batch sizes disagreed.
+    Ot(String),
+    /// The server could not reconcile its preliminary key (seed mismatch
+    /// beyond the ECC radius, or a corrupted challenge).
+    ReconciliationFailed,
+    /// The final HMAC did not verify.
+    ConfirmationFailed,
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl std::fmt::Display for AgreementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgreementError::BadSeeds => write!(f, "key seeds missing or mismatched lengths"),
+            AgreementError::Timeout(k) => write!(f, "deadline exceeded for {k:?}"),
+            AgreementError::Dropped(k) => write!(f, "message {k:?} dropped"),
+            AgreementError::Ot(e) => write!(f, "ot failure: {e}"),
+            AgreementError::ReconciliationFailed => write!(f, "key reconciliation failed"),
+            AgreementError::ConfirmationFailed => write!(f, "key confirmation failed"),
+            AgreementError::Config(msg) => write!(f, "bad agreement config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AgreementError {}
+
+/// ECC block length used by the reconciliation (BCH over GF(2⁷)).
+const ECC_BLOCK: usize = 127;
+/// Nonce length in the challenge (bytes).
+const NONCE_LEN: usize = 16;
+
+/// Runs the full key agreement between two seeds.
+///
+/// `adversary` intercepts every transmission (see [`crate::channel`]).
+///
+/// # Errors
+///
+/// See [`AgreementError`] for the failure taxonomy; benign runs with
+/// seed mismatch within the ECC radius always succeed.
+pub fn run_agreement(
+    s_m: &[bool],
+    s_r: &[bool],
+    config: &AgreementConfig,
+    rng_mobile: &mut StdRng,
+    rng_server: &mut StdRng,
+    adversary: &mut dyn Adversary,
+) -> Result<AgreementOutcome, AgreementError> {
+    if s_m.is_empty() || s_m.len() != s_r.len() {
+        return Err(AgreementError::BadSeeds);
+    }
+    if config.key_len_bits == 0 {
+        return Err(AgreementError::Config("zero key length".into()));
+    }
+    let group = if config.use_tiny_group {
+        DhGroup::tiny_test_group()
+    } else {
+        DhGroup::modp_1024()
+    };
+    let l_s = s_m.len();
+    let l_b = config.key_len_bits.div_ceil(2 * l_s);
+    let deadline = config.gesture_window + config.tau;
+
+    // Per-party logical clocks, starting when the gesture window closes.
+    let mut mobile_clock = config.gesture_window;
+    let mut server_clock = config.gesture_window;
+    let mut mobile_compute = 0.0f64;
+    let mut server_compute = 0.0f64;
+
+    // --- Sequence-pair generation + M_A (both directions) ---------------
+    let t = Instant::now();
+    let x_pairs = random_pairs(l_s, l_b, rng_mobile);
+    let (mobile_sender, ma_m) =
+        OtSender::start(&group, payload_pairs(&x_pairs), rng_mobile);
+    let ma_prep = t.elapsed().as_secs_f64();
+    mobile_clock += ma_prep;
+    mobile_compute += ma_prep;
+
+    let t = Instant::now();
+    let y_pairs = random_pairs(l_s, l_b, rng_server);
+    let (server_sender, ma_r) =
+        OtSender::start(&group, payload_pairs(&y_pairs), rng_server);
+    let d = t.elapsed().as_secs_f64();
+    server_clock += d;
+    server_compute += d;
+
+    // Transmit M_A both ways.
+    let (ma_m_bytes, ma_m_arrival) = transmit(
+        adversary,
+        Direction::MobileToServer,
+        MessageKind::OtA,
+        ma_m.encode(&group),
+        mobile_clock,
+        config.channel_delay,
+    )?;
+    let (ma_r_bytes, ma_r_arrival) = transmit(
+        adversary,
+        Direction::ServerToMobile,
+        MessageKind::OtA,
+        ma_r.encode(&group),
+        server_clock,
+        config.channel_delay,
+    )?;
+    // §IV-D: the mobile must receive M_{A,R} by 2 + τ.
+    if ma_r_arrival > deadline {
+        return Err(AgreementError::Timeout(MessageKind::OtA));
+    }
+    mobile_clock = mobile_clock.max(ma_r_arrival);
+    server_clock = server_clock.max(ma_m_arrival);
+
+    let ma_r_parsed = OtMessageA::decode(&group, &ma_r_bytes)
+        .map_err(|e| AgreementError::Ot(e.to_string()))?;
+    let ma_m_parsed = OtMessageA::decode(&group, &ma_m_bytes)
+        .map_err(|e| AgreementError::Ot(e.to_string()))?;
+
+    // --- M_B (both directions) ------------------------------------------
+    let t = Instant::now();
+    let (mobile_receiver, mb_m) = OtReceiver::respond(&group, s_m, &ma_r_parsed, rng_mobile)
+        .map_err(|e| AgreementError::Ot(e.to_string()))?;
+    let mb_prep = t.elapsed().as_secs_f64();
+    mobile_clock += mb_prep;
+    mobile_compute += mb_prep;
+
+    let t = Instant::now();
+    let (server_receiver, mb_r) = OtReceiver::respond(&group, s_r, &ma_m_parsed, rng_server)
+        .map_err(|e| AgreementError::Ot(e.to_string()))?;
+    let d = t.elapsed().as_secs_f64();
+    server_clock += d;
+    server_compute += d;
+
+    let (mb_m_bytes, mb_m_arrival) = transmit(
+        adversary,
+        Direction::MobileToServer,
+        MessageKind::OtB,
+        mb_m.encode(&group),
+        mobile_clock,
+        config.channel_delay,
+    )?;
+    let (mb_r_bytes, mb_r_arrival) = transmit(
+        adversary,
+        Direction::ServerToMobile,
+        MessageKind::OtB,
+        mb_r.encode(&group),
+        server_clock,
+        config.channel_delay,
+    )?;
+    // §IV-D: the server must receive M_{B,M} by 2 + τ.
+    if mb_m_arrival > deadline {
+        return Err(AgreementError::Timeout(MessageKind::OtB));
+    }
+    server_clock = server_clock.max(mb_m_arrival);
+    mobile_clock = mobile_clock.max(mb_r_arrival);
+
+    let mb_r_parsed = OtMessageB::decode(&group, &mb_r_bytes)
+        .map_err(|e| AgreementError::Ot(e.to_string()))?;
+    let mb_m_parsed = OtMessageB::decode(&group, &mb_m_bytes)
+        .map_err(|e| AgreementError::Ot(e.to_string()))?;
+
+    // --- M_E (both directions) ------------------------------------------
+    let t = Instant::now();
+    let me_m = mobile_sender
+        .encrypt(&mb_r_parsed)
+        .map_err(|e| AgreementError::Ot(e.to_string()))?;
+    let d = t.elapsed().as_secs_f64();
+    mobile_clock += d;
+    mobile_compute += d;
+
+    let t = Instant::now();
+    let me_r = server_sender
+        .encrypt(&mb_m_parsed)
+        .map_err(|e| AgreementError::Ot(e.to_string()))?;
+    let d = t.elapsed().as_secs_f64();
+    server_clock += d;
+    server_compute += d;
+
+    let (me_m_bytes, me_m_arrival) = transmit(
+        adversary,
+        Direction::MobileToServer,
+        MessageKind::OtE,
+        me_m.encode(),
+        mobile_clock,
+        config.channel_delay,
+    )?;
+    let (me_r_bytes, me_r_arrival) = transmit(
+        adversary,
+        Direction::ServerToMobile,
+        MessageKind::OtE,
+        me_r.encode(),
+        server_clock,
+        config.channel_delay,
+    )?;
+    mobile_clock = mobile_clock.max(me_r_arrival);
+    server_clock = server_clock.max(me_m_arrival);
+
+    let me_r_parsed =
+        OtMessageE::decode(&me_r_bytes).map_err(|e| AgreementError::Ot(e.to_string()))?;
+    let me_m_parsed =
+        OtMessageE::decode(&me_m_bytes).map_err(|e| AgreementError::Ot(e.to_string()))?;
+
+    // --- Preliminary keys -------------------------------------------------
+    let t = Instant::now();
+    let y_received = mobile_receiver
+        .decrypt(&me_r_parsed)
+        .map_err(|e| AgreementError::Ot(e.to_string()))?;
+    // K_M = x₁^{sm₁} ‖ y₁^{sm₁} ‖ … (own pair selected by own seed, plus
+    // the sequence obliviously received — also selected by own seed).
+    let mut k_m: Vec<bool> = Vec::with_capacity(2 * l_s * l_b);
+    for i in 0..l_s {
+        let own = if s_m[i] { &x_pairs[i].1 } else { &x_pairs[i].0 };
+        k_m.extend_from_slice(own);
+        k_m.extend(unpack_bits(&y_received[i], l_b));
+    }
+    let d = t.elapsed().as_secs_f64();
+    mobile_clock += d;
+    mobile_compute += d;
+
+    let t = Instant::now();
+    let x_received = server_receiver
+        .decrypt(&me_m_parsed)
+        .map_err(|e| AgreementError::Ot(e.to_string()))?;
+    let mut k_r: Vec<bool> = Vec::with_capacity(2 * l_s * l_b);
+    for i in 0..l_s {
+        k_r.extend(unpack_bits(&x_received[i], l_b));
+        let own = if s_r[i] { &y_pairs[i].1 } else { &y_pairs[i].0 };
+        k_r.extend_from_slice(own);
+    }
+    let d = t.elapsed().as_secs_f64();
+    server_clock += d;
+    server_compute += d;
+
+    let preliminary_mismatch_bits = hamming_distance(&k_m, &k_r);
+
+    // --- Reconciliation: Challenge = ECC(K_M) ‖ N ------------------------
+    let k_len = 2 * l_s * l_b;
+    let blocks = k_len.div_ceil(ECC_BLOCK);
+    let bch = Bch::new(config.bch_t).map_err(|e| AgreementError::Config(e.to_string()))?;
+    let co = CodeOffset::new(bch);
+
+    let t = Instant::now();
+    let k_m_inter = interleave(&k_m, blocks, ECC_BLOCK);
+    let helper = co.commit(&k_m_inter, rng_mobile);
+    let nonce: [u8; NONCE_LEN] = {
+        let mut n = [0u8; NONCE_LEN];
+        rng_mobile.fill(&mut n);
+        n
+    };
+    let mut challenge = pack_bits(&helper);
+    challenge.extend_from_slice(&nonce);
+    let d = t.elapsed().as_secs_f64();
+    mobile_clock += d;
+    mobile_compute += d;
+
+    let (challenge_bytes, challenge_arrival) = transmit(
+        adversary,
+        Direction::MobileToServer,
+        MessageKind::Challenge,
+        challenge,
+        mobile_clock,
+        config.channel_delay,
+    )?;
+    server_clock = server_clock.max(challenge_arrival);
+
+    // Server: split challenge, reconcile, confirm.
+    let helper_bytes_len = (blocks * ECC_BLOCK).div_ceil(8);
+    if challenge_bytes.len() != helper_bytes_len + NONCE_LEN {
+        return Err(AgreementError::ReconciliationFailed);
+    }
+    let t = Instant::now();
+    let helper_rx = unpack_bits(&challenge_bytes[..helper_bytes_len], blocks * ECC_BLOCK);
+    let nonce_rx = &challenge_bytes[helper_bytes_len..];
+    let k_r_inter = interleave(&k_r, blocks, ECC_BLOCK);
+    let Some(recovered_inter) = co.reconcile(&k_r_inter, &helper_rx, blocks * ECC_BLOCK) else {
+        return Err(AgreementError::ReconciliationFailed);
+    };
+    let k_server = deinterleave(&recovered_inter, blocks, ECC_BLOCK, k_len);
+    let server_key = finalize_key(&k_server, config, nonce_rx);
+    let response = hmac_sha256(&server_key, nonce_rx).to_vec();
+    let d = t.elapsed().as_secs_f64();
+    server_clock += d;
+    server_compute += d;
+
+    let (response_bytes, response_arrival) = transmit(
+        adversary,
+        Direction::ServerToMobile,
+        MessageKind::Response,
+        response,
+        server_clock,
+        config.channel_delay,
+    )?;
+    mobile_clock = mobile_clock.max(response_arrival);
+
+    // Mobile: verify the confirmation against its own key.
+    let t = Instant::now();
+    let key = finalize_key(&k_m, config, &nonce);
+    let key_bits = crate::bits::unpack_bits(&key, config.key_len_bits);
+    let expected = hmac_sha256(&key, &nonce);
+    let ok = mac_eq(&expected, &response_bytes);
+    let d = t.elapsed().as_secs_f64();
+    mobile_clock += d;
+    mobile_compute += d;
+    if !ok {
+        return Err(AgreementError::ConfirmationFailed);
+    }
+
+    Ok(AgreementOutcome {
+        key,
+        key_bits,
+        mobile_compute,
+        server_compute,
+        elapsed: mobile_clock.max(server_clock),
+        preliminary_mismatch_bits,
+        ma_prep,
+        mb_prep,
+    })
+}
+
+/// Runs only the *information layer* of the agreement — sequence-pair
+/// generation, seed-driven selection, code-offset reconciliation, and
+/// HMAC confirmation — skipping the OT group arithmetic.
+///
+/// On a benign channel the OT layer transports the selected sequences
+/// with perfect fidelity (its correctness is covered by the
+/// `wavekey-crypto` tests), so success/failure and the key distribution
+/// are byte-for-byte governed by this layer alone. The large-scale
+/// success-rate experiments (Tables I/II, the device study) use this
+/// path; latency experiments use the full [`run_agreement`].
+///
+/// # Errors
+///
+/// Same failure taxonomy as [`run_agreement`] minus the channel errors.
+pub fn run_agreement_information_layer(
+    s_m: &[bool],
+    s_r: &[bool],
+    config: &AgreementConfig,
+    rng_mobile: &mut StdRng,
+    rng_server: &mut StdRng,
+) -> Result<AgreementOutcome, AgreementError> {
+    if s_m.is_empty() || s_m.len() != s_r.len() {
+        return Err(AgreementError::BadSeeds);
+    }
+    if config.key_len_bits == 0 {
+        return Err(AgreementError::Config("zero key length".into()));
+    }
+    let l_s = s_m.len();
+    let l_b = config.key_len_bits.div_ceil(2 * l_s);
+    let x_pairs = random_pairs(l_s, l_b, rng_mobile);
+    let y_pairs = random_pairs(l_s, l_b, rng_server);
+
+    let mut k_m: Vec<bool> = Vec::with_capacity(2 * l_s * l_b);
+    let mut k_r: Vec<bool> = Vec::with_capacity(2 * l_s * l_b);
+    for i in 0..l_s {
+        // Mobile: own x selected by S_M, received y (OT-selected by S_M).
+        k_m.extend_from_slice(if s_m[i] { &x_pairs[i].1 } else { &x_pairs[i].0 });
+        k_m.extend_from_slice(if s_m[i] { &y_pairs[i].1 } else { &y_pairs[i].0 });
+        // Server: received x (OT-selected by S_R), own y selected by S_R.
+        k_r.extend_from_slice(if s_r[i] { &x_pairs[i].1 } else { &x_pairs[i].0 });
+        k_r.extend_from_slice(if s_r[i] { &y_pairs[i].1 } else { &y_pairs[i].0 });
+    }
+    let preliminary_mismatch_bits = hamming_distance(&k_m, &k_r);
+
+    let k_len = 2 * l_s * l_b;
+    let blocks = k_len.div_ceil(ECC_BLOCK);
+    let bch = Bch::new(config.bch_t).map_err(|e| AgreementError::Config(e.to_string()))?;
+    let co = CodeOffset::new(bch);
+    let k_m_inter = interleave(&k_m, blocks, ECC_BLOCK);
+    let helper = co.commit(&k_m_inter, rng_mobile);
+    let nonce: [u8; NONCE_LEN] = {
+        let mut n = [0u8; NONCE_LEN];
+        rng_mobile.fill(&mut n);
+        n
+    };
+
+    let k_r_inter = interleave(&k_r, blocks, ECC_BLOCK);
+    let Some(recovered_inter) = co.reconcile(&k_r_inter, &helper, blocks * ECC_BLOCK) else {
+        return Err(AgreementError::ReconciliationFailed);
+    };
+    let k_server = deinterleave(&recovered_inter, blocks, ECC_BLOCK, k_len);
+    let server_key = finalize_key(&k_server, config, &nonce);
+    let response = hmac_sha256(&server_key, &nonce);
+
+    let key = finalize_key(&k_m, config, &nonce);
+    let key_bits = crate::bits::unpack_bits(&key, config.key_len_bits);
+    if !mac_eq(&hmac_sha256(&key, &nonce), &response) {
+        return Err(AgreementError::ConfirmationFailed);
+    }
+    Ok(AgreementOutcome {
+        key,
+        key_bits,
+        mobile_compute: 0.0,
+        server_compute: 0.0,
+        elapsed: config.gesture_window,
+        preliminary_mismatch_bits,
+        ma_prep: 0.0,
+        mb_prep: 0.0,
+    })
+}
+
+/// Produces the delivered key bytes from the reconciled preliminary key:
+/// a plain truncation to `l_k` bits (the paper's construction) or, with
+/// privacy amplification enabled, `HKDF(salt = nonce, ikm = K)` over the
+/// *entire* preliminary key.
+fn finalize_key(k: &[bool], config: &AgreementConfig, nonce: &[u8]) -> Vec<u8> {
+    if config.privacy_amplification {
+        wavekey_crypto::kdf::hkdf(
+            nonce,
+            &pack_bits(k),
+            b"wavekey-privacy-amplification-v1",
+            config.key_len_bits.div_ceil(8),
+        )
+    } else {
+        pack_bits(&k[..config.key_len_bits.min(k.len())])
+    }
+}
+
+/// `l_s` pairs of fresh random `l_b`-bit sequences.
+fn random_pairs(l_s: usize, l_b: usize, rng: &mut StdRng) -> Vec<(Vec<bool>, Vec<bool>)> {
+    (0..l_s)
+        .map(|_| {
+            let a: Vec<bool> = (0..l_b).map(|_| rng.gen()).collect();
+            let b: Vec<bool> = (0..l_b).map(|_| rng.gen()).collect();
+            (a, b)
+        })
+        .collect()
+}
+
+/// Packs bit-sequence pairs into OT payload byte pairs.
+fn payload_pairs(pairs: &[(Vec<bool>, Vec<bool>)]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    pairs.iter().map(|(a, b)| (pack_bits(a), pack_bits(b))).collect()
+}
+
+/// Passes a message through the adversary and the channel; returns the
+/// (possibly modified) payload and its arrival time.
+fn transmit(
+    adversary: &mut dyn Adversary,
+    direction: Direction,
+    kind: MessageKind,
+    mut payload: Vec<u8>,
+    send_time: f64,
+    nominal_delay: f64,
+) -> Result<(Vec<u8>, f64), AgreementError> {
+    let mut extra = 0.0f64;
+    match adversary.intercept(direction, kind, &mut payload, &mut extra) {
+        AdversaryAction::Forward => Ok((payload, send_time + nominal_delay + extra)),
+        AdversaryAction::Drop => Err(AgreementError::Dropped(kind)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{BitFlipMitm, Delayer, Dropper, Eavesdropper, PassiveChannel};
+    use rand::SeedableRng;
+
+    fn test_config() -> AgreementConfig {
+        AgreementConfig {
+            use_tiny_group: true,
+            // Generous deadline: debug-build compute times are irrelevant
+            // to protocol correctness.
+            tau: 10.0,
+            // Pin the paper's nominal η = 5/127 so the mismatch thresholds
+            // asserted below stay meaningful if the deployed default moves.
+            bch_t: 5,
+            ..Default::default()
+        }
+    }
+
+    fn random_seed(len: usize, rng: &mut StdRng) -> Vec<bool> {
+        (0..len).map(|_| rng.gen()).collect()
+    }
+
+    fn flip_bits(seed: &[bool], n: usize) -> Vec<bool> {
+        let mut out = seed.to_vec();
+        for i in 0..n {
+            let idx = (i * 17 + 3) % out.len();
+            out[idx] = !out[idx];
+        }
+        out
+    }
+
+    fn run(
+        s_m: &[bool],
+        s_r: &[bool],
+        config: &AgreementConfig,
+        adversary: &mut dyn Adversary,
+    ) -> Result<AgreementOutcome, AgreementError> {
+        let mut rm = StdRng::seed_from_u64(1);
+        let mut rs = StdRng::seed_from_u64(2);
+        run_agreement(s_m, s_r, config, &mut rm, &mut rs, adversary)
+    }
+
+    #[test]
+    fn identical_seeds_agree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = random_seed(48, &mut rng);
+        let out = run(&s, &s, &test_config(), &mut PassiveChannel).unwrap();
+        assert_eq!(out.key_bits.len(), 256);
+        assert_eq!(out.key.len(), 32);
+        assert_eq!(out.preliminary_mismatch_bits, 0);
+    }
+
+    #[test]
+    fn seeds_with_small_mismatch_agree() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s_m = random_seed(48, &mut rng);
+        let s_r = flip_bits(&s_m, 2); // within η·l_s ≈ 1.9… borderline ok
+        let out = run(&s_m, &s_r, &test_config(), &mut PassiveChannel).unwrap();
+        assert!(out.preliminary_mismatch_bits > 0);
+        assert_eq!(out.key_bits.len(), 256);
+    }
+
+    #[test]
+    fn seeds_with_large_mismatch_fail() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s_m = random_seed(48, &mut rng);
+        let s_r = flip_bits(&s_m, 24);
+        let err = run(&s_m, &s_r, &test_config(), &mut PassiveChannel).unwrap_err();
+        assert!(
+            matches!(err, AgreementError::ReconciliationFailed | AgreementError::ConfirmationFailed),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn both_sides_derive_same_key() {
+        // The HMAC verification *is* the equality proof: a passing run
+        // means the server reconciled to the mobile's key. Also check the
+        // diagnostic is consistent.
+        let mut rng = StdRng::seed_from_u64(6);
+        let s_m = random_seed(48, &mut rng);
+        let s_r = flip_bits(&s_m, 1);
+        let out = run(&s_m, &s_r, &test_config(), &mut PassiveChannel).unwrap();
+        // One seed-bit mismatch corrupts at most 2·l_b = 6 key bits.
+        assert!(out.preliminary_mismatch_bits <= 6);
+    }
+
+    #[test]
+    fn key_lengths_scale() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = random_seed(48, &mut rng);
+        for lk in [128usize, 168, 192, 256, 2048] {
+            let config = AgreementConfig { key_len_bits: lk, ..test_config() };
+            let out = run(&s, &s, &config, &mut PassiveChannel).unwrap();
+            assert_eq!(out.key_bits.len(), lk, "l_k = {lk}");
+        }
+    }
+
+    #[test]
+    fn eavesdropper_sees_everything_but_run_succeeds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = random_seed(48, &mut rng);
+        let mut eve = Eavesdropper::default();
+        let out = run(&s, &s, &test_config(), &mut eve).unwrap();
+        assert_eq!(out.key_bits.len(), 256);
+        // 8 transmissions: 2×(M_A, M_B, M_E) + Challenge + Response.
+        assert_eq!(eve.transcript.len(), 8);
+        // The transcript must not contain the key bytes verbatim.
+        for (_, _, payload) in &eve.transcript {
+            assert!(
+                !payload.windows(out.key.len()).any(|w| w == out.key.as_slice()),
+                "key leaked verbatim on the wire"
+            );
+        }
+    }
+
+    #[test]
+    fn mitm_on_ot_b_breaks_agreement() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = random_seed(48, &mut rng);
+        // Corrupt every tiny-group element (8 bytes each) of M_B.
+        let mut mitm = BitFlipMitm::pervasive(MessageKind::OtB, 8);
+        let err = run(&s, &s, &test_config(), &mut mitm).unwrap_err();
+        assert!(
+            matches!(err, AgreementError::ReconciliationFailed | AgreementError::ConfirmationFailed),
+            "{err:?}"
+        );
+        assert!(mitm.corrupted > 0);
+    }
+
+    #[test]
+    fn single_instance_mitm_is_absorbed_without_gain() {
+        // Flipping one element corrupts one OT instance; the ECC repairs
+        // the damage and the key is still the mobile's K_M — the attacker
+        // changed nothing and learned nothing.
+        let mut rng = StdRng::seed_from_u64(90);
+        let s = random_seed(48, &mut rng);
+        let mut mitm = BitFlipMitm::new(MessageKind::OtB, 0);
+        let out = run(&s, &s, &test_config(), &mut mitm).unwrap();
+        assert!(out.preliminary_mismatch_bits > 0, "corruption should perturb K_R");
+        assert_eq!(out.key_bits.len(), 256);
+    }
+
+    #[test]
+    fn mitm_on_challenge_fails_confirmation() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let s = random_seed(48, &mut rng);
+        let mut mitm = BitFlipMitm::new(MessageKind::Challenge, 0);
+        let err = run(&s, &s, &test_config(), &mut mitm).unwrap_err();
+        assert!(
+            matches!(err, AgreementError::ReconciliationFailed | AgreementError::ConfirmationFailed),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn delayed_ota_times_out() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = random_seed(48, &mut rng);
+        let config = AgreementConfig { tau: 0.5, ..test_config() };
+        let mut delayer = Delayer { target: Some(MessageKind::OtA), extra: 1.0 };
+        let err = run(&s, &s, &config, &mut delayer).unwrap_err();
+        assert_eq!(err, AgreementError::Timeout(MessageKind::OtA));
+    }
+
+    #[test]
+    fn dropped_message_fails() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let s = random_seed(48, &mut rng);
+        let mut dropper = Dropper { target: MessageKind::OtE };
+        let err = run(&s, &s, &test_config(), &mut dropper).unwrap_err();
+        assert_eq!(err, AgreementError::Dropped(MessageKind::OtE));
+    }
+
+    #[test]
+    fn rejects_bad_seeds() {
+        let err = run(&[], &[], &test_config(), &mut PassiveChannel).unwrap_err();
+        assert_eq!(err, AgreementError::BadSeeds);
+        let err = run(&[true; 10], &[true; 9], &test_config(), &mut PassiveChannel).unwrap_err();
+        assert_eq!(err, AgreementError::BadSeeds);
+    }
+
+    #[test]
+    fn information_layer_matches_full_protocol_verdicts() {
+        // For a spread of seed mismatches, the fast path and the full
+        // OT protocol must agree on success/failure.
+        let mut rng = StdRng::seed_from_u64(40);
+        for flips in [0usize, 1, 2, 4, 8, 16, 32] {
+            let s_m = random_seed(48, &mut rng);
+            let s_r = flip_bits(&s_m, flips);
+            let full = run(&s_m, &s_r, &test_config(), &mut PassiveChannel).is_ok();
+            // Repeat the fast path a few times: success depends on random
+            // pair draws near the boundary, so compare majorities.
+            let mut fast_successes = 0;
+            let mut full_successes = 0;
+            for t in 0..5 {
+                let mut rm = StdRng::seed_from_u64(500 + t);
+                let mut rs = StdRng::seed_from_u64(600 + t);
+                if run_agreement_information_layer(&s_m, &s_r, &test_config(), &mut rm, &mut rs)
+                    .is_ok()
+                {
+                    fast_successes += 1;
+                }
+                let mut rm = StdRng::seed_from_u64(500 + t);
+                let mut rs = StdRng::seed_from_u64(600 + t);
+                if run_agreement(
+                    &s_m,
+                    &s_r,
+                    &test_config(),
+                    &mut rm,
+                    &mut rs,
+                    &mut PassiveChannel,
+                )
+                .is_ok()
+                {
+                    full_successes += 1;
+                }
+            }
+            // Extremes must agree exactly.
+            if flips == 0 {
+                assert_eq!(fast_successes, 5);
+                assert!(full);
+            }
+            if flips >= 16 {
+                assert_eq!(fast_successes, 0);
+                assert!(!full);
+            }
+            // And overall the two paths behave alike.
+            assert!(
+                (fast_successes as i32 - full_successes as i32).abs() <= 1,
+                "flips {flips}: fast {fast_successes} vs full {full_successes}"
+            );
+        }
+    }
+
+    #[test]
+    fn information_layer_key_is_well_formed() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let s = random_seed(48, &mut rng);
+        let mut rm = StdRng::seed_from_u64(1);
+        let mut rs = StdRng::seed_from_u64(2);
+        let out =
+            run_agreement_information_layer(&s, &s, &test_config(), &mut rm, &mut rs).unwrap();
+        assert_eq!(out.key_bits.len(), 256);
+        assert_eq!(out.preliminary_mismatch_bits, 0);
+    }
+
+    #[test]
+    fn privacy_amplification_agrees_and_changes_key() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let s = random_seed(48, &mut rng);
+        let plain_cfg = test_config();
+        let pa_cfg = AgreementConfig { privacy_amplification: true, ..test_config() };
+        let out_plain = run(&s, &s, &plain_cfg, &mut PassiveChannel).unwrap();
+        let out_pa = run(&s, &s, &pa_cfg, &mut PassiveChannel).unwrap();
+        assert_eq!(out_pa.key.len(), 32);
+        assert_eq!(out_pa.key_bits.len(), 256);
+        // Same RNG seeds -> same preliminary key; the KDF must change the
+        // delivered bytes.
+        assert_ne!(out_plain.key, out_pa.key);
+    }
+
+    #[test]
+    fn privacy_amplification_fails_cleanly_on_bad_seeds() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let s_m = random_seed(48, &mut rng);
+        let s_r = flip_bits(&s_m, 24);
+        let cfg = AgreementConfig { privacy_amplification: true, ..test_config() };
+        assert!(run(&s_m, &s_r, &cfg, &mut PassiveChannel).is_err());
+    }
+
+    #[test]
+    fn elapsed_includes_gesture_window() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let s = random_seed(48, &mut rng);
+        let out = run(&s, &s, &test_config(), &mut PassiveChannel).unwrap();
+        assert!(out.elapsed >= 2.0);
+        assert!(out.ma_prep >= 0.0 && out.mb_prep >= 0.0);
+    }
+}

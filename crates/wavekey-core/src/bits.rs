@@ -1,0 +1,129 @@
+//! Bit-vector helpers shared by the key-agreement protocol.
+//!
+//! Key-seeds, OT payload sequences, and preliminary keys are all bit
+//! strings; this module provides packing to bytes (MSB-first), mismatch
+//! counting, and the block interleaving that spreads the clustered bit
+//! errors of a wrong OT segment across ECC blocks.
+
+/// Packs bits (MSB-first within each byte) into bytes, zero-padding the
+/// final byte.
+pub fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (7 - i % 8);
+        }
+    }
+    out
+}
+
+/// Unpacks `n` bits from bytes (MSB-first).
+///
+/// # Panics
+///
+/// Panics if `bytes` holds fewer than `n` bits.
+pub fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
+    assert!(bytes.len() * 8 >= n, "not enough bytes for {n} bits");
+    (0..n).map(|i| (bytes[i / 8] >> (7 - i % 8)) & 1 == 1).collect()
+}
+
+/// Number of positions where the two bit strings disagree.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn hamming_distance(a: &[bool], b: &[bool]) -> usize {
+    assert_eq!(a.len(), b.len(), "length mismatch in hamming distance");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Fraction of mismatched bits.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn mismatch_rate(a: &[bool], b: &[bool]) -> f64 {
+    assert!(!a.is_empty(), "mismatch rate of empty strings");
+    hamming_distance(a, b) as f64 / a.len() as f64
+}
+
+/// Block-interleaves `bits` (padded with `false` to `blocks × block_len`):
+/// source position `p` maps to block `p mod blocks`, offset `p / blocks`.
+///
+/// A wrong OT segment corrupts `2·l_b` *consecutive* bits of the
+/// preliminary key; interleaving spreads them evenly over the ECC blocks
+/// so each block stays within its correction radius.
+pub fn interleave(bits: &[bool], blocks: usize, block_len: usize) -> Vec<bool> {
+    assert!(blocks > 0 && block_len > 0, "empty interleaver geometry");
+    let total = blocks * block_len;
+    assert!(bits.len() <= total, "bits do not fit the interleaver");
+    let mut out = vec![false; total];
+    for (p, &b) in bits.iter().enumerate() {
+        out[(p % blocks) * block_len + p / blocks] = b;
+    }
+    out
+}
+
+/// Inverts [`interleave`], returning the first `n` original bits.
+pub fn deinterleave(bits: &[bool], blocks: usize, block_len: usize, n: usize) -> Vec<bool> {
+    assert_eq!(bits.len(), blocks * block_len, "wrong interleaved length");
+    assert!(n <= bits.len(), "cannot recover more bits than stored");
+    (0..n).map(|p| bits[(p % blocks) * block_len + p / blocks]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let bits = vec![true, false, true, true, false, false, false, true, true, false];
+        let bytes = pack_bits(&bits);
+        assert_eq!(bytes.len(), 2);
+        assert_eq!(bytes[0], 0b1011_0001);
+        assert_eq!(unpack_bits(&bytes, 10), bits);
+    }
+
+    #[test]
+    fn pack_empty() {
+        assert!(pack_bits(&[]).is_empty());
+        assert!(unpack_bits(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn hamming_and_rate() {
+        let a = vec![true, true, false, false];
+        let b = vec![true, false, false, true];
+        assert_eq!(hamming_distance(&a, &b), 2);
+        assert_eq!(mismatch_rate(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn interleave_roundtrip() {
+        let bits: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let inter = interleave(&bits, 3, 40);
+        assert_eq!(inter.len(), 120);
+        assert_eq!(deinterleave(&inter, 3, 40, 100), bits);
+    }
+
+    #[test]
+    fn interleave_spreads_bursts() {
+        // A burst of 6 consecutive set bits lands at most ⌈6/3⌉ = 2 per
+        // block after interleaving over 3 blocks.
+        let mut bits = vec![false; 90];
+        for b in bits.iter_mut().skip(30).take(6) {
+            *b = true;
+        }
+        let inter = interleave(&bits, 3, 30);
+        for blk in 0..3 {
+            let count = inter[blk * 30..(blk + 1) * 30].iter().filter(|&&b| b).count();
+            assert!(count <= 2, "block {blk} got {count} burst bits");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn hamming_length_mismatch_panics() {
+        hamming_distance(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,274 @@
+//! The wireless channel between mobile device and RFID server, with
+//! pluggable adversaries.
+//!
+//! The paper's adversary model (§III) gives the attacker full control of
+//! the WiFi/Bluetooth channel: they can observe (eavesdropping), modify
+//! or relay (MitM), delay, or drop every message. The [`Adversary`] trait
+//! is the hook through which the §VI-E security evaluation exercises each
+//! capability.
+
+/// Which way a message is travelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Mobile device → RFID server.
+    MobileToServer,
+    /// RFID server → mobile device.
+    ServerToMobile,
+}
+
+/// The protocol message types of Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// The batched OT first message `M_A`.
+    OtA,
+    /// The batched OT response `M_B`.
+    OtB,
+    /// The batched OT ciphertexts `M_E`.
+    OtE,
+    /// The reconciliation challenge `ECC(K_M) ‖ N`.
+    Challenge,
+    /// The HMAC confirmation.
+    Response,
+}
+
+/// What the adversary does with an intercepted message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryAction {
+    /// Deliver (possibly after modifying payload / adding delay).
+    Forward,
+    /// Swallow the message; the protocol run fails.
+    Drop,
+}
+
+/// A channel-level adversary. The default implementations forward
+/// unmodified; override `intercept` to attack.
+pub trait Adversary {
+    /// Called for every transmission. `payload` and `extra_delay`
+    /// (seconds, added to the nominal channel latency) may be mutated.
+    fn intercept(
+        &mut self,
+        direction: Direction,
+        kind: MessageKind,
+        payload: &mut Vec<u8>,
+        extra_delay: &mut f64,
+    ) -> AdversaryAction;
+}
+
+/// The benign channel: forwards everything untouched.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassiveChannel;
+
+impl Adversary for PassiveChannel {
+    fn intercept(
+        &mut self,
+        _direction: Direction,
+        _kind: MessageKind,
+        _payload: &mut Vec<u8>,
+        _extra_delay: &mut f64,
+    ) -> AdversaryAction {
+        AdversaryAction::Forward
+    }
+}
+
+/// A passive eavesdropper: records a copy of every message (§V-A).
+#[derive(Debug, Clone, Default)]
+pub struct Eavesdropper {
+    /// Everything observed on the channel.
+    pub transcript: Vec<(Direction, MessageKind, Vec<u8>)>,
+}
+
+impl Adversary for Eavesdropper {
+    fn intercept(
+        &mut self,
+        direction: Direction,
+        kind: MessageKind,
+        payload: &mut Vec<u8>,
+        _extra_delay: &mut f64,
+    ) -> AdversaryAction {
+        self.transcript.push((direction, kind, payload.clone()));
+        AdversaryAction::Forward
+    }
+}
+
+/// A bit-flipping man-in-the-middle: XORs bytes of every message of the
+/// targeted kind (§V-C).
+///
+/// A *single* flipped byte corrupts only one OT instance, whose damage
+/// the reconciliation ECC absorbs (the established key is the mobile's
+/// `K_M` either way, so the attacker gains nothing). To actually break a
+/// run, corrupt pervasively with a small `stride`.
+#[derive(Debug, Clone)]
+pub struct BitFlipMitm {
+    /// Which message type to corrupt.
+    pub target: MessageKind,
+    /// Which direction to corrupt (both if `None`).
+    pub direction: Option<Direction>,
+    /// Byte offset of the first flip (wrapped to the payload length).
+    pub offset: usize,
+    /// Flip every `stride`-th byte starting at `offset`; `None` flips a
+    /// single byte.
+    pub stride: Option<usize>,
+    /// Number of messages corrupted so far.
+    pub corrupted: usize,
+}
+
+impl BitFlipMitm {
+    /// Corrupts `target` messages in both directions at byte `offset`.
+    pub fn new(target: MessageKind, offset: usize) -> BitFlipMitm {
+        BitFlipMitm { target, direction: None, offset, stride: None, corrupted: 0 }
+    }
+
+    /// Corrupts every `stride`-th byte of `target` messages — enough
+    /// damage that reconciliation cannot repair it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn pervasive(target: MessageKind, stride: usize) -> BitFlipMitm {
+        assert!(stride > 0, "stride must be positive");
+        BitFlipMitm { target, direction: None, offset: 0, stride: Some(stride), corrupted: 0 }
+    }
+}
+
+impl Adversary for BitFlipMitm {
+    fn intercept(
+        &mut self,
+        direction: Direction,
+        kind: MessageKind,
+        payload: &mut Vec<u8>,
+        _extra_delay: &mut f64,
+    ) -> AdversaryAction {
+        let dir_match = self.direction.map_or(true, |d| d == direction);
+        if kind == self.target && dir_match && !payload.is_empty() {
+            match self.stride {
+                None => {
+                    let idx = self.offset % payload.len();
+                    payload[idx] ^= 0x01;
+                }
+                Some(stride) => {
+                    let mut idx = self.offset % payload.len();
+                    while idx < payload.len() {
+                        payload[idx] ^= 0x01;
+                        idx += stride;
+                    }
+                }
+            }
+            self.corrupted += 1;
+        }
+        AdversaryAction::Forward
+    }
+}
+
+/// Delays targeted messages — models the relay / remote-processing
+/// latency that the `2 + τ` deadline defeats (§VI-C-3).
+#[derive(Debug, Clone)]
+pub struct Delayer {
+    /// Which message type to delay (all if `None`).
+    pub target: Option<MessageKind>,
+    /// Added latency in seconds.
+    pub extra: f64,
+}
+
+impl Adversary for Delayer {
+    fn intercept(
+        &mut self,
+        _direction: Direction,
+        kind: MessageKind,
+        _payload: &mut Vec<u8>,
+        extra_delay: &mut f64,
+    ) -> AdversaryAction {
+        if self.target.map_or(true, |t| t == kind) {
+            *extra_delay += self.extra;
+        }
+        AdversaryAction::Forward
+    }
+}
+
+/// Drops the n-th message of a given kind (jamming).
+#[derive(Debug, Clone)]
+pub struct Dropper {
+    /// Which message type to drop.
+    pub target: MessageKind,
+}
+
+impl Adversary for Dropper {
+    fn intercept(
+        &mut self,
+        _direction: Direction,
+        kind: MessageKind,
+        _payload: &mut Vec<u8>,
+        _extra_delay: &mut f64,
+    ) -> AdversaryAction {
+        if kind == self.target {
+            AdversaryAction::Drop
+        } else {
+            AdversaryAction::Forward
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_forwards_untouched() {
+        let mut ch = PassiveChannel;
+        let mut payload = vec![1, 2, 3];
+        let mut delay = 0.0;
+        let action = ch.intercept(
+            Direction::MobileToServer,
+            MessageKind::OtA,
+            &mut payload,
+            &mut delay,
+        );
+        assert_eq!(action, AdversaryAction::Forward);
+        assert_eq!(payload, vec![1, 2, 3]);
+        assert_eq!(delay, 0.0);
+    }
+
+    #[test]
+    fn eavesdropper_records_but_forwards() {
+        let mut eve = Eavesdropper::default();
+        let mut payload = vec![9, 9];
+        let mut delay = 0.0;
+        eve.intercept(Direction::ServerToMobile, MessageKind::OtE, &mut payload, &mut delay);
+        assert_eq!(payload, vec![9, 9]);
+        assert_eq!(eve.transcript.len(), 1);
+        assert_eq!(eve.transcript[0].2, vec![9, 9]);
+    }
+
+    #[test]
+    fn mitm_flips_targeted_kind_only() {
+        let mut mitm = BitFlipMitm::new(MessageKind::OtB, 0);
+        let mut payload = vec![0xF0];
+        let mut delay = 0.0;
+        mitm.intercept(Direction::MobileToServer, MessageKind::OtA, &mut payload, &mut delay);
+        assert_eq!(payload, vec![0xF0]);
+        mitm.intercept(Direction::MobileToServer, MessageKind::OtB, &mut payload, &mut delay);
+        assert_eq!(payload, vec![0xF1]);
+        assert_eq!(mitm.corrupted, 1);
+    }
+
+    #[test]
+    fn delayer_adds_latency() {
+        let mut d = Delayer { target: Some(MessageKind::OtA), extra: 0.5 };
+        let mut payload = vec![];
+        let mut delay = 0.001;
+        d.intercept(Direction::MobileToServer, MessageKind::OtA, &mut payload, &mut delay);
+        assert!((delay - 0.501).abs() < 1e-12);
+        d.intercept(Direction::MobileToServer, MessageKind::OtE, &mut payload, &mut delay);
+        assert!((delay - 0.501).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropper_drops() {
+        let mut d = Dropper { target: MessageKind::Challenge };
+        let mut payload = vec![];
+        let mut delay = 0.0;
+        assert_eq!(
+            d.intercept(Direction::MobileToServer, MessageKind::Challenge, &mut payload, &mut delay),
+            AdversaryAction::Drop
+        );
+    }
+}

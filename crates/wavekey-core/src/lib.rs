@@ -1,0 +1,97 @@
+//! The WaveKey scheme: cross-modal key establishment between a mobile
+//! device and an RFID server.
+//!
+//! This crate is the paper's primary contribution, assembled from the
+//! substrate crates:
+//!
+//! * [`config`] — every hyper-parameter of the scheme in one place
+//!   (`l_f = 12`, `N_b = 9`, `τ = 120 ms`, `λ = 0.4`, …).
+//! * [`model`] — the IMU-En / RF-En / De architectures of Fig. 5 and the
+//!   tensor conversions from the processed sensor matrices.
+//! * [`dataset`] — §IV-E-1 dataset generation: volunteers × devices ×
+//!   gestures × overlapping two-second windows.
+//! * [`training`] — joint training with the Eq. (3) loss and the
+//!   variance-based `l_f` pruning study of §VI-C-1.
+//! * [`seed`] — key-seed generation (§IV-C): encoder → equiprobable
+//!   quantization → Gray coding.
+//! * [`agreement`] — the bidirectional-OT key agreement of Fig. 4 with
+//!   the `2 + τ` arrival deadline, code-offset reconciliation, and HMAC
+//!   confirmation.
+//! * [`channel`] — the message channel with pluggable adversaries
+//!   (eavesdropper, MitM, delayer, dropper).
+//! * [`session`] — end-to-end key establishment: gesture → both sensing
+//!   pipelines → seeds → agreement.
+//! * [`service`] — the multi-user backend of the paper's application
+//!   contexts: ticket issuing, Gen2 discovery, per-ticket key binding,
+//!   request authentication.
+//! * [`attack`] — the §V / §VI-E attack suite: random guessing (Eq. (4)),
+//!   gesture mimicking, RFID signal spoofing, camera-aided data recovery
+//!   (remote and in-situ), and MitM manipulation.
+//! * [`bits`] — bit-vector packing helpers shared by the protocol.
+
+pub mod agreement;
+pub mod attack;
+pub mod bits;
+pub mod channel;
+pub mod config;
+pub mod dataset;
+pub mod model;
+pub mod seed;
+pub mod service;
+pub mod session;
+pub mod training;
+
+pub use agreement::{run_agreement, AgreementConfig, AgreementError, AgreementOutcome};
+pub use channel::{Adversary, Direction, MessageKind, PassiveChannel};
+pub use config::WaveKeyConfig;
+pub use model::WaveKeyModels;
+pub use seed::SeedGenerator;
+pub use service::{AccessService, ServiceTicket};
+pub use session::{Session, SessionConfig, SessionOutcome};
+
+/// Unified error type of the WaveKey scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The mobile-side pipeline failed.
+    Imu(wavekey_imu::pipeline::PipelineError),
+    /// The server-side pipeline failed.
+    Rfid(wavekey_rfid::pipeline::RfidPipelineError),
+    /// The key agreement failed.
+    Agreement(AgreementError),
+    /// Model training failed to converge or was misconfigured.
+    Training(String),
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Imu(e) => write!(f, "imu pipeline: {e}"),
+            Error::Rfid(e) => write!(f, "rfid pipeline: {e}"),
+            Error::Agreement(e) => write!(f, "key agreement: {e}"),
+            Error::Training(msg) => write!(f, "training: {msg}"),
+            Error::Config(msg) => write!(f, "config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<wavekey_imu::pipeline::PipelineError> for Error {
+    fn from(e: wavekey_imu::pipeline::PipelineError) -> Error {
+        Error::Imu(e)
+    }
+}
+
+impl From<wavekey_rfid::pipeline::RfidPipelineError> for Error {
+    fn from(e: wavekey_rfid::pipeline::RfidPipelineError) -> Error {
+        Error::Rfid(e)
+    }
+}
+
+impl From<AgreementError> for Error {
+    fn from(e: AgreementError) -> Error {
+        Error::Agreement(e)
+    }
+}

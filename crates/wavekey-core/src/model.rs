@@ -1,0 +1,421 @@
+//! The WaveKey neural architectures (Fig. 5) and tensor conversions.
+//!
+//! * **IMU-En** — two `Conv1d` + ReLU stages over the 3×200 linear
+//!   acceleration matrix, a fully-connected layer to the latent length
+//!   `l_f`, and a final *non-affine* `BatchNorm1d` that standardizes every
+//!   latent element (the property the equiprobable quantizer needs).
+//! * **RF-En** — the same shape over the 2×400 RFID matrix.
+//! * **De** — the auto-decoder: deconvolution → FC → deconvolution → FC
+//!   (ReLU after the first three), reconstructing the 400 magnitude
+//!   samples from `f_M` (the paper reconstructs magnitude only because
+//!   phase is too environment-sensitive).
+
+use wavekey_imu::pipeline::AccelMatrix;
+use wavekey_math::{Mat3, Vec3};
+use wavekey_nn::layer::{BatchNorm1d, Conv1d, ConvTranspose1d, Dense, Flatten, ReLU, Reshape};
+use wavekey_nn::net::{ModelCodecError, Sequential};
+use wavekey_nn::tensor::Tensor;
+use wavekey_rfid::pipeline::RfidMatrix;
+
+/// Number of IMU input channels (x/y/z linear acceleration).
+pub const IMU_CHANNELS: usize = 3;
+/// IMU samples per window (100 Hz × 2 s).
+pub const IMU_SAMPLES: usize = 200;
+/// Number of RFID input channels (phase, magnitude, and the phase's
+/// second derivative — the radial-acceleration estimate; DESIGN.md D8).
+pub const RFID_CHANNELS: usize = 3;
+/// RFID samples per window (200 Hz × 2 s).
+pub const RFID_SAMPLES: usize = 400;
+
+/// The three jointly-trained networks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveKeyModels {
+    /// The mobile-side encoder.
+    pub imu_en: Sequential,
+    /// The server-side encoder.
+    pub rf_en: Sequential,
+    /// The training-time decoder (reconstructs RFID magnitude from `f_M`).
+    pub de: Sequential,
+    /// Latent length `l_f` the networks currently produce.
+    pub l_f: usize,
+}
+
+impl WaveKeyModels {
+    /// Builds freshly initialized models with latent length `l_f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l_f == 0`.
+    pub fn new(l_f: usize, seed: u64) -> WaveKeyModels {
+        assert!(l_f > 0, "latent length must be positive");
+        WaveKeyModels {
+            imu_en: build_imu_encoder(l_f, seed),
+            rf_en: build_rf_encoder(l_f, seed.wrapping_add(1)),
+            de: build_decoder(l_f, seed.wrapping_add(2)),
+            l_f,
+        }
+    }
+
+    /// Serializes all three networks to one binary blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.l_f as u32).to_le_bytes());
+        for net in [&self.imu_en, &self.rf_en, &self.de] {
+            let bytes = net.encode();
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Deserializes a blob produced by [`WaveKeyModels::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelCodecError`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<WaveKeyModels, ModelCodecError> {
+        let mut pos = 0usize;
+        let take_u32 = |pos: &mut usize| -> Result<u32, ModelCodecError> {
+            if *pos + 4 > bytes.len() {
+                return Err(ModelCodecError::Truncated);
+            }
+            let v = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().unwrap());
+            *pos += 4;
+            Ok(v)
+        };
+        let l_f = take_u32(&mut pos)? as usize;
+        let mut nets = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let len = take_u32(&mut pos)? as usize;
+            if pos + len > bytes.len() {
+                return Err(ModelCodecError::Truncated);
+            }
+            nets.push(Sequential::decode(&bytes[pos..pos + len])?);
+            pos += len;
+        }
+        if pos != bytes.len() {
+            return Err(ModelCodecError::TrailingBytes);
+        }
+        let de = nets.pop().expect("three nets");
+        let rf_en = nets.pop().expect("three nets");
+        let imu_en = nets.pop().expect("three nets");
+        Ok(WaveKeyModels { imu_en, rf_en, de, l_f })
+    }
+
+    /// Saves to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.encode())
+    }
+
+    /// Loads from a file saved by [`WaveKeyModels::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; malformed content becomes
+    /// `io::ErrorKind::InvalidData`.
+    pub fn load(path: &std::path::Path) -> std::io::Result<WaveKeyModels> {
+        let bytes = std::fs::read(path)?;
+        WaveKeyModels::decode(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// IMU-En: Conv1d(3→8, k7, s2) → ReLU → Conv1d(8→16, k5, s2) → ReLU →
+/// Flatten → Dense(16·47 → l_f) → BatchNorm1d(l_f, non-affine).
+pub fn build_imu_encoder(l_f: usize, seed: u64) -> Sequential {
+    let mut net = Sequential::new();
+    net.push(Conv1d::with_stride(IMU_CHANNELS, 8, 7, 2, 0, seed));
+    net.push(ReLU::new());
+    net.push(Conv1d::with_stride(8, 16, 5, 2, 0, seed.wrapping_add(10)));
+    net.push(ReLU::new());
+    net.push(Flatten::new());
+    // (200−7)/2+1 = 97; (97−5)/2+1 = 47.
+    net.push(Dense::new(16 * 47, l_f, seed.wrapping_add(20)));
+    net.push(BatchNorm1d::new(l_f, false));
+    net
+}
+
+/// RF-En: Conv1d(2→8, k9, s4) → ReLU → Conv1d(8→16, k5, s2) → ReLU →
+/// Flatten → Dense(16·47 → l_f) → BatchNorm1d(l_f, non-affine).
+pub fn build_rf_encoder(l_f: usize, seed: u64) -> Sequential {
+    let mut net = Sequential::new();
+    net.push(Conv1d::with_stride(RFID_CHANNELS, 8, 9, 4, 0, seed));
+    net.push(ReLU::new());
+    net.push(Conv1d::with_stride(8, 16, 5, 2, 0, seed.wrapping_add(10)));
+    net.push(ReLU::new());
+    net.push(Flatten::new());
+    // (400−9)/4+1 = 98; (98−5)/2+1 = 47.
+    net.push(Dense::new(16 * 47, l_f, seed.wrapping_add(20)));
+    net.push(BatchNorm1d::new(l_f, false));
+    net
+}
+
+/// De: ConvTranspose1d(l_f→16, k8, s4 over a length-1 "image") → ReLU →
+/// Dense(16·8 → 256) → ReLU → ConvTranspose1d(8→4, k12, s3) → ReLU →
+/// Dense(4·105 → 400). Deconv, FC, deconv, FC with ReLU after the first
+/// three — the Fig. 5 decoder.
+pub fn build_decoder(l_f: usize, seed: u64) -> Sequential {
+    let mut net = Sequential::new();
+    net.push(Reshape::new(l_f, 1));
+    net.push(ConvTranspose1d::new(l_f, 16, 8, 4, seed));
+    net.push(ReLU::new());
+    net.push(Flatten::new());
+    net.push(Dense::new(16 * 8, 256, seed.wrapping_add(10)));
+    net.push(ReLU::new());
+    net.push(Reshape::new(8, 32));
+    net.push(ConvTranspose1d::new(8, 4, 12, 3, seed.wrapping_add(20)));
+    net.push(ReLU::new());
+    net.push(Flatten::new());
+    // (32−1)·3+12 = 105.
+    net.push(Dense::new(4 * 105, RFID_SAMPLES, seed.wrapping_add(30)));
+    net
+}
+
+/// Converts a processed linear-acceleration matrix to the IMU-En input
+/// tensor `[1, 3, 200]` in a *canonical gesture frame*.
+///
+/// The representation must not depend on which way the user faces: the
+/// RFID phase observes only the radial motion component, so the IMU
+/// window is rotated into its PCA frame (principal axes of the windowed
+/// acceleration covariance, ordered by variance). Because users wave *at*
+/// the reader, the dominant-variance axis is statistically the radial
+/// direction — canonicalization hands both encoders the same geometry on
+/// every gesture regardless of room, azimuth, or magnetometer heading.
+/// Each canonical component's sign is fixed by making its
+/// largest-magnitude sample positive; scale is normalized by the global
+/// RMS. See DESIGN.md, deviation D7.
+///
+/// # Panics
+///
+/// Panics if the matrix does not have [`IMU_SAMPLES`] rows.
+pub fn imu_to_tensor(a: &AccelMatrix) -> Tensor {
+    assert_eq!(a.len(), IMU_SAMPLES, "accel matrix must have {IMU_SAMPLES} rows");
+    let n = a.len() as f64;
+    let mean_vec = a.rows().iter().fold(Vec3::ZERO, |s, &r| s + r) / n;
+    let centered: Vec<Vec3> = a.rows().iter().map(|&r| r - mean_vec).collect();
+
+    // Covariance (symmetric 3×3) and its principal axes.
+    let mut cov = [[0.0f64; 3]; 3];
+    for c in &centered {
+        let v = c.to_array();
+        for i in 0..3 {
+            for j in 0..3 {
+                cov[i][j] += v[i] * v[j];
+            }
+        }
+    }
+    for row in &mut cov {
+        for cell in row.iter_mut() {
+            *cell /= n;
+        }
+    }
+    let (_, axes) = Mat3 { rows: cov }.symmetric_eigen();
+
+    // Project onto the principal axes.
+    let mut comps: [Vec<f64>; 3] = [
+        Vec::with_capacity(a.len()),
+        Vec::with_capacity(a.len()),
+        Vec::with_capacity(a.len()),
+    ];
+    for c in &centered {
+        for (k, comp) in comps.iter_mut().enumerate() {
+            comp.push(axes.column(k).dot(*c));
+        }
+    }
+    // Sign-free representation: each canonical component is rectified.
+    // The component signs are arbitrary (eigenvectors are defined up to
+    // ±1) and any per-window sign rule is fragile under the tens of
+    // milliseconds of cross-modal window misalignment — a flip turns an
+    // otherwise well-matched latent pair into a wholesale mismatch. The
+    // rectified series keeps the energy envelope and the zero-crossing
+    // structure, which is exactly what the RFID side can reproduce from
+    // its rectified radial acceleration.
+    for comp in &mut comps {
+        for v in comp.iter_mut() {
+            *v = v.abs();
+        }
+    }
+
+    let rms = (comps
+        .iter()
+        .map(|c| c.iter().map(|v| v * v).sum::<f64>())
+        .sum::<f64>()
+        / n)
+        .sqrt()
+        .max(1e-9);
+    let mut data = vec![0.0f32; IMU_CHANNELS * IMU_SAMPLES];
+    for (k, comp) in comps.iter().enumerate() {
+        for (i, &v) in comp.iter().enumerate() {
+            data[k * IMU_SAMPLES + i] = (v / rms) as f32;
+        }
+    }
+    Tensor::from_vec(data, vec![1, IMU_CHANNELS, IMU_SAMPLES])
+}
+
+/// Converts a processed RFID matrix to the RF-En input tensor
+/// `[1, 3, 400]`, re-standardizing each channel over the window (a no-op
+/// for freshly processed matrices, required for sliced training windows).
+///
+/// The third channel is the Savitzky-Golay second derivative of the
+/// phase — the radial-acceleration estimate. The phase itself is
+/// displacement-like (its window shape is dominated by low-frequency
+/// drift), while the IMU side observes acceleration; handing the
+/// derivative to RF-En explicitly puts both encoders in the same
+/// physical domain instead of asking two small convolution layers to
+/// discover a derivative filter (DESIGN.md, deviation D8).
+///
+/// # Panics
+///
+/// Panics if the matrix does not have [`RFID_SAMPLES`] samples.
+pub fn rfid_to_tensor(r: &RfidMatrix) -> Tensor {
+    assert_eq!(r.len(), RFID_SAMPLES, "rfid matrix must have {RFID_SAMPLES} samples");
+    let mut radial_accel = wavekey_dsp::savgol_second_derivative(&r.phase, 41, 3, 1.0 / 200.0)
+        .expect("window 41 fits 400 samples");
+    // Rectified, matching the sign-free IMU representation (see
+    // `imu_to_tensor`): |radial acceleration| is what |dominant canonical
+    // component| can reproduce regardless of eigenvector sign ambiguity
+    // or small window misalignment.
+    for v in radial_accel.iter_mut() {
+        *v = v.abs();
+    }
+    let mut data = vec![0.0f32; RFID_CHANNELS * RFID_SAMPLES];
+    for (c, series) in [&r.phase, &r.magnitude, &radial_accel].iter().enumerate() {
+        let mean = wavekey_math::mean(series);
+        let std = wavekey_math::std_dev(series).max(1e-9);
+        for (i, &v) in series.iter().enumerate() {
+            data[c * RFID_SAMPLES + i] = ((v - mean) / std) as f32;
+        }
+    }
+    Tensor::from_vec(data, vec![1, RFID_CHANNELS, RFID_SAMPLES])
+}
+
+/// The standardized magnitude column as the decoder target `[1, 400]`.
+///
+/// # Panics
+///
+/// Panics if the matrix does not have [`RFID_SAMPLES`] samples.
+pub fn magnitude_target(r: &RfidMatrix) -> Tensor {
+    assert_eq!(r.len(), RFID_SAMPLES, "rfid matrix must have {RFID_SAMPLES} samples");
+    let mean = wavekey_math::mean(&r.magnitude);
+    let std = wavekey_math::std_dev(&r.magnitude).max(1e-9);
+    let data: Vec<f32> = r.magnitude.iter().map(|&v| ((v - mean) / std) as f32).collect();
+    Tensor::from_vec(data, vec![1, RFID_SAMPLES])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavekey_math::Vec3;
+
+    fn dummy_accel() -> AccelMatrix {
+        let rows = (0..IMU_SAMPLES)
+            .map(|i| Vec3::new((i as f64 * 0.1).sin(), (i as f64 * 0.07).cos(), 0.5))
+            .collect();
+        AccelMatrix::from_rows(rows, 0.5)
+    }
+
+    fn dummy_rfid() -> RfidMatrix {
+        RfidMatrix {
+            phase: (0..RFID_SAMPLES).map(|i| (i as f64 * 0.05).sin()).collect(),
+            magnitude: (0..RFID_SAMPLES).map(|i| (i as f64 * 0.03).cos()).collect(),
+            start_time: 0.5,
+        }
+    }
+
+    #[test]
+    fn encoder_shapes() {
+        let mut models = WaveKeyModels::new(12, 7);
+        let a = imu_to_tensor(&dummy_accel());
+        let f_m = models.imu_en.forward(&a, false);
+        assert_eq!(f_m.shape(), &[1, 12]);
+        let r = rfid_to_tensor(&dummy_rfid());
+        let f_r = models.rf_en.forward(&r, false);
+        assert_eq!(f_r.shape(), &[1, 12]);
+        let rec = models.de.forward(&f_m, false);
+        assert_eq!(rec.shape(), &[1, RFID_SAMPLES]);
+    }
+
+    #[test]
+    fn encoders_train_mode_needs_batch() {
+        // Forward with a batch of 4 in training mode exercises batch-norm.
+        let mut models = WaveKeyModels::new(12, 8);
+        let a = Tensor::stack(&(0..4)
+            .map(|_| imu_to_tensor(&dummy_accel()).reshaped(vec![IMU_CHANNELS, IMU_SAMPLES]))
+            .collect::<Vec<_>>());
+        let f = models.imu_en.forward(&a, true);
+        assert_eq!(f.shape(), &[4, 12]);
+    }
+
+    #[test]
+    fn imu_tensor_rectified_and_scaled() {
+        let t = imu_to_tensor(&dummy_accel());
+        // The sign-free representation: all components non-negative…
+        assert!(t.data().iter().all(|&v| v >= 0.0));
+        // …with unit global RMS.
+        let rms: f32 =
+            (t.data().iter().map(|v| v * v).sum::<f32>() / IMU_SAMPLES as f32).sqrt();
+        assert!((rms - 1.0).abs() < 1e-4, "rms = {rms}");
+    }
+
+    #[test]
+    fn imu_tensor_is_rotation_invariant() {
+        // The PCA canonicalization plus rectification must make the tensor
+        // independent of the facing direction.
+        let a = dummy_accel();
+        let rot = wavekey_math::Quaternion::from_axis_angle(Vec3::Z, 1.1);
+        let rotated = AccelMatrix::from_rows(
+            a.rows().iter().map(|&r| rot.rotate(r)).collect(),
+            a.start_time,
+        );
+        let t1 = imu_to_tensor(&a);
+        let t2 = imu_to_tensor(&rotated);
+        for (x, y) in t1.data().iter().zip(t2.data()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn rfid_tensor_channels_standardized() {
+        let t = rfid_to_tensor(&dummy_rfid());
+        for c in 0..2 {
+            let ch = &t.data()[c * RFID_SAMPLES..(c + 1) * RFID_SAMPLES];
+            let mean: f32 = ch.iter().sum::<f32>() / ch.len() as f32;
+            assert!(mean.abs() < 1e-5, "channel {c}");
+        }
+    }
+
+    #[test]
+    fn models_codec_roundtrip() {
+        let models = WaveKeyModels::new(12, 9);
+        let bytes = models.encode();
+        let decoded = WaveKeyModels::decode(&bytes).unwrap();
+        assert_eq!(decoded.l_f, 12);
+        assert_eq!(decoded.imu_en, models.imu_en);
+        assert_eq!(decoded.rf_en, models.rf_en);
+        assert_eq!(decoded.de, models.de);
+    }
+
+    #[test]
+    fn models_codec_rejects_truncation() {
+        let models = WaveKeyModels::new(4, 10);
+        let mut bytes = models.encode();
+        bytes.truncate(bytes.len() / 2);
+        assert!(WaveKeyModels::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let models = WaveKeyModels::new(6, 11);
+        let dir = std::env::temp_dir().join("wavekey_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.bin");
+        models.save(&path).unwrap();
+        let loaded = WaveKeyModels::load(&path).unwrap();
+        assert_eq!(loaded, models);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,125 @@
+//! Key-seed generation (§IV-C).
+//!
+//! Encoder latent → equiprobable quantization (Eq. (1)) → Gray encoding →
+//! the `l_s`-bit key-seed. Thanks to the encoders' final batch-norm the
+//! latent elements are approximately standard normal, so one fixed bin
+//! layout serves every element.
+
+use crate::Error;
+use wavekey_dsp::{EquiprobableQuantizer, GrayCode};
+use wavekey_imu::pipeline::AccelMatrix;
+use wavekey_nn::net::Sequential;
+use wavekey_rfid::pipeline::RfidMatrix;
+
+use crate::model::{imu_to_tensor, rfid_to_tensor};
+
+/// Turns encoder latents into key-seed bit strings.
+#[derive(Debug, Clone)]
+pub struct SeedGenerator {
+    quantizer: EquiprobableQuantizer,
+    gray: GrayCode,
+}
+
+impl SeedGenerator {
+    /// Creates a generator with `n_b` quantization bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when `n_b < 2`.
+    pub fn new(n_b: usize) -> Result<SeedGenerator, Error> {
+        let quantizer = EquiprobableQuantizer::new(n_b)
+            .map_err(|e| Error::Config(format!("quantizer: {e}")))?;
+        Ok(SeedGenerator { quantizer, gray: GrayCode::new(n_b) })
+    }
+
+    /// Bits produced per latent element.
+    pub fn bits_per_symbol(&self) -> usize {
+        self.gray.bits_per_symbol()
+    }
+
+    /// Seed length for a latent of `l_f` elements.
+    pub fn seed_len(&self, l_f: usize) -> usize {
+        l_f * self.bits_per_symbol()
+    }
+
+    /// Quantizes and Gray-encodes a latent vector.
+    pub fn seed_from_latent(&self, latent: &[f32]) -> Vec<bool> {
+        let symbols: Vec<usize> =
+            latent.iter().map(|&x| self.quantizer.quantize(f64::from(x))).collect();
+        self.gray.encode(&symbols)
+    }
+
+    /// Mobile side: `S_M` from the processed acceleration matrix.
+    pub fn seed_imu(&self, encoder: &mut Sequential, a: &AccelMatrix) -> Vec<bool> {
+        let t = imu_to_tensor(a);
+        let latent = encoder.forward(&t, false);
+        self.seed_from_latent(latent.data())
+    }
+
+    /// Server side: `S_R` from the processed RFID matrix.
+    pub fn seed_rfid(&self, encoder: &mut Sequential, r: &RfidMatrix) -> Vec<bool> {
+        let t = rfid_to_tensor(r);
+        let latent = encoder.forward(&t, false);
+        self.seed_from_latent(latent.data())
+    }
+
+    /// The bin index sequence (before Gray coding) — used by the
+    /// randomness and hyper-parameter studies.
+    pub fn symbols_from_latent(&self, latent: &[f32]) -> Vec<usize> {
+        latent.iter().map(|&x| self.quantizer.quantize(f64::from(x))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_length_matches_config() {
+        let sg = SeedGenerator::new(9).unwrap();
+        assert_eq!(sg.bits_per_symbol(), 4);
+        let latent = vec![0.0f32; 12];
+        assert_eq!(sg.seed_from_latent(&latent).len(), 48);
+        assert_eq!(sg.seed_len(12), 48);
+    }
+
+    #[test]
+    fn close_latents_give_close_seeds() {
+        let sg = SeedGenerator::new(9).unwrap();
+        let a: Vec<f32> = (0..12).map(|i| (i as f32 - 6.0) / 4.0).collect();
+        // Perturb by much less than a bin width.
+        let b: Vec<f32> = a.iter().map(|x| x + 0.01).collect();
+        let sa = sg.seed_from_latent(&a);
+        let sb = sg.seed_from_latent(&b);
+        let mismatch = crate::bits::hamming_distance(&sa, &sb);
+        assert!(mismatch <= 2, "mismatch {mismatch}");
+    }
+
+    #[test]
+    fn adjacent_bin_costs_one_bit() {
+        let sg = SeedGenerator::new(9).unwrap();
+        // Straddle a bin boundary: Φ⁻¹(4/9) ≈ −0.14 to Φ⁻¹(5/9) side.
+        let a = vec![-0.01f32];
+        let b = vec![0.01f32];
+        let sa = sg.seed_from_latent(&a);
+        let sb = sg.seed_from_latent(&b);
+        let d = crate::bits::hamming_distance(&sa, &sb);
+        assert!(d <= 1, "adjacent-bin distance {d}");
+    }
+
+    #[test]
+    fn distant_latents_give_different_seeds() {
+        let sg = SeedGenerator::new(9).unwrap();
+        let a = vec![-2.0f32; 12];
+        let b = vec![2.0f32; 12];
+        assert!(crate::bits::hamming_distance(
+            &sg.seed_from_latent(&a),
+            &sg.seed_from_latent(&b)
+        ) > 12);
+    }
+
+    #[test]
+    fn rejects_single_bin() {
+        assert!(SeedGenerator::new(1).is_err());
+    }
+}

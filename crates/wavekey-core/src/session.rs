@@ -1,0 +1,420 @@
+//! End-to-end key establishment: gesture → both sensing pipelines →
+//! key-seeds → OT key agreement.
+//!
+//! A [`Session`] owns the trained models and all environment
+//! configuration; every call to [`Session::establish_key`] simulates one
+//! fresh user gesture and runs the complete WaveKey workflow of Fig. 2.
+
+use crate::agreement::{run_agreement, AgreementConfig, AgreementOutcome};
+use crate::bits::hamming_distance;
+use crate::channel::{Adversary, PassiveChannel};
+use crate::config::WaveKeyConfig;
+use crate::model::WaveKeyModels;
+use crate::seed::SeedGenerator;
+use crate::Error;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavekey_imu::gesture::{Gesture, GestureConfig, GestureGenerator, VolunteerId};
+use wavekey_imu::pipeline::{process_imu, ImuPipelineConfig};
+use wavekey_imu::sensors::{sample_imu, DeviceModel};
+use wavekey_math::Vec3;
+use wavekey_rfid::channel::TagModel;
+use wavekey_rfid::environment::{Environment, UserPlacement};
+use wavekey_rfid::pipeline::{process_rfid, RfidPipelineConfig};
+use wavekey_rfid::reader::{record_rfid, ReaderSpec};
+
+/// Everything a key-establishment session needs to know about the world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionConfig {
+    /// Scheme hyper-parameters.
+    pub wavekey: WaveKeyConfig,
+    /// Gesture dynamics.
+    pub gesture: GestureConfig,
+    /// Who is waving.
+    pub volunteer: VolunteerId,
+    /// The mobile device in the hand.
+    pub device: DeviceModel,
+    /// The RFID tag in the same hand.
+    pub tag: TagModel,
+    /// Which emulated room (1–4).
+    pub environment_id: u32,
+    /// Where the user stands relative to the antenna.
+    pub placement: UserPlacement,
+    /// Number of people walking around (0 = the paper's static
+    /// condition, 5 = its dynamic condition).
+    pub walkers: usize,
+    /// Use the tiny test group for the OT (tests only; no security).
+    pub use_tiny_group: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        // §VI-B defaults: Galaxy Watch, Alien 9640 tag, 5 m at 0°,
+        // static laboratory room.
+        SessionConfig {
+            wavekey: WaveKeyConfig::default(),
+            gesture: GestureConfig::default(),
+            volunteer: VolunteerId(0),
+            device: DeviceModel::GalaxyWatch,
+            tag: TagModel::Alien9640A,
+            environment_id: 1,
+            placement: UserPlacement::default(),
+            walkers: 0,
+            use_tiny_group: false,
+        }
+    }
+}
+
+/// The result of one successful key establishment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOutcome {
+    /// The established key (packed bits).
+    pub key: Vec<u8>,
+    /// Bits by which the two key-seeds disagreed.
+    pub seed_mismatch_bits: usize,
+    /// Key-seed length `l_s`.
+    pub seed_len: usize,
+    /// The mobile device's key-seed `S_M`.
+    pub s_m: Vec<bool>,
+    /// The RFID server's key-seed `S_R`.
+    pub s_r: Vec<bool>,
+    /// Protocol-level diagnostics.
+    pub agreement: AgreementOutcome,
+}
+
+/// A key-establishment session bound to trained models and a physical
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct Session {
+    config: SessionConfig,
+    models: WaveKeyModels,
+    seed_gen: SeedGenerator,
+    rng: StdRng,
+}
+
+impl Session {
+    /// Creates a session.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid (e.g. `N_b < 2`); call
+    /// [`WaveKeyConfig::validate`] first to check programmatically.
+    pub fn new(config: SessionConfig, models: WaveKeyModels, seed: u64) -> Session {
+        config.wavekey.validate().expect("invalid WaveKey config");
+        let seed_gen = SeedGenerator::new(config.wavekey.n_b).expect("valid N_b");
+        Session { config, models, seed_gen, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (e.g. to move the user between
+    /// gestures).
+    pub fn config_mut(&mut self) -> &mut SessionConfig {
+        &mut self.config
+    }
+
+    /// Simulates one fresh gesture and establishes a key over a benign
+    /// channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when either pipeline or the agreement fails —
+    /// the per-instance failures counted by the Table I/II success rates.
+    pub fn establish_key(&mut self) -> Result<SessionOutcome, Error> {
+        self.establish_key_with_adversary(&mut PassiveChannel)
+    }
+
+    /// Simulates one fresh gesture with an adversary on the channel.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::establish_key`].
+    pub fn establish_key_with_adversary(
+        &mut self,
+        adversary: &mut dyn Adversary,
+    ) -> Result<SessionOutcome, Error> {
+        let gesture = self.new_gesture();
+        self.establish_key_from_gesture(&gesture, adversary)
+    }
+
+    /// The yaw (radians) that turns the gesture generator's body-forward
+    /// axis toward the antenna — users face the reader they interact
+    /// with.
+    pub fn facing_yaw(&self) -> f64 {
+        let env = Environment::room(self.config.environment_id);
+        let hand = self.config.placement.hand_position(&env);
+        let dir = env.antenna - hand;
+        dir.y.atan2(dir.x)
+    }
+
+    /// Generates one fresh gesture for this session's volunteer, already
+    /// rotated to face the antenna. Attack evaluations use this so the
+    /// victim's observable trajectory matches what the pipelines see.
+    pub fn new_gesture(&mut self) -> Gesture {
+        let gesture_seed = self.rng.gen();
+        let mut generator = GestureGenerator::new(self.config.volunteer, gesture_seed);
+        generator.generate(&self.config.gesture).rotated_yaw(self.facing_yaw())
+    }
+
+    /// Runs the workflow on a caller-supplied gesture (used by the attack
+    /// evaluations, which need victim and attacker to share one gesture).
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::establish_key`].
+    pub fn establish_key_from_gesture(
+        &mut self,
+        gesture: &Gesture,
+        adversary: &mut dyn Adversary,
+    ) -> Result<SessionOutcome, Error> {
+        let (s_m, s_r) = self.derive_seeds_from_gesture(gesture)?;
+        self.agree(&s_m, &s_r, adversary)
+    }
+
+    /// Derives the two key-seeds from one simulated gesture without
+    /// running the agreement (used by the hyper-parameter studies).
+    ///
+    /// # Errors
+    ///
+    /// Returns pipeline errors.
+    pub fn derive_seeds(&mut self) -> Result<(Vec<bool>, Vec<bool>), Error> {
+        let gesture = self.new_gesture();
+        self.derive_seeds_from_gesture(&gesture)
+    }
+
+    /// Seed derivation for a given gesture.
+    ///
+    /// # Errors
+    ///
+    /// Returns pipeline errors.
+    pub fn derive_seeds_from_gesture(
+        &mut self,
+        gesture: &Gesture,
+    ) -> Result<(Vec<bool>, Vec<bool>), Error> {
+        let (f_m, f_r) = self.derive_latents_from_gesture(gesture)?;
+        Ok((
+            self.seed_gen.seed_from_latent(&f_m),
+            self.seed_gen.seed_from_latent(&f_r),
+        ))
+    }
+
+    /// Runs both sensing pipelines and the encoders, returning the raw
+    /// latent vectors `(f_M, f_R)` before quantization — the
+    /// hyper-parameter studies (Fig. 7) re-quantize one set of latents at
+    /// many `N_b` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns pipeline errors.
+    pub fn derive_latents_from_gesture(
+        &mut self,
+        gesture: &Gesture,
+    ) -> Result<(Vec<f32>, Vec<f32>), Error> {
+        let noise_seed: u64 = self.rng.gen();
+
+        // Mobile side.
+        let imu_rec = sample_imu(gesture, &self.config.device.spec(), noise_seed);
+        let a = process_imu(&imu_rec, &ImuPipelineConfig::default())?;
+
+        // Server side.
+        let env = Environment::room(self.config.environment_id);
+        let channel = env.channel(self.config.tag, self.config.walkers, noise_seed);
+        let hand = self.config.placement.hand_position(&env);
+        let rfid_rec = record_rfid(
+            gesture,
+            hand,
+            Vec3::new(0.03, 0.0, 0.0),
+            &channel,
+            &ReaderSpec::default(),
+            noise_seed,
+        );
+        let r = process_rfid(&rfid_rec, &RfidPipelineConfig::default())?;
+
+        let f_m = self
+            .models
+            .imu_en
+            .forward(&crate::model::imu_to_tensor(&a), false)
+            .into_vec();
+        let f_r = self
+            .models
+            .rf_en
+            .forward(&crate::model::rfid_to_tensor(&r), false)
+            .into_vec();
+        Ok((f_m, f_r))
+    }
+
+    /// The mobile-side encoder latent for an externally supplied
+    /// acceleration matrix (used by the device-spoofing attacks, which
+    /// run the public IMU-En on attacker-recovered data).
+    pub fn latent_from_accel(&mut self, a: &wavekey_imu::pipeline::AccelMatrix) -> Vec<f32> {
+        self.models
+            .imu_en
+            .forward(&crate::model::imu_to_tensor(a), false)
+            .into_vec()
+    }
+
+    /// The seed generator this session quantizes with.
+    pub fn seed_generator(&self) -> &SeedGenerator {
+        &self.seed_gen
+    }
+
+    /// Fast-path key establishment for the large-scale success-rate
+    /// experiments: one fresh gesture, both pipelines, and the agreement
+    /// *information layer* (identical key logic and verdicts; the OT
+    /// group arithmetic, which cannot change a benign run's outcome, is
+    /// skipped — see
+    /// [`run_agreement_information_layer`](crate::agreement::run_agreement_information_layer)).
+    ///
+    /// # Errors
+    ///
+    /// Same failure taxonomy as [`Session::establish_key`].
+    pub fn establish_key_fast(&mut self) -> Result<SessionOutcome, Error> {
+        let gesture = self.new_gesture();
+        let (s_m, s_r) = self.derive_seeds_from_gesture(&gesture)?;
+        let wk = &self.config.wavekey;
+        let agreement_config = AgreementConfig {
+            key_len_bits: wk.key_len_bits,
+            bch_t: wk.bch_t,
+            tau: wk.tau,
+            gesture_window: wk.gesture_window,
+            channel_delay: 0.001,
+            use_tiny_group: self.config.use_tiny_group,
+            privacy_amplification: false,
+        };
+        let mut rng_server = StdRng::seed_from_u64(self.rng.gen());
+        let outcome = crate::agreement::run_agreement_information_layer(
+            &s_m,
+            &s_r,
+            &agreement_config,
+            &mut self.rng,
+            &mut rng_server,
+        )?;
+        Ok(SessionOutcome {
+            key: outcome.key.clone(),
+            seed_mismatch_bits: hamming_distance(&s_m, &s_r),
+            seed_len: s_m.len(),
+            s_m,
+            s_r,
+            agreement: outcome,
+        })
+    }
+
+    /// Runs the key agreement on externally supplied seeds (exposed for
+    /// tests and attack simulations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Agreement`] on protocol failure.
+    pub fn agree(
+        &mut self,
+        s_m: &[bool],
+        s_r: &[bool],
+        adversary: &mut dyn Adversary,
+    ) -> Result<SessionOutcome, Error> {
+        let wk = &self.config.wavekey;
+        let agreement_config = AgreementConfig {
+            key_len_bits: wk.key_len_bits,
+            bch_t: wk.bch_t,
+            tau: wk.tau,
+            gesture_window: wk.gesture_window,
+            channel_delay: 0.001,
+            use_tiny_group: self.config.use_tiny_group,
+            privacy_amplification: false,
+        };
+        let mut rng_server = StdRng::seed_from_u64(self.rng.gen());
+        let outcome = run_agreement(
+            s_m,
+            s_r,
+            &agreement_config,
+            &mut self.rng,
+            &mut rng_server,
+            adversary,
+        )?;
+        Ok(SessionOutcome {
+            key: outcome.key.clone(),
+            seed_mismatch_bits: hamming_distance(s_m, s_r),
+            seed_len: s_m.len(),
+            s_m: s_m.to_vec(),
+            s_r: s_r.to_vec(),
+            agreement: outcome,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{BitFlipMitm, MessageKind};
+
+    fn test_session() -> Session {
+        let models = WaveKeyModels::new(12, 1);
+        let config = SessionConfig {
+            use_tiny_group: true,
+            wavekey: WaveKeyConfig { tau: 10.0, ..Default::default() },
+            ..Default::default()
+        };
+        Session::new(config, models, 7)
+    }
+
+    #[test]
+    fn seeds_derive_with_untrained_models() {
+        // Untrained models still produce structurally valid seeds.
+        let mut session = test_session();
+        let (s_m, s_r) = session.derive_seeds().unwrap();
+        assert_eq!(s_m.len(), 48);
+        assert_eq!(s_r.len(), 48);
+    }
+
+    #[test]
+    fn agree_succeeds_on_equal_seeds() {
+        let mut session = test_session();
+        let seed: Vec<bool> = (0..48).map(|i| i % 3 == 0).collect();
+        let out = session.agree(&seed, &seed, &mut PassiveChannel).unwrap();
+        assert_eq!(out.seed_mismatch_bits, 0);
+        assert_eq!(out.key.len(), 32);
+    }
+
+    #[test]
+    fn agree_fails_under_mitm() {
+        let mut session = test_session();
+        let seed: Vec<bool> = (0..48).map(|i| i % 2 == 0).collect();
+        let mut mitm = BitFlipMitm::pervasive(MessageKind::OtB, 8);
+        let err = session.agree(&seed, &seed, &mut mitm).unwrap_err();
+        assert!(matches!(err, Error::Agreement(_)));
+    }
+
+    #[test]
+    fn full_establishment_runs_with_untrained_models() {
+        // With untrained encoders the seeds usually disagree wildly, so
+        // the run should complete as either success (lucky) or a clean
+        // agreement failure — never a panic or pipeline error.
+        let mut session = test_session();
+        match session.establish_key() {
+            Ok(out) => assert_eq!(out.key.len(), 32),
+            Err(Error::Agreement(_)) => {}
+            Err(other) => panic!("unexpected failure: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_accessors() {
+        let mut session = test_session();
+        assert_eq!(session.config().environment_id, 1);
+        session.config_mut().environment_id = 3;
+        assert_eq!(session.config().environment_id, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid WaveKey config")]
+    fn invalid_config_panics() {
+        let models = WaveKeyModels::new(12, 1);
+        let config = SessionConfig {
+            wavekey: WaveKeyConfig { n_b: 1, ..Default::default() },
+            ..Default::default()
+        };
+        Session::new(config, models, 1);
+    }
+}

@@ -1,0 +1,445 @@
+//! Joint autoencoder training (Eq. (3)) and the §VI-C-1 pruning study.
+//!
+//! The loss per sample is
+//!
+//! ```text
+//! L = ‖f_M − f_R‖² + λ · ‖De(f_M) − R^Mag‖²
+//! ```
+//!
+//! The first term pulls the two modality embeddings together (so the
+//! quantized key-seeds agree); the decoder term forces `f_M` to retain
+//! enough gesture information to reconstruct the RFID magnitudes, which
+//! prevents the trivial collapse the batch-norm alone would not fully
+//! rule out and keeps the key-seeds random across gestures.
+
+use crate::dataset::{generate, Dataset, DatasetConfig, Sample};
+use crate::model::WaveKeyModels;
+use crate::Error;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wavekey_math::{Quaternion, Vec3};
+use wavekey_nn::layer::LayerBox;
+use wavekey_nn::loss::{mse, mse_pair};
+use wavekey_nn::optim::{Adam, Optimizer};
+use wavekey_nn::tensor::Tensor;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Latent length `l_f` to build the models with.
+    pub l_f: usize,
+    /// Loss weight `λ` (the paper: 0.4).
+    pub lambda: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Decoupled weight decay (regularization against the memorization a
+    /// small training set invites).
+    pub weight_decay: f32,
+    /// Randomly yaw-rotate (plus a small tilt) every IMU window each time
+    /// it is seen. The RFID phase observes only the radial component of
+    /// the motion, so the latent the two encoders can agree on must be
+    /// orientation-invariant — the augmentation forces exactly that
+    /// instead of letting the encoders memorize absolute directions.
+    pub augment_rotations: bool,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            l_f: 12,
+            lambda: 0.4,
+            epochs: 60,
+            batch_size: 32,
+            lr: 1e-3,
+            weight_decay: 1e-4,
+            augment_rotations: false,
+        }
+    }
+}
+
+impl TrainingConfig {
+    /// A fast preset for examples and tests.
+    pub fn fast() -> TrainingConfig {
+        TrainingConfig { epochs: 25, ..Default::default() }
+    }
+}
+
+/// Per-epoch record of the training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Mean total loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Mean latent-agreement loss (`‖f_M − f_R‖²`) of the final epoch.
+    pub final_latent_loss: f32,
+    /// Mean reconstruction loss of the final epoch.
+    pub final_recon_loss: f32,
+}
+
+/// Trains fresh models on a freshly generated dataset.
+///
+/// # Errors
+///
+/// Returns [`Error::Training`] when the dataset is empty or the
+/// configuration is degenerate.
+pub fn train_autoencoders(
+    dataset_config: &DatasetConfig,
+    config: &TrainingConfig,
+    seed: u64,
+) -> Result<WaveKeyModels, Error> {
+    let dataset = generate(dataset_config);
+    let mut models = WaveKeyModels::new(config.l_f, seed);
+    train(&mut models, &dataset, config, seed)?;
+    Ok(models)
+}
+
+/// Trains `models` in place on `dataset`; returns the loss history.
+///
+/// # Errors
+///
+/// Returns [`Error::Training`] on an empty dataset or zero batch size.
+pub fn train(
+    models: &mut WaveKeyModels,
+    dataset: &Dataset,
+    config: &TrainingConfig,
+    seed: u64,
+) -> Result<TrainReport, Error> {
+    if dataset.is_empty() {
+        return Err(Error::Training("empty dataset".into()));
+    }
+    if config.batch_size < 2 {
+        return Err(Error::Training("batch size must be >= 2 for batch-norm".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7ea1_4e55);
+    let mut opt_imu = Adam::with_weight_decay(config.lr, config.weight_decay);
+    let mut opt_rf = Adam::with_weight_decay(config.lr, config.weight_decay);
+    let mut opt_de = Adam::with_weight_decay(config.lr, config.weight_decay);
+
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    let mut report = TrainReport::default();
+
+    for _epoch in 0..config.epochs {
+        // Shuffle.
+        for i in (1..indices.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            indices.swap(i, j);
+        }
+        let mut epoch_loss = 0.0f32;
+        let mut epoch_latent = 0.0f32;
+        let mut epoch_recon = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in indices.chunks(config.batch_size) {
+            if chunk.len() < 2 {
+                continue; // batch-norm needs at least two samples
+            }
+            let batch: Vec<&Sample> = chunk.iter().map(|&i| &dataset.samples[i]).collect();
+            let a_items: Vec<Tensor> = batch
+                .iter()
+                .map(|s| {
+                    if config.augment_rotations {
+                        rotate_imu_window(&s.a, &mut rng)
+                    } else {
+                        s.a.clone()
+                    }
+                })
+                .collect();
+            let a = Tensor::stack(&a_items);
+            let r = Tensor::stack(&batch.iter().map(|s| s.r.clone()).collect::<Vec<_>>());
+            let mag = Tensor::stack(&batch.iter().map(|s| s.mag.clone()).collect::<Vec<_>>());
+
+            let f_m = models.imu_en.forward(&a, true);
+            let f_r = models.rf_en.forward(&r, true);
+            let de_out = models.de.forward(&f_m, true);
+
+            let (latent_loss, grad_fm_direct, grad_fr) = mse_pair(&f_m, &f_r);
+            let (recon_loss, grad_de_out) = mse(&de_out, &mag);
+
+            models.imu_en.zero_grad();
+            models.rf_en.zero_grad();
+            models.de.zero_grad();
+
+            // Decoder path: λ scaling applies to the reconstruction term.
+            let grad_fm_via_de = models.de.backward(&grad_de_out.scale(config.lambda));
+            let grad_fm = grad_fm_direct.add(&grad_fm_via_de);
+            models.imu_en.backward(&grad_fm);
+            models.rf_en.backward(&grad_fr);
+
+            opt_imu.step(&mut models.imu_en.params_mut());
+            opt_rf.step(&mut models.rf_en.params_mut());
+            opt_de.step(&mut models.de.params_mut());
+
+            epoch_loss += latent_loss + config.lambda * recon_loss;
+            epoch_latent += latent_loss;
+            epoch_recon += recon_loss;
+            batches += 1;
+        }
+        let batches = batches.max(1) as f32;
+        report.epoch_losses.push(epoch_loss / batches);
+        report.final_latent_loss = epoch_latent / batches;
+        report.final_recon_loss = epoch_recon / batches;
+    }
+    Ok(report)
+}
+
+/// Applies a random yaw (uniform) plus small tilt (±15°) rotation to a
+/// `[3, samples]` IMU window tensor. The tensor standardization of
+/// [`crate::model::imu_to_tensor`] is rotation-equivariant, so rotating
+/// the standardized tensor equals standardizing a rotated recording.
+fn rotate_imu_window(a: &Tensor, rng: &mut StdRng) -> Tensor {
+    let shape = a.shape().to_vec();
+    debug_assert_eq!(shape[0], 3, "IMU window must have 3 channels");
+    let n = shape[1];
+    let yaw = Quaternion::from_axis_angle(Vec3::Z, rng.gen_range(0.0..std::f64::consts::TAU));
+    let tilt_axis = Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), 0.0);
+    let tilt = Quaternion::from_axis_angle(
+        if tilt_axis.norm() < 1e-9 { Vec3::X } else { tilt_axis },
+        rng.gen_range(-0.26..0.26),
+    );
+    let q = yaw.mul(tilt);
+    let mut out = vec![0.0f32; 3 * n];
+    for i in 0..n {
+        let v = Vec3::new(
+            f64::from(a.data()[i]),
+            f64::from(a.data()[n + i]),
+            f64::from(a.data()[2 * n + i]),
+        );
+        let r = q.rotate(v);
+        out[i] = r.x as f32;
+        out[n + i] = r.y as f32;
+        out[2 * n + i] = r.z as f32;
+    }
+    Tensor::from_vec(out, shape)
+}
+
+/// Loads cached trained models from `path`, or trains them (generating
+/// the dataset from `dataset_config`) and caches the result.
+///
+/// This is what examples and the experiment harness share so the
+/// expensive training happens once per machine.
+///
+/// # Errors
+///
+/// Returns [`Error::Training`] on training failure; cache I/O failures
+/// only disable caching.
+pub fn train_or_load(
+    path: &std::path::Path,
+    dataset_config: &DatasetConfig,
+    config: &TrainingConfig,
+    seed: u64,
+) -> Result<WaveKeyModels, Error> {
+    if let Ok(models) = WaveKeyModels::load(path) {
+        if models.l_f == config.l_f {
+            return Ok(models);
+        }
+    }
+    let models = train_autoencoders(dataset_config, config, seed)?;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    models.save(path).ok();
+    Ok(models)
+}
+
+/// Evaluates the Eq. (3) loss of trained models over a dataset (eval
+/// mode — running batch-norm statistics, no parameter updates).
+pub fn eval_loss(models: &mut WaveKeyModels, dataset: &Dataset, lambda: f32) -> f32 {
+    if dataset.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    for s in &dataset.samples {
+        let a = Tensor::stack(std::slice::from_ref(&s.a));
+        let r = Tensor::stack(std::slice::from_ref(&s.r));
+        let mag = Tensor::stack(std::slice::from_ref(&s.mag));
+        let f_m = models.imu_en.forward(&a, false);
+        let f_r = models.rf_en.forward(&r, false);
+        let de_out = models.de.forward(&f_m, false);
+        let (l1, _, _) = mse_pair(&f_m, &f_r);
+        let (l2, _) = mse(&de_out, &mag);
+        total += l1 + lambda * l2;
+    }
+    total / dataset.len() as f32
+}
+
+/// Per-neuron output variance of the latent features over a dataset,
+/// averaged across the two encoders (the §VI-C-1 pruning criterion).
+pub fn latent_variances(models: &mut WaveKeyModels, dataset: &Dataset) -> Vec<f64> {
+    let l_f = models.l_f;
+    let mut imu_vals: Vec<Vec<f64>> = vec![Vec::with_capacity(dataset.len()); l_f];
+    let mut rf_vals: Vec<Vec<f64>> = vec![Vec::with_capacity(dataset.len()); l_f];
+    for s in &dataset.samples {
+        let a = Tensor::stack(std::slice::from_ref(&s.a));
+        let r = Tensor::stack(std::slice::from_ref(&s.r));
+        let f_m = models.imu_en.forward(&a, false);
+        let f_r = models.rf_en.forward(&r, false);
+        for i in 0..l_f {
+            imu_vals[i].push(f_m.data()[i] as f64);
+            rf_vals[i].push(f_r.data()[i] as f64);
+        }
+    }
+    (0..l_f)
+        .map(|i| {
+            (wavekey_math::variance(&imu_vals[i]) + wavekey_math::variance(&rf_vals[i])) / 2.0
+        })
+        .collect()
+}
+
+/// Removes latent dimension `idx` from all three networks.
+///
+/// # Panics
+///
+/// Panics if the models do not have the expected Fig. 5 layer layout or
+/// `idx` is out of range.
+pub fn prune_latent_dim(models: &mut WaveKeyModels, idx: usize) {
+    assert!(idx < models.l_f, "latent index out of range");
+    assert!(models.l_f > 1, "cannot prune the last latent dimension");
+    for enc in [&mut models.imu_en, &mut models.rf_en] {
+        let layers = enc.layers_mut();
+        let n = layers.len();
+        match &mut layers[n - 2] {
+            LayerBox::Dense(d) => d.remove_output(idx),
+            other => panic!("expected Dense before final BatchNorm, got {other:?}"),
+        }
+        match &mut layers[n - 1] {
+            LayerBox::BatchNorm1d(bn) => bn.remove_feature(idx),
+            other => panic!("expected final BatchNorm1d, got {other:?}"),
+        }
+    }
+    {
+        let layers = models.de.layers_mut();
+        match &mut layers[0] {
+            LayerBox::Reshape(_) => {
+                layers[0] = LayerBox::Reshape(wavekey_nn::layer::Reshape::new(models.l_f - 1, 1));
+            }
+            other => panic!("expected leading Reshape in decoder, got {other:?}"),
+        }
+        match &mut layers[1] {
+            LayerBox::ConvTranspose1d(d) => d.remove_in_channel(idx),
+            other => panic!("expected ConvTranspose1d in decoder, got {other:?}"),
+        }
+    }
+    models.l_f -= 1;
+}
+
+/// One step of the §VI-C-1 pruning study record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneStep {
+    /// Latent length after this step.
+    pub l_f: usize,
+    /// Eq. (3) loss after retraining at this length.
+    pub loss: f32,
+}
+
+/// Runs the §VI-C-1 pruning study: starting from trained models, remove
+/// the lowest-variance latent dimension, retrain, record the loss; stop
+/// when the loss rises more than `stop_increase` (relative) over the best
+/// seen, or when `min_l_f` is reached.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn prune_study(
+    models: &mut WaveKeyModels,
+    dataset: &Dataset,
+    config: &TrainingConfig,
+    retrain_epochs: usize,
+    min_l_f: usize,
+    stop_increase: f32,
+    seed: u64,
+) -> Result<Vec<PruneStep>, Error> {
+    let retrain_cfg = TrainingConfig { epochs: retrain_epochs, ..*config };
+    let mut steps = Vec::new();
+    let mut best_loss = eval_loss(models, dataset, config.lambda);
+    steps.push(PruneStep { l_f: models.l_f, loss: best_loss });
+    while models.l_f > min_l_f {
+        let variances = latent_variances(models, dataset);
+        let (idx, _) = variances
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite variance"))
+            .expect("non-empty latent");
+        prune_latent_dim(models, idx);
+        train(models, dataset, &retrain_cfg, seed ^ models.l_f as u64)?;
+        let loss = eval_loss(models, dataset, config.lambda);
+        steps.push(PruneStep { l_f: models.l_f, loss });
+        if loss > best_loss * (1.0 + stop_increase) {
+            break;
+        }
+        best_loss = best_loss.min(loss);
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_training() -> (WaveKeyModels, Dataset, TrainingConfig) {
+        let ds = generate(&DatasetConfig::tiny());
+        let cfg = TrainingConfig { l_f: 4, epochs: 3, batch_size: 8, ..Default::default() };
+        let models = WaveKeyModels::new(cfg.l_f, 3);
+        (models, ds, cfg)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (mut models, ds, cfg) = tiny_training();
+        let report = train(&mut models, &ds, &cfg, 1).unwrap();
+        assert_eq!(report.epoch_losses.len(), 3);
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let mut models = WaveKeyModels::new(4, 1);
+        let err = train(&mut models, &Dataset::default(), &TrainingConfig::default(), 1)
+            .unwrap_err();
+        assert!(matches!(err, Error::Training(_)));
+    }
+
+    #[test]
+    fn eval_loss_is_finite() {
+        let (mut models, ds, cfg) = tiny_training();
+        train(&mut models, &ds, &cfg, 2).unwrap();
+        let loss = eval_loss(&mut models, &ds, cfg.lambda);
+        assert!(loss.is_finite() && loss > 0.0);
+    }
+
+    #[test]
+    fn latent_variances_shape() {
+        let (mut models, ds, _) = tiny_training();
+        let v = latent_variances(&mut models, &ds);
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|x| x.is_finite() && *x >= 0.0));
+    }
+
+    #[test]
+    fn prune_removes_dimension_everywhere() {
+        let (mut models, ds, cfg) = tiny_training();
+        train(&mut models, &ds, &cfg, 3).unwrap();
+        prune_latent_dim(&mut models, 1);
+        assert_eq!(models.l_f, 3);
+        // Forward passes still work at the reduced width.
+        let s = &ds.samples[0];
+        let a = Tensor::stack(std::slice::from_ref(&s.a));
+        let f = models.imu_en.forward(&a, false);
+        assert_eq!(f.shape(), &[1, 3]);
+        let rec = models.de.forward(&f, false);
+        assert_eq!(rec.shape(), &[1, 400]);
+    }
+
+    #[test]
+    fn prune_study_runs_and_shrinks() {
+        let (mut models, ds, cfg) = tiny_training();
+        train(&mut models, &ds, &cfg, 4).unwrap();
+        let steps = prune_study(&mut models, &ds, &cfg, 1, 2, 10.0, 5).unwrap();
+        assert!(steps.len() >= 2);
+        assert!(steps.last().unwrap().l_f < steps[0].l_f);
+    }
+}

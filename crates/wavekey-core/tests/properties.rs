@@ -1,0 +1,95 @@
+//! Property-based tests for the protocol-facing core utilities.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wavekey_core::agreement::{run_agreement_information_layer, AgreementConfig};
+use wavekey_core::bits::{
+    deinterleave, hamming_distance, interleave, mismatch_rate, pack_bits, unpack_bits,
+};
+
+proptest! {
+    #[test]
+    fn bits_pack_unpack_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let bytes = pack_bits(&bits);
+        prop_assert_eq!(unpack_bits(&bytes, bits.len()), bits);
+    }
+
+    #[test]
+    fn interleave_roundtrip(
+        bits in proptest::collection::vec(any::<bool>(), 1..300),
+        blocks in 1usize..6
+    ) {
+        let block_len = bits.len().div_ceil(blocks);
+        let inter = interleave(&bits, blocks, block_len);
+        prop_assert_eq!(inter.len(), blocks * block_len);
+        prop_assert_eq!(deinterleave(&inter, blocks, block_len, bits.len()), bits);
+    }
+
+    #[test]
+    fn interleave_spreads_bursts(
+        burst_start in 0usize..250,
+        burst_len in 1usize..12
+    ) {
+        // A contiguous burst lands with at most ⌈burst/blocks⌉ bits in any
+        // single block.
+        let blocks = 3usize;
+        let block_len = 100usize;
+        let mut bits = vec![false; 300];
+        let start = burst_start.min(300 - burst_len);
+        for b in bits.iter_mut().skip(start).take(burst_len) {
+            *b = true;
+        }
+        let inter = interleave(&bits, blocks, block_len);
+        let cap = burst_len.div_ceil(blocks);
+        for blk in 0..blocks {
+            let count = inter[blk * block_len..(blk + 1) * block_len]
+                .iter()
+                .filter(|&&b| b)
+                .count();
+            prop_assert!(count <= cap, "block {blk}: {count} > {cap}");
+        }
+    }
+
+    #[test]
+    fn hamming_is_a_metric(
+        a in proptest::collection::vec(any::<bool>(), 1..64),
+        seed in any::<u64>()
+    ) {
+        // Symmetry, identity, triangle inequality against a third string.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b: Vec<bool> = a.iter().map(|_| rand::Rng::gen(&mut rng)).collect();
+        let c: Vec<bool> = a.iter().map(|_| rand::Rng::gen(&mut rng)).collect();
+        prop_assert_eq!(hamming_distance(&a, &a), 0);
+        prop_assert_eq!(hamming_distance(&a, &b), hamming_distance(&b, &a));
+        prop_assert!(
+            hamming_distance(&a, &c)
+                <= hamming_distance(&a, &b) + hamming_distance(&b, &c)
+        );
+        prop_assert!(mismatch_rate(&a, &b) <= 1.0);
+    }
+
+    #[test]
+    fn identical_seeds_always_agree(seed_bits in proptest::collection::vec(any::<bool>(), 24..64), rng_seed in any::<u64>()) {
+        let config = AgreementConfig { use_tiny_group: true, tau: 10.0, ..Default::default() };
+        let mut rm = StdRng::seed_from_u64(rng_seed);
+        let mut rs = StdRng::seed_from_u64(rng_seed.wrapping_add(1));
+        let out = run_agreement_information_layer(&seed_bits, &seed_bits, &config, &mut rm, &mut rs);
+        prop_assert!(out.is_ok());
+        let out = out.unwrap();
+        prop_assert_eq!(out.key_bits.len(), 256);
+        prop_assert_eq!(out.preliminary_mismatch_bits, 0);
+    }
+
+    #[test]
+    fn wildly_different_seeds_never_agree(len in 32usize..64, rng_seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let s_m: Vec<bool> = (0..len).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let s_r: Vec<bool> = s_m.iter().map(|b| !b).collect();
+        let config = AgreementConfig { use_tiny_group: true, tau: 10.0, ..Default::default() };
+        let mut rm = StdRng::seed_from_u64(rng_seed.wrapping_add(2));
+        let mut rs = StdRng::seed_from_u64(rng_seed.wrapping_add(3));
+        let out = run_agreement_information_layer(&s_m, &s_r, &config, &mut rm, &mut rs);
+        prop_assert!(out.is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! The Diffie-Hellman group for the OT protocol.
+//!
+//! The paper has sender and receiver "agree on two large prime numbers g
+//! and u, which are not necessarily hidden from a third party". We fix the
+//! well-known 1024-bit MODP group of RFC 2409 (Oakley Group 2) — a safe
+//! prime with generator 2 — so both sides (and the adversary) know the
+//! parameters, exactly as in the paper's model.
+
+use crate::bigint::{is_probable_prime, MontgomeryCtx, Ubig};
+use rand::rngs::StdRng;
+
+/// The RFC 2409 Oakley Group 2 prime (1024-bit), hexadecimal.
+pub const MODP_1024_HEX: &str = concat!(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74",
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437",
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED",
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
+);
+
+/// A fixed prime-modulus DH group with precomputed Montgomery context.
+#[derive(Debug, Clone)]
+pub struct DhGroup {
+    ctx: MontgomeryCtx,
+    generator: Ubig,
+}
+
+impl DhGroup {
+    /// The standard WaveKey group: 1024-bit MODP, generator 2.
+    pub fn modp_1024() -> DhGroup {
+        let p = Ubig::from_hex(MODP_1024_HEX);
+        DhGroup { ctx: MontgomeryCtx::new(p), generator: Ubig::from_u64(2) }
+    }
+
+    /// A deliberately tiny test group (61-bit prime) for fast unit tests.
+    /// Never use outside tests/benches.
+    pub fn tiny_test_group() -> DhGroup {
+        // 2^61 − 1 is a Mersenne prime; generator 37 works for testing.
+        let p = Ubig::from_u64((1u64 << 61) - 1);
+        DhGroup { ctx: MontgomeryCtx::new(p), generator: Ubig::from_u64(37) }
+    }
+
+    /// The group modulus `u` (paper notation).
+    pub fn modulus(&self) -> &Ubig {
+        self.ctx.modulus()
+    }
+
+    /// The generator `g`.
+    pub fn generator(&self) -> &Ubig {
+        &self.generator
+    }
+
+    /// Byte width of a serialized group element.
+    pub fn element_len(&self) -> usize {
+        self.modulus().bit_len().div_ceil(8)
+    }
+
+    /// `g^x mod u`. Uses the doubling fast path when `g = 2` (the
+    /// standard group), which matters for the deadline-bound `M_A`/`M_B`
+    /// preparation.
+    pub fn pow_g(&self, x: &Ubig) -> Ubig {
+        if self.generator == Ubig::from_u64(2) {
+            self.ctx.mod_pow2(x)
+        } else {
+            self.ctx.mod_pow(&self.generator, x)
+        }
+    }
+
+    /// `base^x mod u`.
+    pub fn pow(&self, base: &Ubig, x: &Ubig) -> Ubig {
+        self.ctx.mod_pow(base, x)
+    }
+
+    /// `a·b mod u`.
+    pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        self.ctx.mod_mul(a, b)
+    }
+
+    /// `a / b mod u` (prime modulus inverse via Fermat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b ≡ 0`.
+    pub fn div(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        self.ctx.mod_mul(a, &self.ctx.mod_inv_prime(b))
+    }
+
+    /// Samples a random exponent in `[1, u−1)`.
+    pub fn random_exponent(&self, rng: &mut StdRng) -> Ubig {
+        loop {
+            let x = Ubig::random_below(self.modulus(), rng);
+            if !x.is_zero() {
+                return x;
+            }
+        }
+    }
+
+    /// Serializes a group element to fixed-width big-endian bytes.
+    pub fn encode_element(&self, e: &Ubig) -> Vec<u8> {
+        e.to_be_bytes_padded(self.element_len())
+    }
+
+    /// Parses a fixed-width element, reducing modulo `u`.
+    pub fn decode_element(&self, bytes: &[u8]) -> Ubig {
+        Ubig::from_be_bytes(bytes).rem(self.modulus())
+    }
+
+    /// Verifies that the group modulus is prime (sanity check; expensive
+    /// for the 1024-bit group, used in tests).
+    pub fn check_prime(&self) -> bool {
+        is_probable_prime(self.modulus())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tiny_group_dh_agreement() {
+        let g = DhGroup::tiny_test_group();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = g.random_exponent(&mut rng);
+        let b = g.random_exponent(&mut rng);
+        let ga = g.pow_g(&a);
+        let gb = g.pow_g(&b);
+        assert_eq!(g.pow(&gb, &a), g.pow(&ga, &b));
+    }
+
+    #[test]
+    fn modp_1024_dh_agreement() {
+        let g = DhGroup::modp_1024();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = g.random_exponent(&mut rng);
+        let b = g.random_exponent(&mut rng);
+        let ga = g.pow_g(&a);
+        let gb = g.pow_g(&b);
+        assert_eq!(g.pow(&gb, &a), g.pow(&ga, &b));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let g = DhGroup::modp_1024();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Ubig::random_below(g.modulus(), &mut rng);
+        let b = g.random_exponent(&mut rng);
+        let prod = g.mul(&a, &b);
+        assert_eq!(g.div(&prod, &b), a);
+    }
+
+    #[test]
+    fn element_codec_roundtrip() {
+        let g = DhGroup::modp_1024();
+        assert_eq!(g.element_len(), 128);
+        let mut rng = StdRng::seed_from_u64(4);
+        let e = Ubig::random_below(g.modulus(), &mut rng);
+        let bytes = g.encode_element(&e);
+        assert_eq!(bytes.len(), 128);
+        assert_eq!(g.decode_element(&bytes), e);
+    }
+
+    #[test]
+    fn tiny_group_modulus_is_prime() {
+        assert!(DhGroup::tiny_test_group().check_prime());
+    }
+
+    #[test]
+    #[ignore = "1024-bit Miller-Rabin is slow in debug; run with --ignored"]
+    fn modp_1024_modulus_is_prime() {
+        assert!(DhGroup::modp_1024().check_prime());
+    }
+}

@@ -1,0 +1,125 @@
+//! HKDF-style key derivation (extract-then-expand, RFC 5869 construction
+//! over our HMAC-SHA256).
+//!
+//! The code-offset reconciliation publishes `ECC(K_M)` on the open
+//! channel, which information-theoretically leaks the code's parity
+//! structure (`n − k` bits per block) about the preliminary key. The
+//! paper uses `K_M` directly; a hardened deployment passes the reconciled
+//! key through a KDF so the delivered key is computationally independent
+//! of the leaked helper data (*privacy amplification*). The agreement
+//! exposes this as an opt-in step so the paper's exact construction stays
+//! the default.
+
+use crate::hmac::hmac_sha256;
+
+/// HKDF-Extract: compresses input keying material into a pseudorandom
+/// key using an optional salt.
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: derives `len` bytes of output keying material from a
+/// pseudorandom key and context `info`.
+///
+/// # Panics
+///
+/// Panics if `len > 255 × 32` (the RFC 5869 limit for SHA-256).
+pub fn hkdf_expand(prk: &[u8; 32], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * 32, "hkdf output too long");
+    let mut okm = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < len {
+        let mut block = t.clone();
+        block.extend_from_slice(info);
+        block.push(counter);
+        t = hmac_sha256(prk, &block).to_vec();
+        let take = (len - okm.len()).min(32);
+        okm.extend_from_slice(&t[..take]);
+        counter += 1;
+    }
+    okm
+}
+
+/// One-call HKDF: extract with `salt`, expand to `len` bytes with `info`.
+///
+/// # Examples
+///
+/// ```
+/// let key = wavekey_crypto::kdf::hkdf(b"salt", b"input keying material", b"wavekey", 32);
+/// assert_eq!(key.len(), 32);
+/// ```
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    hkdf_expand(&hkdf_extract(salt, ikm), info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 5869 test case 1 (SHA-256).
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            crate::sha256::to_hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hkdf_expand(&prk, &info, 42);
+        assert_eq!(
+            crate::sha256::to_hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    /// RFC 5869 test case 2 (longer inputs/outputs).
+    #[test]
+    fn rfc5869_case2() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+        let okm = hkdf(&salt, &ikm, &info, 82);
+        assert_eq!(
+            crate::sha256::to_hex(&okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+             59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+             cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        );
+    }
+
+    /// RFC 5869 test case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let okm = hkdf(&[], &ikm, &[], 42);
+        assert_eq!(
+            crate::sha256::to_hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+             9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn different_info_different_keys() {
+        let prk = hkdf_extract(b"s", b"ikm");
+        assert_ne!(hkdf_expand(&prk, b"a", 32), hkdf_expand(&prk, b"b", 32));
+    }
+
+    #[test]
+    fn expand_lengths() {
+        let prk = hkdf_extract(b"s", b"ikm");
+        for len in [1usize, 31, 32, 33, 64, 100, 255] {
+            assert_eq!(hkdf_expand(&prk, b"x", len).len(), len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hkdf output too long")]
+    fn expand_rejects_overlong() {
+        let prk = hkdf_extract(b"s", b"ikm");
+        hkdf_expand(&prk, b"x", 255 * 32 + 1);
+    }
+}

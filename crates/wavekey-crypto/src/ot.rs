@@ -1,0 +1,423 @@
+//! Batched 1-out-of-2 Oblivious Transfer (Fig. 3 of the paper).
+//!
+//! The construction is the discrete-log "simplest OT" of Chou-Orlandi,
+//! exactly as the paper describes it:
+//!
+//! ```text
+//! sender:    a ← Z_u,  M_a = g^a
+//! receiver:  b ← Z_u,  M_b = g^b        (choice 0)
+//!                      M_b = M_a·g^b    (choice 1)
+//! sender:    k⁰ = H(M_b^a), k¹ = H((M_b/M_a)^a)
+//!            e⁰ = E(x⁰, k⁰), e¹ = E(x¹, k¹)
+//! receiver:  k = H(M_a^b) decrypts e^choice
+//! ```
+//!
+//! WaveKey runs `l_s` instances per direction and batches each protocol
+//! round into one message (`M_A`, `M_B`, `M_E`), which this module
+//! mirrors: a batch of instances moves through three batched messages.
+
+use crate::bigint::Ubig;
+use crate::cipher::{ctr_decrypt, ctr_encrypt};
+use crate::group::DhGroup;
+use crate::sha256::sha256;
+use rand::rngs::StdRng;
+
+/// The batched first message `M_A`: one group element per instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OtMessageA {
+    /// `m_i = g^{a_i}` for every instance.
+    pub elements: Vec<Ubig>,
+}
+
+/// The batched response `M_B`: one group element per instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OtMessageB {
+    /// `n_i` (the receiver's blinded choice) per instance.
+    pub elements: Vec<Ubig>,
+}
+
+/// The batched ciphertext message `M_E`: a ciphertext pair per instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OtMessageE {
+    /// `(e_i⁰, e_i¹)` per instance.
+    pub pairs: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+impl OtMessageA {
+    /// Serializes to fixed-width concatenated elements.
+    pub fn encode(&self, group: &DhGroup) -> Vec<u8> {
+        encode_elements(group, &self.elements)
+    }
+
+    /// Parses a serialized message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OtError::Malformed`] when the length is not a whole number
+    /// of elements.
+    pub fn decode(group: &DhGroup, bytes: &[u8]) -> Result<OtMessageA, OtError> {
+        Ok(OtMessageA { elements: decode_elements(group, bytes)? })
+    }
+}
+
+impl OtMessageB {
+    /// Serializes to fixed-width concatenated elements.
+    pub fn encode(&self, group: &DhGroup) -> Vec<u8> {
+        encode_elements(group, &self.elements)
+    }
+
+    /// Parses a serialized message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OtError::Malformed`] when the length is not a whole number
+    /// of elements.
+    pub fn decode(group: &DhGroup, bytes: &[u8]) -> Result<OtMessageB, OtError> {
+        Ok(OtMessageB { elements: decode_elements(group, bytes)? })
+    }
+}
+
+impl OtMessageE {
+    /// Serializes as `u32` count, then per pair two `u32`-length-prefixed
+    /// ciphertexts.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.pairs.len() as u32).to_le_bytes());
+        for (e0, e1) in &self.pairs {
+            out.extend_from_slice(&(e0.len() as u32).to_le_bytes());
+            out.extend_from_slice(e0);
+            out.extend_from_slice(&(e1.len() as u32).to_le_bytes());
+            out.extend_from_slice(e1);
+        }
+        out
+    }
+
+    /// Parses a serialized message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OtError::Malformed`] on truncated input.
+    pub fn decode(bytes: &[u8]) -> Result<OtMessageE, OtError> {
+        let mut pos = 0usize;
+        let take_u32 = |pos: &mut usize| -> Result<u32, OtError> {
+            if *pos + 4 > bytes.len() {
+                return Err(OtError::Malformed);
+            }
+            let v = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().unwrap());
+            *pos += 4;
+            Ok(v)
+        };
+        let count = take_u32(&mut pos)? as usize;
+        if count > 1_000_000 {
+            return Err(OtError::Malformed);
+        }
+        let mut pairs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let l0 = take_u32(&mut pos)? as usize;
+            if pos + l0 > bytes.len() {
+                return Err(OtError::Malformed);
+            }
+            let e0 = bytes[pos..pos + l0].to_vec();
+            pos += l0;
+            let l1 = take_u32(&mut pos)? as usize;
+            if pos + l1 > bytes.len() {
+                return Err(OtError::Malformed);
+            }
+            let e1 = bytes[pos..pos + l1].to_vec();
+            pos += l1;
+            pairs.push((e0, e1));
+        }
+        if pos != bytes.len() {
+            return Err(OtError::Malformed);
+        }
+        Ok(OtMessageE { pairs })
+    }
+}
+
+fn encode_elements(group: &DhGroup, elements: &[Ubig]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(elements.len() * group.element_len());
+    for e in elements {
+        out.extend_from_slice(&group.encode_element(e));
+    }
+    out
+}
+
+fn decode_elements(group: &DhGroup, bytes: &[u8]) -> Result<Vec<Ubig>, OtError> {
+    let w = group.element_len();
+    if bytes.len() % w != 0 {
+        return Err(OtError::Malformed);
+    }
+    Ok(bytes.chunks_exact(w).map(|c| group.decode_element(c)).collect())
+}
+
+/// Errors from the OT protocol layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OtError {
+    /// A message failed to parse.
+    Malformed,
+    /// Message batch sizes disagree between rounds.
+    BatchMismatch,
+}
+
+impl std::fmt::Display for OtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OtError::Malformed => write!(f, "malformed OT message"),
+            OtError::BatchMismatch => write!(f, "OT batch size mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for OtError {}
+
+/// The OT sender: holds the secret pairs and the per-instance exponents.
+#[derive(Debug, Clone)]
+pub struct OtSender {
+    group: DhGroup,
+    secrets: Vec<(Vec<u8>, Vec<u8>)>,
+    a: Vec<Ubig>,
+    m: Vec<Ubig>,
+}
+
+impl OtSender {
+    /// Starts a batch of OT instances over `secrets` (one `(x⁰, x¹)` pair
+    /// per instance), returning the sender state and the batched `M_A`.
+    pub fn start(
+        group: &DhGroup,
+        secrets: Vec<(Vec<u8>, Vec<u8>)>,
+        rng: &mut StdRng,
+    ) -> (OtSender, OtMessageA) {
+        let a: Vec<Ubig> = secrets.iter().map(|_| group.random_exponent(rng)).collect();
+        let m: Vec<Ubig> = a.iter().map(|ai| group.pow_g(ai)).collect();
+        let msg = OtMessageA { elements: m.clone() };
+        (OtSender { group: group.clone(), secrets, a, m }, msg)
+    }
+
+    /// Number of instances in the batch.
+    pub fn len(&self) -> usize {
+        self.secrets.len()
+    }
+
+    /// `true` for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.secrets.is_empty()
+    }
+
+    /// Processes the receiver's `M_B` and produces the ciphertext batch
+    /// `M_E`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OtError::BatchMismatch`] when `M_B` has the wrong number
+    /// of elements.
+    pub fn encrypt(&self, msg_b: &OtMessageB) -> Result<OtMessageE, OtError> {
+        if msg_b.elements.len() != self.secrets.len() {
+            return Err(OtError::BatchMismatch);
+        }
+        let mut pairs = Vec::with_capacity(self.secrets.len());
+        for (i, (x0, x1)) in self.secrets.iter().enumerate() {
+            let n = &msg_b.elements[i];
+            let k0 = derive_key(&self.group, &self.group.pow(n, &self.a[i]));
+            let quotient = self.group.div(n, &self.m[i]);
+            let k1 = derive_key(&self.group, &self.group.pow(&quotient, &self.a[i]));
+            pairs.push((ctr_encrypt(&k0, x0), ctr_encrypt(&k1, x1)));
+        }
+        Ok(OtMessageE { pairs })
+    }
+}
+
+/// The OT receiver: holds the choice bits and the blinding exponents.
+#[derive(Debug, Clone)]
+pub struct OtReceiver {
+    group: DhGroup,
+    choices: Vec<bool>,
+    b: Vec<Ubig>,
+    m_a: Vec<Ubig>,
+}
+
+impl OtReceiver {
+    /// Responds to the sender's `M_A` with the blinded choices `M_B`.
+    pub fn respond(
+        group: &DhGroup,
+        choices: &[bool],
+        msg_a: &OtMessageA,
+        rng: &mut StdRng,
+    ) -> Result<(OtReceiver, OtMessageB), OtError> {
+        if msg_a.elements.len() != choices.len() {
+            return Err(OtError::BatchMismatch);
+        }
+        let b: Vec<Ubig> = choices.iter().map(|_| group.random_exponent(rng)).collect();
+        let elements: Vec<Ubig> = choices
+            .iter()
+            .zip(&b)
+            .zip(&msg_a.elements)
+            .map(|((&c, bi), mi)| {
+                let gb = group.pow_g(bi);
+                if c {
+                    group.mul(mi, &gb)
+                } else {
+                    gb
+                }
+            })
+            .collect();
+        let msg = OtMessageB { elements: elements.clone() };
+        Ok((
+            OtReceiver {
+                group: group.clone(),
+                choices: choices.to_vec(),
+                b,
+                m_a: msg_a.elements.clone(),
+            },
+            msg,
+        ))
+    }
+
+    /// Number of instances in the batch.
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// `true` for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// Decrypts the chosen secret of every instance from `M_E`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OtError::BatchMismatch`] when `M_E` has the wrong number
+    /// of pairs.
+    pub fn decrypt(&self, msg_e: &OtMessageE) -> Result<Vec<Vec<u8>>, OtError> {
+        if msg_e.pairs.len() != self.choices.len() {
+            return Err(OtError::BatchMismatch);
+        }
+        let mut out = Vec::with_capacity(self.choices.len());
+        for (i, &c) in self.choices.iter().enumerate() {
+            let k = derive_key(&self.group, &self.group.pow(&self.m_a[i], &self.b[i]));
+            let ct = if c { &msg_e.pairs[i].1 } else { &msg_e.pairs[i].0 };
+            out.push(ctr_decrypt(&k, ct));
+        }
+        Ok(out)
+    }
+}
+
+/// Key derivation `H(element)` for the payload cipher.
+fn derive_key(group: &DhGroup, element: &Ubig) -> [u8; 32] {
+    sha256(&group.encode_element(element))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn run_batch(group: &DhGroup, secrets: Vec<(Vec<u8>, Vec<u8>)>, choices: Vec<bool>) -> Vec<Vec<u8>> {
+        let mut rng_s = StdRng::seed_from_u64(100);
+        let mut rng_r = StdRng::seed_from_u64(200);
+        let (sender, msg_a) = OtSender::start(group, secrets, &mut rng_s);
+        let (receiver, msg_b) = OtReceiver::respond(group, &choices, &msg_a, &mut rng_r).unwrap();
+        let msg_e = sender.encrypt(&msg_b).unwrap();
+        receiver.decrypt(&msg_e).unwrap()
+    }
+
+    #[test]
+    fn receiver_gets_exactly_the_chosen_secret() {
+        let group = DhGroup::tiny_test_group();
+        let secrets = vec![
+            (b"zero-0".to_vec(), b"one--0".to_vec()),
+            (b"zero-1".to_vec(), b"one--1".to_vec()),
+            (b"zero-2".to_vec(), b"one--2".to_vec()),
+        ];
+        let out = run_batch(&group, secrets, vec![false, true, false]);
+        assert_eq!(out[0], b"zero-0");
+        assert_eq!(out[1], b"one--1");
+        assert_eq!(out[2], b"zero-2");
+    }
+
+    #[test]
+    fn unchosen_ciphertext_does_not_decrypt() {
+        let group = DhGroup::tiny_test_group();
+        let mut rng_s = StdRng::seed_from_u64(1);
+        let mut rng_r = StdRng::seed_from_u64(2);
+        let secrets = vec![(b"secret-zero".to_vec(), b"secret-one!".to_vec())];
+        let (sender, msg_a) = OtSender::start(&group, secrets, &mut rng_s);
+        let (receiver, msg_b) =
+            OtReceiver::respond(&group, &[false], &msg_a, &mut rng_r).unwrap();
+        let msg_e = sender.encrypt(&msg_b).unwrap();
+        // Forge a receiver that tries the *other* ciphertext with its key.
+        let k = {
+            // Receiver key = H(M_a^b): reconstruct what it would use.
+            let out = receiver.decrypt(&msg_e).unwrap();
+            assert_eq!(out[0], b"secret-zero");
+            // Decrypt e1 with the receiver's k (choice 0 key): garbage.
+            let wrong = ctr_decrypt(
+                &derive_key(&group, &group.pow(&msg_a.elements[0], &receiver.b[0])),
+                &msg_e.pairs[0].1,
+            );
+            wrong
+        };
+        assert_ne!(k, b"secret-one!");
+    }
+
+    #[test]
+    fn works_on_modp_1024() {
+        let group = DhGroup::modp_1024();
+        let secrets = vec![(vec![1u8, 2, 3], vec![4u8, 5, 6])];
+        let out = run_batch(&group, secrets, vec![true]);
+        assert_eq!(out[0], vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn message_codecs_roundtrip() {
+        let group = DhGroup::tiny_test_group();
+        let mut rng = StdRng::seed_from_u64(9);
+        let (sender, msg_a) = OtSender::start(
+            &group,
+            vec![(vec![1, 2], vec![3, 4]), (vec![5], vec![6])],
+            &mut rng,
+        );
+        let bytes_a = msg_a.encode(&group);
+        assert_eq!(OtMessageA::decode(&group, &bytes_a).unwrap(), msg_a);
+
+        let (_, msg_b) =
+            OtReceiver::respond(&group, &[true, false], &msg_a, &mut rng).unwrap();
+        let bytes_b = msg_b.encode(&group);
+        assert_eq!(OtMessageB::decode(&group, &bytes_b).unwrap(), msg_b);
+
+        let msg_e = sender.encrypt(&msg_b).unwrap();
+        let bytes_e = msg_e.encode();
+        assert_eq!(OtMessageE::decode(&bytes_e).unwrap(), msg_e);
+    }
+
+    #[test]
+    fn codec_rejects_malformed() {
+        let group = DhGroup::tiny_test_group();
+        assert_eq!(
+            OtMessageA::decode(&group, &[1, 2, 3]).unwrap_err(),
+            OtError::Malformed
+        );
+        assert_eq!(OtMessageE::decode(&[1, 2]).unwrap_err(), OtError::Malformed);
+        let msg = OtMessageE { pairs: vec![(vec![1], vec![2])] };
+        let mut bytes = msg.encode();
+        bytes.pop();
+        assert_eq!(OtMessageE::decode(&bytes).unwrap_err(), OtError::Malformed);
+    }
+
+    #[test]
+    fn batch_mismatch_detected() {
+        let group = DhGroup::tiny_test_group();
+        let mut rng = StdRng::seed_from_u64(10);
+        let (sender, msg_a) = OtSender::start(&group, vec![(vec![1], vec![2])], &mut rng);
+        assert!(OtReceiver::respond(&group, &[true, false], &msg_a, &mut rng).is_err());
+        let bad_b = OtMessageB { elements: vec![] };
+        assert_eq!(sender.encrypt(&bad_b).unwrap_err(), OtError::BatchMismatch);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let group = DhGroup::tiny_test_group();
+        let out = run_batch(&group, vec![], vec![]);
+        assert!(out.is_empty());
+    }
+}

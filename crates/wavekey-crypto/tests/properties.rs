@@ -1,0 +1,130 @@
+//! Property-based tests for the cryptographic substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wavekey_crypto::bigint::{MontgomeryCtx, Ubig};
+use wavekey_crypto::cipher::{ctr_decrypt, ctr_encrypt};
+use wavekey_crypto::ecc::{Bch, CodeOffset};
+use wavekey_crypto::hmac::hmac_sha256;
+use wavekey_crypto::sha256::sha256;
+
+proptest! {
+    #[test]
+    fn ubig_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let n = Ubig::from_be_bytes(&bytes);
+        let back = Ubig::from_be_bytes(&n.to_be_bytes());
+        prop_assert_eq!(n, back);
+    }
+
+    #[test]
+    fn ubig_add_commutes(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let x = Ubig::from_u64(a).mul(&Ubig::from_u64(c));
+        let y = Ubig::from_u64(b).mul(&Ubig::from_u64(c));
+        prop_assert_eq!(x.add(&y), y.add(&x));
+    }
+
+    #[test]
+    fn ubig_add_sub_inverse(a in any::<u64>(), b in any::<u64>()) {
+        let x = Ubig::from_u64(a);
+        let y = Ubig::from_u64(b);
+        let s = x.add(&y);
+        prop_assert_eq!(s.sub(&y), x);
+    }
+
+    #[test]
+    fn ubig_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = Ubig::from_u64(a).mul(&Ubig::from_u64(b));
+        let expected = u128::from(a) * u128::from(b);
+        let mut bytes = expected.to_be_bytes().to_vec();
+        while bytes.len() > 1 && bytes[0] == 0 {
+            bytes.remove(0);
+        }
+        prop_assert_eq!(prod.to_be_bytes(), bytes);
+    }
+
+    #[test]
+    fn ubig_rem_is_canonical(a in any::<u64>(), b in 1u64..u64::MAX) {
+        let r = Ubig::from_u64(a).rem(&Ubig::from_u64(b));
+        prop_assert_eq!(r, Ubig::from_u64(a % b));
+    }
+
+    #[test]
+    fn montgomery_mul_matches_schoolbook(a in any::<u64>(), b in any::<u64>(), m in (3u64..u64::MAX).prop_map(|m| m | 1)) {
+        let ctx = MontgomeryCtx::new(Ubig::from_u64(m));
+        let got = ctx.mod_mul(&Ubig::from_u64(a % m), &Ubig::from_u64(b % m));
+        let expected = (u128::from(a % m) * u128::from(b % m) % u128::from(m)) as u64;
+        prop_assert_eq!(got, Ubig::from_u64(expected));
+    }
+
+    #[test]
+    fn modexp_respects_exponent_addition(base in 2u64..1000, e1 in 0u64..50, e2 in 0u64..50) {
+        // b^(e1+e2) = b^e1 · b^e2 (mod m) for odd m.
+        let m = Ubig::from_u64(0xffff_ffff_ffff_ffc5);
+        let ctx = MontgomeryCtx::new(m);
+        let b = Ubig::from_u64(base);
+        let lhs = ctx.mod_pow(&b, &Ubig::from_u64(e1 + e2));
+        let rhs = ctx.mod_mul(
+            &ctx.mod_pow(&b, &Ubig::from_u64(e1)),
+            &ctx.mod_pow(&b, &Ubig::from_u64(e2)),
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ctr_cipher_roundtrips(key in any::<[u8; 32]>(), data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        prop_assert_eq!(ctr_decrypt(&key, &ctr_encrypt(&key, &data)), data);
+    }
+
+    #[test]
+    fn sha256_is_deterministic_and_sensitive(data in proptest::collection::vec(any::<u8>(), 1..100), flip in 0usize..100) {
+        let d1 = sha256(&data);
+        prop_assert_eq!(d1, sha256(&data));
+        let mut tweaked = data.clone();
+        let idx = flip % tweaked.len();
+        tweaked[idx] ^= 1;
+        prop_assert_ne!(d1, sha256(&tweaked));
+    }
+
+    #[test]
+    fn hmac_distinct_keys_distinct_macs(k1 in any::<u64>(), k2 in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assume!(k1 != k2);
+        prop_assert_ne!(
+            hmac_sha256(&k1.to_be_bytes(), &msg),
+            hmac_sha256(&k2.to_be_bytes(), &msg)
+        );
+    }
+
+    #[test]
+    fn bch_corrects_any_pattern_within_radius(
+        seed in any::<u64>(),
+        positions in proptest::collection::btree_set(0usize..127, 0..=5)
+    ) {
+        let bch = Bch::new(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msg: Vec<bool> = (0..bch.k()).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let cw = bch.encode(&msg).unwrap();
+        let mut corrupted = cw.clone();
+        for &p in &positions {
+            corrupted[p] = !corrupted[p];
+        }
+        prop_assert_eq!(bch.decode(&corrupted).unwrap(), cw);
+    }
+
+    #[test]
+    fn code_offset_recovers_within_radius(
+        seed in any::<u64>(),
+        flips in proptest::collection::btree_set(0usize..127, 0..=3)
+    ) {
+        let co = CodeOffset::new(Bch::new(3).unwrap());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key: Vec<bool> = (0..127).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let helper = co.commit(&key, &mut rng);
+        let mut noisy = key.clone();
+        for &f in &flips {
+            noisy[f] = !noisy[f];
+        }
+        let recovered = co.reconcile(&noisy, &helper, key.len());
+        prop_assert_eq!(recovered, Some(key));
+    }
+}

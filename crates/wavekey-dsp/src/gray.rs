@@ -1,0 +1,266 @@
+//! Gray coding of quantizer bin indices (§IV-C).
+//!
+//! The paper encodes each bin index with a Gray code so that the most
+//! common quantization error — a latent element landing in a bin *adjacent*
+//! to the one its counterpart landed in — flips only a single key-seed bit.
+//!
+//! For power-of-two alphabets we use the standard binary-reflected Gray
+//! code. For other alphabet sizes (the paper's optimum is `N_b = 9`) we use
+//! a *truncated* binary-reflected code: the first `N_b` codewords of the
+//! `2^⌈log₂N_b⌉`-entry table. A prefix of a binary-reflected Gray sequence
+//! still has the defining property that consecutive entries differ in
+//! exactly one bit, which is all the construction needs (see DESIGN.md,
+//! deviation D2).
+
+use serde::{Deserialize, Serialize};
+
+/// Converts a binary number to its binary-reflected Gray code.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(wavekey_dsp::gray_encode(0), 0);
+/// assert_eq!(wavekey_dsp::gray_encode(1), 1);
+/// assert_eq!(wavekey_dsp::gray_encode(2), 3);
+/// assert_eq!(wavekey_dsp::gray_encode(3), 2);
+/// ```
+pub fn gray_encode(n: u64) -> u64 {
+    n ^ (n >> 1)
+}
+
+/// Converts a binary-reflected Gray code back to the binary number.
+pub fn gray_decode(g: u64) -> u64 {
+    let mut n = g;
+    let mut shift = 1;
+    while (n >> shift) > 0 {
+        n ^= n >> shift;
+        shift <<= 1;
+    }
+    n
+}
+
+/// Returns the first `n` codewords of the binary-reflected Gray sequence,
+/// each `bits_per_symbol()` wide, as bit-vectors (MSB first).
+///
+/// Consecutive entries differ in exactly one bit.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn truncated_gray_table(n: usize) -> Vec<Vec<bool>> {
+    assert!(n > 0, "gray table needs at least one symbol");
+    let bits = bits_for(n);
+    (0..n as u64)
+        .map(|i| {
+            let g = gray_encode(i);
+            (0..bits).rev().map(|b| (g >> b) & 1 == 1).collect()
+        })
+        .collect()
+}
+
+/// Number of bits needed for an alphabet of `n` symbols: `⌈log₂ n⌉`,
+/// minimum 1.
+pub fn bits_for(n: usize) -> usize {
+    if n <= 2 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// A Gray encoder over an `n_symbols` alphabet.
+///
+/// Encodes bin-index sequences to key-seed bit strings and decodes them
+/// back. Decoding of a codeword that is not in the (possibly truncated)
+/// table returns the symbol with the nearest codeword in Hamming distance,
+/// which mirrors how the scheme degrades gracefully when a bit flips.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrayCode {
+    n_symbols: usize,
+    bits: usize,
+}
+
+impl GrayCode {
+    /// Builds a Gray code for an alphabet of `n_symbols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_symbols < 2`.
+    pub fn new(n_symbols: usize) -> Self {
+        assert!(n_symbols >= 2, "gray code needs at least two symbols");
+        GrayCode { n_symbols, bits: bits_for(n_symbols) }
+    }
+
+    /// Bits per encoded symbol.
+    pub fn bits_per_symbol(&self) -> usize {
+        self.bits
+    }
+
+    /// The alphabet size.
+    pub fn n_symbols(&self) -> usize {
+        self.n_symbols
+    }
+
+    /// Encodes one symbol into `bits_per_symbol()` bits (MSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol >= n_symbols`.
+    pub fn encode_symbol(&self, symbol: usize) -> Vec<bool> {
+        assert!(symbol < self.n_symbols, "symbol out of alphabet");
+        let g = gray_encode(symbol as u64);
+        (0..self.bits).rev().map(|b| (g >> b) & 1 == 1).collect()
+    }
+
+    /// Encodes a symbol sequence into a concatenated bit string.
+    pub fn encode(&self, symbols: &[usize]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(symbols.len() * self.bits);
+        for &s in symbols {
+            out.extend(self.encode_symbol(s));
+        }
+        out
+    }
+
+    /// Decodes `bits_per_symbol()` bits back to the nearest symbol.
+    ///
+    /// Exact codewords decode exactly; invalid codewords (possible only for
+    /// truncated alphabets) map to the Hamming-nearest valid symbol, ties
+    /// broken toward the smaller symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != bits_per_symbol()`.
+    pub fn decode_symbol(&self, bits: &[bool]) -> usize {
+        assert_eq!(bits.len(), self.bits, "wrong codeword width");
+        let mut g = 0u64;
+        for &b in bits {
+            g = (g << 1) | b as u64;
+        }
+        let value = gray_decode(g);
+        if (value as usize) < self.n_symbols {
+            return value as usize;
+        }
+        // Out-of-alphabet codeword: pick the Hamming-nearest valid one.
+        let mut best = 0usize;
+        let mut best_dist = u32::MAX;
+        for s in 0..self.n_symbols {
+            let dist = (gray_encode(s as u64) ^ g).count_ones();
+            if dist < best_dist {
+                best = s;
+                best_dist = dist;
+            }
+        }
+        best
+    }
+
+    /// Decodes a concatenated bit string to a symbol sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit string length is not a multiple of
+    /// `bits_per_symbol()`.
+    pub fn decode(&self, bits: &[bool]) -> Vec<usize> {
+        assert_eq!(bits.len() % self.bits, 0, "bit string not a whole number of symbols");
+        bits.chunks(self.bits).map(|c| self.decode_symbol(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_encode_decode_roundtrip() {
+        for n in 0..1000u64 {
+            assert_eq!(gray_decode(gray_encode(n)), n);
+        }
+    }
+
+    #[test]
+    fn consecutive_gray_codes_differ_in_one_bit() {
+        for n in 0..1000u64 {
+            let diff = gray_encode(n) ^ gray_encode(n + 1);
+            assert_eq!(diff.count_ones(), 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bits_for_alphabets() {
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(8), 3);
+        assert_eq!(bits_for(9), 4);
+        assert_eq!(bits_for(15), 4);
+        assert_eq!(bits_for(16), 4);
+    }
+
+    #[test]
+    fn truncated_table_adjacent_rows_differ_in_one_bit() {
+        for n in [3, 5, 9, 12, 15] {
+            let table = truncated_gray_table(n);
+            assert_eq!(table.len(), n);
+            for w in table.windows(2) {
+                let diff = w[0].iter().zip(&w[1]).filter(|(a, b)| a != b).count();
+                assert_eq!(diff, 1, "alphabet {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_symbols_roundtrip() {
+        let code = GrayCode::new(9);
+        assert_eq!(code.bits_per_symbol(), 4);
+        for s in 0..9 {
+            let bits = code.encode_symbol(s);
+            assert_eq!(bits.len(), 4);
+            assert_eq!(code.decode_symbol(&bits), s);
+        }
+    }
+
+    #[test]
+    fn encode_sequence_roundtrip() {
+        let code = GrayCode::new(9);
+        let symbols = vec![0, 3, 8, 5, 2, 7, 1];
+        let bits = code.encode(&symbols);
+        assert_eq!(bits.len(), symbols.len() * 4);
+        assert_eq!(code.decode(&bits), symbols);
+    }
+
+    #[test]
+    fn adjacent_symbols_differ_in_one_bit() {
+        // The whole point of Gray coding in WaveKey: an off-by-one bin error
+        // costs exactly one key-seed bit.
+        for n_b in [4, 8, 9, 15] {
+            let code = GrayCode::new(n_b);
+            for s in 0..n_b - 1 {
+                let a = code.encode_symbol(s);
+                let b = code.encode_symbol(s + 1);
+                let diff = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+                assert_eq!(diff, 1, "N_b = {n_b}, symbol {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_codeword_maps_to_nearest() {
+        let code = GrayCode::new(9);
+        // Symbols 9..15 of the 4-bit table are invalid; their nearest valid
+        // neighbor must be at Hamming distance <= 2 (usually 1).
+        for raw in 9u64..16 {
+            let g = gray_encode(raw);
+            let bits: Vec<bool> = (0..4).rev().map(|b| (g >> b) & 1 == 1).collect();
+            let s = code.decode_symbol(&bits);
+            assert!(s < 9);
+            let dist = (gray_encode(s as u64) ^ g).count_ones();
+            assert!(dist <= 2, "raw {raw} decoded to {s} at distance {dist}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol out of alphabet")]
+    fn encode_out_of_range_panics() {
+        GrayCode::new(4).encode_symbol(4);
+    }
+}

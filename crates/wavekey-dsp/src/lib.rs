@@ -1,0 +1,28 @@
+//! Signal-processing substrate for the WaveKey reproduction.
+//!
+//! Implements the DSP stages of §IV-B and §IV-C of the paper:
+//!
+//! * [`savgol`] — Savitzky-Golay smoothing used to denoise RFID phase and
+//!   magnitude streams while preserving local extrema.
+//! * [`unwrap`] — phase unwrapping (RFID phase is reported modulo 2π).
+//! * [`quantize`] — equiprobable quantization of standard-normal latent
+//!   elements into `N_b` bins (Eq. (1)).
+//! * [`gray`] — binary-reflected Gray coding (and its truncation to
+//!   non-power-of-two alphabets) for bin-index encoding.
+//! * [`window`] — sliding-window variance motion-start detection, the
+//!   "pause then move" synchronization trick of §IV-B-1.
+
+pub mod gray;
+pub mod quantize;
+pub mod savgol;
+pub mod unwrap;
+pub mod window;
+
+pub use gray::{gray_decode, gray_encode, truncated_gray_table, GrayCode};
+pub use quantize::{EquiprobableQuantizer, QuantizeError};
+pub use savgol::{
+    savgol_coefficients, savgol_second_derivative, savgol_second_derivative_coefficients,
+    savgol_smooth, SavGolError,
+};
+pub use unwrap::unwrap_phase;
+pub use window::{detect_motion_start, MotionDetectConfig};

@@ -1,0 +1,199 @@
+//! Equiprobable quantization of standard-normal latent elements (§IV-C).
+//!
+//! Both autoencoders end with batch-norm layers, so every element of the
+//! latent feature vectors follows (approximately) the standard normal
+//! distribution. Eq. (1) of the paper places the bin boundaries so that a
+//! standard-normal variable falls into each of the `N_b` bins with equal
+//! probability `1/N_b`:
+//!
+//! ```text
+//! Φ(b_i) = i / N_b      for i = 1 .. N_b−1
+//! ```
+//!
+//! Equal occupation probability maximizes the entropy of the resulting
+//! symbol stream, which is what makes the key-seed hard to guess.
+
+use serde::{Deserialize, Serialize};
+use wavekey_math::{normal_cdf, normal_inverse_cdf};
+
+/// Error from quantizer configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantizeError {
+    /// `N_b` must be at least 2.
+    TooFewBins,
+}
+
+impl std::fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantizeError::TooFewBins => write!(f, "quantizer needs at least two bins"),
+        }
+    }
+}
+
+impl std::error::Error for QuantizeError {}
+
+/// An equiprobable quantizer for standard-normal variables.
+///
+/// # Examples
+///
+/// ```
+/// use wavekey_dsp::EquiprobableQuantizer;
+/// let q = EquiprobableQuantizer::new(4).unwrap();
+/// // Φ⁻¹(1/2) = 0 separates bins 1 and 2.
+/// assert_eq!(q.quantize(-10.0), 0);
+/// assert_eq!(q.quantize(-0.1), 1);
+/// assert_eq!(q.quantize(0.1), 2);
+/// assert_eq!(q.quantize(10.0), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquiprobableQuantizer {
+    n_bins: usize,
+    /// The `N_b − 1` interior boundaries `b_1 .. b_{N_b−1}`, ascending.
+    boundaries: Vec<f64>,
+}
+
+impl EquiprobableQuantizer {
+    /// Builds a quantizer with `n_bins` equiprobable bins (Eq. (1)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantizeError::TooFewBins`] when `n_bins < 2`.
+    pub fn new(n_bins: usize) -> Result<Self, QuantizeError> {
+        if n_bins < 2 {
+            return Err(QuantizeError::TooFewBins);
+        }
+        let boundaries = (1..n_bins)
+            .map(|i| normal_inverse_cdf(i as f64 / n_bins as f64))
+            .collect();
+        Ok(EquiprobableQuantizer { n_bins, boundaries })
+    }
+
+    /// The number of bins `N_b`.
+    pub fn n_bins(&self) -> usize {
+        self.n_bins
+    }
+
+    /// The interior bin boundaries (ascending).
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// Quantizes a value into its bin index in `[0, N_b)`.
+    pub fn quantize(&self, x: f64) -> usize {
+        // partition_point returns the number of boundaries <= x, which is
+        // exactly the bin index.
+        self.boundaries.partition_point(|&b| b <= x)
+    }
+
+    /// Quantizes a whole feature vector.
+    pub fn quantize_all(&self, xs: &[f64]) -> Vec<usize> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// The probability mass of bin `i` under the standard normal — useful
+    /// for verifying equiprobability in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N_b`.
+    pub fn bin_probability(&self, i: usize) -> f64 {
+        assert!(i < self.n_bins, "bin index out of range");
+        let lo = if i == 0 { 0.0 } else { normal_cdf(self.boundaries[i - 1]) };
+        let hi = if i == self.n_bins - 1 {
+            1.0
+        } else {
+            normal_cdf(self.boundaries[i])
+        };
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_single_bin() {
+        assert_eq!(EquiprobableQuantizer::new(1).unwrap_err(), QuantizeError::TooFewBins);
+    }
+
+    #[test]
+    fn boundaries_match_inverse_cdf() {
+        let q = EquiprobableQuantizer::new(9).unwrap();
+        assert_eq!(q.boundaries().len(), 8);
+        for (i, &b) in q.boundaries().iter().enumerate() {
+            let expected = normal_inverse_cdf((i + 1) as f64 / 9.0);
+            assert!((b - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bins_are_equiprobable() {
+        for n_b in [2, 4, 9, 15] {
+            let q = EquiprobableQuantizer::new(n_b).unwrap();
+            for i in 0..n_b {
+                let p = q.bin_probability(i);
+                assert!(
+                    (p - 1.0 / n_b as f64).abs() < 1e-7,
+                    "N_b = {n_b}, bin {i}: p = {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn median_split_for_two_bins() {
+        let q = EquiprobableQuantizer::new(2).unwrap();
+        // Boundary accuracy is limited by the erfc approximation (~1e-7).
+        assert!(q.boundaries()[0].abs() < 1e-6);
+        assert_eq!(q.quantize(-0.001), 0);
+        assert_eq!(q.quantize(0.001), 1);
+    }
+
+    #[test]
+    fn quantize_is_monotone() {
+        let q = EquiprobableQuantizer::new(9).unwrap();
+        let xs: Vec<f64> = (-40..=40).map(|i| i as f64 / 10.0).collect();
+        let bins = q.quantize_all(&xs);
+        for w in bins.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(bins[0], 0);
+        assert_eq!(*bins.last().unwrap(), 8);
+    }
+
+    #[test]
+    fn empirical_occupancy_is_uniform() {
+        // Quantize ~standard-normal variates from a Box-Muller generator and
+        // check each bin receives roughly 1/N_b of the mass.
+        let n_b = 9;
+        let q = EquiprobableQuantizer::new(n_b).unwrap();
+        let mut state: u64 = 7;
+        let mut uniform = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+        };
+        let n = 200_000;
+        let mut counts = vec![0usize; n_b];
+        for _ in 0..n {
+            let (u1, u2): (f64, f64) = (uniform(), uniform());
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            counts[q.quantize(z)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!(
+                (frac - 1.0 / n_b as f64).abs() < 0.01,
+                "bin {i} occupancy {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_boundary_values_go_right() {
+        let q = EquiprobableQuantizer::new(4).unwrap();
+        let b = q.boundaries()[1]; // = 0.0
+        assert_eq!(q.quantize(b), 2);
+    }
+}

@@ -1,0 +1,412 @@
+//! Savitzky-Golay smoothing (§IV-B-2 of the paper).
+//!
+//! The RFID server denoises both the unwrapped phase stream and the
+//! magnitude stream with a Savitzky-Golay filter because, unlike a plain
+//! moving average, it preserves local maxima and minima — features that the
+//! RF-En autoencoder relies on.
+//!
+//! The filter is implemented the classical way: for each window position a
+//! least-squares polynomial of given order is fit to the window, which for a
+//! uniform grid reduces to a fixed convolution kernel. The kernel is derived
+//! by solving the small normal-equation system `(JᵀJ) a = Jᵀ e₀` by Gaussian
+//! elimination — no external linear-algebra dependency.
+
+/// Error from Savitzky-Golay configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SavGolError {
+    /// Window length must be odd so a center sample exists.
+    EvenWindow,
+    /// Polynomial order must be strictly smaller than the window length.
+    OrderTooHigh,
+    /// The input signal is shorter than the window.
+    SignalTooShort,
+}
+
+impl std::fmt::Display for SavGolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SavGolError::EvenWindow => write!(f, "window length must be odd"),
+            SavGolError::OrderTooHigh => {
+                write!(f, "polynomial order must be smaller than the window length")
+            }
+            SavGolError::SignalTooShort => write!(f, "signal shorter than filter window"),
+        }
+    }
+}
+
+impl std::error::Error for SavGolError {}
+
+/// Computes the smoothing (0th-derivative, center-point) Savitzky-Golay
+/// convolution coefficients for an odd `window` length and polynomial
+/// `order`.
+///
+/// The returned kernel has length `window` and sums to 1.
+///
+/// # Errors
+///
+/// Returns [`SavGolError::EvenWindow`] for even windows and
+/// [`SavGolError::OrderTooHigh`] when `order >= window`.
+///
+/// # Examples
+///
+/// ```
+/// let k = wavekey_dsp::savgol_coefficients(5, 2).unwrap();
+/// // The classical 5-point quadratic kernel (−3, 12, 17, 12, −3)/35.
+/// assert!((k[2] - 17.0 / 35.0).abs() < 1e-12);
+/// ```
+pub fn savgol_coefficients(window: usize, order: usize) -> Result<Vec<f64>, SavGolError> {
+    if window % 2 == 0 {
+        return Err(SavGolError::EvenWindow);
+    }
+    if order >= window {
+        return Err(SavGolError::OrderTooHigh);
+    }
+    let half = (window / 2) as i64;
+    let m = order + 1;
+
+    // Normal matrix G = JᵀJ where J[i][j] = x_i^j, x_i ∈ [-half, half].
+    let mut g = vec![vec![0.0; m]; m];
+    for (r, row) in g.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for x in -half..=half {
+                s += (x as f64).powi((r + c) as i32);
+            }
+            *cell = s;
+        }
+    }
+
+    // Solve G a_j = e_j for every basis vector; the smoothing kernel weight
+    // for offset x is Σ_j a_0j x^j where a_0 solves G a = e_0 — equivalent
+    // to evaluating the first row of G⁻¹ against the Vandermonde basis.
+    let a0 = solve_gaussian(&mut g, unit_vec(m, 0));
+
+    let mut kernel = Vec::with_capacity(window);
+    for x in -half..=half {
+        let mut w = 0.0;
+        for (j, &aj) in a0.iter().enumerate() {
+            w += aj * (x as f64).powi(j as i32);
+        }
+        kernel.push(w);
+    }
+    Ok(kernel)
+}
+
+fn unit_vec(n: usize, i: usize) -> Vec<f64> {
+    let mut v = vec![0.0; n];
+    v[i] = 1.0;
+    v
+}
+
+/// Solves `A x = b` in place by Gaussian elimination with partial pivoting.
+///
+/// `A` is destroyed. Panics if the matrix is singular — which cannot happen
+/// for the positive-definite normal matrices produced above.
+fn solve_gaussian(a: &mut [Vec<f64>], mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        let pivot = a[col][col];
+        assert!(pivot.abs() > 1e-14, "singular normal matrix in savgol solve");
+        for row in (col + 1)..n {
+            let factor = a[row][col] / pivot;
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = b[row];
+        for col in (row + 1)..n {
+            s -= a[row][col] * x[col];
+        }
+        x[row] = s / a[row][row];
+    }
+    x
+}
+
+/// Computes the second-derivative (center-point) Savitzky-Golay kernel:
+/// convolving a signal sampled at spacing `dt` with these weights yields
+/// the local-quadratic-fit estimate of its second derivative.
+///
+/// This is how a competent camera-tracking attacker turns noisy hand
+/// positions into acceleration: a least-squares polynomial fit over a
+/// window amplifies noise far less than naive double differencing.
+///
+/// # Errors
+///
+/// Same configuration errors as [`savgol_coefficients`]; additionally the
+/// order must be at least 2 to carry a second derivative.
+pub fn savgol_second_derivative_coefficients(
+    window: usize,
+    order: usize,
+    dt: f64,
+) -> Result<Vec<f64>, SavGolError> {
+    if window % 2 == 0 {
+        return Err(SavGolError::EvenWindow);
+    }
+    if order >= window || order < 2 {
+        return Err(SavGolError::OrderTooHigh);
+    }
+    let half = (window / 2) as i64;
+    let m = order + 1;
+    let mut g = vec![vec![0.0; m]; m];
+    for (r, row) in g.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for x in -half..=half {
+                s += (x as f64).powi((r + c) as i32);
+            }
+            *cell = s;
+        }
+    }
+    // p''(0) = 2·a₂, where a solves G a = Jᵀ e with the fitted
+    // polynomial's coefficient vector; the kernel weight for offset x is
+    // Σ_j a2_j x^j with a2 = G⁻¹ e₂.
+    let a2 = solve_gaussian(&mut g, unit_vec(m, 2));
+    let mut kernel = Vec::with_capacity(window);
+    for x in -half..=half {
+        let mut w = 0.0;
+        for (j, &aj) in a2.iter().enumerate() {
+            w += aj * (x as f64).powi(j as i32);
+        }
+        kernel.push(2.0 * w / (dt * dt));
+    }
+    Ok(kernel)
+}
+
+/// Estimates the second derivative of `signal` (sample spacing `dt`) via
+/// local quadratic/cubic least-squares fits (Savitzky-Golay derivative
+/// filter), with mirror padding at the boundaries.
+///
+/// # Errors
+///
+/// See [`savgol_second_derivative_coefficients`] and
+/// [`SavGolError::SignalTooShort`].
+pub fn savgol_second_derivative(
+    signal: &[f64],
+    window: usize,
+    order: usize,
+    dt: f64,
+) -> Result<Vec<f64>, SavGolError> {
+    if signal.len() < window {
+        return Err(SavGolError::SignalTooShort);
+    }
+    let kernel = savgol_second_derivative_coefficients(window, order, dt)?;
+    let half = window / 2;
+    let n = signal.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut acc = 0.0;
+        for (k, &w) in kernel.iter().enumerate() {
+            let offset = k as i64 - half as i64;
+            let idx = mirror_index(i as i64 + offset, n);
+            acc += w * signal[idx];
+        }
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+/// Smooths `signal` with a Savitzky-Golay filter of the given odd `window`
+/// length and polynomial `order`.
+///
+/// Boundaries are handled by mirror-padding, so the output has the same
+/// length as the input.
+///
+/// # Errors
+///
+/// Returns [`SavGolError::SignalTooShort`] when the signal is shorter than
+/// the window, plus the configuration errors of [`savgol_coefficients`].
+pub fn savgol_smooth(signal: &[f64], window: usize, order: usize) -> Result<Vec<f64>, SavGolError> {
+    if signal.len() < window {
+        return Err(SavGolError::SignalTooShort);
+    }
+    let kernel = savgol_coefficients(window, order)?;
+    let half = window / 2;
+    let n = signal.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut acc = 0.0;
+        for (k, &w) in kernel.iter().enumerate() {
+            let offset = k as i64 - half as i64;
+            let idx = mirror_index(i as i64 + offset, n);
+            acc += w * signal[idx];
+        }
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+/// Reflects an out-of-range index back into `[0, n)` (mirror padding).
+fn mirror_index(i: i64, n: usize) -> usize {
+    let n = n as i64;
+    let mut i = i;
+    // For the window sizes used here a couple of reflections suffice, but
+    // loop for robustness.
+    loop {
+        if i < 0 {
+            i = -i;
+        } else if i >= n {
+            i = 2 * (n - 1) - i;
+        } else {
+            return i as usize;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classical_5_point_quadratic_kernel() {
+        let k = savgol_coefficients(5, 2).unwrap();
+        let expected = [-3.0, 12.0, 17.0, 12.0, -3.0].map(|v| v / 35.0);
+        for (a, b) in k.iter().zip(expected.iter()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn classical_7_point_quadratic_kernel() {
+        let k = savgol_coefficients(7, 2).unwrap();
+        let expected = [-2.0, 3.0, 6.0, 7.0, 6.0, 3.0, -2.0].map(|v| v / 21.0);
+        for (a, b) in k.iter().zip(expected.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kernel_sums_to_one() {
+        for (w, o) in [(5, 2), (7, 2), (9, 3), (11, 4), (21, 3)] {
+            let k = savgol_coefficients(w, o).unwrap();
+            let s: f64 = k.iter().sum();
+            assert!((s - 1.0).abs() < 1e-10, "window {w} order {o}: sum {s}");
+        }
+    }
+
+    #[test]
+    fn polynomial_signals_pass_unchanged() {
+        // A quadratic is reproduced exactly by an order-2 filter (away from
+        // mirror-padded boundaries the fit is exact; with mirror padding the
+        // interior must still be exact).
+        let signal: Vec<f64> = (0..50).map(|i| {
+            let t = i as f64 * 0.1;
+            1.5 + 2.0 * t - 0.3 * t * t
+        }).collect();
+        let out = savgol_smooth(&signal, 7, 2).unwrap();
+        for i in 3..47 {
+            assert!((out[i] - signal[i]).abs() < 1e-10, "i = {i}");
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_noise_variance() {
+        // Deterministic pseudo-noise on a sine wave.
+        let mut state: u64 = 42;
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let clean: Vec<f64> = (0..400).map(|i| (i as f64 * 0.05).sin()).collect();
+        let noisy: Vec<f64> = clean.iter().map(|c| c + 0.2 * noise()).collect();
+        let smoothed = savgol_smooth(&noisy, 11, 2).unwrap();
+        let err_noisy: f64 = clean.iter().zip(&noisy).map(|(c, n)| (c - n) * (c - n)).sum();
+        let err_smooth: f64 = clean.iter().zip(&smoothed).map(|(c, s)| (c - s) * (c - s)).sum();
+        assert!(
+            err_smooth < err_noisy / 2.0,
+            "smoothing should at least halve the noise energy: {err_smooth} vs {err_noisy}"
+        );
+    }
+
+    #[test]
+    fn preserves_peak_better_than_moving_average() {
+        // A narrow Gaussian bump: SavGol should keep the peak closer to 1
+        // than a box filter of the same width.
+        let signal: Vec<f64> = (0..101)
+            .map(|i| {
+                let x = (i as f64 - 50.0) / 4.0;
+                (-x * x / 2.0).exp()
+            })
+            .collect();
+        let sg = savgol_smooth(&signal, 11, 3).unwrap();
+        let box_avg: f64 = signal[45..56].iter().sum::<f64>() / 11.0;
+        assert!(sg[50] > box_avg, "savgol {} vs box {}", sg[50], box_avg);
+        assert!(sg[50] > 0.97, "peak preserved: {}", sg[50]);
+    }
+
+    #[test]
+    fn second_derivative_of_parabola() {
+        // p(t) = 3t² − t → p'' = 6 everywhere.
+        let dt = 0.02;
+        let signal: Vec<f64> = (0..200).map(|i| {
+            let t = i as f64 * dt;
+            3.0 * t * t - t
+        }).collect();
+        let d2 = savgol_second_derivative(&signal, 11, 2, dt).unwrap();
+        for &v in &d2[6..194] {
+            assert!((v - 6.0).abs() < 1e-6, "p'' = {v}");
+        }
+    }
+
+    #[test]
+    fn second_derivative_of_sine() {
+        // p = sin(ωt) → p'' = −ω² sin(ωt); check the interior.
+        let dt = 0.005;
+        let omega = 4.0;
+        let signal: Vec<f64> = (0..400).map(|i| (omega * i as f64 * dt).sin()).collect();
+        let d2 = savgol_second_derivative(&signal, 21, 3, dt).unwrap();
+        for i in (50..350).step_by(37) {
+            let expected = -omega * omega * (omega * i as f64 * dt).sin();
+            assert!((d2[i] - expected).abs() < 0.05, "i = {i}: {} vs {expected}", d2[i]);
+        }
+    }
+
+    #[test]
+    fn second_derivative_noise_gain_far_below_double_difference() {
+        // The point of the SG derivative: white noise of σ = 1 maps to
+        // far less output noise than the 6/dt⁴ variance of the naive
+        // central second difference.
+        let dt = 1.0 / 260.0;
+        let kernel = savgol_second_derivative_coefficients(53, 3, dt).unwrap();
+        let sg_gain: f64 = kernel.iter().map(|w| w * w).sum();
+        let naive_gain = 6.0 / dt.powi(4);
+        assert!(sg_gain < naive_gain / 100.0, "sg {sg_gain} vs naive {naive_gain}");
+    }
+
+    #[test]
+    fn second_derivative_rejects_low_order() {
+        assert_eq!(
+            savgol_second_derivative_coefficients(11, 1, 0.01).unwrap_err(),
+            SavGolError::OrderTooHigh
+        );
+    }
+
+    #[test]
+    fn config_errors() {
+        assert_eq!(savgol_coefficients(4, 2).unwrap_err(), SavGolError::EvenWindow);
+        assert_eq!(savgol_coefficients(5, 5).unwrap_err(), SavGolError::OrderTooHigh);
+        assert_eq!(
+            savgol_smooth(&[1.0, 2.0], 5, 2).unwrap_err(),
+            SavGolError::SignalTooShort
+        );
+    }
+
+    #[test]
+    fn mirror_index_reflects() {
+        assert_eq!(mirror_index(-1, 10), 1);
+        assert_eq!(mirror_index(-3, 10), 3);
+        assert_eq!(mirror_index(10, 10), 8);
+        assert_eq!(mirror_index(12, 10), 6);
+        assert_eq!(mirror_index(5, 10), 5);
+    }
+}

@@ -1,0 +1,125 @@
+//! Phase unwrapping (§IV-B-2 of the paper).
+//!
+//! The RFID reader reports backscatter phase modulo 2π. Because the tag
+//! moves continuously during the gesture, the true phase is a continuous
+//! function of time; any sample-to-sample jump larger than π is therefore a
+//! wrap artifact and is removed by adding the appropriate multiple of ±2π —
+//! exactly the "eliminate any phase jumping point" rule of the paper.
+
+use std::f64::consts::PI;
+
+/// Unwraps a phase sequence given in radians.
+///
+/// Each consecutive difference larger than π in magnitude is reduced by the
+/// nearest multiple of 2π. The first sample is kept as-is.
+///
+/// # Examples
+///
+/// ```
+/// use std::f64::consts::PI;
+/// // A phase ramp that wraps once.
+/// let wrapped = vec![5.9, 6.1, 0.1, 0.3];
+/// let un = wavekey_dsp::unwrap_phase(&wrapped);
+/// assert!((un[2] - (0.1 + 2.0 * PI)).abs() < 1e-12);
+/// ```
+pub fn unwrap_phase(phases: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(phases.len());
+    let mut offset = 0.0;
+    let mut prev_raw: Option<f64> = None;
+    for &p in phases {
+        if let Some(prev) = prev_raw {
+            let mut diff = p - prev;
+            while diff > PI {
+                diff -= 2.0 * PI;
+                offset -= 2.0 * PI;
+            }
+            while diff < -PI {
+                diff += 2.0 * PI;
+                offset += 2.0 * PI;
+            }
+        }
+        out.push(p + offset);
+        prev_raw = Some(p);
+    }
+    out
+}
+
+/// Wraps a phase value into `[0, 2π)`.
+///
+/// The inverse of what the simulated reader reports; used by tests and by
+/// the channel simulator.
+pub fn wrap_phase(phase: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let mut p = phase % two_pi;
+    if p < 0.0 {
+        p += two_pi;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_on_smooth_signal() {
+        let phases: Vec<f64> = (0..100).map(|i| (i as f64 * 0.01).sin()).collect();
+        let un = unwrap_phase(&phases);
+        for (a, b) in phases.iter().zip(&un) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn recovers_linear_ramp() {
+        // True phase: steadily increasing ramp 0..8π; reader wraps it.
+        let true_phase: Vec<f64> = (0..400).map(|i| i as f64 * 0.063).collect();
+        let wrapped: Vec<f64> = true_phase.iter().map(|&p| wrap_phase(p)).collect();
+        let un = unwrap_phase(&wrapped);
+        for (t, u) in true_phase.iter().zip(&un) {
+            assert!((t - u).abs() < 1e-9, "{t} vs {u}");
+        }
+    }
+
+    #[test]
+    fn recovers_descending_ramp() {
+        let true_phase: Vec<f64> = (0..400).map(|i| 10.0 - i as f64 * 0.05).collect();
+        let wrapped: Vec<f64> = true_phase.iter().map(|&p| wrap_phase(p)).collect();
+        let un = unwrap_phase(&wrapped);
+        for (t, u) in true_phase.iter().zip(&un) {
+            // Unwrapping preserves shape up to a constant 2π multiple.
+            let delta = t - u;
+            let first_delta = true_phase[0] - un[0];
+            assert!((delta - first_delta).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recovers_oscillation_across_boundary() {
+        // Oscillate around the 0/2π boundary.
+        let true_phase: Vec<f64> = (0..200).map(|i| 0.4 * (i as f64 * 0.1).sin()).collect();
+        let wrapped: Vec<f64> = true_phase.iter().map(|&p| wrap_phase(p)).collect();
+        let un = unwrap_phase(&wrapped);
+        let first_delta = true_phase[0] - un[0];
+        for (t, u) in true_phase.iter().zip(&un) {
+            assert!((t - u - first_delta).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wrap_phase_range() {
+        for &p in &[-7.0, -0.1, 0.0, 3.0, 6.3, 100.0] {
+            let w = wrap_phase(p);
+            assert!((0.0..2.0 * PI).contains(&w), "{p} -> {w}");
+            // Same angle modulo 2π.
+            let diff = (p - w) / (2.0 * PI);
+            assert!((diff - diff.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(unwrap_phase(&[]).is_empty());
+        assert_eq!(unwrap_phase(&[1.5]), vec![1.5]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Motion-start detection (§IV-B-1 of the paper).
+//!
+//! WaveKey avoids clock synchronization between the mobile device and the
+//! RFID server by having the user briefly *pause* before the random
+//! gesture. Both devices watch their own signal and declare the gesture
+//! started at the first sample where a sliding-window variance rises
+//! significantly above the quiet-period baseline; data recording begins at
+//! that sample on both sides, which aligns the two recordings.
+
+use serde::{Deserialize, Serialize};
+use wavekey_math::variance;
+
+/// Configuration for [`detect_motion_start`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MotionDetectConfig {
+    /// Number of samples in the sliding variance window.
+    pub window: usize,
+    /// Number of leading samples assumed quiet, used to estimate the noise
+    /// floor.
+    pub baseline_len: usize,
+    /// Detection fires when windowed variance exceeds
+    /// `threshold_factor × baseline variance` (with an absolute floor so a
+    /// perfectly noise-free baseline still works).
+    pub threshold_factor: f64,
+    /// Absolute variance floor added to the baseline estimate.
+    pub variance_floor: f64,
+}
+
+impl Default for MotionDetectConfig {
+    fn default() -> Self {
+        MotionDetectConfig {
+            window: 10,
+            baseline_len: 30,
+            threshold_factor: 8.0,
+            variance_floor: 1e-9,
+        }
+    }
+}
+
+/// Finds the index at which motion starts in `signal`, or `None` when the
+/// variance never rises above threshold.
+///
+/// The returned index is the *start of the window* that first triggers, so
+/// recordings that begin at this index include the onset itself.
+///
+/// # Panics
+///
+/// Panics if `config.window == 0` or `config.baseline_len < config.window`.
+pub fn detect_motion_start(signal: &[f64], config: &MotionDetectConfig) -> Option<usize> {
+    assert!(config.window > 0, "window must be positive");
+    assert!(
+        config.baseline_len >= config.window,
+        "baseline must cover at least one window"
+    );
+    if signal.len() < config.baseline_len + config.window {
+        return None;
+    }
+    // Baseline noise level from the assumed-quiet prefix, measured as the
+    // largest windowed variance seen there.
+    let mut baseline: f64 = 0.0;
+    for start in 0..=(config.baseline_len - config.window) {
+        baseline = baseline.max(variance(&signal[start..start + config.window]));
+    }
+    let threshold = (baseline + config.variance_floor) * config.threshold_factor;
+
+    for start in config.baseline_len..=(signal.len() - config.window) {
+        if variance(&signal[start..start + config.window]) > threshold {
+            return Some(start);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_then_motion(quiet: usize, motion: usize) -> Vec<f64> {
+        let mut signal = Vec::with_capacity(quiet + motion);
+        let mut state: u64 = 99;
+        let mut noise = |scale: f64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            scale * (((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5)
+        };
+        for _ in 0..quiet {
+            signal.push(noise(0.01));
+        }
+        for i in 0..motion {
+            signal.push((i as f64 * 0.2).sin() * 2.0 + noise(0.01));
+        }
+        signal
+    }
+
+    #[test]
+    fn detects_onset_near_true_start() {
+        let quiet = 100;
+        let signal = quiet_then_motion(quiet, 200);
+        let start = detect_motion_start(&signal, &MotionDetectConfig::default())
+            .expect("motion should be detected");
+        assert!(
+            (start as i64 - quiet as i64).abs() <= 12,
+            "detected at {start}, true onset {quiet}"
+        );
+    }
+
+    #[test]
+    fn no_detection_on_pure_noise() {
+        let mut state: u64 = 5;
+        let signal: Vec<f64> = (0..300)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                0.01 * (((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5)
+            })
+            .collect();
+        assert_eq!(detect_motion_start(&signal, &MotionDetectConfig::default()), None);
+    }
+
+    #[test]
+    fn too_short_signal_returns_none() {
+        let signal = vec![0.0; 10];
+        assert_eq!(detect_motion_start(&signal, &MotionDetectConfig::default()), None);
+    }
+
+    #[test]
+    fn both_modalities_detect_same_onset() {
+        // Simulate the cross-device synchronization property: two different
+        // signals driven by the same onset should trigger within a few
+        // samples of each other.
+        let quiet = 80;
+        let imu = quiet_then_motion(quiet, 150);
+        // "RFID" signal: different shape, same onset.
+        let mut rfid = vec![0.0; quiet];
+        for i in 0..150 {
+            rfid.push((i as f64 * 0.15).cos() * 1.5);
+        }
+        let cfg = MotionDetectConfig::default();
+        let a = detect_motion_start(&imu, &cfg).unwrap();
+        let b = detect_motion_start(&rfid, &cfg).unwrap();
+        assert!((a as i64 - b as i64).abs() <= 12, "imu {a} rfid {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline must cover")]
+    fn invalid_config_panics() {
+        let cfg = MotionDetectConfig { window: 50, baseline_len: 10, ..Default::default() };
+        detect_motion_start(&[0.0; 100], &cfg);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the DSP substrate.
+
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+use wavekey_dsp::gray::{bits_for, gray_decode, gray_encode, GrayCode};
+use wavekey_dsp::unwrap::{unwrap_phase, wrap_phase};
+use wavekey_dsp::{savgol_smooth, EquiprobableQuantizer};
+
+proptest! {
+    #[test]
+    fn gray_roundtrip(n in any::<u32>()) {
+        let n = u64::from(n);
+        prop_assert_eq!(gray_decode(gray_encode(n)), n);
+    }
+
+    #[test]
+    fn gray_adjacent_single_bit(n in 0u64..1_000_000) {
+        prop_assert_eq!((gray_encode(n) ^ gray_encode(n + 1)).count_ones(), 1);
+    }
+
+    #[test]
+    fn gray_code_symbol_roundtrip(n_symbols in 2usize..20, symbol_seed in any::<u64>()) {
+        let code = GrayCode::new(n_symbols);
+        let symbol = (symbol_seed as usize) % n_symbols;
+        let bits = code.encode_symbol(symbol);
+        prop_assert_eq!(bits.len(), bits_for(n_symbols));
+        prop_assert_eq!(code.decode_symbol(&bits), symbol);
+    }
+
+    #[test]
+    fn wrap_phase_idempotent_and_in_range(p in -1000.0f64..1000.0) {
+        let w = wrap_phase(p);
+        prop_assert!((0.0..TAU).contains(&w));
+        prop_assert!((wrap_phase(w) - w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unwrap_recovers_smooth_signals(
+        start in -3.0f64..3.0,
+        slope in -2.5f64..2.5,
+        len in 10usize..200
+    ) {
+        // Any phase signal with per-sample steps < π unwraps exactly (up
+        // to the initial 2π ambiguity).
+        let truth: Vec<f64> = (0..len).map(|i| start + slope * i as f64 * 0.5).collect();
+        let wrapped: Vec<f64> = truth.iter().map(|&p| wrap_phase(p)).collect();
+        let un = unwrap_phase(&wrapped);
+        let offset = truth[0] - un[0];
+        for (t, u) in truth.iter().zip(&un) {
+            prop_assert!((t - u - offset).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantizer_is_monotone_and_total(n_bins in 2usize..16, x in -6.0f64..6.0, y in -6.0f64..6.0) {
+        let q = EquiprobableQuantizer::new(n_bins).unwrap();
+        let bx = q.quantize(x);
+        let by = q.quantize(y);
+        prop_assert!(bx < n_bins && by < n_bins);
+        if x <= y {
+            prop_assert!(bx <= by);
+        }
+    }
+
+    #[test]
+    fn quantizer_bins_equiprobable(n_bins in 2usize..16) {
+        let q = EquiprobableQuantizer::new(n_bins).unwrap();
+        for i in 0..n_bins {
+            let p = q.bin_probability(i);
+            prop_assert!((p - 1.0 / n_bins as f64).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn savgol_preserves_constants(c in -100.0f64..100.0, len in 21usize..100) {
+        let signal = vec![c; len];
+        let out = savgol_smooth(&signal, 11, 3).unwrap();
+        for v in out {
+            prop_assert!((v - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn savgol_is_linear(seed in any::<u64>(), alpha in -3.0f64..3.0) {
+        // F(αx + y) = αF(x) + F(y).
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let x: Vec<f64> = (0..50).map(|_| next()).collect();
+        let y: Vec<f64> = (0..50).map(|_| next()).collect();
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(a, b)| alpha * a + b).collect();
+        let fx = savgol_smooth(&x, 9, 2).unwrap();
+        let fy = savgol_smooth(&y, 9, 2).unwrap();
+        let fc = savgol_smooth(&combo, 9, 2).unwrap();
+        for i in 0..50 {
+            prop_assert!((fc[i] - (alpha * fx[i] + fy[i])).abs() < 1e-9);
+        }
+    }
+}

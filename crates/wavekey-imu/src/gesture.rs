@@ -1,0 +1,703 @@
+//! Stochastic hand-gesture trajectories.
+//!
+//! A WaveKey gesture is a short (~2 s) random wave of the hand holding
+//! both the mobile device and the RFID tag, preceded by a brief pause that
+//! both sides use to synchronize their recordings (§IV-B-1).
+//!
+//! The generator models hand dynamics as a sum of band-limited sinusoids:
+//! human wrist/arm motion has essentially no energy above ~5 Hz, and
+//! per-harmonic *acceleration* amplitudes of a few m/s² reproduce the
+//! velocity (0.1–2 m/s) and displacement (2–20 cm) ranges of natural
+//! waving. Device orientation evolves by integrating a band-limited
+//! angular velocity, so the stored gyroscope ground truth is exactly
+//! consistent with the stored pose — the same consistency a real IMU
+//! experiences.
+//!
+//! The *mimicry* model (gesture-mimicking attack, §VI-E-1) replays a
+//! victim trajectory through a human motor-error channel: reaction lag,
+//! amplitude misjudgment, and added motor noise. Published motion-imitation
+//! studies place imitation lag around 150–400 ms and amplitude error around
+//! 10–30 %, which is what the defaults encode.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wavekey_math::{Quaternion, Vec3};
+
+/// Identifies one of the simulated volunteers (the paper recruited six).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VolunteerId(pub u32);
+
+/// Configuration of the gesture generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GestureConfig {
+    /// Length of the initial still pause (seconds). Both devices detect the
+    /// end of this pause as the start of the gesture.
+    pub pause: f64,
+    /// Length of the active random motion (seconds). The paper requires
+    /// "slightly longer than two seconds".
+    pub active: f64,
+    /// Internal simulation rate (Hz) of the stored ground-truth series.
+    pub sim_rate: f64,
+    /// Number of translational harmonics per axis.
+    pub harmonics: usize,
+    /// Per-harmonic peak acceleration range (m/s²).
+    pub accel_range: (f64, f64),
+    /// Translational frequency band (Hz).
+    pub freq_range: (f64, f64),
+    /// Number of rotational harmonics per axis.
+    pub rot_harmonics: usize,
+    /// Per-harmonic peak angular velocity range (rad/s).
+    pub omega_range: (f64, f64),
+    /// Rotational frequency band (Hz).
+    pub rot_freq_range: (f64, f64),
+    /// Ramp-up time after the pause (seconds) so motion starts smoothly.
+    pub ramp: f64,
+    /// Amplitude multiplier for the body-forward (+x) axis. Users face
+    /// the reader while waving at it, so hand motion is dominated by the
+    /// toward/away component — which is exactly the component the RFID
+    /// phase observes. 1.0 disables the bias.
+    pub forward_bias: f64,
+}
+
+impl Default for GestureConfig {
+    fn default() -> Self {
+        GestureConfig {
+            pause: 0.5,
+            active: 3.0,
+            sim_rate: 1000.0,
+            harmonics: 5,
+            accel_range: (0.8, 4.0),
+            freq_range: (0.4, 3.5),
+            rot_harmonics: 3,
+            omega_range: (0.3, 1.8),
+            rot_freq_range: (0.3, 3.0),
+            ramp: 0.12,
+            forward_bias: 3.0,
+        }
+    }
+}
+
+/// Ground truth of a single gesture: dense time series of the hand state.
+///
+/// All world-frame quantities; orientation maps body → world.
+#[derive(Debug, Clone)]
+pub struct Gesture {
+    /// Timestamps (s), uniform at `sim_rate`, starting at 0 (pause start).
+    ts: Vec<f64>,
+    /// Hand/device position (m).
+    pos: Vec<Vec3>,
+    /// Velocity (m/s).
+    vel: Vec<Vec3>,
+    /// Acceleration (m/s²).
+    acc: Vec<Vec3>,
+    /// Device orientation (body → world).
+    quat: Vec<Quaternion>,
+    /// Angular velocity in the body frame (rad/s).
+    omega: Vec<Vec3>,
+    /// Duration of the initial pause (s).
+    pause: f64,
+}
+
+impl Gesture {
+    /// Total duration in seconds.
+    pub fn duration(&self) -> f64 {
+        *self.ts.last().expect("gesture is never empty")
+    }
+
+    /// Duration of the initial still pause.
+    pub fn pause(&self) -> f64 {
+        self.pause
+    }
+
+    /// Number of stored ground-truth samples.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// `true` if the gesture stores no samples (never for generated ones).
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// The raw timestamp series.
+    pub fn timestamps(&self) -> &[f64] {
+        &self.ts
+    }
+
+    /// Position at time `t` (linear interpolation, clamped to the ends).
+    pub fn position_at(&self, t: f64) -> Vec3 {
+        self.lerp_vec(&self.pos, t)
+    }
+
+    /// Velocity at time `t`.
+    pub fn velocity_at(&self, t: f64) -> Vec3 {
+        self.lerp_vec(&self.vel, t)
+    }
+
+    /// World-frame acceleration at time `t`.
+    pub fn acceleration_at(&self, t: f64) -> Vec3 {
+        self.lerp_vec(&self.acc, t)
+    }
+
+    /// Body-frame angular velocity at time `t`.
+    pub fn omega_at(&self, t: f64) -> Vec3 {
+        self.lerp_vec(&self.omega, t)
+    }
+
+    /// Orientation (body → world) at time `t` (normalized lerp).
+    pub fn orientation_at(&self, t: f64) -> Quaternion {
+        let (i, frac) = self.locate(t);
+        if frac == 0.0 || i + 1 >= self.quat.len() {
+            return self.quat[i];
+        }
+        let a = self.quat[i];
+        let b = self.quat[i + 1];
+        // Normalized lerp; adjacent samples are close so nlerp ≈ slerp.
+        let sign = if a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z < 0.0 { -1.0 } else { 1.0 };
+        Quaternion::new(
+            a.w + (sign * b.w - a.w) * frac,
+            a.x + (sign * b.x - a.x) * frac,
+            a.y + (sign * b.y - a.y) * frac,
+            a.z + (sign * b.z - a.z) * frac,
+        )
+        .normalized()
+    }
+
+    /// Returns a copy of the gesture rotated by `yaw` radians about the
+    /// vertical axis around the starting position — this is how "the user
+    /// faces the reader" is applied: the generator's body-forward (+x)
+    /// axis is turned toward the antenna.
+    ///
+    /// All stored quantities (position, velocity, acceleration,
+    /// orientation, body-frame angular velocity) stay mutually
+    /// consistent: world vectors are rotated, the orientation quaternion
+    /// is left-composed, and body-frame angular velocity is unchanged.
+    pub fn rotated_yaw(&self, yaw: f64) -> Gesture {
+        let r = Quaternion::from_axis_angle(Vec3::Z, yaw);
+        let pivot = self.pos[0];
+        Gesture {
+            ts: self.ts.clone(),
+            pos: self.pos.iter().map(|&p| pivot + r.rotate(p - pivot)).collect(),
+            vel: self.vel.iter().map(|&v| r.rotate(v)).collect(),
+            acc: self.acc.iter().map(|&a| r.rotate(a)).collect(),
+            quat: self.quat.iter().map(|&q| r.mul(q).normalized()).collect(),
+            omega: self.omega.clone(),
+            pause: self.pause,
+        }
+    }
+
+    fn locate(&self, t: f64) -> (usize, f64) {
+        let t0 = self.ts[0];
+        let dt = self.ts[1] - self.ts[0];
+        if t <= t0 {
+            return (0, 0.0);
+        }
+        let last = self.ts.len() - 1;
+        if t >= self.ts[last] {
+            return (last, 0.0);
+        }
+        let x = (t - t0) / dt;
+        let i = x.floor() as usize;
+        (i, x - i as f64)
+    }
+
+    fn lerp_vec(&self, series: &[Vec3], t: f64) -> Vec3 {
+        let (i, frac) = self.locate(t);
+        if frac == 0.0 || i + 1 >= series.len() {
+            series[i]
+        } else {
+            series[i].lerp(series[i + 1], frac)
+        }
+    }
+}
+
+/// One translational or rotational harmonic.
+#[derive(Debug, Clone, Copy)]
+struct Harmonic {
+    /// Peak acceleration (m/s²) or angular velocity (rad/s).
+    amp: f64,
+    /// Frequency (Hz).
+    freq: f64,
+    /// Phase (rad).
+    phase: f64,
+}
+
+/// Generates random gestures with a per-volunteer style signature.
+///
+/// # Examples
+///
+/// ```
+/// use wavekey_imu::gesture::{GestureGenerator, GestureConfig, VolunteerId};
+/// let mut gen = GestureGenerator::new(VolunteerId(0), 42);
+/// let gesture = gen.generate(&GestureConfig::default());
+/// assert!(gesture.duration() >= 2.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GestureGenerator {
+    volunteer: VolunteerId,
+    rng: StdRng,
+    /// Style multipliers derived deterministically from the volunteer id.
+    amp_scale: f64,
+    freq_scale: f64,
+    rot_scale: f64,
+}
+
+impl GestureGenerator {
+    /// Creates a generator for `volunteer`, seeded by `seed`.
+    ///
+    /// The volunteer id deterministically selects a style (amplitude /
+    /// tempo / rotation multipliers); the seed drives the per-gesture
+    /// randomness.
+    pub fn new(volunteer: VolunteerId, seed: u64) -> GestureGenerator {
+        let mut style_rng = StdRng::seed_from_u64(0x57a7_e000 ^ u64::from(volunteer.0));
+        GestureGenerator {
+            volunteer,
+            rng: StdRng::seed_from_u64(seed ^ (u64::from(volunteer.0) << 32)),
+            amp_scale: style_rng.gen_range(0.75..1.25),
+            freq_scale: style_rng.gen_range(0.85..1.15),
+            rot_scale: style_rng.gen_range(0.7..1.3),
+        }
+    }
+
+    /// The volunteer this generator emulates.
+    pub fn volunteer(&self) -> VolunteerId {
+        self.volunteer
+    }
+
+    /// Generates one random gesture.
+    pub fn generate(&mut self, config: &GestureConfig) -> Gesture {
+        let trans: Vec<[Harmonic; 3]> = (0..config.harmonics)
+            .map(|_| {
+                [0, 1, 2].map(|axis| Harmonic {
+                    amp: self.rng.gen_range(config.accel_range.0..config.accel_range.1)
+                        * self.amp_scale
+                        * if axis == 0 { config.forward_bias } else { 1.0 },
+                    freq: self.rng.gen_range(config.freq_range.0..config.freq_range.1)
+                        * self.freq_scale,
+                    phase: self.rng.gen_range(0.0..std::f64::consts::TAU),
+                })
+            })
+            .collect();
+        let rot: Vec<[Harmonic; 3]> = (0..config.rot_harmonics)
+            .map(|_| {
+                [0, 1, 2].map(|_| Harmonic {
+                    amp: self.rng.gen_range(config.omega_range.0..config.omega_range.1)
+                        * self.rot_scale,
+                    freq: self
+                        .rng
+                        .gen_range(config.rot_freq_range.0..config.rot_freq_range.1)
+                        * self.freq_scale,
+                    phase: self.rng.gen_range(0.0..std::f64::consts::TAU),
+                })
+            })
+            .collect();
+
+        // Random initial orientation: phones are held at all sorts of
+        // angles; keep it within ±45° of "screen up" for realism.
+        let tilt_axis = Vec3::new(
+            self.rng.gen_range(-1.0..1.0),
+            self.rng.gen_range(-1.0..1.0),
+            self.rng.gen_range(-1.0..1.0),
+        );
+        let tilt = Quaternion::from_axis_angle(
+            tilt_axis,
+            self.rng.gen_range(-std::f64::consts::FRAC_PI_4..std::f64::consts::FRAC_PI_4),
+        );
+        // Starting position roughly at chest height.
+        let start = Vec3::new(
+            self.rng.gen_range(-0.1..0.1),
+            self.rng.gen_range(-0.1..0.1),
+            self.rng.gen_range(1.2..1.5),
+        );
+
+        build_gesture(config, start, tilt, &trans, &rot)
+    }
+
+    /// Generates a mimic of `victim`: an attacker watches the victim's
+    /// gesture and reproduces it while holding their own device.
+    ///
+    /// The imitation passes through a human motor-error channel described
+    /// by `mimic_config` — see [`MimicConfig`].
+    pub fn mimic(
+        &mut self,
+        victim: &Gesture,
+        config: &GestureConfig,
+        mimic_config: &MimicConfig,
+    ) -> Gesture {
+        let lag0 = self
+            .rng
+            .gen_range(mimic_config.lag_range.0..mimic_config.lag_range.1);
+        // The lag is not constant: the mimic drifts in and out of sync.
+        let lag_wander_amp = self.rng.gen_range(0.3..1.0) * mimic_config.lag_wander;
+        let lag_wander_freq = self.rng.gen_range(0.2..0.6);
+        let lag_wander_phase = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        // One amplitude error per axis; mimics consistently over/undershoot.
+        let gain = Vec3::new(
+            1.0 + self.rng.gen_range(-mimic_config.amplitude_error..mimic_config.amplitude_error),
+            1.0 + self.rng.gen_range(-mimic_config.amplitude_error..mimic_config.amplitude_error),
+            1.0 + self.rng.gen_range(-mimic_config.amplitude_error..mimic_config.amplitude_error),
+        );
+        // Pursuit-tracking bandwidth: humans can follow ~1–2 Hz of an
+        // observed motion; finer detail is lost.
+        let cutoff = self
+            .rng
+            .gen_range(mimic_config.bandwidth_range.0..mimic_config.bandwidth_range.1);
+        // Motor noise: band-limited tremor harmonics.
+        let tremor: Vec<[Harmonic; 3]> = (0..3)
+            .map(|_| {
+                [0, 1, 2].map(|_| Harmonic {
+                    amp: self.rng.gen_range(0.3..1.0) * mimic_config.motor_noise,
+                    freq: self.rng.gen_range(1.0..6.0),
+                    phase: self.rng.gen_range(0.0..std::f64::consts::TAU),
+                })
+            })
+            .collect();
+
+        let dt = 1.0 / config.sim_rate;
+        let n = victim.len();
+        let mut ts = Vec::with_capacity(n);
+        let mut acc = Vec::with_capacity(n);
+        // Single-pole low-pass state (the tracking filter).
+        let alpha = 1.0 - (-std::f64::consts::TAU * cutoff * dt).exp();
+        let mut filtered = Vec3::ZERO;
+        for i in 0..n {
+            let t = i as f64 * dt;
+            ts.push(t);
+            let lag = lag0
+                + lag_wander_amp
+                    * (std::f64::consts::TAU * lag_wander_freq * t + lag_wander_phase).sin();
+            // The mimic reproduces the victim's acceleration profile,
+            // delayed by the (drifting) reaction lag, low-passed by the
+            // tracking bandwidth, and scaled by the gain error.
+            let source = victim.acceleration_at(t - lag);
+            filtered += (source - filtered) * alpha;
+            let mut a = filtered.hadamard(gain);
+            let active_t = t - victim.pause();
+            if active_t > 0.0 {
+                for h3 in &tremor {
+                    a += Vec3::new(
+                        h3[0].amp * (std::f64::consts::TAU * h3[0].freq * t + h3[0].phase).sin(),
+                        h3[1].amp * (std::f64::consts::TAU * h3[1].freq * t + h3[1].phase).sin(),
+                        h3[2].amp * (std::f64::consts::TAU * h3[2].freq * t + h3[2].phase).sin(),
+                    );
+                }
+            }
+            acc.push(a);
+        }
+        // Integrate acceleration to velocity/position; the mimic's own
+        // orientation wobble is freshly random (orientation is invisible
+        // to an observer at a distance).
+        let rot: Vec<[Harmonic; 3]> = (0..config.rot_harmonics)
+            .map(|_| {
+                [0, 1, 2].map(|_| Harmonic {
+                    amp: self.rng.gen_range(config.omega_range.0..config.omega_range.1),
+                    freq: self.rng.gen_range(config.rot_freq_range.0..config.rot_freq_range.1),
+                    phase: self.rng.gen_range(0.0..std::f64::consts::TAU),
+                })
+            })
+            .collect();
+        integrate_series(config, victim.position_at(0.0), Quaternion::identity(), ts, acc, &rot, victim.pause())
+    }
+}
+
+/// Parameters of the human motor-error channel used by gesture mimicry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MimicConfig {
+    /// Reaction-lag range in seconds (imitation studies: 150–400 ms).
+    pub lag_range: (f64, f64),
+    /// Peak lag drift amplitude in seconds (the mimic loses and regains
+    /// synchronization over the gesture).
+    pub lag_wander: f64,
+    /// Relative amplitude misjudgment (0.2 = ±20 %).
+    pub amplitude_error: f64,
+    /// Pursuit-tracking bandwidth range in Hz: motion content above this
+    /// is invisible to the mimic's motor system.
+    pub bandwidth_range: (f64, f64),
+    /// Peak tremor acceleration (m/s²).
+    pub motor_noise: f64,
+}
+
+impl Default for MimicConfig {
+    fn default() -> Self {
+        MimicConfig {
+            lag_range: (0.15, 0.4),
+            lag_wander: 0.08,
+            amplitude_error: 0.2,
+            bandwidth_range: (1.0, 2.0),
+            motor_noise: 0.8,
+        }
+    }
+}
+
+/// Builds the dense ground-truth series from harmonic banks.
+fn build_gesture(
+    config: &GestureConfig,
+    start: Vec3,
+    initial_quat: Quaternion,
+    trans: &[[Harmonic; 3]],
+    rot: &[[Harmonic; 3]],
+) -> Gesture {
+    let dt = 1.0 / config.sim_rate;
+    let total = config.pause + config.active;
+    let n = (total * config.sim_rate).round() as usize + 1;
+    let ts: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
+    let acc: Vec<Vec3> = ts
+        .iter()
+        .map(|&t| {
+            let env = envelope(t, config);
+            if env == 0.0 {
+                return Vec3::ZERO;
+            }
+            let mut a = Vec3::ZERO;
+            for h3 in trans {
+                a += Vec3::new(
+                    h3[0].amp * (std::f64::consts::TAU * h3[0].freq * t + h3[0].phase).sin(),
+                    h3[1].amp * (std::f64::consts::TAU * h3[1].freq * t + h3[1].phase).sin(),
+                    h3[2].amp * (std::f64::consts::TAU * h3[2].freq * t + h3[2].phase).sin(),
+                );
+            }
+            a * env
+        })
+        .collect();
+    integrate_series(config, start, initial_quat, ts, acc, rot, config.pause)
+}
+
+/// Integrates an acceleration series (and rotational harmonics) into the
+/// full gesture ground truth.
+fn integrate_series(
+    config: &GestureConfig,
+    start: Vec3,
+    initial_quat: Quaternion,
+    ts: Vec<f64>,
+    acc: Vec<Vec3>,
+    rot: &[[Harmonic; 3]],
+    pause: f64,
+) -> Gesture {
+    let dt = 1.0 / config.sim_rate;
+    let n = ts.len();
+    let mut vel = Vec::with_capacity(n);
+    let mut pos = Vec::with_capacity(n);
+    let mut quat = Vec::with_capacity(n);
+    let mut omega = Vec::with_capacity(n);
+    let mut total_acc = Vec::with_capacity(n);
+    let mut v = Vec3::ZERO;
+    let mut p = start;
+    let mut q = initial_quat;
+    // Physiological recentering: the hand waves *about* a home position
+    // rather than walking away — a weak spring-damper toward the start
+    // keeps displacement at arm scale even over 15-second gestures. The
+    // feedback is part of the true hand acceleration, so both the IMU
+    // and the RFID channel see it.
+    const SPRING: f64 = 3.0; // s⁻², recentering stiffness
+    const DAMPING: f64 = 3.5; // s⁻¹ — critically damped: no resonant wander
+    for (i, &t) in ts.iter().enumerate() {
+        let env = envelope(t, config);
+        let w = if env == 0.0 {
+            Vec3::ZERO
+        } else {
+            let mut w = Vec3::ZERO;
+            for h3 in rot {
+                w += Vec3::new(
+                    h3[0].amp * (std::f64::consts::TAU * h3[0].freq * t + h3[0].phase).sin(),
+                    h3[1].amp * (std::f64::consts::TAU * h3[1].freq * t + h3[1].phase).sin(),
+                    h3[2].amp * (std::f64::consts::TAU * h3[2].freq * t + h3[2].phase).sin(),
+                );
+            }
+            w * env
+        };
+        let a = acc[i] + (start - p) * SPRING - v * DAMPING;
+        vel.push(v);
+        pos.push(p);
+        quat.push(q);
+        omega.push(w);
+        total_acc.push(a);
+        // Semi-implicit Euler keeps the stored series self-consistent.
+        v += a * dt;
+        p += v * dt;
+        q = q.integrate(w, dt);
+    }
+    Gesture { ts, pos, vel, acc: total_acc, quat, omega, pause }
+}
+
+/// Smooth activation envelope: 0 during the pause, smoothstep ramp, then 1.
+fn envelope(t: f64, config: &GestureConfig) -> f64 {
+    let x = (t - config.pause) / config.ramp;
+    if x <= 0.0 {
+        0.0
+    } else if x >= 1.0 {
+        1.0
+    } else {
+        x * x * (3.0 - 2.0 * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavekey_math::pearson_correlation;
+
+    fn default_gesture(seed: u64) -> Gesture {
+        GestureGenerator::new(VolunteerId(0), seed).generate(&GestureConfig::default())
+    }
+
+    #[test]
+    fn gesture_is_still_during_pause() {
+        let g = default_gesture(1);
+        for i in 0..(0.45 * 1000.0) as usize {
+            assert_eq!(g.acc[i], Vec3::ZERO, "sample {i}");
+            assert_eq!(g.omega[i], Vec3::ZERO);
+        }
+        assert_eq!(g.position_at(0.0), g.position_at(0.4));
+    }
+
+    #[test]
+    fn gesture_moves_after_pause() {
+        let g = default_gesture(2);
+        let during = g.acceleration_at(1.5);
+        assert!(during.norm() > 0.0 || g.acceleration_at(1.6).norm() > 0.0);
+        // Displacement over the active window should be at least a cm.
+        let moved = g.position_at(2.5).distance(g.position_at(0.5));
+        assert!(moved > 0.01, "moved {moved} m");
+    }
+
+    #[test]
+    fn acceleration_magnitudes_are_humanlike() {
+        let g = default_gesture(3);
+        let peak = g
+            .acc
+            .iter()
+            .map(|a| a.norm())
+            .fold(0.0f64, f64::max);
+        assert!(peak > 1.0, "peak accel {peak} too small");
+        assert!(peak < 60.0, "peak accel {peak} beyond human capability");
+    }
+
+    #[test]
+    fn velocity_is_integral_of_acceleration() {
+        let g = default_gesture(4);
+        // Compare finite-difference of velocity against stored acceleration.
+        let dt = 1.0 / 1000.0;
+        for i in (600..2500).step_by(137) {
+            let fd = (g.vel[i + 1] - g.vel[i]) / dt;
+            assert!((fd - g.acc[i]).norm() < 1e-6, "index {i}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_gestures() {
+        let a = default_gesture(10);
+        let b = default_gesture(11);
+        let ax: Vec<f64> = a.acc.iter().map(|v| v.x).collect();
+        let bx: Vec<f64> = b.acc.iter().map(|v| v.x).collect();
+        let corr = pearson_correlation(&ax, &bx);
+        assert!(corr.abs() < 0.5, "independent gestures correlate at {corr}");
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let a = default_gesture(12);
+        let b = default_gesture(12);
+        assert_eq!(a.pos, b.pos);
+        assert_eq!(a.quat.len(), b.quat.len());
+    }
+
+    #[test]
+    fn orientation_stays_normalized() {
+        let g = default_gesture(13);
+        for q in &g.quat {
+            assert!((q.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn interpolators_clamp_out_of_range() {
+        let g = default_gesture(14);
+        assert_eq!(g.position_at(-1.0), g.pos[0]);
+        assert_eq!(g.position_at(100.0), *g.pos.last().unwrap());
+    }
+
+    #[test]
+    fn mimic_correlates_but_differs() {
+        let config = GestureConfig::default();
+        let mut victim_gen = GestureGenerator::new(VolunteerId(0), 20);
+        let victim = victim_gen.generate(&config);
+        let mut attacker = GestureGenerator::new(VolunteerId(1), 21);
+        let mimic = attacker.mimic(&victim, &config, &MimicConfig::default());
+
+        // The mimic trails the victim by an unknown reaction lag, so scan
+        // candidate lags and take the best alignment.
+        let mx: Vec<f64> = mimic.acc.iter().map(|a| a.x).collect();
+        let mut best = -1.0f64;
+        for lag_ms in (0..=500).step_by(10) {
+            let lag = lag_ms; // samples at 1 kHz
+            let vx: Vec<f64> =
+                (0..mimic.len() - lag).map(|i| victim.acc[i].x).collect();
+            let mx_shift: Vec<f64> = mx[lag..].to_vec();
+            best = best.max(pearson_correlation(&vx, &mx_shift));
+        }
+        // A mimic resembles the victim far more than an independent gesture…
+        assert!(best > 0.3, "mimic barely correlates: {best}");
+        // …but the motor-error channel prevents a close copy.
+        assert!(best < 0.99, "mimic too faithful: {best}");
+    }
+
+    #[test]
+    fn mimic_has_same_length_and_pause() {
+        let config = GestureConfig::default();
+        let mut gen = GestureGenerator::new(VolunteerId(2), 30);
+        let victim = gen.generate(&config);
+        let mimic = gen.mimic(&victim, &config, &MimicConfig::default());
+        assert_eq!(mimic.len(), victim.len());
+        assert_eq!(mimic.pause(), victim.pause());
+    }
+
+    #[test]
+    fn forward_bias_dominates_x_axis() {
+        // Average over several gestures: the per-harmonic amplitudes are
+        // random, so a single gesture can deviate.
+        let (mut ex, mut ey, mut ez) = (0.0f64, 0.0f64, 0.0f64);
+        for seed in 40..48 {
+            let g = default_gesture(seed);
+            for a in &g.acc {
+                ex += a.x * a.x;
+                ey += a.y * a.y;
+                ez += a.z * a.z;
+            }
+        }
+        assert!(ex > 2.0 * ey, "x {ex} vs y {ey}");
+        assert!(ex > 2.0 * ez, "x {ex} vs z {ez}");
+    }
+
+    #[test]
+    fn rotated_yaw_consistency() {
+        let g = default_gesture(41);
+        let yaw = 1.1;
+        let rg = g.rotated_yaw(yaw);
+        // Same start position; rotated displacement/acceleration norms.
+        assert!((rg.position_at(0.0) - g.position_at(0.0)).norm() < 1e-12);
+        for &t in &[1.0, 1.7, 2.4] {
+            assert!((rg.acceleration_at(t).norm() - g.acceleration_at(t).norm()).abs() < 1e-9);
+            // The rotated acceleration really is the yaw-rotation of the
+            // original.
+            let r = Quaternion::from_axis_angle(Vec3::Z, yaw);
+            assert!((rg.acceleration_at(t) - r.rotate(g.acceleration_at(t))).norm() < 1e-9);
+            // Specific force consistency: the body-frame specific force
+            // must be unchanged by the world-frame yaw (sensors cannot
+            // tell which way the user faces, gravity aside).
+            let f_orig = g.orientation_at(t).conjugate().rotate(g.acceleration_at(t));
+            let f_rot = rg.orientation_at(t).conjugate().rotate(rg.acceleration_at(t));
+            assert!((f_orig - f_rot).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn volunteer_styles_differ() {
+        let g0 = GestureGenerator::new(VolunteerId(0), 1);
+        let g1 = GestureGenerator::new(VolunteerId(1), 1);
+        assert!(
+            (g0.amp_scale - g1.amp_scale).abs() > 1e-6
+                || (g0.freq_scale - g1.freq_scale).abs() > 1e-6
+        );
+    }
+}

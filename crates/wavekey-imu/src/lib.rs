@@ -1,0 +1,32 @@
+//! Gesture simulation and the mobile-side WaveKey pipeline.
+//!
+//! The original WaveKey evaluation recorded six human volunteers waving
+//! four physical mobile devices. This crate replaces the humans and the
+//! hardware with simulation while keeping the paper's processing chain
+//! (§IV-B) intact:
+//!
+//! * [`gesture`] — a stochastic generator of smooth, band-limited 3-D hand
+//!   trajectories with per-volunteer style, a leading pause (the paper's
+//!   synchronization trick), plus the *mimicry* model used by the §VI-E
+//!   gesture-mimicking attack.
+//! * [`sensors`] — accelerometer / gyroscope / magnetometer models with
+//!   noise, bias, and sampling jitter; four device models standing in for
+//!   the paper's Pixel 8, two Galaxy S5 phones, and Galaxy Watch.
+//! * [`pipeline`] — the §IV-B mobile-side processing: interpolation to
+//!   100 Hz, initial pose from accelerometer + magnetometer, gyroscope
+//!   dead-reckoning, coordinate transform, producing the 200×3 linear
+//!   acceleration matrix `A`.
+
+pub mod gesture;
+pub mod pipeline;
+pub mod sensors;
+
+pub use gesture::{Gesture, GestureConfig, GestureGenerator, MimicConfig, VolunteerId};
+pub use pipeline::{process_imu, AccelMatrix, ImuPipelineConfig, PipelineError};
+pub use sensors::{sample_imu, DeviceModel, ImuRecording, ImuSpec};
+
+/// Gravitational acceleration (m/s²), pointing along −z in the world frame.
+pub const GRAVITY: f64 = 9.81;
+
+/// Earth magnetic field magnitude used by the magnetometer model (µT).
+pub const EARTH_FIELD_UT: f64 = 50.0;

@@ -1,0 +1,330 @@
+//! IMU sensor models.
+//!
+//! A phone IMU reports, in the *body* (device) frame:
+//!
+//! * accelerometer — the specific force `f = Rᵀ(a − g)` (so at rest it
+//!   reads +9.81 m/s² "up"), plus bias and white noise;
+//! * gyroscope — the body angular velocity plus bias and white noise;
+//! * magnetometer — the Earth field rotated into the body frame plus hard
+//!   iron offset and noise.
+//!
+//! Noise figures follow typical consumer MEMS parts (e.g. the InvenSense
+//! MPU-6500 / Bosch BMI160 class used in the paper's devices):
+//! accelerometer noise density ≈ 300 µg/√Hz → ~0.02 m/s² rms at 100 Hz;
+//! gyroscope ≈ 0.01 dps/√Hz → ~0.002 rad/s rms; magnetometer ≈ 0.5 µT rms.
+//! Sampling has timestamp jitter, which the §IV-B interpolation step
+//! absorbs.
+
+use crate::gesture::Gesture;
+use crate::{EARTH_FIELD_UT, GRAVITY};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand::distributions::Distribution;
+use serde::{Deserialize, Serialize};
+use wavekey_math::Vec3;
+
+/// Noise/bias/sampling specification of one device's IMU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImuSpec {
+    /// Nominal sample rate (Hz).
+    pub sample_rate: f64,
+    /// Timestamp jitter standard deviation (s).
+    pub timestamp_jitter: f64,
+    /// Accelerometer white-noise standard deviation (m/s²).
+    pub accel_noise: f64,
+    /// Accelerometer bias magnitude (m/s², random direction per device).
+    pub accel_bias: f64,
+    /// Gyroscope white-noise standard deviation (rad/s).
+    pub gyro_noise: f64,
+    /// Gyroscope bias magnitude (rad/s).
+    pub gyro_bias: f64,
+    /// Magnetometer white-noise standard deviation (µT).
+    pub mag_noise: f64,
+}
+
+impl Default for ImuSpec {
+    fn default() -> Self {
+        DeviceModel::GalaxyWatch.spec()
+    }
+}
+
+/// The four mobile devices of the paper's evaluation (§VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceModel {
+    /// Google Pixel 8 — newest IMU, lowest noise.
+    Pixel8,
+    /// First Samsung Galaxy S5 unit.
+    GalaxyS5A,
+    /// Second Samsung Galaxy S5 unit (unit-to-unit variation).
+    GalaxyS5B,
+    /// Samsung Galaxy Watch — the default device of §VI-B.
+    GalaxyWatch,
+}
+
+impl DeviceModel {
+    /// All four devices.
+    pub const ALL: [DeviceModel; 4] = [
+        DeviceModel::Pixel8,
+        DeviceModel::GalaxyS5A,
+        DeviceModel::GalaxyS5B,
+        DeviceModel::GalaxyWatch,
+    ];
+
+    /// The IMU specification of this device model.
+    pub fn spec(self) -> ImuSpec {
+        match self {
+            DeviceModel::Pixel8 => ImuSpec {
+                sample_rate: 104.0,
+                timestamp_jitter: 0.0005,
+                accel_noise: 0.015,
+                accel_bias: 0.03,
+                gyro_noise: 0.0015,
+                gyro_bias: 0.005,
+                mag_noise: 0.4,
+            },
+            DeviceModel::GalaxyS5A => ImuSpec {
+                sample_rate: 100.0,
+                timestamp_jitter: 0.001,
+                accel_noise: 0.025,
+                accel_bias: 0.06,
+                gyro_noise: 0.0025,
+                gyro_bias: 0.01,
+                mag_noise: 0.6,
+            },
+            DeviceModel::GalaxyS5B => ImuSpec {
+                sample_rate: 100.0,
+                timestamp_jitter: 0.001,
+                accel_noise: 0.028,
+                accel_bias: 0.07,
+                gyro_noise: 0.0028,
+                gyro_bias: 0.012,
+                mag_noise: 0.65,
+            },
+            DeviceModel::GalaxyWatch => ImuSpec {
+                sample_rate: 100.0,
+                timestamp_jitter: 0.0012,
+                accel_noise: 0.022,
+                accel_bias: 0.05,
+                gyro_noise: 0.002,
+                gyro_bias: 0.008,
+                mag_noise: 0.5,
+            },
+        }
+    }
+}
+
+/// A recorded IMU stream: per-sample timestamp plus the three sensor
+/// readings in the body frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImuRecording {
+    /// Sample timestamps (s), gesture-relative, strictly increasing.
+    pub ts: Vec<f64>,
+    /// Accelerometer specific-force readings (m/s²).
+    pub accel: Vec<Vec3>,
+    /// Gyroscope readings (rad/s).
+    pub gyro: Vec<Vec3>,
+    /// Magnetometer readings (µT).
+    pub mag: Vec<Vec3>,
+}
+
+impl ImuRecording {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+}
+
+/// Samples a gesture through an IMU.
+///
+/// The world frame has z up, x pointing magnetic north, gravity
+/// `(0,0,−9.81)` and the Earth field tilted 60° down from horizontal (a
+/// typical mid-latitude inclination).
+pub fn sample_imu(gesture: &Gesture, spec: &ImuSpec, seed: u64) -> ImuRecording {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1b1e_55ed);
+    let normal = Gaussian::new();
+
+    // Per-recording biases (random direction, fixed over the recording —
+    // bias instability over 3 s is negligible).
+    let accel_bias = random_direction(&mut rng) * spec.accel_bias;
+    let gyro_bias = random_direction(&mut rng) * spec.gyro_bias;
+    let mag_offset = random_direction(&mut rng) * 2.0; // hard-iron, µT
+
+    let g_world = Vec3::new(0.0, 0.0, -GRAVITY);
+    let incl = 60f64.to_radians();
+    let field_world = Vec3::new(incl.cos(), 0.0, -incl.sin()) * EARTH_FIELD_UT;
+
+    let duration = gesture.duration();
+    let dt = 1.0 / spec.sample_rate;
+    let n = (duration / dt).floor() as usize + 1;
+    let mut ts = Vec::with_capacity(n);
+    let mut accel = Vec::with_capacity(n);
+    let mut gyro = Vec::with_capacity(n);
+    let mut mag = Vec::with_capacity(n);
+
+    for i in 0..n {
+        let jitter = normal.sample_with(&mut rng) * spec.timestamp_jitter;
+        let t = (i as f64 * dt + jitter).clamp(0.0, duration);
+        let q = gesture.orientation_at(t); // body -> world
+        let r_t = q.conjugate(); // world -> body
+
+        let a_world = gesture.acceleration_at(t);
+        let specific_force = r_t.rotate(a_world - g_world);
+        let a_meas = specific_force
+            + accel_bias
+            + random_gaussian_vec(&mut rng, &normal) * spec.accel_noise;
+
+        let w_meas = gesture.omega_at(t)
+            + gyro_bias
+            + random_gaussian_vec(&mut rng, &normal) * spec.gyro_noise;
+
+        let m_meas = r_t.rotate(field_world)
+            + mag_offset
+            + random_gaussian_vec(&mut rng, &normal) * spec.mag_noise;
+
+        ts.push(t);
+        accel.push(a_meas);
+        gyro.push(w_meas);
+        mag.push(m_meas);
+    }
+
+    // Enforce strictly increasing timestamps despite jitter.
+    for i in 1..ts.len() {
+        if ts[i] <= ts[i - 1] {
+            ts[i] = ts[i - 1] + 1e-6;
+        }
+    }
+
+    ImuRecording { ts, accel, gyro, mag }
+}
+
+/// Box-Muller standard-normal sampler (keeps `rand` usage to `gen_range`).
+#[derive(Debug, Clone, Copy)]
+struct Gaussian;
+
+impl Gaussian {
+    fn new() -> Gaussian {
+        Gaussian
+    }
+
+    fn sample_with(self, rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution<f64> for Gaussian {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+fn random_gaussian_vec(rng: &mut StdRng, g: &Gaussian) -> Vec3 {
+    Vec3::new(g.sample_with(rng), g.sample_with(rng), g.sample_with(rng))
+}
+
+fn random_direction(rng: &mut StdRng) -> Vec3 {
+    let g = Gaussian::new();
+    loop {
+        let v = random_gaussian_vec(rng, &g);
+        if v.norm() > 1e-9 {
+            return v.normalized();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gesture::{GestureConfig, GestureGenerator, VolunteerId};
+
+    fn recording(seed: u64, device: DeviceModel) -> (Gesture, ImuRecording) {
+        let gesture = GestureGenerator::new(VolunteerId(0), seed).generate(&GestureConfig::default());
+        let rec = sample_imu(&gesture, &device.spec(), seed);
+        (gesture, rec)
+    }
+
+    #[test]
+    fn sample_count_matches_rate_and_duration() {
+        let (gesture, rec) = recording(1, DeviceModel::GalaxyWatch);
+        let expected = (gesture.duration() * 100.0) as usize + 1;
+        assert!((rec.len() as i64 - expected as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        let (_, rec) = recording(2, DeviceModel::GalaxyS5A);
+        for w in rec.ts.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn accelerometer_reads_gravity_during_pause() {
+        let (_, rec) = recording(3, DeviceModel::Pixel8);
+        // During the pause the specific force should have magnitude ≈ g.
+        for i in 0..20 {
+            let mag = rec.accel[i].norm();
+            assert!((mag - GRAVITY).abs() < 0.3, "sample {i}: |f| = {mag}");
+        }
+    }
+
+    #[test]
+    fn gyro_quiet_during_pause_active_afterwards() {
+        let (gesture, rec) = recording(4, DeviceModel::GalaxyWatch);
+        let pause_end = gesture.pause();
+        let quiet: Vec<f64> = rec
+            .ts
+            .iter()
+            .zip(&rec.gyro)
+            .filter(|(t, _)| **t < pause_end - 0.05)
+            .map(|(_, w)| w.norm())
+            .collect();
+        let active: Vec<f64> = rec
+            .ts
+            .iter()
+            .zip(&rec.gyro)
+            .filter(|(t, _)| **t > pause_end + 0.5)
+            .map(|(_, w)| w.norm())
+            .collect();
+        let quiet_mean = quiet.iter().sum::<f64>() / quiet.len() as f64;
+        let active_mean = active.iter().sum::<f64>() / active.len() as f64;
+        assert!(
+            active_mean > 10.0 * quiet_mean,
+            "gyro active {active_mean} vs quiet {quiet_mean}"
+        );
+    }
+
+    #[test]
+    fn magnetometer_magnitude_near_earth_field() {
+        let (_, rec) = recording(5, DeviceModel::GalaxyS5B);
+        for m in rec.mag.iter().step_by(37) {
+            let mag = m.norm();
+            assert!((mag - EARTH_FIELD_UT).abs() < 6.0, "|B| = {mag}");
+        }
+    }
+
+    #[test]
+    fn same_seed_reproducible() {
+        let (_, a) = recording(6, DeviceModel::GalaxyWatch);
+        let (_, b) = recording(6, DeviceModel::GalaxyWatch);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn device_specs_differ() {
+        let specs: Vec<ImuSpec> = DeviceModel::ALL.iter().map(|d| d.spec()).collect();
+        for i in 0..specs.len() {
+            for j in (i + 1)..specs.len() {
+                assert_ne!(specs[i], specs[j], "{i} vs {j}");
+            }
+        }
+    }
+}

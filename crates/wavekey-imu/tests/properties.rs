@@ -1,0 +1,88 @@
+//! Property-based tests for the gesture and sensor simulation.
+
+use proptest::prelude::*;
+use wavekey_imu::gesture::{GestureConfig, GestureGenerator, VolunteerId};
+use wavekey_imu::sensors::{sample_imu, DeviceModel};
+use wavekey_imu::GRAVITY;
+use wavekey_math::Vec3;
+
+proptest! {
+    // Gesture generation is comparatively expensive; keep the case count
+    // moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn gestures_stay_at_arm_scale(seed in any::<u64>(), volunteer in 0u32..6) {
+        let gesture = GestureGenerator::new(VolunteerId(volunteer), seed)
+            .generate(&GestureConfig::default());
+        let start = gesture.position_at(0.0);
+        let mut max_disp = 0.0f64;
+        let mut t = 0.0;
+        while t < gesture.duration() {
+            max_disp = max_disp.max(gesture.position_at(t).distance(start));
+            t += 0.05;
+        }
+        // The recentering spring keeps the hand within arm's reach.
+        prop_assert!(max_disp < 2.5, "hand wandered {max_disp} m");
+        prop_assert!(max_disp > 0.005, "hand barely moved: {max_disp} m");
+    }
+
+    #[test]
+    fn gestures_pause_then_move(seed in any::<u64>()) {
+        let config = GestureConfig::default();
+        let gesture = GestureGenerator::new(VolunteerId(0), seed).generate(&config);
+        // Still during the pause.
+        prop_assert!(gesture.acceleration_at(config.pause * 0.5).norm() < 1e-9);
+        // Active afterwards: total energy must be significant.
+        let mut energy = 0.0;
+        let mut t = config.pause + 0.3;
+        while t < gesture.duration() {
+            energy += gesture.acceleration_at(t).norm_squared();
+            t += 0.05;
+        }
+        prop_assert!(energy > 1.0, "gesture energy {energy}");
+    }
+
+    #[test]
+    fn rotated_gesture_preserves_invariants(seed in any::<u64>(), yaw in -3.0f64..3.0) {
+        let gesture = GestureGenerator::new(VolunteerId(1), seed)
+            .generate(&GestureConfig::default());
+        let rotated = gesture.rotated_yaw(yaw);
+        for &t in &[0.7, 1.3, 2.1] {
+            // Norms of world quantities are rotation-invariant.
+            prop_assert!(
+                (gesture.acceleration_at(t).norm() - rotated.acceleration_at(t).norm()).abs()
+                    < 1e-9
+            );
+            // Body-frame angular velocity is untouched.
+            prop_assert!((gesture.omega_at(t) - rotated.omega_at(t)).norm() < 1e-12);
+            // Vertical (z) components are preserved by yaw rotations.
+            prop_assert!(
+                (gesture.acceleration_at(t).z - rotated.acceleration_at(t).z).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn imu_recordings_are_physical(seed in any::<u64>(), device in 0usize..4) {
+        let gesture = GestureGenerator::new(VolunteerId(2), seed)
+            .generate(&GestureConfig::default());
+        let rec = sample_imu(&gesture, &DeviceModel::ALL[device].spec(), seed);
+        prop_assert!(!rec.is_empty());
+        // Quiet-period specific force reads gravity.
+        let early: Vec<Vec3> = rec
+            .ts
+            .iter()
+            .zip(&rec.accel)
+            .filter(|(t, _)| **t < 0.3)
+            .map(|(_, a)| *a)
+            .collect();
+        prop_assume!(!early.is_empty());
+        let mean = early.iter().fold(Vec3::ZERO, |s, &a| s + a) / early.len() as f64;
+        prop_assert!((mean.norm() - GRAVITY).abs() < 0.5, "|f| = {}", mean.norm());
+        // Timestamps strictly increase.
+        for w in rec.ts.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Entropy estimators for bit sequences.
+//!
+//! The §VI-D randomness evaluation uses the NIST runs test; these
+//! estimators complement it with Shannon and min-entropy rates over
+//! sliding blocks, which is how key-material quality is usually
+//! quantified (a key-seed chain can pass a frequency test while having
+//! low per-block entropy — exactly the failure mode EXPERIMENTS.md
+//! documents for this reproduction's seeds).
+
+use std::collections::HashMap;
+
+/// Shannon entropy rate (bits per bit) estimated from non-overlapping
+/// `block_bits`-bit blocks. 1.0 means ideal randomness at this block
+/// size.
+///
+/// # Panics
+///
+/// Panics if `block_bits` is 0 or larger than 24 (table blow-up), or if
+/// fewer than one full block is supplied.
+pub fn shannon_entropy_rate(bits: &[bool], block_bits: usize) -> f64 {
+    assert!((1..=24).contains(&block_bits), "block size out of range");
+    let blocks = bits.len() / block_bits;
+    assert!(blocks > 0, "need at least one full block");
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for b in 0..blocks {
+        let mut v = 0u32;
+        for i in 0..block_bits {
+            v = (v << 1) | u32::from(bits[b * block_bits + i]);
+        }
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let n = blocks as f64;
+    let h: f64 = counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum();
+    h / block_bits as f64
+}
+
+/// Min-entropy rate (bits per bit) from non-overlapping blocks:
+/// `−log₂(p_max) / block_bits`. This is the conservative measure
+/// cryptography cares about.
+///
+/// # Panics
+///
+/// Same as [`shannon_entropy_rate`].
+pub fn min_entropy_rate(bits: &[bool], block_bits: usize) -> f64 {
+    assert!((1..=24).contains(&block_bits), "block size out of range");
+    let blocks = bits.len() / block_bits;
+    assert!(blocks > 0, "need at least one full block");
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for b in 0..blocks {
+        let mut v = 0u32;
+        for i in 0..block_bits {
+            v = (v << 1) | u32::from(bits[b * block_bits + i]);
+        }
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let p_max = counts.values().copied().max().unwrap_or(0) as f64 / blocks as f64;
+    -p_max.log2() / block_bits as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_bits(n: usize, mut state: u64) -> Vec<bool> {
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 63) & 1 == 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn random_bits_have_high_entropy() {
+        let bits = lcg_bits(80_000, 42);
+        let h = shannon_entropy_rate(&bits, 8);
+        assert!(h > 0.98, "shannon rate {h}");
+        let hmin = min_entropy_rate(&bits, 8);
+        assert!(hmin > 0.7, "min-entropy rate {hmin}");
+    }
+
+    #[test]
+    fn constant_bits_have_zero_entropy() {
+        let bits = vec![true; 1024];
+        assert!(shannon_entropy_rate(&bits, 8) < 1e-9);
+        assert!(min_entropy_rate(&bits, 8) < 1e-9);
+    }
+
+    #[test]
+    fn periodic_bits_have_low_entropy() {
+        let bits: Vec<bool> = (0..4096).map(|i| i % 4 == 0).collect();
+        let h = shannon_entropy_rate(&bits, 8);
+        assert!(h < 0.3, "periodic shannon rate {h}");
+    }
+
+    #[test]
+    fn min_entropy_never_exceeds_shannon() {
+        for seed in [1u64, 7, 99] {
+            let bits = lcg_bits(20_000, seed);
+            let h = shannon_entropy_rate(&bits, 6);
+            let hmin = min_entropy_rate(&bits, 6);
+            assert!(hmin <= h + 1e-9, "hmin {hmin} > h {h}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block size out of range")]
+    fn rejects_zero_block() {
+        shannon_entropy_rate(&[true; 16], 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Linear interpolation and resampling.
+//!
+//! §IV-B of the paper aligns the gyroscope, accelerometer, and magnetometer
+//! streams onto a common 100 Hz grid through interpolation; the same
+//! primitive resamples simulated sensor streams that arrive with timestamp
+//! jitter.
+
+/// A piecewise-linear interpolant over `(t, value)` samples.
+///
+/// # Examples
+///
+/// ```
+/// use wavekey_math::Interp1d;
+/// let interp = Interp1d::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 0.0]).unwrap();
+/// assert_eq!(interp.eval(0.5), 5.0);
+/// assert_eq!(interp.eval(1.5), 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interp1d {
+    ts: Vec<f64>,
+    values: Vec<f64>,
+}
+
+/// Error constructing an [`Interp1d`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The time and value vectors have different lengths.
+    LengthMismatch,
+    /// Fewer than two samples were provided.
+    TooFewSamples,
+    /// The time vector is not strictly increasing.
+    NonMonotonicTime,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::LengthMismatch => write!(f, "time and value lengths differ"),
+            InterpError::TooFewSamples => write!(f, "need at least two samples"),
+            InterpError::NonMonotonicTime => write!(f, "time vector must be strictly increasing"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl Interp1d {
+    /// Builds an interpolant from strictly increasing timestamps `ts` and
+    /// their `values`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the lengths differ, fewer than two samples are
+    /// given, or the timestamps are not strictly increasing.
+    pub fn new(ts: Vec<f64>, values: Vec<f64>) -> Result<Self, InterpError> {
+        if ts.len() != values.len() {
+            return Err(InterpError::LengthMismatch);
+        }
+        if ts.len() < 2 {
+            return Err(InterpError::TooFewSamples);
+        }
+        if ts.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(InterpError::NonMonotonicTime);
+        }
+        Ok(Interp1d { ts, values })
+    }
+
+    /// Evaluates the interpolant at time `t`.
+    ///
+    /// Outside the sample range the boundary value is held (zero-order
+    /// extrapolation), which matches how short sensor streams are padded.
+    pub fn eval(&self, t: f64) -> f64 {
+        if t <= self.ts[0] {
+            return self.values[0];
+        }
+        let last = self.ts.len() - 1;
+        if t >= self.ts[last] {
+            return self.values[last];
+        }
+        // Binary search for the segment containing t.
+        let idx = match self.ts.binary_search_by(|probe| probe.partial_cmp(&t).unwrap()) {
+            Ok(i) => return self.values[i],
+            Err(i) => i, // ts[i-1] < t < ts[i]
+        };
+        let (t0, t1) = (self.ts[idx - 1], self.ts[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        let frac = (t - t0) / (t1 - t0);
+        v0 + (v1 - v0) * frac
+    }
+
+    /// Evaluates the interpolant at many times at once.
+    pub fn eval_many(&self, ts: &[f64]) -> Vec<f64> {
+        ts.iter().map(|&t| self.eval(t)).collect()
+    }
+
+    /// The time range covered by the samples.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.ts[0], self.ts[self.ts.len() - 1])
+    }
+}
+
+/// Resamples `(ts, values)` onto a uniform grid of `n` points at `rate_hz`
+/// starting at `start`.
+///
+/// This is the §IV-B alignment step: simulated sensor streams arrive with
+/// timestamp jitter and are interpolated onto the exact 100 Hz grid the
+/// paper assumes.
+///
+/// # Errors
+///
+/// Propagates [`InterpError`] from interpolant construction.
+pub fn resample_linear(
+    ts: &[f64],
+    values: &[f64],
+    start: f64,
+    rate_hz: f64,
+    n: usize,
+) -> Result<Vec<f64>, InterpError> {
+    let interp = Interp1d::new(ts.to_vec(), values.to_vec())?;
+    let dt = 1.0 / rate_hz;
+    Ok((0..n).map(|i| interp.eval(start + i as f64 * dt)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interp_exact_at_samples() {
+        let interp = Interp1d::new(vec![0.0, 1.0, 3.0], vec![1.0, 2.0, -2.0]).unwrap();
+        assert_eq!(interp.eval(0.0), 1.0);
+        assert_eq!(interp.eval(1.0), 2.0);
+        assert_eq!(interp.eval(3.0), -2.0);
+    }
+
+    #[test]
+    fn interp_midpoints() {
+        let interp = Interp1d::new(vec![0.0, 2.0], vec![0.0, 4.0]).unwrap();
+        assert_eq!(interp.eval(1.0), 2.0);
+        assert_eq!(interp.eval(0.5), 1.0);
+    }
+
+    #[test]
+    fn interp_holds_boundaries() {
+        let interp = Interp1d::new(vec![1.0, 2.0], vec![5.0, 7.0]).unwrap();
+        assert_eq!(interp.eval(0.0), 5.0);
+        assert_eq!(interp.eval(3.0), 7.0);
+    }
+
+    #[test]
+    fn interp_rejects_bad_input() {
+        assert_eq!(
+            Interp1d::new(vec![0.0], vec![1.0]).unwrap_err(),
+            InterpError::TooFewSamples
+        );
+        assert_eq!(
+            Interp1d::new(vec![0.0, 1.0], vec![1.0]).unwrap_err(),
+            InterpError::LengthMismatch
+        );
+        assert_eq!(
+            Interp1d::new(vec![0.0, 0.0], vec![1.0, 2.0]).unwrap_err(),
+            InterpError::NonMonotonicTime
+        );
+    }
+
+    #[test]
+    fn resample_produces_uniform_grid() {
+        // y = 2t sampled non-uniformly, resampled at 10 Hz.
+        let ts = vec![0.0, 0.13, 0.29, 0.55, 1.0];
+        let values: Vec<f64> = ts.iter().map(|t| 2.0 * t).collect();
+        let out = resample_linear(&ts, &values, 0.0, 10.0, 11).unwrap();
+        for (i, v) in out.iter().enumerate() {
+            let t = i as f64 * 0.1;
+            assert!((v - 2.0 * t).abs() < 1e-12, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn eval_many_matches_eval() {
+        let interp = Interp1d::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 4.0]).unwrap();
+        let ts = [0.25, 0.75, 1.5];
+        let many = interp.eval_many(&ts);
+        for (t, v) in ts.iter().zip(&many) {
+            assert_eq!(interp.eval(*t), *v);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Mathematical substrate for the WaveKey reproduction.
+//!
+//! This crate provides the numeric building blocks every other WaveKey crate
+//! relies on:
+//!
+//! * [`vec3`] — 3-D vectors, 3×3 matrices, and unit quaternions used for the
+//!   IMU pose estimation and coordinate transforms of §IV-B of the paper.
+//! * [`stats`] — descriptive statistics, Pearson correlation, and the normal
+//!   distribution (CDF `Φ` and its inverse) that drive the equiprobable
+//!   quantizer of Eq. (1).
+//! * [`interp`] — linear resampling used to align gyroscope, accelerometer,
+//!   and magnetometer streams onto the common 100 Hz grid.
+//! * [`nist`] — the NIST SP 800-22 runs test (and the monobit frequency
+//!   prerequisite) used by the §VI-D randomness evaluation.
+//! * [`entropy`] — Shannon/min-entropy rate estimators complementing the
+//!   NIST tests for key-material quality.
+//!
+//! Everything is implemented from scratch on `f64`; no external numeric
+//! dependencies.
+
+pub mod entropy;
+pub mod interp;
+pub mod nist;
+pub mod stats;
+pub mod vec3;
+
+pub use entropy::{min_entropy_rate, shannon_entropy_rate};
+pub use interp::{resample_linear, Interp1d};
+pub use nist::{monobit_test, runs_test, RandomnessReport};
+pub use stats::{
+    mean, normal_cdf, normal_inverse_cdf, pearson_correlation, percentile, std_dev, variance,
+};
+pub use vec3::{Mat3, Quaternion, Vec3};

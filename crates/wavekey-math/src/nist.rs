@@ -1,0 +1,180 @@
+//! NIST SP 800-22 randomness tests used by the §VI-D evaluation.
+//!
+//! The paper concatenates the keys (and key-seeds) produced by each
+//! volunteer into "key-chains" and applies the NIST *runs test*. We
+//! implement the runs test exactly as specified in SP 800-22 §2.3, together
+//! with the monobit frequency test (§2.1) that the runs test requires as a
+//! prerequisite.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a randomness test: the test statistic and its p-value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomnessReport {
+    /// The raw test statistic (test-specific meaning).
+    pub statistic: f64,
+    /// The p-value; sequences with `p >= 0.01` (or the paper's 0.05
+    /// threshold) are considered random.
+    pub p_value: f64,
+}
+
+/// NIST SP 800-22 §2.1 frequency (monobit) test.
+///
+/// Checks that the numbers of ones and zeros are approximately equal.
+///
+/// # Panics
+///
+/// Panics if `bits` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use wavekey_math::monobit_test;
+/// let bits: Vec<bool> = (0..1000).map(|i| i % 2 == 0).collect();
+/// let report = monobit_test(&bits);
+/// assert!(report.p_value > 0.9); // perfectly balanced
+/// ```
+pub fn monobit_test(bits: &[bool]) -> RandomnessReport {
+    assert!(!bits.is_empty(), "monobit test requires a non-empty sequence");
+    let n = bits.len() as f64;
+    let sum: i64 = bits.iter().map(|&b| if b { 1i64 } else { -1i64 }).sum();
+    let s_obs = (sum as f64).abs() / n.sqrt();
+    let p_value = erfc_local(s_obs / std::f64::consts::SQRT_2);
+    RandomnessReport { statistic: s_obs, p_value }
+}
+
+/// NIST SP 800-22 §2.3 runs test.
+///
+/// A *run* is a maximal block of identical bits. The test checks whether
+/// the number of runs matches the expectation for a random sequence with
+/// the observed ones-proportion π.
+///
+/// Per the specification, when the prerequisite frequency condition
+/// `|π − 1/2| ≥ 2/√n` fails, the test is not applicable and a p-value of
+/// `0.0` is reported.
+///
+/// # Panics
+///
+/// Panics if `bits` has fewer than 2 elements.
+pub fn runs_test(bits: &[bool]) -> RandomnessReport {
+    assert!(bits.len() >= 2, "runs test requires at least two bits");
+    let n = bits.len() as f64;
+    let pi = bits.iter().filter(|&&b| b).count() as f64 / n;
+
+    // Prerequisite: the sequence must pass the frequency condition.
+    let tau = 2.0 / n.sqrt();
+    if (pi - 0.5).abs() >= tau {
+        return RandomnessReport { statistic: 0.0, p_value: 0.0 };
+    }
+
+    let v_obs = 1 + bits.windows(2).filter(|w| w[0] != w[1]).count();
+    let v_obs = v_obs as f64;
+    let num = (v_obs - 2.0 * n * pi * (1.0 - pi)).abs();
+    let den = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
+    let p_value = erfc_local(num / den);
+    RandomnessReport { statistic: v_obs, p_value }
+}
+
+/// Complementary error function (same approximation as `stats::erfc`,
+/// duplicated privately to keep the module self-contained).
+fn erfc_local(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let tau = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
+    if x >= 0.0 {
+        tau
+    } else {
+        2.0 - tau
+    }
+}
+
+/// Packs bytes into a bit vector, most-significant bit first.
+///
+/// Convenience for feeding established keys (byte strings) into the tests.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in (0..8).rev() {
+            bits.push((b >> i) & 1 == 1);
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example from NIST SP 800-22 §2.3.4:
+    /// ε = 1001101011, n = 10 → V_obs = 7, P-value ≈ 0.147232.
+    #[test]
+    fn runs_test_nist_worked_example() {
+        let bits: Vec<bool> = "1001101011".chars().map(|c| c == '1').collect();
+        let report = runs_test(&bits);
+        assert_eq!(report.statistic, 7.0);
+        assert!((report.p_value - 0.147232).abs() < 1e-4, "p = {}", report.p_value);
+    }
+
+    /// The worked example from NIST SP 800-22 §2.1.4:
+    /// ε = 1011010101, n = 10 → S_obs ≈ 0.632455, P-value ≈ 0.527089.
+    #[test]
+    fn monobit_test_nist_worked_example() {
+        let bits: Vec<bool> = "1011010101".chars().map(|c| c == '1').collect();
+        let report = monobit_test(&bits);
+        assert!((report.statistic - 0.632455).abs() < 1e-5);
+        assert!((report.p_value - 0.527089).abs() < 1e-4, "p = {}", report.p_value);
+    }
+
+    #[test]
+    fn runs_test_rejects_constant_sequence() {
+        let bits = vec![true; 1000];
+        let report = runs_test(&bits);
+        assert_eq!(report.p_value, 0.0);
+    }
+
+    #[test]
+    fn runs_test_rejects_alternating_long_sequence() {
+        // Perfect alternation has far too many runs: p-value ~ 0.
+        let bits: Vec<bool> = (0..10_000).map(|i| i % 2 == 0).collect();
+        let report = runs_test(&bits);
+        assert!(report.p_value < 1e-6);
+    }
+
+    #[test]
+    fn runs_test_accepts_lcg_bits() {
+        // A simple 64-bit LCG produces bits that pass the runs test.
+        let mut state: u64 = 0x1234_5678_9abc_def0;
+        let mut bits = Vec::with_capacity(50_000);
+        for _ in 0..50_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            bits.push((state >> 63) & 1 == 1);
+        }
+        let report = runs_test(&bits);
+        assert!(report.p_value > 0.01, "p = {}", report.p_value);
+    }
+
+    #[test]
+    fn bytes_to_bits_msb_first() {
+        let bits = bytes_to_bits(&[0b1010_0001]);
+        assert_eq!(
+            bits,
+            vec![true, false, true, false, false, false, false, true]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two bits")]
+    fn runs_test_rejects_tiny_input() {
+        runs_test(&[true]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Descriptive statistics and the standard normal distribution.
+//!
+//! The equiprobable quantizer of WaveKey (Eq. (1) of the paper) needs the
+//! normal CDF `Φ` and its inverse to place bin boundaries such that a
+//! standard-normal latent element falls into each of the `N_b` bins with
+//! equal probability. The hyper-parameter studies additionally need
+//! percentiles (the 99th-percentile bit-mismatch rate determines the ECC
+//! correction rate η) and Pearson correlation (used in tests to check that
+//! the two modalities actually co-vary).
+
+/// Arithmetic mean of a slice.
+///
+/// Returns `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(wavekey_math::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of a slice.
+///
+/// Returns `0.0` for slices with fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// Returns `0.0` when either input is constant (zero variance) or the
+/// lengths differ.
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Returns the `p`-th percentile (0.0 ..= 100.0) of a slice using linear
+/// interpolation between closest ranks.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile p out of range");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The standard normal cumulative distribution function `Φ(x)`.
+///
+/// Implemented via the complementary error function with the Abramowitz &
+/// Stegun 7.1.26 polynomial (|error| < 1.5e-7), which is ample for placing
+/// quantizer bin boundaries.
+///
+/// # Examples
+///
+/// ```
+/// let phi = wavekey_math::normal_cdf(0.0);
+/// assert!((phi - 0.5).abs() < 1e-6);
+/// ```
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function `erfc(x)` (Abramowitz & Stegun 7.1.26).
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let tau = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
+    if x >= 0.0 {
+        tau
+    } else {
+        2.0 - tau
+    }
+}
+
+/// The inverse of the standard normal CDF, `Φ⁻¹(p)` (Acklam's algorithm,
+/// refined with one Halley step; |relative error| < 1e-9).
+///
+/// Used to compute the equiprobable bin boundaries of Eq. (1):
+/// `b_i = Φ⁻¹(i / N_b)`.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+pub fn normal_inverse_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_inverse_cdf requires p in (0,1), got {p}");
+
+    // Coefficients for the rational approximations.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step using the forward CDF.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Builds a histogram of `xs` over `bins` equal-width bins spanning
+/// `[lo, hi]`. Values outside the range are clamped to the edge bins.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `hi <= lo`.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(hi > lo, "histogram range must be non-empty");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in xs {
+        let idx = ((x - lo) / width).floor();
+        let idx = idx.clamp(0.0, (bins - 1) as f64) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[5.0]), 5.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_linear_relation_is_one() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        assert!((pearson_correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let ys_neg: Vec<f64> = xs.iter().map(|x| -0.5 * x + 2.0).collect();
+        assert!((pearson_correlation(&xs, &ys_neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_constant_is_zero() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(pearson_correlation(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty slice")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        // The A&S 7.1.26 approximation is accurate to ~1.5e-7.
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_cdf(1.0) - 0.841344746).abs() < 1e-6);
+        assert!((normal_cdf(-1.0) - 0.158655254).abs() < 1e-6);
+        assert!((normal_cdf(1.959963985) - 0.975).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverse_cdf_roundtrip() {
+        for &p in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = normal_inverse_cdf(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-8, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn inverse_cdf_symmetry() {
+        for &p in &[0.05, 0.2, 0.4] {
+            let a = normal_inverse_cdf(p);
+            let b = normal_inverse_cdf(1.0 - p);
+            assert!((a + b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0,1)")]
+    fn inverse_cdf_rejects_zero() {
+        normal_inverse_cdf(0.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let xs = [-10.0, 0.1, 0.5, 0.9, 10.0];
+        let h = histogram(&xs, 0.0, 1.0, 2);
+        // -10 clamps into bin 0; 0.5 lands on the boundary and goes right.
+        assert_eq!(h, vec![2, 3]);
+    }
+}

@@ -1,0 +1,717 @@
+//! 3-D vectors, 3×3 matrices, and unit quaternions.
+//!
+//! These types implement the pose arithmetic needed by the WaveKey mobile
+//! pipeline (§IV-B of the paper): the initial device pose is estimated from
+//! accelerometer + magnetometer measurements, subsequent poses are obtained
+//! by integrating gyroscope angular velocities, and the measured specific
+//! forces are rotated into the world frame to recover linear accelerations.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 3-dimensional vector of `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use wavekey_math::Vec3;
+/// let v = Vec3::new(3.0, 0.0, 4.0);
+/// assert_eq!(v.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along x.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from its components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Returns the unit vector pointing in the same direction.
+    ///
+    /// Returns [`Vec3::ZERO`] when the norm is smaller than `1e-12`, so the
+    /// caller never divides by zero.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n < 1e-12 {
+            Vec3::ZERO
+        } else {
+            self / n
+        }
+    }
+
+    /// Component-wise multiplication.
+    pub fn hadamard(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x * other.x, self.y * other.y, self.z * other.z)
+    }
+
+    /// Distance between two points.
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Returns the components as an array `[x, y, z]`.
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Builds a vector from an array `[x, y, z]`.
+    pub fn from_array(a: [f64; 3]) -> Vec3 {
+        Vec3::new(a[0], a[1], a[2])
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// `true` if every component is finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    fn from(a: [f64; 3]) -> Vec3 {
+        Vec3::from_array(a)
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    fn from(v: Vec3) -> [f64; 3] {
+        v.to_array()
+    }
+}
+
+/// A 3×3 matrix in row-major order.
+///
+/// Used as a rotation matrix for device-to-world coordinate transforms.
+///
+/// # Examples
+///
+/// ```
+/// use wavekey_math::{Mat3, Vec3};
+/// let r = Mat3::rotation_z(std::f64::consts::FRAC_PI_2);
+/// let v = r * Vec3::X;
+/// assert!((v - Vec3::Y).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub rows: [[f64; 3]; 3],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::identity()
+    }
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub fn identity() -> Mat3 {
+        Mat3 { rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] }
+    }
+
+    /// Builds a matrix from three row vectors.
+    pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Mat3 {
+        Mat3 { rows: [r0.to_array(), r1.to_array(), r2.to_array()] }
+    }
+
+    /// Builds a matrix from three column vectors.
+    pub fn from_columns(c0: Vec3, c1: Vec3, c2: Vec3) -> Mat3 {
+        Mat3 {
+            rows: [
+                [c0.x, c1.x, c2.x],
+                [c0.y, c1.y, c2.y],
+                [c0.z, c1.z, c2.z],
+            ],
+        }
+    }
+
+    /// Returns row `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 3`.
+    pub fn row(&self, i: usize) -> Vec3 {
+        Vec3::from_array(self.rows[i])
+    }
+
+    /// Returns column `j` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= 3`.
+    pub fn column(&self, j: usize) -> Vec3 {
+        Vec3::new(self.rows[0][j], self.rows[1][j], self.rows[2][j])
+    }
+
+    /// Matrix transpose. For rotation matrices this is the inverse.
+    pub fn transpose(&self) -> Mat3 {
+        Mat3::from_rows(self.column(0), self.column(1), self.column(2))
+    }
+
+    /// Determinant.
+    pub fn determinant(&self) -> f64 {
+        let r = &self.rows;
+        r[0][0] * (r[1][1] * r[2][2] - r[1][2] * r[2][1])
+            - r[0][1] * (r[1][0] * r[2][2] - r[1][2] * r[2][0])
+            + r[0][2] * (r[1][0] * r[2][1] - r[1][1] * r[2][0])
+    }
+
+    /// Rotation about the x axis by `angle` radians.
+    pub fn rotation_x(angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3 { rows: [[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]] }
+    }
+
+    /// Rotation about the y axis by `angle` radians.
+    pub fn rotation_y(angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3 { rows: [[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]] }
+    }
+
+    /// Rotation about the z axis by `angle` radians.
+    pub fn rotation_z(angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3 { rows: [[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]] }
+    }
+
+    /// Eigen-decomposition of a *symmetric* matrix by cyclic Jacobi
+    /// rotations: returns `(eigenvalues, eigenvectors)` with eigenvalues
+    /// sorted descending and the i-th eigenvector in column i.
+    ///
+    /// Used to find the dominant motion axis of a gesture window (the
+    /// PCA canonicalization of the IMU representation).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the matrix is not symmetric within `1e-9`.
+    pub fn symmetric_eigen(&self) -> ([f64; 3], Mat3) {
+        debug_assert!(
+            (self.rows[0][1] - self.rows[1][0]).abs() < 1e-9
+                && (self.rows[0][2] - self.rows[2][0]).abs() < 1e-9
+                && (self.rows[1][2] - self.rows[2][1]).abs() < 1e-9,
+            "symmetric_eigen requires a symmetric matrix"
+        );
+        let mut a = *self;
+        let mut v = Mat3::identity();
+        for _sweep in 0..50 {
+            // Largest off-diagonal element.
+            let mut off = 0.0f64;
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    off = off.max(a.rows[i][j].abs());
+                }
+            }
+            if off < 1e-12 {
+                break;
+            }
+            for p in 0..3 {
+                for q in (p + 1)..3 {
+                    if a.rows[p][q].abs() < 1e-15 {
+                        continue;
+                    }
+                    // Jacobi rotation annihilating a[p][q].
+                    let theta = (a.rows[q][q] - a.rows[p][p]) / (2.0 * a.rows[p][q]);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    let mut rot = Mat3::identity();
+                    rot.rows[p][p] = c;
+                    rot.rows[q][q] = c;
+                    rot.rows[p][q] = s;
+                    rot.rows[q][p] = -s;
+                    a = rot.transpose() * a * rot;
+                    v = v * rot;
+                }
+            }
+        }
+        let mut pairs: Vec<(f64, Vec3)> =
+            (0..3).map(|i| (a.rows[i][i], v.column(i))).collect();
+        pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("finite eigenvalues"));
+        let values = [pairs[0].0, pairs[1].0, pairs[2].0];
+        let vectors = Mat3::from_columns(pairs[0].1, pairs[1].1, pairs[2].1);
+        (values, vectors)
+    }
+
+    /// `true` if `self` is numerically orthonormal with determinant +1.
+    pub fn is_rotation(&self, tol: f64) -> bool {
+        let should_be_identity = *self * self.transpose();
+        let id = Mat3::identity();
+        let mut err: f64 = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                err = err.max((should_be_identity.rows[i][j] - id.rows[i][j]).abs());
+            }
+        }
+        err < tol && (self.determinant() - 1.0).abs() < tol
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(self.row(0).dot(v), self.row(1).dot(v), self.row(2).dot(v))
+    }
+}
+
+impl Mul<Mat3> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, o: Mat3) -> Mat3 {
+        let mut out = [[0.0; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = self.row(i).dot(o.column(j));
+            }
+        }
+        Mat3 { rows: out }
+    }
+}
+
+/// A unit quaternion representing a 3-D rotation.
+///
+/// Quaternions are the pose representation used when integrating gyroscope
+/// angular velocities: they accumulate rotation without gimbal lock and can
+/// be renormalized cheaply after each step.
+///
+/// # Examples
+///
+/// ```
+/// use wavekey_math::{Quaternion, Vec3};
+/// let q = Quaternion::from_axis_angle(Vec3::Z, std::f64::consts::FRAC_PI_2);
+/// let v = q.rotate(Vec3::X);
+/// assert!((v - Vec3::Y).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quaternion {
+    /// Scalar part.
+    pub w: f64,
+    /// Vector part, x.
+    pub x: f64,
+    /// Vector part, y.
+    pub y: f64,
+    /// Vector part, z.
+    pub z: f64,
+}
+
+impl Default for Quaternion {
+    fn default() -> Self {
+        Quaternion::identity()
+    }
+}
+
+impl Quaternion {
+    /// The identity rotation.
+    pub fn identity() -> Quaternion {
+        Quaternion { w: 1.0, x: 0.0, y: 0.0, z: 0.0 }
+    }
+
+    /// Creates a quaternion from raw components (not normalized).
+    pub fn new(w: f64, x: f64, y: f64, z: f64) -> Quaternion {
+        Quaternion { w, x, y, z }
+    }
+
+    /// Rotation of `angle` radians about the (normalized) `axis`.
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Quaternion {
+        let axis = axis.normalized();
+        let (s, c) = (angle / 2.0).sin_cos();
+        Quaternion { w: c, x: axis.x * s, y: axis.y * s, z: axis.z * s }
+    }
+
+    /// Quaternion norm.
+    pub fn norm(self) -> f64 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Returns the normalized (unit) quaternion.
+    ///
+    /// Returns the identity when the norm is smaller than `1e-12`.
+    pub fn normalized(self) -> Quaternion {
+        let n = self.norm();
+        if n < 1e-12 {
+            Quaternion::identity()
+        } else {
+            Quaternion { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+        }
+    }
+
+    /// The conjugate (inverse rotation for unit quaternions).
+    pub fn conjugate(self) -> Quaternion {
+        Quaternion { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+    }
+
+    /// Hamilton product `self * other` (apply `other` first, then `self`).
+    pub fn mul(self, o: Quaternion) -> Quaternion {
+        Quaternion {
+            w: self.w * o.w - self.x * o.x - self.y * o.y - self.z * o.z,
+            x: self.w * o.x + self.x * o.w + self.y * o.z - self.z * o.y,
+            y: self.w * o.y - self.x * o.z + self.y * o.w + self.z * o.x,
+            z: self.w * o.z + self.x * o.y - self.y * o.x + self.z * o.w,
+        }
+    }
+
+    /// Rotates a vector by this quaternion.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        // v' = q * (0, v) * q⁻¹, expanded without constructing temporaries.
+        let u = Vec3::new(self.x, self.y, self.z);
+        let s = self.w;
+        u * (2.0 * u.dot(v)) + v * (s * s - u.dot(u)) + u.cross(v) * (2.0 * s)
+    }
+
+    /// Converts to a rotation matrix.
+    pub fn to_matrix(self) -> Mat3 {
+        let q = self.normalized();
+        let (w, x, y, z) = (q.w, q.x, q.y, q.z);
+        Mat3 {
+            rows: [
+                [
+                    1.0 - 2.0 * (y * y + z * z),
+                    2.0 * (x * y - w * z),
+                    2.0 * (x * z + w * y),
+                ],
+                [
+                    2.0 * (x * y + w * z),
+                    1.0 - 2.0 * (x * x + z * z),
+                    2.0 * (y * z - w * x),
+                ],
+                [
+                    2.0 * (x * z - w * y),
+                    2.0 * (y * z + w * x),
+                    1.0 - 2.0 * (x * x + y * y),
+                ],
+            ],
+        }
+    }
+
+    /// Builds a quaternion from a rotation matrix (Shepperd's method).
+    pub fn from_matrix(m: &Mat3) -> Quaternion {
+        let r = &m.rows;
+        let trace = r[0][0] + r[1][1] + r[2][2];
+        let q = if trace > 0.0 {
+            let s = (trace + 1.0).sqrt() * 2.0;
+            Quaternion {
+                w: 0.25 * s,
+                x: (r[2][1] - r[1][2]) / s,
+                y: (r[0][2] - r[2][0]) / s,
+                z: (r[1][0] - r[0][1]) / s,
+            }
+        } else if r[0][0] > r[1][1] && r[0][0] > r[2][2] {
+            let s = (1.0 + r[0][0] - r[1][1] - r[2][2]).sqrt() * 2.0;
+            Quaternion {
+                w: (r[2][1] - r[1][2]) / s,
+                x: 0.25 * s,
+                y: (r[0][1] + r[1][0]) / s,
+                z: (r[0][2] + r[2][0]) / s,
+            }
+        } else if r[1][1] > r[2][2] {
+            let s = (1.0 + r[1][1] - r[0][0] - r[2][2]).sqrt() * 2.0;
+            Quaternion {
+                w: (r[0][2] - r[2][0]) / s,
+                x: (r[0][1] + r[1][0]) / s,
+                y: 0.25 * s,
+                z: (r[1][2] + r[2][1]) / s,
+            }
+        } else {
+            let s = (1.0 + r[2][2] - r[0][0] - r[1][1]).sqrt() * 2.0;
+            Quaternion {
+                w: (r[1][0] - r[0][1]) / s,
+                x: (r[0][2] + r[2][0]) / s,
+                y: (r[1][2] + r[2][1]) / s,
+                z: 0.25 * s,
+            }
+        };
+        q.normalized()
+    }
+
+    /// Integrates a body-frame angular velocity `omega` (rad/s) over `dt`
+    /// seconds, returning the new orientation.
+    ///
+    /// This is the dead-reckoning step of §IV-B: during the two-second
+    /// gesture the gyroscope drift is negligible, so simple first-order
+    /// integration (axis-angle per step) suffices and no Kalman filter is
+    /// needed.
+    pub fn integrate(self, omega: Vec3, dt: f64) -> Quaternion {
+        let angle = omega.norm() * dt;
+        if angle < 1e-15 {
+            return self;
+        }
+        let dq = Quaternion::from_axis_angle(omega, angle);
+        self.mul(dq).normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn vec3_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(a.dot(b), 32.0);
+    }
+
+    #[test]
+    fn vec3_cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 4.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec3_norm_and_normalize() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm(), 5.0);
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn vec3_lerp_endpoints() {
+        let a = Vec3::new(1.0, 1.0, 1.0);
+        let b = Vec3::new(2.0, 3.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.5, 2.0, 2.5));
+    }
+
+    #[test]
+    fn mat3_identity_mul() {
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        assert_eq!(Mat3::identity() * v, v);
+    }
+
+    #[test]
+    fn mat3_rotation_z_quarter_turn() {
+        let r = Mat3::rotation_z(FRAC_PI_2);
+        let v = r * Vec3::X;
+        assert!((v - Vec3::Y).norm() < 1e-12);
+        assert!(r.is_rotation(1e-12));
+    }
+
+    #[test]
+    fn mat3_transpose_is_inverse_for_rotations() {
+        let r = Mat3::rotation_x(0.3) * Mat3::rotation_y(-1.1) * Mat3::rotation_z(2.2);
+        let rt = r.transpose();
+        let prod = r * rt;
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((prod.rows[i][j] - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mat3_determinant_of_rotation_is_one() {
+        let r = Mat3::rotation_x(0.7) * Mat3::rotation_z(-0.4);
+        assert!((r.determinant() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_eigen_diagonal() {
+        let m = Mat3 { rows: [[3.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 2.0]] };
+        let (vals, vecs) = m.symmetric_eigen();
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 2.0).abs() < 1e-10);
+        assert!((vals[2] - 1.0).abs() < 1e-10);
+        // First eigenvector is ±x.
+        assert!(vecs.column(0).cross(Vec3::X).norm() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_eigen_reconstructs() {
+        // A = V Λ Vᵀ must reproduce the input for a random symmetric
+        // matrix.
+        let m = Mat3 {
+            rows: [[4.0, 1.2, -0.7], [1.2, 2.5, 0.3], [-0.7, 0.3, 1.1]],
+        };
+        let (vals, v) = m.symmetric_eigen();
+        let lambda = Mat3 {
+            rows: [
+                [vals[0], 0.0, 0.0],
+                [0.0, vals[1], 0.0],
+                [0.0, 0.0, vals[2]],
+            ],
+        };
+        let rebuilt = v * lambda * v.transpose();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (rebuilt.rows[i][j] - m.rows[i][j]).abs() < 1e-9,
+                    "({i},{j}): {} vs {}",
+                    rebuilt.rows[i][j],
+                    m.rows[i][j]
+                );
+            }
+        }
+        // Eigenvalues sorted descending.
+        assert!(vals[0] >= vals[1] && vals[1] >= vals[2]);
+    }
+
+    #[test]
+    fn symmetric_eigen_orthonormal_vectors() {
+        let m = Mat3 {
+            rows: [[2.0, -0.5, 0.1], [-0.5, 3.0, 0.8], [0.1, 0.8, 1.5]],
+        };
+        let (_, v) = m.symmetric_eigen();
+        for i in 0..3 {
+            assert!((v.column(i).norm() - 1.0).abs() < 1e-9);
+            for j in (i + 1)..3 {
+                assert!(v.column(i).dot(v.column(j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn quaternion_rotate_matches_matrix() {
+        let q = Quaternion::from_axis_angle(Vec3::new(1.0, 1.0, 0.3), 1.234);
+        let m = q.to_matrix();
+        let v = Vec3::new(0.2, -0.7, 1.5);
+        assert!((q.rotate(v) - m * v).norm() < 1e-12);
+    }
+
+    #[test]
+    fn quaternion_roundtrip_through_matrix() {
+        let q = Quaternion::from_axis_angle(Vec3::new(-0.4, 0.9, 0.1), 2.5);
+        let q2 = Quaternion::from_matrix(&q.to_matrix());
+        // q and -q represent the same rotation.
+        let same = (q.w - q2.w).abs() < 1e-9 || (q.w + q2.w).abs() < 1e-9;
+        assert!(same);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!((q.rotate(v) - q2.rotate(v)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn quaternion_integration_accumulates_rotation() {
+        // Integrate a constant π/2 rad/s rotation about z for one second.
+        let mut q = Quaternion::identity();
+        let omega = Vec3::new(0.0, 0.0, FRAC_PI_2);
+        let steps = 1000;
+        for _ in 0..steps {
+            q = q.integrate(omega, 1.0 / steps as f64);
+        }
+        let v = q.rotate(Vec3::X);
+        assert!((v - Vec3::Y).norm() < 1e-6);
+    }
+
+    #[test]
+    fn quaternion_conjugate_inverts() {
+        let q = Quaternion::from_axis_angle(Vec3::new(0.3, -0.2, 0.8), PI / 3.0);
+        let v = Vec3::new(0.5, 0.5, -1.0);
+        let back = q.conjugate().rotate(q.rotate(v));
+        assert!((back - v).norm() < 1e-12);
+    }
+
+    #[test]
+    fn quaternion_integrate_zero_omega_is_noop() {
+        let q = Quaternion::from_axis_angle(Vec3::Y, 0.5);
+        let q2 = q.integrate(Vec3::ZERO, 0.01);
+        assert_eq!(q, q2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the math substrate.
+
+use proptest::prelude::*;
+use wavekey_math::{
+    normal_cdf, normal_inverse_cdf, pearson_correlation, resample_linear, Mat3, Quaternion, Vec3,
+};
+
+fn finite_vec3() -> impl Strategy<Value = Vec3> {
+    (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0)
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn vec3_dot_cauchy_schwarz(a in finite_vec3(), b in finite_vec3()) {
+        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() + 1e-9);
+    }
+
+    #[test]
+    fn vec3_cross_orthogonal(a in finite_vec3(), b in finite_vec3()) {
+        let c = a.cross(b);
+        prop_assert!(c.dot(a).abs() < 1e-6 * (1.0 + a.norm() * b.norm() * a.norm()));
+        prop_assert!(c.dot(b).abs() < 1e-6 * (1.0 + a.norm() * b.norm() * b.norm()));
+    }
+
+    #[test]
+    fn rotation_preserves_norm(axis in finite_vec3(), angle in -10.0f64..10.0, v in finite_vec3()) {
+        prop_assume!(axis.norm() > 1e-6);
+        let q = Quaternion::from_axis_angle(axis, angle);
+        prop_assert!((q.rotate(v).norm() - v.norm()).abs() < 1e-8 * (1.0 + v.norm()));
+    }
+
+    #[test]
+    fn rotation_composition_matches_matrix_product(
+        a1 in -3.0f64..3.0, a2 in -3.0f64..3.0, v in finite_vec3()
+    ) {
+        let q1 = Quaternion::from_axis_angle(Vec3::Z, a1);
+        let q2 = Quaternion::from_axis_angle(Vec3::X, a2);
+        let via_quat = q1.mul(q2).rotate(v);
+        let via_mat = (q1.to_matrix() * q2.to_matrix()) * v;
+        prop_assert!((via_quat - via_mat).norm() < 1e-8 * (1.0 + v.norm()));
+    }
+
+    #[test]
+    fn quaternion_conjugate_inverts(axis in finite_vec3(), angle in -3.0f64..3.0, v in finite_vec3()) {
+        prop_assume!(axis.norm() > 1e-6);
+        let q = Quaternion::from_axis_angle(axis, angle);
+        prop_assert!((q.conjugate().rotate(q.rotate(v)) - v).norm() < 1e-8 * (1.0 + v.norm()));
+    }
+
+    #[test]
+    fn symmetric_eigen_reconstructs_random_matrices(
+        a in -5.0f64..5.0, b in -5.0f64..5.0, c in -5.0f64..5.0,
+        d in -5.0f64..5.0, e in -5.0f64..5.0, f in -5.0f64..5.0
+    ) {
+        let m = Mat3 { rows: [[a, b, c], [b, d, e], [c, e, f]] };
+        let (vals, v) = m.symmetric_eigen();
+        prop_assert!(vals[0] >= vals[1] && vals[1] >= vals[2]);
+        let lambda = Mat3 { rows: [[vals[0], 0.0, 0.0], [0.0, vals[1], 0.0], [0.0, 0.0, vals[2]]] };
+        let rebuilt = v * lambda * v.transpose();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((rebuilt.rows[i][j] - m.rows[i][j]).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn normal_cdf_monotone(x in -6.0f64..6.0, dx in 0.0f64..3.0) {
+        prop_assert!(normal_cdf(x + dx) >= normal_cdf(x) - 1e-12);
+    }
+
+    #[test]
+    fn normal_inverse_roundtrip(p in 0.001f64..0.999) {
+        prop_assert!((normal_cdf(normal_inverse_cdf(p)) - p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn correlation_bounded_and_scale_invariant(
+        xs in proptest::collection::vec(-100.0f64..100.0, 3..50),
+        scale in 0.1f64..10.0,
+        shift in -50.0f64..50.0
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + 1.0).collect();
+        let r = pearson_correlation(&xs, &ys);
+        prop_assert!(r.abs() <= 1.0 + 1e-9);
+        // Affine transforms with positive scale preserve correlation.
+        let xs2: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
+        let r2 = pearson_correlation(&xs2, &ys);
+        prop_assert!((r - r2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resample_at_sample_points_is_exact(
+        values in proptest::collection::vec(-100.0f64..100.0, 2..30)
+    ) {
+        let ts: Vec<f64> = (0..values.len()).map(|i| i as f64).collect();
+        let out = resample_linear(&ts, &values, 0.0, 1.0, values.len()).unwrap();
+        for (a, b) in out.iter().zip(&values) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Seeded weight initialization.
+//!
+//! Training must be reproducible (the experiment harness retrains during
+//! the `l_f` pruning study), so all initialization goes through a
+//! caller-supplied seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// He (Kaiming) uniform initialization for layers followed by ReLU:
+/// `U(-√(6/fan_in), √(6/fan_in))`.
+pub fn he_uniform(shape: Vec<usize>, fan_in: usize, seed: u64) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    uniform(shape, -bound, bound, seed)
+}
+
+/// Xavier (Glorot) uniform initialization:
+/// `U(-√(6/(fan_in+fan_out)), √(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform(shape: Vec<usize>, fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fans must be positive");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, -bound, bound, seed)
+}
+
+/// Uniform initialization over `[lo, hi)` with a fixed seed.
+pub fn uniform(shape: Vec<usize>, lo: f32, hi: f32, seed: u64) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = he_uniform(vec![4, 4], 4, 42);
+        let b = he_uniform(vec![4, 4], 4, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let a = he_uniform(vec![4, 4], 4, 1);
+        let b = he_uniform(vec![4, 4], 4, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn he_bound_respected() {
+        let fan_in = 16;
+        let bound = (6.0f32 / fan_in as f32).sqrt();
+        let t = he_uniform(vec![100], fan_in, 7);
+        assert!(t.data().iter().all(|&w| w > -bound && w < bound));
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let bound = (6.0f32 / 24.0).sqrt();
+        let t = xavier_uniform(vec![100], 8, 16, 7);
+        assert!(t.data().iter().all(|&w| w > -bound && w < bound));
+    }
+}

@@ -1,0 +1,1133 @@
+//! Neural-network layers with hand-derived backward passes.
+//!
+//! The WaveKey encoders (Fig. 5 of the paper) are built from `Conv1d` +
+//! `ReLU` stacks followed by a `Dense` layer and a final `BatchNorm1d`;
+//! the decoder uses `ConvTranspose1d` and `Dense` layers. Each layer caches
+//! whatever it needs during `forward` so that `backward` can compute both
+//! parameter gradients and the gradient with respect to its input.
+
+use crate::init;
+use crate::tensor::Tensor;
+
+/// A trainable parameter: its value and the gradient accumulated by the
+/// most recent backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient of the loss with respect to the value.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with a zero gradient of matching shape.
+    pub fn new(value: Tensor) -> Param {
+        let grad = Tensor::zeros(value.shape().to_vec());
+        Param { value, grad }
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+}
+
+/// Common interface of all layers.
+pub trait Layer: std::fmt::Debug {
+    /// Runs the layer forward. `train` selects training-time behavior
+    /// (batch statistics in [`BatchNorm1d`]).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagates `grad_output`, accumulating parameter gradients and
+    /// returning the gradient with respect to the layer input.
+    ///
+    /// Must be called after a `forward` on the same input batch.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Mutable access to the layer's trainable parameters.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Resets all parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// 1-D convolution over `[batch, in_channels, length]` inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv1d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    /// Weight tensor `[out_channels, in_channels, kernel]`.
+    pub weight: Param,
+    /// Bias tensor `[out_channels]`.
+    pub bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// Creates a convolution with stride 1 and zero padding.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, seed: u64) -> Conv1d {
+        Conv1d::with_stride(in_channels, out_channels, kernel, 1, 0, seed)
+    }
+
+    /// Creates a convolution with explicit `stride` and symmetric zero
+    /// `padding`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn with_stride(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Conv1d {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0);
+        let fan_in = in_channels * kernel;
+        let weight = Param::new(init::he_uniform(
+            vec![out_channels, in_channels, kernel],
+            fan_in,
+            seed,
+        ));
+        let bias = Param::new(Tensor::zeros(vec![out_channels]));
+        Conv1d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weight,
+            bias,
+            cached_input: None,
+        }
+    }
+
+    /// Output length for an input of length `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the padded input is shorter than the kernel.
+    pub fn output_len(&self, l: usize) -> usize {
+        let padded = l + 2 * self.padding;
+        assert!(padded >= self.kernel, "input too short for kernel");
+        (padded - self.kernel) / self.stride + 1
+    }
+
+    /// The layer's `(in_channels, out_channels, kernel, stride, padding)`.
+    pub fn dims(&self) -> (usize, usize, usize, usize, usize) {
+        (self.in_channels, self.out_channels, self.kernel, self.stride, self.padding)
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 3, "conv1d expects [batch, channels, length]");
+        assert_eq!(input.shape()[1], self.in_channels, "channel mismatch");
+        let batch = input.shape()[0];
+        let l_in = input.shape()[2];
+        let l_out = self.output_len(l_in);
+        let mut out = Tensor::zeros(vec![batch, self.out_channels, l_out]);
+        let w = &self.weight.value;
+        let b = &self.bias.value;
+        for n in 0..batch {
+            for oc in 0..self.out_channels {
+                let bias = b.data()[oc];
+                for ol in 0..l_out {
+                    let mut acc = bias;
+                    let start = ol * self.stride;
+                    for ic in 0..self.in_channels {
+                        for k in 0..self.kernel {
+                            let pos = start + k;
+                            if pos < self.padding {
+                                continue;
+                            }
+                            let i = pos - self.padding;
+                            if i >= l_in {
+                                continue;
+                            }
+                            acc += w.at3(oc, ic, k) * input.at3(n, ic, i);
+                        }
+                    }
+                    *out.at3_mut(n, oc, ol) = acc;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let batch = input.shape()[0];
+        let l_in = input.shape()[2];
+        let l_out = grad_output.shape()[2];
+        let mut grad_input = Tensor::zeros(input.shape().to_vec());
+        for n in 0..batch {
+            for oc in 0..self.out_channels {
+                for ol in 0..l_out {
+                    let g = grad_output.at3(n, oc, ol);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.bias.grad.data_mut()[oc] += g;
+                    let start = ol * self.stride;
+                    for ic in 0..self.in_channels {
+                        for k in 0..self.kernel {
+                            let pos = start + k;
+                            if pos < self.padding {
+                                continue;
+                            }
+                            let i = pos - self.padding;
+                            if i >= l_in {
+                                continue;
+                            }
+                            *self.weight.grad.at3_mut(oc, ic, k) += g * input.at3(n, ic, i);
+                            *grad_input.at3_mut(n, ic, i) += g * self.weight.value.at3(oc, ic, k);
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// Transposed 1-D convolution (deconvolution) used by the decoder `De`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvTranspose1d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    /// Weight tensor `[in_channels, out_channels, kernel]`.
+    pub weight: Param,
+    /// Bias tensor `[out_channels]`.
+    pub bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl ConvTranspose1d {
+    /// Creates a transposed convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        seed: u64,
+    ) -> ConvTranspose1d {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0);
+        let fan_in = in_channels * kernel;
+        let weight = Param::new(init::he_uniform(
+            vec![in_channels, out_channels, kernel],
+            fan_in,
+            seed,
+        ));
+        let bias = Param::new(Tensor::zeros(vec![out_channels]));
+        ConvTranspose1d { in_channels, out_channels, kernel, stride, weight, bias, cached_input: None }
+    }
+
+    /// Output length for an input of length `l`: `(l−1)·stride + kernel`.
+    pub fn output_len(&self, l: usize) -> usize {
+        (l - 1) * self.stride + self.kernel
+    }
+
+    /// Removes input channel `idx` (used by the §VI-C-1 pruning study
+    /// when the latent dimension feeding this layer shrinks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or only one input channel remains.
+    pub fn remove_in_channel(&mut self, idx: usize) {
+        assert!(idx < self.in_channels, "channel index out of range");
+        assert!(self.in_channels > 1, "cannot remove the last input channel");
+        let per_channel = self.out_channels * self.kernel;
+        let mut w = Vec::with_capacity((self.in_channels - 1) * per_channel);
+        for ic in 0..self.in_channels {
+            if ic == idx {
+                continue;
+            }
+            w.extend_from_slice(
+                &self.weight.value.data()[ic * per_channel..(ic + 1) * per_channel],
+            );
+        }
+        self.in_channels -= 1;
+        self.weight = Param::new(Tensor::from_vec(
+            w,
+            vec![self.in_channels, self.out_channels, self.kernel],
+        ));
+    }
+
+    /// The layer's `(in_channels, out_channels, kernel, stride)`.
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.in_channels, self.out_channels, self.kernel, self.stride)
+    }
+}
+
+impl Layer for ConvTranspose1d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 3, "conv_transpose1d expects [batch, channels, length]");
+        assert_eq!(input.shape()[1], self.in_channels, "channel mismatch");
+        let batch = input.shape()[0];
+        let l_in = input.shape()[2];
+        let l_out = self.output_len(l_in);
+        let mut out = Tensor::zeros(vec![batch, self.out_channels, l_out]);
+        for n in 0..batch {
+            for oc in 0..self.out_channels {
+                let bias = self.bias.value.data()[oc];
+                for ol in 0..l_out {
+                    *out.at3_mut(n, oc, ol) = bias;
+                }
+            }
+            for ic in 0..self.in_channels {
+                for i in 0..l_in {
+                    let x = input.at3(n, ic, i);
+                    if x == 0.0 {
+                        continue;
+                    }
+                    for oc in 0..self.out_channels {
+                        for k in 0..self.kernel {
+                            *out.at3_mut(n, oc, i * self.stride + k) +=
+                                x * self.weight.value.at3(ic, oc, k);
+                        }
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let batch = input.shape()[0];
+        let l_in = input.shape()[2];
+        let mut grad_input = Tensor::zeros(input.shape().to_vec());
+        // Bias gradient.
+        for n in 0..batch {
+            for oc in 0..self.out_channels {
+                for ol in 0..grad_output.shape()[2] {
+                    self.bias.grad.data_mut()[oc] += grad_output.at3(n, oc, ol);
+                }
+            }
+        }
+        for n in 0..batch {
+            for ic in 0..self.in_channels {
+                for i in 0..l_in {
+                    let x = input.at3(n, ic, i);
+                    let mut gi = 0.0;
+                    for oc in 0..self.out_channels {
+                        for k in 0..self.kernel {
+                            let g = grad_output.at3(n, oc, i * self.stride + k);
+                            gi += g * self.weight.value.at3(ic, oc, k);
+                            *self.weight.grad.at3_mut(ic, oc, k) += g * x;
+                        }
+                    }
+                    *grad_input.at3_mut(n, ic, i) = gi;
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// Fully-connected layer over `[batch, in_features]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    /// Weight tensor `[out_features, in_features]`.
+    pub weight: Param,
+    /// Bias tensor `[out_features]`.
+    pub bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-uniform weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Dense {
+        assert!(in_features > 0 && out_features > 0);
+        let weight = Param::new(init::he_uniform(
+            vec![out_features, in_features],
+            in_features,
+            seed,
+        ));
+        let bias = Param::new(Tensor::zeros(vec![out_features]));
+        Dense { in_features, out_features, weight, bias, cached_input: None }
+    }
+
+    /// `(in_features, out_features)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.in_features, self.out_features)
+    }
+
+    /// Removes input feature `idx`, shrinking the layer to
+    /// `in_features − 1` inputs. Used by the §VI-C-1 pruning study to keep
+    /// the decoder consistent with a pruned latent dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the layer has a single input.
+    pub fn remove_input(&mut self, idx: usize) {
+        assert!(idx < self.in_features, "input index out of range");
+        assert!(self.in_features > 1, "cannot remove the last input");
+        let mut w = Vec::with_capacity(self.out_features * (self.in_features - 1));
+        for r in 0..self.out_features {
+            for c in 0..self.in_features {
+                if c == idx {
+                    continue;
+                }
+                w.push(self.weight.value.data()[r * self.in_features + c]);
+            }
+        }
+        self.in_features -= 1;
+        self.weight = Param::new(Tensor::from_vec(w, vec![self.out_features, self.in_features]));
+    }
+
+    /// Removes output neuron `idx`, shrinking the layer to
+    /// `out_features − 1` outputs. Used by the §VI-C-1 pruning study.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the layer has a single output.
+    pub fn remove_output(&mut self, idx: usize) {
+        assert!(idx < self.out_features, "neuron index out of range");
+        assert!(self.out_features > 1, "cannot remove the last output");
+        let mut w = Vec::with_capacity((self.out_features - 1) * self.in_features);
+        for r in 0..self.out_features {
+            if r == idx {
+                continue;
+            }
+            w.extend_from_slice(
+                &self.weight.value.data()[r * self.in_features..(r + 1) * self.in_features],
+            );
+        }
+        let mut b: Vec<f32> = self.bias.value.data().to_vec();
+        b.remove(idx);
+        self.out_features -= 1;
+        self.weight = Param::new(Tensor::from_vec(w, vec![self.out_features, self.in_features]));
+        self.bias = Param::new(Tensor::from_vec(b, vec![self.out_features]));
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 2, "dense expects [batch, features]");
+        assert_eq!(input.shape()[1], self.in_features, "feature mismatch");
+        let batch = input.shape()[0];
+        let mut out = Tensor::zeros(vec![batch, self.out_features]);
+        for n in 0..batch {
+            for o in 0..self.out_features {
+                let mut acc = self.bias.value.data()[o];
+                let wrow = &self.weight.value.data()[o * self.in_features..(o + 1) * self.in_features];
+                let xrow = &input.data()[n * self.in_features..(n + 1) * self.in_features];
+                for (wi, xi) in wrow.iter().zip(xrow) {
+                    acc += wi * xi;
+                }
+                *out.at2_mut(n, o) = acc;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let batch = input.shape()[0];
+        let mut grad_input = Tensor::zeros(input.shape().to_vec());
+        for n in 0..batch {
+            for o in 0..self.out_features {
+                let g = grad_output.at2(n, o);
+                if g == 0.0 {
+                    continue;
+                }
+                self.bias.grad.data_mut()[o] += g;
+                for i in 0..self.in_features {
+                    self.weight.grad.data_mut()[o * self.in_features + i] += g * input.at2(n, i);
+                    *grad_input.at2_mut(n, i) += g * self.weight.value.data()[o * self.in_features + i];
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// Rectified linear unit, element-wise, any shape.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReLU {
+    mask: Vec<bool>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new() -> ReLU {
+        ReLU::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.mask = input.data().iter().map(|&x| x > 0.0).collect();
+        let data = input.data().iter().map(|&x| x.max(0.0)).collect();
+        Tensor::from_vec(data, input.shape().to_vec())
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(grad_output.len(), self.mask.len(), "backward before forward");
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_output.shape().to_vec())
+    }
+}
+
+/// Batch normalization over `[batch, features]`.
+///
+/// The WaveKey encoders end with a *non-affine* batch-norm so that every
+/// latent element is (approximately) standard normal — the property the
+/// equiprobable quantizer of Eq. (1) relies on. At inference time (single
+/// gesture, batch of one) running statistics collected during training are
+/// used.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNorm1d {
+    features: usize,
+    eps: f32,
+    momentum: f32,
+    affine: bool,
+    /// Scale γ (`[features]`), used only when `affine`.
+    pub gamma: Param,
+    /// Shift β (`[features]`), used only when `affine`.
+    pub beta: Param,
+    /// Running mean, updated during training.
+    pub running_mean: Vec<f32>,
+    /// Running variance, updated during training.
+    pub running_var: Vec<f32>,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm layer. `affine = false` gives the plain
+    /// standardizing form the WaveKey encoders use as their last layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features == 0`.
+    pub fn new(features: usize, affine: bool) -> BatchNorm1d {
+        assert!(features > 0);
+        BatchNorm1d {
+            features,
+            eps: 1e-5,
+            momentum: 0.1,
+            affine,
+            gamma: Param::new(Tensor::full(vec![features], 1.0)),
+            beta: Param::new(Tensor::zeros(vec![features])),
+            running_mean: vec![0.0; features],
+            running_var: vec![1.0; features],
+            cache: None,
+        }
+    }
+
+    /// Number of normalized features.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Whether the layer applies a learnable affine transform.
+    pub fn is_affine(&self) -> bool {
+        self.affine
+    }
+
+    /// Removes feature `idx` (used by the pruning study together with
+    /// [`Dense::remove_output`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or only one feature remains.
+    pub fn remove_feature(&mut self, idx: usize) {
+        assert!(idx < self.features, "feature index out of range");
+        assert!(self.features > 1, "cannot remove the last feature");
+        let mut g: Vec<f32> = self.gamma.value.data().to_vec();
+        let mut b: Vec<f32> = self.beta.value.data().to_vec();
+        g.remove(idx);
+        b.remove(idx);
+        self.running_mean.remove(idx);
+        self.running_var.remove(idx);
+        self.features -= 1;
+        self.gamma = Param::new(Tensor::from_vec(g, vec![self.features]));
+        self.beta = Param::new(Tensor::from_vec(b, vec![self.features]));
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 2, "batchnorm1d expects [batch, features]");
+        assert_eq!(input.shape()[1], self.features, "feature mismatch");
+        let batch = input.shape()[0];
+        let mut out = Tensor::zeros(input.shape().to_vec());
+
+        if train {
+            assert!(batch >= 2, "training-mode batchnorm needs batch >= 2");
+            let mut x_hat = Tensor::zeros(input.shape().to_vec());
+            let mut inv_std = vec![0.0f32; self.features];
+            for f in 0..self.features {
+                let mut mean = 0.0;
+                for n in 0..batch {
+                    mean += input.at2(n, f);
+                }
+                mean /= batch as f32;
+                let mut var = 0.0;
+                for n in 0..batch {
+                    let d = input.at2(n, f) - mean;
+                    var += d * d;
+                }
+                var /= batch as f32;
+                let istd = 1.0 / (var + self.eps).sqrt();
+                inv_std[f] = istd;
+                self.running_mean[f] =
+                    (1.0 - self.momentum) * self.running_mean[f] + self.momentum * mean;
+                self.running_var[f] =
+                    (1.0 - self.momentum) * self.running_var[f] + self.momentum * var;
+                for n in 0..batch {
+                    let xh = (input.at2(n, f) - mean) * istd;
+                    *x_hat.at2_mut(n, f) = xh;
+                    let y = if self.affine {
+                        self.gamma.value.data()[f] * xh + self.beta.value.data()[f]
+                    } else {
+                        xh
+                    };
+                    *out.at2_mut(n, f) = y;
+                }
+            }
+            self.cache = Some(BnCache { x_hat, inv_std });
+        } else {
+            for f in 0..self.features {
+                let istd = 1.0 / (self.running_var[f] + self.eps).sqrt();
+                for n in 0..batch {
+                    let xh = (input.at2(n, f) - self.running_mean[f]) * istd;
+                    let y = if self.affine {
+                        self.gamma.value.data()[f] * xh + self.beta.value.data()[f]
+                    } else {
+                        xh
+                    };
+                    *out.at2_mut(n, f) = y;
+                }
+            }
+            self.cache = None;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward requires training-mode forward");
+        let batch = grad_output.shape()[0];
+        let m = batch as f32;
+        let mut grad_input = Tensor::zeros(grad_output.shape().to_vec());
+        for f in 0..self.features {
+            let gamma = if self.affine { self.gamma.value.data()[f] } else { 1.0 };
+            // Accumulate the two reduction terms of the BN backward formula.
+            let mut sum_dy = 0.0;
+            let mut sum_dy_xhat = 0.0;
+            for n in 0..batch {
+                let dy = grad_output.at2(n, f);
+                sum_dy += dy;
+                sum_dy_xhat += dy * cache.x_hat.at2(n, f);
+            }
+            if self.affine {
+                self.gamma.grad.data_mut()[f] += sum_dy_xhat;
+                self.beta.grad.data_mut()[f] += sum_dy;
+            }
+            let istd = cache.inv_std[f];
+            for n in 0..batch {
+                let dy = grad_output.at2(n, f);
+                let xh = cache.x_hat.at2(n, f);
+                *grad_input.at2_mut(n, f) =
+                    gamma * istd / m * (m * dy - sum_dy - xh * sum_dy_xhat);
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        if self.affine {
+            vec![&mut self.gamma, &mut self.beta]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Flattens `[batch, channels, length]` into `[batch, channels·length]`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Flatten {
+    cached_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Flatten {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert!(input.ndim() >= 2, "flatten expects a batch dimension");
+        self.cached_shape = input.shape().to_vec();
+        let batch = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        input.reshaped(vec![batch, rest])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        grad_output.reshaped(self.cached_shape.clone())
+    }
+}
+
+/// Reshapes `[batch, features]` into `[batch, channels, length]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reshape {
+    channels: usize,
+    length: usize,
+}
+
+impl Reshape {
+    /// Creates a reshape to `[batch, channels, length]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(channels: usize, length: usize) -> Reshape {
+        assert!(channels > 0 && length > 0);
+        Reshape { channels, length }
+    }
+
+    /// `(channels, length)` of the target shape.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.channels, self.length)
+    }
+}
+
+impl Layer for Reshape {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let batch = input.shape()[0];
+        input.reshaped(vec![batch, self.channels, self.length])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let batch = grad_output.shape()[0];
+        grad_output.reshaped(vec![batch, self.channels * self.length])
+    }
+}
+
+/// A concrete, serializable layer container.
+///
+/// `Sequential` stores layers through this enum (rather than trait
+/// objects) so trained models can be encoded to a compact binary format
+/// without external serialization machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerBox {
+    /// 1-D convolution.
+    Conv1d(Conv1d),
+    /// Transposed 1-D convolution.
+    ConvTranspose1d(ConvTranspose1d),
+    /// Fully-connected layer.
+    Dense(Dense),
+    /// Rectified linear unit.
+    ReLU(ReLU),
+    /// Batch normalization.
+    BatchNorm1d(BatchNorm1d),
+    /// Flatten to 2-D.
+    Flatten(Flatten),
+    /// Reshape to 3-D.
+    Reshape(Reshape),
+}
+
+macro_rules! delegate {
+    ($self:ident, $inner:ident => $e:expr) => {
+        match $self {
+            LayerBox::Conv1d($inner) => $e,
+            LayerBox::ConvTranspose1d($inner) => $e,
+            LayerBox::Dense($inner) => $e,
+            LayerBox::ReLU($inner) => $e,
+            LayerBox::BatchNorm1d($inner) => $e,
+            LayerBox::Flatten($inner) => $e,
+            LayerBox::Reshape($inner) => $e,
+        }
+    };
+}
+
+impl Layer for LayerBox {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        delegate!(self, l => l.forward(input, train))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        delegate!(self, l => l.backward(grad_output))
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        delegate!(self, l => l.params_mut())
+    }
+}
+
+impl From<Conv1d> for LayerBox {
+    fn from(l: Conv1d) -> LayerBox {
+        LayerBox::Conv1d(l)
+    }
+}
+impl From<ConvTranspose1d> for LayerBox {
+    fn from(l: ConvTranspose1d) -> LayerBox {
+        LayerBox::ConvTranspose1d(l)
+    }
+}
+impl From<Dense> for LayerBox {
+    fn from(l: Dense) -> LayerBox {
+        LayerBox::Dense(l)
+    }
+}
+impl From<ReLU> for LayerBox {
+    fn from(l: ReLU) -> LayerBox {
+        LayerBox::ReLU(l)
+    }
+}
+impl From<BatchNorm1d> for LayerBox {
+    fn from(l: BatchNorm1d) -> LayerBox {
+        LayerBox::BatchNorm1d(l)
+    }
+}
+impl From<Flatten> for LayerBox {
+    fn from(l: Flatten) -> LayerBox {
+        LayerBox::Flatten(l)
+    }
+}
+impl From<Reshape> for LayerBox {
+    fn from(l: Reshape) -> LayerBox {
+        LayerBox::Reshape(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numeric gradient check: perturb each input element and compare the
+    /// analytic input gradient against finite differences of a scalar loss
+    /// `L = Σ out²/2` (whose dL/dout = out).
+    fn check_input_gradient<L: Layer>(layer: &mut L, input: &Tensor, tol: f32) {
+        let out = layer.forward(input, true);
+        let grad_out = out.clone();
+        let analytic = layer.backward(&grad_out);
+
+        let eps = 1e-3f32;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[i] -= eps;
+            let lp: f32 = layer.forward(&plus, true).data().iter().map(|o| o * o / 2.0).sum();
+            let lm: f32 = layer.forward(&minus, true).data().iter().map(|o| o * o / 2.0).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (numeric - a).abs() < tol * (1.0 + numeric.abs().max(a.abs())),
+                "element {i}: numeric {numeric} vs analytic {a}"
+            );
+        }
+    }
+
+    /// Numeric gradient check for the layer parameters.
+    fn check_param_gradient<L: Layer>(layer: &mut L, input: &Tensor, tol: f32) {
+        let out = layer.forward(input, true);
+        let grad_out = out.clone();
+        layer.zero_grad();
+        layer.backward(&grad_out);
+        let analytic: Vec<Vec<f32>> =
+            layer.params_mut().iter().map(|p| p.grad.data().to_vec()).collect();
+
+        let eps = 1e-3f32;
+        for (pi, grads) in analytic.iter().enumerate() {
+            for gi in 0..grads.len() {
+                let orig = {
+                    let mut ps = layer.params_mut();
+                    let v = ps[pi].value.data()[gi];
+                    ps[pi].value.data_mut()[gi] = v + eps;
+                    v
+                };
+                let lp: f32 = layer.forward(input, true).data().iter().map(|o| o * o / 2.0).sum();
+                {
+                    let mut ps = layer.params_mut();
+                    ps[pi].value.data_mut()[gi] = orig - eps;
+                }
+                let lm: f32 = layer.forward(input, true).data().iter().map(|o| o * o / 2.0).sum();
+                {
+                    let mut ps = layer.params_mut();
+                    ps[pi].value.data_mut()[gi] = orig;
+                }
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = grads[gi];
+                assert!(
+                    (numeric - a).abs() < tol * (1.0 + numeric.abs().max(a.abs())),
+                    "param {pi} element {gi}: numeric {numeric} vs analytic {a}"
+                );
+            }
+        }
+    }
+
+    fn test_input(shape: Vec<usize>, seed: u64) -> Tensor {
+        crate::init::uniform(shape, -1.0, 1.0, seed)
+    }
+
+    #[test]
+    fn conv1d_shapes() {
+        let mut conv = Conv1d::with_stride(2, 3, 5, 2, 2, 1);
+        let x = test_input(vec![2, 2, 20], 3);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 3, 10]);
+    }
+
+    #[test]
+    fn conv1d_known_values() {
+        // 1 channel, kernel [1, 2], no bias change: y[i] = x[i] + 2x[i+1].
+        let mut conv = Conv1d::new(1, 1, 2, 0);
+        conv.weight.value = Tensor::from_vec(vec![1.0, 2.0], vec![1, 1, 2]);
+        conv.bias.value = Tensor::from_vec(vec![0.5], vec![1]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], vec![1, 1, 3]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.data(), &[1.0 + 4.0 + 0.5, 2.0 + 6.0 + 0.5]);
+    }
+
+    #[test]
+    fn conv1d_gradients() {
+        let mut conv = Conv1d::with_stride(2, 2, 3, 1, 1, 5);
+        let x = test_input(vec![2, 2, 8], 7);
+        check_input_gradient(&mut conv, &x, 2e-2);
+        check_param_gradient(&mut conv, &x, 2e-2);
+    }
+
+    #[test]
+    fn conv1d_strided_gradients() {
+        let mut conv = Conv1d::with_stride(1, 2, 4, 2, 0, 9);
+        let x = test_input(vec![1, 1, 12], 11);
+        check_input_gradient(&mut conv, &x, 2e-2);
+        check_param_gradient(&mut conv, &x, 2e-2);
+    }
+
+    #[test]
+    fn conv_transpose_shapes_and_inverse_of_conv_shape() {
+        let mut deconv = ConvTranspose1d::new(3, 2, 4, 2, 1);
+        let x = test_input(vec![1, 3, 10], 2);
+        let y = deconv.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2, (10 - 1) * 2 + 4]);
+    }
+
+    #[test]
+    fn conv_transpose_gradients() {
+        let mut deconv = ConvTranspose1d::new(2, 2, 3, 2, 4);
+        let x = test_input(vec![1, 2, 5], 6);
+        check_input_gradient(&mut deconv, &x, 2e-2);
+        check_param_gradient(&mut deconv, &x, 2e-2);
+    }
+
+    #[test]
+    fn conv_transpose_remove_in_channel() {
+        let mut deconv = ConvTranspose1d::new(3, 2, 4, 2, 7);
+        let x = test_input(vec![1, 3, 5], 8);
+        // Zeroing channel 1 then removing it must give the same output.
+        let mut zeroed = x.clone();
+        for l in 0..5 {
+            *zeroed.at3_mut(0, 1, l) = 0.0;
+        }
+        let zeroed_out = deconv.forward(&zeroed, true);
+        deconv.remove_in_channel(1);
+        assert_eq!(deconv.dims(), (2, 2, 4, 2));
+        let mut reduced_data = Vec::new();
+        for c in [0usize, 2] {
+            for l in 0..5 {
+                reduced_data.push(x.at3(0, c, l));
+            }
+        }
+        let reduced = Tensor::from_vec(reduced_data, vec![1, 2, 5]);
+        let out = deconv.forward(&reduced, true);
+        for (a, b) in out.data().iter().zip(zeroed_out.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dense_known_values() {
+        let mut dense = Dense::new(2, 2, 0);
+        dense.weight.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        dense.bias.value = Tensor::from_vec(vec![0.1, 0.2], vec![2]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], vec![1, 2]);
+        let y = dense.forward(&x, true);
+        assert!((y.data()[0] - 3.1).abs() < 1e-6);
+        assert!((y.data()[1] - 7.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dense_gradients() {
+        let mut dense = Dense::new(4, 3, 8);
+        let x = test_input(vec![3, 4], 13);
+        check_input_gradient(&mut dense, &x, 1e-2);
+        check_param_gradient(&mut dense, &x, 1e-2);
+    }
+
+    #[test]
+    fn dense_remove_input() {
+        let mut dense = Dense::new(3, 2, 1);
+        let x = test_input(vec![1, 3], 2);
+        let before = dense.forward(&x, true);
+        // Zeroing input 1 then removing it must give the same output.
+        let mut zeroed = x.clone();
+        zeroed.data_mut()[1] = 0.0;
+        let zeroed_out = dense.forward(&zeroed, true);
+        dense.remove_input(1);
+        assert_eq!(dense.dims(), (2, 2));
+        let reduced = Tensor::from_vec(vec![x.data()[0], x.data()[2]], vec![1, 2]);
+        let after = dense.forward(&reduced, true);
+        assert!((after.data()[0] - zeroed_out.data()[0]).abs() < 1e-6);
+        assert!((after.data()[1] - zeroed_out.data()[1]).abs() < 1e-6);
+        let _ = before;
+    }
+
+    #[test]
+    fn dense_remove_output() {
+        let mut dense = Dense::new(3, 3, 1);
+        let x = test_input(vec![1, 3], 2);
+        let before = dense.forward(&x, true);
+        dense.remove_output(1);
+        assert_eq!(dense.dims(), (3, 2));
+        let after = dense.forward(&x, true);
+        assert!((after.data()[0] - before.data()[0]).abs() < 1e-6);
+        assert!((after.data()[1] - before.data()[2]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut relu = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], vec![1, 3]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+        let g = relu.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], vec![1, 3]));
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn batchnorm_standardizes_in_training() {
+        let mut bn = BatchNorm1d::new(2, false);
+        let x = test_input(vec![64, 2], 20);
+        let y = bn.forward(&x, true);
+        for f in 0..2 {
+            let col: Vec<f32> = (0..64).map(|n| y.at2(n, f)).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 64.0;
+            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm1d::new(1, false);
+        // Train on shifted data so running stats move away from (0, 1).
+        for step in 0..200 {
+            let x = test_input(vec![32, 1], 100 + step).add(&Tensor::full(vec![32, 1], 5.0));
+            bn.forward(&x, true);
+        }
+        // Eval on a single sample at the training mean: output should be ~0.
+        let y = bn.forward(&Tensor::from_vec(vec![5.0], vec![1, 1]), false);
+        assert!(y.data()[0].abs() < 0.3, "eval output {}", y.data()[0]);
+    }
+
+    #[test]
+    fn batchnorm_gradients() {
+        let mut bn = BatchNorm1d::new(3, true);
+        let x = test_input(vec![8, 3], 33);
+        check_input_gradient(&mut bn, &x, 3e-2);
+        check_param_gradient(&mut bn, &x, 3e-2);
+    }
+
+    #[test]
+    fn batchnorm_nonaffine_gradients() {
+        let mut bn = BatchNorm1d::new(2, false);
+        let x = test_input(vec![6, 2], 44);
+        check_input_gradient(&mut bn, &x, 3e-2);
+    }
+
+    #[test]
+    fn batchnorm_remove_feature() {
+        let mut bn = BatchNorm1d::new(3, false);
+        bn.running_mean = vec![1.0, 2.0, 3.0];
+        bn.remove_feature(1);
+        assert_eq!(bn.features(), 2);
+        assert_eq!(bn.running_mean, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut fl = Flatten::new();
+        let x = test_input(vec![2, 3, 4], 50);
+        let y = fl.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 12]);
+        let g = fl.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn reshape_roundtrip() {
+        let mut rs = Reshape::new(3, 4);
+        let x = test_input(vec![2, 12], 51);
+        let y = rs.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 3, 4]);
+        let g = rs.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+    }
+
+    #[test]
+    fn layerbox_delegates() {
+        let mut boxed: LayerBox = Dense::new(2, 2, 3).into();
+        let x = test_input(vec![1, 2], 60);
+        let y = boxed.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(boxed.params_mut().len(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! A from-scratch deep-learning micro-framework for the WaveKey
+//! autoencoders.
+//!
+//! The paper implements IMU-En, RF-En, and the auto-decoder De in PyTorch
+//! (Fig. 5). No deep-learning ecosystem is available here, so this crate
+//! provides exactly the pieces those networks need, implemented from
+//! scratch on `f32`:
+//!
+//! * [`tensor`] — a row-major n-dimensional tensor.
+//! * [`layer`] — `Conv1d`, `Dense`, `ReLU`, `BatchNorm1d`,
+//!   `ConvTranspose1d`, `Flatten`, `Reshape`, all with hand-derived
+//!   backward passes.
+//! * [`net`] — a [`net::Sequential`] container with forward/backward and a
+//!   compact binary (de)serialization format for trained models.
+//! * [`optim`] — SGD with momentum and Adam.
+//! * [`loss`] — mean-squared error (the joint WaveKey loss of Eq. (3) is
+//!   assembled from MSE pieces in `wavekey-core`).
+//! * [`init`] — seeded He/Xavier initialization so training is
+//!   reproducible.
+//!
+//! # Example: fitting a tiny regression
+//!
+//! ```
+//! use wavekey_nn::net::Sequential;
+//! use wavekey_nn::layer::{Dense, ReLU};
+//! use wavekey_nn::optim::{Adam, Optimizer};
+//! use wavekey_nn::loss::mse;
+//! use wavekey_nn::tensor::Tensor;
+//!
+//! let mut net = Sequential::new();
+//! net.push(Dense::new(1, 8, 1));
+//! net.push(ReLU::new());
+//! net.push(Dense::new(8, 1, 2));
+//! let mut opt = Adam::new(1e-2);
+//!
+//! let x = Tensor::from_vec(vec![0.0, 0.5, 1.0, 1.5], vec![4, 1]);
+//! let y = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![4, 1]);
+//! let mut last = f32::MAX;
+//! for _ in 0..500 {
+//!     let out = net.forward(&x, true);
+//!     let (loss, grad) = mse(&out, &y);
+//!     net.zero_grad();
+//!     net.backward(&grad);
+//!     opt.step(&mut net.params_mut());
+//!     last = loss;
+//! }
+//! assert!(last < 1e-2);
+//! ```
+
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod net;
+pub mod optim;
+pub mod tensor;
+
+pub use layer::{
+    BatchNorm1d, Conv1d, ConvTranspose1d, Dense, Flatten, Layer, LayerBox, ReLU, Reshape,
+};
+pub use loss::{mse, mse_pair};
+pub use net::Sequential;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use tensor::Tensor;

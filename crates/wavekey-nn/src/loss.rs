@@ -1,0 +1,107 @@
+//! Loss functions.
+//!
+//! The joint WaveKey training loss (Eq. (3) of the paper) is
+//! `‖f_M − f_R‖² + λ·‖De(f_M) − R^Mag‖²`, assembled in `wavekey-core` from
+//! the [`mse`] and [`mse_pair`] pieces defined here.
+
+use crate::tensor::Tensor;
+
+/// Mean-squared error between `output` and `target`.
+///
+/// Returns `(loss, d_loss/d_output)`. The gradient is `2(out − target)/N`
+/// where `N` is the total element count, matching the `mean` reduction of
+/// common frameworks.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse(output: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(output.shape(), target.shape(), "mse shape mismatch");
+    let n = output.len() as f32;
+    let mut loss = 0.0;
+    let mut grad = Tensor::zeros(output.shape().to_vec());
+    for i in 0..output.len() {
+        let d = output.data()[i] - target.data()[i];
+        loss += d * d;
+        grad.data_mut()[i] = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Symmetric MSE between two *trainable* outputs `a` and `b` (both sides
+/// receive gradients), used for the `‖f_M − f_R‖²` term where both
+/// encoders are being trained toward each other.
+///
+/// Returns `(loss, d_loss/d_a, d_loss/d_b)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse_pair(a: &Tensor, b: &Tensor) -> (f32, Tensor, Tensor) {
+    assert_eq!(a.shape(), b.shape(), "mse_pair shape mismatch");
+    let n = a.len() as f32;
+    let mut loss = 0.0;
+    let mut grad_a = Tensor::zeros(a.shape().to_vec());
+    let mut grad_b = Tensor::zeros(b.shape().to_vec());
+    for i in 0..a.len() {
+        let d = a.data()[i] - b.data()[i];
+        loss += d * d;
+        grad_a.data_mut()[i] = 2.0 * d / n;
+        grad_b.data_mut()[i] = -2.0 * d / n;
+    }
+    (loss / n, grad_a, grad_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], vec![2]);
+        let (loss, grad) = mse(&t, &t);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], vec![2]);
+        let b = Tensor::from_vec(vec![0.0, 0.0], vec![2]);
+        let (loss, grad) = mse(&a, &b);
+        assert!((loss - 2.5).abs() < 1e-6); // (1 + 4) / 2
+        assert!((grad.data()[0] - 1.0).abs() < 1e-6); // 2*1/2
+        assert!((grad.data()[1] - 2.0).abs() < 1e-6); // 2*2/2
+    }
+
+    #[test]
+    fn mse_gradient_is_finite_difference() {
+        let a = Tensor::from_vec(vec![0.3, -0.7, 1.1], vec![3]);
+        let b = Tensor::from_vec(vec![0.1, 0.2, -0.5], vec![3]);
+        let (_, grad) = mse(&a, &b);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut ap = a.clone();
+            ap.data_mut()[i] += eps;
+            let mut am = a.clone();
+            am.data_mut()[i] -= eps;
+            let (lp, _) = mse(&ap, &b);
+            let (lm, _) = mse(&am, &b);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grad.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mse_pair_antisymmetric_gradients() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], vec![2]);
+        let b = Tensor::from_vec(vec![0.5, 0.5], vec![2]);
+        let (loss, ga, gb) = mse_pair(&a, &b);
+        let (loss2, ga2) = mse(&a, &b);
+        assert!((loss - loss2).abs() < 1e-6);
+        for i in 0..2 {
+            assert!((ga.data()[i] - ga2.data()[i]).abs() < 1e-6);
+            assert!((ga.data()[i] + gb.data()[i]).abs() < 1e-6);
+        }
+    }
+}

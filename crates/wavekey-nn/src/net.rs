@@ -1,0 +1,452 @@
+//! The [`Sequential`] network container and its binary model format.
+//!
+//! Trained WaveKey models must be shareable between the example binaries,
+//! the benchmark harness, and the tests without retraining, so
+//! `Sequential` can encode itself to a compact little-endian binary format
+//! and decode back. The codec is written by hand (no external
+//! serialization dependency) and versioned with a magic header.
+
+use crate::layer::{
+    BatchNorm1d, Conv1d, ConvTranspose1d, Dense, Flatten, Layer, LayerBox, Param, ReLU, Reshape,
+};
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"WKNN";
+const VERSION: u32 = 1;
+
+/// A feed-forward stack of layers.
+///
+/// # Examples
+///
+/// ```
+/// use wavekey_nn::{Sequential, Dense, ReLU, Tensor};
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(4, 8, 0));
+/// net.push(ReLU::new());
+/// net.push(Dense::new(8, 2, 1));
+/// let x = Tensor::zeros(vec![1, 4]);
+/// let y = net.forward(&x, false);
+/// assert_eq!(y.shape(), &[1, 2]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Sequential {
+    layers: Vec<LayerBox>,
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Sequential {
+        Sequential::default()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Into<LayerBox>) -> &mut Sequential {
+        self.layers.push(layer.into());
+        self
+    }
+
+    /// The layers, immutably.
+    pub fn layers(&self) -> &[LayerBox] {
+        &self.layers
+    }
+
+    /// The layers, mutably (used by the pruning study to edit specific
+    /// layers in place).
+    pub fn layers_mut(&mut self) -> &mut [LayerBox] {
+        &mut self.layers
+    }
+
+    /// Runs the network forward.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Backpropagates from the output gradient, returning the gradient
+    /// with respect to the network input.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// All trainable parameters, in a stable front-to-back order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// Resets all gradients to zero.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Encodes the network (architecture + weights + batch-norm running
+    /// statistics) to the versioned binary model format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, VERSION);
+        put_u32(&mut out, self.layers.len() as u32);
+        for layer in &self.layers {
+            encode_layer(&mut out, layer);
+        }
+        out
+    }
+
+    /// Decodes a network previously produced by [`Sequential::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelCodecError`] on malformed input (wrong magic,
+    /// unsupported version, truncated data, unknown layer tag).
+    pub fn decode(bytes: &[u8]) -> Result<Sequential, ModelCodecError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            return Err(ModelCodecError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(ModelCodecError::UnsupportedVersion(version));
+        }
+        let count = r.u32()? as usize;
+        let mut layers = Vec::with_capacity(count);
+        for _ in 0..count {
+            layers.push(decode_layer(&mut r)?);
+        }
+        if r.pos != r.bytes.len() {
+            return Err(ModelCodecError::TrailingBytes);
+        }
+        Ok(Sequential { layers })
+    }
+}
+
+/// Error decoding a serialized model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelCodecError {
+    /// The magic header is missing.
+    BadMagic,
+    /// The format version is newer than this library understands.
+    UnsupportedVersion(u32),
+    /// The byte stream ended prematurely.
+    Truncated,
+    /// An unknown layer tag was encountered.
+    UnknownLayerTag(u8),
+    /// Extra bytes followed the last layer.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for ModelCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelCodecError::BadMagic => write!(f, "missing WKNN magic header"),
+            ModelCodecError::UnsupportedVersion(v) => write!(f, "unsupported model version {v}"),
+            ModelCodecError::Truncated => write!(f, "model bytes truncated"),
+            ModelCodecError::UnknownLayerTag(t) => write!(f, "unknown layer tag {t}"),
+            ModelCodecError::TrailingBytes => write!(f, "trailing bytes after model"),
+        }
+    }
+}
+
+impl std::error::Error for ModelCodecError {}
+
+// --- encoding helpers -----------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+    put_u32(out, vs.len() as u32);
+    for v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_param(out: &mut Vec<u8>, p: &Param) {
+    put_u32(out, p.value.ndim() as u32);
+    for &d in p.value.shape() {
+        put_u32(out, d as u32);
+    }
+    put_f32s(out, p.value.data());
+}
+
+fn encode_layer(out: &mut Vec<u8>, layer: &LayerBox) {
+    match layer {
+        LayerBox::Conv1d(l) => {
+            out.push(1);
+            let (ic, oc, k, s, p) = l.dims();
+            for v in [ic, oc, k, s, p] {
+                put_u32(out, v as u32);
+            }
+            put_param(out, &l.weight);
+            put_param(out, &l.bias);
+        }
+        LayerBox::ConvTranspose1d(l) => {
+            out.push(2);
+            let (ic, oc, k, s) = l.dims();
+            for v in [ic, oc, k, s] {
+                put_u32(out, v as u32);
+            }
+            put_param(out, &l.weight);
+            put_param(out, &l.bias);
+        }
+        LayerBox::Dense(l) => {
+            out.push(3);
+            let (i, o) = l.dims();
+            put_u32(out, i as u32);
+            put_u32(out, o as u32);
+            put_param(out, &l.weight);
+            put_param(out, &l.bias);
+        }
+        LayerBox::ReLU(_) => {
+            out.push(4);
+        }
+        LayerBox::BatchNorm1d(l) => {
+            out.push(5);
+            put_u32(out, l.features() as u32);
+            out.push(l.is_affine() as u8);
+            put_param(out, &l.gamma);
+            put_param(out, &l.beta);
+            put_f32s(out, &l.running_mean);
+            put_f32s(out, &l.running_var);
+        }
+        LayerBox::Flatten(_) => {
+            out.push(6);
+        }
+        LayerBox::Reshape(l) => {
+            out.push(7);
+            let (c, len) = l.dims();
+            put_u32(out, c as u32);
+            put_u32(out, len as u32);
+        }
+    }
+}
+
+// --- decoding helpers -----------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ModelCodecError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(ModelCodecError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ModelCodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ModelCodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, ModelCodecError> {
+        let n = self.u32()? as usize;
+        let b = self.take(n * 4)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    fn param(&mut self) -> Result<Param, ModelCodecError> {
+        let ndim = self.u32()? as usize;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(self.u32()? as usize);
+        }
+        let data = self.f32s()?;
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(ModelCodecError::Truncated);
+        }
+        Ok(Param::new(Tensor::from_vec(data, shape)))
+    }
+}
+
+fn decode_layer(r: &mut Reader<'_>) -> Result<LayerBox, ModelCodecError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        1 => {
+            let (ic, oc, k, s, p) = (
+                r.u32()? as usize,
+                r.u32()? as usize,
+                r.u32()? as usize,
+                r.u32()? as usize,
+                r.u32()? as usize,
+            );
+            let mut l = Conv1d::with_stride(ic, oc, k, s, p, 0);
+            l.weight = r.param()?;
+            l.bias = r.param()?;
+            LayerBox::Conv1d(l)
+        }
+        2 => {
+            let (ic, oc, k, s) = (
+                r.u32()? as usize,
+                r.u32()? as usize,
+                r.u32()? as usize,
+                r.u32()? as usize,
+            );
+            let mut l = ConvTranspose1d::new(ic, oc, k, s, 0);
+            l.weight = r.param()?;
+            l.bias = r.param()?;
+            LayerBox::ConvTranspose1d(l)
+        }
+        3 => {
+            let (i, o) = (r.u32()? as usize, r.u32()? as usize);
+            let mut l = Dense::new(i, o, 0);
+            l.weight = r.param()?;
+            l.bias = r.param()?;
+            LayerBox::Dense(l)
+        }
+        4 => LayerBox::ReLU(ReLU::new()),
+        5 => {
+            let features = r.u32()? as usize;
+            let affine = r.u8()? != 0;
+            let mut l = BatchNorm1d::new(features, affine);
+            l.gamma = r.param()?;
+            l.beta = r.param()?;
+            l.running_mean = r.f32s()?;
+            l.running_var = r.f32s()?;
+            if l.running_mean.len() != features || l.running_var.len() != features {
+                return Err(ModelCodecError::Truncated);
+            }
+            LayerBox::BatchNorm1d(l)
+        }
+        6 => LayerBox::Flatten(Flatten::new()),
+        7 => {
+            let (c, len) = (r.u32()? as usize, r.u32()? as usize);
+            LayerBox::Reshape(Reshape::new(c, len))
+        }
+        t => return Err(ModelCodecError::UnknownLayerTag(t)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use crate::loss::mse;
+    use crate::optim::{Adam, Optimizer};
+
+    fn toy_net() -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Conv1d::with_stride(2, 4, 3, 1, 1, 1));
+        net.push(ReLU::new());
+        net.push(Flatten::new());
+        net.push(Dense::new(4 * 10, 6, 2));
+        net.push(BatchNorm1d::new(6, false));
+        net
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut net = toy_net();
+        let x = init::uniform(vec![4, 2, 10], -1.0, 1.0, 3);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), &[4, 6]);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut net = toy_net();
+        // Conv: 4*2*3 + 4 = 28; Dense: 6*40 + 6 = 246; BN non-affine: 0.
+        assert_eq!(net.param_count(), 28 + 246);
+    }
+
+    #[test]
+    fn trains_xor() {
+        // The classic nonlinear sanity check.
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 8, 10));
+        net.push(ReLU::new());
+        net.push(Dense::new(8, 1, 11));
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], vec![4, 2]);
+        let y = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], vec![4, 1]);
+        let mut opt = Adam::new(0.05);
+        let mut final_loss = f32::MAX;
+        for _ in 0..800 {
+            let out = net.forward(&x, true);
+            let (loss, grad) = mse(&out, &y);
+            net.zero_grad();
+            net.backward(&grad);
+            opt.step(&mut net.params_mut());
+            final_loss = loss;
+        }
+        assert!(final_loss < 1e-2, "xor loss {final_loss}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_preserves_output() {
+        let mut net = toy_net();
+        // Push some data through in training mode so BN running stats move.
+        let x = init::uniform(vec![8, 2, 10], -1.0, 1.0, 5);
+        net.forward(&x, true);
+        net.forward(&x, true);
+
+        let bytes = net.encode();
+        let mut decoded = Sequential::decode(&bytes).unwrap();
+
+        let probe = init::uniform(vec![2, 2, 10], -1.0, 1.0, 9);
+        let a = net.forward(&probe, false);
+        let b = decoded.forward(&probe, false);
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Sequential::decode(b"nope").unwrap_err(), ModelCodecError::BadMagic);
+        let mut bytes = toy_net().encode();
+        bytes.truncate(bytes.len() - 3);
+        assert_eq!(Sequential::decode(&bytes).unwrap_err(), ModelCodecError::Truncated);
+        let mut bytes2 = toy_net().encode();
+        bytes2.push(0);
+        assert_eq!(Sequential::decode(&bytes2).unwrap_err(), ModelCodecError::TrailingBytes);
+    }
+
+    #[test]
+    fn decode_rejects_future_version() {
+        let mut bytes = toy_net().encode();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            Sequential::decode(&bytes).unwrap_err(),
+            ModelCodecError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn deconv_autoencoder_shape() {
+        // Mirror of the paper's De: latent -> dense -> reshape -> deconv.
+        let mut net = Sequential::new();
+        net.push(Dense::new(12, 32, 20));
+        net.push(ReLU::new());
+        net.push(Reshape::new(4, 8));
+        net.push(ConvTranspose1d::new(4, 2, 4, 2, 21));
+        let x = init::uniform(vec![3, 12], -1.0, 1.0, 22);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), &[3, 2, (8 - 1) * 2 + 4]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Optimizers: SGD with momentum and Adam.
+//!
+//! State (momentum / moment estimates) is kept per parameter, indexed by
+//! position in the parameter list. Callers must pass the parameters in a
+//! stable order across steps — [`crate::net::Sequential::params_mut`]
+//! guarantees this.
+
+use crate::layer::Param;
+
+/// Common interface of optimizers.
+pub trait Optimizer {
+    /// Applies one update step to `params` using their accumulated
+    /// gradients. Gradients are not cleared; call
+    /// [`crate::net::Sequential::zero_grad`] before the next backward pass.
+    fn step(&mut self, params: &mut [&mut Param]);
+}
+
+/// Stochastic gradient descent with (optional) momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Sgd {
+        Sgd::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum coefficient `momentum` (0 disables momentum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Sgd {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
+        }
+        for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
+            debug_assert_eq!(p.value.len(), v.len(), "parameter list changed shape");
+            for i in 0..p.value.len() {
+                let g = p.grad.data()[i];
+                if self.momentum > 0.0 {
+                    v[i] = self.momentum * v[i] + g;
+                    p.value.data_mut()[i] -= self.lr * v[i];
+                } else {
+                    p.value.data_mut()[i] -= self.lr * g;
+                }
+            }
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with the standard bias correction and
+/// optional decoupled weight decay (AdamW).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with learning rate `lr` and default β₁ = 0.9, β₂ = 0.999.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Adam {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Adam with decoupled weight decay `wd` (applied as
+    /// `p ← p − lr·wd·p` each step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `wd < 0`.
+    pub fn with_weight_decay(lr: f32, wd: f32) -> Adam {
+        assert!(wd >= 0.0, "weight decay must be non-negative");
+        Adam { weight_decay: wd, ..Adam::new(lr) }
+    }
+
+    /// The current step count.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            debug_assert_eq!(p.value.len(), m.len(), "parameter list changed shape");
+            for i in 0..p.value.len() {
+                let g = p.grad.data()[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                let mut update = self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                if self.weight_decay > 0.0 {
+                    update += self.lr * self.weight_decay * p.value.data()[i];
+                }
+                p.value.data_mut()[i] -= update;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    /// Minimizes f(x) = (x - 3)² from x = 0 with each optimizer.
+    fn run_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut p = Param::new(Tensor::from_vec(vec![0.0], vec![1]));
+        for _ in 0..steps {
+            let x = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * (x - 3.0);
+            let mut params = [&mut p];
+            opt.step(&mut params);
+        }
+        p.value.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = run_quadratic(&mut opt, 100);
+        assert!((x - 3.0).abs() < 1e-4, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let x = run_quadratic(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let x = run_quadratic(&mut opt, 400);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        // With zero gradient, weight decay alone must shrink the value.
+        let mut opt = Adam::with_weight_decay(0.1, 0.5);
+        let mut p = Param::new(Tensor::from_vec(vec![2.0], vec![1]));
+        let mut params = [&mut p];
+        for _ in 0..10 {
+            opt.step(&mut params);
+        }
+        let v = params[0].value.data()[0];
+        assert!(v < 2.0 && v > 0.0, "v = {v}");
+    }
+
+    #[test]
+    fn adam_counts_steps() {
+        let mut opt = Adam::new(0.01);
+        let mut p = Param::new(Tensor::zeros(vec![2]));
+        let mut params = [&mut p];
+        opt.step(&mut params);
+        opt.step(&mut params);
+        assert_eq!(opt.steps(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_nonpositive_lr() {
+        Adam::new(0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! A minimal row-major n-dimensional tensor.
+//!
+//! Shapes used by the WaveKey networks are `[batch, features]` for dense
+//! layers and `[batch, channels, length]` for 1-D convolutions. The tensor
+//! stores `f32` data contiguously in row-major order.
+
+/// A dense row-major tensor of `f32` values.
+///
+/// # Examples
+///
+/// ```
+/// use wavekey_nn::Tensor;
+/// let t = Tensor::zeros(vec![2, 3]);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: Vec<usize>) -> Tensor {
+        let n = checked_numel(&shape);
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: Vec<usize>, value: f32) -> Tensor {
+        let n = checked_numel(&shape);
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// Wraps an existing data vector with a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: Vec<usize>) -> Tensor {
+        let n = checked_numel(&shape);
+        assert_eq!(data.len(), n, "data length {} != shape product {}", data.len(), n);
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor has no elements (never true for validly
+    /// constructed tensors).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Immutable view of the raw data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the raw data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the raw data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshaped(&self, shape: Vec<usize>) -> Tensor {
+        let n = checked_numel(&shape);
+        assert_eq!(n, self.data.len(), "reshape changes element count");
+        Tensor { shape, data: self.data.clone() }
+    }
+
+    /// Index into a 2-D tensor `[rows, cols]`.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.ndim(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Mutable index into a 2-D tensor.
+    #[inline]
+    pub fn at2_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert_eq!(self.ndim(), 2);
+        &mut self.data[r * self.shape[1] + c]
+    }
+
+    /// Index into a 3-D tensor `[n, c, l]`.
+    #[inline]
+    pub fn at3(&self, n: usize, c: usize, l: usize) -> f32 {
+        debug_assert_eq!(self.ndim(), 3);
+        self.data[(n * self.shape[1] + c) * self.shape[2] + l]
+    }
+
+    /// Mutable index into a 3-D tensor.
+    #[inline]
+    pub fn at3_mut(&mut self, n: usize, c: usize, l: usize) -> &mut f32 {
+        debug_assert_eq!(self.ndim(), 3);
+        &mut self.data[(n * self.shape[1] + c) * self.shape[2] + l]
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in sub");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        let data = self.data.iter().map(|a| a * s).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// In-place `self += other * s` (AXPY), used by optimizers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, other: &Tensor, s: f32) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in axpy");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * s;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Extracts row `r` of a 2-D tensor as a `Vec<f32>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or `r` is out of range.
+    pub fn row(&self, r: usize) -> Vec<f32> {
+        assert_eq!(self.ndim(), 2, "row() requires a 2-D tensor");
+        let cols = self.shape[1];
+        self.data[r * cols..(r + 1) * cols].to_vec()
+    }
+
+    /// Stacks equal-shape tensors along a new leading (batch) dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or shapes differ.
+    pub fn stack(items: &[Tensor]) -> Tensor {
+        assert!(!items.is_empty(), "stack of zero tensors");
+        let inner = items[0].shape.clone();
+        let mut data = Vec::with_capacity(items.len() * items[0].len());
+        for t in items {
+            assert_eq!(t.shape, inner, "stack requires equal shapes");
+            data.extend_from_slice(&t.data);
+        }
+        let mut shape = vec![items.len()];
+        shape.extend(inner);
+        Tensor { shape, data }
+    }
+
+    /// Splits the leading (batch) dimension back into per-item tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has fewer than 2 dimensions.
+    pub fn unstack(&self) -> Vec<Tensor> {
+        assert!(self.ndim() >= 2, "unstack requires a batch dimension");
+        let batch = self.shape[0];
+        let inner: Vec<usize> = self.shape[1..].to_vec();
+        let stride: usize = inner.iter().product();
+        (0..batch)
+            .map(|i| Tensor {
+                shape: inner.clone(),
+                data: self.data[i * stride..(i + 1) * stride].to_vec(),
+            })
+            .collect()
+    }
+}
+
+fn checked_numel(shape: &[usize]) -> usize {
+    assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
+    assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be positive");
+    shape.iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(vec![2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let f = Tensor::full(vec![4], 2.5);
+        assert!(f.data().iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_checks_length() {
+        Tensor::from_vec(vec![1.0, 2.0], vec![3]);
+    }
+
+    #[test]
+    fn indexing_2d_row_major() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        assert_eq!(t.at2(0, 0), 1.0);
+        assert_eq!(t.at2(0, 2), 3.0);
+        assert_eq!(t.at2(1, 0), 4.0);
+        assert_eq!(t.at2(1, 2), 6.0);
+    }
+
+    #[test]
+    fn indexing_3d_row_major() {
+        let t = Tensor::from_vec((0..24).map(|i| i as f32).collect(), vec![2, 3, 4]);
+        assert_eq!(t.at3(0, 0, 0), 0.0);
+        assert_eq!(t.at3(0, 1, 0), 4.0);
+        assert_eq!(t.at3(1, 0, 0), 12.0);
+        assert_eq!(t.at3(1, 2, 3), 23.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], vec![2]);
+        let b = Tensor::from_vec(vec![3.0, 5.0], vec![2]);
+        assert_eq!(a.add(&b).data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).data(), &[2.0, 3.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+        let mut c = a.clone();
+        c.axpy(&b, 0.5);
+        assert_eq!(c.data(), &[2.5, 4.5]);
+        assert_eq!(b.sum(), 8.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        let r = t.reshaped(vec![4]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.shape(), &[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape changes element count")]
+    fn reshape_rejects_bad_shape() {
+        Tensor::zeros(vec![2, 2]).reshaped(vec![5]);
+    }
+
+    #[test]
+    fn stack_unstack_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], vec![2, 2]);
+        let s = Tensor::stack(&[a.clone(), b.clone()]);
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        let parts = s.unstack();
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn row_extraction() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        assert_eq!(t.row(1), vec![4.0, 5.0, 6.0]);
+    }
+}

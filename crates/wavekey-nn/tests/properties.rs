@@ -1,0 +1,90 @@
+//! Property-based tests for the neural-network micro-framework.
+
+use proptest::prelude::*;
+use wavekey_nn::layer::{Conv1d, Dense, Layer, ReLU};
+use wavekey_nn::tensor::Tensor;
+
+fn tensor_strategy(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    proptest::collection::vec(-10.0f32..10.0, n)
+        .prop_map(move |data| Tensor::from_vec(data, shape.clone()))
+}
+
+proptest! {
+    #[test]
+    fn tensor_add_commutes(a in tensor_strategy(vec![2, 6]), b in tensor_strategy(vec![2, 6])) {
+        prop_assert_eq!(a.add(&b).data().to_vec(), b.add(&a).data().to_vec());
+    }
+
+    #[test]
+    fn tensor_scale_distributes(a in tensor_strategy(vec![12]), s in -5.0f32..5.0) {
+        let lhs = a.add(&a).scale(s);
+        let rhs = a.scale(s).add(&a.scale(s));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn stack_unstack_roundtrip(a in tensor_strategy(vec![3, 4]), b in tensor_strategy(vec![3, 4])) {
+        let stacked = Tensor::stack(&[a.clone(), b.clone()]);
+        let parts = stacked.unstack();
+        prop_assert_eq!(parts[0].data().to_vec(), a.data().to_vec());
+        prop_assert_eq!(parts[1].data().to_vec(), b.data().to_vec());
+    }
+
+    #[test]
+    fn dense_is_affine(x in tensor_strategy(vec![1, 5]), y in tensor_strategy(vec![1, 5]), alpha in -3.0f32..3.0) {
+        // f(αx + (1−α)y) = αf(x) + (1−α)f(y) for affine layers.
+        let mut dense = Dense::new(5, 3, 7);
+        let combo_in = x.scale(alpha).add(&y.scale(1.0 - alpha));
+        let f_combo = dense.forward(&combo_in, false);
+        let f_x = dense.forward(&x, false);
+        let f_y = dense.forward(&y, false);
+        let expected = f_x.scale(alpha).add(&f_y.scale(1.0 - alpha));
+        for (a, b) in f_combo.data().iter().zip(expected.data()) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv_is_translation_equivariant(signal in proptest::collection::vec(-5.0f32..5.0, 30)) {
+        // Shifting the input by s shifts the (valid, stride-1) output by s.
+        let mut conv = Conv1d::new(1, 2, 5, 3);
+        let shift = 4usize;
+        let mut shifted = vec![0.0f32; 30];
+        shifted[shift..].copy_from_slice(&signal[..30 - shift]);
+        let y1 = conv.forward(&Tensor::from_vec(signal.clone(), vec![1, 1, 30]), false);
+        let y2 = conv.forward(&Tensor::from_vec(shifted, vec![1, 1, 30]), false);
+        // Compare overlapping region: y2[t + shift] == y1[t] for valid t.
+        let out_len = 30 - 5 + 1;
+        for oc in 0..2 {
+            for t in 0..(out_len - shift) {
+                let a = y1.at3(0, oc, t);
+                let b = y2.at3(0, oc, t + shift);
+                prop_assert!((a - b).abs() < 1e-4, "oc {oc} t {t}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(x in tensor_strategy(vec![2, 10])) {
+        let mut relu = ReLU::new();
+        let once = relu.forward(&x, false);
+        prop_assert!(once.data().iter().all(|&v| v >= 0.0));
+        let twice = relu.forward(&once, false);
+        prop_assert_eq!(once.data().to_vec(), twice.data().to_vec());
+    }
+
+    #[test]
+    fn encode_decode_preserves_networks(seed in any::<u64>()) {
+        let mut net = wavekey_nn::Sequential::new();
+        net.push(Conv1d::new(2, 3, 3, seed));
+        net.push(ReLU::new());
+        net.push(wavekey_nn::Flatten::new());
+        net.push(Dense::new(3 * 8, 4, seed.wrapping_add(1)));
+        let bytes = net.encode();
+        let decoded = wavekey_nn::Sequential::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, net);
+    }
+}

@@ -1,0 +1,389 @@
+//! The UHF backscatter channel model.
+//!
+//! A passive UHF tag reflects the reader's carrier. The reader therefore
+//! observes the *round-trip* channel: for a one-way multipath channel
+//! `h_f`, the backscatter channel is `h = h_f² · g_tag`. The one-way
+//! channel is a sum of rays,
+//!
+//! ```text
+//! h_f = Σ_k a_k · exp(−j 2π L_k / λ) / L_k
+//! ```
+//!
+//! with `L_0` the direct reader→tag distance (amplitude scaled by the
+//! antenna pattern) and `L_k` the reflected paths via static walls /
+//! furniture and, in the "dynamic condition" of §VI-F, via walking people
+//! whose positions move during the gesture.
+//!
+//! The phase the reader reports is `arg(h)` plus a per-tag offset (tag
+//! backscatter phase + cable delay), quantized the way an Impinj R420
+//! quantizes it (2π/4096 steps); RSSI-style magnitude is quantized to
+//! 0.5 dB.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wavekey_math::Vec3;
+
+use crate::wavelength;
+
+/// A minimal complex number for channel arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// `r·e^{jθ}`.
+    pub fn from_polar(r: f64, theta: f64) -> Complex {
+        Complex { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        (self.re * self.re + self.im * self.im).sqrt()
+    }
+
+    /// Argument in `(−π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex addition.
+    pub fn add(self, o: Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+
+    /// Complex multiplication.
+    pub fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Complex {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+}
+
+/// The six RFID tags of the paper's evaluation (§VI-A): two units each of
+/// three models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TagModel {
+    /// Alien ALN-9640 "Squiggle", unit 1 — the default tag of §VI-B.
+    Alien9640A,
+    /// Alien ALN-9640, unit 2.
+    Alien9640B,
+    /// Alien ALN-9730, unit 1.
+    Alien9730A,
+    /// Alien ALN-9730, unit 2.
+    Alien9730B,
+    /// SMARTRAC DogBone, unit 1.
+    DogBoneA,
+    /// SMARTRAC DogBone, unit 2.
+    DogBoneB,
+}
+
+impl TagModel {
+    /// All six tags.
+    pub const ALL: [TagModel; 6] = [
+        TagModel::Alien9640A,
+        TagModel::Alien9640B,
+        TagModel::Alien9730A,
+        TagModel::Alien9730B,
+        TagModel::DogBoneA,
+        TagModel::DogBoneB,
+    ];
+
+    /// Per-tag hardware imperfections: `(phase_offset_rad,
+    /// backscatter_gain, noise_scale)`. Units of the same model share the
+    /// design but differ slightly (manufacturing variation), which is what
+    /// the §VI-F-3 device study exercises.
+    pub fn imperfections(self) -> (f64, f64, f64) {
+        match self {
+            TagModel::Alien9640A => (0.41, 1.00, 1.00),
+            TagModel::Alien9640B => (0.47, 0.97, 1.05),
+            TagModel::Alien9730A => (1.13, 0.92, 1.10),
+            TagModel::Alien9730B => (1.21, 0.90, 1.12),
+            TagModel::DogBoneA => (2.05, 1.08, 0.95),
+            TagModel::DogBoneB => (1.98, 1.06, 0.97),
+        }
+    }
+}
+
+/// A static reflector: mirrors the signal via a fixed point with a fixed
+/// complex gain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticReflector {
+    /// Reflection point (wall/furniture bounce).
+    pub point: Vec3,
+    /// Reflection amplitude relative to the direct path (< 1).
+    pub gain: f64,
+    /// Extra phase shift at the bounce (rad).
+    pub phase_shift: f64,
+}
+
+/// A walking person: a moving reflector on a circular path around a
+/// center, used for the paper's "dynamic condition".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MovingScatterer {
+    /// Center of the walking path.
+    pub center: Vec3,
+    /// Path radius (m).
+    pub radius: f64,
+    /// Angular speed (rad/s) — ~1.2 m/s walking speed over the radius.
+    pub angular_speed: f64,
+    /// Starting angle (rad).
+    pub phase0: f64,
+    /// Reflection amplitude relative to the direct path.
+    pub gain: f64,
+}
+
+impl MovingScatterer {
+    /// The scatterer's position at time `t`.
+    pub fn position_at(&self, t: f64) -> Vec3 {
+        let a = self.phase0 + self.angular_speed * t;
+        self.center + Vec3::new(a.cos(), a.sin(), 0.0) * self.radius
+    }
+}
+
+/// The full backscatter channel: antenna + reflectors + tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackscatterChannel {
+    /// Antenna position.
+    pub antenna: Vec3,
+    /// Antenna boresight direction (unit vector).
+    pub boresight: Vec3,
+    /// Static multipath reflectors.
+    pub reflectors: Vec<StaticReflector>,
+    /// Moving-person scatterers (empty in the static condition).
+    pub movers: Vec<MovingScatterer>,
+    /// The tag being read.
+    pub tag: TagModel,
+}
+
+impl BackscatterChannel {
+    /// Creates a channel with no multipath.
+    pub fn free_space(antenna: Vec3, boresight: Vec3, tag: TagModel) -> BackscatterChannel {
+        BackscatterChannel {
+            antenna,
+            boresight: boresight.normalized(),
+            reflectors: Vec::new(),
+            movers: Vec::new(),
+            tag,
+        }
+    }
+
+    /// Antenna gain toward `dir` (normalized direction from the antenna):
+    /// a `cos^n` pattern matching a ~65° panel antenna such as the Laird
+    /// S9028, with a −20 dB floor behind the antenna.
+    pub fn antenna_gain(&self, dir: Vec3) -> f64 {
+        let c = self.boresight.dot(dir.normalized()).max(0.0);
+        (c.powi(3)).max(0.01)
+    }
+
+    /// The complex round-trip channel seen by the reader for a tag at
+    /// `tag_pos` at time `t`.
+    pub fn response(&self, tag_pos: Vec3, t: f64) -> Complex {
+        let lambda = wavelength();
+        let two_pi = std::f64::consts::TAU;
+
+        // Direct ray.
+        let d_vec = tag_pos - self.antenna;
+        let d = d_vec.norm().max(0.05);
+        let g_ant = self.antenna_gain(d_vec);
+        let mut h_f = Complex::from_polar(g_ant / d, -two_pi * d / lambda);
+
+        // Static reflections: antenna -> point -> tag.
+        for r in &self.reflectors {
+            let l = (r.point - self.antenna).norm() + (tag_pos - r.point).norm();
+            let l = l.max(0.1);
+            h_f = h_f.add(Complex::from_polar(r.gain / l, -two_pi * l / lambda + r.phase_shift));
+        }
+
+        // Moving scatterers.
+        for m in &self.movers {
+            let p = m.position_at(t);
+            let l = (p - self.antenna).norm() + (tag_pos - p).norm();
+            let l = l.max(0.1);
+            h_f = h_f.add(Complex::from_polar(m.gain / l, -two_pi * l / lambda));
+        }
+
+        // Round trip: the backscatter channel is the square of the one-way
+        // channel, times the tag's backscatter gain and phase offset.
+        let (phase_offset, gain, _) = self.tag.imperfections();
+        h_f.mul(h_f).mul(Complex::from_polar(gain, phase_offset))
+    }
+
+    /// Reader-style measurement at time `t`: `(wrapped_phase, magnitude)`
+    /// including reader noise and quantization.
+    ///
+    /// * phase noise: zero-mean Gaussian, σ ≈ 0.05–0.15 rad depending on
+    ///   the tag's `noise_scale`;
+    /// * phase quantization: 2π/4096 (Impinj LLRF report resolution);
+    /// * magnitude: reported on a dB-like scale quantized to 0.5 dB.
+    pub fn measure(&self, tag_pos: Vec3, t: f64, rng: &mut StdRng) -> (f64, f64) {
+        let h = self.response(tag_pos, t);
+        let (_, _, noise_scale) = self.tag.imperfections();
+
+        let phase_noise = gaussian(rng) * 0.06 * noise_scale;
+        let raw_phase = h.arg() + phase_noise;
+        let step = std::f64::consts::TAU / 4096.0;
+        let mut phase = (raw_phase / step).round() * step;
+        phase = phase.rem_euclid(std::f64::consts::TAU);
+
+        // Magnitude in dB with 0.5 dB quantization and mild noise.
+        let db = 20.0 * h.abs().max(1e-12).log10() + gaussian(rng) * 0.35 * noise_scale;
+        let db_q = (db / 0.5).round() * 0.5;
+        (phase, db_q)
+    }
+}
+
+/// Box-Muller standard normal.
+pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Creates a seeded RNG for channel noise.
+pub(crate) fn noise_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0xbac5_ca77)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel() -> BackscatterChannel {
+        BackscatterChannel::free_space(Vec3::ZERO, Vec3::X, TagModel::Alien9640A)
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let p = a.mul(b);
+        assert!((p.re - 5.0).abs() < 1e-12);
+        assert!((p.im - 5.0).abs() < 1e-12);
+        let s = a.add(b);
+        assert!((s.re - 4.0).abs() < 1e-12 && (s.im - 1.0).abs() < 1e-12);
+        let polar = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+        assert!(polar.re.abs() < 1e-12 && (polar.im - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_advances_with_distance() {
+        // Moving the tag λ/4 away changes the round-trip phase by π.
+        let ch = channel();
+        let lambda = wavelength();
+        let p1 = ch.response(Vec3::new(3.0, 0.0, 0.0), 0.0).arg();
+        let p2 = ch.response(Vec3::new(3.0 + lambda / 4.0, 0.0, 0.0), 0.0).arg();
+        let mut diff = p1 - p2;
+        while diff < 0.0 {
+            diff += std::f64::consts::TAU;
+        }
+        diff %= std::f64::consts::TAU;
+        assert!((diff - std::f64::consts::PI).abs() < 1e-6, "Δφ = {diff}");
+    }
+
+    #[test]
+    fn full_wavelength_round_trip_is_invariant() {
+        let ch = channel();
+        let lambda = wavelength();
+        let p1 = ch.response(Vec3::new(4.0, 0.0, 0.0), 0.0).arg();
+        let p2 = ch.response(Vec3::new(4.0 + lambda / 2.0, 0.0, 0.0), 0.0).arg();
+        // λ/2 displacement = full 2π round-trip shift (phases equal mod 2π,
+        // magnitudes differ slightly from path loss).
+        let diff = (p1 - p2).rem_euclid(std::f64::consts::TAU);
+        assert!(diff < 1e-3 || diff > std::f64::consts::TAU - 1e-3, "Δφ = {diff}");
+    }
+
+    #[test]
+    fn magnitude_decays_with_distance() {
+        let ch = channel();
+        let near = ch.response(Vec3::new(1.0, 0.0, 0.0), 0.0).abs();
+        let far = ch.response(Vec3::new(5.0, 0.0, 0.0), 0.0).abs();
+        // Round-trip amplitude ~ 1/d²: 5× distance → 25× weaker.
+        let ratio = near / far;
+        assert!((ratio - 25.0).abs() / 25.0 < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn antenna_pattern_attenuates_off_axis() {
+        let ch = channel();
+        let on_axis = ch.antenna_gain(Vec3::X);
+        let off_axis = ch.antenna_gain(Vec3::new(1.0, 1.0, 0.0));
+        let behind = ch.antenna_gain(-Vec3::X);
+        assert!(on_axis > off_axis);
+        assert!(off_axis > behind);
+        assert!(behind >= 0.01);
+    }
+
+    #[test]
+    fn multipath_changes_response() {
+        let mut ch = channel();
+        let free = ch.response(Vec3::new(3.0, 0.5, 1.0), 0.0);
+        ch.reflectors.push(StaticReflector {
+            point: Vec3::new(2.0, 3.0, 1.0),
+            gain: 0.4,
+            phase_shift: std::f64::consts::PI,
+        });
+        let with_mp = ch.response(Vec3::new(3.0, 0.5, 1.0), 0.0);
+        assert!((free.abs() - with_mp.abs()).abs() > 1e-9 || (free.arg() - with_mp.arg()).abs() > 1e-9);
+    }
+
+    #[test]
+    fn movers_make_channel_time_varying() {
+        let mut ch = channel();
+        ch.movers.push(MovingScatterer {
+            center: Vec3::new(2.0, 2.0, 1.0),
+            radius: 1.0,
+            angular_speed: 0.6,
+            phase0: 0.0,
+            gain: 0.3,
+        });
+        let tag = Vec3::new(3.0, 0.0, 1.0);
+        let a = ch.response(tag, 0.0);
+        let b = ch.response(tag, 1.0);
+        assert!((a.arg() - b.arg()).abs() > 1e-6 || (a.abs() - b.abs()).abs() > 1e-9);
+    }
+
+    #[test]
+    fn static_channel_is_time_invariant() {
+        let ch = channel();
+        let tag = Vec3::new(3.0, 0.0, 1.0);
+        assert_eq!(ch.response(tag, 0.0), ch.response(tag, 5.0));
+    }
+
+    #[test]
+    fn measure_is_quantized_and_wrapped() {
+        let ch = channel();
+        let mut rng = noise_rng(1);
+        let (phase, db) = ch.measure(Vec3::new(3.0, 0.0, 1.0), 0.0, &mut rng);
+        assert!((0.0..std::f64::consts::TAU).contains(&phase));
+        let step = std::f64::consts::TAU / 4096.0;
+        let remainder = (phase / step).fract().abs();
+        assert!(remainder < 1e-6 || remainder > 1.0 - 1e-6);
+        let db_rem = (db / 0.5).fract().abs();
+        assert!(db_rem < 1e-9 || db_rem > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn tags_differ() {
+        for (i, a) in TagModel::ALL.iter().enumerate() {
+            for b in TagModel::ALL.iter().skip(i + 1) {
+                assert_ne!(a.imperfections(), b.imperfections());
+            }
+        }
+    }
+}

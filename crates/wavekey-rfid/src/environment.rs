@@ -1,0 +1,184 @@
+//! Emulated rooms and user placement.
+//!
+//! Table I evaluates WaveKey in four "environments" created by moving the
+//! RFID reader/antenna inside one laboratory room — each environment has a
+//! different antenna pose and a different static multipath layout. Table II
+//! varies the user's distance (1–9 m) and azimuth (−60°…60°) relative to
+//! the antenna. This module encodes both studies' geometry.
+
+use crate::channel::{BackscatterChannel, MovingScatterer, StaticReflector, TagModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wavekey_math::Vec3;
+
+/// One of the emulated laboratory environments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Environment {
+    /// Environment index (1–4 for the Table I rooms).
+    pub id: u32,
+    /// Antenna position (m, room coordinates; z up).
+    pub antenna: Vec3,
+    /// Antenna boresight (unit vector).
+    pub boresight: Vec3,
+    /// Static multipath layout.
+    pub reflectors: Vec<StaticReflector>,
+}
+
+impl Environment {
+    /// Returns emulated environment `id` (1–4), matching the Table I
+    /// setup: same room, different reader location/orientation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in `1..=4`.
+    pub fn room(id: u32) -> Environment {
+        assert!((1..=4).contains(&id), "environment id must be 1..=4");
+        // Deterministic per-room multipath layout.
+        let mut rng = StdRng::seed_from_u64(0xe4_007 + u64::from(id));
+        let (antenna, boresight) = match id {
+            1 => (Vec3::new(0.0, 0.0, 1.5), Vec3::X),
+            2 => (Vec3::new(0.0, 4.0, 1.8), Vec3::new(1.0, -0.5, 0.0).normalized()),
+            3 => (Vec3::new(-2.0, -2.0, 1.2), Vec3::new(1.0, 0.7, 0.0).normalized()),
+            _ => (Vec3::new(1.0, 5.0, 2.0), Vec3::new(0.3, -1.0, -0.1).normalized()),
+        };
+        let n_reflectors = 4 + (id as usize % 3);
+        let reflectors = (0..n_reflectors)
+            .map(|_| StaticReflector {
+                point: Vec3::new(
+                    rng.gen_range(-4.0..8.0),
+                    rng.gen_range(-4.0..8.0),
+                    rng.gen_range(0.3..2.8),
+                ),
+                gain: rng.gen_range(0.04..0.18),
+                phase_shift: rng.gen_range(0.0..std::f64::consts::TAU),
+            })
+            .collect();
+        Environment { id, antenna, boresight, reflectors }
+    }
+
+    /// Builds the backscatter channel for this environment, `tag`, and a
+    /// number of walking people (`0` = the paper's static condition,
+    /// `5` = its dynamic condition, where the other five volunteers walk
+    /// around the reader).
+    pub fn channel(&self, tag: TagModel, walkers: usize, seed: u64) -> BackscatterChannel {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xd1_a117);
+        let movers = (0..walkers)
+            .map(|_| {
+                let radius = rng.gen_range(1.0..3.0);
+                // ~1.2 m/s walking speed.
+                let angular_speed = 1.2 / radius;
+                MovingScatterer {
+                    center: self.antenna
+                        + Vec3::new(rng.gen_range(1.0..4.0), rng.gen_range(-2.0..2.0), 0.0),
+                    radius,
+                    angular_speed,
+                    phase0: rng.gen_range(0.0..std::f64::consts::TAU),
+                    gain: rng.gen_range(0.08..0.25),
+                }
+            })
+            .collect();
+        BackscatterChannel {
+            antenna: self.antenna,
+            boresight: self.boresight,
+            reflectors: self.reflectors.clone(),
+            movers,
+            tag,
+        }
+    }
+}
+
+/// Where the user stands relative to the antenna (Table II geometry).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserPlacement {
+    /// Distance from the antenna (m). The paper evaluates 1–9 m.
+    pub distance: f64,
+    /// Azimuth from boresight (degrees). The paper evaluates −60°…60°.
+    pub azimuth_deg: f64,
+}
+
+impl Default for UserPlacement {
+    fn default() -> Self {
+        // §VI-B default: 5 m, 0° azimuth.
+        UserPlacement { distance: 5.0, azimuth_deg: 0.0 }
+    }
+}
+
+impl UserPlacement {
+    /// The user's hand base position in room coordinates for `env`.
+    ///
+    /// The azimuth rotates around the vertical axis relative to the
+    /// antenna boresight; the hand hovers at roughly chest height near the
+    /// user's body.
+    pub fn hand_position(&self, env: &Environment) -> Vec3 {
+        let az = self.azimuth_deg.to_radians();
+        // Rotate the boresight by the azimuth in the horizontal plane.
+        let b = Vec3::new(env.boresight.x, env.boresight.y, 0.0).normalized();
+        let dir = Vec3::new(
+            b.x * az.cos() - b.y * az.sin(),
+            b.x * az.sin() + b.y * az.cos(),
+            0.0,
+        );
+        env.antenna + dir * self.distance + Vec3::new(0.0, 0.0, 1.3 - env.antenna.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_rooms_differ() {
+        let rooms: Vec<Environment> = (1..=4).map(Environment::room).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(
+                    rooms[i].antenna != rooms[j].antenna
+                        || rooms[i].boresight != rooms[j].boresight
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rooms_are_deterministic() {
+        let a = Environment::room(2);
+        let b = Environment::room(2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "environment id must be 1..=4")]
+    fn invalid_room_panics() {
+        Environment::room(5);
+    }
+
+    #[test]
+    fn default_placement_is_5m_boresight() {
+        let env = Environment::room(1);
+        let pos = UserPlacement::default().hand_position(&env);
+        let horizontal = Vec3::new(pos.x - env.antenna.x, pos.y - env.antenna.y, 0.0);
+        assert!((horizontal.norm() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn azimuth_rotates_position() {
+        let env = Environment::room(1);
+        let p0 = UserPlacement { distance: 5.0, azimuth_deg: 0.0 }.hand_position(&env);
+        let p60 = UserPlacement { distance: 5.0, azimuth_deg: 60.0 }.hand_position(&env);
+        assert!(p0.distance(p60) > 3.0);
+        // Same distance from the antenna in the horizontal plane.
+        let d0 = Vec3::new(p0.x - env.antenna.x, p0.y - env.antenna.y, 0.0).norm();
+        let d60 = Vec3::new(p60.x - env.antenna.x, p60.y - env.antenna.y, 0.0).norm();
+        assert!((d0 - d60).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_channel_has_walkers() {
+        let env = Environment::room(3);
+        let ch = env.channel(TagModel::Alien9640A, 5, 7);
+        assert_eq!(ch.movers.len(), 5);
+        let ch_static = env.channel(TagModel::Alien9640A, 0, 7);
+        assert!(ch_static.movers.is_empty());
+    }
+}

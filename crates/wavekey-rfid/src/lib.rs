@@ -1,0 +1,44 @@
+//! UHF RFID backscatter simulation and the server-side WaveKey pipeline.
+//!
+//! The original evaluation used an Impinj Speedway R420 reader with a
+//! Laird S9028 antenna and six passive UHF tags. This crate replaces that
+//! hardware with a physical-layer simulator while keeping the paper's
+//! server-side processing (§IV-B-2) intact:
+//!
+//! * [`channel`] — the backscatter channel: round-trip carrier phase
+//!   `4πd/λ`, two-way path loss, static multipath reflectors, moving-person
+//!   scatterers for the "dynamic condition", per-tag hardware
+//!   imperfections, antenna pattern, reader phase/RSSI quantization.
+//! * [`reader`] — a 200 Hz sampler producing wrapped phase and magnitude
+//!   streams as an Impinj-class reader reports them.
+//! * [`environment`] — the four emulated rooms of Table I and the
+//!   user-position geometry (distance / azimuth) of Table II.
+//! * [`inventory`] — EPC Gen2-flavored tag inventory (slotted ALOHA with
+//!   Q-algorithm frame adaptation): the substrate a deployed WaveKey
+//!   server uses to discover the ticket/fob to range against.
+//! * [`pipeline`] — §IV-B-2: onset detection, phase unwrapping,
+//!   Savitzky-Golay denoising, producing the 400×2 matrix `R`.
+
+pub mod channel;
+pub mod environment;
+pub mod inventory;
+pub mod pipeline;
+pub mod reader;
+
+pub use channel::{BackscatterChannel, Complex, TagModel};
+pub use environment::{Environment, UserPlacement};
+pub use inventory::{run_inventory, Epc, FieldTag, InventoryConfig, InventoryReport};
+pub use pipeline::{process_rfid, RfidMatrix, RfidPipelineConfig, RfidPipelineError};
+pub use reader::{record_rfid, ReaderSpec, RfidRecording};
+
+/// Speed of light (m/s).
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// UHF RFID carrier frequency used by the simulator (Hz): the US 915 MHz
+/// ISM band the Impinj R420 operates in.
+pub const CARRIER_HZ: f64 = 915.0e6;
+
+/// Carrier wavelength (m).
+pub fn wavelength() -> f64 {
+    SPEED_OF_LIGHT / CARRIER_HZ
+}

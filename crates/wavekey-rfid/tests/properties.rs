@@ -1,0 +1,65 @@
+//! Property-based tests for the backscatter channel simulation.
+
+use proptest::prelude::*;
+use wavekey_math::Vec3;
+use wavekey_rfid::channel::{BackscatterChannel, TagModel};
+use wavekey_rfid::environment::{Environment, UserPlacement};
+use wavekey_rfid::wavelength;
+
+proptest! {
+    #[test]
+    fn phase_is_distance_locked_in_free_space(
+        d in 0.5f64..10.0,
+        y in -2.0f64..2.0,
+        z in 0.5f64..2.5
+    ) {
+        // Moving the tag radially by λ/4 shifts the round-trip phase by π.
+        let ch = BackscatterChannel::free_space(Vec3::ZERO, Vec3::X, TagModel::Alien9640A);
+        let p = Vec3::new(d, y, z);
+        let u = p.normalized();
+        let p2 = p + u * (wavelength() / 4.0);
+        let ph1 = ch.response(p, 0.0).arg();
+        let ph2 = ch.response(p2, 0.0).arg();
+        let diff = (ph1 - ph2).rem_euclid(std::f64::consts::TAU);
+        prop_assert!((diff - std::f64::consts::PI).abs() < 1e-6, "Δφ = {diff}");
+    }
+
+    #[test]
+    fn magnitude_monotone_in_distance_on_boresight(d1 in 1.0f64..5.0, extra in 0.5f64..5.0) {
+        let ch = BackscatterChannel::free_space(Vec3::ZERO, Vec3::X, TagModel::Alien9640A);
+        let near = ch.response(Vec3::new(d1, 0.0, 0.0), 0.0).abs();
+        let far = ch.response(Vec3::new(d1 + extra, 0.0, 0.0), 0.0).abs();
+        prop_assert!(near > far);
+    }
+
+    #[test]
+    fn antenna_gain_bounded_and_peaked(x in -1.0f64..1.0, y in -1.0f64..1.0, z in -1.0f64..1.0) {
+        prop_assume!(x.abs() + y.abs() + z.abs() > 1e-3);
+        let ch = BackscatterChannel::free_space(Vec3::ZERO, Vec3::X, TagModel::Alien9640A);
+        let g = ch.antenna_gain(Vec3::new(x, y, z));
+        prop_assert!((0.01..=1.0).contains(&g));
+        prop_assert!(g <= ch.antenna_gain(Vec3::X) + 1e-12);
+    }
+
+    #[test]
+    fn placements_are_at_requested_distance(d in 1.0f64..9.0, az in -60.0f64..60.0, env_id in 1u32..5) {
+        let env = Environment::room(env_id);
+        let hand = UserPlacement { distance: d, azimuth_deg: az }.hand_position(&env);
+        let horizontal = Vec3::new(hand.x - env.antenna.x, hand.y - env.antenna.y, 0.0);
+        prop_assert!((horizontal.norm() - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measurements_always_well_formed(
+        seed in any::<u64>(),
+        d in 1.0f64..9.0,
+        tag_idx in 0usize..6
+    ) {
+        let env = Environment::room(1);
+        let ch = env.channel(TagModel::ALL[tag_idx], 2, seed);
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let (phase, db) = ch.measure(Vec3::new(d, 0.3, 1.2), 0.5, &mut rng);
+        prop_assert!((0.0..std::f64::consts::TAU).contains(&phase));
+        prop_assert!(db.is_finite());
+    }
+}

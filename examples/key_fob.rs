@@ -1,0 +1,102 @@
+//! Context 3 of the paper: RFID-assisted secure mobile system access.
+//!
+//! A homeowner's key fob admits them to a building; they want to register
+//! a *new* phone with the building system without any pre-shared secret.
+//! Waving the new phone together with the fob establishes an ad hoc key;
+//! the building system then provisions the phone over the secured channel.
+//! A thief who merely *watched* the wave (and mimics it with their own
+//! phone) must not get in.
+//!
+//! ```text
+//! cargo run --release --example key_fob
+//! ```
+
+use wavekey::core::attack::mimic_accel;
+use wavekey::core::bits::mismatch_rate;
+use wavekey::core::dataset::DatasetConfig;
+use wavekey::core::session::{Session, SessionConfig};
+use wavekey::core::training::{train_or_load, TrainingConfig};
+use wavekey::imu::gesture::{GestureGenerator, MimicConfig, VolunteerId};
+use wavekey::imu::sensors::DeviceModel;
+use wavekey::rfid::channel::TagModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = std::path::Path::new("target/wavekey-models-small.bin");
+    let mut models = train_or_load(
+        cache,
+        &DatasetConfig::small(),
+        &TrainingConfig::default(),
+        0x5eed_0001,
+    )?;
+
+    println!("== building access: registering a new phone via key fob ==\n");
+
+    // The homeowner waves their new Pixel 8 with the fob.
+    let config = SessionConfig {
+        device: DeviceModel::Pixel8,
+        tag: TagModel::DogBoneA, // the key fob
+        ..Default::default()
+    };
+    let eta = config.wavekey.eta();
+    let gesture_config = config.gesture;
+    let mut session = Session::new(config, models.clone(), 0xf0b);
+
+    // Up to three attempts, like a real enrolment flow.
+    let mut registered = None;
+    let mut homeowner_gesture = None;
+    for attempt in 1..=3 {
+        let gesture = session.new_gesture();
+        match session.establish_key_from_gesture(
+            &gesture,
+            &mut wavekey::core::PassiveChannel,
+        ) {
+            Ok(out) => {
+                println!(
+                    "attempt {attempt}: phone registered ({} seed bits disagreed, repaired by ECC)",
+                    out.seed_mismatch_bits
+                );
+                registered = Some(out);
+                homeowner_gesture = Some(gesture);
+                break;
+            }
+            Err(e) => println!("attempt {attempt}: failed ({e}); waving again"),
+        }
+    }
+    let Some(outcome) = registered else {
+        println!("\nregistration failed; see EXPERIMENTS.md for the substrate's success rates");
+        return Ok(());
+    };
+    let prefix: String = outcome.key[..6].iter().map(|b| format!("{b:02x}")).collect();
+    println!("provisioning credential under key {prefix}…\n");
+
+    // A thief watched the wave from across the lobby and replays it with
+    // their own phone against the building server.
+    println!("== thief mimics the registration wave ==");
+    let victim_gesture = homeowner_gesture.expect("stored with the outcome");
+    let (s_victim, _) = session.derive_seeds_from_gesture(&victim_gesture)?;
+    let mut thief = GestureGenerator::new(VolunteerId(5), 0xbad);
+    let thief_accel = mimic_accel(
+        &victim_gesture,
+        &mut thief,
+        DeviceModel::GalaxyS5A,
+        &gesture_config,
+        &MimicConfig::default(),
+        0xbad2,
+    )?;
+    let thief_latent = {
+        let t = wavekey::core::model::imu_to_tensor(&thief_accel);
+        models.imu_en.forward(&t, false).into_vec()
+    };
+    let s_thief = session.seed_generator().seed_from_latent(&thief_latent);
+    let rate = mismatch_rate(&s_victim, &s_thief);
+    println!(
+        "thief's seed disagrees with the fob's by {:.1} % (ECC radius: {:.1} %)",
+        rate * 100.0,
+        eta * 100.0
+    );
+    println!(
+        "building verdict: {}",
+        if rate <= eta { "ACCESS GRANTED (!)" } else { "access denied" }
+    );
+    Ok(())
+}

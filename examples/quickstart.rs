@@ -1,0 +1,67 @@
+//! Quickstart: train (or load) the cross-modal autoencoders, then
+//! establish one ad hoc key between a simulated mobile device and RFID
+//! server.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The first run trains the models (a few minutes) and caches them under
+//! `target/`; later runs start instantly.
+
+use wavekey::core::dataset::DatasetConfig;
+use wavekey::core::session::{Session, SessionConfig};
+use wavekey::core::training::{train_or_load, TrainingConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One-time training on simulated gestures (§IV-E of the paper),
+    // cached next to the build artifacts.
+    let cache = std::path::Path::new("target/wavekey-models-small.bin");
+    println!("loading or training WaveKey autoencoders…");
+    let models = train_or_load(
+        cache,
+        &DatasetConfig::small(),
+        &TrainingConfig::default(),
+        0x5eed_0001,
+    )?;
+    println!("models ready (l_f = {}).", models.l_f);
+
+    // One key establishment under the paper's §VI-B default setting:
+    // Galaxy Watch + Alien 9640 tag, 5 m from the antenna, static room.
+    let config = SessionConfig::default();
+    println!(
+        "establishing a {}-bit key (N_b = {}, η = {:.3}, τ = {} ms)…",
+        config.wavekey.key_len_bits,
+        config.wavekey.n_b,
+        config.wavekey.eta(),
+        (config.wavekey.tau * 1000.0) as u64,
+    );
+    let mut session = Session::new(config, models, 42);
+
+    match session.establish_key() {
+        Ok(outcome) => {
+            println!("key established!");
+            println!(
+                "  seed mismatch: {}/{} bits ({:.1} %)",
+                outcome.seed_mismatch_bits,
+                outcome.seed_len,
+                100.0 * outcome.seed_mismatch_bits as f64 / outcome.seed_len as f64,
+            );
+            println!(
+                "  preliminary-key mismatch repaired by ECC: {} bits",
+                outcome.agreement.preliminary_mismatch_bits
+            );
+            println!(
+                "  total latency: {:.3} s (incl. the 2 s gesture)",
+                outcome.agreement.elapsed
+            );
+            let hex: String = outcome.key.iter().map(|b| format!("{b:02x}")).collect();
+            println!("  key: {hex}");
+        }
+        Err(e) => {
+            println!("key establishment failed: {e}");
+            println!("(the paper's success rate is ~99 %; failures simply retry)");
+        }
+    }
+    Ok(())
+}

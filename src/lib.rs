@@ -1,0 +1,58 @@
+//! # WaveKey
+//!
+//! A full-system reproduction of *WaveKey: Secure Mobile Ad Hoc Access to
+//! RFID-Protected Systems* (ICDCS 2024).
+//!
+//! WaveKey establishes an ad hoc cryptographic key between a user's mobile
+//! device and an RFID server. The user waves the mobile device together with
+//! an RFID tag for about two seconds; the random gesture induces correlated
+//! IMU readings on the phone and backscatter phase/magnitude variations at
+//! the RFID reader. Two jointly trained autoencoders project the two
+//! modalities into a common latent space; equiprobable quantization and Gray
+//! coding turn the latent vectors into two similar key-seeds; and a
+//! bidirectional 1-out-of-2 oblivious-transfer protocol with code-offset
+//! reconciliation turns the seeds into one identical key.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`math`] — linear algebra, statistics, NIST randomness tests.
+//! * [`dsp`] — Savitzky-Golay filtering, phase unwrapping, quantization,
+//!   Gray coding.
+//! * [`nn`] — a from-scratch CNN micro-framework.
+//! * [`imu`] — gesture simulation, IMU sensor models, mobile-side pipeline.
+//! * [`rfid`] — UHF backscatter channel simulator and server-side pipeline.
+//! * [`crypto`] — big integers, SHA-256/HMAC, oblivious transfer, BCH codes.
+//! * [`core`] — the WaveKey scheme itself: key-seed generation, the
+//!   OT-based key-agreement protocol, the training harness, and attack
+//!   models.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use wavekey::core::session::{Session, SessionConfig};
+//! use wavekey::core::training::{TrainingConfig, train_autoencoders};
+//! use wavekey::core::dataset::DatasetConfig;
+//!
+//! # fn main() -> Result<(), wavekey::core::Error> {
+//! // Train the cross-modal autoencoders on simulated gestures (one-time).
+//! let models = train_autoencoders(
+//!     &DatasetConfig::small(),
+//!     &TrainingConfig::fast(),
+//!     7,
+//! )?;
+//!
+//! // Establish a 256-bit key from a fresh simulated gesture.
+//! let mut session = Session::new(SessionConfig::default(), models, 42);
+//! let outcome = session.establish_key()?;
+//! println!("key established: {} bits", outcome.key.len() * 8);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use wavekey_core as core;
+pub use wavekey_crypto as crypto;
+pub use wavekey_dsp as dsp;
+pub use wavekey_imu as imu;
+pub use wavekey_math as math;
+pub use wavekey_nn as nn;
+pub use wavekey_rfid as rfid;

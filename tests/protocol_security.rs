@@ -1,0 +1,136 @@
+//! Cross-crate integration: adversarial behavior of the key-agreement
+//! protocol (no trained models required — seeds are supplied directly).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavekey::core::agreement::{run_agreement, AgreementConfig, AgreementError};
+use wavekey::core::channel::{
+    BitFlipMitm, Delayer, Dropper, Eavesdropper, MessageKind, PassiveChannel,
+};
+use wavekey::math::nist::bytes_to_bits;
+
+fn config() -> AgreementConfig {
+    AgreementConfig { use_tiny_group: true, tau: 10.0, ..Default::default() }
+}
+
+fn seed(len: usize, rng_seed: u64) -> Vec<bool> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+fn run_with(
+    s: &[bool],
+    adversary: &mut dyn wavekey::core::Adversary,
+) -> Result<wavekey::core::AgreementOutcome, AgreementError> {
+    let mut rm = StdRng::seed_from_u64(1);
+    let mut rs = StdRng::seed_from_u64(2);
+    run_agreement(s, s, &config(), &mut rm, &mut rs, adversary)
+}
+
+#[test]
+fn eavesdropper_cannot_read_key_material() {
+    let s = seed(48, 3);
+    let mut eve = Eavesdropper::default();
+    let out = run_with(&s, &mut eve).expect("benign run");
+    assert_eq!(eve.transcript.len(), 8);
+    // Neither the key nor either seed appears verbatim in any message.
+    let key = &out.key;
+    for (_, kind, payload) in &eve.transcript {
+        assert!(
+            !payload.windows(key.len()).any(|w| w == key.as_slice()),
+            "key leaked in {kind:?}"
+        );
+    }
+}
+
+#[test]
+fn pervasive_mitm_fails_every_targeted_round() {
+    let s = seed(48, 4);
+    for kind in [MessageKind::OtA, MessageKind::OtB, MessageKind::OtE] {
+        let mut mitm = BitFlipMitm::pervasive(kind, 4);
+        let err = run_with(&s, &mut mitm).expect_err("manipulation must break the run");
+        assert!(
+            matches!(
+                err,
+                AgreementError::ReconciliationFailed
+                    | AgreementError::ConfirmationFailed
+                    | AgreementError::Ot(_)
+            ),
+            "{kind:?} gave {err:?}"
+        );
+    }
+}
+
+#[test]
+fn challenge_tampering_is_detected_by_confirmation() {
+    let s = seed(48, 5);
+    let mut mitm = BitFlipMitm::new(MessageKind::Challenge, 7);
+    let err = run_with(&s, &mut mitm).expect_err("tampered challenge");
+    assert!(matches!(
+        err,
+        AgreementError::ConfirmationFailed | AgreementError::ReconciliationFailed
+    ));
+}
+
+#[test]
+fn response_tampering_is_detected() {
+    let s = seed(48, 6);
+    let mut mitm = BitFlipMitm::new(MessageKind::Response, 0);
+    let err = run_with(&s, &mut mitm).expect_err("tampered response");
+    assert_eq!(err, AgreementError::ConfirmationFailed);
+}
+
+#[test]
+fn deadline_defeats_slow_relays() {
+    let s = seed(48, 7);
+    let cfg = AgreementConfig { use_tiny_group: true, tau: 0.2, ..Default::default() };
+    // A relay that holds OT-A messages for half a second (e.g. remote
+    // video processing round-trip) trips the τ fence.
+    let mut relay = Delayer { target: Some(MessageKind::OtA), extra: 0.5 };
+    let mut rm = StdRng::seed_from_u64(1);
+    let mut rs = StdRng::seed_from_u64(2);
+    let err = run_agreement(&s, &s, &cfg, &mut rm, &mut rs, &mut relay).unwrap_err();
+    assert_eq!(err, AgreementError::Timeout(MessageKind::OtA));
+}
+
+#[test]
+fn jamming_any_message_aborts() {
+    let s = seed(48, 8);
+    for kind in [
+        MessageKind::OtA,
+        MessageKind::OtB,
+        MessageKind::OtE,
+        MessageKind::Challenge,
+        MessageKind::Response,
+    ] {
+        let mut dropper = Dropper { target: kind };
+        let err = run_with(&s, &mut dropper).expect_err("dropped message");
+        assert_eq!(err, AgreementError::Dropped(kind));
+    }
+}
+
+#[test]
+fn established_keys_pass_randomness_tests() {
+    // Chain 40 keys from random seed pairs and run the NIST tests the
+    // §VI-D evaluation uses.
+    let mut chain = Vec::new();
+    for i in 0..40u64 {
+        let s = seed(48, 100 + i);
+        let mut rm = StdRng::seed_from_u64(200 + i);
+        let mut rs = StdRng::seed_from_u64(300 + i);
+        let out = wavekey::core::agreement::run_agreement_information_layer(
+            &s,
+            &s,
+            &config(),
+            &mut rm,
+            &mut rs,
+        )
+        .expect("benign");
+        chain.extend(bytes_to_bits(&out.key));
+    }
+    assert_eq!(chain.len(), 40 * 256);
+    let runs = wavekey::math::runs_test(&chain);
+    assert!(runs.p_value > 0.01, "runs p = {}", runs.p_value);
+    let mono = wavekey::math::monobit_test(&chain);
+    assert!(mono.p_value > 0.01, "monobit p = {}", mono.p_value);
+}
