@@ -56,7 +56,7 @@ fn bench_bch(c: &mut Criterion) {
 }
 
 fn bench_ot(c: &mut Criterion) {
-    let group = DhGroup::modp_1024();
+    let group = DhGroup::modp_1024_shared();
     let mut group_bench = c.benchmark_group("ot");
     group_bench.sample_size(10);
     group_bench.bench_function("modp1024_single_instance_roundtrip", |b| {
@@ -64,15 +64,56 @@ fn bench_ot(c: &mut Criterion) {
             let mut rng_s = StdRng::seed_from_u64(10);
             let mut rng_r = StdRng::seed_from_u64(11);
             let (sender, ma) =
-                OtSender::start(&group, vec![(vec![1u8; 4], vec![2u8; 4])], &mut rng_s);
+                OtSender::start(group, vec![(vec![1u8; 4], vec![2u8; 4])], &mut rng_s);
             let (receiver, mb) =
-                OtReceiver::respond(&group, &[true], &ma, &mut rng_r).unwrap();
-            let me = sender.encrypt(&mb).unwrap();
-            receiver.decrypt(&me).unwrap()
+                OtReceiver::respond(group, &[true], &ma, &mut rng_r).unwrap();
+            let me = sender.encrypt(group, &mb).unwrap();
+            receiver.decrypt(group, &me).unwrap()
+        })
+    });
+    // The protocol-shaped batch: l_s = 48 instances through all three
+    // rounds (M_A, M_B, M_E) plus decryption — one OT direction of a
+    // full key agreement.
+    group_bench.bench_function("modp1024_batch48_three_rounds", |b| {
+        let secrets: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..48).map(|i| (vec![i as u8; 3], vec![!(i as u8); 3])).collect();
+        let choices: Vec<bool> = (0..48).map(|i| i % 3 == 0).collect();
+        b.iter(|| {
+            let mut rng_s = StdRng::seed_from_u64(20);
+            let mut rng_r = StdRng::seed_from_u64(21);
+            let (sender, ma) = OtSender::start(group, secrets.clone(), &mut rng_s);
+            let (receiver, mb) =
+                OtReceiver::respond(group, &choices, &ma, &mut rng_r).unwrap();
+            let me = sender.encrypt(group, &mb).unwrap();
+            receiver.decrypt(group, &me).unwrap()
         })
     });
     group_bench.finish();
 }
 
-criterion_group!(benches, bench_hashing, bench_group, bench_bch, bench_ot);
+fn bench_agreement(c: &mut Criterion) {
+    use wavekey_core::agreement::{run_agreement, AgreementConfig};
+    use wavekey_core::channel::PassiveChannel;
+    // Warm the shared group so the fixed-base table build is not timed.
+    let _ = DhGroup::modp_1024_shared();
+    let mut group_bench = c.benchmark_group("agreement");
+    group_bench.sample_size(10);
+    // The full batched three-round bidirectional agreement over
+    // MODP-1024 (48-bit seeds, 256-bit key), reconciliation and
+    // confirmation included — the end-to-end protocol hot path.
+    group_bench.bench_function("modp1024_full_run_seed48_key256", |b| {
+        let mut rng = StdRng::seed_from_u64(30);
+        let s_m: Vec<bool> = (0..48).map(|_| rng.gen()).collect();
+        let config = AgreementConfig { tau: 10.0, ..Default::default() };
+        b.iter(|| {
+            let mut rng_m = StdRng::seed_from_u64(31);
+            let mut rng_s = StdRng::seed_from_u64(32);
+            run_agreement(&s_m, &s_m, &config, &mut rng_m, &mut rng_s, &mut PassiveChannel)
+                .unwrap()
+        })
+    });
+    group_bench.finish();
+}
+
+criterion_group!(benches, bench_hashing, bench_group, bench_bch, bench_ot, bench_agreement);
 criterion_main!(benches);

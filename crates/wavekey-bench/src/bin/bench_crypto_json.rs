@@ -1,0 +1,126 @@
+//! Machine-readable crypto micro-benchmarks: times the exponentiation
+//! kernels, the batched OT rounds, and a full MODP-1024 agreement, then
+//! writes `results/BENCH_crypto.json` so future PRs can track the perf
+//! trajectory without parsing criterion output.
+//!
+//! ```text
+//! cargo run --release -p wavekey-bench --bin bench_crypto_json [out_path]
+//! ```
+//!
+//! Each op is warmed up once, then timed over enough iterations to fill
+//! a minimum measurement window. The JSON schema is a flat list:
+//! `{ "op": str, "mean_ns": float, "iters": int, "throughput_per_s": float }`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use wavekey_core::agreement::{run_agreement, AgreementConfig};
+use wavekey_core::channel::PassiveChannel;
+use wavekey_crypto::group::DhGroup;
+use wavekey_crypto::ot::{OtReceiver, OtSender};
+
+/// Minimum total measurement time per op (seconds).
+const MIN_WINDOW: f64 = 0.25;
+/// Iteration cap for very slow ops.
+const MAX_ITERS: usize = 10_000;
+
+struct Sample {
+    op: &'static str,
+    mean_ns: f64,
+    iters: usize,
+}
+
+/// Times `f` adaptively: doubles the iteration count until the run
+/// exceeds [`MIN_WINDOW`], then reports the mean.
+fn time_op<F: FnMut()>(op: &'static str, mut f: F) -> Sample {
+    f(); // warm-up (also warms caches / lazy statics)
+    let mut iters = 1usize;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= MIN_WINDOW || iters >= MAX_ITERS {
+            return Sample { op, mean_ns: elapsed * 1e9 / iters as f64, iters };
+        }
+        iters = (iters * 2).min(MAX_ITERS);
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_crypto.json".into());
+
+    let group = DhGroup::modp_1024_shared();
+    let mut rng = StdRng::seed_from_u64(7);
+    let x = group.random_exponent(&mut rng);
+    let y = group.random_exponent(&mut rng);
+    let base = group.pow_g(&x);
+    let other = group.pow_g(&y);
+
+    let mut samples = Vec::new();
+
+    samples.push(time_op("modp1024_mod_mul", || {
+        std::hint::black_box(group.mul(&base, &other));
+    }));
+    samples.push(time_op("modp1024_pow_g_fixed_base", || {
+        std::hint::black_box(group.pow_g(&x));
+    }));
+    samples.push(time_op("modp1024_general_modexp", || {
+        std::hint::black_box(group.pow(&base, &x));
+    }));
+    samples.push(time_op("modp1024_inv_pow_g", || {
+        std::hint::black_box(group.inv_pow_g(&x));
+    }));
+
+    let secrets: Vec<(Vec<u8>, Vec<u8>)> =
+        (0..48).map(|i| (vec![i as u8; 3], vec![!(i as u8); 3])).collect();
+    let choices: Vec<bool> = (0..48).map(|i| i % 3 == 0).collect();
+    samples.push(time_op("ot_batch48_three_rounds", || {
+        let mut rng_s = StdRng::seed_from_u64(20);
+        let mut rng_r = StdRng::seed_from_u64(21);
+        let (sender, ma) = OtSender::start(group, secrets.clone(), &mut rng_s);
+        let (receiver, mb) = OtReceiver::respond(group, &choices, &ma, &mut rng_r).unwrap();
+        let me = sender.encrypt(group, &mb).unwrap();
+        std::hint::black_box(receiver.decrypt(group, &me).unwrap());
+    }));
+
+    let s: Vec<bool> = (0..48).map(|_| rng.gen()).collect();
+    let config = AgreementConfig { tau: 10.0, ..Default::default() };
+    samples.push(time_op("agreement_full_modp1024_seed48_key256", || {
+        let mut rng_m = StdRng::seed_from_u64(31);
+        let mut rng_s = StdRng::seed_from_u64(32);
+        std::hint::black_box(
+            run_agreement(&s, &s, &config, &mut rng_m, &mut rng_s, &mut PassiveChannel)
+                .unwrap(),
+        );
+    }));
+
+    // Flat JSON array, written by hand: the bench harness must not pull
+    // in a serializer for six records.
+    let mut json = String::from("[\n");
+    for (i, s) in samples.iter().enumerate() {
+        let throughput = 1e9 / s.mean_ns;
+        json.push_str(&format!(
+            "  {{\"op\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}, \"throughput_per_s\": {:.3}}}{}\n",
+            s.op,
+            s.mean_ns,
+            s.iters,
+            throughput,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+        println!(
+            "{:<42} {:>14.1} ns/iter {:>12.2} op/s ({} iters)",
+            s.op, s.mean_ns, throughput, s.iters
+        );
+    }
+    json.push_str("]\n");
+
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::write(&out_path, json).expect("write BENCH_crypto.json");
+    println!("\nwrote {out_path}");
+}

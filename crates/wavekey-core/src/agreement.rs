@@ -158,10 +158,16 @@ pub fn run_agreement(
     if config.key_len_bits == 0 {
         return Err(AgreementError::Config("zero key length".into()));
     }
-    let group = if config.use_tiny_group {
-        DhGroup::tiny_test_group()
+    // The MODP-1024 group is shared process-wide: building a `DhGroup`
+    // precomputes the fixed-base generator table, which the shared
+    // instance amortizes across sessions. The tiny test group is cheap
+    // enough to build per run.
+    let tiny;
+    let group: &DhGroup = if config.use_tiny_group {
+        tiny = DhGroup::tiny_test_group();
+        &tiny
     } else {
-        DhGroup::modp_1024()
+        DhGroup::modp_1024_shared()
     };
     let l_s = s_m.len();
     let l_b = config.key_len_bits.div_ceil(2 * l_s);
@@ -177,7 +183,7 @@ pub fn run_agreement(
     let t = Instant::now();
     let x_pairs = random_pairs(l_s, l_b, rng_mobile);
     let (mobile_sender, ma_m) =
-        OtSender::start(&group, payload_pairs(&x_pairs), rng_mobile);
+        OtSender::start(group, payload_pairs(&x_pairs), rng_mobile);
     let ma_prep = t.elapsed().as_secs_f64();
     mobile_clock += ma_prep;
     mobile_compute += ma_prep;
@@ -185,7 +191,7 @@ pub fn run_agreement(
     let t = Instant::now();
     let y_pairs = random_pairs(l_s, l_b, rng_server);
     let (server_sender, ma_r) =
-        OtSender::start(&group, payload_pairs(&y_pairs), rng_server);
+        OtSender::start(group, payload_pairs(&y_pairs), rng_server);
     let d = t.elapsed().as_secs_f64();
     server_clock += d;
     server_compute += d;
@@ -195,7 +201,7 @@ pub fn run_agreement(
         adversary,
         Direction::MobileToServer,
         MessageKind::OtA,
-        ma_m.encode(&group),
+        ma_m.encode(group),
         mobile_clock,
         config.channel_delay,
     )?;
@@ -203,7 +209,7 @@ pub fn run_agreement(
         adversary,
         Direction::ServerToMobile,
         MessageKind::OtA,
-        ma_r.encode(&group),
+        ma_r.encode(group),
         server_clock,
         config.channel_delay,
     )?;
@@ -214,21 +220,21 @@ pub fn run_agreement(
     mobile_clock = mobile_clock.max(ma_r_arrival);
     server_clock = server_clock.max(ma_m_arrival);
 
-    let ma_r_parsed = OtMessageA::decode(&group, &ma_r_bytes)
+    let ma_r_parsed = OtMessageA::decode(group, &ma_r_bytes)
         .map_err(|e| AgreementError::Ot(e.to_string()))?;
-    let ma_m_parsed = OtMessageA::decode(&group, &ma_m_bytes)
+    let ma_m_parsed = OtMessageA::decode(group, &ma_m_bytes)
         .map_err(|e| AgreementError::Ot(e.to_string()))?;
 
     // --- M_B (both directions) ------------------------------------------
     let t = Instant::now();
-    let (mobile_receiver, mb_m) = OtReceiver::respond(&group, s_m, &ma_r_parsed, rng_mobile)
+    let (mobile_receiver, mb_m) = OtReceiver::respond(group, s_m, &ma_r_parsed, rng_mobile)
         .map_err(|e| AgreementError::Ot(e.to_string()))?;
     let mb_prep = t.elapsed().as_secs_f64();
     mobile_clock += mb_prep;
     mobile_compute += mb_prep;
 
     let t = Instant::now();
-    let (server_receiver, mb_r) = OtReceiver::respond(&group, s_r, &ma_m_parsed, rng_server)
+    let (server_receiver, mb_r) = OtReceiver::respond(group, s_r, &ma_m_parsed, rng_server)
         .map_err(|e| AgreementError::Ot(e.to_string()))?;
     let d = t.elapsed().as_secs_f64();
     server_clock += d;
@@ -238,7 +244,7 @@ pub fn run_agreement(
         adversary,
         Direction::MobileToServer,
         MessageKind::OtB,
-        mb_m.encode(&group),
+        mb_m.encode(group),
         mobile_clock,
         config.channel_delay,
     )?;
@@ -246,7 +252,7 @@ pub fn run_agreement(
         adversary,
         Direction::ServerToMobile,
         MessageKind::OtB,
-        mb_r.encode(&group),
+        mb_r.encode(group),
         server_clock,
         config.channel_delay,
     )?;
@@ -257,15 +263,15 @@ pub fn run_agreement(
     server_clock = server_clock.max(mb_m_arrival);
     mobile_clock = mobile_clock.max(mb_r_arrival);
 
-    let mb_r_parsed = OtMessageB::decode(&group, &mb_r_bytes)
+    let mb_r_parsed = OtMessageB::decode(group, &mb_r_bytes)
         .map_err(|e| AgreementError::Ot(e.to_string()))?;
-    let mb_m_parsed = OtMessageB::decode(&group, &mb_m_bytes)
+    let mb_m_parsed = OtMessageB::decode(group, &mb_m_bytes)
         .map_err(|e| AgreementError::Ot(e.to_string()))?;
 
     // --- M_E (both directions) ------------------------------------------
     let t = Instant::now();
     let me_m = mobile_sender
-        .encrypt(&mb_r_parsed)
+        .encrypt(group, &mb_r_parsed)
         .map_err(|e| AgreementError::Ot(e.to_string()))?;
     let d = t.elapsed().as_secs_f64();
     mobile_clock += d;
@@ -273,7 +279,7 @@ pub fn run_agreement(
 
     let t = Instant::now();
     let me_r = server_sender
-        .encrypt(&mb_m_parsed)
+        .encrypt(group, &mb_m_parsed)
         .map_err(|e| AgreementError::Ot(e.to_string()))?;
     let d = t.elapsed().as_secs_f64();
     server_clock += d;
@@ -306,7 +312,7 @@ pub fn run_agreement(
     // --- Preliminary keys -------------------------------------------------
     let t = Instant::now();
     let y_received = mobile_receiver
-        .decrypt(&me_r_parsed)
+        .decrypt(group, &me_r_parsed)
         .map_err(|e| AgreementError::Ot(e.to_string()))?;
     // K_M = x₁^{sm₁} ‖ y₁^{sm₁} ‖ … (own pair selected by own seed, plus
     // the sequence obliviously received — also selected by own seed).
@@ -322,7 +328,7 @@ pub fn run_agreement(
 
     let t = Instant::now();
     let x_received = server_receiver
-        .decrypt(&me_m_parsed)
+        .decrypt(group, &me_m_parsed)
         .map_err(|e| AgreementError::Ot(e.to_string()))?;
     let mut k_r: Vec<bool> = Vec::with_capacity(2 * l_s * l_b);
     for i in 0..l_s {

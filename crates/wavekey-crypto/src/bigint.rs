@@ -133,6 +133,28 @@ impl Ubig {
         (self.limbs[limb] >> (i % 64)) & 1 == 1
     }
 
+    /// The value of the `count` bits starting at bit `lo` (little-endian
+    /// bit order), as a `u64`. Bits beyond the value are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is 0 or greater than 64.
+    pub fn bits(&self, lo: usize, count: usize) -> u64 {
+        assert!(count >= 1 && count <= 64, "bits() window must be 1..=64");
+        let limb = lo / 64;
+        let off = lo % 64;
+        let mut v = self.limbs.get(limb).copied().unwrap_or(0) >> off;
+        if off + count > 64 {
+            let hi = self.limbs.get(limb + 1).copied().unwrap_or(0);
+            v |= hi << (64 - off);
+        }
+        if count < 64 {
+            v & ((1u64 << count) - 1)
+        } else {
+            v
+        }
+    }
+
     fn normalize(&mut self) {
         while self.limbs.last() == Some(&0) {
             self.limbs.pop();
@@ -333,12 +355,155 @@ impl std::fmt::Display for Ubig {
     }
 }
 
+/// Largest modulus width (in limbs) served by the stack-scratch CIOS
+/// kernel; wider moduli fall back to the mul-then-REDC reference path.
+/// 32 limbs = 2048 bits, twice the WaveKey group width.
+const MAX_CIOS_LIMBS: usize = 32;
+
+/// `a >= b` over equal-length little-endian limb slices.
+fn limbs_ge(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Greater => return true,
+            Ordering::Less => return false,
+            Ordering::Equal => {}
+        }
+    }
+    true
+}
+
+/// `a -= b` over equal-length limb slices, wrapping modulo `2^(64·len)`
+/// (the final borrow is discarded — callers guarantee it cancels against
+/// a carried top bit).
+fn limbs_sub_in_place(a: &mut [u64], b: &[u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = u64::from(b1) + u64::from(b2);
+    }
+}
+
+/// Interleaved CIOS Montgomery multiplication (Koç-Acar-Kaliski).
+///
+/// Computes `out = a·b·R⁻¹ mod n` for `a`, `b` in Montgomery form, all
+/// operands exactly `n.len()` limbs, using a fixed stack scratch buffer —
+/// no heap allocation per multiplication. Multiply and reduce are fused:
+/// each outer iteration folds one limb of `b` in and one reduction step
+/// out, so the working set stays at `k + 2` limbs instead of `2k + 1`.
+fn cios_mont_mul(n: &[u64], n_prime: u64, a: &[u64], b: &[u64], out: &mut [u64]) {
+    let k = n.len();
+    debug_assert!(k >= 1 && k <= MAX_CIOS_LIMBS);
+    debug_assert!(a.len() == k && b.len() == k && out.len() == k);
+    let mut scratch = [0u64; MAX_CIOS_LIMBS + 2];
+    let t = &mut scratch[..k + 2];
+    for i in 0..k {
+        // t += a · b[i]
+        let bi = u128::from(b[i]);
+        let mut carry = 0u128;
+        for j in 0..k {
+            let cur = u128::from(t[j]) + u128::from(a[j]) * bi + carry;
+            t[j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let cur = u128::from(t[k]) + carry;
+        t[k] = cur as u64;
+        t[k + 1] = (cur >> 64) as u64;
+        // t = (t + m·n) / 2^64 with m chosen so the low limb cancels.
+        let m = u128::from(t[0].wrapping_mul(n_prime));
+        let cur = u128::from(t[0]) + m * u128::from(n[0]);
+        let mut carry = cur >> 64;
+        for j in 1..k {
+            let cur = u128::from(t[j]) + m * u128::from(n[j]) + carry;
+            t[j - 1] = cur as u64;
+            carry = cur >> 64;
+        }
+        let cur = u128::from(t[k]) + carry;
+        t[k - 1] = cur as u64;
+        t[k] = t[k + 1] + (cur >> 64) as u64;
+    }
+    // Result is in [0, 2n); one conditional subtraction normalizes it. A
+    // set top word means t ≥ 2^(64k) > n, and the discarded borrow of the
+    // wrapping subtraction cancels exactly against it.
+    if t[k] != 0 || limbs_ge(&t[..k], n) {
+        limbs_sub_in_place(&mut t[..k], n);
+    }
+    out.copy_from_slice(&t[..k]);
+}
+
+/// Pads a value to exactly `k` limbs (the fixed-width Montgomery layout).
+fn pad_limbs(a: &Ubig, k: usize) -> Vec<u64> {
+    debug_assert!(a.limbs.len() <= k);
+    let mut v = a.limbs.clone();
+    v.resize(k, 0);
+    v
+}
+
+/// Builds a normalized [`Ubig`] from a fixed-width limb slice.
+fn ubig_from_limbs(limbs: &[u64]) -> Ubig {
+    let mut u = Ubig { limbs: limbs.to_vec() };
+    u.normalize();
+    u
+}
+
+/// Precomputed fixed-base exponentiation table (radix-2^w comb).
+///
+/// Stores `base^(d·2^(w·i))` in Montgomery form for every window position
+/// `i` and every digit `d ∈ 1..2^w`, covering exponents up to
+/// `windows · w` bits. Exponentiation then needs only one Montgomery
+/// multiplication per *non-zero* exponent digit — no squarings at all —
+/// at the cost of `windows · (2^w − 1)` stored group elements.
+#[derive(Debug, Clone)]
+pub struct FixedBaseTable {
+    /// The plain-form (reduced) base, kept for the out-of-range fallback.
+    base: Ubig,
+    /// Window width in bits.
+    w: usize,
+    /// Number of digit positions covered.
+    windows: usize,
+    /// Modulus width in limbs; entries are `k` limbs each.
+    k: usize,
+    /// `windows × (2^w − 1)` Montgomery-form entries, flattened.
+    table: Vec<u64>,
+}
+
+impl FixedBaseTable {
+    /// Window width in bits.
+    pub fn window_bits(&self) -> usize {
+        self.w
+    }
+
+    /// Approximate table memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.table.len() * 8
+    }
+}
+
+/// Sliding-window width for a one-off exponentiation of `bits` bits; the
+/// odd-power table costs `2^(w−1)` multiplications up front, so small
+/// exponents use small windows.
+fn pow_window_size(bits: usize) -> usize {
+    match bits {
+        0..=24 => 1,
+        25..=80 => 3,
+        81..=240 => 4,
+        241..=768 => 5,
+        _ => 6,
+    }
+}
+
 /// Montgomery arithmetic context for a fixed odd modulus.
 ///
 /// All heavy modular work (the OT group exponentiations) goes through this
-/// context: `R = 2^(64·k)` where `k` is the modulus limb count, values are
-/// kept in Montgomery form `aR mod n`, and multiplication is schoolbook ×
-/// REDC.
+/// context: `R = 2^(64·k)` where `k` is the modulus limb count and values
+/// are kept in Montgomery form `aR mod n`. The hot multiplication kernel
+/// is an interleaved CIOS multiply over fixed-width scratch buffers
+/// ([`cios_mont_mul`]); the original schoolbook-multiply-then-REDC path is
+/// retained as [`MontgomeryCtx::mod_mul_reference`] for differential
+/// testing and as the fallback for moduli wider than [`MAX_CIOS_LIMBS`].
 #[derive(Debug, Clone)]
 pub struct MontgomeryCtx {
     n: Ubig,
@@ -347,6 +512,10 @@ pub struct MontgomeryCtx {
     n_prime: u64,
     /// `R² mod n`, for conversion into Montgomery form.
     r2: Ubig,
+    /// `R² mod n` padded to `k` limbs.
+    r2_fixed: Vec<u64>,
+    /// `1` in Montgomery form (`R mod n`), padded to `k` limbs.
+    one_fixed: Vec<u64>,
 }
 
 impl MontgomeryCtx {
@@ -367,7 +536,14 @@ impl MontgomeryCtx {
         let n_prime = inv.wrapping_neg();
         // R² mod n via slow-path reduction (one-time).
         let r2 = Ubig::one().shl(2 * 64 * k).rem(&n);
-        MontgomeryCtx { n, k, n_prime, r2 }
+        let r2_fixed = pad_limbs(&r2, k);
+        let mut ctx = MontgomeryCtx { n, k, n_prime, r2, r2_fixed, one_fixed: Vec::new() };
+        // 1·R mod n = REDC(R² · 1).
+        let one = pad_limbs(&Ubig::one(), k);
+        let mut one_m = vec![0u64; k];
+        ctx.mont_mul_fixed(&one, &ctx.r2_fixed, &mut one_m);
+        ctx.one_fixed = one_m;
+        ctx
     }
 
     /// The modulus.
@@ -375,7 +551,8 @@ impl MontgomeryCtx {
         &self.n
     }
 
-    /// Montgomery reduction of a double-width product.
+    /// Montgomery reduction of a double-width product (reference path and
+    /// wide-modulus fallback).
     fn redc(&self, t: &mut Vec<u64>) -> Ubig {
         t.resize(2 * self.k + 1, 0);
         for i in 0..self.k {
@@ -404,66 +581,254 @@ impl MontgomeryCtx {
         out
     }
 
-    /// Montgomery multiplication of two values in Montgomery form.
-    fn mont_mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+    /// Reference Montgomery multiplication: schoolbook multiply, then a
+    /// separate REDC pass. Retained for differential testing against the
+    /// CIOS kernel and as the fallback for very wide moduli.
+    fn mont_mul_mul_then_redc(&self, a: &Ubig, b: &Ubig) -> Ubig {
         let prod = a.mul(b);
         let mut t = prod.limbs;
         self.redc(&mut t)
     }
 
-    /// Converts into Montgomery form.
-    fn to_mont(&self, a: &Ubig) -> Ubig {
-        self.mont_mul(a, &self.r2)
+    /// Fixed-width Montgomery multiplication: `out = a·b·R⁻¹ mod n` with
+    /// all operands exactly `k` limbs, in Montgomery form.
+    fn mont_mul_fixed(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        if self.k <= MAX_CIOS_LIMBS {
+            cios_mont_mul(&self.n.limbs, self.n_prime, a, b, out);
+        } else {
+            let r = self.mont_mul_mul_then_redc(&ubig_from_limbs(a), &ubig_from_limbs(b));
+            let padded = pad_limbs(&r, self.k);
+            out.copy_from_slice(&padded);
+        }
     }
 
-    /// Converts out of Montgomery form.
-    fn from_mont(&self, a: &Ubig) -> Ubig {
-        let mut t = a.limbs.clone();
-        self.redc(&mut t)
+    /// Converts a reduced value (`a < n`) into fixed-width Montgomery form.
+    fn to_mont_fixed(&self, a: &Ubig) -> Vec<u64> {
+        debug_assert!(a.cmp_abs(&self.n) == Ordering::Less);
+        let mut out = vec![0u64; self.k];
+        self.mont_mul_fixed(&pad_limbs(a, self.k), &self.r2_fixed, &mut out);
+        out
+    }
+
+    /// Converts a fixed-width Montgomery value back to plain form.
+    fn from_mont_fixed(&self, a: &[u64]) -> Ubig {
+        let mut one = vec![0u64; self.k];
+        one[0] = 1;
+        let mut out = vec![0u64; self.k];
+        self.mont_mul_fixed(a, &one, &mut out);
+        ubig_from_limbs(&out)
+    }
+
+    /// In-place Montgomery-domain doubling: `a ← 2a mod n`.
+    fn mont_double_fixed(&self, a: &mut [u64]) {
+        let mut carry = 0u64;
+        for limb in a.iter_mut() {
+            let top = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = top;
+        }
+        if carry != 0 || limbs_ge(a, &self.n.limbs) {
+            limbs_sub_in_place(a, &self.n.limbs);
+        }
     }
 
     /// Modular multiplication `a·b mod n` (plain form in, plain form out).
     pub fn mod_mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
-        let am = self.to_mont(a);
-        let bm = self.to_mont(b);
-        self.from_mont(&self.mont_mul(&am, &bm))
+        let am = self.to_mont_fixed(&a.rem(&self.n));
+        let bm = self.to_mont_fixed(&b.rem(&self.n));
+        let mut prod = vec![0u64; self.k];
+        self.mont_mul_fixed(&am, &bm, &mut prod);
+        self.from_mont_fixed(&prod)
     }
 
-    /// Modular exponentiation `base^exp mod n` by left-to-right
-    /// square-and-multiply in the Montgomery domain.
+    /// Reference modular multiplication via mul-then-REDC, retained so
+    /// differential tests can pin the CIOS kernel against it.
+    pub fn mod_mul_reference(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        let am = self.mont_mul_mul_then_redc(&a.rem(&self.n), &self.r2);
+        let bm = self.mont_mul_mul_then_redc(&b.rem(&self.n), &self.r2);
+        let prod = self.mont_mul_mul_then_redc(&am, &bm);
+        let mut t = prod.limbs;
+        self.redc(&mut t)
+    }
+
+    /// The largest window of at most `w` bits whose lowest bit is set,
+    /// with its top at bit `i` (which must be set). Returns the window
+    /// value and the index of its lowest bit.
+    fn window_at(exp: &Ubig, i: isize, w: usize) -> (usize, isize) {
+        let mut j = (i - w as isize + 1).max(0);
+        while !exp.bit(j as usize) {
+            j += 1;
+        }
+        let count = (i - j + 1) as usize;
+        (exp.bits(j as usize, count) as usize, j)
+    }
+
+    /// Modular exponentiation `base^exp mod n` by left-to-right k-ary
+    /// sliding windows over an odd-power table, in the Montgomery domain.
+    /// The window width scales with the exponent size (up to 6 bits, so a
+    /// 1024-bit exponent costs ~1024 squarings plus ~150 multiplications
+    /// instead of ~512 on top of the squarings).
     pub fn mod_pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
         if exp.is_zero() {
             return Ubig::one().rem(&self.n);
         }
+        let k = self.k;
+        let bits = exp.bit_len();
+        let w = pow_window_size(bits);
         let base = base.rem(&self.n);
-        let base_m = self.to_mont(&base);
-        let mut acc = self.to_mont(&Ubig::one());
-        for i in (0..exp.bit_len()).rev() {
-            acc = self.mont_mul(&acc, &acc);
-            if exp.bit(i) {
-                acc = self.mont_mul(&acc, &base_m);
+        let base_m = self.to_mont_fixed(&base);
+        // tbl[i] = base^(2i+1) in Montgomery form.
+        let half = 1usize << (w - 1);
+        let mut tbl = vec![0u64; half * k];
+        tbl[..k].copy_from_slice(&base_m);
+        if half > 1 {
+            let mut sq = vec![0u64; k];
+            self.mont_mul_fixed(&base_m, &base_m, &mut sq);
+            for i in 1..half {
+                let (lo, hi) = tbl.split_at_mut(i * k);
+                self.mont_mul_fixed(&lo[(i - 1) * k..], &sq, &mut hi[..k]);
             }
         }
-        self.from_mont(&acc)
+        let mut tmp = vec![0u64; k];
+        // The top bit is set, so the first window always forms there and
+        // seeds the accumulator directly (no leading squarings of 1).
+        let mut i = bits as isize - 1;
+        let (val, j) = Self::window_at(exp, i, w);
+        let mut acc = tbl[((val - 1) / 2) * k..][..k].to_vec();
+        i = j - 1;
+        while i >= 0 {
+            if !exp.bit(i as usize) {
+                self.mont_mul_fixed(&acc, &acc, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+                i -= 1;
+            } else {
+                let (val, j) = Self::window_at(exp, i, w);
+                for _ in 0..(i - j + 1) {
+                    self.mont_mul_fixed(&acc, &acc, &mut tmp);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+                self.mont_mul_fixed(&acc, &tbl[((val - 1) / 2) * k..][..k], &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+                i = j - 1;
+            }
+        }
+        self.from_mont_fixed(&acc)
+    }
+
+    /// Reference modular exponentiation: the original bit-at-a-time
+    /// square-and-multiply over the mul-then-REDC kernel. Retained so
+    /// differential tests can pin the windowed [`MontgomeryCtx::mod_pow`]
+    /// and the fixed-base path against it.
+    pub fn mod_pow_reference(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        if exp.is_zero() {
+            return Ubig::one().rem(&self.n);
+        }
+        let base = base.rem(&self.n);
+        let base_m = self.mont_mul_mul_then_redc(&base, &self.r2);
+        let mut acc = self.mont_mul_mul_then_redc(&Ubig::one(), &self.r2);
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.mont_mul_mul_then_redc(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul_mul_then_redc(&acc, &base_m);
+            }
+        }
+        let mut t = acc.limbs;
+        self.redc(&mut t)
     }
 
     /// Fast path for `2^exp mod n`: in the Montgomery domain the
-    /// multiply-by-two step is a single modular addition, so only the
-    /// squarings cost full multiplications. Roughly halves the cost of
-    /// the deadline-critical `M_A`/`M_B` preparation (the WaveKey group
-    /// generator is 2).
+    /// multiply-by-two step is a single modular doubling, so only the
+    /// squarings cost full multiplications.
     pub fn mod_pow2(&self, exp: &Ubig) -> Ubig {
         if exp.is_zero() {
             return Ubig::one().rem(&self.n);
         }
-        let mut acc = self.to_mont(&Ubig::one());
+        let mut acc = self.one_fixed.clone();
+        let mut tmp = vec![0u64; self.k];
         for i in (0..exp.bit_len()).rev() {
-            acc = self.mont_mul(&acc, &acc);
+            self.mont_mul_fixed(&acc, &acc, &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
             if exp.bit(i) {
-                acc = acc.mod_add(&acc, &self.n);
+                self.mont_double_fixed(&mut acc);
             }
         }
-        self.from_mont(&acc)
+        self.from_mont_fixed(&acc)
+    }
+
+    /// Precomputes a fixed-base exponentiation table for `base`, covering
+    /// exponents up to `max_exp_bits` bits with `w`-bit windows.
+    ///
+    /// Build cost is one Montgomery multiplication per table entry
+    /// (`⌈max_exp_bits/w⌉ · (2^w − 1)` of them) — paid once per base and
+    /// amortized across every subsequent [`MontgomeryCtx::pow_fixed_base`]
+    /// call, each of which then costs at most one multiplication per
+    /// exponent digit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is outside `1..=8`.
+    pub fn fixed_base_table(&self, base: &Ubig, max_exp_bits: usize, w: usize) -> FixedBaseTable {
+        assert!(w >= 1 && w <= 8, "fixed-base window must be 1..=8 bits");
+        let k = self.k;
+        let windows = max_exp_bits.div_ceil(w).max(1);
+        let epw = (1usize << w) - 1;
+        let base_red = base.rem(&self.n);
+        let mut table = vec![0u64; windows * epw * k];
+        let mut cur = self.to_mont_fixed(&base_red);
+        let mut next = vec![0u64; k];
+        for win in 0..windows {
+            let start = win * epw * k;
+            table[start..start + k].copy_from_slice(&cur);
+            for d in 2..=epw {
+                let (lo, hi) = table.split_at_mut(start + (d - 1) * k);
+                self.mont_mul_fixed(&lo[start + (d - 2) * k..], &cur, &mut hi[..k]);
+            }
+            // Advance to the next window position:
+            // cur ← cur^(2^w) = cur^(2^w − 1) · cur (one multiplication).
+            {
+                let last = &table[start + (epw - 1) * k..start + epw * k];
+                self.mont_mul_fixed(last, &cur, &mut next);
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        FixedBaseTable { base: base_red, w, windows, k, table }
+    }
+
+    /// Fixed-base exponentiation `base^exp mod n` using a precomputed
+    /// table: one Montgomery multiplication per non-zero exponent digit,
+    /// zero squarings. Falls back to the general [`MontgomeryCtx::mod_pow`]
+    /// for exponents wider than the table's coverage.
+    pub fn pow_fixed_base(&self, t: &FixedBaseTable, exp: &Ubig) -> Ubig {
+        debug_assert_eq!(t.k, self.k, "table built for a different modulus width");
+        if exp.is_zero() {
+            return Ubig::one().rem(&self.n);
+        }
+        if exp.bit_len() > t.windows * t.w {
+            return self.mod_pow(&t.base, exp);
+        }
+        let k = self.k;
+        let epw = (1usize << t.w) - 1;
+        let mut acc: Option<Vec<u64>> = None;
+        let mut tmp = vec![0u64; k];
+        for win in 0..t.windows {
+            let digit = exp.bits(win * t.w, t.w) as usize;
+            if digit == 0 {
+                continue;
+            }
+            let entry = &t.table[(win * epw + digit - 1) * k..][..k];
+            match acc.as_mut() {
+                None => acc = Some(entry.to_vec()),
+                Some(a) => {
+                    self.mont_mul_fixed(a, entry, &mut tmp);
+                    std::mem::swap(a, &mut tmp);
+                }
+            }
+        }
+        match acc {
+            Some(a) => self.from_mont_fixed(&a),
+            // exp != 0 guarantees at least one non-zero digit.
+            None => unreachable!("non-zero exponent with all-zero digits"),
+        }
     }
 
     /// Modular inverse of `a` for a *prime* modulus, via Fermat's little
@@ -743,6 +1108,91 @@ mod tests {
         let n = Ubig::from_u64(0b1011);
         assert_eq!(n.bit_len(), 4);
         assert!(n.bit(0) && n.bit(1) && !n.bit(2) && n.bit(3) && !n.bit(64));
+    }
+
+    #[test]
+    fn bits_window_extraction() {
+        let n = Ubig::from_hex("123456789abcdef0fedcba9876543210");
+        for lo in [0usize, 1, 5, 60, 63, 64, 65, 120, 127, 200] {
+            for count in [1usize, 4, 6, 17, 63, 64] {
+                let mut expected = 0u64;
+                for b in (0..count).rev() {
+                    expected = (expected << 1) | u64::from(n.bit(lo + b));
+                }
+                assert_eq!(n.bits(lo, count), expected, "lo {lo} count {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_mod_pow_matches_reference() {
+        let m = Ubig::from_hex("f123456789abcdef123456789abcdef1");
+        let ctx = MontgomeryCtx::new(m.clone());
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let base = Ubig::random_below(&m, &mut rng);
+            let exp = Ubig::random_below(&m, &mut rng);
+            assert_eq!(ctx.mod_pow(&base, &exp), ctx.mod_pow_reference(&base, &exp));
+        }
+        // Degenerate exponents.
+        let base = Ubig::from_u64(7);
+        for e in [0u64, 1, 2, 3, 63, 64, 65] {
+            let exp = Ubig::from_u64(e);
+            assert_eq!(ctx.mod_pow(&base, &exp), ctx.mod_pow_reference(&base, &exp), "e {e}");
+        }
+    }
+
+    #[test]
+    fn cios_mod_mul_matches_reference() {
+        let m = Ubig::from_hex("f123456789abcdef123456789abcdef1");
+        let ctx = MontgomeryCtx::new(m.clone());
+        let mut rng = StdRng::seed_from_u64(32);
+        for _ in 0..50 {
+            let a = Ubig::random_below(&m, &mut rng);
+            let b = Ubig::random_below(&m, &mut rng);
+            let fast = ctx.mod_mul(&a, &b);
+            assert_eq!(fast, ctx.mod_mul_reference(&a, &b));
+            assert_eq!(fast, a.mul(&b).rem(&m));
+        }
+        assert_eq!(ctx.mod_mul(&Ubig::zero(), &Ubig::from_u64(5)), Ubig::zero());
+    }
+
+    #[test]
+    fn fixed_base_matches_general_modexp() {
+        let m = Ubig::from_hex("f123456789abcdef123456789abcdef1");
+        let ctx = MontgomeryCtx::new(m.clone());
+        let base = Ubig::from_u64(2);
+        let table = ctx.fixed_base_table(&base, m.bit_len(), 6);
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..20 {
+            let exp = Ubig::random_below(&m, &mut rng);
+            assert_eq!(ctx.pow_fixed_base(&table, &exp), ctx.mod_pow_reference(&base, &exp));
+        }
+        assert_eq!(ctx.pow_fixed_base(&table, &Ubig::zero()), Ubig::one());
+        assert_eq!(ctx.pow_fixed_base(&table, &Ubig::one()), Ubig::from_u64(2));
+        // An exponent wider than the table's coverage takes the fallback.
+        let wide = Ubig::one().shl(m.bit_len() + 5);
+        assert_eq!(ctx.pow_fixed_base(&table, &wide), ctx.mod_pow_reference(&base, &wide));
+    }
+
+    #[test]
+    fn fixed_base_small_windows_and_single_limb() {
+        // k = 1 and every window width exercise the CIOS edge cases.
+        let p = 0xffff_ffff_ffff_ffc5u64;
+        let ctx = MontgomeryCtx::new(Ubig::from_u64(p));
+        let base = Ubig::from_u64(3);
+        let mut rng = StdRng::seed_from_u64(34);
+        for w in 1..=8usize {
+            let table = ctx.fixed_base_table(&base, 64, w);
+            for _ in 0..5 {
+                let exp = Ubig::from_u64(rng.gen());
+                assert_eq!(
+                    ctx.pow_fixed_base(&table, &exp),
+                    ctx.mod_pow_reference(&base, &exp),
+                    "w {w}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! prime with generator 2 — so both sides (and the adversary) know the
 //! parameters, exactly as in the paper's model.
 
-use crate::bigint::{is_probable_prime, MontgomeryCtx, Ubig};
+use crate::bigint::{is_probable_prime, FixedBaseTable, MontgomeryCtx, Ubig};
 use rand::rngs::StdRng;
+use std::cmp::Ordering;
+use std::sync::OnceLock;
 
 /// The RFC 2409 Oakley Group 2 prime (1024-bit), hexadecimal.
 pub const MODP_1024_HEX: &str = concat!(
@@ -17,26 +19,53 @@ pub const MODP_1024_HEX: &str = concat!(
     "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
 );
 
-/// A fixed prime-modulus DH group with precomputed Montgomery context.
+/// Fixed-base comb window width for generator powers. 6 bits puts the
+/// MODP-1024 table at ⌈1024/6⌉ · 63 ≈ 10.8k entries ≈ 1.4 MB and the
+/// per-exponentiation cost at ≤ 171 Montgomery multiplications (versus
+/// ~1024 squarings for square-and-multiply) — see DESIGN.md §7.
+const FIXED_BASE_WINDOW: usize = 6;
+
+/// A fixed prime-modulus DH group with precomputed Montgomery context and
+/// a fixed-base comb table of generator powers (built once per group,
+/// reused by every `pow_g` across all OT instances and sessions).
 #[derive(Debug, Clone)]
 pub struct DhGroup {
     ctx: MontgomeryCtx,
     generator: Ubig,
+    /// `u − 1`: the order of the multiplicative group mod the prime `u`
+    /// (the generator's order divides it), used to invert generator
+    /// powers without a Fermat inversion.
+    order: Ubig,
+    fixed_base: FixedBaseTable,
 }
 
 impl DhGroup {
+    fn with_params(p: Ubig, generator: Ubig) -> DhGroup {
+        let ctx = MontgomeryCtx::new(p);
+        let order = ctx.modulus().sub(&Ubig::one());
+        let max_exp_bits = ctx.modulus().bit_len();
+        let fixed_base = ctx.fixed_base_table(&generator, max_exp_bits, FIXED_BASE_WINDOW);
+        DhGroup { ctx, generator, order, fixed_base }
+    }
+
     /// The standard WaveKey group: 1024-bit MODP, generator 2.
     pub fn modp_1024() -> DhGroup {
-        let p = Ubig::from_hex(MODP_1024_HEX);
-        DhGroup { ctx: MontgomeryCtx::new(p), generator: Ubig::from_u64(2) }
+        DhGroup::with_params(Ubig::from_hex(MODP_1024_HEX), Ubig::from_u64(2))
+    }
+
+    /// The process-wide shared MODP-1024 group. Building a [`DhGroup`]
+    /// precomputes the fixed-base table, so protocol code should use this
+    /// shared instance to amortize that cost across sessions.
+    pub fn modp_1024_shared() -> &'static DhGroup {
+        static SHARED: OnceLock<DhGroup> = OnceLock::new();
+        SHARED.get_or_init(DhGroup::modp_1024)
     }
 
     /// A deliberately tiny test group (61-bit prime) for fast unit tests.
     /// Never use outside tests/benches.
     pub fn tiny_test_group() -> DhGroup {
         // 2^61 − 1 is a Mersenne prime; generator 37 works for testing.
-        let p = Ubig::from_u64((1u64 << 61) - 1);
-        DhGroup { ctx: MontgomeryCtx::new(p), generator: Ubig::from_u64(37) }
+        DhGroup::with_params(Ubig::from_u64((1u64 << 61) - 1), Ubig::from_u64(37))
     }
 
     /// The group modulus `u` (paper notation).
@@ -54,15 +83,24 @@ impl DhGroup {
         self.modulus().bit_len().div_ceil(8)
     }
 
-    /// `g^x mod u`. Uses the doubling fast path when `g = 2` (the
-    /// standard group), which matters for the deadline-bound `M_A`/`M_B`
-    /// preparation.
+    /// `g^x mod u` via the precomputed fixed-base comb table: at most one
+    /// Montgomery multiplication per exponent digit, no squarings. This
+    /// is the kernel under the deadline-bound `M_A`/`M_B` preparation.
     pub fn pow_g(&self, x: &Ubig) -> Ubig {
-        if self.generator == Ubig::from_u64(2) {
-            self.ctx.mod_pow2(x)
+        self.ctx.pow_fixed_base(&self.fixed_base, x)
+    }
+
+    /// `g^(−x) mod u`, computed as `g^(u−1−x)` through the same
+    /// fixed-base table — far cheaper than a Fermat inversion of `g^x`.
+    pub fn inv_pow_g(&self, x: &Ubig) -> Ubig {
+        let reduced;
+        let x = if x.cmp_abs(&self.order) == Ordering::Greater {
+            reduced = x.rem(&self.order);
+            &reduced
         } else {
-            self.ctx.mod_pow(&self.generator, x)
-        }
+            x
+        };
+        self.ctx.pow_fixed_base(&self.fixed_base, &self.order.sub(x))
     }
 
     /// `base^x mod u`.
@@ -157,6 +195,29 @@ mod tests {
         let bytes = g.encode_element(&e);
         assert_eq!(bytes.len(), 128);
         assert_eq!(g.decode_element(&bytes), e);
+    }
+
+    #[test]
+    fn inv_pow_g_inverts_pow_g() {
+        for g in [DhGroup::tiny_test_group(), DhGroup::modp_1024()] {
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..3 {
+                let x = g.random_exponent(&mut rng);
+                assert_eq!(g.mul(&g.pow_g(&x), &g.inv_pow_g(&x)), Ubig::one());
+                // Same value as the Fermat-inversion route.
+                assert_eq!(g.inv_pow_g(&x), g.div(&Ubig::one(), &g.pow_g(&x)));
+            }
+            assert_eq!(g.inv_pow_g(&Ubig::zero()), Ubig::one());
+        }
+    }
+
+    #[test]
+    fn shared_group_matches_fresh_group() {
+        let shared = DhGroup::modp_1024_shared();
+        let fresh = DhGroup::modp_1024();
+        assert_eq!(shared.modulus(), fresh.modulus());
+        let x = Ubig::from_u64(123456789);
+        assert_eq!(shared.pow_g(&x), fresh.pow_g(&x));
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod group;
 pub mod hmac;
 pub mod kdf;
 pub mod ot;
+mod par;
 pub mod sha256;
 
 pub use bigint::Ubig;

@@ -19,6 +19,7 @@
 use crate::bigint::Ubig;
 use crate::cipher::{ctr_decrypt, ctr_encrypt};
 use crate::group::DhGroup;
+use crate::par::par_map_range;
 use crate::sha256::sha256;
 use rand::rngs::StdRng;
 
@@ -171,26 +172,30 @@ impl std::fmt::Display for OtError {
 impl std::error::Error for OtError {}
 
 /// The OT sender: holds the secret pairs and the per-instance exponents.
+///
+/// The group is *not* stored here — it is borrowed through the protocol
+/// calls, so batches never clone the (table-carrying) [`DhGroup`].
 #[derive(Debug, Clone)]
 pub struct OtSender {
-    group: DhGroup,
     secrets: Vec<(Vec<u8>, Vec<u8>)>,
     a: Vec<Ubig>,
-    m: Vec<Ubig>,
 }
 
 impl OtSender {
     /// Starts a batch of OT instances over `secrets` (one `(x⁰, x¹)` pair
     /// per instance), returning the sender state and the batched `M_A`.
+    ///
+    /// Exponent sampling stays sequential (deterministic per RNG seed);
+    /// the independent `g^{a_i}` exponentiations fan out in parallel.
     pub fn start(
         group: &DhGroup,
         secrets: Vec<(Vec<u8>, Vec<u8>)>,
         rng: &mut StdRng,
     ) -> (OtSender, OtMessageA) {
         let a: Vec<Ubig> = secrets.iter().map(|_| group.random_exponent(rng)).collect();
-        let m: Vec<Ubig> = a.iter().map(|ai| group.pow_g(ai)).collect();
-        let msg = OtMessageA { elements: m.clone() };
-        (OtSender { group: group.clone(), secrets, a, m }, msg)
+        let elements = par_map_range(a.len(), |i| group.pow_g(&a[i]));
+        let msg = OtMessageA { elements };
+        (OtSender { secrets, a }, msg)
     }
 
     /// Number of instances in the batch.
@@ -204,32 +209,37 @@ impl OtSender {
     }
 
     /// Processes the receiver's `M_B` and produces the ciphertext batch
-    /// `M_E`.
+    /// `M_E`. Instances share no state, so the per-instance key
+    /// derivations run in parallel.
     ///
     /// # Errors
     ///
     /// Returns [`OtError::BatchMismatch`] when `M_B` has the wrong number
     /// of elements.
-    pub fn encrypt(&self, msg_b: &OtMessageB) -> Result<OtMessageE, OtError> {
+    pub fn encrypt(&self, group: &DhGroup, msg_b: &OtMessageB) -> Result<OtMessageE, OtError> {
         if msg_b.elements.len() != self.secrets.len() {
             return Err(OtError::BatchMismatch);
         }
-        let mut pairs = Vec::with_capacity(self.secrets.len());
-        for (i, (x0, x1)) in self.secrets.iter().enumerate() {
+        let pairs = par_map_range(self.secrets.len(), |i| {
+            let (x0, x1) = &self.secrets[i];
             let n = &msg_b.elements[i];
-            let k0 = derive_key(&self.group, &self.group.pow(n, &self.a[i]));
-            let quotient = self.group.div(n, &self.m[i]);
-            let k1 = derive_key(&self.group, &self.group.pow(&quotient, &self.a[i]));
-            pairs.push((ctr_encrypt(&k0, x0), ctr_encrypt(&k1, x1)));
-        }
+            let k0 = derive_key(group, &group.pow(n, &self.a[i]));
+            // n_i / m_i = n_i · g^{−a_i}: the fixed-base table replaces
+            // the per-instance Fermat inversion of m_i.
+            let quotient = group.mul(n, &group.inv_pow_g(&self.a[i]));
+            let k1 = derive_key(group, &group.pow(&quotient, &self.a[i]));
+            (ctr_encrypt(&k0, x0), ctr_encrypt(&k1, x1))
+        });
         Ok(OtMessageE { pairs })
     }
 }
 
 /// The OT receiver: holds the choice bits and the blinding exponents.
+///
+/// Like [`OtSender`], the group is borrowed through the protocol calls
+/// rather than cloned into the state.
 #[derive(Debug, Clone)]
 pub struct OtReceiver {
-    group: DhGroup,
     choices: Vec<bool>,
     b: Vec<Ubig>,
     m_a: Vec<Ubig>,
@@ -237,6 +247,9 @@ pub struct OtReceiver {
 
 impl OtReceiver {
     /// Responds to the sender's `M_A` with the blinded choices `M_B`.
+    ///
+    /// Blinding-exponent sampling stays sequential; the per-instance
+    /// exponentiations fan out in parallel.
     pub fn respond(
         group: &DhGroup,
         choices: &[bool],
@@ -247,27 +260,17 @@ impl OtReceiver {
             return Err(OtError::BatchMismatch);
         }
         let b: Vec<Ubig> = choices.iter().map(|_| group.random_exponent(rng)).collect();
-        let elements: Vec<Ubig> = choices
-            .iter()
-            .zip(&b)
-            .zip(&msg_a.elements)
-            .map(|((&c, bi), mi)| {
-                let gb = group.pow_g(bi);
-                if c {
-                    group.mul(mi, &gb)
-                } else {
-                    gb
-                }
-            })
-            .collect();
+        let elements = par_map_range(choices.len(), |i| {
+            let gb = group.pow_g(&b[i]);
+            if choices[i] {
+                group.mul(&msg_a.elements[i], &gb)
+            } else {
+                gb
+            }
+        });
         let msg = OtMessageB { elements: elements.clone() };
         Ok((
-            OtReceiver {
-                group: group.clone(),
-                choices: choices.to_vec(),
-                b,
-                m_a: msg_a.elements.clone(),
-            },
+            OtReceiver { choices: choices.to_vec(), b, m_a: msg_a.elements.clone() },
             msg,
         ))
     }
@@ -282,23 +285,22 @@ impl OtReceiver {
         self.choices.is_empty()
     }
 
-    /// Decrypts the chosen secret of every instance from `M_E`.
+    /// Decrypts the chosen secret of every instance from `M_E`, fanning
+    /// the independent per-instance exponentiations out in parallel.
     ///
     /// # Errors
     ///
     /// Returns [`OtError::BatchMismatch`] when `M_E` has the wrong number
     /// of pairs.
-    pub fn decrypt(&self, msg_e: &OtMessageE) -> Result<Vec<Vec<u8>>, OtError> {
+    pub fn decrypt(&self, group: &DhGroup, msg_e: &OtMessageE) -> Result<Vec<Vec<u8>>, OtError> {
         if msg_e.pairs.len() != self.choices.len() {
             return Err(OtError::BatchMismatch);
         }
-        let mut out = Vec::with_capacity(self.choices.len());
-        for (i, &c) in self.choices.iter().enumerate() {
-            let k = derive_key(&self.group, &self.group.pow(&self.m_a[i], &self.b[i]));
-            let ct = if c { &msg_e.pairs[i].1 } else { &msg_e.pairs[i].0 };
-            out.push(ctr_decrypt(&k, ct));
-        }
-        Ok(out)
+        Ok(par_map_range(self.choices.len(), |i| {
+            let k = derive_key(group, &group.pow(&self.m_a[i], &self.b[i]));
+            let ct = if self.choices[i] { &msg_e.pairs[i].1 } else { &msg_e.pairs[i].0 };
+            ctr_decrypt(&k, ct)
+        }))
     }
 }
 
@@ -317,8 +319,8 @@ mod tests {
         let mut rng_r = StdRng::seed_from_u64(200);
         let (sender, msg_a) = OtSender::start(group, secrets, &mut rng_s);
         let (receiver, msg_b) = OtReceiver::respond(group, &choices, &msg_a, &mut rng_r).unwrap();
-        let msg_e = sender.encrypt(&msg_b).unwrap();
-        receiver.decrypt(&msg_e).unwrap()
+        let msg_e = sender.encrypt(group, &msg_b).unwrap();
+        receiver.decrypt(group, &msg_e).unwrap()
     }
 
     #[test]
@@ -344,11 +346,11 @@ mod tests {
         let (sender, msg_a) = OtSender::start(&group, secrets, &mut rng_s);
         let (receiver, msg_b) =
             OtReceiver::respond(&group, &[false], &msg_a, &mut rng_r).unwrap();
-        let msg_e = sender.encrypt(&msg_b).unwrap();
+        let msg_e = sender.encrypt(&group, &msg_b).unwrap();
         // Forge a receiver that tries the *other* ciphertext with its key.
         let k = {
             // Receiver key = H(M_a^b): reconstruct what it would use.
-            let out = receiver.decrypt(&msg_e).unwrap();
+            let out = receiver.decrypt(&group, &msg_e).unwrap();
             assert_eq!(out[0], b"secret-zero");
             // Decrypt e1 with the receiver's k (choice 0 key): garbage.
             let wrong = ctr_decrypt(
@@ -385,7 +387,7 @@ mod tests {
         let bytes_b = msg_b.encode(&group);
         assert_eq!(OtMessageB::decode(&group, &bytes_b).unwrap(), msg_b);
 
-        let msg_e = sender.encrypt(&msg_b).unwrap();
+        let msg_e = sender.encrypt(&group, &msg_b).unwrap();
         let bytes_e = msg_e.encode();
         assert_eq!(OtMessageE::decode(&bytes_e).unwrap(), msg_e);
     }
@@ -411,7 +413,7 @@ mod tests {
         let (sender, msg_a) = OtSender::start(&group, vec![(vec![1], vec![2])], &mut rng);
         assert!(OtReceiver::respond(&group, &[true, false], &msg_a, &mut rng).is_err());
         let bad_b = OtMessageB { elements: vec![] };
-        assert_eq!(sender.encrypt(&bad_b).unwrap_err(), OtError::BatchMismatch);
+        assert_eq!(sender.encrypt(&group, &bad_b).unwrap_err(), OtError::BatchMismatch);
     }
 
     #[test]

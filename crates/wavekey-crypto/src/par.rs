@@ -1,0 +1,41 @@
+//! Feature-gated data-parallel helpers for the OT batch loops.
+//!
+//! With the default-on `parallel` feature the independent per-instance
+//! group exponentiations fan out over rayon's work-stealing pool; without
+//! it the same closures run sequentially, so single-threaded builds stay
+//! possible (`--no-default-features`). Results are collected in index
+//! order either way, and all RNG sampling happens *before* these loops,
+//! so protocol outputs are bit-identical across both configurations.
+
+/// Maps `f` over `0..len`, preserving index order in the output.
+#[cfg(feature = "parallel")]
+pub(crate) fn par_map_range<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync + Send,
+{
+    use rayon::prelude::*;
+    (0..len).into_par_iter().map(f).collect()
+}
+
+/// Sequential fallback used when the `parallel` feature is disabled.
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn par_map_range<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync + Send,
+{
+    (0..len).map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        let out = par_map_range(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        assert!(par_map_range(0, |i| i).is_empty());
+    }
+}

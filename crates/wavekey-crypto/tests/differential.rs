@@ -1,0 +1,157 @@
+//! Differential property tests pinning the optimized exponentiation
+//! kernels (CIOS Montgomery multiply, sliding-window `mod_pow`,
+//! fixed-base `pow_g`) against the retained naive references
+//! (`mod_mul_reference`, `mod_pow_reference`: allocate-multiply-then-redc
+//! and bit-at-a-time square-and-multiply).
+//!
+//! Strategy: random operands over a spread of odd moduli — single-limb,
+//! multi-limb awkward widths, and the real MODP-1024 group. The
+//! MODP-1024 cases are capped at fewer proptest cases since each one
+//! costs a 1024-bit exponentiation (or a table build).
+
+use proptest::prelude::*;
+use wavekey_crypto::bigint::{MontgomeryCtx, Ubig};
+use wavekey_crypto::group::{DhGroup, MODP_1024_HEX};
+
+/// Odd moduli spanning 1..=3 limbs (CIOS exercises carries differently
+/// per width). All > 2 so operands can be non-trivial.
+fn small_moduli() -> Vec<Ubig> {
+    vec![
+        Ubig::from_u64(3),
+        Ubig::from_u64(0xffff_fffb),              // 32-bit prime
+        Ubig::from_u64((1u64 << 61) - 1),         // Mersenne prime M61
+        Ubig::from_u64(u64::MAX),                 // 2^64 − 1 (odd, composite)
+        Ubig::from_hex("ffffffffffffffffffffffffffffff61"), // 128-bit
+        Ubig::from_hex("1000000000000000000000000000000000000000000000f1"), // 193-bit
+    ]
+}
+
+/// An arbitrary operand below 2^192, reduced by callers as needed.
+fn operand() -> impl Strategy<Value = Ubig> {
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, b, c)| {
+        Ubig::from_hex(&format!("{a:016x}{b:016x}{c:016x}"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn cios_mod_mul_matches_reference_small(a in operand(), b in operand()) {
+        for m in small_moduli() {
+            let ctx = MontgomeryCtx::new(m.clone());
+            let fast = ctx.mod_mul(&a, &b);
+            let reference = ctx.mod_mul_reference(&a.rem(&m), &b.rem(&m));
+            prop_assert_eq!(&fast, &reference, "modulus {:?}", m);
+            // Both must also agree with schoolbook mul + rem.
+            let naive = a.rem(&m).mul(&b.rem(&m)).rem(&m);
+            prop_assert_eq!(&fast, &naive, "modulus {:?}", m);
+        }
+    }
+
+    #[test]
+    fn windowed_mod_pow_matches_reference_small(base in operand(), exp in operand()) {
+        for m in small_moduli() {
+            let ctx = MontgomeryCtx::new(m.clone());
+            prop_assert_eq!(
+                ctx.mod_pow(&base, &exp),
+                ctx.mod_pow_reference(&base, &exp),
+                "modulus {:?}", m
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_base_matches_reference_small(base in operand(), exp in operand()) {
+        let m = Ubig::from_hex("ffffffffffffffffffffffffffffff61");
+        let ctx = MontgomeryCtx::new(m.clone());
+        let base = base.rem(&m);
+        for w in [1usize, 3, 5] {
+            let table = ctx.fixed_base_table(&base, m.bit_len(), w);
+            prop_assert_eq!(
+                ctx.pow_fixed_base(&table, &exp),
+                ctx.mod_pow_reference(&base, &exp),
+                "window {}", w
+            );
+        }
+    }
+}
+
+proptest! {
+    // MODP-1024 cases are individually expensive: cap the case count.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cios_mod_mul_matches_reference_modp1024(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ctx = MontgomeryCtx::new(Ubig::from_hex(MODP_1024_HEX));
+        let a = Ubig::random_below(ctx.modulus(), &mut rng);
+        let b = Ubig::random_below(ctx.modulus(), &mut rng);
+        prop_assert_eq!(ctx.mod_mul(&a, &b), ctx.mod_mul_reference(&a, &b));
+    }
+
+    #[test]
+    fn windowed_mod_pow_matches_reference_modp1024(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ctx = MontgomeryCtx::new(Ubig::from_hex(MODP_1024_HEX));
+        let base = Ubig::random_below(ctx.modulus(), &mut rng);
+        let exp = Ubig::random_below(ctx.modulus(), &mut rng);
+        prop_assert_eq!(ctx.mod_pow(&base, &exp), ctx.mod_pow_reference(&base, &exp));
+    }
+
+    #[test]
+    fn pow_g_matches_reference_modp1024(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let group = DhGroup::modp_1024_shared();
+        let ctx = MontgomeryCtx::new(Ubig::from_hex(MODP_1024_HEX));
+        let x = Ubig::random_below(group.modulus(), &mut rng);
+        // Fixed-base comb vs naive square-and-multiply on g = 2.
+        prop_assert_eq!(
+            group.pow_g(&x),
+            ctx.mod_pow_reference(group.generator(), &x)
+        );
+        // And the inverse power really is the inverse.
+        let prod = group.mul(&group.pow_g(&x), &group.inv_pow_g(&x));
+        prop_assert_eq!(prod, Ubig::one());
+    }
+}
+
+#[test]
+fn edge_exponents_agree_everywhere() {
+    // Zero / one / all-ones / power-of-two exponents hit the window
+    // machinery's boundary paths (leading window, zero digits, fallback).
+    let ctx = MontgomeryCtx::new(Ubig::from_hex(MODP_1024_HEX));
+    let base = Ubig::from_u64(0xdead_beef_1234_5678);
+    let exps = [
+        Ubig::zero(),
+        Ubig::one(),
+        Ubig::from_u64(2),
+        Ubig::from_u64(u64::MAX),
+        Ubig::one().shl(511),
+        Ubig::one().shl(512).sub(&Ubig::one()),
+        Ubig::from_hex(MODP_1024_HEX).sub(&Ubig::one()), // full-width
+    ];
+    let table = ctx.fixed_base_table(&base, ctx.modulus().bit_len(), 6);
+    for e in &exps {
+        let reference = ctx.mod_pow_reference(&base, e);
+        assert_eq!(&ctx.mod_pow(&base, e), &reference, "mod_pow exp {e:?}");
+        assert_eq!(&ctx.pow_fixed_base(&table, e), &reference, "fixed base exp {e:?}");
+    }
+    // Exponent wider than the table's coverage takes the fallback path.
+    let wide = Ubig::from_hex(MODP_1024_HEX).shl(64);
+    assert_eq!(ctx.pow_fixed_base(&table, &wide), ctx.mod_pow_reference(&base, &wide));
+}
+
+#[test]
+fn mod_pow2_matches_general_path() {
+    let ctx = MontgomeryCtx::new(Ubig::from_hex(MODP_1024_HEX));
+    for e in [0u64, 1, 5, 63, 64, 600, 1023] {
+        let exp = Ubig::from_u64(e);
+        assert_eq!(
+            ctx.mod_pow2(&exp),
+            ctx.mod_pow_reference(&Ubig::from_u64(2), &exp),
+            "2^{e}"
+        );
+    }
+}

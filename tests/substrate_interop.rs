@@ -75,8 +75,8 @@ fn ot_transports_bch_codewords_exactly() {
         &mut rng_s,
     );
     let (receiver, mb) = OtReceiver::respond(&group, &[false], &ma, &mut rng_r).unwrap();
-    let me = sender.encrypt(&mb).unwrap();
-    let received = receiver.decrypt(&me).unwrap();
+    let me = sender.encrypt(&group, &mb).unwrap();
+    let received = receiver.decrypt(&group, &me).unwrap();
     let bits = wavekey::core::bits::unpack_bits(&received[0], 127);
 
     // Flip two bits in transit-equivalent corruption; BCH repairs them.
