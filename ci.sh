@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, and the observability overhead gate.
+#
+# Tier-1 is `cargo build --release && cargo test -q`; when the cargo
+# registry is unreachable (the common case in the development container —
+# see ROADMAP.md), this falls back to the offline rig, which compiles the
+# same sources with rustc against faithful dependency stand-ins and runs
+# the same test functions.
+#
+# The overhead gate re-times the Table III hot path (the full MODP-1024
+# agreement, op `agreement_full_modp1024_seed48_key256`) with the
+# instrumentation compiled in (disabled `Obs` handle — the default) and
+# requires the mean to stay within WAVEKEY_OVERHEAD_TOL (default 1%) of
+# the recorded baseline in results/BENCH_crypto.json.
+#
+# Usage:
+#   ./ci.sh            # build + test + overhead gate
+#   ./ci.sh fast       # build + test only
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")" && pwd)
+cd "$ROOT"
+
+echo "== build + test =="
+if cargo build --release 2>/dev/null; then
+    cargo test -q
+else
+    echo "cargo registry unreachable — using the offline rig (ROADMAP.md)"
+    tools/offline_rig/build.sh test
+fi
+
+if [[ "${1:-}" == "fast" ]]; then
+    echo "== done (fast mode, overhead gate skipped) =="
+    exit 0
+fi
+
+echo "== observability overhead gate =="
+BASELINE_FILE="results/BENCH_crypto.json"
+OP="agreement_full_modp1024_seed48_key256"
+# Control op: the three-round OT batch. Its hot path has no
+# observability attach point (the `*_observed` OT variants are separate
+# delegating functions), it exercises the same kernels as the agreement
+# with comparable duration, and it is measured seconds apart in the same
+# process — so its drift vs the recorded baseline tracks machine/compiler
+# conditions and is subtracted to isolate instrumentation cost.
+CONTROL="ot_batch48_three_rounds"
+TOL="${WAVEKEY_OVERHEAD_TOL:-0.01}"
+
+mean_of() { # mean_of <op> <file>
+    awk -v op="$1" '
+        $0 ~ "\"op\": \"" op "\"" {
+            if (match($0, /"mean_ns": [0-9.]+/)) {
+                print substr($0, RSTART + 11, RLENGTH - 11)
+            }
+        }' "$2"
+}
+
+baseline=$(mean_of "$OP" "$BASELINE_FILE")
+baseline_ctl=$(mean_of "$CONTROL" "$BASELINE_FILE")
+[[ -n "$baseline" && -n "$baseline_ctl" ]] \
+    || { echo "missing baseline ops in $BASELINE_FILE" >&2; exit 1; }
+
+fresh="$ROOT/target/ci-bench-crypto.json"
+# A longer measurement window than the default so the ~200 ms agreement op
+# averages over enough iterations for a sub-1% comparison to be meaningful.
+WAVEKEY_BENCH_WINDOW="${WAVEKEY_BENCH_WINDOW:-3.0}" \
+    tools/offline_rig/build.sh run bench_crypto_json "$fresh" >/dev/null
+
+current=$(mean_of "$OP" "$fresh")
+current_ctl=$(mean_of "$CONTROL" "$fresh")
+[[ -n "$current" && -n "$current_ctl" ]] \
+    || { echo "bench run produced no samples" >&2; exit 1; }
+
+awk -v base="$baseline" -v cur="$current" \
+    -v cbase="$baseline_ctl" -v ccur="$current_ctl" -v tol="$TOL" 'BEGIN {
+    delta = (cur - base) / base
+    drift = (ccur - cbase) / cbase
+    net = delta - drift
+    printf "agreement: baseline %.1f ms, current %.1f ms (%+.2f%%)\n",
+        base / 1e6, cur / 1e6, delta * 100
+    printf "control drift (%s): %+.2f%%  ->  net overhead %+.2f%% (tolerance +%.0f%%)\n",
+        "ot_batch", drift * 100, net * 100, tol * 100
+    # The gate is one-sided: instrumentation must not make the protocol
+    # slower than tolerance; being faster is fine.
+    if (net > tol) {
+        print "FAIL: instrumented agreement exceeds the overhead tolerance"
+        exit 1
+    }
+    print "OK: disabled-collector overhead within tolerance"
+}'
+echo "== done =="

@@ -19,8 +19,15 @@ use wavekey_core::channel::PassiveChannel;
 use wavekey_crypto::group::DhGroup;
 use wavekey_crypto::ot::{OtReceiver, OtSender};
 
-/// Minimum total measurement time per op (seconds).
-const MIN_WINDOW: f64 = 0.25;
+/// Minimum total measurement time per op (seconds); `WAVEKEY_BENCH_WINDOW`
+/// overrides it (the CI overhead gate uses a longer window so the slow
+/// full-agreement op averages over enough iterations to be stable).
+fn min_window() -> f64 {
+    std::env::var("WAVEKEY_BENCH_WINDOW")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25)
+}
 /// Iteration cap for very slow ops.
 const MAX_ITERS: usize = 10_000;
 
@@ -31,8 +38,9 @@ struct Sample {
 }
 
 /// Times `f` adaptively: doubles the iteration count until the run
-/// exceeds [`MIN_WINDOW`], then reports the mean.
+/// exceeds [`min_window`], then reports the mean.
 fn time_op<F: FnMut()>(op: &'static str, mut f: F) -> Sample {
+    let min_window = min_window();
     f(); // warm-up (also warms caches / lazy statics)
     let mut iters = 1usize;
     loop {
@@ -41,7 +49,7 @@ fn time_op<F: FnMut()>(op: &'static str, mut f: F) -> Sample {
             f();
         }
         let elapsed = start.elapsed().as_secs_f64();
-        if elapsed >= MIN_WINDOW || iters >= MAX_ITERS {
+        if elapsed >= min_window || iters >= MAX_ITERS {
             return Sample { op, mean_ns: elapsed * 1e9 / iters as f64, iters };
         }
         iters = (iters * 2).min(MAX_ITERS);

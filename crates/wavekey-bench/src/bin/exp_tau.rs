@@ -6,7 +6,10 @@
 //!
 //! Our "devices" are one machine, so the experiment measures this
 //! implementation's `M_A`/`M_B` preparation over real seed batches and
-//! reports the implied τ.
+//! reports the implied τ. Each run becomes a [`wavekey_obs::SessionTrace`]
+//! carrying the preparation times as custom stages, so the percentiles and
+//! the `results/OBS_tau.json` artifact come from the shared
+//! [`wavekey_obs::TraceSet`] aggregation.
 //!
 //! ```text
 //! cargo run --release -p wavekey-bench --bin exp_tau [runs]
@@ -14,11 +17,17 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use wavekey_bench::{trained_models, Scale};
+use wavekey_bench::{trace_from_agreement, trained_models, write_results, Scale};
 use wavekey_core::agreement::{run_agreement, AgreementConfig};
 use wavekey_core::channel::PassiveChannel;
 use wavekey_core::session::{Session, SessionConfig};
-use wavekey_math::percentile;
+use wavekey_obs::TraceSet;
+
+/// Stage names for the raw preparation timings (the canonical
+/// `ot_round_a`/`ot_round_b` stages include the modeled channel delay;
+/// τ calibration needs the pure compute part).
+const MA_PREP: &str = "ma_prep";
+const MB_PREP: &str = "mb_prep";
 
 fn main() {
     let runs: usize = std::env::args()
@@ -36,34 +45,41 @@ fn main() {
     }
 
     let config = AgreementConfig { tau: 10.0, ..Default::default() };
-    let mut ma_times = Vec::new();
-    let mut mb_times = Vec::new();
+    let mut set = TraceSet::new();
     for (i, (s_m, s_r)) in seed_pairs.iter().enumerate() {
         let mut rng_m = StdRng::seed_from_u64(i as u64);
         let mut rng_s = StdRng::seed_from_u64(1000 + i as u64);
         if let Ok(out) =
             run_agreement(s_m, s_r, &config, &mut rng_m, &mut rng_s, &mut PassiveChannel)
         {
-            ma_times.push(out.ma_prep * 1000.0);
-            mb_times.push(out.mb_prep * 1000.0);
+            let mut trace = trace_from_agreement(i as u64 + 1, &out);
+            trace.record_stage(MA_PREP, out.ma_prep);
+            trace.record_stage(MB_PREP, out.mb_prep);
+            set.push(trace);
         }
     }
 
     println!("\n§VI-C-3: deadline-critical message preparation times (ms)");
-    println!("({} successful full-protocol runs, MODP-1024 group)\n", ma_times.len());
-    for (label, times) in [("M_A", &ma_times), ("M_B", &mb_times)] {
+    println!("({} successful full-protocol runs, MODP-1024 group)\n", set.len());
+    for (label, stage) in [("M_A", MA_PREP), ("M_B", MB_PREP)] {
+        let (_, mean, p50, _, _, max) =
+            set.field_stats(|t| t.stage_seconds(stage)).expect("at least one run");
+        let p95 = set.field_percentile(|t| t.stage_seconds(stage), 0.95).expect("p95");
         println!(
             "{label}: mean {:.1}, p50 {:.1}, p95 {:.1}, max {:.1}",
-            times.iter().sum::<f64>() / times.len() as f64,
-            percentile(times, 50.0),
-            percentile(times, 95.0),
-            times.iter().cloned().fold(0.0f64, f64::max),
+            mean * 1000.0,
+            p50 * 1000.0,
+            p95 * 1000.0,
+            max * 1000.0,
         );
     }
-    let worst_chain = percentile(&ma_times, 95.0) + percentile(&mb_times, 95.0);
+    let worst_chain = set.field_percentile(|t| t.stage_seconds(MA_PREP), 0.95).unwrap_or(0.0)
+        + set.field_percentile(|t| t.stage_seconds(MB_PREP), 0.95).unwrap_or(0.0);
     println!(
         "\nimplied τ (p95(M_A) + p95(M_B) + 2 ms channel, rounded up): ~{:.0} ms",
-        (worst_chain + 2.0).ceil()
+        (worst_chain * 1000.0 + 2.0).ceil()
     );
     println!("paper: all devices under 100 ms → τ = 120 ms");
+
+    write_results("results/OBS_tau.json", &set.report_json("tau_calibration").to_string_pretty());
 }

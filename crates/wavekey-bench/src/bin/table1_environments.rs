@@ -5,13 +5,21 @@
 //! volunteers perform 50 gestures each (300 instances per cell). Success
 //! means the full workflow establishes a key.
 //!
+//! Every attempt is captured as a [`wavekey_obs::SessionTrace`] through a
+//! collector attached to the session, so the success rates, the failure
+//! taxonomy, and the `results/OBS_table1.json` artifact all come from the
+//! shared [`wavekey_obs::TraceSet`] aggregation rather than hand-rolled
+//! counters.
+//!
 //! ```text
 //! cargo run --release -p wavekey-bench --bin table1_environments [gestures_per_volunteer]
 //! ```
 
-use wavekey_bench::{experiment_config, print_row, print_sep, trained_models, Scale};
+use std::collections::BTreeMap;
+use wavekey_bench::{experiment_config, print_row, print_sep, trained_models, write_results, Scale};
 use wavekey_core::session::{Session, SessionConfig};
 use wavekey_imu::gesture::VolunteerId;
+use wavekey_obs::{Json, Obs, TraceSet};
 
 fn main() {
     let per_volunteer: usize = std::env::args()
@@ -42,10 +50,11 @@ fn main() {
     print_sep(&widths);
 
     let mut cells = vec!["P_k".to_string()];
+    let mut failure_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut cell_reports: Vec<(String, Json)> = Vec::new();
     for env in 1..=4u32 {
         for &walkers in &[0usize, 5] {
-            let mut successes = 0usize;
-            let mut total = 0usize;
+            let (obs, collector) = Obs::with_memory();
             for v in 0..6u32 {
                 let config = SessionConfig {
                     environment_id: env,
@@ -58,16 +67,58 @@ fn main() {
                     models.clone(),
                     u64::from(env) * 1000 + u64::from(v) + walkers as u64 * 77,
                 );
+                session.set_obs(obs.clone());
                 for _ in 0..per_volunteer {
-                    total += 1;
-                    if session.establish_key_fast().is_ok() {
-                        successes += 1;
-                    }
+                    let _ = session.establish_key_fast();
                 }
             }
-            cells.push(format!("{:.1}", 100.0 * successes as f64 / total as f64));
+            let mut set = TraceSet::new();
+            for trace in collector.sessions() {
+                set.push(trace);
+            }
+            assert_eq!(set.len(), 6 * per_volunteer, "one trace per attempt");
+            cells.push(format!("{:.1}", 100.0 * set.success_rate()));
+
+            let cell = format!("env{env}_{}", if walkers == 0 { "static" } else { "dynamic" });
+            let mut outcomes: BTreeMap<String, usize> = BTreeMap::new();
+            for t in set.traces() {
+                if !t.is_success() {
+                    *outcomes.entry(t.outcome.clone()).or_default() += 1;
+                    *failure_counts.entry(t.outcome.clone()).or_default() += 1;
+                }
+            }
+            let mismatch = set
+                .field_stats(|t| t.seed_mismatch_ratio())
+                .map(|(_, mean, _, _, _, _)| Json::Num(mean))
+                .unwrap_or(Json::Null);
+            cell_reports.push((
+                cell,
+                Json::obj(vec![
+                    ("sessions", Json::Num(set.len() as f64)),
+                    ("success_rate", Json::Num(set.success_rate())),
+                    ("seed_mismatch_mean_ratio", mismatch),
+                    (
+                        "failures",
+                        Json::Obj(
+                            outcomes
+                                .into_iter()
+                                .map(|(k, v)| (k, Json::Num(v as f64)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
         }
     }
     print_row(&cells, &widths);
     println!("\npaper reference row: 99.7 99.0 | 100 98.6 | 99.7 99.0 | 99.3 99.0");
+    if !failure_counts.is_empty() {
+        let total: usize = failure_counts.values().sum();
+        println!("\nfailure taxonomy across all cells ({total} failures):");
+        for (outcome, count) in &failure_counts {
+            println!("  {outcome}: {count}");
+        }
+    }
+
+    write_results("results/OBS_table1.json", &Json::Obj(cell_reports).to_string_pretty());
 }

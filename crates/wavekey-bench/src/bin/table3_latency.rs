@@ -5,7 +5,9 @@
 //! This experiment runs the *full* protocol, including the MODP-1024
 //! oblivious transfers, and reports the mean logical end-to-end latency:
 //! the 2 s gesture plus both parties' measured compute time plus channel
-//! delays.
+//! delays. Each run is folded into a [`wavekey_obs::SessionTrace`] (via
+//! the per-stage timings the agreement already measures), so the table and
+//! the `results/OBS_table3.json` artifact come from one aggregation path.
 //!
 //! ```text
 //! cargo run --release -p wavekey-bench --bin table3_latency [runs_per_length]
@@ -13,10 +15,14 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wavekey_bench::{print_row, print_sep, trained_models, Scale};
+use wavekey_bench::{
+    agreement_failure_label, print_row, print_sep, trace_from_agreement, trained_models,
+    write_results, Scale,
+};
 use wavekey_core::agreement::{run_agreement, AgreementConfig};
 use wavekey_core::channel::PassiveChannel;
 use wavekey_core::session::{Session, SessionConfig};
+use wavekey_obs::{Json, SessionTrace, TraceSet};
 
 fn main() {
     let runs: usize = std::env::args()
@@ -53,6 +59,7 @@ fn main() {
     let mut cells = vec!["Time (ms)".to_string()];
     let mut proto_cells = vec!["Protocol (ms)".to_string()];
     let mut ok_cells = vec!["success".to_string()];
+    let mut reports: Vec<(String, Json)> = Vec::new();
     for &l_k in &[128usize, 168, 192, 256, 2048] {
         let config = AgreementConfig {
             key_len_bits: l_k,
@@ -61,34 +68,44 @@ fn main() {
             tau: 10.0,
             ..Default::default()
         };
-        let mut total = 0.0f64;
-        let mut count = 0usize;
+        let mut set = TraceSet::new();
         let mut rng = StdRng::seed_from_u64(l_k as u64);
-        for (s_m, s_r) in &seed_pairs {
+        for (i, (s_m, s_r)) in seed_pairs.iter().enumerate() {
             let mut rng_m = StdRng::seed_from_u64(rng.gen());
             let mut rng_s = StdRng::seed_from_u64(rng.gen());
-            if let Ok(out) =
-                run_agreement(s_m, s_r, &config, &mut rng_m, &mut rng_s, &mut PassiveChannel)
+            match run_agreement(s_m, s_r, &config, &mut rng_m, &mut rng_s, &mut PassiveChannel)
             {
-                total += out.elapsed;
-                count += 1;
+                Ok(out) => set.push(trace_from_agreement(i as u64 + 1, &out)),
+                Err(e) => {
+                    let mut trace = SessionTrace::new(i as u64 + 1);
+                    trace.outcome = agreement_failure_label(&e);
+                    set.push(trace);
+                }
             }
         }
-        if count == 0 {
-            cells.push("fail".into());
-            proto_cells.push("fail".into());
-            ok_cells.push("0".into());
-        } else {
-            let mean = total / count as f64;
-            cells.push(format!("{:.0}", 1000.0 * mean));
-            // Post-gesture protocol time: compute + channel, without the
-            // fixed 2 s acquisition window that dominates `elapsed`.
-            proto_cells.push(format!("{:.0}", 1000.0 * (mean - config.gesture_window)));
-            ok_cells.push(format!("{count}/{runs}"));
+        let count = set.traces().iter().filter(|t| t.is_success()).count();
+        match set.field_stats(|t| t.elapsed_s) {
+            Some((_, mean, _, _, _, _)) => {
+                cells.push(format!("{:.0}", 1000.0 * mean));
+                // Post-gesture protocol time: compute + channel, without
+                // the fixed 2 s acquisition window that dominates
+                // `elapsed`.
+                proto_cells.push(format!("{:.0}", 1000.0 * (mean - config.gesture_window)));
+                ok_cells.push(format!("{count}/{runs}"));
+            }
+            None => {
+                cells.push("fail".into());
+                proto_cells.push("fail".into());
+                ok_cells.push("0".into());
+            }
         }
+        reports.push((format!("key_{l_k}"), set.report_json(&format!("table3_key_{l_k}"))));
     }
     print_row(&cells, &widths);
     print_row(&proto_cells, &widths);
     print_row(&ok_cells, &widths);
     println!("\npaper reference: 2345 2332 2347 2357 2362 ms (flat in key length)");
+
+    let doc = Json::Obj(reports);
+    write_results("results/OBS_table3.json", &doc.to_string_pretty());
 }

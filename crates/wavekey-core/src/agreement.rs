@@ -27,6 +27,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+use wavekey_obs::{stage, Obs};
 use wavekey_crypto::ecc::{Bch, CodeOffset};
 use wavekey_crypto::group::DhGroup;
 use wavekey_crypto::hmac::{hmac_sha256, mac_eq};
@@ -73,6 +74,68 @@ impl Default for AgreementConfig {
     }
 }
 
+/// Per-stage compute timings of one agreement run, in seconds.
+///
+/// The values come from the *same* [`Instant`] measurements that drive the
+/// run's logical clocks — observability adds no extra clock reads to the
+/// protocol path. Each stage sums both parties' compute:
+///
+/// * `ot_round_a/b/e` — both sides preparing `M_A`, `M_B`, `M_E`.
+/// * `prelim_key` — decrypting the obliviously received sequences and
+///   assembling `K_M` / `K_R`.
+/// * `ecc_reconcile` — the mobile's code-offset commit plus the server's
+///   reconciliation (which includes computing its HMAC response).
+/// * `hmac_confirm` — the mobile's key finalization and MAC verification.
+///
+/// The information-layer fast path records no timings (all zeros).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AgreementStages {
+    /// Both parties preparing the batched first OT message `M_A`.
+    pub ot_round_a: f64,
+    /// Both parties preparing the blinded-choice response `M_B`.
+    pub ot_round_b: f64,
+    /// Both parties encrypting the ciphertext batch `M_E`.
+    pub ot_round_e: f64,
+    /// Preliminary key assembly (`K_M`, `K_R`) from the OT outputs.
+    pub prelim_key: f64,
+    /// Code-offset commit (mobile) + reconciliation & response (server).
+    pub ecc_reconcile: f64,
+    /// Mobile-side key finalization and HMAC verification.
+    pub hmac_confirm: f64,
+    /// The `2 + τ` arrival deadline the run enforced, in seconds.
+    pub deadline_s: f64,
+    /// Arrival time of the slowest deadline-checked message
+    /// (`max(M_{A,R}, M_{B,M})`) — how much of the budget was consumed.
+    pub deadline_consumed_s: f64,
+}
+
+impl AgreementStages {
+    /// The timed stages as `(canonical stage name, seconds)` pairs, in
+    /// protocol order (deadline fields are not stages).
+    pub fn timings(&self) -> [(&'static str, f64); 6] {
+        [
+            (stage::OT_ROUND_A, self.ot_round_a),
+            (stage::OT_ROUND_B, self.ot_round_b),
+            (stage::OT_ROUND_E, self.ot_round_e),
+            (stage::PRELIM_KEY, self.prelim_key),
+            (stage::ECC_RECONCILE, self.ecc_reconcile),
+            (stage::HMAC_CONFIRM, self.hmac_confirm),
+        ]
+    }
+
+    /// Records every stage as a pre-measured span on `obs` (no-op on a
+    /// disabled handle).
+    pub fn record_to(&self, obs: &Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        for (name, seconds) in self.timings() {
+            obs.record_duration(name, seconds);
+        }
+        obs.observe("deadline_consumed_seconds", self.deadline_consumed_s);
+    }
+}
+
 /// Successful agreement result plus diagnostics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AgreementOutcome {
@@ -93,6 +156,8 @@ pub struct AgreementOutcome {
     pub ma_prep: f64,
     /// Preparation time of the mobile's `M_B`.
     pub mb_prep: f64,
+    /// Per-stage compute timings (see [`AgreementStages`]).
+    pub stages: AgreementStages,
 }
 
 /// Key-agreement failure modes.
@@ -178,6 +243,9 @@ pub fn run_agreement(
     let mut server_clock = config.gesture_window;
     let mut mobile_compute = 0.0f64;
     let mut server_compute = 0.0f64;
+    // Stage timings reuse the logical-clock measurements below — the
+    // observability layer costs the protocol path no extra clock reads.
+    let mut stages = AgreementStages { deadline_s: deadline, ..AgreementStages::default() };
 
     // --- Sequence-pair generation + M_A (both directions) ---------------
     let t = Instant::now();
@@ -195,6 +263,7 @@ pub fn run_agreement(
     let d = t.elapsed().as_secs_f64();
     server_clock += d;
     server_compute += d;
+    stages.ot_round_a = ma_prep + d;
 
     // Transmit M_A both ways.
     let (ma_m_bytes, ma_m_arrival) = transmit(
@@ -214,6 +283,7 @@ pub fn run_agreement(
         config.channel_delay,
     )?;
     // §IV-D: the mobile must receive M_{A,R} by 2 + τ.
+    stages.deadline_consumed_s = ma_r_arrival;
     if ma_r_arrival > deadline {
         return Err(AgreementError::Timeout(MessageKind::OtA));
     }
@@ -239,6 +309,7 @@ pub fn run_agreement(
     let d = t.elapsed().as_secs_f64();
     server_clock += d;
     server_compute += d;
+    stages.ot_round_b = mb_prep + d;
 
     let (mb_m_bytes, mb_m_arrival) = transmit(
         adversary,
@@ -257,6 +328,7 @@ pub fn run_agreement(
         config.channel_delay,
     )?;
     // §IV-D: the server must receive M_{B,M} by 2 + τ.
+    stages.deadline_consumed_s = stages.deadline_consumed_s.max(mb_m_arrival);
     if mb_m_arrival > deadline {
         return Err(AgreementError::Timeout(MessageKind::OtB));
     }
@@ -276,6 +348,7 @@ pub fn run_agreement(
     let d = t.elapsed().as_secs_f64();
     mobile_clock += d;
     mobile_compute += d;
+    stages.ot_round_e = d;
 
     let t = Instant::now();
     let me_r = server_sender
@@ -284,6 +357,7 @@ pub fn run_agreement(
     let d = t.elapsed().as_secs_f64();
     server_clock += d;
     server_compute += d;
+    stages.ot_round_e += d;
 
     let (me_m_bytes, me_m_arrival) = transmit(
         adversary,
@@ -325,6 +399,7 @@ pub fn run_agreement(
     let d = t.elapsed().as_secs_f64();
     mobile_clock += d;
     mobile_compute += d;
+    stages.prelim_key = d;
 
     let t = Instant::now();
     let x_received = server_receiver
@@ -339,6 +414,7 @@ pub fn run_agreement(
     let d = t.elapsed().as_secs_f64();
     server_clock += d;
     server_compute += d;
+    stages.prelim_key += d;
 
     let preliminary_mismatch_bits = hamming_distance(&k_m, &k_r);
 
@@ -361,6 +437,7 @@ pub fn run_agreement(
     let d = t.elapsed().as_secs_f64();
     mobile_clock += d;
     mobile_compute += d;
+    stages.ecc_reconcile = d;
 
     let (challenge_bytes, challenge_arrival) = transmit(
         adversary,
@@ -390,6 +467,7 @@ pub fn run_agreement(
     let d = t.elapsed().as_secs_f64();
     server_clock += d;
     server_compute += d;
+    stages.ecc_reconcile += d;
 
     let (response_bytes, response_arrival) = transmit(
         adversary,
@@ -410,6 +488,7 @@ pub fn run_agreement(
     let d = t.elapsed().as_secs_f64();
     mobile_clock += d;
     mobile_compute += d;
+    stages.hmac_confirm = d;
     if !ok {
         return Err(AgreementError::ConfirmationFailed);
     }
@@ -423,7 +502,40 @@ pub fn run_agreement(
         preliminary_mismatch_bits,
         ma_prep,
         mb_prep,
+        stages,
     })
+}
+
+/// [`run_agreement`] plus observability: on success the per-stage compute
+/// timings (already measured for the logical clocks) are recorded as
+/// pre-measured spans on `obs`, and success/failure counters are kept.
+///
+/// With a disabled handle this is exactly [`run_agreement`].
+///
+/// # Errors
+///
+/// See [`run_agreement`].
+pub fn run_agreement_with_obs(
+    s_m: &[bool],
+    s_r: &[bool],
+    config: &AgreementConfig,
+    rng_mobile: &mut StdRng,
+    rng_server: &mut StdRng,
+    adversary: &mut dyn Adversary,
+    obs: &Obs,
+) -> Result<AgreementOutcome, AgreementError> {
+    let result = run_agreement(s_m, s_r, config, rng_mobile, rng_server, adversary);
+    if obs.is_enabled() {
+        obs.inc("agreement_runs_total");
+        match &result {
+            Ok(outcome) => {
+                outcome.stages.record_to(obs);
+                obs.event("preliminary_mismatch_bits", outcome.preliminary_mismatch_bits as f64);
+            }
+            Err(_) => obs.inc("agreement_failures_total"),
+        }
+    }
+    result
 }
 
 /// Runs only the *information layer* of the agreement — sequence-pair
@@ -504,6 +616,7 @@ pub fn run_agreement_information_layer(
         preliminary_mismatch_bits,
         ma_prep: 0.0,
         mb_prep: 0.0,
+        stages: AgreementStages::default(),
     })
 }
 
@@ -836,5 +949,46 @@ mod tests {
         let out = run(&s, &s, &test_config(), &mut PassiveChannel).unwrap();
         assert!(out.elapsed >= 2.0);
         assert!(out.ma_prep >= 0.0 && out.mb_prep >= 0.0);
+    }
+
+    #[test]
+    fn stage_timings_are_consistent_with_compute_totals() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let s = random_seed(48, &mut rng);
+        let out = run(&s, &s, &test_config(), &mut PassiveChannel).unwrap();
+        let stage_sum: f64 = out.stages.timings().iter().map(|(_, s)| s).sum();
+        let compute = out.mobile_compute + out.server_compute;
+        assert!(
+            (stage_sum - compute).abs() < 1e-9,
+            "stages {stage_sum} != compute {compute}"
+        );
+        assert_eq!(out.stages.deadline_s, 12.0); // gesture_window 2 + τ 10
+        assert!(out.stages.deadline_consumed_s > 0.0);
+        assert!(out.stages.deadline_consumed_s <= out.stages.deadline_s);
+    }
+
+    #[test]
+    fn with_obs_records_every_stage_span() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let s = random_seed(48, &mut rng);
+        let (obs, mem) = Obs::with_memory();
+        let mut rm = StdRng::seed_from_u64(1);
+        let mut rs = StdRng::seed_from_u64(2);
+        run_agreement_with_obs(&s, &s, &test_config(), &mut rm, &mut rs, &mut PassiveChannel, &obs)
+            .unwrap();
+        let names: Vec<String> = mem.spans().iter().map(|(n, _)| n.clone()).collect();
+        for expected in [
+            stage::OT_ROUND_A,
+            stage::OT_ROUND_B,
+            stage::OT_ROUND_E,
+            stage::PRELIM_KEY,
+            stage::ECC_RECONCILE,
+            stage::HMAC_CONFIRM,
+        ] {
+            assert!(names.contains(&expected.to_string()), "missing span {expected}");
+        }
+        let text = obs.prometheus_text();
+        assert!(text.contains("agreement_runs_total 1"));
+        assert!(!text.contains("agreement_failures_total"));
     }
 }

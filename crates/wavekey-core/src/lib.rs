@@ -41,7 +41,10 @@ pub mod service;
 pub mod session;
 pub mod training;
 
-pub use agreement::{run_agreement, AgreementConfig, AgreementError, AgreementOutcome};
+pub use agreement::{
+    run_agreement, run_agreement_with_obs, AgreementConfig, AgreementError, AgreementOutcome,
+    AgreementStages,
+};
 pub use channel::{Adversary, Direction, MessageKind, PassiveChannel};
 pub use config::WaveKeyConfig;
 pub use model::WaveKeyModels;

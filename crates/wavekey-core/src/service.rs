@@ -13,6 +13,7 @@ use crate::model::WaveKeyModels;
 use crate::session::{Session, SessionConfig, SessionOutcome};
 use crate::Error;
 use std::collections::HashMap;
+use wavekey_obs::Obs;
 use wavekey_imu::gesture::VolunteerId;
 use wavekey_rfid::channel::TagModel;
 use wavekey_rfid::environment::Environment;
@@ -45,6 +46,7 @@ pub struct AccessService {
     tickets: HashMap<Epc, TicketRecord>,
     next_serial: u32,
     session_seed: u64,
+    obs: Obs,
 }
 
 impl AccessService {
@@ -57,7 +59,22 @@ impl AccessService {
             tickets: HashMap::new(),
             next_serial: 1,
             session_seed: seed,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle. The service keeps its own
+    /// counters (tickets issued, enrolments, request verifications) and
+    /// forwards the handle into every enrolment session, so per-session
+    /// traces land in the same collector (e.g. a
+    /// [`wavekey_obs::FlightRecorder`]).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (disabled by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Issues a fresh ticket (the paper's automatic dispenser).
@@ -73,6 +90,7 @@ impl AccessService {
             ticket.epc,
             TicketRecord { ticket: ticket.clone(), key: None },
         );
+        self.obs.inc("service_tickets_issued");
         ticket
     }
 
@@ -132,7 +150,19 @@ impl AccessService {
         };
         self.session_seed = self.session_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut session = Session::new(config, self.models.clone(), self.session_seed);
-        let outcome = session.establish_key_fast()?;
+        session.set_obs(self.obs.clone());
+        self.obs.inc("service_enroll_attempts");
+        let span = self.obs.span("service_enroll");
+        let result = session.establish_key_fast();
+        span.finish();
+        let outcome = match result {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.obs.inc("service_enroll_failures");
+                return Err(e);
+            }
+        };
+        self.obs.inc("service_enroll_success");
         self.tickets
             .get_mut(&epc)
             .expect("checked above")
@@ -150,13 +180,20 @@ impl AccessService {
     ///
     /// Returns `false` for unknown or un-enrolled tickets.
     pub fn verify_request(&self, epc: Epc, message: &[u8], mac: &[u8]) -> bool {
-        match self.key_for(epc) {
+        self.obs.inc("service_verify_requests");
+        let accepted = match self.key_for(epc) {
             Some(key) => wavekey_crypto::hmac::mac_eq(
                 &wavekey_crypto::hmac_sha256(key, message),
                 mac,
             ),
             None => false,
+        };
+        if accepted {
+            self.obs.inc("service_verify_accepted");
+        } else {
+            self.obs.inc("service_verify_rejected");
         }
+        accepted
     }
 }
 
@@ -213,6 +250,26 @@ mod tests {
             .enroll(Epc::derive(TagModel::Alien9640A, 424242), VolunteerId(0))
             .unwrap_err();
         assert!(matches!(err, Error::Config(_)));
+    }
+
+    #[test]
+    fn counters_and_session_traces_reach_the_flight_recorder() {
+        let mut svc = service();
+        let recorder = std::sync::Arc::new(wavekey_obs::FlightRecorder::new(8));
+        svc.set_obs(Obs::new(recorder.clone()));
+
+        let ticket = svc.issue_ticket(TagModel::Alien9640A);
+        let _ = svc.enroll(ticket.epc, VolunteerId(0)); // either outcome traces
+        assert_eq!(recorder.len(), 1, "enrolment session should be recorded");
+        let trace = recorder.latest().expect("trace");
+        assert_eq!(trace.seed_len, 48);
+
+        svc.verify_request(ticket.epc, b"msg", &[0u8; 32]);
+        let text = svc.obs().prometheus_text();
+        assert!(text.contains("service_tickets_issued 1"));
+        assert!(text.contains("service_enroll_attempts 1"));
+        assert!(text.contains("service_verify_requests 1"));
+        assert!(text.contains("service_verify_rejected 1"));
     }
 
     #[test]

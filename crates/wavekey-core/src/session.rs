@@ -5,7 +5,7 @@
 //! configuration; every call to [`Session::establish_key`] simulates one
 //! fresh user gesture and runs the complete WaveKey workflow of Fig. 2.
 
-use crate::agreement::{run_agreement, AgreementConfig, AgreementOutcome};
+use crate::agreement::{run_agreement, AgreementConfig, AgreementError, AgreementOutcome};
 use crate::bits::hamming_distance;
 use crate::channel::{Adversary, PassiveChannel};
 use crate::config::WaveKeyConfig;
@@ -14,6 +14,8 @@ use crate::seed::SeedGenerator;
 use crate::Error;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use wavekey_obs::{stage, Obs, SessionTrace};
 use wavekey_imu::gesture::{Gesture, GestureConfig, GestureGenerator, VolunteerId};
 use wavekey_imu::pipeline::{process_imu, ImuPipelineConfig};
 use wavekey_imu::sensors::{sample_imu, DeviceModel};
@@ -90,6 +92,8 @@ pub struct Session {
     models: WaveKeyModels,
     seed_gen: SeedGenerator,
     rng: StdRng,
+    obs: Obs,
+    sessions_started: u64,
 }
 
 impl Session {
@@ -102,7 +106,28 @@ impl Session {
     pub fn new(config: SessionConfig, models: WaveKeyModels, seed: u64) -> Session {
         config.wavekey.validate().expect("invalid WaveKey config");
         let seed_gen = SeedGenerator::new(config.wavekey.n_b).expect("valid N_b");
-        Session { config, models, seed_gen, rng: StdRng::seed_from_u64(seed) }
+        Session {
+            config,
+            models,
+            seed_gen,
+            rng: StdRng::seed_from_u64(seed),
+            obs: Obs::disabled(),
+            sessions_started: 0,
+        }
+    }
+
+    /// Attaches an observability handle: every subsequent establishment
+    /// call records per-stage spans, metrics, and a [`SessionTrace`]
+    /// through it. The default handle is disabled (zero overhead); attach
+    /// `Obs::new(Arc::new(NullCollector))` and you get the same disabled
+    /// path back.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (disabled by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The session configuration.
@@ -136,8 +161,15 @@ impl Session {
         &mut self,
         adversary: &mut dyn Adversary,
     ) -> Result<SessionOutcome, Error> {
+        let mut trace = self.begin_trace();
+        let t = Instant::now();
         let gesture = self.new_gesture();
-        self.establish_key_from_gesture(&gesture, adversary)
+        let d = t.elapsed().as_secs_f64();
+        trace.record_stage(stage::GESTURE_SYNTH, d);
+        self.obs.record_duration(stage::GESTURE_SYNTH, d);
+        let result = self.establish_traced(&gesture, adversary, &mut trace);
+        self.finish_trace(trace, &result);
+        result
     }
 
     /// The yaw (radians) that turns the gesture generator's body-forward
@@ -170,8 +202,43 @@ impl Session {
         gesture: &Gesture,
         adversary: &mut dyn Adversary,
     ) -> Result<SessionOutcome, Error> {
-        let (s_m, s_r) = self.derive_seeds_from_gesture(gesture)?;
-        self.agree(&s_m, &s_r, adversary)
+        let mut trace = self.begin_trace();
+        let result = self.establish_traced(gesture, adversary, &mut trace);
+        self.finish_trace(trace, &result);
+        result
+    }
+
+    /// One full seed-derivation + agreement attempt, recording per-stage
+    /// timings into `trace` as it goes.
+    fn establish_traced(
+        &mut self,
+        gesture: &Gesture,
+        adversary: &mut dyn Adversary,
+        trace: &mut SessionTrace,
+    ) -> Result<SessionOutcome, Error> {
+        let (s_m, s_r) = self.derive_seeds_traced(gesture, trace)?;
+        trace.seed_len = s_m.len();
+        trace.seed_mismatch_bits = Some(hamming_distance(&s_m, &s_r));
+        self.agree_traced(&s_m, &s_r, adversary, trace)
+    }
+
+    /// Allocates the next session id and opens its trace.
+    fn begin_trace(&mut self) -> SessionTrace {
+        self.sessions_started += 1;
+        SessionTrace::new(self.sessions_started)
+    }
+
+    /// Stamps the outcome on `trace` and hands it to the collector (no-op
+    /// on a disabled handle).
+    fn finish_trace(&self, mut trace: SessionTrace, result: &Result<SessionOutcome, Error>) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        trace.outcome = match result {
+            Ok(_) => "success".to_string(),
+            Err(e) => outcome_label(e),
+        };
+        self.obs.session(&trace);
     }
 
     /// Derives the two key-seeds from one simulated gesture without
@@ -194,11 +261,26 @@ impl Session {
         &mut self,
         gesture: &Gesture,
     ) -> Result<(Vec<bool>, Vec<bool>), Error> {
-        let (f_m, f_r) = self.derive_latents_from_gesture(gesture)?;
-        Ok((
+        let mut scratch = SessionTrace::default();
+        self.derive_seeds_traced(gesture, &mut scratch)
+    }
+
+    /// Seed derivation with stage timings recorded into `trace`.
+    fn derive_seeds_traced(
+        &mut self,
+        gesture: &Gesture,
+        trace: &mut SessionTrace,
+    ) -> Result<(Vec<bool>, Vec<bool>), Error> {
+        let (f_m, f_r) = self.derive_latents_traced(gesture, trace)?;
+        let t = Instant::now();
+        let seeds = (
             self.seed_gen.seed_from_latent(&f_m),
             self.seed_gen.seed_from_latent(&f_r),
-        ))
+        );
+        let d = t.elapsed().as_secs_f64();
+        trace.record_stage(stage::QUANTIZATION, d);
+        self.obs.record_duration(stage::QUANTIZATION, d);
+        Ok(seeds)
     }
 
     /// Runs both sensing pipelines and the encoders, returning the raw
@@ -213,13 +295,29 @@ impl Session {
         &mut self,
         gesture: &Gesture,
     ) -> Result<(Vec<f32>, Vec<f32>), Error> {
+        let mut scratch = SessionTrace::default();
+        self.derive_latents_traced(gesture, &mut scratch)
+    }
+
+    /// Both pipelines + encoder forwards with stage timings recorded into
+    /// `trace`.
+    fn derive_latents_traced(
+        &mut self,
+        gesture: &Gesture,
+        trace: &mut SessionTrace,
+    ) -> Result<(Vec<f32>, Vec<f32>), Error> {
         let noise_seed: u64 = self.rng.gen();
 
         // Mobile side.
+        let t = Instant::now();
         let imu_rec = sample_imu(gesture, &self.config.device.spec(), noise_seed);
         let a = process_imu(&imu_rec, &ImuPipelineConfig::default())?;
+        let d = t.elapsed().as_secs_f64();
+        trace.record_stage(stage::IMU_PIPELINE, d);
+        self.obs.record_duration(stage::IMU_PIPELINE, d);
 
         // Server side.
+        let t = Instant::now();
         let env = Environment::room(self.config.environment_id);
         let channel = env.channel(self.config.tag, self.config.walkers, noise_seed);
         let hand = self.config.placement.hand_position(&env);
@@ -232,7 +330,11 @@ impl Session {
             noise_seed,
         );
         let r = process_rfid(&rfid_rec, &RfidPipelineConfig::default())?;
+        let d = t.elapsed().as_secs_f64();
+        trace.record_stage(stage::RFID_PIPELINE, d);
+        self.obs.record_duration(stage::RFID_PIPELINE, d);
 
+        let t = Instant::now();
         let f_m = self
             .models
             .imu_en
@@ -243,6 +345,9 @@ impl Session {
             .rf_en
             .forward(&crate::model::rfid_to_tensor(&r), false)
             .into_vec();
+        let d = t.elapsed().as_secs_f64();
+        trace.record_stage(stage::ENCODER_FORWARD, d);
+        self.obs.record_duration(stage::ENCODER_FORWARD, d);
         Ok((f_m, f_r))
     }
 
@@ -272,18 +377,26 @@ impl Session {
     ///
     /// Same failure taxonomy as [`Session::establish_key`].
     pub fn establish_key_fast(&mut self) -> Result<SessionOutcome, Error> {
+        let mut trace = self.begin_trace();
+        let t = Instant::now();
         let gesture = self.new_gesture();
-        let (s_m, s_r) = self.derive_seeds_from_gesture(&gesture)?;
-        let wk = &self.config.wavekey;
-        let agreement_config = AgreementConfig {
-            key_len_bits: wk.key_len_bits,
-            bch_t: wk.bch_t,
-            tau: wk.tau,
-            gesture_window: wk.gesture_window,
-            channel_delay: 0.001,
-            use_tiny_group: self.config.use_tiny_group,
-            privacy_amplification: false,
-        };
+        let d = t.elapsed().as_secs_f64();
+        trace.record_stage(stage::GESTURE_SYNTH, d);
+        self.obs.record_duration(stage::GESTURE_SYNTH, d);
+        let result = self.establish_fast_traced(&gesture, &mut trace);
+        self.finish_trace(trace, &result);
+        result
+    }
+
+    fn establish_fast_traced(
+        &mut self,
+        gesture: &Gesture,
+        trace: &mut SessionTrace,
+    ) -> Result<SessionOutcome, Error> {
+        let (s_m, s_r) = self.derive_seeds_traced(gesture, trace)?;
+        trace.seed_len = s_m.len();
+        trace.seed_mismatch_bits = Some(hamming_distance(&s_m, &s_r));
+        let agreement_config = self.agreement_config();
         let mut rng_server = StdRng::seed_from_u64(self.rng.gen());
         let outcome = crate::agreement::run_agreement_information_layer(
             &s_m,
@@ -292,6 +405,10 @@ impl Session {
             &mut self.rng,
             &mut rng_server,
         )?;
+        trace.key_bits = outcome.key_bits.len();
+        trace.preliminary_mismatch_bits = Some(outcome.preliminary_mismatch_bits);
+        trace.preliminary_len_bits = Some(preliminary_len_bits(&agreement_config, s_m.len()));
+        trace.elapsed_s = Some(outcome.elapsed);
         Ok(SessionOutcome {
             key: outcome.key.clone(),
             seed_mismatch_bits: hamming_distance(&s_m, &s_r),
@@ -300,6 +417,20 @@ impl Session {
             s_r,
             agreement: outcome,
         })
+    }
+
+    /// The [`AgreementConfig`] this session runs the protocol with.
+    fn agreement_config(&self) -> AgreementConfig {
+        let wk = &self.config.wavekey;
+        AgreementConfig {
+            key_len_bits: wk.key_len_bits,
+            bch_t: wk.bch_t,
+            tau: wk.tau,
+            gesture_window: wk.gesture_window,
+            channel_delay: 0.001,
+            use_tiny_group: self.config.use_tiny_group,
+            privacy_amplification: false,
+        }
     }
 
     /// Runs the key agreement on externally supplied seeds (exposed for
@@ -314,16 +445,21 @@ impl Session {
         s_r: &[bool],
         adversary: &mut dyn Adversary,
     ) -> Result<SessionOutcome, Error> {
-        let wk = &self.config.wavekey;
-        let agreement_config = AgreementConfig {
-            key_len_bits: wk.key_len_bits,
-            bch_t: wk.bch_t,
-            tau: wk.tau,
-            gesture_window: wk.gesture_window,
-            channel_delay: 0.001,
-            use_tiny_group: self.config.use_tiny_group,
-            privacy_amplification: false,
-        };
+        let mut scratch = SessionTrace::default();
+        self.agree_traced(s_m, s_r, adversary, &mut scratch)
+    }
+
+    /// The agreement step, recording protocol stage timings into `trace`
+    /// (and as spans on the attached handle).
+    fn agree_traced(
+        &mut self,
+        s_m: &[bool],
+        s_r: &[bool],
+        adversary: &mut dyn Adversary,
+        trace: &mut SessionTrace,
+    ) -> Result<SessionOutcome, Error> {
+        let agreement_config = self.agreement_config();
+        trace.deadline_s = Some(agreement_config.gesture_window + agreement_config.tau);
         let mut rng_server = StdRng::seed_from_u64(self.rng.gen());
         let outcome = run_agreement(
             s_m,
@@ -333,6 +469,15 @@ impl Session {
             &mut rng_server,
             adversary,
         )?;
+        for (name, seconds) in outcome.stages.timings() {
+            trace.record_stage(name, seconds);
+        }
+        outcome.stages.record_to(&self.obs);
+        trace.deadline_consumed_s = Some(outcome.stages.deadline_consumed_s);
+        trace.elapsed_s = Some(outcome.elapsed);
+        trace.key_bits = outcome.key_bits.len();
+        trace.preliminary_mismatch_bits = Some(outcome.preliminary_mismatch_bits);
+        trace.preliminary_len_bits = Some(preliminary_len_bits(&agreement_config, s_m.len()));
         Ok(SessionOutcome {
             key: outcome.key.clone(),
             seed_mismatch_bits: hamming_distance(s_m, s_r),
@@ -341,6 +486,34 @@ impl Session {
             s_r: s_r.to_vec(),
             agreement: outcome,
         })
+    }
+}
+
+/// Preliminary key length `2·l_s·l_b` for a seed length and config.
+fn preliminary_len_bits(config: &AgreementConfig, l_s: usize) -> usize {
+    if l_s == 0 {
+        return 0;
+    }
+    2 * l_s * config.key_len_bits.div_ceil(2 * l_s)
+}
+
+/// Short failure label for session traces (e.g. `"timeout_ota"`,
+/// `"reconciliation_failed"`), keyed off [`Error`]'s taxonomy.
+fn outcome_label(err: &Error) -> String {
+    match err {
+        Error::Imu(_) => "imu_pipeline_error".to_string(),
+        Error::Rfid(_) => "rfid_pipeline_error".to_string(),
+        Error::Agreement(e) => match e {
+            AgreementError::BadSeeds => "bad_seeds".to_string(),
+            AgreementError::Timeout(k) => format!("timeout_{k:?}").to_lowercase(),
+            AgreementError::Dropped(k) => format!("dropped_{k:?}").to_lowercase(),
+            AgreementError::Ot(_) => "ot_error".to_string(),
+            AgreementError::ReconciliationFailed => "reconciliation_failed".to_string(),
+            AgreementError::ConfirmationFailed => "confirmation_failed".to_string(),
+            AgreementError::Config(_) => "bad_config".to_string(),
+        },
+        Error::Training(_) => "training_error".to_string(),
+        Error::Config(_) => "config_error".to_string(),
     }
 }
 
@@ -405,6 +578,50 @@ mod tests {
         assert_eq!(session.config().environment_id, 1);
         session.config_mut().environment_id = 3;
         assert_eq!(session.config().environment_id, 3);
+    }
+
+    #[test]
+    fn traces_flow_to_attached_collector() {
+        let mut session = test_session();
+        let (obs, mem) = Obs::with_memory();
+        session.set_obs(obs);
+        assert!(session.obs().is_enabled());
+
+        let _ = session.establish_key(); // success or clean failure both trace
+        let _ = session.establish_key_fast();
+        let sessions = mem.sessions();
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].session_id, 1);
+        assert_eq!(sessions[1].session_id, 2);
+        for trace in &sessions {
+            assert!(!trace.outcome.is_empty());
+            assert_eq!(trace.seed_len, 48);
+            assert!(trace.seed_mismatch_bits.is_some());
+            for s in [stage::GESTURE_SYNTH, stage::IMU_PIPELINE, stage::RFID_PIPELINE,
+                      stage::ENCODER_FORWARD, stage::QUANTIZATION] {
+                assert!(trace.stage_seconds(s).is_some(), "missing stage {s}");
+            }
+        }
+        // The full protocol attempt also times the agreement stages when
+        // it reaches them (success or reconciliation failure both do).
+        let full = &sessions[0];
+        if full.is_success() {
+            assert!(full.stage_seconds(stage::OT_ROUND_A).is_some());
+            assert!(full.deadline_consumed_s.is_some());
+            assert_eq!(full.key_bits, 256);
+        }
+        let text = session.obs().prometheus_text();
+        assert!(text.contains("sessions_total 2"));
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing_and_still_works() {
+        let mut session = test_session();
+        assert!(!session.obs().is_enabled());
+        let seed: Vec<bool> = (0..48).map(|i| i % 3 == 0).collect();
+        let out = session.agree(&seed, &seed, &mut PassiveChannel).unwrap();
+        assert_eq!(out.key.len(), 32);
+        assert_eq!(session.obs().prometheus_text(), "");
     }
 
     #[test]

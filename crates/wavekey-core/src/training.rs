@@ -18,6 +18,8 @@ use crate::Error;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use wavekey_obs::Obs;
 use wavekey_math::{Quaternion, Vec3};
 use wavekey_nn::layer::LayerBox;
 use wavekey_nn::loss::{mse, mse_pair};
@@ -108,6 +110,23 @@ pub fn train(
     config: &TrainingConfig,
     seed: u64,
 ) -> Result<TrainReport, Error> {
+    train_with_obs(models, dataset, config, seed, &Obs::disabled())
+}
+
+/// [`train`] with per-epoch observability: each epoch records a
+/// `train_epoch` span and `train.epoch_loss` samples; the final losses
+/// land in `train.final_latent_loss` / `train.final_recon_loss` gauges.
+///
+/// # Errors
+///
+/// See [`train`].
+pub fn train_with_obs(
+    models: &mut WaveKeyModels,
+    dataset: &Dataset,
+    config: &TrainingConfig,
+    seed: u64,
+    obs: &Obs,
+) -> Result<TrainReport, Error> {
     if dataset.is_empty() {
         return Err(Error::Training("empty dataset".into()));
     }
@@ -123,6 +142,7 @@ pub fn train(
     let mut report = TrainReport::default();
 
     for _epoch in 0..config.epochs {
+        let epoch_start = Instant::now();
         // Shuffle.
         for i in (1..indices.len()).rev() {
             let j = rng.gen_range(0..=i);
@@ -181,7 +201,11 @@ pub fn train(
         report.epoch_losses.push(epoch_loss / batches);
         report.final_latent_loss = epoch_latent / batches;
         report.final_recon_loss = epoch_recon / batches;
+        obs.record_duration("train_epoch", epoch_start.elapsed().as_secs_f64());
+        obs.event("train.epoch_loss", f64::from(epoch_loss / batches));
     }
+    obs.gauge("train.final_latent_loss", f64::from(report.final_latent_loss));
+    obs.gauge("train.final_recon_loss", f64::from(report.final_recon_loss));
     Ok(report)
 }
 
@@ -393,6 +417,19 @@ mod tests {
         let first = report.epoch_losses[0];
         let last = *report.epoch_losses.last().unwrap();
         assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn training_emits_per_epoch_metrics() {
+        let (mut models, ds, cfg) = tiny_training();
+        let (obs, mem) = Obs::with_memory();
+        train_with_obs(&mut models, &ds, &cfg, 1, &obs).unwrap();
+        let epoch_spans = mem.spans().iter().filter(|(n, _)| n == "train_epoch").count();
+        assert_eq!(epoch_spans, 3);
+        assert_eq!(mem.events().len(), 3); // one loss sample per epoch
+        let text = obs.prometheus_text();
+        assert!(text.contains("train_final_latent_loss"));
+        assert!(text.contains("train_final_recon_loss"));
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Pluggable sinks for spans, events, and session traces.
+//!
+//! A [`Collector`] receives every record an enabled [`crate::Obs`] handle
+//! produces. Three sinks ship with the crate: [`NullCollector`] (reports
+//! itself inert, so the handle collapses to the zero-overhead disabled
+//! path), [`MemoryCollector`] (in-process buffers for tests and report
+//! bins), and [`JsonLinesCollector`] (one JSON object per record, for
+//! post-hoc analysis). [`MultiCollector`] fans records out to several
+//! sinks at once.
+
+use crate::json::Json;
+use crate::span::{EventRecord, SpanRecord};
+use crate::trace::SessionTrace;
+use std::io::{self, BufWriter, Write};
+use std::sync::Mutex;
+
+/// A sink for observability records. All methods must be thread-safe; the
+/// handle may be cloned across threads.
+pub trait Collector: Send + Sync {
+    /// Whether attaching this collector should enable instrumentation at
+    /// all. Defaults to `true`; [`NullCollector`] overrides to `false`.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+    /// A span finished.
+    fn record_span(&self, _span: &SpanRecord) {}
+    /// A point event fired.
+    fn record_event(&self, _event: &EventRecord) {}
+    /// A session completed (successfully or not).
+    fn record_session(&self, _trace: &SessionTrace) {}
+}
+
+/// The zero-overhead default: discards everything, and tells the handle to
+/// disable instrumentation entirely (no clock reads, no locks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCollector;
+
+impl Collector for NullCollector {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// In-memory sink: keeps every record, in arrival order.
+#[derive(Debug, Default)]
+pub struct MemoryCollector {
+    spans: Mutex<Vec<(String, f64)>>,
+    events: Mutex<Vec<(String, f64)>>,
+    sessions: Mutex<Vec<SessionTrace>>,
+}
+
+impl MemoryCollector {
+    /// An empty collector.
+    pub fn new() -> MemoryCollector {
+        MemoryCollector::default()
+    }
+
+    /// All recorded spans as `(name, seconds)`.
+    pub fn spans(&self) -> Vec<(String, f64)> {
+        self.spans.lock().expect("spans poisoned").clone()
+    }
+
+    /// All recorded events as `(name, value)`.
+    pub fn events(&self) -> Vec<(String, f64)> {
+        self.events.lock().expect("events poisoned").clone()
+    }
+
+    /// All recorded session traces.
+    pub fn sessions(&self) -> Vec<SessionTrace> {
+        self.sessions.lock().expect("sessions poisoned").clone()
+    }
+}
+
+impl Collector for MemoryCollector {
+    fn record_span(&self, span: &SpanRecord) {
+        self.spans.lock().expect("spans poisoned").push((span.name.to_string(), span.seconds));
+    }
+    fn record_event(&self, event: &EventRecord) {
+        self.events
+            .lock()
+            .expect("events poisoned")
+            .push((event.name.to_string(), event.value));
+    }
+    fn record_session(&self, trace: &SessionTrace) {
+        self.sessions.lock().expect("sessions poisoned").push(trace.clone());
+    }
+}
+
+/// One observability record parsed back from a JSON line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsRecord {
+    /// A span: name and seconds.
+    Span(String, f64),
+    /// An event: name and value.
+    Event(String, f64),
+    /// A full session trace.
+    Session(SessionTrace),
+}
+
+/// JSON-lines sink: one compact JSON object per record. Write errors are
+/// swallowed (telemetry must never take down the pipeline it observes).
+pub struct JsonLinesCollector {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonLinesCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonLinesCollector").finish_non_exhaustive()
+    }
+}
+
+impl JsonLinesCollector {
+    /// Wrap any writer (kept behind a mutex; one line per record).
+    pub fn new<W: Write + Send + 'static>(writer: W) -> JsonLinesCollector {
+        JsonLinesCollector { out: Mutex::new(Box::new(writer)) }
+    }
+
+    /// Create (truncate) a file at `path`, buffered.
+    pub fn create(path: &std::path::Path) -> io::Result<JsonLinesCollector> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(JsonLinesCollector::new(BufWriter::new(std::fs::File::create(path)?)))
+    }
+
+    fn write_line(&self, json: &Json) {
+        let mut out = self.out.lock().expect("jsonl writer poisoned");
+        let _ = writeln!(out, "{}", json.to_string_compact());
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl writer poisoned").flush();
+    }
+
+    /// Parse one line previously produced by this collector.
+    pub fn parse_line(line: &str) -> Option<ObsRecord> {
+        let json = Json::parse(line.trim())?;
+        match json.get("type")?.as_str()? {
+            "span" => Some(ObsRecord::Span(
+                json.get("name")?.as_str()?.to_string(),
+                json.get("seconds")?.as_f64()?,
+            )),
+            "event" => Some(ObsRecord::Event(
+                json.get("name")?.as_str()?.to_string(),
+                json.get("value")?.as_f64()?,
+            )),
+            "session" => Some(ObsRecord::Session(SessionTrace::from_json(
+                json.get("trace")?,
+            )?)),
+            _ => None,
+        }
+    }
+}
+
+impl Drop for JsonLinesCollector {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl Collector for JsonLinesCollector {
+    fn record_span(&self, span: &SpanRecord) {
+        self.write_line(&Json::obj(vec![
+            ("type", Json::Str("span".into())),
+            ("name", Json::Str(span.name.into())),
+            ("seconds", Json::Num(span.seconds)),
+        ]));
+    }
+    fn record_event(&self, event: &EventRecord) {
+        self.write_line(&Json::obj(vec![
+            ("type", Json::Str("event".into())),
+            ("name", Json::Str(event.name.into())),
+            ("value", Json::Num(event.value)),
+        ]));
+    }
+    fn record_session(&self, trace: &SessionTrace) {
+        self.write_line(&Json::obj(vec![
+            ("type", Json::Str("session".into())),
+            ("trace", trace.to_json()),
+        ]));
+    }
+}
+
+/// Fans every record out to several collectors (e.g. a flight recorder
+/// plus a JSON-lines file).
+#[derive(Default)]
+pub struct MultiCollector {
+    sinks: Vec<std::sync::Arc<dyn Collector>>,
+}
+
+impl std::fmt::Debug for MultiCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiCollector").field("sinks", &self.sinks.len()).finish()
+    }
+}
+
+impl MultiCollector {
+    /// Fan out to `sinks` (inert sinks are dropped).
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Collector>>) -> MultiCollector {
+        MultiCollector { sinks: sinks.into_iter().filter(|s| s.is_enabled()).collect() }
+    }
+}
+
+impl Collector for MultiCollector {
+    fn is_enabled(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+    fn record_span(&self, span: &SpanRecord) {
+        for s in &self.sinks {
+            s.record_span(span);
+        }
+    }
+    fn record_event(&self, event: &EventRecord) {
+        for s in &self.sinks {
+            s.record_event(event);
+        }
+    }
+    fn record_session(&self, trace: &SessionTrace) {
+        for s in &self.sinks {
+            s.record_session(trace);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::stage;
+    use std::sync::Arc;
+
+    /// Shared Vec<u8> writer so the test can read back what was written.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().expect("buf").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_all_record_kinds() {
+        let buf = SharedBuf::default();
+        let collector = JsonLinesCollector::new(buf.clone());
+        collector.record_span(&SpanRecord { name: "ot_round_a", seconds: 0.043 });
+        collector.record_event(&EventRecord { name: "seed_mismatch_bits", value: 4.0 });
+        let mut trace = SessionTrace::new(11);
+        trace.outcome = "success".into();
+        trace.seed_len = 48;
+        trace.seed_mismatch_bits = Some(4);
+        trace.record_stage(stage::ECC_RECONCILE, 0.0011);
+        collector.record_session(&trace);
+        collector.flush();
+
+        let text = String::from_utf8(buf.0.lock().expect("buf").clone()).expect("utf8");
+        let records: Vec<ObsRecord> = text
+            .lines()
+            .map(|l| JsonLinesCollector::parse_line(l).expect("parse line"))
+            .collect();
+        assert_eq!(
+            records,
+            vec![
+                ObsRecord::Span("ot_round_a".into(), 0.043),
+                ObsRecord::Event("seed_mismatch_bits".into(), 4.0),
+                ObsRecord::Session(trace),
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_collector_fans_out_and_drops_inert_sinks() {
+        let a = Arc::new(MemoryCollector::new());
+        let b = Arc::new(MemoryCollector::new());
+        let multi = MultiCollector::new(vec![
+            a.clone(),
+            Arc::new(NullCollector),
+            b.clone(),
+        ]);
+        assert!(multi.is_enabled());
+        multi.record_span(&SpanRecord { name: "x", seconds: 1.0 });
+        assert_eq!(a.spans().len(), 1);
+        assert_eq!(b.spans().len(), 1);
+
+        let empty = MultiCollector::new(vec![Arc::new(NullCollector)]);
+        assert!(!empty.is_enabled());
+    }
+}

@@ -1,0 +1,92 @@
+//! The session flight recorder: a bounded ring of the most recent
+//! [`SessionTrace`]s.
+//!
+//! Long-running services (e.g. `wavekey_core::service::AccessService`)
+//! can attach one as their collector and always have the last N sessions
+//! available for post-incident inspection without unbounded memory growth.
+
+use crate::collector::Collector;
+use crate::trace::{SessionTrace, TraceSet};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Bounded ring buffer of recent session traces; usable as a [`Collector`]
+/// (spans and events are ignored, sessions are retained).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<SessionTrace>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` sessions (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder { capacity, ring: Mutex::new(VecDeque::with_capacity(capacity)) }
+    }
+
+    /// Number of retained sessions.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("flight ring poisoned").len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retained sessions, oldest first.
+    pub fn recent(&self) -> Vec<SessionTrace> {
+        self.ring.lock().expect("flight ring poisoned").iter().cloned().collect()
+    }
+
+    /// The most recent session, if any.
+    pub fn latest(&self) -> Option<SessionTrace> {
+        self.ring.lock().expect("flight ring poisoned").back().cloned()
+    }
+
+    /// Copy the retained sessions into a [`TraceSet`] for aggregation.
+    pub fn trace_set(&self) -> TraceSet {
+        let mut set = TraceSet::new();
+        for t in self.recent() {
+            set.push(t);
+        }
+        set
+    }
+}
+
+impl Collector for FlightRecorder {
+    fn record_session(&self, trace: &SessionTrace) {
+        let mut ring = self.ring.lock().expect("flight ring poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(trace.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_oldest_beyond_capacity() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5 {
+            rec.record_session(&SessionTrace::new(i));
+        }
+        let ids: Vec<u64> = rec.recent().iter().map(|t| t.session_id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+        assert_eq!(rec.latest().expect("latest").session_id, 4);
+        assert_eq!(rec.trace_set().len(), 3);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let rec = FlightRecorder::new(0);
+        rec.record_session(&SessionTrace::new(1));
+        rec.record_session(&SessionTrace::new(2));
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.latest().expect("latest").session_id, 2);
+    }
+}

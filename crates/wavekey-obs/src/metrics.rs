@@ -1,0 +1,432 @@
+//! Metrics: counters, gauges, and log-linear histograms behind a sharded
+//! registry.
+//!
+//! The registry is keyed by metric name and sharded across 16 mutexes
+//! (hash of the name picks the shard) so concurrent instrumented code paths
+//! rarely contend. Histograms are log-linear — 16 linear sub-buckets per
+//! power of two — which bounds the relative quantile error at ≈6% while
+//! keeping updates O(1) and allocation-free after the first observation.
+//!
+//! Two exporters are provided: a Prometheus-style text rendering
+//! ([`Registry::prometheus_text`]) and a JSON tree ([`Registry::to_json`])
+//! used by the `results/OBS_session.json` artifact.
+
+use crate::json::Json;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+/// Number of linear sub-buckets per power of two.
+const SUB_BUCKETS: usize = 16;
+/// Smallest binary exponent tracked (values below land in bucket 0).
+const MIN_EXP: i32 = -64;
+/// Largest binary exponent tracked (values above land in the last bucket).
+const MAX_EXP: i32 = 63;
+const BUCKETS: usize = ((MAX_EXP - MIN_EXP + 1) as usize) * SUB_BUCKETS;
+
+/// A log-linear histogram over non-negative `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u32>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { counts: Vec::new(), count: 0, sum: 0.0, min: f64::INFINITY, max: 0.0 }
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if !(value > 0.0) || !value.is_finite() {
+            return 0;
+        }
+        let exp = value.log2().floor() as i32;
+        let exp = exp.clamp(MIN_EXP, MAX_EXP);
+        let lower = (exp as f64).exp2();
+        let frac = (value / lower - 1.0).clamp(0.0, 1.0 - f64::EPSILON);
+        let sub = (frac * SUB_BUCKETS as f64) as usize;
+        ((exp - MIN_EXP) as usize) * SUB_BUCKETS + sub.min(SUB_BUCKETS - 1)
+    }
+
+    /// The representative (midpoint) value of a bucket.
+    fn bucket_value(index: usize) -> f64 {
+        let exp = MIN_EXP + (index / SUB_BUCKETS) as i32;
+        let sub = index % SUB_BUCKETS;
+        let lower = (exp as f64).exp2();
+        lower * (1.0 + (sub as f64 + 0.5) / SUB_BUCKETS as f64)
+    }
+
+    /// Record one sample. Negative, zero, and non-finite samples all land
+    /// in the underflow bucket but still count toward `count`/`sum`.
+    pub fn observe(&mut self, value: f64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+        }
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all finite samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of all finite samples (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observed sample (`0.0` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observed sample (`0.0` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the representative value of the
+    /// first bucket whose cumulative count reaches `q · count`. Clamped to
+    /// the exact observed min/max so the tails never over-shoot.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += *c as u64;
+            if cumulative >= target {
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.is_empty() {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One metric slot in the registry.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+/// Point-in-time copy of one named metric.
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-set value.
+    Gauge(f64),
+    /// Full histogram copy.
+    Histogram(Histogram),
+}
+
+/// Thread-safe, sharded metric registry.
+///
+/// Metric kind is fixed by first use: incrementing a name that currently
+/// holds a gauge (or vice versa) silently re-types the slot — instrumented
+/// code keeps naming disciplined via the `stage`/`span.` prefixes instead
+/// of the registry policing it.
+#[derive(Debug)]
+pub struct Registry {
+    shards: Vec<Mutex<HashMap<String, Metric>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<HashMap<String, Metric>> {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    /// Add `delta` to the named counter (creating it at zero).
+    pub fn inc_counter(&self, name: &str, delta: u64) {
+        let mut shard = self.shard(name).lock().expect("metrics shard poisoned");
+        match shard.get_mut(name) {
+            Some(Metric::Counter(v)) => *v += delta,
+            Some(slot) => *slot = Metric::Counter(delta),
+            None => {
+                shard.insert(name.to_string(), Metric::Counter(delta));
+            }
+        }
+    }
+
+    /// Set the named gauge.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut shard = self.shard(name).lock().expect("metrics shard poisoned");
+        shard.insert(name.to_string(), Metric::Gauge(value));
+    }
+
+    /// Record a histogram sample under `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut shard = self.shard(name).lock().expect("metrics shard poisoned");
+        match shard.get_mut(name) {
+            Some(Metric::Histogram(h)) => h.observe(value),
+            Some(slot) => {
+                let mut h = Histogram::new();
+                h.observe(value);
+                *slot = Metric::Histogram(h);
+            }
+            None => {
+                let mut h = Histogram::new();
+                h.observe(value);
+                shard.insert(name.to_string(), Metric::Histogram(h));
+            }
+        }
+    }
+
+    /// Copy out every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let mut out: Vec<(String, MetricSnapshot)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("metrics shard poisoned");
+            for (name, metric) in shard.iter() {
+                let snap = match metric {
+                    Metric::Counter(v) => MetricSnapshot::Counter(*v),
+                    Metric::Gauge(v) => MetricSnapshot::Gauge(*v),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram(h.clone()),
+                };
+                out.push((name.clone(), snap));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Render every metric in Prometheus text exposition format. Histograms
+    /// are rendered as `_count`/`_sum` plus `p50`/`p90`/`p99` quantile
+    /// gauges (summary-style).
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, metric) in self.snapshot() {
+            let flat = sanitize(&name);
+            match metric {
+                MetricSnapshot::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {flat} counter");
+                    let _ = writeln!(out, "{flat} {v}");
+                }
+                MetricSnapshot::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {flat} gauge");
+                    let _ = writeln!(out, "{flat} {v}");
+                }
+                MetricSnapshot::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {flat} summary");
+                    for (label, q) in [("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)] {
+                        let _ =
+                            writeln!(out, "{flat}{{quantile=\"{label}\"}} {}", h.quantile(q));
+                    }
+                    let _ = writeln!(out, "{flat}_sum {}", h.sum());
+                    let _ = writeln!(out, "{flat}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Export every metric as a JSON object keyed by metric name.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = Vec::new();
+        for (name, metric) in self.snapshot() {
+            let value = match metric {
+                MetricSnapshot::Counter(v) => Json::obj(vec![
+                    ("type", Json::Str("counter".into())),
+                    ("value", Json::Num(v as f64)),
+                ]),
+                MetricSnapshot::Gauge(v) => Json::obj(vec![
+                    ("type", Json::Str("gauge".into())),
+                    ("value", Json::Num(v)),
+                ]),
+                MetricSnapshot::Histogram(h) => Json::obj(vec![
+                    ("type", Json::Str("histogram".into())),
+                    ("count", Json::Num(h.count() as f64)),
+                    ("mean", Json::Num(h.mean())),
+                    ("p50", Json::Num(h.quantile(0.50))),
+                    ("p90", Json::Num(h.quantile(0.90))),
+                    ("p99", Json::Num(h.quantile(0.99))),
+                    ("min", Json::Num(h.min())),
+                    ("max", Json::Num(h.max())),
+                ]),
+            };
+            pairs.push((name, value));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; map everything else to `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_track_known_uniform_distribution() {
+        // 1..=10_000 uniformly: p50 ≈ 5000, p90 ≈ 9000, p99 ≈ 9900. The
+        // log-linear layout guarantees ≤ 1/16 relative bucket error.
+        let mut h = Histogram::new();
+        for v in 1..=10_000 {
+            h.observe(v as f64);
+        }
+        for (q, expected) in [(0.50, 5000.0), (0.90, 9000.0), (0.99, 9900.0)] {
+            let got = h.quantile(q);
+            let rel = (got - expected).abs() / expected;
+            assert!(rel < 0.08, "q{q}: got {got}, expected ≈{expected} (rel {rel:.3})");
+        }
+        assert_eq!(h.count(), 10_000);
+        assert!((h.mean() - 5000.5).abs() < 1e-6);
+        // Tail quantiles use midpoint representatives clamped to the
+        // exact observed min/max, so they stay within one sub-bucket.
+        assert!((1.0..1.07).contains(&h.quantile(0.0)));
+        assert!((9300.0..=10_000.0).contains(&h.quantile(1.0)));
+    }
+
+    #[test]
+    fn histogram_handles_sub_second_timings_and_degenerate_input() {
+        let mut h = Histogram::new();
+        for i in 0..1000 {
+            h.observe(1e-6 * (1.0 + i as f64 / 1000.0)); // 1–2 µs spread
+        }
+        let p50 = h.quantile(0.5);
+        assert!((1.4e-6..1.6e-6).contains(&p50), "p50 = {p50}");
+
+        let mut empty = Histogram::new();
+        assert_eq!(empty.quantile(0.5), 0.0);
+        empty.observe(0.0);
+        empty.observe(-3.0);
+        assert_eq!(empty.count(), 2);
+        // Non-positive samples share the underflow bucket; the clamp to
+        // [min, max] caps the representative at the observed max (0.0).
+        assert_eq!(empty.quantile(0.5), 0.0);
+        assert_eq!(empty.min(), -3.0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_stream() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for i in 0..500 {
+            let v = (i as f64 * 7.3) % 100.0 + 0.5;
+            if i % 2 == 0 { a.observe(v) } else { b.observe(v) }
+            all.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.quantile(0.5), all.quantile(0.5));
+        assert_eq!(a.quantile(0.99), all.quantile(0.99));
+    }
+
+    #[test]
+    fn registry_counters_exact_under_concurrency() {
+        use std::sync::Arc;
+        let reg = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        reg.inc_counter("sessions_total", 1);
+                        reg.observe("span.seconds", (t * 1000 + i) as f64 * 1e-6);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("thread");
+        }
+        let snap = reg.snapshot();
+        let counter = snap.iter().find(|(n, _)| n == "sessions_total").expect("counter");
+        match &counter.1 {
+            MetricSnapshot::Counter(v) => assert_eq!(*v, 8000),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let hist = snap.iter().find(|(n, _)| n == "span.seconds").expect("hist");
+        match &hist.1 {
+            MetricSnapshot::Histogram(h) => assert_eq!(h.count(), 8000),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let reg = Registry::new();
+        reg.inc_counter("enroll_total", 3);
+        reg.set_gauge("deadline_budget_seconds", 2.12);
+        reg.observe("stage.ot_round_a", 0.05);
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE enroll_total counter"));
+        assert!(text.contains("enroll_total 3"));
+        assert!(text.contains("# TYPE deadline_budget_seconds gauge"));
+        assert!(text.contains("# TYPE stage_ot_round_a summary"));
+        assert!(text.contains("stage_ot_round_a_count 1"));
+        assert!(text.contains("quantile=\"0.99\""));
+    }
+}

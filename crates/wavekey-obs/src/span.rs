@@ -1,0 +1,297 @@
+//! The [`Obs`] handle: the single object instrumented code touches.
+//!
+//! `Obs` is a cheaply clonable handle that is either *disabled* (the
+//! default — a `None` inside, so every instrumentation call is a branch on
+//! a niche-optimized pointer and nothing else: no clock read, no
+//! allocation, no lock) or *enabled*, in which case spans, events, and
+//! session traces flow to the attached [`Collector`] and into the
+//! process-wide sharded metrics [`Registry`].
+//!
+//! Span timings use [`std::time::Instant`], the monotonic clock.
+
+use crate::collector::Collector;
+use crate::metrics::Registry;
+use crate::trace::SessionTrace;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A completed span: a named duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (static so the disabled path never allocates).
+    pub name: &'static str,
+    /// Wall-clock duration in seconds.
+    pub seconds: f64,
+}
+
+/// A point event carrying one value (count, size, ratio, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: &'static str,
+    /// Associated value.
+    pub value: f64,
+}
+
+struct Inner {
+    collector: Arc<dyn Collector>,
+    registry: Registry,
+}
+
+/// Observability handle passed into instrumented code.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Obs {
+    /// The zero-overhead disabled handle (also what `Default` gives).
+    pub fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// An enabled handle feeding `collector` and a fresh registry.
+    ///
+    /// If the collector reports itself inert ([`Collector::is_enabled`] is
+    /// `false`, as [`crate::NullCollector`]'s does), this returns the
+    /// disabled handle, so "attach a `NullCollector`" is exactly as cheap
+    /// as not attaching anything.
+    pub fn new(collector: Arc<dyn Collector>) -> Obs {
+        if !collector.is_enabled() {
+            return Obs::disabled();
+        }
+        Obs { inner: Some(Arc::new(Inner { collector, registry: Registry::new() })) }
+    }
+
+    /// Convenience: an enabled handle with a [`crate::MemoryCollector`],
+    /// returning both.
+    pub fn with_memory() -> (Obs, Arc<crate::MemoryCollector>) {
+        let collector = Arc::new(crate::MemoryCollector::new());
+        (Obs::new(collector.clone()), collector)
+    }
+
+    /// Whether instrumentation is live.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open an RAII span; the duration is recorded when the guard drops.
+    /// On a disabled handle this does not even read the clock.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard { live: self.inner.as_deref().map(|inner| (inner, name, Instant::now())) }
+    }
+
+    /// Record an already-measured duration as a span (used where code
+    /// already times a stage for protocol-logic reasons, e.g. the
+    /// agreement's logical clocks — avoids double clock reads).
+    pub fn record_duration(&self, name: &'static str, seconds: f64) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.collector.record_span(&SpanRecord { name, seconds });
+            inner.registry.observe(&format!("span.{name}"), seconds);
+        }
+    }
+
+    /// Record a point event with a value; also feeds a histogram of the
+    /// same name.
+    pub fn event(&self, name: &'static str, value: f64) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.collector.record_event(&EventRecord { name, value });
+            inner.registry.observe(name, value);
+        }
+    }
+
+    /// Increment a counter by 1.
+    pub fn inc(&self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increment a counter by `delta`.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.registry.inc_counter(name, delta);
+        }
+    }
+
+    /// Set a gauge.
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.registry.set_gauge(name, value);
+        }
+    }
+
+    /// Record a histogram sample without an associated collector event.
+    pub fn observe(&self, name: &'static str, value: f64) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.registry.observe(name, value);
+        }
+    }
+
+    /// Record a finished session trace: forwards to the collector and
+    /// derives the standard metrics (`sessions_total`/`sessions_success`
+    /// counters, `stage.*` timing histograms, `seed_mismatch_ratio`).
+    pub fn session(&self, trace: &SessionTrace) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.collector.record_session(trace);
+            inner.registry.inc_counter("sessions_total", 1);
+            if trace.is_success() {
+                inner.registry.inc_counter("sessions_success", 1);
+            }
+            for s in &trace.stages {
+                inner.registry.observe(&format!("stage.{}", s.name), s.seconds);
+            }
+            if let Some(ratio) = trace.seed_mismatch_ratio() {
+                inner.registry.observe("seed_mismatch_ratio", ratio);
+            }
+            if let Some(consumed) = trace.deadline_consumed_s {
+                inner.registry.observe("deadline_consumed_seconds", consumed);
+            }
+        }
+    }
+
+    /// Run `f` against the registry, if enabled (snapshotting, exporting).
+    pub fn with_registry<T>(&self, f: impl FnOnce(&Registry) -> T) -> Option<T> {
+        self.inner.as_deref().map(|inner| f(&inner.registry))
+    }
+
+    /// Prometheus text exposition of the registry (empty when disabled).
+    pub fn prometheus_text(&self) -> String {
+        self.with_registry(Registry::prometheus_text).unwrap_or_default()
+    }
+}
+
+/// RAII guard returned by [`Obs::span`]; records the span on drop.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard<'a> {
+    live: Option<(&'a Inner, &'static str, Instant)>,
+}
+
+impl SpanGuard<'_> {
+    /// End the span now, returning the measured seconds (0.0 if disabled).
+    pub fn finish(mut self) -> f64 {
+        self.close()
+    }
+
+    fn close(&mut self) -> f64 {
+        if let Some((inner, name, start)) = self.live.take() {
+            let seconds = start.elapsed().as_secs_f64();
+            inner.collector.record_span(&SpanRecord { name, seconds });
+            inner.registry.observe(&format!("span.{name}"), seconds);
+            seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::NullCollector;
+
+    #[test]
+    fn disabled_handle_is_inert_everywhere() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        {
+            let _g = obs.span("x");
+        }
+        obs.record_duration("x", 1.0);
+        obs.event("e", 2.0);
+        obs.inc("c");
+        obs.gauge("g", 3.0);
+        obs.session(&SessionTrace::new(1));
+        assert_eq!(obs.prometheus_text(), "");
+        assert!(obs.with_registry(|_| ()).is_none());
+    }
+
+    #[test]
+    fn null_collector_collapses_to_disabled() {
+        let obs = Obs::new(Arc::new(NullCollector));
+        assert!(!obs.is_enabled());
+    }
+
+    #[test]
+    fn spans_and_metrics_flow_when_enabled() {
+        let (obs, mem) = Obs::with_memory();
+        assert!(obs.is_enabled());
+        {
+            let _g = obs.span("ot_round_a");
+        }
+        let secs = obs.span("explicit").finish();
+        assert!(secs >= 0.0);
+        obs.record_duration("premeasured", 0.25);
+        obs.event("seed_mismatch_bits", 3.0);
+        obs.inc("enroll_total");
+
+        let spans = mem.spans();
+        let names: Vec<_> = spans.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["ot_round_a", "explicit", "premeasured"]);
+        assert_eq!(spans[2].1, 0.25);
+        assert_eq!(mem.events(), vec![("seed_mismatch_bits".to_string(), 3.0)]);
+
+        let text = obs.prometheus_text();
+        assert!(text.contains("span_premeasured_count 1"));
+        assert!(text.contains("enroll_total 1"));
+    }
+
+    #[test]
+    fn session_updates_derived_metrics() {
+        let (obs, mem) = Obs::with_memory();
+        let mut t = SessionTrace::new(5);
+        t.outcome = "success".into();
+        t.seed_len = 48;
+        t.seed_mismatch_bits = Some(6);
+        t.record_stage(crate::trace::stage::OT_ROUND_A, 0.04);
+        obs.session(&t);
+        assert_eq!(mem.sessions().len(), 1);
+        let text = obs.prometheus_text();
+        assert!(text.contains("sessions_total 1"));
+        assert!(text.contains("sessions_success 1"));
+        assert!(text.contains("stage_ot_round_a_count 1"));
+        assert!(text.contains("seed_mismatch_ratio_count 1"));
+    }
+
+    #[test]
+    fn concurrent_spans_lose_nothing() {
+        let (obs, mem) = Obs::with_memory();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let obs = obs.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let _g = obs.span("hot");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("thread");
+        }
+        assert_eq!(mem.spans().len(), 4000);
+        let count = obs
+            .with_registry(|r| {
+                r.snapshot()
+                    .into_iter()
+                    .find(|(n, _)| n == "span.hot")
+                    .map(|(_, m)| match m {
+                        crate::metrics::MetricSnapshot::Histogram(h) => h.count(),
+                        _ => 0,
+                    })
+                    .unwrap_or(0)
+            })
+            .expect("registry");
+        assert_eq!(count, 4000);
+    }
+}

@@ -28,3 +28,4 @@ run exp_tau 20
 run table3_latency 10
 run exp_lf_pruning
 run exp_ablation
+run obs_report 48

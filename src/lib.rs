@@ -25,6 +25,8 @@
 //! * [`core`] — the WaveKey scheme itself: key-seed generation, the
 //!   OT-based key-agreement protocol, the training harness, and attack
 //!   models.
+//! * [`obs`] — observability: structured spans, metrics with
+//!   Prometheus/JSON exporters, and the per-session flight recorder.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@
 //! ```
 
 pub use wavekey_core as core;
+pub use wavekey_obs as obs;
 pub use wavekey_crypto as crypto;
 pub use wavekey_dsp as dsp;
 pub use wavekey_imu as imu;

@@ -1,0 +1,213 @@
+#!/usr/bin/env bash
+# Offline build/test rig for the WaveKey workspace.
+#
+# The cargo registry is unreachable in this container, so `cargo build`
+# cannot even resolve the (tiny) external dependency set. This rig compiles
+# the workspace crates directly with rustc against faithful stand-ins for
+# the three external crates actually used in source (rand, rayon, serde —
+# see stubs/; parking_lot/crossbeam/bytes are declared but unused), in
+# dependency order, and can run every crate's unit tests plus the root
+# integration tests that don't require proptest.
+#
+# Usage:
+#   tools/offline_rig/build.sh             # build stubs + all crates
+#   tools/offline_rig/build.sh test        # ... + compile & run all tests
+#   tools/offline_rig/build.sh bin NAME... # ... + build bench bins by name
+#   tools/offline_rig/build.sh run NAME [ARGS...]  # build bin and run it
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/../.." && pwd)
+RIG="$ROOT/tools/offline_rig"
+OUT="${RIG_OUT:-$ROOT/target/offline-rig}"
+mkdir -p "$OUT" "$OUT/bin" "$OUT/tests"
+
+EDITION=2021
+# Match cargo's release profile (opt-level 3) so rig-measured benchmarks
+# are comparable to cargo-measured baselines.
+OPT=(-C opt-level=3)
+
+# Rebuild only when any input is newer than the produced artifact.
+stale() { # stale <artifact> <input>...
+    local art=$1; shift
+    [[ ! -e "$art" ]] && return 0
+    local f
+    for f in "$@"; do
+        if [[ -d "$f" ]]; then
+            [[ -n "$(find "$f" -name '*.rs' -newer "$art" -print -quit)" ]] && return 0
+        else
+            [[ "$f" -nt "$art" ]] && return 0
+        fi
+    done
+    return 1
+}
+
+note() { echo "[rig] $*"; }
+
+# ----------------------------------------------------------------- stubs
+build_stubs() {
+    if stale "$OUT/libserde_derive.so" "$RIG/stubs/serde_derive.rs"; then
+        note "stub serde_derive (proc-macro)"
+        rustc --edition $EDITION "${OPT[@]}" --crate-type proc-macro \
+            --crate-name serde_derive "$RIG/stubs/serde_derive.rs" --out-dir "$OUT"
+    fi
+    if stale "$OUT/libserde.rlib" "$RIG/stubs/serde.rs" "$OUT/libserde_derive.so"; then
+        note "stub serde"
+        rustc --edition $EDITION "${OPT[@]}" --crate-type rlib --crate-name serde \
+            "$RIG/stubs/serde.rs" --extern "serde_derive=$OUT/libserde_derive.so" \
+            -L "$OUT" --out-dir "$OUT"
+    fi
+    if stale "$OUT/librand.rlib" "$RIG/stubs/rand.rs"; then
+        note "stub rand (faithful rand 0.8 StdRng)"
+        rustc --edition $EDITION "${OPT[@]}" --crate-type rlib --crate-name rand \
+            "$RIG/stubs/rand.rs" --out-dir "$OUT"
+    fi
+    if stale "$OUT/librayon.rlib" "$RIG/stubs/rayon.rs"; then
+        note "stub rayon (sequential)"
+        rustc --edition $EDITION "${OPT[@]}" --crate-type rlib --crate-name rayon \
+            "$RIG/stubs/rayon.rs" --out-dir "$OUT"
+    fi
+}
+
+# Self-test the rand stub once (ChaCha RFC vector etc).
+selftest_rand() {
+    local bin="$OUT/tests/rand_selftest"
+    if stale "$bin" "$RIG/stubs/rand.rs"; then
+        note "rand stub self-test"
+        rustc --edition $EDITION "${OPT[@]}" --test --crate-name rand_selftest \
+            "$RIG/stubs/rand.rs" -o "$bin"
+        "$bin" -q >/dev/null
+    fi
+}
+
+# ----------------------------------------------------------- workspace libs
+externs() { # externs NAME... -> echoes --extern flags
+    local e
+    for e in "$@"; do echo -n "--extern $e=$OUT/lib$e.rlib "; done
+}
+
+# build_lib <crate_name> <src_dir> [EXTRA_FLAGS -- ] <extern>...
+build_lib() {
+    local name=$1 dir=$2; shift 2
+    local extra=()
+    while [[ $# -gt 0 && "$1" != "--" ]]; do extra+=("$1"); shift; done
+    [[ $# -gt 0 ]] && shift # drop --
+    local art="$OUT/lib${name}.rlib" deps=() e
+    for e in "$@"; do deps+=("$OUT/lib$e.rlib"); done
+    if stale "$art" "$dir/src" "$OUT/librand.rlib" "$OUT/libserde.rlib" "${deps[@]}"; then
+        note "lib $name"
+        # shellcheck disable=SC2046
+        rustc --edition $EDITION "${OPT[@]}" --crate-type rlib --crate-name "$name" \
+            "$dir/src/lib.rs" -L "$OUT" --out-dir "$OUT" "${extra[@]}" $(externs "$@")
+    fi
+}
+
+build_libs() {
+    build_lib wavekey_math  "$ROOT/crates/wavekey-math"  -- serde
+    build_lib wavekey_obs   "$ROOT/crates/wavekey-obs"   --
+    build_lib wavekey_dsp   "$ROOT/crates/wavekey-dsp"   -- serde wavekey_math
+    build_lib wavekey_nn    "$ROOT/crates/wavekey-nn"    -- serde rand
+    build_lib wavekey_imu   "$ROOT/crates/wavekey-imu"   -- serde rand wavekey_math wavekey_dsp wavekey_obs
+    build_lib wavekey_rfid  "$ROOT/crates/wavekey-rfid"  -- serde rand wavekey_math wavekey_dsp wavekey_imu wavekey_obs
+    build_lib wavekey_crypto "$ROOT/crates/wavekey-crypto" --cfg 'feature="parallel"' -- \
+        serde rand rayon wavekey_obs
+    build_lib wavekey_core  "$ROOT/crates/wavekey-core"  -- serde rand \
+        wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_obs
+    # facade
+    local art="$OUT/libwavekey.rlib"
+    if stale "$art" "$ROOT/src" "$OUT/libwavekey_core.rlib"; then
+        note "lib wavekey (facade)"
+        # shellcheck disable=SC2046
+        rustc --edition $EDITION "${OPT[@]}" --crate-type rlib --crate-name wavekey \
+            "$ROOT/src/lib.rs" -L "$OUT" --out-dir "$OUT" \
+            $(externs wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_core wavekey_obs)
+    fi
+    build_lib wavekey_bench "$ROOT/crates/wavekey-bench" -- rand \
+        wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_core wavekey_obs
+}
+
+# ------------------------------------------------------------------- tests
+# run_unit <crate_name> <src_dir> [EXTRA -- ] <extern>...
+run_unit() {
+    local name=$1 dir=$2; shift 2
+    local extra=()
+    while [[ $# -gt 0 && "$1" != "--" ]]; do extra+=("$1"); shift; done
+    [[ $# -gt 0 ]] && shift
+    local bin="$OUT/tests/${name}_unit" deps=() e
+    for e in "$@"; do deps+=("$OUT/lib$e.rlib"); done
+    if stale "$bin" "$dir/src" "$OUT/librand.rlib" "${deps[@]}"; then
+        note "unit tests: $name (compile)"
+        # shellcheck disable=SC2046
+        rustc --edition $EDITION "${OPT[@]}" --test --crate-name "$name" \
+            "$dir/src/lib.rs" -L "$OUT" -o "$bin" "${extra[@]}" $(externs "$@")
+    fi
+    note "unit tests: $name"
+    "$bin" -q
+}
+
+# run_itest <file> <extern>...
+run_itest() {
+    local file=$1; shift
+    local name
+    name=$(basename "$file" .rs)
+    local bin="$OUT/tests/it_${name}"
+    if stale "$bin" "$file" "$OUT/libwavekey.rlib"; then
+        note "integration test: $name (compile)"
+        # shellcheck disable=SC2046
+        rustc --edition $EDITION "${OPT[@]}" --test --crate-name "it_$name" \
+            "$file" -L "$OUT" -o "$bin" $(externs "$@")
+    fi
+    note "integration test: $name"
+    "$bin" -q
+}
+
+run_tests() {
+    selftest_rand
+    run_unit wavekey_math  "$ROOT/crates/wavekey-math"  -- serde
+    run_unit wavekey_obs   "$ROOT/crates/wavekey-obs"   --
+    run_unit wavekey_dsp   "$ROOT/crates/wavekey-dsp"   -- serde wavekey_math
+    run_unit wavekey_nn    "$ROOT/crates/wavekey-nn"    -- serde rand
+    run_unit wavekey_imu   "$ROOT/crates/wavekey-imu"   -- serde rand wavekey_math wavekey_dsp wavekey_obs
+    run_unit wavekey_rfid  "$ROOT/crates/wavekey-rfid"  -- serde rand wavekey_math wavekey_dsp wavekey_imu wavekey_obs
+    run_unit wavekey_crypto "$ROOT/crates/wavekey-crypto" --cfg 'feature="parallel"' -- \
+        serde rand rayon wavekey_obs
+    run_unit wavekey_core  "$ROOT/crates/wavekey-core"  -- serde rand \
+        wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_obs
+    # Root integration tests (proptest-based crate tests are cargo-only).
+    run_itest "$ROOT/tests/protocol_security.rs" wavekey rand
+    run_itest "$ROOT/tests/substrate_interop.rs" wavekey rand
+    run_itest "$ROOT/tests/end_to_end.rs" wavekey rand
+    note "all rig tests passed"
+}
+
+# -------------------------------------------------------------------- bins
+build_bin() {
+    local name=$1
+    local src="$ROOT/crates/wavekey-bench/src/bin/${name}.rs"
+    [[ -f "$src" ]] || { echo "no such bin: $name" >&2; exit 1; }
+    local bin="$OUT/bin/$name"
+    if stale "$bin" "$src" "$OUT/libwavekey_bench.rlib"; then
+        note "bin $name"
+        # shellcheck disable=SC2046
+        rustc --edition $EDITION "${OPT[@]}" --crate-name "$name" "$src" \
+            -L "$OUT" -o "$bin" $(externs rand wavekey_bench \
+            wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_core wavekey_obs)
+    fi
+}
+
+# -------------------------------------------------------------------- main
+cmd="${1:-build}"
+case "$cmd" in
+    build)
+        build_stubs; build_libs ;;
+    test)
+        build_stubs; build_libs; run_tests ;;
+    bin)
+        shift; build_stubs; build_libs
+        for b in "$@"; do build_bin "$b"; done ;;
+    run)
+        shift; b=$1; shift
+        build_stubs; build_libs; build_bin "$b"
+        cd "$ROOT" && CARGO_TARGET_DIR="${CARGO_TARGET_DIR:-$ROOT/target}" "$OUT/bin/$b" "$@" ;;
+    *)
+        echo "usage: build.sh [build|test|bin NAME...|run NAME [ARGS...]]" >&2; exit 2 ;;
+esac

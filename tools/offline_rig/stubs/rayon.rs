@@ -1,0 +1,42 @@
+//! Sequential stand-in for `rayon` (offline rig only).
+//!
+//! Mirrors the bound requirements of the real API surface the workspace
+//! uses (`into_par_iter().map(f).collect()` in `wavekey-crypto::par`), so
+//! code that compiles against this stub also compiles against real rayon.
+//! Execution is sequential; `par_map_range` documents that results are
+//! collected in index order either way, so outputs are identical.
+
+/// The prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    /// Sequential stand-in for rayon's parallel iterator.
+    pub struct ParIter<I>(I);
+    /// A mapped [`ParIter`].
+    pub struct ParMap<I, F>(I, F);
+
+    /// Conversion into a "parallel" iterator.
+    pub trait IntoParallelIterator: Sized + IntoIterator
+    where
+        Self::Item: Send,
+    {
+        /// Convert, keeping rayon's `Send` bounds so real-rayon builds stay
+        /// compatible.
+        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+    impl<T: IntoIterator> IntoParallelIterator for T where T::Item: Send {}
+
+    impl<I: Iterator> ParIter<I> {
+        /// Map with rayon's `Sync + Send` closure bounds.
+        pub fn map<U: Send, F: Fn(I::Item) -> U + Sync + Send>(self, f: F) -> ParMap<I, F> {
+            ParMap(self.0, f)
+        }
+    }
+
+    impl<I: Iterator, U: Send, F: Fn(I::Item) -> U + Sync + Send> ParMap<I, F> {
+        /// Collect in index order (what the workspace relies on).
+        pub fn collect<C: FromIterator<U>>(self) -> C {
+            self.0.map(self.1).collect()
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! No-op `serde` stand-in for the offline rig.
+//!
+//! The workspace imports `serde::{Deserialize, Serialize}` purely for
+//! derives; nothing ever calls a serializer. The derive macros expand to
+//! nothing and the traits are blanket-implemented, with the macro and trait
+//! living under the same names (separate namespaces) exactly like the real
+//! crate's `derive`-feature re-exports.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! No-op `serde_derive` stand-in for the offline rig.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (no serializer is
+//! ever invoked — there is no serde_json in the tree), so empty derive
+//! expansions are sufficient for every call site. `attributes(serde)` is
+//! registered so any future `#[serde(...)]` field attribute still parses.
+
+extern crate proc_macro;
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the `serde` stub's blanket impl covers the trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the `serde` stub's blanket impl covers the trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
