@@ -7,6 +7,11 @@
 # same sources with rustc against faithful dependency stand-ins and runs
 # the same test functions.
 #
+# The concurrency gate runs the `concurrent_sessions` bench (48 sessions
+# interleaved through the SessionManager vs the same 48 run sequentially)
+# and requires bit-identical keys and equal success counts — the sans-IO
+# refactor's single-session-equivalence contract, checked end to end.
+#
 # The overhead gate re-times the Table III hot path (the full MODP-1024
 # agreement, op `agreement_full_modp1024_seed48_key256`) with the
 # instrumentation compiled in (disabled `Obs` handle — the default) and
@@ -30,9 +35,41 @@ else
 fi
 
 if [[ "${1:-}" == "fast" ]]; then
-    echo "== done (fast mode, overhead gate skipped) =="
+    echo "== done (fast mode, concurrency + overhead gates skipped) =="
     exit 0
 fi
+
+echo "== concurrent-session equivalence gate =="
+# The sans-IO refactor's contract: interleaving N sessions through the
+# SessionManager scheduler must be observationally identical to running
+# them one at a time — same success count, bit-identical keys on both
+# parties. The bench prints and records both; the gate parses its JSON.
+CONC_JSON="$ROOT/target/ci-bench-concurrent.json"
+tools/offline_rig/build.sh run concurrent_sessions "$CONC_JSON" >/dev/null
+
+field_of() { # field_of <name> <file>
+    awk -v name="$1" '
+        $0 ~ "\"" name "\":" {
+            if (match($0, /: *[a-z0-9.]+/)) {
+                v = substr($0, RSTART + 1, RLENGTH - 1)
+                gsub(/[ ,]/, "", v)
+                print v
+            }
+        }' "$2"
+}
+
+identical=$(field_of "keys_bit_identical" "$CONC_JSON")
+inter=$(field_of "interleaved_success" "$CONC_JSON")
+seq_s=$(field_of "sequential_success" "$CONC_JSON")
+sessions=$(field_of "sessions" "$CONC_JSON")
+[[ -n "$identical" && -n "$inter" && -n "$seq_s" ]] \
+    || { echo "concurrent bench produced no samples" >&2; exit 1; }
+echo "sessions $sessions: interleaved $inter vs sequential $seq_s, keys_bit_identical=$identical"
+[[ "$identical" == "true" ]] \
+    || { echo "FAIL: interleaved keys diverge from single-session agreement" >&2; exit 1; }
+[[ "$inter" == "$seq_s" ]] \
+    || { echo "FAIL: interleaved success count != sequential success count" >&2; exit 1; }
+echo "OK: interleaved sessions are observationally identical to sequential runs"
 
 echo "== observability overhead gate =="
 BASELINE_FILE="results/BENCH_crypto.json"

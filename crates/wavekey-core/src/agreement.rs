@@ -17,21 +17,26 @@
 //! that locks out remote-video key-recovery attacks (§VI-C-3).
 //!
 //! Timing is modeled logically: real computation times are measured with
-//! [`std::time::Instant`] and advanced along per-party clocks that start
-//! at the end of the two-second gesture window; the channel adds a
-//! configurable latency which the adversary may inflate.
+//! [`std::time::Instant`](std::time::Instant) and advanced along
+//! per-party clocks that start at the end of the two-second gesture
+//! window; the channel adds a configurable latency which the adversary
+//! may inflate.
+//!
+//! The protocol logic itself lives in the sans-IO state machines of
+//! [`crate::proto`] ([`crate::proto::MobileAgreement`],
+//! [`crate::proto::ServerAgreement`]); [`run_agreement`] is the classic
+//! in-process lockstep driver over them
+//! ([`crate::proto::driver::drive_lockstep`]), with outputs bit-identical
+//! to the pre-refactor monolith.
 
-use crate::bits::{deinterleave, hamming_distance, interleave, pack_bits, unpack_bits};
-use crate::channel::{Adversary, AdversaryAction, Direction, MessageKind};
+use crate::bits::{deinterleave, hamming_distance, interleave, pack_bits};
+use crate::channel::{Adversary, MessageKind};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 use wavekey_obs::{stage, Obs};
 use wavekey_crypto::ecc::{Bch, CodeOffset};
-use wavekey_crypto::group::DhGroup;
 use wavekey_crypto::hmac::{hmac_sha256, mac_eq};
-use wavekey_crypto::ot::{OtMessageA, OtMessageB, OtMessageE, OtReceiver, OtSender};
 
 /// Configuration of one key-agreement run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -178,6 +183,12 @@ pub enum AgreementError {
     ConfirmationFailed,
     /// Invalid configuration.
     Config(String),
+    /// A wire frame was malformed, mis-versioned, or arrived in a state
+    /// that does not expect its kind.
+    Wire(String),
+    /// The session manager evicted the session (idle timeout or a peer
+    /// that vanished mid-protocol).
+    Evicted,
 }
 
 impl std::fmt::Display for AgreementError {
@@ -190,6 +201,8 @@ impl std::fmt::Display for AgreementError {
             AgreementError::ReconciliationFailed => write!(f, "key reconciliation failed"),
             AgreementError::ConfirmationFailed => write!(f, "key confirmation failed"),
             AgreementError::Config(msg) => write!(f, "bad agreement config: {msg}"),
+            AgreementError::Wire(msg) => write!(f, "wire error: {msg}"),
+            AgreementError::Evicted => write!(f, "session evicted by manager"),
         }
     }
 }
@@ -197,13 +210,16 @@ impl std::fmt::Display for AgreementError {
 impl std::error::Error for AgreementError {}
 
 /// ECC block length used by the reconciliation (BCH over GF(2⁷)).
-const ECC_BLOCK: usize = 127;
+pub(crate) const ECC_BLOCK: usize = 127;
 /// Nonce length in the challenge (bytes).
-const NONCE_LEN: usize = 16;
+pub(crate) const NONCE_LEN: usize = 16;
 
 /// Runs the full key agreement between two seeds.
 ///
 /// `adversary` intercepts every transmission (see [`crate::channel`]).
+/// The run is a lockstep drive of the [`crate::proto`] state machines;
+/// the established keys, RNG consumption, and failure taxonomy are
+/// bit-identical to the pre-refactor monolithic implementation.
 ///
 /// # Errors
 ///
@@ -217,293 +233,7 @@ pub fn run_agreement(
     rng_server: &mut StdRng,
     adversary: &mut dyn Adversary,
 ) -> Result<AgreementOutcome, AgreementError> {
-    if s_m.is_empty() || s_m.len() != s_r.len() {
-        return Err(AgreementError::BadSeeds);
-    }
-    if config.key_len_bits == 0 {
-        return Err(AgreementError::Config("zero key length".into()));
-    }
-    // The MODP-1024 group is shared process-wide: building a `DhGroup`
-    // precomputes the fixed-base generator table, which the shared
-    // instance amortizes across sessions. The tiny test group is cheap
-    // enough to build per run.
-    let tiny;
-    let group: &DhGroup = if config.use_tiny_group {
-        tiny = DhGroup::tiny_test_group();
-        &tiny
-    } else {
-        DhGroup::modp_1024_shared()
-    };
-    let l_s = s_m.len();
-    let l_b = config.key_len_bits.div_ceil(2 * l_s);
-    let deadline = config.gesture_window + config.tau;
-
-    // Per-party logical clocks, starting when the gesture window closes.
-    let mut mobile_clock = config.gesture_window;
-    let mut server_clock = config.gesture_window;
-    let mut mobile_compute = 0.0f64;
-    let mut server_compute = 0.0f64;
-    // Stage timings reuse the logical-clock measurements below — the
-    // observability layer costs the protocol path no extra clock reads.
-    let mut stages = AgreementStages { deadline_s: deadline, ..AgreementStages::default() };
-
-    // --- Sequence-pair generation + M_A (both directions) ---------------
-    let t = Instant::now();
-    let x_pairs = random_pairs(l_s, l_b, rng_mobile);
-    let (mobile_sender, ma_m) =
-        OtSender::start(group, payload_pairs(&x_pairs), rng_mobile);
-    let ma_prep = t.elapsed().as_secs_f64();
-    mobile_clock += ma_prep;
-    mobile_compute += ma_prep;
-
-    let t = Instant::now();
-    let y_pairs = random_pairs(l_s, l_b, rng_server);
-    let (server_sender, ma_r) =
-        OtSender::start(group, payload_pairs(&y_pairs), rng_server);
-    let d = t.elapsed().as_secs_f64();
-    server_clock += d;
-    server_compute += d;
-    stages.ot_round_a = ma_prep + d;
-
-    // Transmit M_A both ways.
-    let (ma_m_bytes, ma_m_arrival) = transmit(
-        adversary,
-        Direction::MobileToServer,
-        MessageKind::OtA,
-        ma_m.encode(group),
-        mobile_clock,
-        config.channel_delay,
-    )?;
-    let (ma_r_bytes, ma_r_arrival) = transmit(
-        adversary,
-        Direction::ServerToMobile,
-        MessageKind::OtA,
-        ma_r.encode(group),
-        server_clock,
-        config.channel_delay,
-    )?;
-    // §IV-D: the mobile must receive M_{A,R} by 2 + τ.
-    stages.deadline_consumed_s = ma_r_arrival;
-    if ma_r_arrival > deadline {
-        return Err(AgreementError::Timeout(MessageKind::OtA));
-    }
-    mobile_clock = mobile_clock.max(ma_r_arrival);
-    server_clock = server_clock.max(ma_m_arrival);
-
-    let ma_r_parsed = OtMessageA::decode(group, &ma_r_bytes)
-        .map_err(|e| AgreementError::Ot(e.to_string()))?;
-    let ma_m_parsed = OtMessageA::decode(group, &ma_m_bytes)
-        .map_err(|e| AgreementError::Ot(e.to_string()))?;
-
-    // --- M_B (both directions) ------------------------------------------
-    let t = Instant::now();
-    let (mobile_receiver, mb_m) = OtReceiver::respond(group, s_m, &ma_r_parsed, rng_mobile)
-        .map_err(|e| AgreementError::Ot(e.to_string()))?;
-    let mb_prep = t.elapsed().as_secs_f64();
-    mobile_clock += mb_prep;
-    mobile_compute += mb_prep;
-
-    let t = Instant::now();
-    let (server_receiver, mb_r) = OtReceiver::respond(group, s_r, &ma_m_parsed, rng_server)
-        .map_err(|e| AgreementError::Ot(e.to_string()))?;
-    let d = t.elapsed().as_secs_f64();
-    server_clock += d;
-    server_compute += d;
-    stages.ot_round_b = mb_prep + d;
-
-    let (mb_m_bytes, mb_m_arrival) = transmit(
-        adversary,
-        Direction::MobileToServer,
-        MessageKind::OtB,
-        mb_m.encode(group),
-        mobile_clock,
-        config.channel_delay,
-    )?;
-    let (mb_r_bytes, mb_r_arrival) = transmit(
-        adversary,
-        Direction::ServerToMobile,
-        MessageKind::OtB,
-        mb_r.encode(group),
-        server_clock,
-        config.channel_delay,
-    )?;
-    // §IV-D: the server must receive M_{B,M} by 2 + τ.
-    stages.deadline_consumed_s = stages.deadline_consumed_s.max(mb_m_arrival);
-    if mb_m_arrival > deadline {
-        return Err(AgreementError::Timeout(MessageKind::OtB));
-    }
-    server_clock = server_clock.max(mb_m_arrival);
-    mobile_clock = mobile_clock.max(mb_r_arrival);
-
-    let mb_r_parsed = OtMessageB::decode(group, &mb_r_bytes)
-        .map_err(|e| AgreementError::Ot(e.to_string()))?;
-    let mb_m_parsed = OtMessageB::decode(group, &mb_m_bytes)
-        .map_err(|e| AgreementError::Ot(e.to_string()))?;
-
-    // --- M_E (both directions) ------------------------------------------
-    let t = Instant::now();
-    let me_m = mobile_sender
-        .encrypt(group, &mb_r_parsed)
-        .map_err(|e| AgreementError::Ot(e.to_string()))?;
-    let d = t.elapsed().as_secs_f64();
-    mobile_clock += d;
-    mobile_compute += d;
-    stages.ot_round_e = d;
-
-    let t = Instant::now();
-    let me_r = server_sender
-        .encrypt(group, &mb_m_parsed)
-        .map_err(|e| AgreementError::Ot(e.to_string()))?;
-    let d = t.elapsed().as_secs_f64();
-    server_clock += d;
-    server_compute += d;
-    stages.ot_round_e += d;
-
-    let (me_m_bytes, me_m_arrival) = transmit(
-        adversary,
-        Direction::MobileToServer,
-        MessageKind::OtE,
-        me_m.encode(),
-        mobile_clock,
-        config.channel_delay,
-    )?;
-    let (me_r_bytes, me_r_arrival) = transmit(
-        adversary,
-        Direction::ServerToMobile,
-        MessageKind::OtE,
-        me_r.encode(),
-        server_clock,
-        config.channel_delay,
-    )?;
-    mobile_clock = mobile_clock.max(me_r_arrival);
-    server_clock = server_clock.max(me_m_arrival);
-
-    let me_r_parsed =
-        OtMessageE::decode(&me_r_bytes).map_err(|e| AgreementError::Ot(e.to_string()))?;
-    let me_m_parsed =
-        OtMessageE::decode(&me_m_bytes).map_err(|e| AgreementError::Ot(e.to_string()))?;
-
-    // --- Preliminary keys -------------------------------------------------
-    let t = Instant::now();
-    let y_received = mobile_receiver
-        .decrypt(group, &me_r_parsed)
-        .map_err(|e| AgreementError::Ot(e.to_string()))?;
-    // K_M = x₁^{sm₁} ‖ y₁^{sm₁} ‖ … (own pair selected by own seed, plus
-    // the sequence obliviously received — also selected by own seed).
-    let mut k_m: Vec<bool> = Vec::with_capacity(2 * l_s * l_b);
-    for i in 0..l_s {
-        let own = if s_m[i] { &x_pairs[i].1 } else { &x_pairs[i].0 };
-        k_m.extend_from_slice(own);
-        k_m.extend(unpack_bits(&y_received[i], l_b));
-    }
-    let d = t.elapsed().as_secs_f64();
-    mobile_clock += d;
-    mobile_compute += d;
-    stages.prelim_key = d;
-
-    let t = Instant::now();
-    let x_received = server_receiver
-        .decrypt(group, &me_m_parsed)
-        .map_err(|e| AgreementError::Ot(e.to_string()))?;
-    let mut k_r: Vec<bool> = Vec::with_capacity(2 * l_s * l_b);
-    for i in 0..l_s {
-        k_r.extend(unpack_bits(&x_received[i], l_b));
-        let own = if s_r[i] { &y_pairs[i].1 } else { &y_pairs[i].0 };
-        k_r.extend_from_slice(own);
-    }
-    let d = t.elapsed().as_secs_f64();
-    server_clock += d;
-    server_compute += d;
-    stages.prelim_key += d;
-
-    let preliminary_mismatch_bits = hamming_distance(&k_m, &k_r);
-
-    // --- Reconciliation: Challenge = ECC(K_M) ‖ N ------------------------
-    let k_len = 2 * l_s * l_b;
-    let blocks = k_len.div_ceil(ECC_BLOCK);
-    let bch = Bch::new(config.bch_t).map_err(|e| AgreementError::Config(e.to_string()))?;
-    let co = CodeOffset::new(bch);
-
-    let t = Instant::now();
-    let k_m_inter = interleave(&k_m, blocks, ECC_BLOCK);
-    let helper = co.commit(&k_m_inter, rng_mobile);
-    let nonce: [u8; NONCE_LEN] = {
-        let mut n = [0u8; NONCE_LEN];
-        rng_mobile.fill(&mut n);
-        n
-    };
-    let mut challenge = pack_bits(&helper);
-    challenge.extend_from_slice(&nonce);
-    let d = t.elapsed().as_secs_f64();
-    mobile_clock += d;
-    mobile_compute += d;
-    stages.ecc_reconcile = d;
-
-    let (challenge_bytes, challenge_arrival) = transmit(
-        adversary,
-        Direction::MobileToServer,
-        MessageKind::Challenge,
-        challenge,
-        mobile_clock,
-        config.channel_delay,
-    )?;
-    server_clock = server_clock.max(challenge_arrival);
-
-    // Server: split challenge, reconcile, confirm.
-    let helper_bytes_len = (blocks * ECC_BLOCK).div_ceil(8);
-    if challenge_bytes.len() != helper_bytes_len + NONCE_LEN {
-        return Err(AgreementError::ReconciliationFailed);
-    }
-    let t = Instant::now();
-    let helper_rx = unpack_bits(&challenge_bytes[..helper_bytes_len], blocks * ECC_BLOCK);
-    let nonce_rx = &challenge_bytes[helper_bytes_len..];
-    let k_r_inter = interleave(&k_r, blocks, ECC_BLOCK);
-    let Some(recovered_inter) = co.reconcile(&k_r_inter, &helper_rx, blocks * ECC_BLOCK) else {
-        return Err(AgreementError::ReconciliationFailed);
-    };
-    let k_server = deinterleave(&recovered_inter, blocks, ECC_BLOCK, k_len);
-    let server_key = finalize_key(&k_server, config, nonce_rx);
-    let response = hmac_sha256(&server_key, nonce_rx).to_vec();
-    let d = t.elapsed().as_secs_f64();
-    server_clock += d;
-    server_compute += d;
-    stages.ecc_reconcile += d;
-
-    let (response_bytes, response_arrival) = transmit(
-        adversary,
-        Direction::ServerToMobile,
-        MessageKind::Response,
-        response,
-        server_clock,
-        config.channel_delay,
-    )?;
-    mobile_clock = mobile_clock.max(response_arrival);
-
-    // Mobile: verify the confirmation against its own key.
-    let t = Instant::now();
-    let key = finalize_key(&k_m, config, &nonce);
-    let key_bits = crate::bits::unpack_bits(&key, config.key_len_bits);
-    let expected = hmac_sha256(&key, &nonce);
-    let ok = mac_eq(&expected, &response_bytes);
-    let d = t.elapsed().as_secs_f64();
-    mobile_clock += d;
-    mobile_compute += d;
-    stages.hmac_confirm = d;
-    if !ok {
-        return Err(AgreementError::ConfirmationFailed);
-    }
-
-    Ok(AgreementOutcome {
-        key,
-        key_bits,
-        mobile_compute,
-        server_compute,
-        elapsed: mobile_clock.max(server_clock),
-        preliminary_mismatch_bits,
-        ma_prep,
-        mb_prep,
-        stages,
-    })
+    crate::proto::driver::drive_lockstep(s_m, s_r, config, rng_mobile, rng_server, adversary)
 }
 
 /// [`run_agreement`] plus observability: on success the per-stage compute
@@ -624,7 +354,7 @@ pub fn run_agreement_information_layer(
 /// a plain truncation to `l_k` bits (the paper's construction) or, with
 /// privacy amplification enabled, `HKDF(salt = nonce, ikm = K)` over the
 /// *entire* preliminary key.
-fn finalize_key(k: &[bool], config: &AgreementConfig, nonce: &[u8]) -> Vec<u8> {
+pub(crate) fn finalize_key(k: &[bool], config: &AgreementConfig, nonce: &[u8]) -> Vec<u8> {
     if config.privacy_amplification {
         wavekey_crypto::kdf::hkdf(
             nonce,
@@ -638,7 +368,7 @@ fn finalize_key(k: &[bool], config: &AgreementConfig, nonce: &[u8]) -> Vec<u8> {
 }
 
 /// `l_s` pairs of fresh random `l_b`-bit sequences.
-fn random_pairs(l_s: usize, l_b: usize, rng: &mut StdRng) -> Vec<(Vec<bool>, Vec<bool>)> {
+pub(crate) fn random_pairs(l_s: usize, l_b: usize, rng: &mut StdRng) -> Vec<(Vec<bool>, Vec<bool>)> {
     (0..l_s)
         .map(|_| {
             let a: Vec<bool> = (0..l_b).map(|_| rng.gen()).collect();
@@ -649,25 +379,8 @@ fn random_pairs(l_s: usize, l_b: usize, rng: &mut StdRng) -> Vec<(Vec<bool>, Vec
 }
 
 /// Packs bit-sequence pairs into OT payload byte pairs.
-fn payload_pairs(pairs: &[(Vec<bool>, Vec<bool>)]) -> Vec<(Vec<u8>, Vec<u8>)> {
+pub(crate) fn payload_pairs(pairs: &[(Vec<bool>, Vec<bool>)]) -> Vec<(Vec<u8>, Vec<u8>)> {
     pairs.iter().map(|(a, b)| (pack_bits(a), pack_bits(b))).collect()
-}
-
-/// Passes a message through the adversary and the channel; returns the
-/// (possibly modified) payload and its arrival time.
-fn transmit(
-    adversary: &mut dyn Adversary,
-    direction: Direction,
-    kind: MessageKind,
-    mut payload: Vec<u8>,
-    send_time: f64,
-    nominal_delay: f64,
-) -> Result<(Vec<u8>, f64), AgreementError> {
-    let mut extra = 0.0f64;
-    match adversary.intercept(direction, kind, &mut payload, &mut extra) {
-        AdversaryAction::Forward => Ok((payload, send_time + nominal_delay + extra)),
-        AdversaryAction::Drop => Err(AgreementError::Dropped(kind)),
-    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,14 @@
 //! or relay (MitM), delay, or drop every message. The [`Adversary`] trait
 //! is the hook through which the §VI-E security evaluation exercises each
 //! capability.
+//!
+//! Adversaries operate on the wire layer: they intercept whole
+//! [`Frame`]s — header fields (version, kind) and payload alike — rather
+//! than in-memory protocol structs. Byte-offset attacks such as
+//! [`BitFlipMitm`] index into the frame *payload*; header attacks rewrite
+//! the frame fields directly (see [`VersionSpoofer`]).
+
+use crate::proto::frame::Frame;
 
 /// Which way a message is travelling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,10 +39,44 @@ pub enum MessageKind {
     Response,
 }
 
+impl MessageKind {
+    /// Every kind, in protocol order.
+    pub const ALL: [MessageKind; 5] = [
+        MessageKind::OtA,
+        MessageKind::OtB,
+        MessageKind::OtE,
+        MessageKind::Challenge,
+        MessageKind::Response,
+    ];
+
+    /// The one-byte tag this kind is framed with on the wire.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            MessageKind::OtA => 1,
+            MessageKind::OtB => 2,
+            MessageKind::OtE => 3,
+            MessageKind::Challenge => 4,
+            MessageKind::Response => 5,
+        }
+    }
+
+    /// Parses a wire tag back into a kind (`None` for unknown tags).
+    pub fn from_wire(tag: u8) -> Option<MessageKind> {
+        match tag {
+            1 => Some(MessageKind::OtA),
+            2 => Some(MessageKind::OtB),
+            3 => Some(MessageKind::OtE),
+            4 => Some(MessageKind::Challenge),
+            5 => Some(MessageKind::Response),
+            _ => None,
+        }
+    }
+}
+
 /// What the adversary does with an intercepted message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdversaryAction {
-    /// Deliver (possibly after modifying payload / adding delay).
+    /// Deliver (possibly after modifying the frame / adding delay).
     Forward,
     /// Swallow the message; the protocol run fails.
     Drop,
@@ -43,13 +85,13 @@ pub enum AdversaryAction {
 /// A channel-level adversary. The default implementations forward
 /// unmodified; override `intercept` to attack.
 pub trait Adversary {
-    /// Called for every transmission. `payload` and `extra_delay`
-    /// (seconds, added to the nominal channel latency) may be mutated.
+    /// Called for every transmission. `frame` (header and payload) and
+    /// `extra_delay` (seconds, added to the nominal channel latency) may
+    /// be mutated.
     fn intercept(
         &mut self,
         direction: Direction,
-        kind: MessageKind,
-        payload: &mut Vec<u8>,
+        frame: &mut Frame,
         extra_delay: &mut f64,
     ) -> AdversaryAction;
 }
@@ -62,8 +104,7 @@ impl Adversary for PassiveChannel {
     fn intercept(
         &mut self,
         _direction: Direction,
-        _kind: MessageKind,
-        _payload: &mut Vec<u8>,
+        _frame: &mut Frame,
         _extra_delay: &mut f64,
     ) -> AdversaryAction {
         AdversaryAction::Forward
@@ -71,9 +112,12 @@ impl Adversary for PassiveChannel {
 }
 
 /// A passive eavesdropper: records a copy of every message (§V-A).
+///
+/// The transcript stores the fully *encoded* frame bytes — exactly what
+/// a radio sniffer would capture, header included.
 #[derive(Debug, Clone, Default)]
 pub struct Eavesdropper {
-    /// Everything observed on the channel.
+    /// Everything observed on the channel, as encoded frames.
     pub transcript: Vec<(Direction, MessageKind, Vec<u8>)>,
 }
 
@@ -81,17 +125,16 @@ impl Adversary for Eavesdropper {
     fn intercept(
         &mut self,
         direction: Direction,
-        kind: MessageKind,
-        payload: &mut Vec<u8>,
+        frame: &mut Frame,
         _extra_delay: &mut f64,
     ) -> AdversaryAction {
-        self.transcript.push((direction, kind, payload.clone()));
+        self.transcript.push((direction, frame.kind, frame.encode()));
         AdversaryAction::Forward
     }
 }
 
-/// A bit-flipping man-in-the-middle: XORs bytes of every message of the
-/// targeted kind (§V-C).
+/// A bit-flipping man-in-the-middle: XORs payload bytes of every message
+/// of the targeted kind (§V-C).
 ///
 /// A *single* flipped byte corrupts only one OT instance, whose damage
 /// the reconciliation ECC absorbs (the established key is the mobile's
@@ -103,7 +146,8 @@ pub struct BitFlipMitm {
     pub target: MessageKind,
     /// Which direction to corrupt (both if `None`).
     pub direction: Option<Direction>,
-    /// Byte offset of the first flip (wrapped to the payload length).
+    /// Payload byte offset of the first flip (wrapped to the payload
+    /// length).
     pub offset: usize,
     /// Flip every `stride`-th byte starting at `offset`; `None` flips a
     /// single byte.
@@ -113,13 +157,14 @@ pub struct BitFlipMitm {
 }
 
 impl BitFlipMitm {
-    /// Corrupts `target` messages in both directions at byte `offset`.
+    /// Corrupts `target` messages in both directions at payload byte
+    /// `offset`.
     pub fn new(target: MessageKind, offset: usize) -> BitFlipMitm {
         BitFlipMitm { target, direction: None, offset, stride: None, corrupted: 0 }
     }
 
-    /// Corrupts every `stride`-th byte of `target` messages — enough
-    /// damage that reconciliation cannot repair it.
+    /// Corrupts every `stride`-th payload byte of `target` messages —
+    /// enough damage that reconciliation cannot repair it.
     ///
     /// # Panics
     ///
@@ -134,12 +179,12 @@ impl Adversary for BitFlipMitm {
     fn intercept(
         &mut self,
         direction: Direction,
-        kind: MessageKind,
-        payload: &mut Vec<u8>,
+        frame: &mut Frame,
         _extra_delay: &mut f64,
     ) -> AdversaryAction {
         let dir_match = self.direction.map_or(true, |d| d == direction);
-        if kind == self.target && dir_match && !payload.is_empty() {
+        let payload = &mut frame.payload;
+        if frame.kind == self.target && dir_match && !payload.is_empty() {
             match self.stride {
                 None => {
                     let idx = self.offset % payload.len();
@@ -173,18 +218,17 @@ impl Adversary for Delayer {
     fn intercept(
         &mut self,
         _direction: Direction,
-        kind: MessageKind,
-        _payload: &mut Vec<u8>,
+        frame: &mut Frame,
         extra_delay: &mut f64,
     ) -> AdversaryAction {
-        if self.target.map_or(true, |t| t == kind) {
+        if self.target.map_or(true, |t| t == frame.kind) {
             *extra_delay += self.extra;
         }
         AdversaryAction::Forward
     }
 }
 
-/// Drops the n-th message of a given kind (jamming).
+/// Drops every message of a given kind (jamming).
 #[derive(Debug, Clone)]
 pub struct Dropper {
     /// Which message type to drop.
@@ -195,11 +239,10 @@ impl Adversary for Dropper {
     fn intercept(
         &mut self,
         _direction: Direction,
-        kind: MessageKind,
-        _payload: &mut Vec<u8>,
+        frame: &mut Frame,
         _extra_delay: &mut f64,
     ) -> AdversaryAction {
-        if kind == self.target {
+        if frame.kind == self.target {
             AdversaryAction::Drop
         } else {
             AdversaryAction::Forward
@@ -207,68 +250,129 @@ impl Adversary for Dropper {
     }
 }
 
+/// Rewrites the frame header's version byte on targeted messages — a
+/// wire-layer downgrade/confusion attack the codec must reject cleanly.
+#[derive(Debug, Clone)]
+pub struct VersionSpoofer {
+    /// Which message type to re-version.
+    pub target: MessageKind,
+    /// The version byte to stamp on the frame.
+    pub version: u8,
+}
+
+impl Adversary for VersionSpoofer {
+    fn intercept(
+        &mut self,
+        _direction: Direction,
+        frame: &mut Frame,
+        _extra_delay: &mut f64,
+    ) -> AdversaryAction {
+        if frame.kind == self.target {
+            frame.version = self.version;
+        }
+        AdversaryAction::Forward
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn frame(kind: MessageKind, payload: Vec<u8>) -> Frame {
+        Frame::new(kind, payload)
+    }
+
     #[test]
     fn passive_forwards_untouched() {
         let mut ch = PassiveChannel;
-        let mut payload = vec![1, 2, 3];
+        let mut f = frame(MessageKind::OtA, vec![1, 2, 3]);
         let mut delay = 0.0;
-        let action = ch.intercept(
-            Direction::MobileToServer,
-            MessageKind::OtA,
-            &mut payload,
-            &mut delay,
-        );
+        let action = ch.intercept(Direction::MobileToServer, &mut f, &mut delay);
         assert_eq!(action, AdversaryAction::Forward);
-        assert_eq!(payload, vec![1, 2, 3]);
+        assert_eq!(f, frame(MessageKind::OtA, vec![1, 2, 3]));
         assert_eq!(delay, 0.0);
     }
 
     #[test]
-    fn eavesdropper_records_but_forwards() {
+    fn eavesdropper_records_encoded_frames_but_forwards() {
         let mut eve = Eavesdropper::default();
-        let mut payload = vec![9, 9];
+        let mut f = frame(MessageKind::OtE, vec![9, 9]);
+        let encoded = f.encode();
         let mut delay = 0.0;
-        eve.intercept(Direction::ServerToMobile, MessageKind::OtE, &mut payload, &mut delay);
-        assert_eq!(payload, vec![9, 9]);
+        eve.intercept(Direction::ServerToMobile, &mut f, &mut delay);
+        assert_eq!(f.payload, vec![9, 9]);
         assert_eq!(eve.transcript.len(), 1);
-        assert_eq!(eve.transcript[0].2, vec![9, 9]);
+        assert_eq!(eve.transcript[0].0, Direction::ServerToMobile);
+        assert_eq!(eve.transcript[0].1, MessageKind::OtE);
+        assert_eq!(eve.transcript[0].2, encoded);
+        // The recorded bytes are a valid frame capture.
+        assert_eq!(Frame::decode(&eve.transcript[0].2).unwrap().payload, vec![9, 9]);
     }
 
     #[test]
     fn mitm_flips_targeted_kind_only() {
         let mut mitm = BitFlipMitm::new(MessageKind::OtB, 0);
-        let mut payload = vec![0xF0];
         let mut delay = 0.0;
-        mitm.intercept(Direction::MobileToServer, MessageKind::OtA, &mut payload, &mut delay);
-        assert_eq!(payload, vec![0xF0]);
-        mitm.intercept(Direction::MobileToServer, MessageKind::OtB, &mut payload, &mut delay);
-        assert_eq!(payload, vec![0xF1]);
+        let mut f = frame(MessageKind::OtA, vec![0xF0]);
+        mitm.intercept(Direction::MobileToServer, &mut f, &mut delay);
+        assert_eq!(f.payload, vec![0xF0]);
+        let mut f = frame(MessageKind::OtB, vec![0xF0]);
+        mitm.intercept(Direction::MobileToServer, &mut f, &mut delay);
+        assert_eq!(f.payload, vec![0xF1]);
         assert_eq!(mitm.corrupted, 1);
+    }
+
+    #[test]
+    fn mitm_leaves_the_header_intact() {
+        // Payload-offset flips must never land in the frame header: the
+        // attack the tests model is payload corruption, not framing
+        // corruption (VersionSpoofer covers that separately).
+        let mut mitm = BitFlipMitm::pervasive(MessageKind::Challenge, 1);
+        let mut f = frame(MessageKind::Challenge, vec![0u8; 16]);
+        let mut delay = 0.0;
+        mitm.intercept(Direction::MobileToServer, &mut f, &mut delay);
+        assert_eq!(f.version, crate::proto::frame::WIRE_VERSION);
+        assert_eq!(f.kind, MessageKind::Challenge);
+        assert!(f.payload.iter().all(|&b| b == 0x01));
     }
 
     #[test]
     fn delayer_adds_latency() {
         let mut d = Delayer { target: Some(MessageKind::OtA), extra: 0.5 };
-        let mut payload = vec![];
         let mut delay = 0.001;
-        d.intercept(Direction::MobileToServer, MessageKind::OtA, &mut payload, &mut delay);
+        let mut f = frame(MessageKind::OtA, vec![]);
+        d.intercept(Direction::MobileToServer, &mut f, &mut delay);
         assert!((delay - 0.501).abs() < 1e-12);
-        d.intercept(Direction::MobileToServer, MessageKind::OtE, &mut payload, &mut delay);
+        let mut f = frame(MessageKind::OtE, vec![]);
+        d.intercept(Direction::MobileToServer, &mut f, &mut delay);
         assert!((delay - 0.501).abs() < 1e-12);
     }
 
     #[test]
     fn dropper_drops() {
         let mut d = Dropper { target: MessageKind::Challenge };
-        let mut payload = vec![];
+        let mut f = frame(MessageKind::Challenge, vec![]);
         let mut delay = 0.0;
         assert_eq!(
-            d.intercept(Direction::MobileToServer, MessageKind::Challenge, &mut payload, &mut delay),
+            d.intercept(Direction::MobileToServer, &mut f, &mut delay),
             AdversaryAction::Drop
         );
+    }
+
+    #[test]
+    fn version_spoofer_rewrites_targeted_header() {
+        let mut spoof = VersionSpoofer { target: MessageKind::OtA, version: 9 };
+        let mut delay = 0.0;
+        let mut f = frame(MessageKind::OtA, vec![1]);
+        assert_eq!(
+            spoof.intercept(Direction::ServerToMobile, &mut f, &mut delay),
+            AdversaryAction::Forward
+        );
+        assert_eq!(f.version, 9);
+        // Re-encoding the spoofed frame yields bytes the codec rejects.
+        assert!(Frame::decode(&f.encode()).is_err());
+        let mut f = frame(MessageKind::OtB, vec![1]);
+        spoof.intercept(Direction::ServerToMobile, &mut f, &mut delay);
+        assert_eq!(f.version, crate::proto::frame::WIRE_VERSION);
     }
 }

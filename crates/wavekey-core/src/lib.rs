@@ -17,8 +17,11 @@
 //! * [`agreement`] — the bidirectional-OT key agreement of Fig. 4 with
 //!   the `2 + τ` arrival deadline, code-offset reconciliation, and HMAC
 //!   confirmation.
-//! * [`channel`] — the message channel with pluggable adversaries
-//!   (eavesdropper, MitM, delayer, dropper).
+//! * [`proto`] — sans-IO protocol state machines ([`MobileAgreement`],
+//!   [`ServerAgreement`]) over a framed, versioned wire format; the
+//!   [`agreement`] entry points are a lockstep driver over them.
+//! * [`channel`] — the wire-frame channel with pluggable adversaries
+//!   (eavesdropper, MitM, delayer, dropper, version spoofer).
 //! * [`session`] — end-to-end key establishment: gesture → both sensing
 //!   pipelines → seeds → agreement.
 //! * [`service`] — the multi-user backend of the paper's application
@@ -36,6 +39,7 @@ pub mod channel;
 pub mod config;
 pub mod dataset;
 pub mod model;
+pub mod proto;
 pub mod seed;
 pub mod service;
 pub mod session;
@@ -48,9 +52,10 @@ pub use agreement::{
 pub use channel::{Adversary, Direction, MessageKind, PassiveChannel};
 pub use config::WaveKeyConfig;
 pub use model::WaveKeyModels;
+pub use proto::{Frame, FrameError, MobileAgreement, ServerAgreement};
 pub use seed::SeedGenerator;
-pub use service::{AccessService, ServiceTicket};
-pub use session::{Session, SessionConfig, SessionOutcome};
+pub use service::{AccessService, ManagedOutcome, ServiceTicket, SessionManager};
+pub use session::{ConfigGuard, Session, SessionConfig, SessionOutcome};
 
 /// Unified error type of the WaveKey scheme.
 #[derive(Debug, Clone, PartialEq)]

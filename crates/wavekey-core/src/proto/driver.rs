@@ -1,0 +1,163 @@
+//! The in-process lockstep driver: replays the classic synchronous
+//! message exchange over the two sans-IO machines.
+//!
+//! This *is* the implementation of [`crate::agreement::run_agreement`]:
+//! the monolithic exchange it replaced lives on as the delivery schedule
+//! below, with all protocol logic moved into [`MobileAgreement`] /
+//! [`ServerAgreement`]. The schedule is chosen so that the per-party RNG
+//! draw order, clock arithmetic, and error precedence are exactly the
+//! monolith's — single-session outcomes stay bit-identical (see
+//! `tests/differential_agreement.rs` and DESIGN.md §9).
+//!
+//! Concretely, per round the mobile-bound delivery happens first when the
+//! mobile acts first in the monolith (`M_A`: the mobile's `2 + τ` check
+//! and its RNG-consuming response precede the server's) and second when
+//! the server acts first (`M_B`: the server's deadline check precedes
+//! both decodes). The mobile's challenge commit — the only RNG draw after
+//! the OT — is explicitly scheduled *after* the server absorbs `M_E`, via
+//! the [`MobileAgreement::absorb_ot_e`] / `emit_challenge` split.
+
+use super::{Frame, MobileAgreement, ServerAgreement};
+use crate::agreement::{AgreementConfig, AgreementError, AgreementOutcome, AgreementStages};
+use crate::bits::hamming_distance;
+use crate::channel::{Adversary, AdversaryAction, Direction};
+use rand::rngs::StdRng;
+
+/// Runs the full key agreement between two machines in lockstep.
+///
+/// RNGs are threaded through the machines and their end state is copied
+/// back to the caller on *every* path, so callers chaining runs off one
+/// RNG observe the same stream the monolithic implementation produced.
+///
+/// # Errors
+///
+/// See [`AgreementError`]; identical taxonomy and precedence as the
+/// monolith this replaced.
+pub fn drive_lockstep(
+    s_m: &[bool],
+    s_r: &[bool],
+    config: &AgreementConfig,
+    rng_mobile: &mut StdRng,
+    rng_server: &mut StdRng,
+    adversary: &mut dyn Adversary,
+) -> Result<AgreementOutcome, AgreementError> {
+    if s_m.is_empty() || s_m.len() != s_r.len() {
+        return Err(AgreementError::BadSeeds);
+    }
+    if config.key_len_bits == 0 {
+        return Err(AgreementError::Config("zero key length".into()));
+    }
+    let mut mobile = MobileAgreement::new(s_m, config, rng_mobile.clone())?;
+    let mut server = ServerAgreement::new(s_r, config, rng_server.clone())?;
+    let result = exchange(&mut mobile, &mut server, config, adversary);
+    *rng_mobile = mobile.rng().clone();
+    *rng_server = server.rng().clone();
+    result.map(|preliminary_mismatch_bits| combine(&mobile, &server, preliminary_mismatch_bits))
+}
+
+/// The lockstep delivery schedule; returns the preliminary-mismatch
+/// diagnostic on success.
+fn exchange(
+    mobile: &mut MobileAgreement,
+    server: &mut ServerAgreement,
+    config: &AgreementConfig,
+    adversary: &mut dyn Adversary,
+) -> Result<usize, AgreementError> {
+    let delay = config.channel_delay;
+
+    // --- M_A both ways; the mobile's deadline check and response first.
+    let ma_m = mobile.start()?;
+    let ma_r = server.start()?;
+    let (ma_m, ma_m_arrival) =
+        transmit(adversary, Direction::MobileToServer, ma_m, mobile.clock(), delay)?;
+    let (ma_r, ma_r_arrival) =
+        transmit(adversary, Direction::ServerToMobile, ma_r, server.clock(), delay)?;
+    let mb_m = only(mobile.handle(&ma_r, ma_r_arrival)?);
+    let mb_r = only(server.handle(&ma_m, ma_m_arrival)?);
+
+    // --- M_B both ways; the server's deadline check precedes all else.
+    let (mb_m, mb_m_arrival) =
+        transmit(adversary, Direction::MobileToServer, mb_m, mobile.clock(), delay)?;
+    let (mb_r, mb_r_arrival) =
+        transmit(adversary, Direction::ServerToMobile, mb_r, server.clock(), delay)?;
+    let me_r = only(server.handle(&mb_m, mb_m_arrival)?);
+    let me_m = only(mobile.handle(&mb_r, mb_r_arrival)?);
+
+    // --- M_E both ways; both sides assemble preliminary keys, then the
+    // mobile commits (its only post-OT RNG draws).
+    let (me_m, me_m_arrival) =
+        transmit(adversary, Direction::MobileToServer, me_m, mobile.clock(), delay)?;
+    let (me_r, me_r_arrival) =
+        transmit(adversary, Direction::ServerToMobile, me_r, server.clock(), delay)?;
+    mobile.absorb_ot_e(&me_r, me_r_arrival)?;
+    server.handle(&me_m, me_m_arrival)?;
+    let preliminary_mismatch_bits =
+        hamming_distance(mobile.preliminary_key(), server.preliminary_key());
+    let challenge = mobile.emit_challenge()?;
+
+    // --- Challenge / Response.
+    let (challenge, challenge_arrival) =
+        transmit(adversary, Direction::MobileToServer, challenge, mobile.clock(), delay)?;
+    let response = only(server.handle(&challenge, challenge_arrival)?);
+    let (response, response_arrival) =
+        transmit(adversary, Direction::ServerToMobile, response, server.clock(), delay)?;
+    mobile.handle(&response, response_arrival)?;
+
+    Ok(preliminary_mismatch_bits)
+}
+
+/// Assembles the combined outcome from two finished machines.
+pub(crate) fn combine(
+    mobile: &MobileAgreement,
+    server: &ServerAgreement,
+    preliminary_mismatch_bits: usize,
+) -> AgreementOutcome {
+    let m = mobile.stages();
+    let s = server.stages();
+    let stages = AgreementStages {
+        ot_round_a: m.ot_round_a + s.ot_round_a,
+        ot_round_b: m.ot_round_b + s.ot_round_b,
+        ot_round_e: m.ot_round_e + s.ot_round_e,
+        prelim_key: m.prelim_key + s.prelim_key,
+        ecc_reconcile: m.ecc_reconcile + s.ecc_reconcile,
+        hmac_confirm: m.hmac_confirm + s.hmac_confirm,
+        deadline_s: m.deadline_s,
+        deadline_consumed_s: mobile.deadline_consumed().max(server.deadline_consumed()),
+    };
+    AgreementOutcome {
+        key: mobile.key().to_vec(),
+        key_bits: mobile.key_bits().to_vec(),
+        mobile_compute: mobile.compute(),
+        server_compute: server.compute(),
+        elapsed: mobile.clock().max(server.clock()),
+        preliminary_mismatch_bits,
+        ma_prep: mobile.ma_prep(),
+        mb_prep: mobile.mb_prep(),
+        stages,
+    }
+}
+
+/// Passes a frame through the adversary and the channel; returns the
+/// (possibly modified) frame and its arrival time.
+pub(crate) fn transmit(
+    adversary: &mut dyn Adversary,
+    direction: Direction,
+    mut frame: Frame,
+    send_time: f64,
+    nominal_delay: f64,
+) -> Result<(Frame, f64), AgreementError> {
+    // Capture the kind before interception: the error should name the
+    // protocol message attacked, not whatever the adversary left behind.
+    let kind = frame.kind;
+    let mut extra = 0.0f64;
+    match adversary.intercept(direction, &mut frame, &mut extra) {
+        AdversaryAction::Forward => Ok((frame, send_time + nominal_delay + extra)),
+        AdversaryAction::Drop => Err(AgreementError::Dropped(kind)),
+    }
+}
+
+/// Unwraps the single frame a lockstep `handle` call emits.
+fn only(mut frames: Vec<Frame>) -> Frame {
+    debug_assert_eq!(frames.len(), 1, "lockstep handle emits exactly one frame");
+    frames.pop().expect("one frame")
+}

@@ -1,0 +1,339 @@
+//! The mobile device's half of the key agreement, as a sans-IO state
+//! machine.
+//!
+//! Protocol role (Fig. 4): the mobile OT-*sends* its sequence pairs
+//! `x_i` and OT-*receives* the server's `y_i` (selected by its own seed
+//! `S_M`), assembles the preliminary key `K_M`, commits to it with the
+//! code-offset challenge, and verifies the server's HMAC response.
+//!
+//! ```text
+//! Init ──start()──▶ OtRound(0) ──M_A──▶ OtRound(1) ──M_B──▶ OtRound(2)
+//!   ──M_E──▶ Reconcile ──(commit)──▶ Confirm ──Response──▶ Done/Failed
+//! ```
+
+use super::{ot_err, DeadlineBudgets, Frame, PartyCore, State};
+use crate::agreement::{
+    finalize_key, payload_pairs, random_pairs, AgreementConfig, AgreementError,
+    AgreementStages, ECC_BLOCK, NONCE_LEN,
+};
+use crate::bits::{interleave, pack_bits, unpack_bits};
+use crate::channel::MessageKind;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::Instant;
+use wavekey_crypto::ecc::{Bch, CodeOffset};
+use wavekey_crypto::hmac::{hmac_sha256, mac_eq};
+use wavekey_crypto::ot::{OtReceiver, OtSender};
+use wavekey_crypto::rounds;
+
+/// The mobile party's protocol state machine.
+#[derive(Debug)]
+pub struct MobileAgreement {
+    core: PartyCore,
+    seed: Vec<bool>,
+    l_b: usize,
+    x_pairs: Vec<(Vec<bool>, Vec<bool>)>,
+    sender: Option<OtSender>,
+    receiver: Option<OtReceiver>,
+    k_m: Vec<bool>,
+    nonce: [u8; NONCE_LEN],
+    key: Vec<u8>,
+    key_bits: Vec<bool>,
+    ma_prep: f64,
+    mb_prep: f64,
+}
+
+impl MobileAgreement {
+    /// Creates a machine over the mobile's key-seed `S_M` with the
+    /// paper's deadline model (`M_{A,R}` budgeted at `2 + τ`).
+    ///
+    /// # Errors
+    ///
+    /// [`AgreementError::BadSeeds`] for an empty seed,
+    /// [`AgreementError::Config`] for an invalid configuration.
+    pub fn new(
+        seed: &[bool],
+        config: &AgreementConfig,
+        rng: StdRng,
+    ) -> Result<MobileAgreement, AgreementError> {
+        MobileAgreement::with_budgets(seed, config, rng, DeadlineBudgets::mobile_paper(config))
+    }
+
+    /// [`MobileAgreement::new`] with caller-chosen deadline budgets.
+    ///
+    /// # Errors
+    ///
+    /// See [`MobileAgreement::new`].
+    pub fn with_budgets(
+        seed: &[bool],
+        config: &AgreementConfig,
+        rng: StdRng,
+        budgets: DeadlineBudgets,
+    ) -> Result<MobileAgreement, AgreementError> {
+        if seed.is_empty() {
+            return Err(AgreementError::BadSeeds);
+        }
+        let core = PartyCore::new(config, budgets, rng)?;
+        let l_b = config.key_len_bits.div_ceil(2 * seed.len());
+        Ok(MobileAgreement {
+            core,
+            seed: seed.to_vec(),
+            l_b,
+            x_pairs: Vec::new(),
+            sender: None,
+            receiver: None,
+            k_m: Vec::new(),
+            nonce: [0u8; NONCE_LEN],
+            key: Vec::new(),
+            key_bits: Vec::new(),
+            ma_prep: 0.0,
+            mb_prep: 0.0,
+        })
+    }
+
+    /// Generates the sequence pairs and the batched OT first message
+    /// `M_{A,M}`; transitions `Init → OtRound(0)`.
+    ///
+    /// # Errors
+    ///
+    /// [`AgreementError::Wire`] if called in any state but `Init`.
+    pub fn start(&mut self) -> Result<Frame, AgreementError> {
+        if self.core.state != State::Init {
+            return Err(AgreementError::Wire(format!(
+                "start() in state {:?}",
+                self.core.state
+            )));
+        }
+        let t = Instant::now();
+        self.x_pairs = random_pairs(self.seed.len(), self.l_b, &mut self.core.rng);
+        let (sender, ma) = rounds::sender_round_a(
+            self.core.group.get(),
+            payload_pairs(&self.x_pairs),
+            &mut self.core.rng,
+        );
+        let d = self.core.spend(t);
+        self.ma_prep = d;
+        self.core.stages.ot_round_a += d;
+        self.sender = Some(sender);
+        self.core.state = State::OtRound(0);
+        Ok(Frame::new(MessageKind::OtA, ma))
+    }
+
+    /// Advances the machine with one received frame.
+    ///
+    /// `arrival` is the frame's logical arrival time in protocol seconds;
+    /// deadline budgets are enforced against it before any processing.
+    ///
+    /// # Errors
+    ///
+    /// The full [`AgreementError`] taxonomy; any error also moves the
+    /// machine to [`State::Failed`].
+    pub fn handle(
+        &mut self,
+        frame: &Frame,
+        arrival: f64,
+    ) -> Result<Vec<Frame>, AgreementError> {
+        let result = self.dispatch(frame, arrival);
+        if result.is_err() {
+            self.core.state = State::Failed;
+        }
+        result
+    }
+
+    fn dispatch(
+        &mut self,
+        frame: &Frame,
+        arrival: f64,
+    ) -> Result<Vec<Frame>, AgreementError> {
+        match self.core.state {
+            State::OtRound(0) => {
+                self.core.expect(frame, MessageKind::OtA)?;
+                Ok(vec![self.respond_ot_a(frame, arrival)?])
+            }
+            State::OtRound(1) => {
+                self.core.expect(frame, MessageKind::OtB)?;
+                Ok(vec![self.encrypt_ot_e(frame, arrival)?])
+            }
+            State::OtRound(2) => {
+                self.core.expect(frame, MessageKind::OtE)?;
+                self.absorb_ot_e(frame, arrival)?;
+                Ok(vec![self.emit_challenge()?])
+            }
+            State::Confirm => {
+                self.core.expect(frame, MessageKind::Response)?;
+                self.confirm(frame, arrival)?;
+                Ok(vec![])
+            }
+            state => Err(AgreementError::Wire(format!(
+                "mobile cannot accept {:?} in state {state:?}",
+                frame.kind
+            ))),
+        }
+    }
+
+    /// `M_{A,R}` received: answer with the blinded choices `M_{B,M}`.
+    fn respond_ot_a(&mut self, frame: &Frame, arrival: f64) -> Result<Frame, AgreementError> {
+        self.core.arrive(MessageKind::OtA, arrival)?;
+        let t = Instant::now();
+        let (receiver, mb) = rounds::receiver_round_b(
+            self.core.group.get(),
+            &self.seed,
+            &frame.payload,
+            &mut self.core.rng,
+        )
+        .map_err(ot_err)?;
+        let d = self.core.spend(t);
+        self.mb_prep = d;
+        self.core.stages.ot_round_b += d;
+        self.receiver = Some(receiver);
+        self.core.state = State::OtRound(1);
+        Ok(Frame::new(MessageKind::OtB, mb))
+    }
+
+    /// `M_{B,R}` received: encrypt the ciphertext batch `M_{E,M}`.
+    fn encrypt_ot_e(&mut self, frame: &Frame, arrival: f64) -> Result<Frame, AgreementError> {
+        self.core.arrive(MessageKind::OtB, arrival)?;
+        let sender = self.sender.as_ref().expect("sender set in start()");
+        let t = Instant::now();
+        let me = rounds::sender_round_e(sender, self.core.group.get(), &frame.payload)
+            .map_err(ot_err)?;
+        let d = self.core.spend(t);
+        self.core.stages.ot_round_e += d;
+        self.core.state = State::OtRound(2);
+        Ok(Frame::new(MessageKind::OtE, me))
+    }
+
+    /// `M_{E,R}` received: decrypt the obliviously received sequences and
+    /// assemble the preliminary key `K_M`; transitions to `Reconcile`.
+    ///
+    /// Split from [`MobileAgreement::emit_challenge`] so the lockstep
+    /// driver can schedule the (RNG-consuming) commit *after* the
+    /// server's prelim-key assembly, exactly as the monolith did.
+    pub(crate) fn absorb_ot_e(
+        &mut self,
+        frame: &Frame,
+        arrival: f64,
+    ) -> Result<(), AgreementError> {
+        self.core.arrive(MessageKind::OtE, arrival)?;
+        let receiver = self.receiver.as_ref().expect("receiver set in respond_ot_a");
+        let t = Instant::now();
+        let y_received =
+            rounds::receiver_finish(receiver, self.core.group.get(), &frame.payload)
+                .map_err(ot_err)?;
+        // K_M = x₁^{sm₁} ‖ y₁^{sm₁} ‖ … (own pair selected by own seed,
+        // plus the sequence obliviously received — also seed-selected).
+        let mut k_m: Vec<bool> = Vec::with_capacity(2 * self.seed.len() * self.l_b);
+        for i in 0..self.seed.len() {
+            let own = if self.seed[i] { &self.x_pairs[i].1 } else { &self.x_pairs[i].0 };
+            k_m.extend_from_slice(own);
+            k_m.extend(unpack_bits(&y_received[i], self.l_b));
+        }
+        let d = self.core.spend(t);
+        self.core.stages.prelim_key += d;
+        self.k_m = k_m;
+        self.core.state = State::Reconcile;
+        Ok(())
+    }
+
+    /// Commits to `K_M`: builds `Challenge = ECC(K_M) ‖ N` and
+    /// transitions to `Confirm`.
+    pub(crate) fn emit_challenge(&mut self) -> Result<Frame, AgreementError> {
+        debug_assert_eq!(self.core.state, State::Reconcile);
+        let k_len = 2 * self.seed.len() * self.l_b;
+        let blocks = k_len.div_ceil(ECC_BLOCK);
+        let bch = Bch::new(self.core.config.bch_t)
+            .map_err(|e| AgreementError::Config(e.to_string()))?;
+        let co = CodeOffset::new(bch);
+        let t = Instant::now();
+        let k_m_inter = interleave(&self.k_m, blocks, ECC_BLOCK);
+        let helper = co.commit(&k_m_inter, &mut self.core.rng);
+        let nonce: [u8; NONCE_LEN] = {
+            let mut n = [0u8; NONCE_LEN];
+            self.core.rng.fill(&mut n);
+            n
+        };
+        let mut challenge = pack_bits(&helper);
+        challenge.extend_from_slice(&nonce);
+        let d = self.core.spend(t);
+        self.core.stages.ecc_reconcile += d;
+        self.nonce = nonce;
+        self.core.state = State::Confirm;
+        Ok(Frame::new(MessageKind::Challenge, challenge))
+    }
+
+    /// `Response` received: finalize the key and verify the HMAC.
+    fn confirm(&mut self, frame: &Frame, arrival: f64) -> Result<(), AgreementError> {
+        self.core.arrive(MessageKind::Response, arrival)?;
+        let t = Instant::now();
+        let key = finalize_key(&self.k_m, &self.core.config, &self.nonce);
+        let key_bits = unpack_bits(&key, self.core.config.key_len_bits);
+        let expected = hmac_sha256(&key, &self.nonce);
+        let ok = mac_eq(&expected, &frame.payload);
+        let d = self.core.spend(t);
+        self.core.stages.hmac_confirm += d;
+        if !ok {
+            return Err(AgreementError::ConfirmationFailed);
+        }
+        self.key = key;
+        self.key_bits = key_bits;
+        self.core.state = State::Done;
+        Ok(())
+    }
+
+    /// The current protocol state.
+    pub fn state(&self) -> State {
+        self.core.state
+    }
+
+    /// The logical clock (seconds since gesture start).
+    pub fn clock(&self) -> f64 {
+        self.core.clock
+    }
+
+    /// Total compute seconds spent so far.
+    pub fn compute(&self) -> f64 {
+        self.core.compute
+    }
+
+    /// This party's share of the per-stage timings.
+    pub fn stages(&self) -> &AgreementStages {
+        &self.core.stages
+    }
+
+    /// Latest arrival time of any budgeted message.
+    pub fn deadline_consumed(&self) -> f64 {
+        self.core.deadline_consumed
+    }
+
+    /// Preparation time of `M_{A,M}` (the τ study, §VI-C-3).
+    pub fn ma_prep(&self) -> f64 {
+        self.ma_prep
+    }
+
+    /// Preparation time of `M_{B,M}`.
+    pub fn mb_prep(&self) -> f64 {
+        self.mb_prep
+    }
+
+    /// The preliminary key `K_M` (empty before the OT completes).
+    pub fn preliminary_key(&self) -> &[bool] {
+        &self.k_m
+    }
+
+    /// The established key bytes (empty unless [`State::Done`]).
+    pub fn key(&self) -> &[u8] {
+        &self.key
+    }
+
+    /// The established key as bits (empty unless [`State::Done`]).
+    pub fn key_bits(&self) -> &[bool] {
+        &self.key_bits
+    }
+
+    /// The machine's RNG — the lockstep driver copies its end state back
+    /// to the caller so chained runs draw the same stream the monolith
+    /// would have.
+    pub fn rng(&self) -> &StdRng {
+        &self.core.rng
+    }
+}

@@ -1,0 +1,291 @@
+//! The RFID server's half of the key agreement, as a sans-IO state
+//! machine.
+//!
+//! Protocol role (Fig. 4): the server OT-*sends* its sequence pairs
+//! `y_i` and OT-*receives* the mobile's `x_i` (selected by its own seed
+//! `S_R`), assembles the preliminary key `K_R`, snaps it onto `K_M` via
+//! the code-offset challenge, and answers with the HMAC response.
+//!
+//! ```text
+//! Init ──start()──▶ OtRound(0) ──M_A──▶ OtRound(1) ──M_B──▶ OtRound(2)
+//!   ──M_E──▶ Reconcile ──Challenge──▶ Done
+//! ```
+
+use super::{ot_err, DeadlineBudgets, Frame, PartyCore, State};
+use crate::agreement::{
+    finalize_key, payload_pairs, random_pairs, AgreementConfig, AgreementError,
+    AgreementStages, ECC_BLOCK, NONCE_LEN,
+};
+use crate::bits::{deinterleave, interleave, unpack_bits};
+use crate::channel::MessageKind;
+use rand::rngs::StdRng;
+use std::time::Instant;
+use wavekey_crypto::ecc::{Bch, CodeOffset};
+use wavekey_crypto::hmac::hmac_sha256;
+use wavekey_crypto::ot::{OtReceiver, OtSender};
+use wavekey_crypto::rounds;
+
+/// The server party's protocol state machine.
+#[derive(Debug)]
+pub struct ServerAgreement {
+    core: PartyCore,
+    seed: Vec<bool>,
+    l_b: usize,
+    y_pairs: Vec<(Vec<bool>, Vec<bool>)>,
+    sender: Option<OtSender>,
+    receiver: Option<OtReceiver>,
+    k_r: Vec<bool>,
+    key: Vec<u8>,
+}
+
+impl ServerAgreement {
+    /// Creates a machine over the server's key-seed `S_R` with the
+    /// paper's deadline model (`M_{B,M}` budgeted at `2 + τ`).
+    ///
+    /// # Errors
+    ///
+    /// [`AgreementError::BadSeeds`] for an empty seed,
+    /// [`AgreementError::Config`] for an invalid configuration.
+    pub fn new(
+        seed: &[bool],
+        config: &AgreementConfig,
+        rng: StdRng,
+    ) -> Result<ServerAgreement, AgreementError> {
+        ServerAgreement::with_budgets(seed, config, rng, DeadlineBudgets::server_paper(config))
+    }
+
+    /// [`ServerAgreement::new`] with caller-chosen deadline budgets.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServerAgreement::new`].
+    pub fn with_budgets(
+        seed: &[bool],
+        config: &AgreementConfig,
+        rng: StdRng,
+        budgets: DeadlineBudgets,
+    ) -> Result<ServerAgreement, AgreementError> {
+        if seed.is_empty() {
+            return Err(AgreementError::BadSeeds);
+        }
+        let core = PartyCore::new(config, budgets, rng)?;
+        let l_b = config.key_len_bits.div_ceil(2 * seed.len());
+        Ok(ServerAgreement {
+            core,
+            seed: seed.to_vec(),
+            l_b,
+            y_pairs: Vec::new(),
+            sender: None,
+            receiver: None,
+            k_r: Vec::new(),
+            key: Vec::new(),
+        })
+    }
+
+    /// Generates the sequence pairs and the batched OT first message
+    /// `M_{A,R}`; transitions `Init → OtRound(0)`.
+    ///
+    /// # Errors
+    ///
+    /// [`AgreementError::Wire`] if called in any state but `Init`.
+    pub fn start(&mut self) -> Result<Frame, AgreementError> {
+        if self.core.state != State::Init {
+            return Err(AgreementError::Wire(format!(
+                "start() in state {:?}",
+                self.core.state
+            )));
+        }
+        let t = Instant::now();
+        self.y_pairs = random_pairs(self.seed.len(), self.l_b, &mut self.core.rng);
+        let (sender, ma) = rounds::sender_round_a(
+            self.core.group.get(),
+            payload_pairs(&self.y_pairs),
+            &mut self.core.rng,
+        );
+        let d = self.core.spend(t);
+        self.core.stages.ot_round_a += d;
+        self.sender = Some(sender);
+        self.core.state = State::OtRound(0);
+        Ok(Frame::new(MessageKind::OtA, ma))
+    }
+
+    /// Advances the machine with one received frame.
+    ///
+    /// `arrival` is the frame's logical arrival time in protocol seconds;
+    /// deadline budgets are enforced against it before any processing.
+    ///
+    /// # Errors
+    ///
+    /// The full [`AgreementError`] taxonomy; any error also moves the
+    /// machine to [`State::Failed`].
+    pub fn handle(
+        &mut self,
+        frame: &Frame,
+        arrival: f64,
+    ) -> Result<Vec<Frame>, AgreementError> {
+        let result = self.dispatch(frame, arrival);
+        if result.is_err() {
+            self.core.state = State::Failed;
+        }
+        result
+    }
+
+    fn dispatch(
+        &mut self,
+        frame: &Frame,
+        arrival: f64,
+    ) -> Result<Vec<Frame>, AgreementError> {
+        match self.core.state {
+            State::OtRound(0) => {
+                self.core.expect(frame, MessageKind::OtA)?;
+                Ok(vec![self.respond_ot_a(frame, arrival)?])
+            }
+            State::OtRound(1) => {
+                self.core.expect(frame, MessageKind::OtB)?;
+                Ok(vec![self.encrypt_ot_e(frame, arrival)?])
+            }
+            State::OtRound(2) => {
+                self.core.expect(frame, MessageKind::OtE)?;
+                self.absorb_ot_e(frame, arrival)?;
+                Ok(vec![])
+            }
+            State::Reconcile => {
+                self.core.expect(frame, MessageKind::Challenge)?;
+                Ok(vec![self.reconcile(frame, arrival)?])
+            }
+            state => Err(AgreementError::Wire(format!(
+                "server cannot accept {:?} in state {state:?}",
+                frame.kind
+            ))),
+        }
+    }
+
+    /// `M_{A,M}` received: answer with the blinded choices `M_{B,R}`.
+    fn respond_ot_a(&mut self, frame: &Frame, arrival: f64) -> Result<Frame, AgreementError> {
+        self.core.arrive(MessageKind::OtA, arrival)?;
+        let t = Instant::now();
+        let (receiver, mb) = rounds::receiver_round_b(
+            self.core.group.get(),
+            &self.seed,
+            &frame.payload,
+            &mut self.core.rng,
+        )
+        .map_err(ot_err)?;
+        let d = self.core.spend(t);
+        self.core.stages.ot_round_b += d;
+        self.receiver = Some(receiver);
+        self.core.state = State::OtRound(1);
+        Ok(Frame::new(MessageKind::OtB, mb))
+    }
+
+    /// `M_{B,M}` received (the server's `2 + τ` fence): encrypt the
+    /// ciphertext batch `M_{E,R}`.
+    fn encrypt_ot_e(&mut self, frame: &Frame, arrival: f64) -> Result<Frame, AgreementError> {
+        self.core.arrive(MessageKind::OtB, arrival)?;
+        let sender = self.sender.as_ref().expect("sender set in start()");
+        let t = Instant::now();
+        let me = rounds::sender_round_e(sender, self.core.group.get(), &frame.payload)
+            .map_err(ot_err)?;
+        let d = self.core.spend(t);
+        self.core.stages.ot_round_e += d;
+        self.core.state = State::OtRound(2);
+        Ok(Frame::new(MessageKind::OtE, me))
+    }
+
+    /// `M_{E,M}` received: decrypt the obliviously received sequences and
+    /// assemble the preliminary key `K_R`; transitions to `Reconcile`.
+    fn absorb_ot_e(&mut self, frame: &Frame, arrival: f64) -> Result<(), AgreementError> {
+        self.core.arrive(MessageKind::OtE, arrival)?;
+        let receiver = self.receiver.as_ref().expect("receiver set in respond_ot_a");
+        let t = Instant::now();
+        let x_received =
+            rounds::receiver_finish(receiver, self.core.group.get(), &frame.payload)
+                .map_err(ot_err)?;
+        // K_R = x₁^{sr₁} ‖ y₁^{sr₁} ‖ … (the sequence obliviously
+        // received, plus the own pair — both selected by own seed).
+        let mut k_r: Vec<bool> = Vec::with_capacity(2 * self.seed.len() * self.l_b);
+        for i in 0..self.seed.len() {
+            k_r.extend(unpack_bits(&x_received[i], self.l_b));
+            let own = if self.seed[i] { &self.y_pairs[i].1 } else { &self.y_pairs[i].0 };
+            k_r.extend_from_slice(own);
+        }
+        let d = self.core.spend(t);
+        self.core.stages.prelim_key += d;
+        self.k_r = k_r;
+        self.core.state = State::Reconcile;
+        Ok(())
+    }
+
+    /// `Challenge` received: snap `K_R` onto `K_M` with the code-offset
+    /// helper, finalize the key, and answer with the HMAC `Response`.
+    fn reconcile(&mut self, frame: &Frame, arrival: f64) -> Result<Frame, AgreementError> {
+        self.core.arrive(MessageKind::Challenge, arrival)?;
+        let k_len = 2 * self.seed.len() * self.l_b;
+        let blocks = k_len.div_ceil(ECC_BLOCK);
+        let helper_bytes_len = (blocks * ECC_BLOCK).div_ceil(8);
+        if frame.payload.len() != helper_bytes_len + NONCE_LEN {
+            return Err(AgreementError::ReconciliationFailed);
+        }
+        let bch = Bch::new(self.core.config.bch_t)
+            .map_err(|e| AgreementError::Config(e.to_string()))?;
+        let co = CodeOffset::new(bch);
+        let t = Instant::now();
+        let helper_rx = unpack_bits(&frame.payload[..helper_bytes_len], blocks * ECC_BLOCK);
+        let nonce_rx = &frame.payload[helper_bytes_len..];
+        let k_r_inter = interleave(&self.k_r, blocks, ECC_BLOCK);
+        let Some(recovered_inter) = co.reconcile(&k_r_inter, &helper_rx, blocks * ECC_BLOCK)
+        else {
+            return Err(AgreementError::ReconciliationFailed);
+        };
+        let k_server = deinterleave(&recovered_inter, blocks, ECC_BLOCK, k_len);
+        let key = finalize_key(&k_server, &self.core.config, nonce_rx);
+        let response = hmac_sha256(&key, nonce_rx).to_vec();
+        let d = self.core.spend(t);
+        self.core.stages.ecc_reconcile += d;
+        self.key = key;
+        self.core.state = State::Done;
+        Ok(Frame::new(MessageKind::Response, response))
+    }
+
+    /// The current protocol state.
+    pub fn state(&self) -> State {
+        self.core.state
+    }
+
+    /// The logical clock (seconds since gesture start).
+    pub fn clock(&self) -> f64 {
+        self.core.clock
+    }
+
+    /// Total compute seconds spent so far.
+    pub fn compute(&self) -> f64 {
+        self.core.compute
+    }
+
+    /// This party's share of the per-stage timings.
+    pub fn stages(&self) -> &AgreementStages {
+        &self.core.stages
+    }
+
+    /// Latest arrival time of any budgeted message.
+    pub fn deadline_consumed(&self) -> f64 {
+        self.core.deadline_consumed
+    }
+
+    /// The preliminary key `K_R` (empty before the OT completes).
+    pub fn preliminary_key(&self) -> &[bool] {
+        &self.k_r
+    }
+
+    /// The reconciled key bytes (empty unless [`State::Done`]).
+    pub fn key(&self) -> &[u8] {
+        &self.key
+    }
+
+    /// The machine's RNG — the lockstep driver copies its end state back
+    /// to the caller so chained runs draw the same stream the monolith
+    /// would have.
+    pub fn rng(&self) -> &StdRng {
+        &self.core.rng
+    }
+}

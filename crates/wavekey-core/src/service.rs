@@ -9,11 +9,16 @@
 //! everything below it (simulation, training, protocol) is wired up by
 //! [`crate::session::Session`].
 
+use crate::agreement::{AgreementConfig, AgreementError, AgreementOutcome};
+use crate::bits::hamming_distance;
+use crate::channel::{Adversary, AdversaryAction, Direction};
 use crate::model::WaveKeyModels;
+use crate::proto::{driver, Frame, MobileAgreement, ServerAgreement, State};
 use crate::session::{Session, SessionConfig, SessionOutcome};
 use crate::Error;
-use std::collections::HashMap;
-use wavekey_obs::Obs;
+use rand::rngs::StdRng;
+use std::collections::{HashMap, VecDeque};
+use wavekey_obs::{Obs, SessionTrace};
 use wavekey_imu::gesture::VolunteerId;
 use wavekey_rfid::channel::TagModel;
 use wavekey_rfid::environment::Environment;
@@ -197,6 +202,266 @@ impl AccessService {
     }
 }
 
+/// Result of one manager-driven session: the mobile-side view (the
+/// protocol's deliverable) plus the server's reconciled key so callers
+/// can assert both parties hold the same bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManagedOutcome {
+    /// Manager-assigned session id.
+    pub id: u64,
+    /// The combined agreement diagnostics (key, timings, mismatch).
+    pub agreement: AgreementOutcome,
+    /// The key the *server* reconciled to (equal to `agreement.key` on
+    /// every honest run — the HMAC confirmation proves it).
+    pub server_key: Vec<u8>,
+}
+
+/// One in-flight wire message: encoded frame bytes plus logical arrival.
+#[derive(Debug)]
+struct InFlight {
+    to_mobile: bool,
+    bytes: Vec<u8>,
+    arrival: f64,
+}
+
+/// One live machine pair under management.
+#[derive(Debug)]
+struct ManagedSession {
+    id: u64,
+    mobile: MobileAgreement,
+    server: ServerAgreement,
+    channel_delay: f64,
+    in_flight: VecDeque<InFlight>,
+    idle_passes: u32,
+}
+
+impl ManagedSession {
+    /// Passes a machine-produced frame through the adversary and onto the
+    /// wire. A dropped frame simply vanishes — the session will stall and
+    /// be evicted by the idle timeout, as a real endpoint would time out
+    /// a silent peer.
+    fn enqueue(&mut self, adversary: &mut dyn Adversary, direction: Direction, mut frame: Frame) {
+        let send_time = match direction {
+            Direction::MobileToServer => self.mobile.clock(),
+            Direction::ServerToMobile => self.server.clock(),
+        };
+        let mut extra = 0.0f64;
+        match adversary.intercept(direction, &mut frame, &mut extra) {
+            AdversaryAction::Forward => self.in_flight.push_back(InFlight {
+                to_mobile: direction == Direction::ServerToMobile,
+                bytes: frame.encode(),
+                arrival: send_time + self.channel_delay + extra,
+            }),
+            AdversaryAction::Drop => {}
+        }
+    }
+
+    /// Delivers the next in-flight message (or ages the idle counter).
+    /// Returns `Some` when the session completed, successfully or not.
+    fn advance(
+        &mut self,
+        adversary: &mut dyn Adversary,
+        idle_timeout_passes: u32,
+    ) -> Option<Result<ManagedOutcome, AgreementError>> {
+        let Some(msg) = self.in_flight.pop_front() else {
+            self.idle_passes += 1;
+            if self.idle_passes > idle_timeout_passes {
+                return Some(Err(AgreementError::Evicted));
+            }
+            return None;
+        };
+        self.idle_passes = 0;
+        let frame = match Frame::decode(&msg.bytes) {
+            Ok(frame) => frame,
+            Err(e) => return Some(Err(AgreementError::Wire(e.to_string()))),
+        };
+        let (produced, reply_direction) = if msg.to_mobile {
+            (self.mobile.handle(&frame, msg.arrival), Direction::MobileToServer)
+        } else {
+            (self.server.handle(&frame, msg.arrival), Direction::ServerToMobile)
+        };
+        let produced = match produced {
+            Ok(frames) => frames,
+            Err(e) => return Some(Err(e)),
+        };
+        for out in produced {
+            self.enqueue(adversary, reply_direction, out);
+        }
+        if self.mobile.state() == State::Done {
+            let mismatch =
+                hamming_distance(self.mobile.preliminary_key(), self.server.preliminary_key());
+            return Some(Ok(ManagedOutcome {
+                id: self.id,
+                agreement: driver::combine(&self.mobile, &self.server, mismatch),
+                server_key: self.server.key().to_vec(),
+            }));
+        }
+        None
+    }
+}
+
+/// Interleaves many concurrent machine-driven key agreements.
+///
+/// Each spawned session is an independent [`MobileAgreement`] /
+/// [`ServerAgreement`] pair exchanging *encoded* wire frames through a
+/// per-manager adversary hook. [`SessionManager::step`] delivers exactly
+/// one message of one session, cycling round-robin — N gestures being
+/// served at once, as the paper's line-up context demands. Because each
+/// party's RNG stream and logical clock are private to its machine,
+/// interleaving cannot change any session's outcome relative to running
+/// it alone (the `concurrent_sessions` bench and CI gate assert this).
+///
+/// Sessions whose wire goes silent (an adversary swallowed a frame) are
+/// evicted with [`AgreementError::Evicted`] after `idle_timeout_passes`
+/// consecutive empty-queue visits.
+#[derive(Debug)]
+pub struct SessionManager {
+    sessions: Vec<ManagedSession>,
+    completed: Vec<(u64, Result<ManagedOutcome, AgreementError>)>,
+    cursor: usize,
+    next_id: u64,
+    idle_timeout_passes: u32,
+    obs: Obs,
+}
+
+impl SessionManager {
+    /// Creates a manager; `idle_timeout_passes` is how many consecutive
+    /// scheduler visits with an empty wire a session survives before
+    /// eviction.
+    pub fn new(idle_timeout_passes: u32) -> SessionManager {
+        SessionManager {
+            sessions: Vec::new(),
+            completed: Vec::new(),
+            cursor: 0,
+            next_id: 1,
+            idle_timeout_passes,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attaches an observability handle: per-session flight records and
+    /// manager counters land in its collector.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Spawns one session over the given seeds: builds the machine pair,
+    /// emits both `M_A` frames onto the wire, and returns the session id.
+    ///
+    /// # Errors
+    ///
+    /// [`AgreementError::BadSeeds`] / [`AgreementError::Config`] for
+    /// invalid inputs; nothing is spawned in that case.
+    pub fn spawn(
+        &mut self,
+        s_m: &[bool],
+        s_r: &[bool],
+        config: &AgreementConfig,
+        rng_mobile: StdRng,
+        rng_server: StdRng,
+        adversary: &mut dyn Adversary,
+    ) -> Result<u64, AgreementError> {
+        if s_m.is_empty() || s_m.len() != s_r.len() {
+            return Err(AgreementError::BadSeeds);
+        }
+        let mut mobile = MobileAgreement::new(s_m, config, rng_mobile)?;
+        let mut server = ServerAgreement::new(s_r, config, rng_server)?;
+        let ma_m = mobile.start()?;
+        let ma_r = server.start()?;
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut session = ManagedSession {
+            id,
+            mobile,
+            server,
+            channel_delay: config.channel_delay,
+            in_flight: VecDeque::new(),
+            idle_passes: 0,
+        };
+        session.enqueue(adversary, Direction::MobileToServer, ma_m);
+        session.enqueue(adversary, Direction::ServerToMobile, ma_r);
+        self.sessions.push(session);
+        self.obs.inc("manager_sessions_spawned");
+        Ok(id)
+    }
+
+    /// Advances the manager by one scheduling quantum: one message
+    /// delivery (or one idle-age tick) of the session under the
+    /// round-robin cursor. Returns `true` while live sessions remain.
+    pub fn step(&mut self, adversary: &mut dyn Adversary) -> bool {
+        if self.sessions.is_empty() {
+            return false;
+        }
+        if self.cursor >= self.sessions.len() {
+            self.cursor = 0;
+        }
+        match self.sessions[self.cursor].advance(adversary, self.idle_timeout_passes) {
+            Some(result) => {
+                let session = self.sessions.remove(self.cursor);
+                self.finish(session.id, result);
+            }
+            None => self.cursor += 1,
+        }
+        !self.sessions.is_empty()
+    }
+
+    /// Steps until every session has completed; returns the number of
+    /// successes among all completed sessions.
+    pub fn run_to_completion(&mut self, adversary: &mut dyn Adversary) -> usize {
+        while self.step(adversary) {}
+        self.successes()
+    }
+
+    /// Number of sessions still live.
+    pub fn live(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// All completed sessions, in completion order.
+    pub fn outcomes(&self) -> &[(u64, Result<ManagedOutcome, AgreementError>)] {
+        &self.completed
+    }
+
+    /// The result of one completed session.
+    pub fn outcome(&self, id: u64) -> Option<&Result<ManagedOutcome, AgreementError>> {
+        self.completed.iter().find(|(sid, _)| *sid == id).map(|(_, r)| r)
+    }
+
+    /// Number of completed sessions that established a key.
+    pub fn successes(&self) -> usize {
+        self.completed.iter().filter(|(_, r)| r.is_ok()).count()
+    }
+
+    /// Records counters and the per-session flight record, then archives
+    /// the result.
+    fn finish(&mut self, id: u64, result: Result<ManagedOutcome, AgreementError>) {
+        self.obs.inc("manager_sessions_completed");
+        if matches!(result, Err(AgreementError::Evicted)) {
+            self.obs.inc("manager_sessions_evicted");
+        }
+        if self.obs.is_enabled() {
+            let mut trace = SessionTrace::new(id);
+            match &result {
+                Ok(out) => {
+                    trace.outcome = "success".to_string();
+                    for (name, seconds) in out.agreement.stages.timings() {
+                        trace.record_stage(name, seconds);
+                    }
+                    trace.key_bits = out.agreement.key_bits.len();
+                    trace.preliminary_mismatch_bits =
+                        Some(out.agreement.preliminary_mismatch_bits);
+                    trace.elapsed_s = Some(out.agreement.elapsed);
+                    trace.deadline_s = Some(out.agreement.stages.deadline_s);
+                    trace.deadline_consumed_s = Some(out.agreement.stages.deadline_consumed_s);
+                }
+                Err(e) => trace.outcome = crate::session::agreement_outcome_label(e),
+            }
+            self.obs.session(&trace);
+        }
+        self.completed.push((id, result));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,5 +562,158 @@ mod tests {
                 assert!(!svc.verify_request(ticket.epc, b"x", &[0u8; 32]));
             }
         }
+    }
+
+    // ------------------------------------------------------ SessionManager
+
+    use crate::agreement::run_agreement;
+    use crate::channel::{Dropper, MessageKind, PassiveChannel, VersionSpoofer};
+    use rand::{Rng, SeedableRng};
+
+    fn manager_config() -> AgreementConfig {
+        AgreementConfig { use_tiny_group: true, tau: 10.0, bch_t: 5, ..Default::default() }
+    }
+
+    fn seed_pair(base: u64) -> (Vec<bool>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(base);
+        let s_m: Vec<bool> = (0..24).map(|_| rng.gen()).collect();
+        let mut s_r = s_m.clone();
+        // One flipped bit: within BCH correction range, exercises
+        // reconciliation without failing it.
+        s_r[3] = !s_r[3];
+        (s_m, s_r)
+    }
+
+    #[test]
+    fn interleaved_sessions_match_sequential_runs() {
+        let config = manager_config();
+        let n = 6u64;
+        let mut manager = SessionManager::new(4);
+        let mut adversary = PassiveChannel;
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let (s_m, s_r) = seed_pair(100 + i);
+            let id = manager
+                .spawn(
+                    &s_m,
+                    &s_r,
+                    &config,
+                    StdRng::seed_from_u64(9000 + i),
+                    StdRng::seed_from_u64(9900 + i),
+                    &mut adversary,
+                )
+                .expect("spawn");
+            ids.push(id);
+        }
+        assert_eq!(manager.live(), n as usize);
+        let successes = manager.run_to_completion(&mut adversary);
+        assert_eq!(successes, n as usize, "all benign sessions succeed");
+        assert_eq!(manager.live(), 0);
+
+        for (i, id) in ids.iter().enumerate() {
+            let (s_m, s_r) = seed_pair(100 + i as u64);
+            let mut rm = StdRng::seed_from_u64(9000 + i as u64);
+            let mut rr = StdRng::seed_from_u64(9900 + i as u64);
+            let sequential =
+                run_agreement(&s_m, &s_r, &config, &mut rm, &mut rr, &mut PassiveChannel)
+                    .expect("sequential agreement");
+            let managed = manager.outcome(*id).expect("outcome").as_ref().expect("success");
+            assert_eq!(managed.agreement.key, sequential.key, "session {id}");
+            assert_eq!(managed.server_key, sequential.key, "both parties agree");
+            assert_eq!(
+                managed.agreement.preliminary_mismatch_bits,
+                sequential.preliminary_mismatch_bits
+            );
+            assert_eq!(managed.agreement.key_bits, sequential.key_bits);
+        }
+    }
+
+    #[test]
+    fn silent_sessions_are_evicted() {
+        let config = manager_config();
+        let (s_m, s_r) = seed_pair(7);
+        let mut manager = SessionManager::new(3);
+        let mut adversary = Dropper { target: MessageKind::OtE };
+        let id = manager
+            .spawn(
+                &s_m,
+                &s_r,
+                &config,
+                StdRng::seed_from_u64(1),
+                StdRng::seed_from_u64(2),
+                &mut adversary,
+            )
+            .expect("spawn");
+        manager.run_to_completion(&mut adversary);
+        assert!(matches!(manager.outcome(id), Some(Err(AgreementError::Evicted))));
+        assert_eq!(manager.successes(), 0);
+    }
+
+    #[test]
+    fn spoofed_versions_fail_as_wire_errors() {
+        let config = manager_config();
+        let (s_m, s_r) = seed_pair(8);
+        let mut manager = SessionManager::new(3);
+        let mut adversary = VersionSpoofer { target: MessageKind::OtB, version: 0x7f };
+        let id = manager
+            .spawn(
+                &s_m,
+                &s_r,
+                &config,
+                StdRng::seed_from_u64(3),
+                StdRng::seed_from_u64(4),
+                &mut adversary,
+            )
+            .expect("spawn");
+        manager.run_to_completion(&mut adversary);
+        assert!(matches!(manager.outcome(id), Some(Err(AgreementError::Wire(_)))));
+    }
+
+    #[test]
+    fn manager_traces_and_counters_reach_the_collector() {
+        let config = manager_config();
+        let recorder = std::sync::Arc::new(wavekey_obs::FlightRecorder::new(8));
+        let mut manager = SessionManager::new(3);
+        manager.set_obs(Obs::new(recorder.clone()));
+        let mut adversary = PassiveChannel;
+        for i in 0..2 {
+            let (s_m, s_r) = seed_pair(40 + i);
+            manager
+                .spawn(
+                    &s_m,
+                    &s_r,
+                    &config,
+                    StdRng::seed_from_u64(50 + i),
+                    StdRng::seed_from_u64(60 + i),
+                    &mut adversary,
+                )
+                .expect("spawn");
+        }
+        manager.run_to_completion(&mut adversary);
+        assert_eq!(recorder.len(), 2, "one flight record per session");
+        let trace = recorder.latest().expect("trace");
+        assert_eq!(trace.outcome, "success");
+        assert!(trace.key_bits > 0);
+        let text = manager.obs.prometheus_text();
+        assert!(text.contains("manager_sessions_spawned 2"));
+        assert!(text.contains("manager_sessions_completed 2"));
+    }
+
+    #[test]
+    fn manager_rejects_bad_seeds_without_spawning() {
+        let config = manager_config();
+        let mut manager = SessionManager::new(3);
+        let err = manager
+            .spawn(
+                &[],
+                &[],
+                &config,
+                StdRng::seed_from_u64(1),
+                StdRng::seed_from_u64(2),
+                &mut PassiveChannel,
+            )
+            .unwrap_err();
+        assert!(matches!(err, AgreementError::BadSeeds));
+        assert_eq!(manager.live(), 0);
     }
 }

@@ -136,9 +136,18 @@ impl Session {
     }
 
     /// Mutable access to the configuration (e.g. to move the user between
-    /// gestures).
-    pub fn config_mut(&mut self) -> &mut SessionConfig {
-        &mut self.config
+    /// gestures), behind an RAII guard: releasing the guard re-validates
+    /// the configuration and rebuilds the quantizer if `N_b` changed.
+    /// Without the guard, a mid-experiment `N_b` mutation would leave
+    /// this session quantizing with stale bins while a freshly built peer
+    /// uses the new ones — the seeds would silently desynchronize.
+    ///
+    /// # Panics
+    ///
+    /// Dropping the guard panics if the mutated configuration is invalid
+    /// (the same contract as [`Session::new`]).
+    pub fn config_mut(&mut self) -> ConfigGuard<'_> {
+        ConfigGuard { prior_n_b: self.config.wavekey.n_b, session: self }
     }
 
     /// Simulates one fresh gesture and establishes a key over a benign
@@ -489,6 +498,39 @@ impl Session {
     }
 }
 
+/// RAII view returned by [`Session::config_mut`]: dereferences to the
+/// [`SessionConfig`] and, on release, re-validates the configuration and
+/// keeps the session's quantizer in sync with `N_b`.
+#[derive(Debug)]
+pub struct ConfigGuard<'a> {
+    prior_n_b: usize,
+    session: &'a mut Session,
+}
+
+impl std::ops::Deref for ConfigGuard<'_> {
+    type Target = SessionConfig;
+
+    fn deref(&self) -> &SessionConfig {
+        &self.session.config
+    }
+}
+
+impl std::ops::DerefMut for ConfigGuard<'_> {
+    fn deref_mut(&mut self) -> &mut SessionConfig {
+        &mut self.session.config
+    }
+}
+
+impl Drop for ConfigGuard<'_> {
+    fn drop(&mut self) {
+        self.session.config.wavekey.validate().expect("invalid WaveKey config");
+        if self.session.config.wavekey.n_b != self.prior_n_b {
+            self.session.seed_gen =
+                SeedGenerator::new(self.session.config.wavekey.n_b).expect("valid N_b");
+        }
+    }
+}
+
 /// Preliminary key length `2·l_s·l_b` for a seed length and config.
 fn preliminary_len_bits(config: &AgreementConfig, l_s: usize) -> usize {
     if l_s == 0 {
@@ -503,17 +545,25 @@ fn outcome_label(err: &Error) -> String {
     match err {
         Error::Imu(_) => "imu_pipeline_error".to_string(),
         Error::Rfid(_) => "rfid_pipeline_error".to_string(),
-        Error::Agreement(e) => match e {
-            AgreementError::BadSeeds => "bad_seeds".to_string(),
-            AgreementError::Timeout(k) => format!("timeout_{k:?}").to_lowercase(),
-            AgreementError::Dropped(k) => format!("dropped_{k:?}").to_lowercase(),
-            AgreementError::Ot(_) => "ot_error".to_string(),
-            AgreementError::ReconciliationFailed => "reconciliation_failed".to_string(),
-            AgreementError::ConfirmationFailed => "confirmation_failed".to_string(),
-            AgreementError::Config(_) => "bad_config".to_string(),
-        },
+        Error::Agreement(e) => agreement_outcome_label(e),
         Error::Training(_) => "training_error".to_string(),
         Error::Config(_) => "config_error".to_string(),
+    }
+}
+
+/// Short failure label for an [`AgreementError`] (e.g. `"timeout_ota"`),
+/// shared by session traces and the session manager's flight records.
+pub(crate) fn agreement_outcome_label(e: &AgreementError) -> String {
+    match e {
+        AgreementError::BadSeeds => "bad_seeds".to_string(),
+        AgreementError::Timeout(k) => format!("timeout_{k:?}").to_lowercase(),
+        AgreementError::Dropped(k) => format!("dropped_{k:?}").to_lowercase(),
+        AgreementError::Ot(_) => "ot_error".to_string(),
+        AgreementError::ReconciliationFailed => "reconciliation_failed".to_string(),
+        AgreementError::ConfirmationFailed => "confirmation_failed".to_string(),
+        AgreementError::Config(_) => "bad_config".to_string(),
+        AgreementError::Wire(_) => "wire_error".to_string(),
+        AgreementError::Evicted => "evicted".to_string(),
     }
 }
 
@@ -578,6 +628,39 @@ mod tests {
         assert_eq!(session.config().environment_id, 1);
         session.config_mut().environment_id = 3;
         assert_eq!(session.config().environment_id, 3);
+    }
+
+    #[test]
+    fn config_guard_rebuilds_quantizer_on_n_b_change() {
+        let mut session = test_session();
+        let before = session.seed_generator().bits_per_symbol();
+        let (s_m, _) = session.derive_seeds().unwrap();
+        assert_eq!(s_m.len(), 12 * before);
+        session.config_mut().wavekey.n_b = 4;
+        // The quantizer tracked the mutation: seeds derived after the
+        // change use the new bin count on both parties.
+        let after = session.seed_generator().bits_per_symbol();
+        assert_eq!(after, 2);
+        assert_ne!(before, after);
+        let (s_m, s_r) = session.derive_seeds().unwrap();
+        assert_eq!(s_m.len(), 12 * after);
+        assert_eq!(s_r.len(), 12 * after);
+    }
+
+    #[test]
+    fn config_guard_changes_flow_into_the_next_agreement() {
+        let mut session = test_session();
+        session.config_mut().wavekey.tau = 4.5;
+        let seed: Vec<bool> = (0..48).map(|i| i % 3 == 0).collect();
+        let out = session.agree(&seed, &seed, &mut PassiveChannel).unwrap();
+        assert!((out.agreement.stages.deadline_s - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid WaveKey config")]
+    fn config_guard_rejects_invalid_mutation() {
+        let mut session = test_session();
+        session.config_mut().wavekey.n_b = 1;
     }
 
     #[test]

@@ -7,8 +7,92 @@ use wavekey_core::agreement::{run_agreement_information_layer, AgreementConfig};
 use wavekey_core::bits::{
     deinterleave, hamming_distance, interleave, mismatch_rate, pack_bits, unpack_bits,
 };
+use wavekey_core::channel::MessageKind;
+use wavekey_core::proto::frame::{FrameError, HEADER_LEN, MAGIC, WIRE_VERSION};
+use wavekey_core::Frame;
+
+fn any_kind() -> impl Strategy<Value = MessageKind> {
+    proptest::sample::select(MessageKind::ALL.to_vec())
+}
 
 proptest! {
+    #[test]
+    fn frame_encode_decode_roundtrip(
+        kind in any_kind(),
+        payload in proptest::collection::vec(any::<u8>(), 0..2048)
+    ) {
+        let frame = Frame::new(kind, payload);
+        let bytes = frame.encode();
+        prop_assert_eq!(bytes.len(), HEADER_LEN + frame.payload.len());
+        prop_assert_eq!(Frame::peek_kind(&bytes), Some(kind));
+        prop_assert_eq!(Frame::decode(&bytes), Ok(frame));
+    }
+
+    #[test]
+    fn frame_decode_rejects_every_truncation(
+        kind in any_kind(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        cut_frac in 0.0f64..1.0
+    ) {
+        let bytes = Frame::new(kind, payload).encode();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize; // < bytes.len()
+        prop_assert_eq!(Frame::decode(&bytes[..cut]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn frame_decode_rejects_trailing_garbage(
+        kind in any_kind(),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        junk in proptest::collection::vec(any::<u8>(), 1..64)
+    ) {
+        let mut bytes = Frame::new(kind, payload).encode();
+        let declared = bytes.len() - HEADER_LEN;
+        bytes.extend_from_slice(&junk);
+        prop_assert_eq!(
+            Frame::decode(&bytes),
+            Err(FrameError::LengthMismatch {
+                declared,
+                actual: declared + junk.len(),
+            })
+        );
+    }
+
+    #[test]
+    fn frame_decode_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        // Total decoding: any byte string yields Ok or a typed error. A
+        // successful decode must re-encode to the exact input.
+        if let Ok(frame) = Frame::decode(&bytes) {
+            prop_assert_eq!(frame.encode(), bytes);
+        }
+    }
+
+    #[test]
+    fn frame_decode_rejects_foreign_headers(
+        kind in any_kind(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        version in any::<u8>(),
+        magic0 in any::<u8>()
+    ) {
+        let good = Frame::new(kind, payload).encode();
+        // Any non-WIRE_VERSION version byte is refused...
+        let mut reversioned = good.clone();
+        reversioned[2] = version;
+        if version != WIRE_VERSION {
+            prop_assert_eq!(
+                Frame::decode(&reversioned),
+                Err(FrameError::UnknownVersion(version))
+            );
+        }
+        // ...and any non-magic leading byte never decodes.
+        let mut remagicked = good;
+        remagicked[0] = magic0;
+        if magic0 != MAGIC[0] {
+            prop_assert_eq!(Frame::decode(&remagicked), Err(FrameError::BadMagic));
+        }
+    }
+
     #[test]
     fn bits_pack_unpack_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
         let bytes = pack_bits(&bits);

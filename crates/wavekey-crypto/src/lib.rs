@@ -17,6 +17,8 @@
 //!   payload encryption `E(x, k)`.
 //! * [`ot`] — the "simplest OT" of Chou-Orlandi (Fig. 3 of the paper),
 //!   batched as the protocol batches it.
+//! * [`rounds`] — the same OT rounds as byte-level single calls, so a
+//!   sans-IO protocol state machine can advance one round per wire frame.
 //! * [`kdf`] — HKDF (RFC 5869 over our HMAC) for the optional
 //!   privacy-amplification step after reconciliation.
 //! * [`ecc`] — binary BCH codes over GF(2⁷) with Berlekamp-Massey
@@ -31,6 +33,7 @@ pub mod hmac;
 pub mod kdf;
 pub mod ot;
 mod par;
+pub mod rounds;
 pub mod sha256;
 
 pub use bigint::Ubig;

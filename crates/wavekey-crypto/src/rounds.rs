@@ -1,0 +1,152 @@
+//! Byte-level OT rounds: each protocol round as one call that consumes
+//! and produces *serialized* messages.
+//!
+//! The structured API in [`crate::ot`] moves a batch through typed
+//! messages (`OtMessageA/B/E`); a sans-IO protocol state machine instead
+//! holds party state between *wire frames* and needs to advance exactly
+//! one round from the raw payload bytes of the frame it was handed. These
+//! wrappers bundle the decode + round logic so a single round is drivable
+//! from a frame without the caller ever touching the typed messages.
+
+use crate::group::DhGroup;
+use crate::ot::{OtError, OtMessageA, OtMessageB, OtMessageE, OtReceiver, OtSender};
+use rand::rngs::StdRng;
+
+/// Sender round 1: starts a batch over `secrets` and returns the state
+/// plus the encoded `M_A`.
+pub fn sender_round_a(
+    group: &DhGroup,
+    secrets: Vec<(Vec<u8>, Vec<u8>)>,
+    rng: &mut StdRng,
+) -> (OtSender, Vec<u8>) {
+    let (sender, msg_a) = OtSender::start(group, secrets, rng);
+    let bytes = msg_a.encode(group);
+    (sender, bytes)
+}
+
+/// Receiver round 2: parses an encoded `M_A` and answers with the
+/// receiver state plus the encoded blinded-choice `M_B`.
+///
+/// # Errors
+///
+/// [`OtError::Malformed`] when `ma_bytes` does not parse,
+/// [`OtError::BatchMismatch`] when the batch sizes disagree.
+pub fn receiver_round_b(
+    group: &DhGroup,
+    choices: &[bool],
+    ma_bytes: &[u8],
+    rng: &mut StdRng,
+) -> Result<(OtReceiver, Vec<u8>), OtError> {
+    let msg_a = OtMessageA::decode(group, ma_bytes)?;
+    let (receiver, msg_b) = OtReceiver::respond(group, choices, &msg_a, rng)?;
+    Ok((receiver, msg_b.encode(group)))
+}
+
+/// Sender round 3: parses an encoded `M_B` and returns the encoded
+/// ciphertext batch `M_E`.
+///
+/// # Errors
+///
+/// [`OtError::Malformed`] when `mb_bytes` does not parse,
+/// [`OtError::BatchMismatch`] when the batch sizes disagree.
+pub fn sender_round_e(
+    sender: &OtSender,
+    group: &DhGroup,
+    mb_bytes: &[u8],
+) -> Result<Vec<u8>, OtError> {
+    let msg_b = OtMessageB::decode(group, mb_bytes)?;
+    Ok(sender.encrypt(group, &msg_b)?.encode())
+}
+
+/// Receiver finish: parses an encoded `M_E` and decrypts the chosen
+/// secret of every instance.
+///
+/// # Errors
+///
+/// [`OtError::Malformed`] when `me_bytes` does not parse,
+/// [`OtError::BatchMismatch`] when the batch sizes disagree.
+pub fn receiver_finish(
+    receiver: &OtReceiver,
+    group: &DhGroup,
+    me_bytes: &[u8],
+) -> Result<Vec<Vec<u8>>, OtError> {
+    let msg_e = OtMessageE::decode(me_bytes)?;
+    receiver.decrypt(group, &msg_e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn byte_rounds_match_typed_rounds() {
+        let group = DhGroup::tiny_test_group();
+        let secrets = vec![
+            (b"zero-0".to_vec(), b"one--0".to_vec()),
+            (b"zero-1".to_vec(), b"one--1".to_vec()),
+        ];
+        let choices = vec![true, false];
+
+        // Typed path.
+        let mut rng_s = StdRng::seed_from_u64(10);
+        let mut rng_r = StdRng::seed_from_u64(20);
+        let (sender_t, msg_a) = OtSender::start(&group, secrets.clone(), &mut rng_s);
+        let (receiver_t, msg_b) =
+            OtReceiver::respond(&group, &choices, &msg_a, &mut rng_r).unwrap();
+        let msg_e = sender_t.encrypt(&group, &msg_b).unwrap();
+        let typed_out = receiver_t.decrypt(&group, &msg_e).unwrap();
+
+        // Byte path with identical RNG seeds must draw the same exponents
+        // and therefore produce identical wire bytes and plaintexts.
+        let mut rng_s = StdRng::seed_from_u64(10);
+        let mut rng_r = StdRng::seed_from_u64(20);
+        let (sender, ma) = sender_round_a(&group, secrets, &mut rng_s);
+        assert_eq!(ma, msg_a.encode(&group));
+        let (receiver, mb) = receiver_round_b(&group, &choices, &ma, &mut rng_r).unwrap();
+        assert_eq!(mb, msg_b.encode(&group));
+        let me = sender_round_e(&sender, &group, &mb).unwrap();
+        assert_eq!(me, msg_e.encode());
+        let out = receiver_finish(&receiver, &group, &me).unwrap();
+        assert_eq!(out, typed_out);
+        assert_eq!(out[0], b"one--0");
+        assert_eq!(out[1], b"zero-1");
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected_at_every_round() {
+        let group = DhGroup::tiny_test_group();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            receiver_round_b(&group, &[true], &[1, 2, 3], &mut rng).unwrap_err(),
+            OtError::Malformed
+        );
+        let (sender, ma) = sender_round_a(&group, vec![(vec![1], vec![2])], &mut rng);
+        assert_eq!(sender_round_e(&sender, &group, &[9]).unwrap_err(), OtError::Malformed);
+        let (receiver, _) = receiver_round_b(&group, &[true], &ma, &mut rng).unwrap();
+        assert_eq!(
+            receiver_finish(&receiver, &group, &[0, 0]).unwrap_err(),
+            OtError::Malformed
+        );
+    }
+
+    #[test]
+    fn batch_mismatch_is_rejected_at_every_round() {
+        let group = DhGroup::tiny_test_group();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (sender, ma) = sender_round_a(&group, vec![(vec![1], vec![2])], &mut rng);
+        // Two choices against a one-instance M_A.
+        assert_eq!(
+            receiver_round_b(&group, &[true, false], &ma, &mut rng).unwrap_err(),
+            OtError::BatchMismatch
+        );
+        // An M_B with the wrong number of elements.
+        let (_, mb) = receiver_round_b(&group, &[true], &ma, &mut rng).unwrap();
+        let mut doubled = mb.clone();
+        doubled.extend_from_slice(&mb);
+        assert_eq!(
+            sender_round_e(&sender, &group, &doubled).unwrap_err(),
+            OtError::BatchMismatch
+        );
+    }
+}

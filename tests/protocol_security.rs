@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wavekey::core::agreement::{run_agreement, AgreementConfig, AgreementError};
 use wavekey::core::channel::{
-    BitFlipMitm, Delayer, Dropper, Eavesdropper, MessageKind, PassiveChannel,
+    BitFlipMitm, Delayer, Dropper, Eavesdropper, MessageKind, PassiveChannel, VersionSpoofer,
 };
 use wavekey::math::nist::bytes_to_bits;
 
@@ -106,6 +106,64 @@ fn jamming_any_message_aborts() {
         let mut dropper = Dropper { target: kind };
         let err = run_with(&s, &mut dropper).expect_err("dropped message");
         assert_eq!(err, AgreementError::Dropped(kind));
+    }
+}
+
+#[test]
+fn adversary_matrix_every_attack_on_every_message_fails_cleanly() {
+    // The full wire-layer matrix: every active adversary aimed at every
+    // MessageKind must end in a typed AgreementError — never a panic and
+    // never a "success" whose key diverges between the parties.
+    let s = seed(48, 9);
+    let baseline = run_with(&s, &mut PassiveChannel).expect("baseline");
+
+    for kind in MessageKind::ALL {
+        // Payload corruption: caught by OT decoding, reconciliation, or
+        // the HMAC confirmation, depending on which round was hit.
+        let mut mitm = BitFlipMitm::pervasive(kind, 1);
+        let err = run_with(&s, &mut mitm).expect_err("corruption must not yield a key");
+        assert!(
+            matches!(
+                err,
+                AgreementError::Ot(_)
+                    | AgreementError::ReconciliationFailed
+                    | AgreementError::ConfirmationFailed
+            ),
+            "BitFlipMitm x {kind:?} gave {err:?}"
+        );
+
+        // Jamming: the lockstep driver reports exactly which message
+        // vanished.
+        let mut dropper = Dropper { target: kind };
+        let err = run_with(&s, &mut dropper).expect_err("dropped message");
+        assert_eq!(err, AgreementError::Dropped(kind), "Dropper x {kind:?}");
+
+        // Header re-versioning: rejected at the frame layer before any
+        // payload ever reaches the protocol logic.
+        let mut spoofer = VersionSpoofer { target: kind, version: 9 };
+        let err = run_with(&s, &mut spoofer).expect_err("spoofed version");
+        assert!(
+            matches!(err, AgreementError::Wire(_)),
+            "VersionSpoofer x {kind:?} gave {err:?}"
+        );
+
+        // Stalling: only M_A (mobile fence) and M_B (server fence) carry
+        // the paper's `2 + τ` deadline; delaying anything else costs time
+        // but must not change the key.
+        let cfg = AgreementConfig { use_tiny_group: true, tau: 0.2, ..Default::default() };
+        let mut rm = StdRng::seed_from_u64(1);
+        let mut rs = StdRng::seed_from_u64(2);
+        let mut relay = Delayer { target: Some(kind), extra: 0.5 };
+        let result = run_agreement(&s, &s, &cfg, &mut rm, &mut rs, &mut relay);
+        match kind {
+            MessageKind::OtA | MessageKind::OtB => {
+                assert_eq!(result.unwrap_err(), AgreementError::Timeout(kind));
+            }
+            _ => {
+                let out = result.expect("unbudgeted delay is tolerated");
+                assert_eq!(out.key, baseline.key, "Delayer x {kind:?} changed the key");
+            }
+        }
     }
 }
 

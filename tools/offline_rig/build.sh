@@ -174,6 +174,7 @@ run_tests() {
         wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_obs
     # Root integration tests (proptest-based crate tests are cargo-only).
     run_itest "$ROOT/tests/protocol_security.rs" wavekey rand
+    run_itest "$ROOT/tests/differential_agreement.rs" wavekey rand
     run_itest "$ROOT/tests/substrate_interop.rs" wavekey rand
     run_itest "$ROOT/tests/end_to_end.rs" wavekey rand
     note "all rig tests passed"
