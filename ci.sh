@@ -48,12 +48,15 @@ CONC_JSON="$ROOT/target/ci-bench-concurrent.json"
 tools/offline_rig/build.sh run concurrent_sessions "$CONC_JSON" >/dev/null
 
 field_of() { # field_of <name> <file>
+    # Anchor the value match on the field name itself so lines carrying
+    # several "name": value pairs resolve to the requested one.
     awk -v name="$1" '
-        $0 ~ "\"" name "\":" {
-            if (match($0, /: *[a-z0-9.]+/)) {
-                v = substr($0, RSTART + 1, RLENGTH - 1)
-                gsub(/[ ,]/, "", v)
+        {
+            if (match($0, "\"" name "\": *[a-z0-9.]+")) {
+                v = substr($0, RSTART, RLENGTH)
+                sub(/^"[^"]*": */, "", v)
                 print v
+                exit
             }
         }' "$2"
 }
@@ -124,5 +127,60 @@ awk -v base="$baseline" -v cur="$current" \
         exit 1
     }
     print "OK: disabled-collector overhead within tolerance"
+}'
+
+echo "== neural training-speed gate =="
+# The im2col/GEMM lowering must stay decisively faster than the pinned
+# naive reference loops while producing bit-identical training losses and
+# serialized model bytes. The bench re-trains the autoencoder stack under
+# both backends; the gate requires the recorded speedup to stay above
+# WAVEKEY_NN_SPEEDUP_MIN (default 2.5x — below the ~3.3x measured at
+# recording time, leaving headroom for machine noise).
+NN_JSON="$ROOT/target/ci-bench-nn.json"
+NN_MIN="${WAVEKEY_NN_SPEEDUP_MIN:-2.5}"
+tools/offline_rig/build.sh run bench_nn_json "$NN_JSON" >/dev/null
+
+nn_identical=$(field_of "loss_bit_identical" "$NN_JSON")
+nn_speedup=$(field_of "train_speedup" "$NN_JSON")
+[[ -n "$nn_identical" && -n "$nn_speedup" ]] \
+    || { echo "nn bench produced no samples" >&2; exit 1; }
+echo "train_autoencoders speedup ${nn_speedup}x (min ${NN_MIN}x), loss_bit_identical=$nn_identical"
+[[ "$nn_identical" == "true" ]] \
+    || { echo "FAIL: GEMM training losses diverge from the naive reference" >&2; exit 1; }
+awk -v s="$nn_speedup" -v min="$NN_MIN" 'BEGIN {
+    if (s + 0 < min + 0) {
+        print "FAIL: GEMM training speedup below the regression floor"
+        exit 1
+    }
+    print "OK: GEMM backend holds its training-speed advantage"
+}'
+
+echo "== session throughput gate =="
+# The work-stealing parallel drive must (a) reproduce the sequential
+# scheduler's outcomes bit for bit and (b) not regress throughput: the
+# best parallel width must reach at least WAVEKEY_THROUGHPUT_TOL x the
+# sequential sessions/sec (default 0.9 — on multi-core machines the
+# expectation is >1; the tolerance only absorbs single-core timing noise).
+THR_JSON="$ROOT/target/ci-bench-throughput.json"
+THR_TOL="${WAVEKEY_THROUGHPUT_TOL:-0.9}"
+tools/offline_rig/build.sh run concurrent_sessions throughput "$THR_JSON" >/dev/null
+
+thr_identical=$(field_of "keys_bit_identical" "$THR_JSON")
+thr_success=$(field_of "successes_equal" "$THR_JSON")
+thr_seq=$(field_of "sequential_sessions_per_sec" "$THR_JSON")
+thr_par=$(field_of "best_parallel_sessions_per_sec" "$THR_JSON")
+[[ -n "$thr_identical" && -n "$thr_success" && -n "$thr_seq" && -n "$thr_par" ]] \
+    || { echo "throughput bench produced no samples" >&2; exit 1; }
+echo "sequential ${thr_seq}/s vs best parallel ${thr_par}/s, keys_bit_identical=$thr_identical"
+[[ "$thr_identical" == "true" ]] \
+    || { echo "FAIL: parallel drive keys diverge from the sequential scheduler" >&2; exit 1; }
+[[ "$thr_success" == "true" ]] \
+    || { echo "FAIL: parallel drive success count != sequential" >&2; exit 1; }
+awk -v par="$thr_par" -v seq="$thr_seq" -v tol="$THR_TOL" 'BEGIN {
+    if (par + 0 < seq * tol) {
+        print "FAIL: parallel session throughput regressed below tolerance"
+        exit 1
+    }
+    print "OK: parallel drive matches sequential outcomes at full throughput"
 }'
 echo "== done =="

@@ -1,0 +1,190 @@
+//! Machine-readable NN kernel benchmarks: times forward+backward on every
+//! layer shape the WaveKey models actually use, under both the blocked
+//! im2col/GEMM kernels and the pinned naive reference loops, then runs a
+//! reduced-epoch `train` on production-shaped batches with each backend and
+//! writes `results/BENCH_nn.json` so ci.sh can gate the training speedup.
+//!
+//! ```text
+//! cargo run --release -p wavekey-bench --bin bench_nn_json [out_path]
+//! ```
+//!
+//! The JSON schema is a flat list. Layer records are
+//! `{ "op": str, "reference_ns": float, "gemm_ns": float, "speedup": float }`;
+//! the final record is the training comparison with `reference_s`/`gemm_s`/
+//! `train_speedup` plus `loss_bit_identical`, which must be `true`: the GEMM
+//! lowering preserves accumulation order, so the two backends produce
+//! bit-identical loss curves and models.
+
+use std::time::Instant;
+use wavekey_core::dataset::{generate, DatasetConfig};
+use wavekey_core::model::WaveKeyModels;
+use wavekey_core::training::{train, TrainingConfig};
+use wavekey_imu::sensors::DeviceModel;
+use wavekey_nn::layer::{Conv1d, ConvTranspose1d, Dense, Layer};
+use wavekey_nn::tensor::Tensor;
+use wavekey_nn::{set_kernel_backend, KernelBackend};
+
+/// Minimum total measurement time per op (seconds); `WAVEKEY_BENCH_WINDOW`
+/// overrides it.
+fn min_window() -> f64 {
+    std::env::var("WAVEKEY_BENCH_WINDOW")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2)
+}
+/// Iteration cap for very slow ops.
+const MAX_ITERS: usize = 4_096;
+
+/// Times `f` adaptively: doubles the iteration count until the run exceeds
+/// [`min_window`], then reports the mean in nanoseconds.
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    let min_window = min_window();
+    f(); // warm-up
+    let mut iters = 1usize;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_window || iters >= MAX_ITERS {
+            return elapsed * 1e9 / iters as f64;
+        }
+        iters = (iters * 2).min(MAX_ITERS);
+    }
+}
+
+struct LayerRecord {
+    op: &'static str,
+    reference_ns: f64,
+    gemm_ns: f64,
+}
+
+/// A deterministic pseudo-random input tensor (no RNG needed: layer seeds
+/// already vary the weights; the timing does not depend on values).
+fn input(shape: Vec<usize>) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|i| ((i * 2_654_435_761) % 1_000) as f32 / 500.0 - 1.0).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Times one forward+backward pass of `layer` on `x` under each backend.
+fn bench_layer(op: &'static str, mut layer: impl Layer, x: Tensor) -> LayerRecord {
+    let mut run = |backend| {
+        set_kernel_backend(backend);
+        time_ns(|| {
+            let out = layer.forward(&x, true);
+            let grad = layer.backward(&out);
+            std::hint::black_box(grad);
+            layer.zero_grad();
+        })
+    };
+    let gemm_ns = run(KernelBackend::Gemm);
+    let reference_ns = run(KernelBackend::Reference);
+    set_kernel_backend(KernelBackend::Gemm);
+    println!(
+        "{:<34} ref {:>12.0} ns  gemm {:>12.0} ns  speedup {:>5.2}x",
+        op,
+        reference_ns,
+        gemm_ns,
+        reference_ns / gemm_ns
+    );
+    LayerRecord { op, reference_ns, gemm_ns }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_nn.json".into());
+
+    // Every conv/dense shape from model.rs (batch 32, the training batch).
+    println!("== layer forward+backward (batch 32, production shapes) ==");
+    let layers = vec![
+        bench_layer(
+            "imu_conv1_3x8k7s2_l200",
+            Conv1d::with_stride(3, 8, 7, 2, 0, 11),
+            input(vec![32, 3, 200]),
+        ),
+        bench_layer(
+            "imu_conv2_8x16k5s2_l97",
+            Conv1d::with_stride(8, 16, 5, 2, 0, 12),
+            input(vec![32, 8, 97]),
+        ),
+        bench_layer(
+            "rf_conv1_3x8k9s4_l400",
+            Conv1d::with_stride(3, 8, 9, 4, 0, 13),
+            input(vec![32, 3, 400]),
+        ),
+        bench_layer("enc_dense_752x12", Dense::new(752, 12, 14), input(vec![32, 752])),
+        bench_layer(
+            "de_deconv1_12x16k8s4_l1",
+            ConvTranspose1d::new(12, 16, 8, 4, 15),
+            input(vec![32, 12, 1]),
+        ),
+        bench_layer(
+            "de_deconv2_8x4k12s3_l32",
+            ConvTranspose1d::new(8, 4, 12, 3, 16),
+            input(vec![32, 8, 32]),
+        ),
+        bench_layer("de_dense_420x400", Dense::new(420, 400, 17), input(vec![32, 420])),
+    ];
+
+    // Training comparison: production layer shapes and batch size (l_f 12,
+    // batch 32), a reduced dataset/epoch count so the run stays in bench
+    // territory. Both backends see the identical dataset and seed.
+    println!("\n== train (l_f 12, batch 32, 128 samples, 3 epochs) ==");
+    let dataset_config = DatasetConfig {
+        volunteers: 2,
+        devices: vec![DeviceModel::GalaxyWatch],
+        gestures_per_combo: 4,
+        windows_per_gesture: 16,
+        active_duration: 6.0,
+        dynamic_fraction: 0.5,
+        seed: 0x0da7a,
+    };
+    let dataset = generate(&dataset_config);
+    let config = TrainingConfig { epochs: 3, ..Default::default() };
+    let seed = 0x5eed;
+
+    let run_train = |backend| {
+        set_kernel_backend(backend);
+        let mut models = WaveKeyModels::new(config.l_f, seed);
+        let start = Instant::now();
+        let report = train(&mut models, &dataset, &config, seed).expect("train");
+        (start.elapsed().as_secs_f64(), report.epoch_losses, models.encode())
+    };
+    let (gemm_s, gemm_losses, gemm_model) = run_train(KernelBackend::Gemm);
+    let (reference_s, reference_losses, reference_model) = run_train(KernelBackend::Reference);
+    set_kernel_backend(KernelBackend::Gemm);
+
+    let loss_bit_identical =
+        gemm_losses == reference_losses && gemm_model == reference_model;
+    let train_speedup = reference_s / gemm_s;
+    println!(
+        "train_autoencoders  ref {reference_s:.3} s  gemm {gemm_s:.3} s  \
+         speedup {train_speedup:.2}x  loss_bit_identical {loss_bit_identical}"
+    );
+
+    // Flat JSON array, written by hand (no serializer needed here).
+    let mut json = String::from("[\n");
+    for l in &layers {
+        json.push_str(&format!(
+            "  {{\"op\": \"{}\", \"reference_ns\": {:.1}, \"gemm_ns\": {:.1}, \"speedup\": {:.3}}},\n",
+            l.op,
+            l.reference_ns,
+            l.gemm_ns,
+            l.reference_ns / l.gemm_ns
+        ));
+    }
+    json.push_str(&format!(
+        "  {{\"op\": \"train_autoencoders\", \"reference_s\": {:.3}, \"gemm_s\": {:.3}, \
+         \"train_speedup\": {:.3}, \"loss_bit_identical\": {}}}\n]\n",
+        reference_s, gemm_s, train_speedup, loss_bit_identical
+    ));
+
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::write(&out_path, json).expect("write BENCH_nn.json");
+    println!("\nwrote {out_path}");
+}

@@ -412,6 +412,78 @@ impl SessionManager {
         self.successes()
     }
 
+    /// Drives all live sessions to completion on a pool of `threads` OS
+    /// threads stealing work from a shared queue, then returns the number
+    /// of successes — the parallel counterpart of [`run_to_completion`].
+    ///
+    /// Outcomes are **bit-identical** to the sequential scheduler (the
+    /// `concurrent_sessions` bench and CI throughput gate assert this):
+    ///
+    /// * Each session is an independent machine pair with private RNG
+    ///   streams and logical clocks; a worker drives one session
+    ///   exclusively, delivering its wire FIFO in the same order the
+    ///   round-robin scheduler would.
+    /// * `make_adversary` builds a fresh interceptor per *session* (not
+    ///   per worker), so interception cannot depend on which worker picks
+    ///   a session up or how sessions interleave.
+    /// * Eviction counts consecutive empty-wire deliveries against the
+    ///   same `idle_timeout_passes` threshold as the sequential pass
+    ///   counter, so silent sessions fail with the same
+    ///   [`AgreementError::Evicted`].
+    ///
+    /// Results are merged in spawn order (ascending id), making
+    /// [`outcomes`](Self::outcomes) deterministic at any thread count.
+    /// `threads == 0` resolves to `WAVEKEY_THREADS` when set, else the
+    /// machine's available parallelism.
+    ///
+    /// [`run_to_completion`]: Self::run_to_completion
+    pub fn run_to_completion_parallel(
+        &mut self,
+        threads: usize,
+        make_adversary: &(dyn Fn() -> Box<dyn Adversary + Send> + Sync),
+    ) -> usize {
+        let threads = if threads == 0 {
+            wavekey_nn::configured_threads()
+                .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let sessions = std::mem::take(&mut self.sessions);
+        self.cursor = 0;
+        let timeout = self.idle_timeout_passes;
+        let drive = |mut session: ManagedSession| {
+            let mut adversary = make_adversary();
+            let result = loop {
+                if let Some(r) = session.advance(adversary.as_mut(), timeout) {
+                    break r;
+                }
+            };
+            (session.id, result)
+        };
+        let mut results = if threads <= 1 || sessions.len() <= 1 {
+            sessions.into_iter().map(drive).collect::<Vec<_>>()
+        } else {
+            let queue = std::sync::Mutex::new(sessions);
+            let done = std::sync::Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let Some(session) = queue.lock().unwrap().pop() else { break };
+                        let outcome = drive(session);
+                        done.lock().unwrap().push(outcome);
+                    });
+                }
+            });
+            done.into_inner().unwrap()
+        };
+        results.sort_by_key(|&(id, _)| id);
+        for (id, result) in results {
+            self.finish(id, result);
+        }
+        self.successes()
+    }
+
     /// Number of sessions still live.
     pub fn live(&self) -> usize {
         self.sessions.len()
@@ -625,6 +697,88 @@ mod tests {
                 sequential.preliminary_mismatch_bits
             );
             assert_eq!(managed.agreement.key_bits, sequential.key_bits);
+        }
+    }
+
+    /// Spawns `n` deterministic benign sessions into a fresh manager.
+    fn spawn_benign(manager: &mut SessionManager, n: u64) -> Vec<u64> {
+        let config = manager_config();
+        let mut adversary = PassiveChannel;
+        (0..n)
+            .map(|i| {
+                let (s_m, s_r) = seed_pair(100 + i);
+                manager
+                    .spawn(
+                        &s_m,
+                        &s_r,
+                        &config,
+                        StdRng::seed_from_u64(9000 + i),
+                        StdRng::seed_from_u64(9900 + i),
+                        &mut adversary,
+                    )
+                    .expect("spawn")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_drive_matches_sequential_outcomes_at_any_width() {
+        let n = 6u64;
+        let mut sequential = SessionManager::new(4);
+        let ids = spawn_benign(&mut sequential, n);
+        let seq_successes = sequential.run_to_completion(&mut PassiveChannel);
+
+        for threads in [1usize, 2, 4] {
+            let mut parallel = SessionManager::new(4);
+            let par_ids = spawn_benign(&mut parallel, n);
+            assert_eq!(ids, par_ids, "same spawn order");
+            let par_successes =
+                parallel.run_to_completion_parallel(threads, &|| Box::new(PassiveChannel));
+            assert_eq!(par_successes, seq_successes, "{threads} threads");
+            for id in &ids {
+                let seq = sequential.outcome(*id).expect("seq").as_ref().expect("ok");
+                let par = parallel.outcome(*id).expect("par").as_ref().expect("ok");
+                assert_eq!(par.agreement.key, seq.agreement.key, "session {id}");
+                assert_eq!(par.server_key, seq.server_key);
+                assert_eq!(par.agreement.key_bits, seq.agreement.key_bits);
+                assert_eq!(
+                    par.agreement.preliminary_mismatch_bits,
+                    seq.agreement.preliminary_mismatch_bits
+                );
+            }
+            // Results merge in spawn order regardless of completion order.
+            let order: Vec<u64> = parallel.outcomes().iter().map(|(id, _)| *id).collect();
+            assert_eq!(order, ids);
+        }
+    }
+
+    #[test]
+    fn parallel_drive_preserves_eviction_semantics() {
+        let config = manager_config();
+        let mut manager = SessionManager::new(3);
+        let ids: Vec<u64> = (0..3u64)
+            .map(|i| {
+                let (s_m, s_r) = seed_pair(70 + i);
+                manager
+                    .spawn(
+                        &s_m,
+                        &s_r,
+                        &config,
+                        StdRng::seed_from_u64(81 + i),
+                        StdRng::seed_from_u64(91 + i),
+                        &mut Dropper { target: MessageKind::OtE },
+                    )
+                    .expect("spawn")
+            })
+            .collect();
+        let successes = manager
+            .run_to_completion_parallel(2, &|| Box::new(Dropper { target: MessageKind::OtE }));
+        assert_eq!(successes, 0);
+        for id in ids {
+            assert!(
+                matches!(manager.outcome(id), Some(Err(AgreementError::Evicted))),
+                "session {id} must be evicted"
+            );
         }
     }
 

@@ -6,6 +6,43 @@
 //! possible (`--no-default-features`). Results are collected in index
 //! order either way, and all RNG sampling happens *before* these loops,
 //! so protocol outputs are bit-identical across both configurations.
+//!
+//! The `WAVEKEY_THREADS` environment variable bounds the fan-out, the
+//! same contract every `parallel`-feature code path in the workspace
+//! honors: `1` forces the sequential branch, `n > 1` sizes the global
+//! rayon pool on first use, unset defers to rayon's default.
+
+/// The `WAVEKEY_THREADS` override, parsed once: `Some(n)` when set to a
+/// positive integer, `None` otherwise.
+#[cfg(feature = "parallel")]
+fn configured_threads() -> Option<usize> {
+    static THREADS: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("WAVEKEY_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// Applies `WAVEKEY_THREADS`: `false` forces the sequential branch;
+/// `true` may first size the global pool (`build_global` fails when a
+/// pool already exists — the installed pool then takes precedence).
+#[cfg(feature = "parallel")]
+fn parallel_enabled() -> bool {
+    match configured_threads() {
+        Some(1) => false,
+        Some(n) => {
+            use std::sync::Once;
+            static INIT: Once = Once::new();
+            INIT.call_once(|| {
+                let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
+            });
+            true
+        }
+        None => true,
+    }
+}
 
 /// Maps `f` over `0..len`, preserving index order in the output.
 #[cfg(feature = "parallel")]
@@ -14,6 +51,9 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync + Send,
 {
+    if len < 2 || !parallel_enabled() {
+        return (0..len).map(f).collect();
+    }
     use rayon::prelude::*;
     (0..len).into_par_iter().map(f).collect()
 }

@@ -22,7 +22,7 @@ pub use gray::{gray_decode, gray_encode, truncated_gray_table, GrayCode};
 pub use quantize::{EquiprobableQuantizer, QuantizeError};
 pub use savgol::{
     savgol_coefficients, savgol_second_derivative, savgol_second_derivative_coefficients,
-    savgol_smooth, SavGolError,
+    savgol_second_derivative_into, savgol_smooth, savgol_smooth_into, SavGolError,
 };
-pub use unwrap::unwrap_phase;
+pub use unwrap::{unwrap_phase, unwrap_phase_into};
 pub use window::{detect_motion_start, MotionDetectConfig};

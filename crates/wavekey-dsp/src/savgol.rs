@@ -10,6 +10,16 @@
 //! uniform grid reduces to a fixed convolution kernel. The kernel is derived
 //! by solving the small normal-equation system `(JᵀJ) a = Jᵀ e₀` by Gaussian
 //! elimination — no external linear-algebra dependency.
+//!
+//! The kernels depend only on `(window, order)` (the second-derivative
+//! kernel additionally carries a pure `1/dt²` scale), so the solve runs
+//! once per configuration and the weights are served from a process-wide
+//! cache afterwards — the RFID pipeline calls the smoother on every
+//! recording with a fixed configuration, and re-deriving the normal
+//! equations per call dominated its cost.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Error from Savitzky-Golay configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,10 +71,18 @@ pub fn savgol_coefficients(window: usize, order: usize) -> Result<Vec<f64>, SavG
     if order >= window {
         return Err(SavGolError::OrderTooHigh);
     }
+    Ok(cached_kernel(window, order, 0).to_vec())
+}
+
+/// Derives the center-point kernel for the `basis`-th fitted-polynomial
+/// coefficient: solves `G a = e_basis` over the normal matrix
+/// `G = JᵀJ` (`J[i][j] = x_i^j`, `x_i ∈ [-half, half]`) and evaluates the
+/// solution against the Vandermonde basis — equivalent to one row of
+/// `G⁻¹ Jᵀ`. Basis 0 is the smoothing kernel; basis 2 carries the factor
+/// 2 of `p''(0) = 2·a₂` (the caller applies the grid scale `1/dt²`).
+fn derive_kernel(window: usize, order: usize, basis: usize) -> Vec<f64> {
     let half = (window / 2) as i64;
     let m = order + 1;
-
-    // Normal matrix G = JᵀJ where J[i][j] = x_i^j, x_i ∈ [-half, half].
     let mut g = vec![vec![0.0; m]; m];
     for (r, row) in g.iter_mut().enumerate() {
         for (c, cell) in row.iter_mut().enumerate() {
@@ -75,21 +93,28 @@ pub fn savgol_coefficients(window: usize, order: usize) -> Result<Vec<f64>, SavG
             *cell = s;
         }
     }
-
-    // Solve G a_j = e_j for every basis vector; the smoothing kernel weight
-    // for offset x is Σ_j a_0j x^j where a_0 solves G a = e_0 — equivalent
-    // to evaluating the first row of G⁻¹ against the Vandermonde basis.
-    let a0 = solve_gaussian(&mut g, unit_vec(m, 0));
-
+    let a = solve_gaussian(&mut g, unit_vec(m, basis));
     let mut kernel = Vec::with_capacity(window);
     for x in -half..=half {
         let mut w = 0.0;
-        for (j, &aj) in a0.iter().enumerate() {
+        for (j, &aj) in a.iter().enumerate() {
             w += aj * (x as f64).powi(j as i32);
         }
-        kernel.push(w);
+        kernel.push(if basis == 2 { 2.0 * w } else { w });
     }
-    Ok(kernel)
+    kernel
+}
+
+/// The `(window, order, basis)`-keyed kernel cache. Validation happens in
+/// the public entry points, so every key reaching here is solvable.
+fn cached_kernel(window: usize, order: usize, basis: usize) -> Arc<Vec<f64>> {
+    static CACHE: OnceLock<Mutex<HashMap<(usize, usize, usize), Arc<Vec<f64>>>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    map.entry((window, order, basis))
+        .or_insert_with(|| Arc::new(derive_kernel(window, order, basis)))
+        .clone()
 }
 
 fn unit_vec(n: usize, i: usize) -> Vec<f64> {
@@ -156,31 +181,9 @@ pub fn savgol_second_derivative_coefficients(
     if order >= window || order < 2 {
         return Err(SavGolError::OrderTooHigh);
     }
-    let half = (window / 2) as i64;
-    let m = order + 1;
-    let mut g = vec![vec![0.0; m]; m];
-    for (r, row) in g.iter_mut().enumerate() {
-        for (c, cell) in row.iter_mut().enumerate() {
-            let mut s = 0.0;
-            for x in -half..=half {
-                s += (x as f64).powi((r + c) as i32);
-            }
-            *cell = s;
-        }
-    }
-    // p''(0) = 2·a₂, where a solves G a = Jᵀ e with the fitted
-    // polynomial's coefficient vector; the kernel weight for offset x is
-    // Σ_j a2_j x^j with a2 = G⁻¹ e₂.
-    let a2 = solve_gaussian(&mut g, unit_vec(m, 2));
-    let mut kernel = Vec::with_capacity(window);
-    for x in -half..=half {
-        let mut w = 0.0;
-        for (j, &aj) in a2.iter().enumerate() {
-            w += aj * (x as f64).powi(j as i32);
-        }
-        kernel.push(2.0 * w / (dt * dt));
-    }
-    Ok(kernel)
+    // The cached weights are `2·w` (dt-independent); dividing by `dt²`
+    // here reproduces the original `2·w / (dt·dt)` bit for bit.
+    Ok(cached_kernel(window, order, 2).iter().map(|&v| v / (dt * dt)).collect())
 }
 
 /// Estimates the second derivative of `signal` (sample spacing `dt`) via
@@ -197,23 +200,32 @@ pub fn savgol_second_derivative(
     order: usize,
     dt: f64,
 ) -> Result<Vec<f64>, SavGolError> {
+    let mut out = Vec::new();
+    savgol_second_derivative_into(signal, window, order, dt, &mut out)?;
+    Ok(out)
+}
+
+/// [`savgol_second_derivative`] writing into a caller-owned buffer
+/// (cleared first, capacity reused) so hot pipelines avoid a fresh
+/// signal-length allocation per call.
+///
+/// # Errors
+///
+/// Same as [`savgol_second_derivative`]; on error `out` is left cleared.
+pub fn savgol_second_derivative_into(
+    signal: &[f64],
+    window: usize,
+    order: usize,
+    dt: f64,
+    out: &mut Vec<f64>,
+) -> Result<(), SavGolError> {
+    out.clear();
     if signal.len() < window {
         return Err(SavGolError::SignalTooShort);
     }
     let kernel = savgol_second_derivative_coefficients(window, order, dt)?;
-    let half = window / 2;
-    let n = signal.len();
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut acc = 0.0;
-        for (k, &w) in kernel.iter().enumerate() {
-            let offset = k as i64 - half as i64;
-            let idx = mirror_index(i as i64 + offset, n);
-            acc += w * signal[idx];
-        }
-        out.push(acc);
-    }
-    Ok(out)
+    convolve_mirrored_into(signal, &kernel, out);
+    Ok(())
 }
 
 /// Smooths `signal` with a Savitzky-Golay filter of the given odd `window`
@@ -227,13 +239,47 @@ pub fn savgol_second_derivative(
 /// Returns [`SavGolError::SignalTooShort`] when the signal is shorter than
 /// the window, plus the configuration errors of [`savgol_coefficients`].
 pub fn savgol_smooth(signal: &[f64], window: usize, order: usize) -> Result<Vec<f64>, SavGolError> {
+    let mut out = Vec::new();
+    savgol_smooth_into(signal, window, order, &mut out)?;
+    Ok(out)
+}
+
+/// [`savgol_smooth`] writing into a caller-owned buffer (cleared first,
+/// capacity reused). The cached smoothing kernel is applied straight from
+/// the cache, so steady-state calls allocate nothing.
+///
+/// # Errors
+///
+/// Same as [`savgol_smooth`]; on error `out` is left cleared.
+pub fn savgol_smooth_into(
+    signal: &[f64],
+    window: usize,
+    order: usize,
+    out: &mut Vec<f64>,
+) -> Result<(), SavGolError> {
+    out.clear();
     if signal.len() < window {
         return Err(SavGolError::SignalTooShort);
     }
-    let kernel = savgol_coefficients(window, order)?;
-    let half = window / 2;
+    if window % 2 == 0 {
+        return Err(SavGolError::EvenWindow);
+    }
+    if order >= window {
+        return Err(SavGolError::OrderTooHigh);
+    }
+    let kernel = cached_kernel(window, order, 0);
+    convolve_mirrored_into(signal, &kernel, out);
+    Ok(())
+}
+
+/// Mirror-padded convolution of `signal` with a centered `kernel`,
+/// appended to the (already cleared) `out`. Per-sample accumulation
+/// order matches the historical inline loops exactly, keeping outputs
+/// bit-identical to the pre-refactor code.
+fn convolve_mirrored_into(signal: &[f64], kernel: &[f64], out: &mut Vec<f64>) {
+    let half = kernel.len() / 2;
     let n = signal.len();
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
     for i in 0..n {
         let mut acc = 0.0;
         for (k, &w) in kernel.iter().enumerate() {
@@ -243,7 +289,6 @@ pub fn savgol_smooth(signal: &[f64], window: usize, order: usize) -> Result<Vec<
         }
         out.push(acc);
     }
-    Ok(out)
 }
 
 /// Reflects an out-of-range index back into `[0, n)` (mirror padding).
@@ -389,6 +434,20 @@ mod tests {
             savgol_second_derivative_coefficients(11, 1, 0.01).unwrap_err(),
             SavGolError::OrderTooHigh
         );
+    }
+
+    #[test]
+    fn cached_kernels_are_stable_across_calls_and_dt_scales() {
+        let a = savgol_coefficients(11, 3).unwrap();
+        let b = savgol_coefficients(11, 3).unwrap();
+        assert_eq!(a, b, "cache must serve identical weights");
+        // The cached part is dt-independent: kernels at different spacings
+        // differ by exactly the dt² ratio.
+        let fine = savgol_second_derivative_coefficients(21, 3, 0.005).unwrap();
+        let coarse = savgol_second_derivative_coefficients(21, 3, 0.01).unwrap();
+        for (f, c) in fine.iter().zip(&coarse) {
+            assert!((f / 4.0 - c).abs() <= c.abs() * 1e-12 + 1e-18, "{f} vs {c}");
+        }
     }
 
     #[test]

@@ -23,7 +23,17 @@ use std::f64::consts::PI;
 /// assert!((un[2] - (0.1 + 2.0 * PI)).abs() < 1e-12);
 /// ```
 pub fn unwrap_phase(phases: &[f64]) -> Vec<f64> {
-    let mut out = Vec::with_capacity(phases.len());
+    let mut out = Vec::new();
+    unwrap_phase_into(phases, &mut out);
+    out
+}
+
+/// [`unwrap_phase`] writing into a caller-owned buffer (cleared first,
+/// capacity reused) so hot pipelines avoid a fresh recording-length
+/// allocation per call.
+pub fn unwrap_phase_into(phases: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(phases.len());
     let mut offset = 0.0;
     let mut prev_raw: Option<f64> = None;
     for &p in phases {
@@ -41,7 +51,6 @@ pub fn unwrap_phase(phases: &[f64]) -> Vec<f64> {
         out.push(p + offset);
         prev_raw = Some(p);
     }
-    out
 }
 
 /// Wraps a phase value into `[0, 2π)`.

@@ -16,8 +16,9 @@
 use crate::sensors::ImuRecording;
 use crate::GRAVITY;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use wavekey_dsp::{detect_motion_start, MotionDetectConfig};
-use wavekey_math::{resample_linear, Mat3, Quaternion, Vec3};
+use wavekey_math::{resample_linear_into, Mat3, Quaternion, Vec3};
 
 /// The linear-acceleration matrix `A` (paper notation): `samples × 3`
 /// world-frame linear accelerations at 100 Hz.
@@ -182,6 +183,25 @@ pub fn process_imu_observed(
     process_imu(recording, config)
 }
 
+/// Per-thread intermediate buffers reused across [`process_imu`] calls,
+/// mirroring the RFID pipeline's scratch: without them every call built
+/// ~10 recording-length temporaries, and the allocator jitter dominated
+/// the pipeline's tail latency.
+#[derive(Default)]
+struct Scratch {
+    accel_mag: Vec<f64>,
+    axis_vals: Vec<f64>,
+    accel: [Vec<f64>; 3],
+    gyro: [Vec<f64>; 3],
+    quiet: Vec<usize>,
+    all_rows: Vec<Vec3>,
+    acc_mag_world: Vec<f64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::default();
+}
+
 /// Runs the full §IV-B mobile pipeline on a recording.
 ///
 /// # Errors
@@ -193,11 +213,21 @@ pub fn process_imu(
     recording: &ImuRecording,
     config: &ImuPipelineConfig,
 ) -> Result<AccelMatrix, PipelineError> {
+    SCRATCH.with(|cell| process_imu_scratch(recording, config, &mut cell.borrow_mut()))
+}
+
+fn process_imu_scratch(
+    recording: &ImuRecording,
+    config: &ImuPipelineConfig,
+    scratch: &mut Scratch,
+) -> Result<AccelMatrix, PipelineError> {
+    let Scratch { accel_mag, axis_vals, accel, gyro, quiet, all_rows, acc_mag_world } = scratch;
     // 1. Onset detection on the accelerometer magnitude, followed by the
     //    energy-envelope refinement shared (by construction) with the
     //    RFID side.
-    let accel_mag: Vec<f64> = recording.accel.iter().map(|a| a.norm()).collect();
-    let onset_idx = detect_motion_start(&accel_mag, &config.detect)
+    accel_mag.clear();
+    accel_mag.extend(recording.accel.iter().map(|a| a.norm()));
+    let onset_idx = detect_motion_start(accel_mag, &config.detect)
         .ok_or(PipelineError::MotionNotDetected)?;
     let t0_coarse = recording.ts[onset_idx];
 
@@ -219,15 +249,23 @@ pub fn process_imu(
         .min(config.samples + extra);
 
     // 2. Interpolate each stream/axis onto the uniform grid.
-    let grid = |series: &[Vec3]| -> [Vec<f64>; 3] {
-        [0, 1, 2].map(|axis| {
-            let vals: Vec<f64> = series.iter().map(|v| v.to_array()[axis]).collect();
-            resample_linear(&recording.ts, &vals, grid_t0, config.target_rate, usable_samples)
-                .expect("recording timestamps are strictly increasing")
-        })
+    let mut grid_into = |series: &[Vec3], dst: &mut [Vec<f64>; 3]| {
+        for (axis, out) in dst.iter_mut().enumerate() {
+            axis_vals.clear();
+            axis_vals.extend(series.iter().map(|v| v.to_array()[axis]));
+            resample_linear_into(
+                &recording.ts,
+                axis_vals,
+                grid_t0,
+                config.target_rate,
+                usable_samples,
+                out,
+            )
+            .expect("recording timestamps are strictly increasing");
+        }
     };
-    let accel = grid(&recording.accel);
-    let gyro = grid(&recording.gyro);
+    grid_into(&recording.accel, accel);
+    grid_into(&recording.gyro, gyro);
     let t0 = grid_t0;
 
     // 3. Initial pose and gyroscope bias from the quiet window
@@ -236,13 +274,15 @@ pub fn process_imu(
     //    subtracting it is what keeps the dead-reckoned pose accurate
     //    over long recordings — the dominant drift term is the constant
     //    bias, not the white noise.
-    let quiet: Vec<usize> = recording
-        .ts
-        .iter()
-        .enumerate()
-        .filter(|(_, &t)| t >= t0 - config.pose_window && t < t0 - 0.02)
-        .map(|(i, _)| i)
-        .collect();
+    quiet.clear();
+    quiet.extend(
+        recording
+            .ts
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t >= t0 - config.pose_window && t < t0 - 0.02)
+            .map(|(i, _)| i),
+    );
     let (accel_avg, mag_avg, gyro_bias) = if quiet.is_empty() {
         (recording.accel[onset_idx], recording.mag[onset_idx], Vec3::ZERO)
     } else {
@@ -258,7 +298,8 @@ pub fn process_imu(
     //    the whole (extended) grid.
     let dt = 1.0 / config.target_rate;
     let g_world = Vec3::new(0.0, 0.0, -GRAVITY);
-    let mut all_rows = Vec::with_capacity(usable_samples);
+    all_rows.clear();
+    all_rows.reserve(usable_samples);
     for i in 0..usable_samples {
         let f_body = Vec3::new(accel[0][i], accel[1][i], accel[2][i]);
         let a_world = q.rotate(f_body) + g_world;
@@ -273,10 +314,10 @@ pub fn process_imu(
     let mut start_idx = ((t0_coarse - grid_t0) * config.target_rate).round() as usize;
     if config.onset_refine_threshold > 0.0 {
         let lookahead = ((1.0 * config.target_rate) as usize).min(all_rows.len());
-        let acc_mag_world: Vec<f64> =
-            all_rows[..lookahead].iter().map(|a| a.norm()).collect();
+        acc_mag_world.clear();
+        acc_mag_world.extend(all_rows[..lookahead].iter().map(|a| a.norm()));
         let t0_refined = refine_onset(
-            &acc_mag_world,
+            acc_mag_world,
             grid_t0,
             config.target_rate,
             config.onset_refine_threshold,

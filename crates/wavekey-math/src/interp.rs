@@ -53,15 +53,7 @@ impl Interp1d {
     /// Returns an error when the lengths differ, fewer than two samples are
     /// given, or the timestamps are not strictly increasing.
     pub fn new(ts: Vec<f64>, values: Vec<f64>) -> Result<Self, InterpError> {
-        if ts.len() != values.len() {
-            return Err(InterpError::LengthMismatch);
-        }
-        if ts.len() < 2 {
-            return Err(InterpError::TooFewSamples);
-        }
-        if ts.windows(2).any(|w| w[1] <= w[0]) {
-            return Err(InterpError::NonMonotonicTime);
-        }
+        validate_samples(&ts, &values)?;
         Ok(Interp1d { ts, values })
     }
 
@@ -70,22 +62,7 @@ impl Interp1d {
     /// Outside the sample range the boundary value is held (zero-order
     /// extrapolation), which matches how short sensor streams are padded.
     pub fn eval(&self, t: f64) -> f64 {
-        if t <= self.ts[0] {
-            return self.values[0];
-        }
-        let last = self.ts.len() - 1;
-        if t >= self.ts[last] {
-            return self.values[last];
-        }
-        // Binary search for the segment containing t.
-        let idx = match self.ts.binary_search_by(|probe| probe.partial_cmp(&t).unwrap()) {
-            Ok(i) => return self.values[i],
-            Err(i) => i, // ts[i-1] < t < ts[i]
-        };
-        let (t0, t1) = (self.ts[idx - 1], self.ts[idx]);
-        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
-        let frac = (t - t0) / (t1 - t0);
-        v0 + (v1 - v0) * frac
+        eval_samples(&self.ts, &self.values, t)
     }
 
     /// Evaluates the interpolant at many times at once.
@@ -99,6 +76,43 @@ impl Interp1d {
     }
 }
 
+/// Shared sample validation for [`Interp1d::new`] and the borrow-based
+/// resampling entry points.
+fn validate_samples(ts: &[f64], values: &[f64]) -> Result<(), InterpError> {
+    if ts.len() != values.len() {
+        return Err(InterpError::LengthMismatch);
+    }
+    if ts.len() < 2 {
+        return Err(InterpError::TooFewSamples);
+    }
+    if ts.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(InterpError::NonMonotonicTime);
+    }
+    Ok(())
+}
+
+/// Piecewise-linear evaluation over borrowed samples; the single
+/// implementation behind [`Interp1d::eval`] and [`resample_linear_into`],
+/// so the owned and borrowed paths are bit-identical by construction.
+fn eval_samples(ts: &[f64], values: &[f64], t: f64) -> f64 {
+    if t <= ts[0] {
+        return values[0];
+    }
+    let last = ts.len() - 1;
+    if t >= ts[last] {
+        return values[last];
+    }
+    // Binary search for the segment containing t.
+    let idx = match ts.binary_search_by(|probe| probe.partial_cmp(&t).unwrap()) {
+        Ok(i) => return values[i],
+        Err(i) => i, // ts[i-1] < t < ts[i]
+    };
+    let (t0, t1) = (ts[idx - 1], ts[idx]);
+    let (v0, v1) = (values[idx - 1], values[idx]);
+    let frac = (t - t0) / (t1 - t0);
+    v0 + (v1 - v0) * frac
+}
+
 /// Resamples `(ts, values)` onto a uniform grid of `n` points at `rate_hz`
 /// starting at `start`.
 ///
@@ -108,7 +122,7 @@ impl Interp1d {
 ///
 /// # Errors
 ///
-/// Propagates [`InterpError`] from interpolant construction.
+/// Propagates [`InterpError`] from sample validation.
 pub fn resample_linear(
     ts: &[f64],
     values: &[f64],
@@ -116,9 +130,35 @@ pub fn resample_linear(
     rate_hz: f64,
     n: usize,
 ) -> Result<Vec<f64>, InterpError> {
-    let interp = Interp1d::new(ts.to_vec(), values.to_vec())?;
+    let mut out = Vec::new();
+    resample_linear_into(ts, values, start, rate_hz, n, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free variant of [`resample_linear`]: borrows the sample
+/// arrays instead of cloning them and writes the grid into `out`
+/// (cleared first, capacity reused). The hot pipelines call this with
+/// per-thread scratch buffers so steady-state processing allocates
+/// nothing per invocation.
+///
+/// # Errors
+///
+/// Propagates [`InterpError`] from sample validation; on error `out` is
+/// left cleared.
+pub fn resample_linear_into(
+    ts: &[f64],
+    values: &[f64],
+    start: f64,
+    rate_hz: f64,
+    n: usize,
+    out: &mut Vec<f64>,
+) -> Result<(), InterpError> {
+    out.clear();
+    validate_samples(ts, values)?;
     let dt = 1.0 / rate_hz;
-    Ok((0..n).map(|i| interp.eval(start + i as f64 * dt)).collect())
+    out.reserve(n);
+    out.extend((0..n).map(|i| eval_samples(ts, values, start + i as f64 * dt)));
+    Ok(())
 }
 
 #[cfg(test)]
@@ -173,6 +213,19 @@ mod tests {
             let t = i as f64 * 0.1;
             assert!((v - 2.0 * t).abs() < 1e-12, "t = {t}");
         }
+    }
+
+    #[test]
+    fn resample_into_matches_owned_and_reuses_buffer() {
+        let ts = vec![0.0, 0.13, 0.29, 0.55, 1.0];
+        let values: Vec<f64> = ts.iter().map(|t| f64::sin(*t) * 3.0).collect();
+        let owned = resample_linear(&ts, &values, 0.05, 25.0, 20).unwrap();
+        let mut out = vec![99.0; 4]; // stale contents must be discarded
+        resample_linear_into(&ts, &values, 0.05, 25.0, 20, &mut out).unwrap();
+        assert_eq!(out, owned);
+        // Errors clear the buffer rather than leaving stale data.
+        assert!(resample_linear_into(&ts[..1], &values[..1], 0.0, 1.0, 3, &mut out).is_err());
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod stats;
 pub mod vec3;
 
 pub use entropy::{min_entropy_rate, shannon_entropy_rate};
-pub use interp::{resample_linear, Interp1d};
+pub use interp::{resample_linear, resample_linear_into, Interp1d};
 pub use nist::{monobit_test, runs_test, RandomnessReport};
 pub use stats::{
     mean, normal_cdf, normal_inverse_cdf, pearson_correlation, percentile, std_dev, variance,

@@ -1,0 +1,423 @@
+//! Blocked GEMM kernel with an *exactly reproducible* accumulation order.
+//!
+//! Every convolution and dense layer in this crate lowers to calls of
+//! [`gemm`], computing `C += A · B` over row-major matrices with explicit
+//! row strides. The kernel is built so that each element of `C` receives
+//! its `k` products in strictly ascending `k` order, exactly like the
+//! naive scalar loops in [`crate::reference`]:
+//!
+//! * The microkernel is an *outer-product* update: for each `k` it
+//!   broadcasts `A[i][k]` and adds `A[i][k] · B[k][j]` across a register
+//!   tile of `MR × NR` output elements. Vectorization happens **across**
+//!   output elements (the `NR` lanes), never *within* one element's
+//!   reduction, so no element's sum is ever re-associated.
+//! * The register tile is loaded from `C` and stored back; `k`-blocking
+//!   therefore preserves the order too, because storing and reloading an
+//!   `f32` is exact.
+//! * Parallelism (the `parallel` feature) splits `C` into disjoint row
+//!   bands; each element is computed by exactly one thread in the same
+//!   ascending-`k` order, so results are independent of thread count.
+//!
+//! The consequence, relied on throughout the workspace: training with the
+//! GEMM backend produces bit-identical models to the naive loops (modulo
+//! the sign of exact zeros, which compares `==`), at any thread count.
+//!
+//! The module also hosts the [`KernelBackend`] switch that lets benches
+//! and differential tests route whole networks through either backend,
+//! and the `WAVEKEY_THREADS` override honored by all `parallel`-feature
+//! code paths.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Rows per register tile of the microkernel.
+const MR: usize = 4;
+/// Columns per register tile of the microkernel (the vector lanes).
+const NR: usize = 16;
+/// `k` block size: one `A` panel (`MR × KC`) plus the touched `B` rows
+/// stay resident in L1/L2 while a tile row of `C` is updated.
+const KC: usize = 256;
+
+/// Minimum rows before the row-band parallel path is worth the fork.
+#[cfg(feature = "parallel")]
+const PAR_MIN_ROWS: usize = 32;
+
+// ------------------------------------------------------------------ kernel
+
+/// `C += A · B` over row-major matrices with explicit row strides.
+///
+/// `c` must hold exactly `m` rows of stride `rsc` (length `m · rsc`);
+/// only the first `n` columns of each row are updated, so a sub-matrix of
+/// a wider buffer can be targeted by passing `n < rsc`. `a` holds `m`
+/// rows of stride `rsa` with `kd` used columns; `b` holds `kd` rows of
+/// stride `rsb` with `n` used columns.
+///
+/// Accumulation starts from the existing contents of `C` (initialize rows
+/// to the bias, a prior gradient, or zero as the operation requires), and
+/// each element receives its `kd` products in ascending `k` order — see
+/// the module docs for why this makes results thread-count independent.
+///
+/// # Panics
+///
+/// Panics when a slice is too short for the stated geometry.
+pub fn gemm(
+    c: &mut [f32],
+    rsc: usize,
+    a: &[f32],
+    rsa: usize,
+    b: &[f32],
+    rsb: usize,
+    m: usize,
+    kd: usize,
+    n: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(c.len() >= m * rsc && n <= rsc, "C too short for {m}x{n} (stride {rsc})");
+    assert!(kd == 0 || a.len() >= (m - 1) * rsa + kd, "A too short");
+    assert!(kd == 0 || b.len() >= (kd - 1) * rsb + n, "B too short");
+
+    #[cfg(feature = "parallel")]
+    if m >= PAR_MIN_ROWS && parallel_enabled(m / MR) {
+        use rayon::prelude::*;
+        let threads = rayon::current_num_threads().max(1);
+        // Band size rounded to a tile multiple so every band but the last
+        // runs the full-tile fast path.
+        let rows = m.div_ceil(threads).div_ceil(MR) * MR;
+        c[..m * rsc]
+            .par_chunks_mut(rows * rsc)
+            .enumerate()
+            .for_each(|(band, cband)| {
+                let i0 = band * rows;
+                let mrows = rows.min(m - i0);
+                gemm_seq(cband, rsc, &a[i0 * rsa..], rsa, b, rsb, mrows, kd, n);
+            });
+        return;
+    }
+    gemm_seq(c, rsc, a, rsa, b, rsb, m, kd, n);
+}
+
+/// The sequential cache-blocked driver behind [`gemm`].
+fn gemm_seq(
+    c: &mut [f32],
+    rsc: usize,
+    a: &[f32],
+    rsa: usize,
+    b: &[f32],
+    rsb: usize,
+    m: usize,
+    kd: usize,
+    n: usize,
+) {
+    let mut ks = 0;
+    while ks < kd {
+        let ke = (ks + KC).min(kd);
+        let mut i0 = 0;
+        while i0 < m {
+            let mr = MR.min(m - i0);
+            let mut j0 = 0;
+            // Descend through fixed tile widths so the lane loop always has
+            // a compile-time bound (vectorizable); only a < 4-column tail
+            // takes the runtime-width edge kernel.
+            while j0 + NR <= n {
+                if mr == MR {
+                    kernel_full(c, rsc, a, rsa, b, rsb, i0, j0, ks, ke);
+                } else {
+                    kernel_tile::<NR>(c, rsc, a, rsa, b, rsb, i0, j0, ks, ke, mr);
+                }
+                j0 += NR;
+            }
+            if j0 + 8 <= n {
+                kernel_tile::<8>(c, rsc, a, rsa, b, rsb, i0, j0, ks, ke, mr);
+                j0 += 8;
+            }
+            if j0 + 4 <= n {
+                kernel_tile::<4>(c, rsc, a, rsa, b, rsb, i0, j0, ks, ke, mr);
+                j0 += 4;
+            }
+            if j0 < n {
+                kernel_edge(c, rsc, a, rsa, b, rsb, i0, j0, ks, ke, mr, n - j0);
+            }
+            i0 += MR;
+        }
+        ks = ke;
+    }
+}
+
+/// Full `MR × NR` register tile: the vectorized fast path.
+#[inline]
+fn kernel_full(
+    c: &mut [f32],
+    rsc: usize,
+    a: &[f32],
+    rsa: usize,
+    b: &[f32],
+    rsb: usize,
+    i0: usize,
+    j0: usize,
+    ks: usize,
+    ke: usize,
+) {
+    let mut acc = [[0f32; NR]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        row.copy_from_slice(&c[(i0 + r) * rsc + j0..][..NR]);
+    }
+    for kk in ks..ke {
+        let brow = &b[kk * rsb + j0..][..NR];
+        for (r, row) in acc.iter_mut().enumerate() {
+            let av = a[(i0 + r) * rsa + kk];
+            for (t, lane) in row.iter_mut().enumerate() {
+                *lane += av * brow[t];
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        c[(i0 + r) * rsc + j0..][..NR].copy_from_slice(row);
+    }
+}
+
+/// Fixed-width tile (`W` lanes, compile-time) with a runtime row count:
+/// the fast path for matrices whose height is not a multiple of [`MR`]
+/// (e.g. 3-channel gradients) or whose width hits the 8/4 column tails.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn kernel_tile<const W: usize>(
+    c: &mut [f32],
+    rsc: usize,
+    a: &[f32],
+    rsa: usize,
+    b: &[f32],
+    rsb: usize,
+    i0: usize,
+    j0: usize,
+    ks: usize,
+    ke: usize,
+    mr: usize,
+) {
+    let mut acc = [[0f32; W]; MR];
+    for (r, row) in acc.iter_mut().take(mr).enumerate() {
+        row.copy_from_slice(&c[(i0 + r) * rsc + j0..][..W]);
+    }
+    for kk in ks..ke {
+        let brow: &[f32; W] = b[kk * rsb + j0..][..W].try_into().unwrap();
+        for (r, row) in acc.iter_mut().take(mr).enumerate() {
+            let av = a[(i0 + r) * rsa + kk];
+            for (t, lane) in row.iter_mut().enumerate() {
+                *lane += av * brow[t];
+            }
+        }
+    }
+    for (r, row) in acc.iter().take(mr).enumerate() {
+        c[(i0 + r) * rsc + j0..][..W].copy_from_slice(row);
+    }
+}
+
+/// Partial tile at the right/bottom edges; same order, runtime widths.
+#[allow(clippy::too_many_arguments)]
+fn kernel_edge(
+    c: &mut [f32],
+    rsc: usize,
+    a: &[f32],
+    rsa: usize,
+    b: &[f32],
+    rsb: usize,
+    i0: usize,
+    j0: usize,
+    ks: usize,
+    ke: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0f32; NR]; MR];
+    for (r, row) in acc.iter_mut().take(mr).enumerate() {
+        row[..nr].copy_from_slice(&c[(i0 + r) * rsc + j0..][..nr]);
+    }
+    for kk in ks..ke {
+        let brow = &b[kk * rsb + j0..][..nr];
+        for (r, row) in acc.iter_mut().take(mr).enumerate() {
+            let av = a[(i0 + r) * rsa + kk];
+            for (t, lane) in row[..nr].iter_mut().enumerate() {
+                *lane += av * brow[t];
+            }
+        }
+    }
+    for (r, row) in acc.iter().take(mr).enumerate() {
+        c[(i0 + r) * rsc + j0..][..nr].copy_from_slice(&row[..nr]);
+    }
+}
+
+// ----------------------------------------------------------------- backend
+
+/// Which compute kernels the layers dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// The blocked im2col/GEMM kernels (the default).
+    Gemm,
+    /// The original naive scalar loops in [`crate::reference`].
+    Reference,
+}
+
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the compute backend for all subsequent layer calls.
+///
+/// Process-global; intended for benches and differential tests. Both
+/// backends produce numerically identical (`==`) results, so switching is
+/// never observable through values — only through speed.
+pub fn set_kernel_backend(backend: KernelBackend) {
+    let v = match backend {
+        KernelBackend::Gemm => 0,
+        KernelBackend::Reference => 1,
+    };
+    BACKEND.store(v, Ordering::Relaxed);
+}
+
+/// The currently selected compute backend.
+pub fn kernel_backend() -> KernelBackend {
+    match BACKEND.load(Ordering::Relaxed) {
+        0 => KernelBackend::Gemm,
+        _ => KernelBackend::Reference,
+    }
+}
+
+// ------------------------------------------------------------ thread config
+
+/// The `WAVEKEY_THREADS` override, parsed once: `Some(n)` when set to a
+/// positive integer, `None` otherwise. `1` forces every `parallel`-feature
+/// code path in the workspace onto its sequential branch.
+pub fn configured_threads() -> Option<usize> {
+    static THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("WAVEKEY_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// Whether a data-parallel split over `items` independent pieces should
+/// fan out: the feature is on, `WAVEKEY_THREADS` is not `1`, and there is
+/// more than one piece. Installs the sized global pool on first use when
+/// `WAVEKEY_THREADS=n` requests a specific width.
+#[cfg(feature = "parallel")]
+pub(crate) fn parallel_enabled(items: usize) -> bool {
+    if items < 2 {
+        return false;
+    }
+    match configured_threads() {
+        Some(1) => false,
+        Some(n) => {
+            ensure_global_pool(n);
+            true
+        }
+        None => true,
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn ensure_global_pool(n: usize) {
+    use std::sync::Once;
+    static INIT: Once = Once::new();
+    // `build_global` fails when a pool already exists (e.g. a test driving
+    // layers inside `ThreadPool::install`); the installed pool then takes
+    // precedence, which is exactly the desired override order.
+    INIT.call_once(|| {
+        let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
+    });
+}
+
+/// Serializes tests that flip the process-global backend switch, so they
+/// cannot race with each other under the multi-threaded test harness.
+/// Holders must restore [`KernelBackend::Gemm`] before releasing.
+#[cfg(test)]
+pub(crate) fn backend_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference: same start-from-C, ascending-k order, scalar.
+    fn gemm_naive(
+        c: &mut [f32],
+        rsc: usize,
+        a: &[f32],
+        rsa: usize,
+        b: &[f32],
+        rsb: usize,
+        m: usize,
+        kd: usize,
+        n: usize,
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c[i * rsc + j];
+                for k in 0..kd {
+                    acc += a[i * rsa + k] * b[k * rsb + j];
+                }
+                c[i * rsc + j] = acc;
+            }
+        }
+    }
+
+    fn pseudo(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_bitwise_over_odd_shapes() {
+        // Shapes straddling every tile edge: < MR, < NR, exact multiples,
+        // one past a multiple, and a kd past the KC block size.
+        for &(m, kd, n) in &[
+            (1, 1, 1),
+            (3, 7, 5),
+            (4, 16, 16),
+            (5, 17, 33),
+            (8, 300, 20),
+            (13, 11, 64),
+            (32, 257, 47),
+        ] {
+            let a = pseudo(m as u64 * 31 + kd as u64, m * kd);
+            let b = pseudo(n as u64 * 17 + 3, kd * n);
+            let c0 = pseudo(m as u64 + n as u64, m * n);
+            let mut c_fast = c0.clone();
+            let mut c_ref = c0;
+            gemm(&mut c_fast, n, &a, kd, &b, n, m, kd, n);
+            gemm_naive(&mut c_ref, n, &a, kd, &b, n, m, kd, n);
+            assert_eq!(c_fast, c_ref, "shape ({m},{kd},{n})");
+        }
+    }
+
+    #[test]
+    fn respects_row_strides_and_leaves_tail_columns_untouched() {
+        let (m, kd, n, rsc) = (6usize, 9usize, 10usize, 13usize);
+        let a = pseudo(1, m * kd);
+        let b = pseudo(2, kd * n);
+        let mut c = vec![7.25f32; m * rsc];
+        let mut c_ref = c.clone();
+        gemm(&mut c, rsc, &a, kd, &b, n, m, kd, n);
+        gemm_naive(&mut c_ref, rsc, &a, kd, &b, n, m, kd, n);
+        assert_eq!(c, c_ref);
+        for row in c.chunks(rsc) {
+            assert!(row[n..].iter().all(|&v| v == 7.25), "tail columns must be untouched");
+        }
+    }
+
+    #[test]
+    fn backend_switch_roundtrip() {
+        let _guard = backend_test_lock();
+        set_kernel_backend(KernelBackend::Reference);
+        assert_eq!(kernel_backend(), KernelBackend::Reference);
+        set_kernel_backend(KernelBackend::Gemm);
+        assert_eq!(kernel_backend(), KernelBackend::Gemm);
+    }
+}

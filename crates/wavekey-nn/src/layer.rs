@@ -5,9 +5,17 @@
 //! the decoder uses `ConvTranspose1d` and `Dense` layers. Each layer caches
 //! whatever it needs during `forward` so that `backward` can compute both
 //! parameter gradients and the gradient with respect to its input.
+//!
+//! The convolution and dense layers dispatch their compute through the
+//! process-global [`crate::gemm::KernelBackend`] switch: the default
+//! [`crate::lowering`] path lowers to the blocked GEMM kernel; the
+//! [`crate::reference`] path runs the original naive loops. Both produce
+//! numerically identical (`==`) results — see `DESIGN.md` §10.
 
+use crate::gemm::{kernel_backend, KernelBackend};
 use crate::init;
 use crate::tensor::Tensor;
+use crate::{lowering, reference};
 
 /// A trainable parameter: its value and the gradient accumulated by the
 /// most recent backward pass.
@@ -133,72 +141,48 @@ impl Layer for Conv1d {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.ndim(), 3, "conv1d expects [batch, channels, length]");
         assert_eq!(input.shape()[1], self.in_channels, "channel mismatch");
-        let batch = input.shape()[0];
-        let l_in = input.shape()[2];
-        let l_out = self.output_len(l_in);
-        let mut out = Tensor::zeros(vec![batch, self.out_channels, l_out]);
-        let w = &self.weight.value;
-        let b = &self.bias.value;
-        for n in 0..batch {
-            for oc in 0..self.out_channels {
-                let bias = b.data()[oc];
-                for ol in 0..l_out {
-                    let mut acc = bias;
-                    let start = ol * self.stride;
-                    for ic in 0..self.in_channels {
-                        for k in 0..self.kernel {
-                            let pos = start + k;
-                            if pos < self.padding {
-                                continue;
-                            }
-                            let i = pos - self.padding;
-                            if i >= l_in {
-                                continue;
-                            }
-                            acc += w.at3(oc, ic, k) * input.at3(n, ic, i);
-                        }
-                    }
-                    *out.at3_mut(n, oc, ol) = acc;
-                }
-            }
-        }
+        let out = match kernel_backend() {
+            KernelBackend::Gemm => lowering::conv1d_forward(
+                input,
+                &self.weight.value,
+                &self.bias.value,
+                self.stride,
+                self.padding,
+            ),
+            KernelBackend::Reference => reference::conv1d_forward(
+                input,
+                &self.weight.value,
+                &self.bias.value,
+                self.stride,
+                self.padding,
+            ),
+        };
         self.cached_input = Some(input.clone());
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward before forward");
-        let batch = input.shape()[0];
-        let l_in = input.shape()[2];
-        let l_out = grad_output.shape()[2];
-        let mut grad_input = Tensor::zeros(input.shape().to_vec());
-        for n in 0..batch {
-            for oc in 0..self.out_channels {
-                for ol in 0..l_out {
-                    let g = grad_output.at3(n, oc, ol);
-                    if g == 0.0 {
-                        continue;
-                    }
-                    self.bias.grad.data_mut()[oc] += g;
-                    let start = ol * self.stride;
-                    for ic in 0..self.in_channels {
-                        for k in 0..self.kernel {
-                            let pos = start + k;
-                            if pos < self.padding {
-                                continue;
-                            }
-                            let i = pos - self.padding;
-                            if i >= l_in {
-                                continue;
-                            }
-                            *self.weight.grad.at3_mut(oc, ic, k) += g * input.at3(n, ic, i);
-                            *grad_input.at3_mut(n, ic, i) += g * self.weight.value.at3(oc, ic, k);
-                        }
-                    }
-                }
-            }
+        match kernel_backend() {
+            KernelBackend::Gemm => lowering::conv1d_backward(
+                input,
+                &self.weight.value,
+                grad_output,
+                self.stride,
+                self.padding,
+                &mut self.weight.grad,
+                &mut self.bias.grad,
+            ),
+            KernelBackend::Reference => reference::conv1d_backward(
+                input,
+                &self.weight.value,
+                grad_output,
+                self.stride,
+                self.padding,
+                &mut self.weight.grad,
+                &mut self.bias.grad,
+            ),
         }
-        grad_input
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -285,66 +269,44 @@ impl Layer for ConvTranspose1d {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.ndim(), 3, "conv_transpose1d expects [batch, channels, length]");
         assert_eq!(input.shape()[1], self.in_channels, "channel mismatch");
-        let batch = input.shape()[0];
-        let l_in = input.shape()[2];
-        let l_out = self.output_len(l_in);
-        let mut out = Tensor::zeros(vec![batch, self.out_channels, l_out]);
-        for n in 0..batch {
-            for oc in 0..self.out_channels {
-                let bias = self.bias.value.data()[oc];
-                for ol in 0..l_out {
-                    *out.at3_mut(n, oc, ol) = bias;
-                }
-            }
-            for ic in 0..self.in_channels {
-                for i in 0..l_in {
-                    let x = input.at3(n, ic, i);
-                    if x == 0.0 {
-                        continue;
-                    }
-                    for oc in 0..self.out_channels {
-                        for k in 0..self.kernel {
-                            *out.at3_mut(n, oc, i * self.stride + k) +=
-                                x * self.weight.value.at3(ic, oc, k);
-                        }
-                    }
-                }
-            }
-        }
+        let out = match kernel_backend() {
+            KernelBackend::Gemm => lowering::conv_transpose1d_forward(
+                input,
+                &self.weight.value,
+                &self.bias.value,
+                self.stride,
+            ),
+            KernelBackend::Reference => reference::conv_transpose1d_forward(
+                input,
+                &self.weight.value,
+                &self.bias.value,
+                self.stride,
+            ),
+        };
         self.cached_input = Some(input.clone());
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward before forward");
-        let batch = input.shape()[0];
-        let l_in = input.shape()[2];
-        let mut grad_input = Tensor::zeros(input.shape().to_vec());
-        // Bias gradient.
-        for n in 0..batch {
-            for oc in 0..self.out_channels {
-                for ol in 0..grad_output.shape()[2] {
-                    self.bias.grad.data_mut()[oc] += grad_output.at3(n, oc, ol);
-                }
-            }
+        match kernel_backend() {
+            KernelBackend::Gemm => lowering::conv_transpose1d_backward(
+                input,
+                &self.weight.value,
+                grad_output,
+                self.stride,
+                &mut self.weight.grad,
+                &mut self.bias.grad,
+            ),
+            KernelBackend::Reference => reference::conv_transpose1d_backward(
+                input,
+                &self.weight.value,
+                grad_output,
+                self.stride,
+                &mut self.weight.grad,
+                &mut self.bias.grad,
+            ),
         }
-        for n in 0..batch {
-            for ic in 0..self.in_channels {
-                for i in 0..l_in {
-                    let x = input.at3(n, ic, i);
-                    let mut gi = 0.0;
-                    for oc in 0..self.out_channels {
-                        for k in 0..self.kernel {
-                            let g = grad_output.at3(n, oc, i * self.stride + k);
-                            gi += g * self.weight.value.at3(ic, oc, k);
-                            *self.weight.grad.at3_mut(ic, oc, k) += g * x;
-                        }
-                    }
-                    *grad_input.at3_mut(n, ic, i) = gi;
-                }
-            }
-        }
-        grad_input
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -439,41 +401,36 @@ impl Layer for Dense {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.ndim(), 2, "dense expects [batch, features]");
         assert_eq!(input.shape()[1], self.in_features, "feature mismatch");
-        let batch = input.shape()[0];
-        let mut out = Tensor::zeros(vec![batch, self.out_features]);
-        for n in 0..batch {
-            for o in 0..self.out_features {
-                let mut acc = self.bias.value.data()[o];
-                let wrow = &self.weight.value.data()[o * self.in_features..(o + 1) * self.in_features];
-                let xrow = &input.data()[n * self.in_features..(n + 1) * self.in_features];
-                for (wi, xi) in wrow.iter().zip(xrow) {
-                    acc += wi * xi;
-                }
-                *out.at2_mut(n, o) = acc;
+        let out = match kernel_backend() {
+            KernelBackend::Gemm => {
+                lowering::dense_forward(input, &self.weight.value, &self.bias.value)
             }
-        }
+            KernelBackend::Reference => {
+                reference::dense_forward(input, &self.weight.value, &self.bias.value)
+            }
+        };
         self.cached_input = Some(input.clone());
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward before forward");
-        let batch = input.shape()[0];
-        let mut grad_input = Tensor::zeros(input.shape().to_vec());
-        for n in 0..batch {
-            for o in 0..self.out_features {
-                let g = grad_output.at2(n, o);
-                if g == 0.0 {
-                    continue;
-                }
-                self.bias.grad.data_mut()[o] += g;
-                for i in 0..self.in_features {
-                    self.weight.grad.data_mut()[o * self.in_features + i] += g * input.at2(n, i);
-                    *grad_input.at2_mut(n, i) += g * self.weight.value.data()[o * self.in_features + i];
-                }
-            }
+        match kernel_backend() {
+            KernelBackend::Gemm => lowering::dense_backward(
+                input,
+                &self.weight.value,
+                grad_output,
+                &mut self.weight.grad,
+                &mut self.bias.grad,
+            ),
+            KernelBackend::Reference => reference::dense_backward(
+                input,
+                &self.weight.value,
+                grad_output,
+                &mut self.weight.grad,
+                &mut self.bias.grad,
+            ),
         }
-        grad_input
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -10,6 +10,13 @@
 //! * [`layer`] — `Conv1d`, `Dense`, `ReLU`, `BatchNorm1d`,
 //!   `ConvTranspose1d`, `Flatten`, `Reshape`, all with hand-derived
 //!   backward passes.
+//! * [`gemm`] — the shared blocked GEMM kernel with an exactly
+//!   reproducible accumulation order, plus the [`gemm::KernelBackend`]
+//!   switch and the `WAVEKEY_THREADS` override.
+//! * [`lowering`] — im2col lowering of the convolution/dense forward and
+//!   backward passes onto [`gemm::gemm`].
+//! * [`reference`] — the original naive scalar loops, kept as the
+//!   differential-test oracle and selectable backend.
 //! * [`net`] — a [`net::Sequential`] container with forward/backward and a
 //!   compact binary (de)serialization format for trained models.
 //! * [`optim`] — SGD with momentum and Adam.
@@ -47,13 +54,17 @@
 //! assert!(last < 1e-2);
 //! ```
 
+pub mod gemm;
 pub mod init;
 pub mod layer;
 pub mod loss;
+pub mod lowering;
 pub mod net;
 pub mod optim;
+pub mod reference;
 pub mod tensor;
 
+pub use gemm::{configured_threads, kernel_backend, set_kernel_backend, KernelBackend};
 pub use layer::{
     BatchNorm1d, Conv1d, ConvTranspose1d, Dense, Flatten, Layer, LayerBox, ReLU, Reshape,
 };

@@ -1,0 +1,692 @@
+//! im2col lowering: convolution and dense ops as [`crate::gemm`] calls.
+//!
+//! Every function here reproduces the accumulation order of its
+//! counterpart in [`crate::reference`] element by element, so outputs are
+//! numerically identical (`==`) to the naive loops — the differential
+//! tests assert exactly that. The mapping per operation:
+//!
+//! * `Conv1d` forward — per-sample im2col of the input; `A` is the weight
+//!   matrix `[oc][ic·K]` used in place; the reduction index `(ic, k)`
+//!   ascends exactly like the naive loop nest.
+//! * `Conv1d` backward-weight — per-sample GEMM into a transposed
+//!   gradient scratch (`[ic·K][oc]`), samples processed sequentially so
+//!   the `n`-major order of the naive loop is preserved.
+//! * `Conv1d` backward-data — a stride-1 convolution of the
+//!   *zero-upsampled* gradient with the flipped, transposed weights. The
+//!   upsampled-gather form is used instead of a col2im scatter precisely
+//!   because a scatter would regroup each input element's sum; the gather
+//!   reads contributions in the naive `(oc asc, ol asc)` order.
+//! * `ConvTranspose1d` forward — a stride-1 convolution of the
+//!   zero-upsampled input with flipped weights `[oc][ic·K]`.
+//! * `ConvTranspose1d` backward-data — a plain strided convolution of the
+//!   gradient with the weights used in their native `[ic][oc·K]` layout.
+//! * `ConvTranspose1d` backward-weight — GEMM directly into the weight
+//!   gradient with a position-major gradient pack, reduction over input
+//!   positions in ascending order, samples sequential.
+//! * `Dense` — forward/backward-data/backward-weight are single GEMMs
+//!   over the batch with at most one transposed pack each.
+//!
+//! Where the naive loops *skip* zero terms (`g == 0.0` / padding /
+//! upsampling holes), the GEMM path adds an exact `±0.0` product instead;
+//! adding a signed zero to a finite accumulator is exact, so only the
+//! sign of an exactly-zero result can differ — which still compares `==`.
+//!
+//! Bias gradients stay as short scalar loops: they are cheap reductions
+//! whose naive order is already optimal.
+
+use crate::gemm::gemm;
+use crate::reference;
+use crate::tensor::Tensor;
+
+/// Runs `f` over per-sample `(output, input)` slice pairs, fanning out
+/// across samples when the `parallel` feature is enabled. Each sample is
+/// processed by exactly one worker, so results are order-exact at any
+/// thread count.
+fn for_each_sample(
+    out: &mut [f32],
+    out_stride: usize,
+    input: &[f32],
+    in_stride: usize,
+    f: impl Fn(&mut [f32], &[f32]) + Sync,
+) {
+    #[cfg(feature = "parallel")]
+    {
+        if crate::gemm::parallel_enabled(out.len() / out_stride) {
+            use rayon::prelude::*;
+            out.par_chunks_mut(out_stride)
+                .zip(input.par_chunks(in_stride))
+                .for_each(|(o, x)| f(o, x));
+            return;
+        }
+    }
+    for (o, x) in out.chunks_mut(out_stride).zip(input.chunks(in_stride)) {
+        f(o, x);
+    }
+}
+
+/// Packs one sample `[channels][l_in]` into im2col layout
+/// `[channels·kernel][l_out]` for a strided, padded convolution; padding
+/// positions become `0.0`.
+fn im2col(
+    x: &[f32],
+    channels: usize,
+    l_in: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    l_out: usize,
+    cols: &mut [f32],
+) {
+    for ic in 0..channels {
+        let xrow = &x[ic * l_in..][..l_in];
+        for k in 0..kernel {
+            let row = &mut cols[(ic * kernel + k) * l_out..][..l_out];
+            // Valid columns satisfy `padding <= ol·stride + k < l_in + padding`;
+            // the edges outside that range are padding zeros.
+            let lo = if k >= padding { 0 } else { (padding - k).div_ceil(stride) }.min(l_out);
+            let hi = if l_in + padding > k {
+                ((l_in + padding - k - 1) / stride + 1).min(l_out)
+            } else {
+                0
+            };
+            if lo >= hi {
+                row.fill(0.0);
+                continue;
+            }
+            row[..lo].fill(0.0);
+            row[hi..].fill(0.0);
+            let start = lo * stride + k - padding;
+            if stride == 1 {
+                row[lo..hi].copy_from_slice(&xrow[start..start + (hi - lo)]);
+            } else {
+                let mut src = start;
+                for slot in &mut row[lo..hi] {
+                    *slot = xrow[src];
+                    src += stride;
+                }
+            }
+        }
+    }
+}
+
+/// Packs one sample `[channels][l]` *zero-upsampled by `stride`* into
+/// im2col layout for a stride-1 convolution with `padding`: virtual
+/// position `j` holds `x[j / stride]` when `j` is a multiple of `stride`
+/// and `0.0` otherwise.
+#[allow(clippy::too_many_arguments)]
+fn im2col_upsampled(
+    x: &[f32],
+    channels: usize,
+    l: usize,
+    up_stride: usize,
+    kernel: usize,
+    padding: usize,
+    l_out: usize,
+    cols: &mut [f32],
+) {
+    for c in 0..channels {
+        let xrow = &x[c * l..][..l];
+        for k in 0..kernel {
+            let row = &mut cols[(c * kernel + k) * l_out..][..l_out];
+            row.fill(0.0);
+            // Source sample `s` lands in column `ol = s·up_stride + padding − k`
+            // (everything else is an upsampling hole or padding — zero).
+            let s_lo = if k > padding { (k - padding).div_ceil(up_stride) } else { 0 };
+            let s_hi = if l_out + k > padding {
+                l.min((l_out + k - padding - 1) / up_stride + 1)
+            } else {
+                0
+            };
+            if s_lo >= s_hi {
+                continue;
+            }
+            let mut ol = s_lo * up_stride + padding - k;
+            for &v in &xrow[s_lo..s_hi] {
+                row[ol] = v;
+                ol += up_stride;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ Conv1d
+
+/// GEMM-lowered `Conv1d` forward; see [`reference::conv1d_forward`].
+pub fn conv1d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> Tensor {
+    let batch = input.shape()[0];
+    let in_channels = input.shape()[1];
+    let l_in = input.shape()[2];
+    let out_channels = weight.shape()[0];
+    let kernel = weight.shape()[2];
+    let l_out = reference::conv1d_output_len(l_in, kernel, stride, padding);
+    let kd = in_channels * kernel;
+    let mut out = Tensor::zeros(vec![batch, out_channels, l_out]);
+    let w = weight.data();
+    let b = bias.data();
+    for_each_sample(out.data_mut(), out_channels * l_out, input.data(), in_channels * l_in, |o, x| {
+        let mut cols = vec![0f32; kd * l_out];
+        im2col(x, in_channels, l_in, kernel, stride, padding, l_out, &mut cols);
+        for (oc, row) in o.chunks_mut(l_out).enumerate() {
+            row.fill(b[oc]);
+        }
+        gemm(o, l_out, w, kd, &cols, l_out, out_channels, kd, l_out);
+    });
+    out
+}
+
+/// GEMM-lowered `Conv1d` backward; see [`reference::conv1d_backward`].
+///
+/// Falls back to the reference loop when `padding >= kernel` (the dual
+/// convolution's padding would go negative; no WaveKey model hits this).
+#[allow(clippy::too_many_arguments)]
+pub fn conv1d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    stride: usize,
+    padding: usize,
+    weight_grad: &mut Tensor,
+    bias_grad: &mut Tensor,
+) -> Tensor {
+    let out_channels = weight.shape()[0];
+    let kernel = weight.shape()[2];
+    if padding >= kernel {
+        return reference::conv1d_backward(
+            input, weight, grad_output, stride, padding, weight_grad, bias_grad,
+        );
+    }
+    let batch = input.shape()[0];
+    let in_channels = input.shape()[1];
+    let l_in = input.shape()[2];
+    let l_out = grad_output.shape()[2];
+    let ick = in_channels * kernel;
+    let g = grad_output.data();
+
+    // Bias gradient: same (n asc, ol asc) order as the naive loop.
+    {
+        let bg = bias_grad.data_mut();
+        for n in 0..batch {
+            for (oc, acc) in bg.iter_mut().enumerate() {
+                let grow = &g[(n * out_channels + oc) * l_out..][..l_out];
+                for &gv in grow {
+                    *acc += gv;
+                }
+            }
+        }
+    }
+
+    // Weight gradient, accumulated in a transposed scratch [ic·K][oc] so
+    // the GEMM reduction runs over output positions (ascending `ol`),
+    // with samples strictly sequential — the naive n-major order.
+    {
+        let wg = weight_grad.data_mut();
+        let mut gwt = vec![0f32; ick * out_channels];
+        for oc in 0..out_channels {
+            for r in 0..ick {
+                gwt[r * out_channels + oc] = wg[oc * ick + r];
+            }
+        }
+        let mut cols = vec![0f32; ick * l_out];
+        let mut gt = vec![0f32; l_out * out_channels];
+        for n in 0..batch {
+            let x = &input.data()[n * in_channels * l_in..][..in_channels * l_in];
+            im2col(x, in_channels, l_in, kernel, stride, padding, l_out, &mut cols);
+            for oc in 0..out_channels {
+                let grow = &g[(n * out_channels + oc) * l_out..][..l_out];
+                for (ol, &gv) in grow.iter().enumerate() {
+                    gt[ol * out_channels + oc] = gv;
+                }
+            }
+            gemm(&mut gwt, out_channels, &cols, l_out, &gt, out_channels, ick, l_out, out_channels);
+        }
+        for oc in 0..out_channels {
+            for r in 0..ick {
+                wg[oc * ick + r] = gwt[r * out_channels + oc];
+            }
+        }
+    }
+
+    // Input gradient: stride-1 convolution of the zero-upsampled gradient
+    // with the flipped, transposed weights [ic][oc·K].
+    let ock = out_channels * kernel;
+    let mut wflip = vec![0f32; in_channels * ock];
+    for ic in 0..in_channels {
+        for oc in 0..out_channels {
+            for kk in 0..kernel {
+                wflip[ic * ock + oc * kernel + kk] =
+                    weight.data()[(oc * in_channels + ic) * kernel + (kernel - 1 - kk)];
+            }
+        }
+    }
+    let dual_padding = kernel - 1 - padding;
+    // Highest input index the naive scatter writes is
+    // `(l_out−1)·stride + kernel − 1 − padding`; columns past it stay zero.
+    let gi_len = l_in.min((l_out - 1) * stride + kernel - padding);
+    let mut grad_input = Tensor::zeros(input.shape().to_vec());
+    for_each_sample(grad_input.data_mut(), in_channels * l_in, g, out_channels * l_out, |gi, gs| {
+        let mut cols = vec![0f32; ock * gi_len];
+        im2col_upsampled(gs, out_channels, l_out, stride, kernel, dual_padding, gi_len, &mut cols);
+        gemm(gi, l_in, &wflip, ock, &cols, gi_len, in_channels, ock, gi_len);
+    });
+    grad_input
+}
+
+// --------------------------------------------------------- ConvTranspose1d
+
+/// `true` when the zero-upsampled input's non-zero support is narrower
+/// than one kernel window: the lowered GEMM would multiply mostly padding
+/// zeros, so the naive loop is strictly cheaper. (Hit by the decoder's
+/// first deconvolution, which expands a length-1 latent.)
+fn transpose_degenerate(l_in: usize, stride: usize, kernel: usize) -> bool {
+    (l_in - 1) * stride + 1 < kernel
+}
+
+/// GEMM-lowered `ConvTranspose1d` forward; see
+/// [`reference::conv_transpose1d_forward`]: a stride-1 convolution of the
+/// zero-upsampled input with flipped weights.
+pub fn conv_transpose1d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+) -> Tensor {
+    let batch = input.shape()[0];
+    let in_channels = input.shape()[1];
+    let l_in = input.shape()[2];
+    let out_channels = weight.shape()[1];
+    let kernel = weight.shape()[2];
+    if transpose_degenerate(l_in, stride, kernel) {
+        return reference::conv_transpose1d_forward(input, weight, bias, stride);
+    }
+    let l_out = (l_in - 1) * stride + kernel;
+    let ick = in_channels * kernel;
+    let mut wt = vec![0f32; out_channels * ick];
+    for oc in 0..out_channels {
+        for ic in 0..in_channels {
+            for kk in 0..kernel {
+                wt[oc * ick + ic * kernel + kk] =
+                    weight.data()[(ic * out_channels + oc) * kernel + (kernel - 1 - kk)];
+            }
+        }
+    }
+    let b = bias.data();
+    let mut out = Tensor::zeros(vec![batch, out_channels, l_out]);
+    for_each_sample(out.data_mut(), out_channels * l_out, input.data(), in_channels * l_in, |o, x| {
+        let mut cols = vec![0f32; ick * l_out];
+        im2col_upsampled(x, in_channels, l_in, stride, kernel, kernel - 1, l_out, &mut cols);
+        for (oc, row) in o.chunks_mut(l_out).enumerate() {
+            row.fill(b[oc]);
+        }
+        gemm(o, l_out, &wt, ick, &cols, l_out, out_channels, ick, l_out);
+    });
+    out
+}
+
+/// GEMM-lowered `ConvTranspose1d` backward; see
+/// [`reference::conv_transpose1d_backward`].
+pub fn conv_transpose1d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    stride: usize,
+    weight_grad: &mut Tensor,
+    bias_grad: &mut Tensor,
+) -> Tensor {
+    let batch = input.shape()[0];
+    let in_channels = input.shape()[1];
+    let l_in = input.shape()[2];
+    let out_channels = weight.shape()[1];
+    let kernel = weight.shape()[2];
+    if transpose_degenerate(l_in, stride, kernel) {
+        return reference::conv_transpose1d_backward(
+            input, weight, grad_output, stride, weight_grad, bias_grad,
+        );
+    }
+    let l_out = grad_output.shape()[2];
+    let ock = out_channels * kernel;
+    let g = grad_output.data();
+
+    // Bias gradient: same (n asc, ol asc) order as the naive loop.
+    {
+        let bg = bias_grad.data_mut();
+        for n in 0..batch {
+            for (oc, acc) in bg.iter_mut().enumerate() {
+                let grow = &g[(n * out_channels + oc) * l_out..][..l_out];
+                for &gv in grow {
+                    *acc += gv;
+                }
+            }
+        }
+    }
+
+    // Weight gradient, directly in place [ic][oc·K]: per sample, `A` is
+    // the cached input [ic][l_in] and `B` the position-major gradient
+    // pack [l_in][oc·K]; the reduction ascends input positions, samples
+    // sequential — the naive order.
+    {
+        let wg = weight_grad.data_mut();
+        let mut bpos = vec![0f32; l_in * ock];
+        for n in 0..batch {
+            let x = &input.data()[n * in_channels * l_in..][..in_channels * l_in];
+            for i in 0..l_in {
+                for oc in 0..out_channels {
+                    let grow = &g[(n * out_channels + oc) * l_out + i * stride..][..kernel];
+                    bpos[i * ock + oc * kernel..][..kernel].copy_from_slice(grow);
+                }
+            }
+            gemm(wg, ock, x, l_in, &bpos, ock, in_channels, l_in, ock);
+        }
+    }
+
+    // Input gradient: a plain strided convolution of the gradient with
+    // the weights in their native [ic][oc·K] layout.
+    let mut grad_input = Tensor::zeros(input.shape().to_vec());
+    let w = weight.data();
+    for_each_sample(grad_input.data_mut(), in_channels * l_in, g, out_channels * l_out, |gi, gs| {
+        let mut cols = vec![0f32; ock * l_in];
+        im2col(gs, out_channels, l_out, kernel, stride, 0, l_in, &mut cols);
+        gemm(gi, l_in, w, ock, &cols, l_in, in_channels, ock, l_in);
+    });
+    grad_input
+}
+
+// ------------------------------------------------------------------- Dense
+
+/// GEMM-lowered `Dense` forward; see [`reference::dense_forward`].
+pub fn dense_forward(input: &Tensor, weight: &Tensor, bias: &Tensor) -> Tensor {
+    let batch = input.shape()[0];
+    let in_features = input.shape()[1];
+    let out_features = weight.shape()[0];
+    let mut wt = vec![0f32; in_features * out_features];
+    for o in 0..out_features {
+        for i in 0..in_features {
+            wt[i * out_features + o] = weight.data()[o * in_features + i];
+        }
+    }
+    let mut out = Tensor::zeros(vec![batch, out_features]);
+    for row in out.data_mut().chunks_mut(out_features) {
+        row.copy_from_slice(bias.data());
+    }
+    gemm(
+        out.data_mut(),
+        out_features,
+        input.data(),
+        in_features,
+        &wt,
+        out_features,
+        batch,
+        in_features,
+        out_features,
+    );
+    out
+}
+
+/// GEMM-lowered `Dense` backward; see [`reference::dense_backward`].
+pub fn dense_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    weight_grad: &mut Tensor,
+    bias_grad: &mut Tensor,
+) -> Tensor {
+    let batch = input.shape()[0];
+    let in_features = input.shape()[1];
+    let out_features = weight.shape()[0];
+    let g = grad_output.data();
+
+    // Bias gradient: ascending batch order per output, as in the naive loop.
+    {
+        let bg = bias_grad.data_mut();
+        for n in 0..batch {
+            let grow = &g[n * out_features..][..out_features];
+            for (acc, &gv) in bg.iter_mut().zip(grow) {
+                *acc += gv;
+            }
+        }
+    }
+
+    // Weight gradient in place [of][if]: `A` is the transposed gradient
+    // [of][batch], `B` the input [batch][if]; reduction over the batch in
+    // ascending order.
+    {
+        let mut gt = vec![0f32; out_features * batch];
+        for n in 0..batch {
+            for o in 0..out_features {
+                gt[o * batch + n] = g[n * out_features + o];
+            }
+        }
+        gemm(
+            weight_grad.data_mut(),
+            in_features,
+            &gt,
+            batch,
+            input.data(),
+            in_features,
+            out_features,
+            batch,
+            in_features,
+        );
+    }
+
+    // Input gradient: `A` is the gradient [batch][of], `B` the weight
+    // [of][if]; reduction over outputs in ascending order.
+    let mut grad_input = Tensor::zeros(input.shape().to_vec());
+    gemm(
+        grad_input.data_mut(),
+        in_features,
+        g,
+        out_features,
+        weight.data(),
+        in_features,
+        batch,
+        out_features,
+        in_features,
+    );
+    grad_input
+}
+
+#[cfg(test)]
+mod tests {
+    //! Seeded exhaustive differential tests: the GEMM lowering must equal
+    //! the naive reference loops *bitwise* (`==`) — forward, both
+    //! gradients, odd shapes, stride > 1, padding up to `kernel − 1`,
+    //! batch > 1, nonzero initial parameter gradients, and sparse
+    //! (ReLU-like) output gradients that exercise the reference `g == 0`
+    //! skip path. A cargo-only proptest flavor lives in `tests/`.
+
+    use super::*;
+    use crate::gemm::KernelBackend;
+    use crate::init::uniform;
+
+    /// Zeroes roughly half the elements (ReLU-like sparsity) so the
+    /// reference `g == 0.0 { continue }` branches are exercised.
+    fn sparsify(t: &Tensor) -> Tensor {
+        let data = t.data().iter().map(|&v| if v > 0.0 { v } else { 0.0 }).collect();
+        Tensor::from_vec(data, t.shape().to_vec())
+    }
+
+    fn conv1d_case(batch: usize, ic: usize, oc: usize, l_in: usize, k: usize, s: usize, p: usize, seed: u64) {
+        let input = uniform(vec![batch, ic, l_in], -1.0, 1.0, seed);
+        let weight = uniform(vec![oc, ic, k], -1.0, 1.0, seed + 1);
+        let bias = uniform(vec![oc], -0.5, 0.5, seed + 2);
+        let out_ref = reference::conv1d_forward(&input, &weight, &bias, s, p);
+        let out_gemm = conv1d_forward(&input, &weight, &bias, s, p);
+        assert_eq!(out_ref, out_gemm, "forward b{batch} ic{ic} oc{oc} l{l_in} k{k} s{s} p{p}");
+
+        // Backward from both a dense and a sparse output gradient, with
+        // nonzero initial parameter gradients (the `+=` contract).
+        for (tag, grad_out) in [
+            ("dense", uniform(out_ref.shape().to_vec(), -1.0, 1.0, seed + 3)),
+            ("sparse", sparsify(&uniform(out_ref.shape().to_vec(), -1.0, 1.0, seed + 4))),
+        ] {
+            let wg0 = uniform(vec![oc, ic, k], -0.1, 0.1, seed + 5);
+            let bg0 = uniform(vec![oc], -0.1, 0.1, seed + 6);
+            let (mut wg_r, mut bg_r) = (wg0.clone(), bg0.clone());
+            let (mut wg_g, mut bg_g) = (wg0, bg0);
+            let gi_ref =
+                reference::conv1d_backward(&input, &weight, &grad_out, s, p, &mut wg_r, &mut bg_r);
+            let gi_gemm = conv1d_backward(&input, &weight, &grad_out, s, p, &mut wg_g, &mut bg_g);
+            assert_eq!(gi_ref, gi_gemm, "{tag} grad_input b{batch} k{k} s{s} p{p}");
+            assert_eq!(wg_r, wg_g, "{tag} weight grad b{batch} k{k} s{s} p{p}");
+            assert_eq!(bg_r, bg_g, "{tag} bias grad b{batch} k{k} s{s} p{p}");
+        }
+    }
+
+    #[test]
+    fn conv1d_matches_reference_bitwise() {
+        // (batch, ic, oc, l_in, kernel, stride, padding) straddling every
+        // edge: odd lengths, stride > 1, padding up to kernel − 1, and the
+        // real WaveKey encoder shapes.
+        for (i, &(b, ic, oc, l, k, s, p)) in [
+            (1, 1, 1, 1, 1, 1, 0),
+            (1, 1, 1, 5, 2, 1, 0),
+            (2, 2, 3, 9, 3, 1, 1),
+            (3, 2, 2, 11, 4, 2, 2),
+            (2, 3, 5, 17, 5, 3, 4),
+            (1, 4, 2, 8, 3, 2, 2),
+            (2, 1, 2, 7, 5, 5, 3),
+            (4, 3, 8, 50, 7, 2, 0),
+            (2, 8, 16, 23, 5, 2, 0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            conv1d_case(b, ic, oc, l, k, s, p, 100 + i as u64 * 10);
+        }
+    }
+
+    fn conv_transpose_case(batch: usize, ic: usize, oc: usize, l_in: usize, k: usize, s: usize, seed: u64) {
+        let input = uniform(vec![batch, ic, l_in], -1.0, 1.0, seed);
+        let weight = uniform(vec![ic, oc, k], -1.0, 1.0, seed + 1);
+        let bias = uniform(vec![oc], -0.5, 0.5, seed + 2);
+        let out_ref = reference::conv_transpose1d_forward(&input, &weight, &bias, s);
+        let out_gemm = conv_transpose1d_forward(&input, &weight, &bias, s);
+        assert_eq!(out_ref, out_gemm, "forward b{batch} ic{ic} oc{oc} l{l_in} k{k} s{s}");
+
+        // Also run forward on a sparsified input: the reference skips
+        // x == 0.0 contributions entirely.
+        let sparse_in = sparsify(&input);
+        assert_eq!(
+            reference::conv_transpose1d_forward(&sparse_in, &weight, &bias, s),
+            conv_transpose1d_forward(&sparse_in, &weight, &bias, s),
+            "sparse forward b{batch} k{k} s{s}"
+        );
+
+        for (tag, grad_out) in [
+            ("dense", uniform(out_ref.shape().to_vec(), -1.0, 1.0, seed + 3)),
+            ("sparse", sparsify(&uniform(out_ref.shape().to_vec(), -1.0, 1.0, seed + 4))),
+        ] {
+            let wg0 = uniform(vec![ic, oc, k], -0.1, 0.1, seed + 5);
+            let bg0 = uniform(vec![oc], -0.1, 0.1, seed + 6);
+            let (mut wg_r, mut bg_r) = (wg0.clone(), bg0.clone());
+            let (mut wg_g, mut bg_g) = (wg0, bg0);
+            let gi_ref = reference::conv_transpose1d_backward(
+                &input, &weight, &grad_out, s, &mut wg_r, &mut bg_r,
+            );
+            let gi_gemm =
+                conv_transpose1d_backward(&input, &weight, &grad_out, s, &mut wg_g, &mut bg_g);
+            assert_eq!(gi_ref, gi_gemm, "{tag} grad_input b{batch} k{k} s{s}");
+            assert_eq!(wg_r, wg_g, "{tag} weight grad b{batch} k{k} s{s}");
+            assert_eq!(bg_r, bg_g, "{tag} bias grad b{batch} k{k} s{s}");
+        }
+    }
+
+    #[test]
+    fn conv_transpose1d_matches_reference_bitwise() {
+        for (i, &(b, ic, oc, l, k, s)) in [
+            (1, 1, 1, 1, 1, 1),
+            (1, 1, 1, 4, 3, 1),
+            (2, 2, 3, 7, 4, 2),
+            (3, 3, 2, 9, 5, 3),
+            (2, 4, 1, 11, 8, 4),
+            (1, 12, 16, 1, 8, 4),
+            (2, 8, 4, 32, 12, 3),
+        ]
+        .iter()
+        .enumerate()
+        {
+            conv_transpose_case(b, ic, oc, l, k, s, 500 + i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn dense_matches_reference_bitwise() {
+        for (i, &(b, inf, of)) in
+            [(1, 1, 1), (2, 3, 5), (7, 13, 11), (32, 752, 12), (4, 420, 40)].iter().enumerate()
+        {
+            let seed = 900 + i as u64 * 10;
+            let input = uniform(vec![b, inf], -1.0, 1.0, seed);
+            let weight = uniform(vec![of, inf], -1.0, 1.0, seed + 1);
+            let bias = uniform(vec![of], -0.5, 0.5, seed + 2);
+            let out_ref = reference::dense_forward(&input, &weight, &bias);
+            let out_gemm = dense_forward(&input, &weight, &bias);
+            assert_eq!(out_ref, out_gemm, "forward b{b} in{inf} out{of}");
+
+            for (tag, grad_out) in [
+                ("dense", uniform(vec![b, of], -1.0, 1.0, seed + 3)),
+                ("sparse", sparsify(&uniform(vec![b, of], -1.0, 1.0, seed + 4))),
+            ] {
+                let wg0 = uniform(vec![of, inf], -0.1, 0.1, seed + 5);
+                let bg0 = uniform(vec![of], -0.1, 0.1, seed + 6);
+                let (mut wg_r, mut bg_r) = (wg0.clone(), bg0.clone());
+                let (mut wg_g, mut bg_g) = (wg0, bg0);
+                let gi_ref =
+                    reference::dense_backward(&input, &weight, &grad_out, &mut wg_r, &mut bg_r);
+                let gi_gemm = dense_backward(&input, &weight, &grad_out, &mut wg_g, &mut bg_g);
+                assert_eq!(gi_ref, gi_gemm, "{tag} grad_input b{b} in{inf} out{of}");
+                assert_eq!(wg_r, wg_g, "{tag} weight grad b{b} in{inf} out{of}");
+                assert_eq!(bg_r, bg_g, "{tag} bias grad b{b} in{inf} out{of}");
+            }
+        }
+    }
+
+    #[test]
+    fn whole_network_training_is_backend_identical() {
+        // A miniature encoder/decoder trained for a few Adam steps under
+        // each backend: the per-step losses and the final parameters must
+        // be bitwise identical — the guarantee that lets the workspace
+        // regenerate artifacts without success counts moving.
+        use crate::layer::{Conv1d, ConvTranspose1d, Dense, Flatten, ReLU};
+        use crate::loss::mse;
+        use crate::net::Sequential;
+        use crate::optim::{Adam, Optimizer};
+
+        fn train(backend: KernelBackend) -> (Vec<f32>, Vec<u8>) {
+            crate::gemm::set_kernel_backend(backend);
+            let mut net = Sequential::new();
+            net.push(Conv1d::with_stride(3, 4, 5, 2, 2, 1));
+            net.push(ReLU::new());
+            net.push(ConvTranspose1d::new(4, 2, 4, 2, 2));
+            net.push(ReLU::new());
+            net.push(Flatten::new());
+            // Conv: 20 → 10 (k5 s2 p2); ConvTranspose: 10 → 22 (k4 s2).
+            net.push(Dense::new(2 * 22, 16, 3));
+            let mut opt = Adam::new(1e-2);
+            let x = uniform(vec![6, 3, 20], -1.0, 1.0, 42);
+            let y = uniform(vec![6, 16], -1.0, 1.0, 43);
+            let mut losses = Vec::new();
+            for _ in 0..5 {
+                let out = net.forward(&x, true);
+                let (loss, grad) = mse(&out, &y);
+                losses.push(loss);
+                net.zero_grad();
+                net.backward(&grad);
+                opt.step(&mut net.params_mut());
+            }
+            (losses, net.encode())
+        }
+
+        let _guard = crate::gemm::backend_test_lock();
+        let (loss_gemm, model_gemm) = train(KernelBackend::Gemm);
+        let (loss_ref, model_ref) = train(KernelBackend::Reference);
+        crate::gemm::set_kernel_backend(KernelBackend::Gemm);
+        assert_eq!(loss_gemm, loss_ref, "loss curves must be bitwise identical");
+        assert_eq!(model_gemm, model_ref, "trained models must serialize identically");
+    }
+}

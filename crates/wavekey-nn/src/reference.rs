@@ -1,0 +1,243 @@
+//! Reference (naive) compute kernels for the convolution and dense layers.
+//!
+//! These are the original scalar loops the layers shipped with, kept as
+//! free functions so the blocked GEMM kernels in [`crate::lowering`] can be
+//! pinned against them by differential tests. The GEMM path reproduces the
+//! accumulation order of these loops *exactly* (see `DESIGN.md` §10), so
+//! the differential tests assert bitwise `==` equality, not a tolerance.
+//!
+//! Layouts match the layers: `Conv1d` weights are
+//! `[out_channels, in_channels, kernel]`, `ConvTranspose1d` weights are
+//! `[in_channels, out_channels, kernel]`, `Dense` weights are
+//! `[out_features, in_features]`.
+
+use crate::tensor::Tensor;
+
+/// Output length of a strided, padded 1-D convolution.
+///
+/// # Panics
+///
+/// Panics when the padded input is shorter than the kernel.
+pub fn conv1d_output_len(l_in: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    let padded = l_in + 2 * padding;
+    assert!(padded >= kernel, "input too short for kernel");
+    (padded - kernel) / stride + 1
+}
+
+/// Naive `Conv1d` forward over `[batch, in_channels, length]`.
+pub fn conv1d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> Tensor {
+    let batch = input.shape()[0];
+    let in_channels = input.shape()[1];
+    let l_in = input.shape()[2];
+    let out_channels = weight.shape()[0];
+    let kernel = weight.shape()[2];
+    let l_out = conv1d_output_len(l_in, kernel, stride, padding);
+    let mut out = Tensor::zeros(vec![batch, out_channels, l_out]);
+    for n in 0..batch {
+        for oc in 0..out_channels {
+            let b = bias.data()[oc];
+            for ol in 0..l_out {
+                let mut acc = b;
+                let start = ol * stride;
+                for ic in 0..in_channels {
+                    for k in 0..kernel {
+                        let pos = start + k;
+                        if pos < padding {
+                            continue;
+                        }
+                        let i = pos - padding;
+                        if i >= l_in {
+                            continue;
+                        }
+                        acc += weight.at3(oc, ic, k) * input.at3(n, ic, i);
+                    }
+                }
+                *out.at3_mut(n, oc, ol) = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Naive `Conv1d` backward: accumulates into `weight_grad` / `bias_grad`
+/// and returns the gradient with respect to the input.
+#[allow(clippy::too_many_arguments)]
+pub fn conv1d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    stride: usize,
+    padding: usize,
+    weight_grad: &mut Tensor,
+    bias_grad: &mut Tensor,
+) -> Tensor {
+    let batch = input.shape()[0];
+    let in_channels = input.shape()[1];
+    let l_in = input.shape()[2];
+    let out_channels = weight.shape()[0];
+    let kernel = weight.shape()[2];
+    let l_out = grad_output.shape()[2];
+    let mut grad_input = Tensor::zeros(input.shape().to_vec());
+    for n in 0..batch {
+        for oc in 0..out_channels {
+            for ol in 0..l_out {
+                let g = grad_output.at3(n, oc, ol);
+                if g == 0.0 {
+                    continue;
+                }
+                bias_grad.data_mut()[oc] += g;
+                let start = ol * stride;
+                for ic in 0..in_channels {
+                    for k in 0..kernel {
+                        let pos = start + k;
+                        if pos < padding {
+                            continue;
+                        }
+                        let i = pos - padding;
+                        if i >= l_in {
+                            continue;
+                        }
+                        *weight_grad.at3_mut(oc, ic, k) += g * input.at3(n, ic, i);
+                        *grad_input.at3_mut(n, ic, i) += g * weight.at3(oc, ic, k);
+                    }
+                }
+            }
+        }
+    }
+    grad_input
+}
+
+/// Naive `ConvTranspose1d` forward over `[batch, in_channels, length]`.
+pub fn conv_transpose1d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+) -> Tensor {
+    let batch = input.shape()[0];
+    let in_channels = input.shape()[1];
+    let l_in = input.shape()[2];
+    let out_channels = weight.shape()[1];
+    let kernel = weight.shape()[2];
+    let l_out = (l_in - 1) * stride + kernel;
+    let mut out = Tensor::zeros(vec![batch, out_channels, l_out]);
+    for n in 0..batch {
+        for oc in 0..out_channels {
+            let b = bias.data()[oc];
+            for ol in 0..l_out {
+                *out.at3_mut(n, oc, ol) = b;
+            }
+        }
+        for ic in 0..in_channels {
+            for i in 0..l_in {
+                let x = input.at3(n, ic, i);
+                if x == 0.0 {
+                    continue;
+                }
+                for oc in 0..out_channels {
+                    for k in 0..kernel {
+                        *out.at3_mut(n, oc, i * stride + k) += x * weight.at3(ic, oc, k);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Naive `ConvTranspose1d` backward: accumulates into `weight_grad` /
+/// `bias_grad` and returns the gradient with respect to the input.
+pub fn conv_transpose1d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    stride: usize,
+    weight_grad: &mut Tensor,
+    bias_grad: &mut Tensor,
+) -> Tensor {
+    let batch = input.shape()[0];
+    let in_channels = input.shape()[1];
+    let l_in = input.shape()[2];
+    let out_channels = weight.shape()[1];
+    let kernel = weight.shape()[2];
+    let mut grad_input = Tensor::zeros(input.shape().to_vec());
+    for n in 0..batch {
+        for oc in 0..out_channels {
+            for ol in 0..grad_output.shape()[2] {
+                bias_grad.data_mut()[oc] += grad_output.at3(n, oc, ol);
+            }
+        }
+    }
+    for n in 0..batch {
+        for ic in 0..in_channels {
+            for i in 0..l_in {
+                let x = input.at3(n, ic, i);
+                let mut gi = 0.0;
+                for oc in 0..out_channels {
+                    for k in 0..kernel {
+                        let g = grad_output.at3(n, oc, i * stride + k);
+                        gi += g * weight.at3(ic, oc, k);
+                        *weight_grad.at3_mut(ic, oc, k) += g * x;
+                    }
+                }
+                *grad_input.at3_mut(n, ic, i) = gi;
+            }
+        }
+    }
+    grad_input
+}
+
+/// Naive `Dense` forward over `[batch, in_features]`.
+pub fn dense_forward(input: &Tensor, weight: &Tensor, bias: &Tensor) -> Tensor {
+    let batch = input.shape()[0];
+    let in_features = input.shape()[1];
+    let out_features = weight.shape()[0];
+    let mut out = Tensor::zeros(vec![batch, out_features]);
+    for n in 0..batch {
+        for o in 0..out_features {
+            let mut acc = bias.data()[o];
+            let wrow = &weight.data()[o * in_features..(o + 1) * in_features];
+            let xrow = &input.data()[n * in_features..(n + 1) * in_features];
+            for (wi, xi) in wrow.iter().zip(xrow) {
+                acc += wi * xi;
+            }
+            *out.at2_mut(n, o) = acc;
+        }
+    }
+    out
+}
+
+/// Naive `Dense` backward: accumulates into `weight_grad` / `bias_grad`
+/// and returns the gradient with respect to the input.
+pub fn dense_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    weight_grad: &mut Tensor,
+    bias_grad: &mut Tensor,
+) -> Tensor {
+    let batch = input.shape()[0];
+    let in_features = input.shape()[1];
+    let out_features = weight.shape()[0];
+    let mut grad_input = Tensor::zeros(input.shape().to_vec());
+    for n in 0..batch {
+        for o in 0..out_features {
+            let g = grad_output.at2(n, o);
+            if g == 0.0 {
+                continue;
+            }
+            bias_grad.data_mut()[o] += g;
+            for i in 0..in_features {
+                weight_grad.data_mut()[o * in_features + i] += g * input.at2(n, i);
+                *grad_input.at2_mut(n, i) += g * weight.data()[o * in_features + i];
+            }
+        }
+    }
+    grad_input
+}

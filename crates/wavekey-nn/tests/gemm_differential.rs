@@ -1,0 +1,131 @@
+//! Property-based differential tests: the im2col/GEMM lowering must
+//! reproduce the naive reference loops exactly over arbitrary layer
+//! shapes — odd lengths, stride > 1, padding, and batch > 1.
+//!
+//! The seeded exhaustive differentials live as unit tests in
+//! `src/lowering.rs` (offline-rig-runnable); this file adds the
+//! proptest-driven shape sweep (cargo-only, like the other property
+//! suites in the workspace).
+//!
+//! Outputs are compared with `==` (not an epsilon): the GEMM microkernel
+//! adds every product of each output element in strictly ascending-k
+//! order, matching the reference loops' accumulation order, so results
+//! are bit-identical (`-0.0 == 0.0` covers positions where the reference
+//! skips an explicit zero term the lowering multiplies).
+
+use proptest::prelude::*;
+use wavekey_nn::tensor::Tensor;
+use wavekey_nn::{lowering, reference};
+
+/// A deterministic pseudo-random tensor: shape-independent fill from a
+/// seed, values in roughly [-1, 1].
+fn filled(shape: Vec<usize>, seed: u64) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n)
+        .map(|i| {
+            let x = (i as u64 ^ seed)
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((x >> 33) % 2001) as f32 / 1000.0 - 1.0
+        })
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+proptest! {
+    #[test]
+    fn conv1d_forward_and_backward_match_reference(
+        batch in 1usize..4,
+        in_ch in 1usize..4,
+        out_ch in 1usize..4,
+        kernel in 1usize..8,
+        stride in 1usize..5,
+        padding in 0usize..4,
+        extra in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        let l_in = kernel + extra;
+        let x = filled(vec![batch, in_ch, l_in], seed);
+        let w = filled(vec![out_ch, in_ch, kernel], seed ^ 0x11);
+        let b = filled(vec![out_ch], seed ^ 0x22);
+
+        let y_ref = reference::conv1d_forward(&x, &w, &b, stride, padding);
+        let y_gemm = lowering::conv1d_forward(&x, &w, &b, stride, padding);
+        prop_assert_eq!(y_ref.shape(), y_gemm.shape());
+        prop_assert!(y_ref.data() == y_gemm.data(), "forward outputs diverge");
+
+        let g = filled(y_ref.shape().to_vec(), seed ^ 0x33);
+        let mut wg_ref = Tensor::zeros(w.shape().to_vec());
+        let mut bg_ref = Tensor::zeros(b.shape().to_vec());
+        let gx_ref =
+            reference::conv1d_backward(&x, &w, &g, stride, padding, &mut wg_ref, &mut bg_ref);
+        let mut wg_gemm = Tensor::zeros(w.shape().to_vec());
+        let mut bg_gemm = Tensor::zeros(b.shape().to_vec());
+        let gx_gemm =
+            lowering::conv1d_backward(&x, &w, &g, stride, padding, &mut wg_gemm, &mut bg_gemm);
+        prop_assert!(gx_ref.data() == gx_gemm.data(), "input gradients diverge");
+        prop_assert!(wg_ref.data() == wg_gemm.data(), "weight gradients diverge");
+        prop_assert!(bg_ref.data() == bg_gemm.data(), "bias gradients diverge");
+    }
+
+    #[test]
+    fn conv_transpose1d_forward_and_backward_match_reference(
+        batch in 1usize..4,
+        in_ch in 1usize..4,
+        out_ch in 1usize..4,
+        kernel in 1usize..9,
+        stride in 1usize..5,
+        l_in in 1usize..10, // includes the degenerate length-1 latent
+        seed in any::<u64>(),
+    ) {
+        let x = filled(vec![batch, in_ch, l_in], seed);
+        let w = filled(vec![in_ch, out_ch, kernel], seed ^ 0x44);
+        let b = filled(vec![out_ch], seed ^ 0x55);
+
+        let y_ref = reference::conv_transpose1d_forward(&x, &w, &b, stride);
+        let y_gemm = lowering::conv_transpose1d_forward(&x, &w, &b, stride);
+        prop_assert_eq!(y_ref.shape(), y_gemm.shape());
+        prop_assert!(y_ref.data() == y_gemm.data(), "forward outputs diverge");
+
+        let g = filled(y_ref.shape().to_vec(), seed ^ 0x66);
+        let mut wg_ref = Tensor::zeros(w.shape().to_vec());
+        let mut bg_ref = Tensor::zeros(b.shape().to_vec());
+        let gx_ref =
+            reference::conv_transpose1d_backward(&x, &w, &g, stride, &mut wg_ref, &mut bg_ref);
+        let mut wg_gemm = Tensor::zeros(w.shape().to_vec());
+        let mut bg_gemm = Tensor::zeros(b.shape().to_vec());
+        let gx_gemm =
+            lowering::conv_transpose1d_backward(&x, &w, &g, stride, &mut wg_gemm, &mut bg_gemm);
+        prop_assert!(gx_ref.data() == gx_gemm.data(), "input gradients diverge");
+        prop_assert!(wg_ref.data() == wg_gemm.data(), "weight gradients diverge");
+        prop_assert!(bg_ref.data() == bg_gemm.data(), "bias gradients diverge");
+    }
+
+    #[test]
+    fn dense_forward_and_backward_match_reference(
+        batch in 1usize..5,
+        in_f in 1usize..20,
+        out_f in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let x = filled(vec![batch, in_f], seed);
+        let w = filled(vec![out_f, in_f], seed ^ 0x77);
+        let b = filled(vec![out_f], seed ^ 0x88);
+
+        let y_ref = reference::dense_forward(&x, &w, &b);
+        let y_gemm = lowering::dense_forward(&x, &w, &b);
+        prop_assert_eq!(y_ref.shape(), y_gemm.shape());
+        prop_assert!(y_ref.data() == y_gemm.data(), "forward outputs diverge");
+
+        let g = filled(y_ref.shape().to_vec(), seed ^ 0x99);
+        let mut wg_ref = Tensor::zeros(w.shape().to_vec());
+        let mut bg_ref = Tensor::zeros(b.shape().to_vec());
+        let gx_ref = reference::dense_backward(&x, &w, &g, &mut wg_ref, &mut bg_ref);
+        let mut wg_gemm = Tensor::zeros(w.shape().to_vec());
+        let mut bg_gemm = Tensor::zeros(b.shape().to_vec());
+        let gx_gemm = lowering::dense_backward(&x, &w, &g, &mut wg_gemm, &mut bg_gemm);
+        prop_assert!(gx_ref.data() == gx_gemm.data(), "input gradients diverge");
+        prop_assert!(wg_ref.data() == wg_gemm.data(), "weight gradients diverge");
+        prop_assert!(bg_ref.data() == bg_gemm.data(), "bias gradients diverge");
+    }
+}

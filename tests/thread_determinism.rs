@@ -1,0 +1,57 @@
+//! Thread-count determinism: training the autoencoder stack inside a
+//! 1-thread and a 4-thread rayon pool must produce bit-identical loss
+//! curves and serialized model bytes.
+//!
+//! This is the observable contract of the GEMM kernel's deterministic
+//! reduction (`wavekey-nn/src/gemm.rs`): parallelism splits the output
+//! into disjoint row bands and every element accumulates its products in
+//! the same ascending-`k` order on every width, so thread count cannot
+//! leak into trained weights — and therefore not into quantized key bits.
+//!
+//! Under the offline rig the rayon stand-in runs both pools sequentially
+//! (the test still pins the training path); under cargo with the
+//! default-on `parallel` feature the two pools genuinely differ in width.
+
+use wavekey::core::dataset::{generate, DatasetConfig};
+use wavekey::core::model::WaveKeyModels;
+use wavekey::core::training::{train, TrainingConfig};
+use wavekey::imu::sensors::DeviceModel;
+
+/// Trains a small run entirely inside a pool of the given width and
+/// returns the per-epoch loss curve plus the serialized models.
+fn train_in_pool(threads: usize) -> (Vec<f32>, Vec<u8>) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build rayon pool");
+    pool.install(|| {
+        let dataset = generate(&DatasetConfig {
+            volunteers: 2,
+            devices: vec![DeviceModel::GalaxyWatch],
+            gestures_per_combo: 2,
+            windows_per_gesture: 8,
+            active_duration: 6.0,
+            dynamic_fraction: 0.5,
+            seed: 0x7357,
+        });
+        let config = TrainingConfig { epochs: 2, ..Default::default() };
+        let mut models = WaveKeyModels::new(config.l_f, 0x5eed);
+        let report = train(&mut models, &dataset, &config, 0x5eed).expect("training converges");
+        (report.epoch_losses, models.encode())
+    })
+}
+
+#[test]
+fn training_is_bit_identical_at_1_and_4_threads() {
+    let (losses_1, model_1) = train_in_pool(1);
+    let (losses_4, model_4) = train_in_pool(4);
+    assert_eq!(losses_1.len(), 2);
+    assert_eq!(
+        losses_1, losses_4,
+        "loss curves diverge between 1- and 4-thread pools"
+    );
+    assert_eq!(
+        model_1, model_4,
+        "serialized model bytes diverge between 1- and 4-thread pools"
+    );
+}

@@ -177,6 +177,7 @@ run_tests() {
     run_itest "$ROOT/tests/differential_agreement.rs" wavekey rand
     run_itest "$ROOT/tests/substrate_interop.rs" wavekey rand
     run_itest "$ROOT/tests/end_to_end.rs" wavekey rand
+    run_itest "$ROOT/tests/thread_determinism.rs" wavekey rand rayon
     note "all rig tests passed"
 }
 

@@ -1,10 +1,68 @@
 //! Sequential stand-in for `rayon` (offline rig only).
 //!
 //! Mirrors the bound requirements of the real API surface the workspace
-//! uses (`into_par_iter().map(f).collect()` in `wavekey-crypto::par`), so
-//! code that compiles against this stub also compiles against real rayon.
-//! Execution is sequential; `par_map_range` documents that results are
-//! collected in index order either way, so outputs are identical.
+//! uses (`into_par_iter().map(f).collect()` plus the pool-sizing entry
+//! points in `wavekey-crypto::par` and `wavekey-nn::gemm`), so code that
+//! compiles against this stub also compiles against real rayon.
+//! Execution is sequential; every parallel code path in the workspace
+//! documents that its results are order-exact, so outputs are identical.
+
+/// Sequential stand-in for `rayon::ThreadPool`: `install` just runs the
+/// closure on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool;
+
+impl ThreadPool {
+    /// Runs `op` (sequentially) "inside" the pool.
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        op()
+    }
+}
+
+/// Error mirroring `rayon::ThreadPoolBuildError` (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`; all settings are
+/// accepted and ignored (execution stays sequential).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    _num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Records (and ignores) the requested width.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self._num_threads = n;
+        self
+    }
+
+    /// Builds a sequential [`ThreadPool`].
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+
+    /// "Installs" the global pool (a no-op; always succeeds once).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        Ok(())
+    }
+}
+
+/// The stub pool is the calling thread.
+pub fn current_num_threads() -> usize {
+    1
+}
 
 /// The prelude, mirroring `rayon::prelude`.
 pub mod prelude {
