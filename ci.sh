@@ -183,4 +183,41 @@ awk -v par="$thr_par" -v seq="$thr_seq" -v tol="$THR_TOL" 'BEGIN {
     }
     print "OK: parallel drive matches sequential outcomes at full throughput"
 }'
+
+echo "== fault-soak (chaos) gate =="
+# The robustness contract: under the reference FaultPlan mixture the
+# recovery layer (retransmission + NAK + duplicate suppression + reorder
+# deferral) must carry at least WAVEKEY_FAULT_SOAK_MIN of sessions to a
+# key (default 0.90), the same mixture without recovery must lose more
+# than half (proving the faults bite), no surviving session may ever
+# hold divergent mobile/server keys, and with the faults removed the
+# recovery layer must be provably inert (bit-identical to the lockstep
+# driver).
+FAULT_JSON="$ROOT/target/ci-bench-faults.json"
+FAULT_MIN="${WAVEKEY_FAULT_SOAK_MIN:-0.90}"
+tools/offline_rig/build.sh run fault_soak "$FAULT_JSON" >/dev/null
+
+fs_sessions=$(field_of "sessions" "$FAULT_JSON")
+fs_bare=$(field_of "success_rate_no_recovery" "$FAULT_JSON")
+fs_rec=$(field_of "success_rate_recovered" "$FAULT_JSON")
+fs_div=$(field_of "divergent_key_successes" "$FAULT_JSON")
+fs_ident=$(field_of "fault_free_keys_bit_identical" "$FAULT_JSON")
+[[ -n "$fs_sessions" && -n "$fs_bare" && -n "$fs_rec" && -n "$fs_div" && -n "$fs_ident" ]] \
+    || { echo "fault soak produced no samples" >&2; exit 1; }
+echo "sessions $fs_sessions: no-recovery $fs_bare, recovered $fs_rec (min $FAULT_MIN), divergent $fs_div, fault_free_bit_identical=$fs_ident"
+awk -v bare="$fs_bare" -v rec="$fs_rec" -v min="$FAULT_MIN" 'BEGIN {
+    if (bare + 0 >= 0.5) {
+        print "FAIL: fault mixture too gentle — no-recovery survival >= 50%"
+        exit 1
+    }
+    if (rec + 0 < min + 0) {
+        print "FAIL: recovered survival below the fault-soak floor"
+        exit 1
+    }
+}'
+[[ "$fs_div" == "0" ]] \
+    || { echo "FAIL: a recovered session completed with divergent keys" >&2; exit 1; }
+[[ "$fs_ident" == "true" ]] \
+    || { echo "FAIL: recovery layer perturbs fault-free runs" >&2; exit 1; }
+echo "OK: recovery layer survives the chaos mixture without corrupting keys"
 echo "== done =="

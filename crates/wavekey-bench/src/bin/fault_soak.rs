@@ -1,0 +1,199 @@
+//! Chaos soak: many concurrent sessions under the reference
+//! [`FaultPlan`] mixture, with and without the recovery layer, plus a
+//! fault-free differential control. Writes `results/BENCH_faults.json`
+//! (consumed by the ci.sh fault-soak gate).
+//!
+//! ```text
+//! cargo run --release -p wavekey-bench --bin fault_soak [out_path]
+//! ```
+//!
+//! Three arms, all fully deterministic in the baked-in seeds:
+//!
+//! 1. **no recovery** — the reference fault mixture with retries
+//!    disabled. Most sessions die: the gate requires `< 50%` survival,
+//!    demonstrating the mixture actually bites.
+//! 2. **recovered** — the same mixture with [`RetryPolicy::arq`]:
+//!    retransmission, NAK/re-send, duplicate suppression, and reorder
+//!    deferral must lift survival to `>= WAVEKEY_FAULT_SOAK_MIN`
+//!    (default 0.90). Every surviving session must hold *matching*
+//!    mobile/server keys — `divergent_key_successes` must be 0.
+//! 3. **fault-free control** — retries enabled but a passive channel:
+//!    outcomes must be bit-identical to the lockstep `run_agreement`
+//!    driver, proving the recovery layer is inert without faults.
+//!
+//! A sensing-layer section additionally pushes the reference IMU/RFID
+//! fault mixtures through both processing pipelines to confirm the
+//! front-end absorbs them without panicking.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavekey_core::agreement::{run_agreement, AgreementConfig, RetryPolicy};
+use wavekey_core::channel::PassiveChannel;
+use wavekey_core::fault::{FaultPlan, FaultProfile};
+use wavekey_core::SessionManager;
+use wavekey_imu::gesture::{GestureConfig, GestureGenerator, VolunteerId};
+use wavekey_imu::pipeline::{process_imu, ImuPipelineConfig};
+use wavekey_imu::sensors::{sample_imu, DeviceModel};
+use wavekey_imu::{inject_imu_faults, ImuFaultConfig};
+use wavekey_rfid::channel::TagModel;
+use wavekey_rfid::environment::{Environment, UserPlacement};
+use wavekey_rfid::pipeline::{process_rfid, RfidPipelineConfig};
+use wavekey_rfid::reader::{record_rfid, ReaderSpec};
+use wavekey_rfid::{inject_rfid_faults, RfidFaultConfig};
+use wavekey_math::Vec3;
+
+const SESSIONS: u64 = 96;
+const SEED_LEN: usize = 24;
+const FAULT_SEED: u64 = 0xFA_117;
+
+fn seed_pair(base: u64) -> (Vec<bool>, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(0xC0DE + base);
+    let s_m: Vec<bool> = (0..SEED_LEN).map(|_| rng.gen()).collect();
+    let mut s_r = s_m.clone();
+    // One gesture-channel bit error: inside the BCH budget, so every
+    // session agrees when the wire cooperates.
+    s_r[(base as usize) % SEED_LEN] ^= true;
+    (s_m, s_r)
+}
+
+fn rngs(i: u64) -> (StdRng, StdRng) {
+    (StdRng::seed_from_u64(0xA11CE + i), StdRng::seed_from_u64(0xB0B + i))
+}
+
+fn config(retry: RetryPolicy) -> AgreementConfig {
+    AgreementConfig { use_tiny_group: true, tau: 10.0, bch_t: 5, retry, ..Default::default() }
+}
+
+/// Spawns the soak batch and drives it to completion under `adversary`.
+fn run_arm(
+    config: &AgreementConfig,
+    adversary: &mut dyn wavekey_core::channel::Adversary,
+) -> (SessionManager, Vec<u64>) {
+    let mut manager = SessionManager::new(12);
+    let mut ids = Vec::new();
+    for i in 0..SESSIONS {
+        let (s_m, s_r) = seed_pair(i);
+        let (rng_m, rng_r) = rngs(i);
+        ids.push(
+            manager
+                .spawn(&s_m, &s_r, config, rng_m, rng_r, adversary)
+                .expect("spawn session"),
+        );
+    }
+    manager.run_to_completion(adversary);
+    (manager, ids)
+}
+
+/// Successes whose mobile and server keys disagree — must never happen.
+fn divergent(manager: &SessionManager, ids: &[u64]) -> u64 {
+    ids.iter()
+        .filter(|id| {
+            matches!(
+                manager.outcome(**id),
+                Some(Ok(out)) if out.agreement.key != out.server_key
+            )
+        })
+        .count() as u64
+}
+
+/// Sensing-layer soak: reference IMU/RFID fault mixtures through both
+/// pipelines. Returns how many of `n` seeds processed cleanly end to end.
+fn sensing_soak(n: u64) -> u64 {
+    let mut ok = 0;
+    for seed in 0..n {
+        let mut generator = GestureGenerator::new(VolunteerId((seed % 6) as u32), 0x5E_A5 + seed);
+        let gesture = generator.generate(&GestureConfig::default());
+
+        let imu = sample_imu(&gesture, &DeviceModel::GalaxyWatch.spec(), seed);
+        let imu = inject_imu_faults(&imu, &ImuFaultConfig::reference(), seed);
+        let imu_ok = process_imu(&imu, &ImuPipelineConfig::default()).is_ok();
+
+        let env = Environment::room(1);
+        let channel = env.channel(TagModel::Alien9640A, 0, seed);
+        let hand = UserPlacement::default().hand_position(&env);
+        let rfid = record_rfid(
+            &gesture,
+            hand,
+            Vec3::new(0.03, 0.0, 0.0),
+            &channel,
+            &ReaderSpec::default(),
+            seed,
+        );
+        let rfid = inject_rfid_faults(&rfid, &RfidFaultConfig::reference(), seed);
+        let rfid_ok = process_rfid(&rfid, &RfidPipelineConfig::default()).is_ok();
+
+        ok += (imu_ok && rfid_ok) as u64;
+    }
+    ok
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_faults.json".to_string());
+
+    // Arm 1: reference faults, no recovery.
+    let mut plan = FaultPlan::new(FAULT_SEED, FaultProfile::reference());
+    let (bare, bare_ids) = run_arm(&config(RetryPolicy::none()), &mut plan);
+    let bare_success = bare.successes() as u64;
+    let rate_bare = bare_success as f64 / SESSIONS as f64;
+    let divergent_bare = divergent(&bare, &bare_ids);
+
+    // Arm 2: the same fault mixture, recovery on.
+    let mut plan = FaultPlan::new(FAULT_SEED, FaultProfile::reference());
+    let (recovered, rec_ids) = run_arm(&config(RetryPolicy::arq()), &mut plan);
+    let rec_success = recovered.successes() as u64;
+    let rate_rec = rec_success as f64 / SESSIONS as f64;
+    let divergent_rec = divergent(&recovered, &rec_ids);
+    let retransmits = recovered.retransmits_total();
+
+    // Arm 3: fault-free control — retries enabled, passive channel,
+    // differential against the lockstep driver.
+    let (control, control_ids) = run_arm(&config(RetryPolicy::arq()), &mut PassiveChannel);
+    let mut bit_identical = control.successes() as u64 == SESSIONS;
+    for (i, id) in control_ids.iter().enumerate() {
+        let (s_m, s_r) = seed_pair(i as u64);
+        let (mut rng_m, mut rng_r) = rngs(i as u64);
+        let reference = run_agreement(
+            &s_m,
+            &s_r,
+            &config(RetryPolicy::arq()),
+            &mut rng_m,
+            &mut rng_r,
+            &mut PassiveChannel,
+        )
+        .expect("fault-free lockstep agreement succeeds");
+        match control.outcome(*id) {
+            Some(Ok(out)) => {
+                bit_identical &= out.agreement.key == reference.key
+                    && out.server_key == reference.key
+                    && out.agreement.key_bits == reference.key_bits;
+            }
+            _ => bit_identical = false,
+        }
+    }
+    bit_identical &= control.retransmits_total() == 0;
+
+    let divergent_total = divergent_bare + divergent_rec;
+    let sensing_ok = sensing_soak(16);
+
+    println!("sessions                   {SESSIONS}");
+    println!("no recovery                {bare_success}/{SESSIONS}  ({rate_bare:.3})");
+    println!("recovered                  {rec_success}/{SESSIONS}  ({rate_rec:.3})");
+    println!("retransmits (recovered)    {retransmits}");
+    println!("divergent-key successes    {divergent_total}");
+    println!("fault-free bit-identical   {bit_identical}");
+    println!("sensing pipelines ok       {sensing_ok}/16");
+
+    let json = format!(
+        "{{\n  \"sessions\": {SESSIONS},\n  \
+         \"success_rate_no_recovery\": {rate_bare:.4},\n  \
+         \"success_rate_recovered\": {rate_rec:.4},\n  \
+         \"retransmits_total\": {retransmits},\n  \
+         \"divergent_key_successes\": {divergent_total},\n  \
+         \"fault_free_keys_bit_identical\": {bit_identical},\n  \
+         \"sensing_pipelines_ok\": {sensing_ok},\n  \
+         \"sensing_pipelines_run\": 16\n}}\n"
+    );
+    wavekey_bench::write_results(&out_path, &json);
+}

@@ -63,6 +63,10 @@ pub struct AgreementConfig {
     /// independent of that leakage. Off by default — the paper uses `K`
     /// directly.
     pub privacy_amplification: bool,
+    /// Per-message retransmission policy. The default
+    /// ([`RetryPolicy::none`]) keeps the pre-recovery semantics: a single
+    /// lost or mangled frame is a terminal failure.
+    pub retry: RetryPolicy,
 }
 
 impl Default for AgreementConfig {
@@ -75,7 +79,60 @@ impl Default for AgreementConfig {
             channel_delay: 0.001,
             use_tiny_group: false,
             privacy_amplification: false,
+            retry: RetryPolicy::none(),
         }
+    }
+}
+
+/// Bounded, deterministic per-message retransmission policy.
+///
+/// Recovery is charged against the paper's `2 + τ` deadline budget: every
+/// retransmission advances the sender's *logical* clock by
+/// [`RetryPolicy::backoff`] seconds before the copy departs, so a retried
+/// deadline-critical message arrives later and can still trip
+/// [`AgreementError::Timeout`] — retries never widen the timing fence.
+/// The backoff schedule is a pure function of the attempt number (no RNG),
+/// keeping recovered runs fully deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum retransmissions per message; `0` disables recovery.
+    pub max_retries: u32,
+    /// Logical-clock backoff before the first retransmission (seconds).
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff on every further retransmission.
+    pub backoff_factor: f64,
+}
+
+impl RetryPolicy {
+    /// No retransmission: any channel fault is terminal (the default).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_retries: 0, backoff_base_s: 0.0, backoff_factor: 1.0 }
+    }
+
+    /// The reference ARQ preset: 3 retransmissions with 2 ms exponential
+    /// backoff (2, 4, 8 ms) — well inside the default `τ = 120 ms` slack,
+    /// so a fully retried `M_A`/`M_B` still meets the fence.
+    pub fn arq() -> RetryPolicy {
+        RetryPolicy { max_retries: 3, backoff_base_s: 0.002, backoff_factor: 2.0 }
+    }
+
+    /// Whether any retransmission is allowed.
+    pub fn enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+
+    /// Backoff charged before retransmission number `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        if attempt == 0 {
+            return 0.0;
+        }
+        self.backoff_base_s * self.backoff_factor.powi(attempt as i32 - 1)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
     }
 }
 
@@ -189,6 +246,23 @@ pub enum AgreementError {
     /// The session manager evicted the session (idle timeout or a peer
     /// that vanished mid-protocol).
     Evicted,
+    /// The worker thread driving the session died (panicked adversary or
+    /// driver bug); the failure is confined to this session.
+    Worker(String),
+}
+
+impl AgreementError {
+    /// The typed failure taxonomy: `true` for channel-level faults that
+    /// bounded retransmission (or simply retrying the enrolment) can
+    /// plausibly clear — lost frames, mangled bytes, a starved scheduler.
+    /// Deadline violations, crypto failures, and config/worker errors are
+    /// terminal: retrying the same exchange cannot fix them.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            AgreementError::Dropped(_) | AgreementError::Wire(_) | AgreementError::Evicted
+        )
+    }
 }
 
 impl std::fmt::Display for AgreementError {
@@ -203,6 +277,7 @@ impl std::fmt::Display for AgreementError {
             AgreementError::Config(msg) => write!(f, "bad agreement config: {msg}"),
             AgreementError::Wire(msg) => write!(f, "wire error: {msg}"),
             AgreementError::Evicted => write!(f, "session evicted by manager"),
+            AgreementError::Worker(msg) => write!(f, "worker failure: {msg}"),
         }
     }
 }

@@ -74,26 +74,32 @@ impl MessageKind {
 }
 
 /// What the adversary does with an intercepted message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Every frame scheduler (the lockstep driver and the concurrent
+/// [`crate::SessionManager`]) handles all five actions uniformly; in the
+/// strictly alternating lockstep exchange `Duplicate` and `Reorder`
+/// degenerate to `Forward` because at most one frame is ever in flight.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AdversaryAction {
-    /// Deliver (possibly after modifying the frame / adding delay).
+    /// Deliver (possibly after modifying the frame).
     Forward,
-    /// Swallow the message; the protocol run fails.
+    /// Swallow the message; without retransmission the run fails.
     Drop,
+    /// Deliver the message twice — the receiver must be idempotent.
+    Duplicate,
+    /// Hold the message back and release it behind the next transmission.
+    Reorder,
+    /// Deliver after the given extra latency (seconds, added to the
+    /// nominal channel delay).
+    Delay(f64),
 }
 
 /// A channel-level adversary. The default implementations forward
 /// unmodified; override `intercept` to attack.
 pub trait Adversary {
-    /// Called for every transmission. `frame` (header and payload) and
-    /// `extra_delay` (seconds, added to the nominal channel latency) may
-    /// be mutated.
-    fn intercept(
-        &mut self,
-        direction: Direction,
-        frame: &mut Frame,
-        extra_delay: &mut f64,
-    ) -> AdversaryAction;
+    /// Called for every transmission. `frame` (header and payload alike)
+    /// may be mutated before the returned action is applied.
+    fn intercept(&mut self, direction: Direction, frame: &mut Frame) -> AdversaryAction;
 }
 
 /// The benign channel: forwards everything untouched.
@@ -101,12 +107,7 @@ pub trait Adversary {
 pub struct PassiveChannel;
 
 impl Adversary for PassiveChannel {
-    fn intercept(
-        &mut self,
-        _direction: Direction,
-        _frame: &mut Frame,
-        _extra_delay: &mut f64,
-    ) -> AdversaryAction {
+    fn intercept(&mut self, _direction: Direction, _frame: &mut Frame) -> AdversaryAction {
         AdversaryAction::Forward
     }
 }
@@ -122,12 +123,7 @@ pub struct Eavesdropper {
 }
 
 impl Adversary for Eavesdropper {
-    fn intercept(
-        &mut self,
-        direction: Direction,
-        frame: &mut Frame,
-        _extra_delay: &mut f64,
-    ) -> AdversaryAction {
+    fn intercept(&mut self, direction: Direction, frame: &mut Frame) -> AdversaryAction {
         self.transcript.push((direction, frame.kind, frame.encode()));
         AdversaryAction::Forward
     }
@@ -176,12 +172,7 @@ impl BitFlipMitm {
 }
 
 impl Adversary for BitFlipMitm {
-    fn intercept(
-        &mut self,
-        direction: Direction,
-        frame: &mut Frame,
-        _extra_delay: &mut f64,
-    ) -> AdversaryAction {
+    fn intercept(&mut self, direction: Direction, frame: &mut Frame) -> AdversaryAction {
         let dir_match = self.direction.map_or(true, |d| d == direction);
         let payload = &mut frame.payload;
         if frame.kind == self.target && dir_match && !payload.is_empty() {
@@ -215,16 +206,12 @@ pub struct Delayer {
 }
 
 impl Adversary for Delayer {
-    fn intercept(
-        &mut self,
-        _direction: Direction,
-        frame: &mut Frame,
-        extra_delay: &mut f64,
-    ) -> AdversaryAction {
+    fn intercept(&mut self, _direction: Direction, frame: &mut Frame) -> AdversaryAction {
         if self.target.map_or(true, |t| t == frame.kind) {
-            *extra_delay += self.extra;
+            AdversaryAction::Delay(self.extra)
+        } else {
+            AdversaryAction::Forward
         }
-        AdversaryAction::Forward
     }
 }
 
@@ -236,12 +223,7 @@ pub struct Dropper {
 }
 
 impl Adversary for Dropper {
-    fn intercept(
-        &mut self,
-        _direction: Direction,
-        frame: &mut Frame,
-        _extra_delay: &mut f64,
-    ) -> AdversaryAction {
+    fn intercept(&mut self, _direction: Direction, frame: &mut Frame) -> AdversaryAction {
         if frame.kind == self.target {
             AdversaryAction::Drop
         } else {
@@ -261,12 +243,7 @@ pub struct VersionSpoofer {
 }
 
 impl Adversary for VersionSpoofer {
-    fn intercept(
-        &mut self,
-        _direction: Direction,
-        frame: &mut Frame,
-        _extra_delay: &mut f64,
-    ) -> AdversaryAction {
+    fn intercept(&mut self, _direction: Direction, frame: &mut Frame) -> AdversaryAction {
         if frame.kind == self.target {
             frame.version = self.version;
         }
@@ -286,11 +263,9 @@ mod tests {
     fn passive_forwards_untouched() {
         let mut ch = PassiveChannel;
         let mut f = frame(MessageKind::OtA, vec![1, 2, 3]);
-        let mut delay = 0.0;
-        let action = ch.intercept(Direction::MobileToServer, &mut f, &mut delay);
+        let action = ch.intercept(Direction::MobileToServer, &mut f);
         assert_eq!(action, AdversaryAction::Forward);
         assert_eq!(f, frame(MessageKind::OtA, vec![1, 2, 3]));
-        assert_eq!(delay, 0.0);
     }
 
     #[test]
@@ -298,8 +273,7 @@ mod tests {
         let mut eve = Eavesdropper::default();
         let mut f = frame(MessageKind::OtE, vec![9, 9]);
         let encoded = f.encode();
-        let mut delay = 0.0;
-        eve.intercept(Direction::ServerToMobile, &mut f, &mut delay);
+        eve.intercept(Direction::ServerToMobile, &mut f);
         assert_eq!(f.payload, vec![9, 9]);
         assert_eq!(eve.transcript.len(), 1);
         assert_eq!(eve.transcript[0].0, Direction::ServerToMobile);
@@ -312,12 +286,11 @@ mod tests {
     #[test]
     fn mitm_flips_targeted_kind_only() {
         let mut mitm = BitFlipMitm::new(MessageKind::OtB, 0);
-        let mut delay = 0.0;
         let mut f = frame(MessageKind::OtA, vec![0xF0]);
-        mitm.intercept(Direction::MobileToServer, &mut f, &mut delay);
+        mitm.intercept(Direction::MobileToServer, &mut f);
         assert_eq!(f.payload, vec![0xF0]);
         let mut f = frame(MessageKind::OtB, vec![0xF0]);
-        mitm.intercept(Direction::MobileToServer, &mut f, &mut delay);
+        mitm.intercept(Direction::MobileToServer, &mut f);
         assert_eq!(f.payload, vec![0xF1]);
         assert_eq!(mitm.corrupted, 1);
     }
@@ -329,50 +302,44 @@ mod tests {
         // corruption (VersionSpoofer covers that separately).
         let mut mitm = BitFlipMitm::pervasive(MessageKind::Challenge, 1);
         let mut f = frame(MessageKind::Challenge, vec![0u8; 16]);
-        let mut delay = 0.0;
-        mitm.intercept(Direction::MobileToServer, &mut f, &mut delay);
+        mitm.intercept(Direction::MobileToServer, &mut f);
         assert_eq!(f.version, crate::proto::frame::WIRE_VERSION);
         assert_eq!(f.kind, MessageKind::Challenge);
         assert!(f.payload.iter().all(|&b| b == 0x01));
     }
 
     #[test]
-    fn delayer_adds_latency() {
+    fn delayer_returns_delay_for_targeted_kind() {
         let mut d = Delayer { target: Some(MessageKind::OtA), extra: 0.5 };
-        let mut delay = 0.001;
         let mut f = frame(MessageKind::OtA, vec![]);
-        d.intercept(Direction::MobileToServer, &mut f, &mut delay);
-        assert!((delay - 0.501).abs() < 1e-12);
+        assert_eq!(
+            d.intercept(Direction::MobileToServer, &mut f),
+            AdversaryAction::Delay(0.5)
+        );
         let mut f = frame(MessageKind::OtE, vec![]);
-        d.intercept(Direction::MobileToServer, &mut f, &mut delay);
-        assert!((delay - 0.501).abs() < 1e-12);
+        assert_eq!(d.intercept(Direction::MobileToServer, &mut f), AdversaryAction::Forward);
     }
 
     #[test]
     fn dropper_drops() {
         let mut d = Dropper { target: MessageKind::Challenge };
         let mut f = frame(MessageKind::Challenge, vec![]);
-        let mut delay = 0.0;
-        assert_eq!(
-            d.intercept(Direction::MobileToServer, &mut f, &mut delay),
-            AdversaryAction::Drop
-        );
+        assert_eq!(d.intercept(Direction::MobileToServer, &mut f), AdversaryAction::Drop);
     }
 
     #[test]
     fn version_spoofer_rewrites_targeted_header() {
         let mut spoof = VersionSpoofer { target: MessageKind::OtA, version: 9 };
-        let mut delay = 0.0;
         let mut f = frame(MessageKind::OtA, vec![1]);
         assert_eq!(
-            spoof.intercept(Direction::ServerToMobile, &mut f, &mut delay),
+            spoof.intercept(Direction::ServerToMobile, &mut f),
             AdversaryAction::Forward
         );
         assert_eq!(f.version, 9);
         // Re-encoding the spoofed frame yields bytes the codec rejects.
         assert!(Frame::decode(&f.encode()).is_err());
         let mut f = frame(MessageKind::OtB, vec![1]);
-        spoof.intercept(Direction::ServerToMobile, &mut f, &mut delay);
+        spoof.intercept(Direction::ServerToMobile, &mut f);
         assert_eq!(f.version, crate::proto::frame::WIRE_VERSION);
     }
 }

@@ -22,6 +22,10 @@
 //!   [`agreement`] entry points are a lockstep driver over them.
 //! * [`channel`] — the wire-frame channel with pluggable adversaries
 //!   (eavesdropper, MitM, delayer, dropper, version spoofer).
+//! * [`fault`] — seeded deterministic fault injection ([`FaultPlan`]):
+//!   drop / corrupt / duplicate / reorder / truncate / delay schedules
+//!   that compose with the adversary suite and drive the recovery layer
+//!   (retransmission, duplicate idempotency, re-gesture fallback).
 //! * [`session`] — end-to-end key establishment: gesture → both sensing
 //!   pipelines → seeds → agreement.
 //! * [`service`] — the multi-user backend of the paper's application
@@ -38,6 +42,7 @@ pub mod bits;
 pub mod channel;
 pub mod config;
 pub mod dataset;
+pub mod fault;
 pub mod model;
 pub mod proto;
 pub mod seed;
@@ -47,14 +52,15 @@ pub mod training;
 
 pub use agreement::{
     run_agreement, run_agreement_with_obs, AgreementConfig, AgreementError, AgreementOutcome,
-    AgreementStages,
+    AgreementStages, RetryPolicy,
 };
 pub use channel::{Adversary, Direction, MessageKind, PassiveChannel};
 pub use config::WaveKeyConfig;
+pub use fault::{FaultKind, FaultPlan, FaultProfile, ScheduledFault};
 pub use model::WaveKeyModels;
 pub use proto::{Frame, FrameError, MobileAgreement, ServerAgreement};
 pub use seed::SeedGenerator;
-pub use service::{AccessService, ManagedOutcome, ServiceTicket, SessionManager};
+pub use service::{AccessService, DegradePolicy, ManagedOutcome, ServiceTicket, SessionManager};
 pub use session::{ConfigGuard, Session, SessionConfig, SessionOutcome};
 
 /// Unified error type of the WaveKey scheme.

@@ -18,7 +18,9 @@
 //! the [`MobileAgreement::absorb_ot_e`] / `emit_challenge` split.
 
 use super::{Frame, MobileAgreement, ServerAgreement};
-use crate::agreement::{AgreementConfig, AgreementError, AgreementOutcome, AgreementStages};
+use crate::agreement::{
+    AgreementConfig, AgreementError, AgreementOutcome, AgreementStages, RetryPolicy,
+};
 use crate::bits::hamming_distance;
 use crate::channel::{Adversary, AdversaryAction, Direction};
 use rand::rngs::StdRng;
@@ -64,31 +66,32 @@ fn exchange(
     adversary: &mut dyn Adversary,
 ) -> Result<usize, AgreementError> {
     let delay = config.channel_delay;
+    let retry = &config.retry;
 
     // --- M_A both ways; the mobile's deadline check and response first.
     let ma_m = mobile.start()?;
     let ma_r = server.start()?;
     let (ma_m, ma_m_arrival) =
-        transmit(adversary, Direction::MobileToServer, ma_m, mobile.clock(), delay)?;
+        transmit(adversary, Direction::MobileToServer, ma_m, mobile.clock(), delay, retry)?;
     let (ma_r, ma_r_arrival) =
-        transmit(adversary, Direction::ServerToMobile, ma_r, server.clock(), delay)?;
+        transmit(adversary, Direction::ServerToMobile, ma_r, server.clock(), delay, retry)?;
     let mb_m = only(mobile.handle(&ma_r, ma_r_arrival)?);
     let mb_r = only(server.handle(&ma_m, ma_m_arrival)?);
 
     // --- M_B both ways; the server's deadline check precedes all else.
     let (mb_m, mb_m_arrival) =
-        transmit(adversary, Direction::MobileToServer, mb_m, mobile.clock(), delay)?;
+        transmit(adversary, Direction::MobileToServer, mb_m, mobile.clock(), delay, retry)?;
     let (mb_r, mb_r_arrival) =
-        transmit(adversary, Direction::ServerToMobile, mb_r, server.clock(), delay)?;
+        transmit(adversary, Direction::ServerToMobile, mb_r, server.clock(), delay, retry)?;
     let me_r = only(server.handle(&mb_m, mb_m_arrival)?);
     let me_m = only(mobile.handle(&mb_r, mb_r_arrival)?);
 
     // --- M_E both ways; both sides assemble preliminary keys, then the
     // mobile commits (its only post-OT RNG draws).
     let (me_m, me_m_arrival) =
-        transmit(adversary, Direction::MobileToServer, me_m, mobile.clock(), delay)?;
+        transmit(adversary, Direction::MobileToServer, me_m, mobile.clock(), delay, retry)?;
     let (me_r, me_r_arrival) =
-        transmit(adversary, Direction::ServerToMobile, me_r, server.clock(), delay)?;
+        transmit(adversary, Direction::ServerToMobile, me_r, server.clock(), delay, retry)?;
     mobile.absorb_ot_e(&me_r, me_r_arrival)?;
     server.handle(&me_m, me_m_arrival)?;
     let preliminary_mismatch_bits =
@@ -97,10 +100,10 @@ fn exchange(
 
     // --- Challenge / Response.
     let (challenge, challenge_arrival) =
-        transmit(adversary, Direction::MobileToServer, challenge, mobile.clock(), delay)?;
+        transmit(adversary, Direction::MobileToServer, challenge, mobile.clock(), delay, retry)?;
     let response = only(server.handle(&challenge, challenge_arrival)?);
     let (response, response_arrival) =
-        transmit(adversary, Direction::ServerToMobile, response, server.clock(), delay)?;
+        transmit(adversary, Direction::ServerToMobile, response, server.clock(), delay, retry)?;
     mobile.handle(&response, response_arrival)?;
 
     Ok(preliminary_mismatch_bits)
@@ -139,20 +142,44 @@ pub(crate) fn combine(
 
 /// Passes a frame through the adversary and the channel; returns the
 /// (possibly modified) frame and its arrival time.
+///
+/// A dropped frame is retransmitted up to `retry.max_retries` times; each
+/// retransmission charges the policy's backoff onto the departure time
+/// (the sender's logical clock view), so retried deadline-critical
+/// messages arrive later and the `2 + τ` fence stays honest. Every
+/// retransmitted copy starts from the sender's clean frame and passes
+/// through the adversary again. In this strictly alternating lockstep
+/// exchange at most one frame is ever in flight, so `Duplicate` and
+/// `Reorder` degenerate to `Forward` (the concurrent
+/// [`crate::SessionManager`] scheduler gives them real semantics).
 pub(crate) fn transmit(
     adversary: &mut dyn Adversary,
     direction: Direction,
-    mut frame: Frame,
+    frame: Frame,
     send_time: f64,
     nominal_delay: f64,
+    retry: &RetryPolicy,
 ) -> Result<(Frame, f64), AgreementError> {
     // Capture the kind before interception: the error should name the
     // protocol message attacked, not whatever the adversary left behind.
     let kind = frame.kind;
-    let mut extra = 0.0f64;
-    match adversary.intercept(direction, &mut frame, &mut extra) {
-        AdversaryAction::Forward => Ok((frame, send_time + nominal_delay + extra)),
-        AdversaryAction::Drop => Err(AgreementError::Dropped(kind)),
+    let mut depart = send_time;
+    let mut attempt = 0u32;
+    loop {
+        let mut copy = frame.clone();
+        match adversary.intercept(direction, &mut copy) {
+            AdversaryAction::Forward
+            | AdversaryAction::Duplicate
+            | AdversaryAction::Reorder => return Ok((copy, depart + nominal_delay)),
+            AdversaryAction::Delay(extra) => return Ok((copy, depart + nominal_delay + extra)),
+            AdversaryAction::Drop => {
+                if attempt >= retry.max_retries {
+                    return Err(AgreementError::Dropped(kind));
+                }
+                attempt += 1;
+                depart += retry.backoff(attempt);
+            }
+        }
     }
 }
 

@@ -165,6 +165,41 @@ mod tests {
     }
 
     #[test]
+    fn random_mutations_never_panic_the_decoder() {
+        // Seeded mutation fuzz over valid frames — flip bytes, cut tails,
+        // splice junk — runnable under the offline rig (the proptest twin
+        // is `frame_decode_survives_random_mutation` in
+        // tests/properties.rs). Decoding is total: every mutation yields
+        // Ok or a typed error, and an Ok must re-encode byte-identically.
+        let mut rng = StdRng::seed_from_u64(0x0F4A_117);
+        for case in 0..2000 {
+            let kind = MessageKind::ALL[case % MessageKind::ALL.len()];
+            let len = rng.gen_range(0..512);
+            let payload: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let mut bytes = Frame::new(kind, payload).encode();
+            match rng.gen_range(0..3) {
+                0 => {
+                    for _ in 0..rng.gen_range(1..8) {
+                        let idx = rng.gen_range(0..bytes.len());
+                        bytes[idx] ^= rng.gen_range(1..=u8::MAX);
+                    }
+                }
+                1 => {
+                    let cut = rng.gen_range(0..bytes.len());
+                    bytes.truncate(cut);
+                }
+                _ => {
+                    let extra = rng.gen_range(1..32);
+                    bytes.extend((0..extra).map(|_| rng.gen::<u8>()));
+                }
+            }
+            if let Ok(frame) = Frame::decode(&bytes) {
+                assert_eq!(frame.encode(), bytes, "case {case}");
+            }
+        }
+    }
+
+    #[test]
     fn truncation_at_every_boundary_is_rejected_without_panic() {
         let frame = Frame::new(MessageKind::Challenge, vec![7u8; 40]);
         let bytes = frame.encode();

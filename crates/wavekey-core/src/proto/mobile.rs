@@ -41,6 +41,11 @@ pub struct MobileAgreement {
     key_bits: Vec<bool>,
     ma_prep: f64,
     mb_prep: f64,
+    /// Replies already emitted, per consumed message kind. Only populated
+    /// when the retry policy is enabled: duplicate frames are re-answered
+    /// from this cache without touching the RNG or the state.
+    history: Vec<(MessageKind, Vec<Frame>)>,
+    replays: u32,
 }
 
 impl MobileAgreement {
@@ -88,6 +93,8 @@ impl MobileAgreement {
             key_bits: Vec::new(),
             ma_prep: 0.0,
             mb_prep: 0.0,
+            history: Vec::new(),
+            replays: 0,
         })
     }
 
@@ -124,6 +131,11 @@ impl MobileAgreement {
     /// `arrival` is the frame's logical arrival time in protocol seconds;
     /// deadline budgets are enforced against it before any processing.
     ///
+    /// With retransmission enabled, a duplicate of an already-consumed
+    /// message kind is answered idempotently: the cached reply frames are
+    /// re-emitted without consuming RNG or advancing state (bounded; see
+    /// [`super::replay_cap`]).
+    ///
     /// # Errors
     ///
     /// The full [`AgreementError`] taxonomy; any error also moves the
@@ -133,11 +145,31 @@ impl MobileAgreement {
         frame: &Frame,
         arrival: f64,
     ) -> Result<Vec<Frame>, AgreementError> {
+        if let Some(reply) = self.replay(frame.kind) {
+            return Ok(reply);
+        }
         let result = self.dispatch(frame, arrival);
-        if result.is_err() {
-            self.core.state = State::Failed;
+        match &result {
+            Ok(frames) if self.core.config.retry.enabled() => {
+                self.history.push((frame.kind, frames.clone()));
+            }
+            Err(_) => self.core.state = State::Failed,
+            _ => {}
         }
         result
+    }
+
+    /// The duplicate-idempotency path; `None` means dispatch normally.
+    fn replay(&mut self, kind: MessageKind) -> Option<Vec<Frame>> {
+        if !self.core.config.retry.enabled() || self.core.state == State::Failed {
+            return None;
+        }
+        let reply = self.history.iter().find(|(k, _)| *k == kind)?.1.clone();
+        if self.replays >= super::replay_cap(&self.core.config.retry) {
+            return None;
+        }
+        self.replays += 1;
+        Some(reply)
     }
 
     fn dispatch(
@@ -288,6 +320,32 @@ impl MobileAgreement {
     /// The logical clock (seconds since gesture start).
     pub fn clock(&self) -> f64 {
         self.core.clock
+    }
+
+    /// Advances the logical clock by `seconds` without booking compute.
+    /// Drivers bill retransmission backoff here so retried messages
+    /// depart later and deadline budgets stay honest.
+    pub fn charge(&mut self, seconds: f64) {
+        self.core.charge(seconds);
+    }
+
+    /// The message kind this machine is currently waiting for (`None`
+    /// when it is not at rest waiting — `Init`, `Done`, `Failed`, or the
+    /// transient `Reconcile`). Schedulers use this to buffer reordered
+    /// frames instead of feeding a future kind to the machine early.
+    pub fn expected_kind(&self) -> Option<MessageKind> {
+        match self.core.state {
+            State::OtRound(0) => Some(MessageKind::OtA),
+            State::OtRound(1) => Some(MessageKind::OtB),
+            State::OtRound(2) => Some(MessageKind::OtE),
+            State::Confirm => Some(MessageKind::Response),
+            _ => None,
+        }
+    }
+
+    /// Duplicate frames answered from the reply cache so far.
+    pub fn replays(&self) -> u32 {
+        self.replays
     }
 
     /// Total compute seconds spent so far.

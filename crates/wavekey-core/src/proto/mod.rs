@@ -220,6 +220,14 @@ impl PartyCore {
         d
     }
 
+    /// Advances the logical clock by `seconds` without booking compute —
+    /// the drivers bill retransmission backoff here, so a retried
+    /// deadline-critical message departs (and therefore arrives) later
+    /// and the `2 + τ` fence is charged for every recovery attempt.
+    pub(crate) fn charge(&mut self, seconds: f64) {
+        self.clock += seconds;
+    }
+
     /// Validates the frame header and that `kind` is what the current
     /// state expects.
     pub(crate) fn expect(
@@ -245,4 +253,12 @@ impl PartyCore {
 /// Maps an OT-layer error into the agreement taxonomy.
 pub(crate) fn ot_err(e: wavekey_crypto::ot::OtError) -> AgreementError {
     AgreementError::Ot(e.to_string())
+}
+
+/// Upper bound on duplicate-frame replays per machine: enough for every
+/// message kind to be duplicated `max_retries` times, after which further
+/// duplicates fall through to the (failing) dispatch path — a flood of
+/// duplicates cannot keep a session alive forever.
+pub fn replay_cap(retry: &crate::agreement::RetryPolicy) -> u32 {
+    retry.max_retries.saturating_mul(MessageKind::ALL.len() as u32)
 }

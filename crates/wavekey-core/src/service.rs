@@ -9,11 +9,11 @@
 //! everything below it (simulation, training, protocol) is wired up by
 //! [`crate::session::Session`].
 
-use crate::agreement::{AgreementConfig, AgreementError, AgreementOutcome};
+use crate::agreement::{AgreementConfig, AgreementError, AgreementOutcome, RetryPolicy};
 use crate::bits::hamming_distance;
 use crate::channel::{Adversary, AdversaryAction, Direction};
 use crate::model::WaveKeyModels;
-use crate::proto::{driver, Frame, MobileAgreement, ServerAgreement, State};
+use crate::proto::{driver, replay_cap, Frame, MobileAgreement, ServerAgreement, State};
 use crate::session::{Session, SessionConfig, SessionOutcome};
 use crate::Error;
 use rand::rngs::StdRng;
@@ -43,6 +43,50 @@ struct TicketRecord {
     key: Option<Vec<u8>>,
 }
 
+/// Graceful-degradation policy for [`AccessService::enroll`]: what the
+/// kiosk tries before telling the visitor their wave failed.
+///
+/// On a reconciliation / confirmation failure the service first
+/// *escalates* the BCH correction capacity `t` (re-running the agreement
+/// on the same gesture's seeds, `bch_step` at a time up to `bch_ceiling`,
+/// the BCH(127) limit being 15), then falls back to `regesture_attempts`
+/// full re-gestures. Disabled by default — the base enrolment path is
+/// byte-for-byte what it was without a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Highest BCH `t` escalation may reach (1..=15; 0 disables
+    /// escalation).
+    pub bch_ceiling: usize,
+    /// How much each escalation rung adds to `t` (0 disables escalation).
+    pub bch_step: usize,
+    /// Full re-gesture attempts after escalation is exhausted.
+    pub regesture_attempts: u32,
+}
+
+impl DegradePolicy {
+    /// No recovery: enrolment failures surface immediately.
+    pub fn disabled() -> DegradePolicy {
+        DegradePolicy { bch_ceiling: 0, bch_step: 0, regesture_attempts: 0 }
+    }
+
+    /// The reference kiosk policy: escalate `t` by 2 up to the BCH(127)
+    /// ceiling of 15, then allow one re-gesture.
+    pub fn reference() -> DegradePolicy {
+        DegradePolicy { bch_ceiling: 15, bch_step: 2, regesture_attempts: 1 }
+    }
+
+    /// Whether any recovery rung is configured.
+    pub fn enabled(&self) -> bool {
+        (self.bch_ceiling > 0 && self.bch_step > 0) || self.regesture_attempts > 0
+    }
+}
+
+impl Default for DegradePolicy {
+    fn default() -> DegradePolicy {
+        DegradePolicy::disabled()
+    }
+}
+
 /// The line-up / access-control backend.
 #[derive(Debug)]
 pub struct AccessService {
@@ -51,6 +95,7 @@ pub struct AccessService {
     tickets: HashMap<Epc, TicketRecord>,
     next_serial: u32,
     session_seed: u64,
+    degrade: DegradePolicy,
     obs: Obs,
 }
 
@@ -64,8 +109,15 @@ impl AccessService {
             tickets: HashMap::new(),
             next_serial: 1,
             session_seed: seed,
+            degrade: DegradePolicy::disabled(),
             obs: Obs::disabled(),
         }
+    }
+
+    /// Sets the graceful-degradation policy for enrolment (disabled by
+    /// default).
+    pub fn set_degrade_policy(&mut self, policy: DegradePolicy) {
+        self.degrade = policy;
     }
 
     /// Attaches an observability handle. The service keeps its own
@@ -162,10 +214,13 @@ impl AccessService {
         span.finish();
         let outcome = match result {
             Ok(outcome) => outcome,
-            Err(e) => {
-                self.obs.inc("service_enroll_failures");
-                return Err(e);
-            }
+            Err(e) => match self.recover_enroll(&mut session, &e) {
+                Some(outcome) => outcome,
+                None => {
+                    self.obs.inc("service_enroll_failures");
+                    return Err(e);
+                }
+            },
         };
         self.obs.inc("service_enroll_success");
         self.tickets
@@ -173,6 +228,47 @@ impl AccessService {
             .expect("checked above")
             .key = Some(outcome.key.clone());
         Ok(outcome)
+    }
+
+    /// The graceful-degradation ladder: on a reconciliation or
+    /// confirmation failure, first escalate the BCH correction capacity
+    /// on the *same* gesture's seeds, then fall back to full re-gestures.
+    /// Returns `None` when the ladder is disabled, does not apply to this
+    /// failure, or is exhausted.
+    fn recover_enroll(&mut self, session: &mut Session, err: &Error) -> Option<SessionOutcome> {
+        if !self.degrade.enabled() {
+            return None;
+        }
+        if !matches!(
+            err,
+            Error::Agreement(
+                AgreementError::ReconciliationFailed | AgreementError::ConfirmationFailed
+            )
+        ) {
+            return None;
+        }
+        if self.degrade.bch_step > 0 {
+            if let Some((s_m, s_r)) = session.last_seeds().cloned() {
+                let mut t = session.config().wavekey.bch_t + self.degrade.bch_step;
+                while t <= self.degrade.bch_ceiling.min(15) {
+                    self.obs.inc("service_enroll_escalations");
+                    session.config_mut().wavekey.bch_t = t;
+                    if let Ok(outcome) = session.agree_fast(&s_m, &s_r) {
+                        self.obs.inc("service_enroll_recovered");
+                        return Some(outcome);
+                    }
+                    t += self.degrade.bch_step;
+                }
+            }
+        }
+        for _ in 0..self.degrade.regesture_attempts {
+            self.obs.inc("service_enroll_regestures");
+            if let Ok(outcome) = session.establish_key_fast() {
+                self.obs.inc("service_enroll_recovered");
+                return Some(outcome);
+            }
+        }
+        None
     }
 
     /// The key bound to a ticket, if enrolment succeeded.
@@ -214,6 +310,9 @@ pub struct ManagedOutcome {
     /// The key the *server* reconciled to (equal to `agreement.key` on
     /// every honest run — the HMAC confirmation proves it).
     pub server_key: Vec<u8>,
+    /// How many frames the recovery layer put back on the wire for this
+    /// session (drop retransmissions + NAK re-sends); 0 on a clean run.
+    pub retransmits: u64,
 }
 
 /// One in-flight wire message: encoded frame bytes plus logical arrival.
@@ -222,6 +321,11 @@ struct InFlight {
     to_mobile: bool,
     bytes: Vec<u8>,
     arrival: f64,
+    /// Pristine copy of the frame as the sender's machine produced it
+    /// (kept only when retries are enabled): the link-layer "checksum"
+    /// reference, and the payload a NAK retransmission puts back on the
+    /// wire.
+    clean: Option<Frame>,
 }
 
 /// One live machine pair under management.
@@ -231,29 +335,130 @@ struct ManagedSession {
     mobile: MobileAgreement,
     server: ServerAgreement,
     channel_delay: f64,
+    retry: RetryPolicy,
     in_flight: VecDeque<InFlight>,
     idle_passes: u32,
+    /// A frame the adversary reordered: held back until the next frame
+    /// goes onto the wire (or the queue drains), then delivered behind it.
+    reorder_hold: Option<InFlight>,
+    /// Frames put back on the wire after a drop or a failed delivery.
+    retransmits: u64,
+    /// NAK retransmissions consumed (bounded by [`proto::replay_cap`]).
+    nak_budget_used: u32,
+    /// Out-of-order deliveries deferred to the back of the queue
+    /// (bounded by [`proto::replay_cap`]).
+    defers_used: u32,
 }
 
 impl ManagedSession {
-    /// Passes a machine-produced frame through the adversary and onto the
-    /// wire. A dropped frame simply vanishes — the session will stall and
-    /// be evicted by the idle timeout, as a real endpoint would time out
-    /// a silent peer.
-    fn enqueue(&mut self, adversary: &mut dyn Adversary, direction: Direction, mut frame: Frame) {
-        let send_time = match direction {
-            Direction::MobileToServer => self.mobile.clock(),
-            Direction::ServerToMobile => self.server.clock(),
-        };
-        let mut extra = 0.0f64;
-        match adversary.intercept(direction, &mut frame, &mut extra) {
-            AdversaryAction::Forward => self.in_flight.push_back(InFlight {
-                to_mobile: direction == Direction::ServerToMobile,
-                bytes: frame.encode(),
-                arrival: send_time + self.channel_delay + extra,
-            }),
-            AdversaryAction::Drop => {}
+    /// The channel: intercepts the frame (freshly per attempt) and places
+    /// the survivor(s) on the wire. `Drop` is retransmitted up to
+    /// `retry.max_retries` times, each retry charging the policy's backoff
+    /// onto the *sender's* logical clock — so recovered deadline-critical
+    /// messages arrive later and the `2 + τ` fence stays honest.
+    ///
+    /// Without a retry policy a dropped frame simply vanishes — the
+    /// session stalls (or desynchronizes) and fails, as a real endpoint
+    /// would time out a silent peer.
+    fn transmit(&mut self, adversary: &mut dyn Adversary, direction: Direction, frame: Frame) {
+        let to_mobile = direction == Direction::ServerToMobile;
+        let clean = if self.retry.enabled() { Some(frame.clone()) } else { None };
+        let mut attempt = 0u32;
+        loop {
+            let send_time = match direction {
+                Direction::MobileToServer => self.mobile.clock(),
+                Direction::ServerToMobile => self.server.clock(),
+            };
+            let arrival = send_time + self.channel_delay;
+            let mut copy = frame.clone();
+            match adversary.intercept(direction, &mut copy) {
+                AdversaryAction::Forward => {
+                    return self.push(InFlight {
+                        to_mobile,
+                        bytes: copy.encode(),
+                        arrival,
+                        clean,
+                    });
+                }
+                AdversaryAction::Delay(extra) => {
+                    return self.push(InFlight {
+                        to_mobile,
+                        bytes: copy.encode(),
+                        arrival: arrival + extra,
+                        clean,
+                    });
+                }
+                AdversaryAction::Duplicate => {
+                    let bytes = copy.encode();
+                    self.push(InFlight {
+                        to_mobile,
+                        bytes: bytes.clone(),
+                        arrival,
+                        clean: clean.clone(),
+                    });
+                    return self.push(InFlight {
+                        to_mobile,
+                        bytes,
+                        arrival: arrival + self.channel_delay,
+                        clean,
+                    });
+                }
+                AdversaryAction::Reorder => {
+                    // Hold this frame behind the next transmission; a
+                    // second reorder releases the first hold.
+                    if let Some(held) = self.reorder_hold.take() {
+                        self.in_flight.push_back(held);
+                    }
+                    self.reorder_hold =
+                        Some(InFlight { to_mobile, bytes: copy.encode(), arrival, clean });
+                    return;
+                }
+                AdversaryAction::Drop => {
+                    if attempt >= self.retry.max_retries {
+                        return; // vanished; eviction will claim the session
+                    }
+                    attempt += 1;
+                    self.retransmits += 1;
+                    let backoff = self.retry.backoff(attempt);
+                    match direction {
+                        Direction::MobileToServer => self.mobile.charge(backoff),
+                        Direction::ServerToMobile => self.server.charge(backoff),
+                    }
+                }
+            }
         }
+    }
+
+    /// Puts a message on the wire, releasing any reorder hold behind it.
+    fn push(&mut self, msg: InFlight) {
+        self.in_flight.push_back(msg);
+        if let Some(held) = self.reorder_hold.take() {
+            self.in_flight.push_back(held);
+        }
+    }
+
+    /// NAK recovery: re-sends the failed delivery's clean copy (decode
+    /// failure or in-transit corruption). Returns `false` when the budget
+    /// is exhausted or no clean copy rode along (retries disabled).
+    fn nak(&mut self, adversary: &mut dyn Adversary, msg: &InFlight) -> bool {
+        if !self.retry.enabled() || self.nak_budget_used >= replay_cap(&self.retry) {
+            return false;
+        }
+        let Some(clean) = msg.clean.clone() else { return false };
+        let direction = if msg.to_mobile {
+            Direction::ServerToMobile
+        } else {
+            Direction::MobileToServer
+        };
+        self.nak_budget_used += 1;
+        self.retransmits += 1;
+        let backoff = self.retry.backoff(self.nak_budget_used.min(self.retry.max_retries));
+        match direction {
+            Direction::MobileToServer => self.mobile.charge(backoff),
+            Direction::ServerToMobile => self.server.charge(backoff),
+        }
+        self.transmit(adversary, direction, clean);
+        true
     }
 
     /// Delivers the next in-flight message (or ages the idle counter).
@@ -263,18 +468,63 @@ impl ManagedSession {
         adversary: &mut dyn Adversary,
         idle_timeout_passes: u32,
     ) -> Option<Result<ManagedOutcome, AgreementError>> {
-        let Some(msg) = self.in_flight.pop_front() else {
-            self.idle_passes += 1;
-            if self.idle_passes > idle_timeout_passes {
-                return Some(Err(AgreementError::Evicted));
-            }
-            return None;
+        let msg = match self.in_flight.pop_front() {
+            Some(msg) => msg,
+            // Flush a dangling reorder hold before idling: the frame it
+            // was waiting behind may have been dropped.
+            None => match self.reorder_hold.take() {
+                Some(held) => held,
+                None => {
+                    self.idle_passes += 1;
+                    if self.idle_passes > idle_timeout_passes {
+                        return Some(Err(AgreementError::Evicted));
+                    }
+                    return None;
+                }
+            },
         };
         self.idle_passes = 0;
         let frame = match Frame::decode(&msg.bytes) {
             Ok(frame) => frame,
-            Err(e) => return Some(Err(AgreementError::Wire(e.to_string()))),
+            Err(e) => {
+                // The link layer rejected the datagram (truncation, bad
+                // version): NAK the sender for a clean retransmission.
+                if self.nak(adversary, &msg) {
+                    return None;
+                }
+                return Some(Err(AgreementError::Wire(e.to_string())));
+            }
         };
+        if self.retry.enabled() {
+            // Link-layer CRC: the manager *is* the channel, so each
+            // delivery can be compared against the clean copy that rode
+            // along with it; a mismatch models a checksum failure and is
+            // NAK'd like a truncated datagram. (A wrapped MitM that
+            // rewrites frames is caught here too — and fails once the NAK
+            // budget runs out.)
+            if let Some(clean) = &msg.clean {
+                if *clean != frame {
+                    if self.nak(adversary, &msg) {
+                        return None;
+                    }
+                    return Some(Err(AgreementError::Wire("corrupted frame".into())));
+                }
+            }
+            // Reordered future messages (a kind the receiver is not ready
+            // for yet) go back to the end of the queue, bounded so a
+            // missing prerequisite cannot spin forever.
+            let expected =
+                if msg.to_mobile { self.mobile.expected_kind() } else { self.server.expected_kind() };
+            if let Some(expected) = expected {
+                if frame.kind.wire_tag() > expected.wire_tag()
+                    && self.defers_used < replay_cap(&self.retry)
+                {
+                    self.defers_used += 1;
+                    self.in_flight.push_back(msg);
+                    return None;
+                }
+            }
+        }
         let (produced, reply_direction) = if msg.to_mobile {
             (self.mobile.handle(&frame, msg.arrival), Direction::MobileToServer)
         } else {
@@ -285,7 +535,7 @@ impl ManagedSession {
             Err(e) => return Some(Err(e)),
         };
         for out in produced {
-            self.enqueue(adversary, reply_direction, out);
+            self.transmit(adversary, reply_direction, out);
         }
         if self.mobile.state() == State::Done {
             let mismatch =
@@ -294,6 +544,7 @@ impl ManagedSession {
                 id: self.id,
                 agreement: driver::combine(&self.mobile, &self.server, mismatch),
                 server_key: self.server.key().to_vec(),
+                retransmits: self.retransmits,
             }));
         }
         None
@@ -321,6 +572,7 @@ pub struct SessionManager {
     cursor: usize,
     next_id: u64,
     idle_timeout_passes: u32,
+    retransmits_total: u64,
     obs: Obs,
 }
 
@@ -335,6 +587,7 @@ impl SessionManager {
             cursor: 0,
             next_id: 1,
             idle_timeout_passes,
+            retransmits_total: 0,
             obs: Obs::disabled(),
         }
     }
@@ -375,11 +628,16 @@ impl SessionManager {
             mobile,
             server,
             channel_delay: config.channel_delay,
+            retry: config.retry,
             in_flight: VecDeque::new(),
             idle_passes: 0,
+            reorder_hold: None,
+            retransmits: 0,
+            nak_budget_used: 0,
+            defers_used: 0,
         };
-        session.enqueue(adversary, Direction::MobileToServer, ma_m);
-        session.enqueue(adversary, Direction::ServerToMobile, ma_r);
+        session.transmit(adversary, Direction::MobileToServer, ma_m);
+        session.transmit(adversary, Direction::ServerToMobile, ma_r);
         self.sessions.push(session);
         self.obs.inc("manager_sessions_spawned");
         Ok(id)
@@ -398,6 +656,7 @@ impl SessionManager {
         match self.sessions[self.cursor].advance(adversary, self.idle_timeout_passes) {
             Some(result) => {
                 let session = self.sessions.remove(self.cursor);
+                self.retransmits_total += session.retransmits;
                 self.finish(session.id, result);
             }
             None => self.cursor += 1,
@@ -452,14 +711,25 @@ impl SessionManager {
         let sessions = std::mem::take(&mut self.sessions);
         self.cursor = 0;
         let timeout = self.idle_timeout_passes;
+        // A worker failure (a panic while driving one session — e.g. a
+        // buggy adversary) must not poison the whole drive: it is caught
+        // and surfaced as that session's typed `AgreementError::Worker`,
+        // and every other session completes normally.
         let drive = |mut session: ManagedSession| {
-            let mut adversary = make_adversary();
-            let result = loop {
-                if let Some(r) = session.advance(adversary.as_mut(), timeout) {
-                    break r;
-                }
-            };
-            (session.id, result)
+            let id = session.id;
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut adversary = make_adversary();
+                let result = loop {
+                    if let Some(r) = session.advance(adversary.as_mut(), timeout) {
+                        break r;
+                    }
+                };
+                (session.retransmits, result)
+            }));
+            match caught {
+                Ok((retransmits, result)) => (id, retransmits, result),
+                Err(payload) => (id, 0, Err(AgreementError::Worker(panic_message(payload.as_ref())))),
+            }
         };
         let mut results = if threads <= 1 || sessions.len() <= 1 {
             sessions.into_iter().map(drive).collect::<Vec<_>>()
@@ -477,8 +747,9 @@ impl SessionManager {
             });
             done.into_inner().unwrap()
         };
-        results.sort_by_key(|&(id, _)| id);
-        for (id, result) in results {
+        results.sort_by_key(|&(id, _, _)| id);
+        for (id, retransmits, result) in results {
+            self.retransmits_total += retransmits;
             self.finish(id, result);
         }
         self.successes()
@@ -504,12 +775,31 @@ impl SessionManager {
         self.completed.iter().filter(|(_, r)| r.is_ok()).count()
     }
 
+    /// Total frames the recovery layer put back on the wire across all
+    /// completed sessions (drop retransmissions + NAK re-sends).
+    pub fn retransmits_total(&self) -> u64 {
+        self.retransmits_total
+    }
+
     /// Records counters and the per-session flight record, then archives
     /// the result.
     fn finish(&mut self, id: u64, result: Result<ManagedOutcome, AgreementError>) {
         self.obs.inc("manager_sessions_completed");
         if matches!(result, Err(AgreementError::Evicted)) {
             self.obs.inc("manager_sessions_evicted");
+        }
+        if let Err(e) = &result {
+            // Per-failure-label counter family plus the recoverable /
+            // terminal split of the failure taxonomy.
+            let label = crate::session::agreement_outcome_label(e);
+            self.obs.with_registry(|r| {
+                r.inc_counter(&format!("wavekey_failures_total{{label=\"{label}\"}}"), 1);
+            });
+            if e.is_recoverable() {
+                self.obs.inc("manager_failures_recoverable");
+            } else {
+                self.obs.inc("manager_failures_terminal");
+            }
         }
         if self.obs.is_enabled() {
             let mut trace = SessionTrace::new(id);
@@ -531,6 +821,17 @@ impl SessionManager {
             self.obs.session(&trace);
         }
         self.completed.push((id, result));
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -851,6 +1152,267 @@ mod tests {
         let text = manager.obs.prometheus_text();
         assert!(text.contains("manager_sessions_spawned 2"));
         assert!(text.contains("manager_sessions_completed 2"));
+    }
+
+    // -------------------------------------------------- fault recovery
+
+    use crate::fault::{FaultKind, FaultPlan, ScheduledFault};
+
+    fn arq_config() -> AgreementConfig {
+        AgreementConfig { retry: RetryPolicy::arq(), ..manager_config() }
+    }
+
+    /// Runs one managed session over `adversary` with `config`; returns
+    /// the manager for inspection.
+    fn run_one(config: &AgreementConfig, adversary: &mut dyn Adversary) -> (u64, SessionManager) {
+        let (s_m, s_r) = seed_pair(555);
+        let mut manager = SessionManager::new(8);
+        let id = manager
+            .spawn(
+                &s_m,
+                &s_r,
+                config,
+                StdRng::seed_from_u64(7001),
+                StdRng::seed_from_u64(7002),
+                adversary,
+            )
+            .expect("spawn");
+        manager.run_to_completion(adversary);
+        (id, manager)
+    }
+
+    /// Every scripted single-fault scenario recovers to the *same key* a
+    /// fault-free run establishes: retransmission and replay consume no
+    /// RNG, so recovery cannot steer the protocol.
+    #[test]
+    fn scripted_faults_recover_to_the_fault_free_key() {
+        let config = arq_config();
+        let (baseline_id, baseline) = run_one(&config, &mut PassiveChannel);
+        let baseline_key = baseline
+            .outcome(baseline_id)
+            .expect("outcome")
+            .as_ref()
+            .expect("fault-free success")
+            .agreement
+            .key
+            .clone();
+        assert_eq!(baseline.retransmits_total(), 0, "no faults, no retransmits");
+
+        let scenarios: Vec<(&str, Direction, MessageKind, FaultKind)> = vec![
+            ("drop", Direction::ServerToMobile, MessageKind::OtA, FaultKind::Drop),
+            ("duplicate", Direction::MobileToServer, MessageKind::OtB, FaultKind::Duplicate),
+            ("reorder", Direction::ServerToMobile, MessageKind::OtA, FaultKind::Reorder),
+            ("truncate", Direction::ServerToMobile, MessageKind::OtA, FaultKind::Truncate),
+            ("corrupt", Direction::MobileToServer, MessageKind::OtB, FaultKind::Corrupt),
+            ("delay", Direction::MobileToServer, MessageKind::OtE, FaultKind::Delay),
+        ];
+        for (name, direction, kind, fault) in scenarios {
+            let mut plan = FaultPlan::scripted(
+                1,
+                vec![ScheduledFault { direction, kind, occurrence: 0, fault }],
+            );
+            let (id, manager) = run_one(&config, &mut plan);
+            let outcome = manager
+                .outcome(id)
+                .expect("outcome")
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{name}: session failed: {e}"));
+            assert_eq!(outcome.agreement.key, baseline_key, "{name}: key diverged");
+            assert_eq!(outcome.server_key, baseline_key, "{name}: server key diverged");
+            let needs_resend = matches!(
+                fault,
+                FaultKind::Drop | FaultKind::Truncate | FaultKind::Corrupt
+            );
+            assert_eq!(
+                manager.retransmits_total() > 0,
+                needs_resend,
+                "{name}: retransmits_total = {}",
+                manager.retransmits_total()
+            );
+        }
+    }
+
+    /// The same drop that recovery survives is fatal without a retry
+    /// policy: the frame vanishes and the session is evicted.
+    #[test]
+    fn dropped_frame_without_retry_policy_is_fatal() {
+        let mut plan = FaultPlan::scripted(
+            1,
+            vec![ScheduledFault {
+                direction: Direction::ServerToMobile,
+                kind: MessageKind::OtA,
+                occurrence: 0,
+                fault: FaultKind::Drop,
+            }],
+        );
+        let (id, manager) = run_one(&manager_config(), &mut plan);
+        let outcome = manager.outcome(id).expect("completed");
+        assert!(outcome.is_err(), "drop without retry must be fatal, got {outcome:?}");
+        assert_eq!(manager.retransmits_total(), 0, "no retry policy, no retransmits");
+    }
+
+    /// Retransmission backoff is charged against the paper's `2 + τ`
+    /// deadline: a retry whose backoff exceeds the slack arrives too late
+    /// and the session fails with the deadline's own error, not silence.
+    #[test]
+    fn retransmission_backoff_is_charged_against_the_deadline() {
+        let config = AgreementConfig {
+            retry: RetryPolicy { max_retries: 3, backoff_base_s: 20.0, backoff_factor: 1.0 },
+            ..manager_config()
+        };
+        // M_{A,R} (server -> mobile OtA) is the mobile's budgeted message.
+        let mut plan = FaultPlan::scripted(
+            1,
+            vec![ScheduledFault {
+                direction: Direction::ServerToMobile,
+                kind: MessageKind::OtA,
+                occurrence: 0,
+                fault: FaultKind::Drop,
+            }],
+        );
+        let (id, manager) = run_one(&config, &mut plan);
+        // tau = 10.0: one 20 s backoff pushes the arrival past the fence.
+        assert!(
+            matches!(manager.outcome(id), Some(Err(AgreementError::Timeout(MessageKind::OtA)))),
+            "expected Timeout(OtA), got {:?}",
+            manager.outcome(id)
+        );
+    }
+
+    /// With no faults on the wire, enabling the retry policy changes
+    /// nothing: outcomes are bit-identical to the no-retry manager.
+    #[test]
+    fn fault_free_runs_are_bit_identical_with_and_without_retry() {
+        let (id_a, plain) = run_one(&manager_config(), &mut PassiveChannel);
+        let (id_b, arq) = run_one(&arq_config(), &mut PassiveChannel);
+        let a = plain.outcome(id_a).expect("a").as_ref().expect("ok");
+        let b = arq.outcome(id_b).expect("b").as_ref().expect("ok");
+        assert_eq!(a.agreement.key, b.agreement.key);
+        assert_eq!(a.agreement.key_bits, b.agreement.key_bits);
+        assert_eq!(a.server_key, b.server_key);
+        assert_eq!(arq.retransmits_total(), 0);
+    }
+
+    /// An adversary whose `intercept` panics mid-protocol must not poison
+    /// the parallel drive: the affected sessions complete with the typed
+    /// `Worker` error and the manager stays usable.
+    #[test]
+    fn panicking_adversary_surfaces_as_typed_worker_error() {
+        struct PanickingAdversary;
+        impl Adversary for PanickingAdversary {
+            fn intercept(&mut self, _d: Direction, frame: &mut Frame) -> AdversaryAction {
+                if frame.kind == MessageKind::OtE {
+                    panic!("adversary exploded");
+                }
+                AdversaryAction::Forward
+            }
+        }
+        let recorder = std::sync::Arc::new(wavekey_obs::FlightRecorder::new(8));
+        let mut manager = SessionManager::new(4);
+        manager.set_obs(Obs::new(recorder.clone()));
+        let config = manager_config();
+        let ids: Vec<u64> = (0..3u64)
+            .map(|i| {
+                let (s_m, s_r) = seed_pair(300 + i);
+                manager
+                    .spawn(
+                        &s_m,
+                        &s_r,
+                        &config,
+                        StdRng::seed_from_u64(310 + i),
+                        StdRng::seed_from_u64(320 + i),
+                        &mut PanickingAdversary,
+                    )
+                    .expect("spawn")
+            })
+            .collect();
+        // Silence the default panic-to-stderr hook for the duration.
+        let prior = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let successes = manager.run_to_completion_parallel(2, &|| Box::new(PanickingAdversary));
+        std::panic::set_hook(prior);
+        assert_eq!(successes, 0);
+        for id in ids {
+            match manager.outcome(id) {
+                Some(Err(AgreementError::Worker(msg))) => {
+                    assert!(msg.contains("adversary exploded"), "message: {msg}");
+                }
+                other => panic!("session {id}: expected Worker error, got {other:?}"),
+            }
+        }
+        let text = manager.obs.prometheus_text();
+        assert!(
+            text.contains("wavekey_failures_total{label=\"worker_panic\"} 3"),
+            "labeled counter missing:\n{text}"
+        );
+        assert!(text.contains("manager_failures_terminal 3"));
+    }
+
+    /// Eviction (a recoverable failure class) lands in both the labeled
+    /// failure-counter family and the recoverable/terminal split.
+    #[test]
+    fn failure_labels_reach_the_exporter() {
+        let recorder = std::sync::Arc::new(wavekey_obs::FlightRecorder::new(8));
+        let mut manager = SessionManager::new(3);
+        manager.set_obs(Obs::new(recorder.clone()));
+        let (s_m, s_r) = seed_pair(9);
+        let mut adversary = Dropper { target: MessageKind::OtE };
+        manager
+            .spawn(
+                &s_m,
+                &s_r,
+                &manager_config(),
+                StdRng::seed_from_u64(5),
+                StdRng::seed_from_u64(6),
+                &mut adversary,
+            )
+            .expect("spawn");
+        manager.run_to_completion(&mut adversary);
+        let text = manager.obs.prometheus_text();
+        assert!(text.contains("wavekey_failures_total{label=\"evicted\"} 1"), "{text}");
+        assert!(text.contains("manager_failures_recoverable 1"));
+    }
+
+    /// The enrolment degradation ladder: BCH escalation re-runs the same
+    /// seeds at higher correction capacity, and a re-gesture gets one
+    /// more wave — recovering enrolments the base path loses. Disabled
+    /// policy keeps the base path untouched.
+    #[test]
+    fn enroll_degradation_ladder_recovers_failures() {
+        // Service seed 23 deterministically produces a first gesture whose
+        // seed mismatch exceeds the base BCH capacity but sits inside the
+        // ladder's reach (escalated `t` or one re-gesture) — found by
+        // scanning; any such seed works.
+        let mk = |seed: u64| {
+            let models = WaveKeyModels::new(12, 5);
+            let config = SessionConfig {
+                use_tiny_group: true,
+                wavekey: WaveKeyConfig { tau: 10.0, ..Default::default() },
+                ..Default::default()
+            };
+            AccessService::new(models, config, seed)
+        };
+
+        let mut base = mk(23);
+        let ticket = base.issue_ticket(TagModel::Alien9640A);
+        let err = base.enroll(ticket.epc, VolunteerId(0)).unwrap_err();
+        assert!(matches!(err, Error::Agreement(_)), "{err}");
+        assert_eq!(base.key_for(ticket.epc), None);
+
+        let mut ladder = mk(23);
+        ladder.set_degrade_policy(DegradePolicy::reference());
+        let recorder = std::sync::Arc::new(wavekey_obs::FlightRecorder::new(64));
+        ladder.set_obs(Obs::new(recorder.clone()));
+        let ticket = ladder.issue_ticket(TagModel::Alien9640A);
+        let out = ladder
+            .enroll(ticket.epc, VolunteerId(0))
+            .expect("ladder recovers the same gesture the base path loses");
+        assert_eq!(ladder.key_for(ticket.epc), Some(out.key.as_slice()));
+        let text = ladder.obs().prometheus_text();
+        assert!(text.contains("service_enroll_escalations"), "{text}");
+        assert!(text.contains("service_enroll_recovered 1"), "{text}");
+        assert!(text.contains("service_enroll_success 1"), "{text}");
+        assert!(!text.contains("service_enroll_failures"), "{text}");
     }
 
     #[test]

@@ -94,6 +94,10 @@ pub struct Session {
     rng: StdRng,
     obs: Obs,
     sessions_started: u64,
+    /// The seed pair of the most recent derivation, kept so recovery
+    /// flows (BCH escalation in [`crate::AccessService::enroll`]) can
+    /// re-run the agreement on the *same* gesture's seeds.
+    last_seeds: Option<(Vec<bool>, Vec<bool>)>,
 }
 
 impl Session {
@@ -113,6 +117,7 @@ impl Session {
             rng: StdRng::seed_from_u64(seed),
             obs: Obs::disabled(),
             sessions_started: 0,
+            last_seeds: None,
         }
     }
 
@@ -289,7 +294,14 @@ impl Session {
         let d = t.elapsed().as_secs_f64();
         trace.record_stage(stage::QUANTIZATION, d);
         self.obs.record_duration(stage::QUANTIZATION, d);
+        self.last_seeds = Some(seeds.clone());
         Ok(seeds)
+    }
+
+    /// The seed pair of the most recent derivation, if any (recovery
+    /// flows re-run the agreement on these without a new gesture).
+    pub fn last_seeds(&self) -> Option<&(Vec<bool>, Vec<bool>)> {
+        self.last_seeds.as_ref()
     }
 
     /// Runs both sensing pipelines and the encoders, returning the raw
@@ -439,7 +451,37 @@ impl Session {
             channel_delay: 0.001,
             use_tiny_group: self.config.use_tiny_group,
             privacy_amplification: false,
+            retry: crate::agreement::RetryPolicy::none(),
         }
+    }
+
+    /// Fast-path (information-layer) agreement on externally supplied
+    /// seeds — the recovery counterpart of [`Session::establish_key_fast`]:
+    /// re-runs the key logic on an already-derived seed pair, so BCH
+    /// escalation can retry the *same* gesture with more correction
+    /// capacity instead of demanding a new wave.
+    ///
+    /// # Errors
+    ///
+    /// Same failure taxonomy as [`Session::establish_key_fast`].
+    pub fn agree_fast(&mut self, s_m: &[bool], s_r: &[bool]) -> Result<SessionOutcome, Error> {
+        let agreement_config = self.agreement_config();
+        let mut rng_server = StdRng::seed_from_u64(self.rng.gen());
+        let outcome = crate::agreement::run_agreement_information_layer(
+            s_m,
+            s_r,
+            &agreement_config,
+            &mut self.rng,
+            &mut rng_server,
+        )?;
+        Ok(SessionOutcome {
+            key: outcome.key.clone(),
+            seed_mismatch_bits: hamming_distance(s_m, s_r),
+            seed_len: s_m.len(),
+            s_m: s_m.to_vec(),
+            s_r: s_r.to_vec(),
+            agreement: outcome,
+        })
     }
 
     /// Runs the key agreement on externally supplied seeds (exposed for
@@ -564,6 +606,7 @@ pub(crate) fn agreement_outcome_label(e: &AgreementError) -> String {
         AgreementError::Config(_) => "bad_config".to_string(),
         AgreementError::Wire(_) => "wire_error".to_string(),
         AgreementError::Evicted => "evicted".to_string(),
+        AgreementError::Worker(_) => "worker_panic".to_string(),
     }
 }
 

@@ -94,6 +94,25 @@ proptest! {
     }
 
     #[test]
+    fn frame_decode_survives_random_mutation(
+        kind in any_kind(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        flips in proptest::collection::vec((any::<proptest::sample::Index>(), 1u8..=255), 1..8)
+    ) {
+        // Twin of frame.rs's seeded `random_mutations_never_panic_the_decoder`:
+        // XOR-damage a valid frame anywhere; decode must stay total, and a
+        // mutation the codec accepts must re-encode byte-identically.
+        let mut bytes = Frame::new(kind, payload).encode();
+        for (idx, mask) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= mask;
+        }
+        if let Ok(frame) = Frame::decode(&bytes) {
+            prop_assert_eq!(frame.encode(), bytes);
+        }
+    }
+
+    #[test]
     fn bits_pack_unpack_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
         let bytes = pack_bits(&bits);
         prop_assert_eq!(unpack_bits(&bytes, bits.len()), bits);

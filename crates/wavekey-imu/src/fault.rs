@@ -1,0 +1,167 @@
+//! Deterministic sensing-layer fault injection for IMU recordings.
+//!
+//! The wire-layer chaos suite (`wavekey-core::fault`) stresses the
+//! protocol; this module stresses what comes *before* it — the raw
+//! sensor stream feeding [`crate::pipeline::process_imu`]. Two fault
+//! families the paper's hardware exhibits:
+//!
+//! * **Sample dropout bursts** — the OS preempts the sensor service and a
+//!   contiguous run of samples never lands; timestamps stay strictly
+//!   increasing but gap.
+//! * **Accelerometer clipping** — energetic gestures saturate the ±4 g
+//!   range of consumer parts, flattening the specific-force peaks.
+//!
+//! Injection is a pure function of `(recording, config, seed)`: the same
+//! inputs always produce the same faulted recording, so chaos soaks are
+//! replayable sample-for-sample.
+
+use crate::sensors::ImuRecording;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What to inject into an IMU recording.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImuFaultConfig {
+    /// Number of contiguous dropout bursts to carve out.
+    pub dropout_bursts: usize,
+    /// Samples removed per burst.
+    pub burst_len: usize,
+    /// Saturate every accelerometer component to `±clip_accel` (m/s²);
+    /// `None` leaves the accelerometer untouched.
+    pub clip_accel: Option<f64>,
+}
+
+impl ImuFaultConfig {
+    /// No faults: injection returns the recording unchanged.
+    pub fn none() -> ImuFaultConfig {
+        ImuFaultConfig { dropout_bursts: 0, burst_len: 0, clip_accel: None }
+    }
+
+    /// The reference chaos mixture used by the `fault_soak` bench: two
+    /// ~50 ms dropout bursts (5 samples at 100 Hz) and clipping at 2 g —
+    /// harsh but inside what the interpolating pipeline absorbs.
+    pub fn reference() -> ImuFaultConfig {
+        ImuFaultConfig { dropout_bursts: 2, burst_len: 5, clip_accel: Some(2.0 * crate::GRAVITY) }
+    }
+}
+
+impl Default for ImuFaultConfig {
+    fn default() -> ImuFaultConfig {
+        ImuFaultConfig::none()
+    }
+}
+
+/// Applies the configured faults to a recording, deterministically in
+/// `(recording, config, seed)`. Timestamps, accelerometer, gyroscope,
+/// and magnetometer streams stay index-aligned: dropout removes the same
+/// sample from all four.
+pub fn inject_imu_faults(
+    recording: &ImuRecording,
+    config: &ImuFaultConfig,
+    seed: u64,
+) -> ImuRecording {
+    let mut out = recording.clone();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD20_B0_07);
+
+    if let Some(clip) = config.clip_accel {
+        for a in &mut out.accel {
+            a.x = a.x.clamp(-clip, clip);
+            a.y = a.y.clamp(-clip, clip);
+            a.z = a.z.clamp(-clip, clip);
+        }
+    }
+
+    if config.dropout_bursts > 0 && config.burst_len > 0 && !out.is_empty() {
+        let mut keep = vec![true; out.len()];
+        for _ in 0..config.dropout_bursts {
+            // Never let the bursts consume the whole recording.
+            let start = rng.gen_range(0..out.len());
+            for flag in keep.iter_mut().skip(start).take(config.burst_len) {
+                *flag = false;
+            }
+        }
+        if keep.iter().filter(|&&k| k).count() >= 2 {
+            let filter = |v: &[f64]| -> Vec<f64> {
+                v.iter().zip(&keep).filter(|(_, &k)| k).map(|(x, _)| *x).collect()
+            };
+            out.ts = filter(&out.ts);
+            out.accel = out.accel.iter().zip(&keep).filter(|(_, &k)| k).map(|(v, _)| *v).collect();
+            out.gyro = out.gyro.iter().zip(&keep).filter(|(_, &k)| k).map(|(v, _)| *v).collect();
+            out.mag = out.mag.iter().zip(&keep).filter(|(_, &k)| k).map(|(v, _)| *v).collect();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gesture::{GestureConfig, GestureGenerator, VolunteerId};
+    use crate::pipeline::{process_imu, ImuPipelineConfig};
+    use crate::sensors::{sample_imu, DeviceModel};
+
+    fn recording(seed: u64) -> ImuRecording {
+        let mut generator = GestureGenerator::new(VolunteerId(0), seed);
+        let gesture = generator.generate(&GestureConfig::default());
+        sample_imu(&gesture, &DeviceModel::GalaxyWatch.spec(), seed)
+    }
+
+    #[test]
+    fn injection_is_deterministic_in_the_seed() {
+        let rec = recording(11);
+        let config = ImuFaultConfig::reference();
+        let a = inject_imu_faults(&rec, &config, 5);
+        let b = inject_imu_faults(&rec, &config, 5);
+        assert_eq!(a, b);
+        let c = inject_imu_faults(&rec, &config, 6);
+        assert_ne!(a, c, "different seeds place different bursts");
+    }
+
+    #[test]
+    fn none_config_is_the_identity() {
+        let rec = recording(12);
+        assert_eq!(inject_imu_faults(&rec, &ImuFaultConfig::none(), 0), rec);
+    }
+
+    #[test]
+    fn dropout_removes_aligned_samples_and_keeps_order() {
+        let rec = recording(13);
+        let config = ImuFaultConfig { dropout_bursts: 3, burst_len: 7, clip_accel: None };
+        let faulted = inject_imu_faults(&rec, &config, 99);
+        assert!(faulted.len() < rec.len());
+        assert!(faulted.len() >= rec.len().saturating_sub(3 * 7));
+        assert_eq!(faulted.ts.len(), faulted.accel.len());
+        assert_eq!(faulted.ts.len(), faulted.gyro.len());
+        assert_eq!(faulted.ts.len(), faulted.mag.len());
+        assert!(
+            faulted.ts.windows(2).all(|w| w[0] <= w[1]),
+            "timestamps stay monotone across gaps"
+        );
+    }
+
+    #[test]
+    fn clipping_bounds_every_accel_component() {
+        let rec = recording(14);
+        let clip = 0.5 * crate::GRAVITY; // aggressive: guaranteed to bite (gravity alone exceeds it)
+        let config = ImuFaultConfig { dropout_bursts: 0, burst_len: 0, clip_accel: Some(clip) };
+        let faulted = inject_imu_faults(&rec, &config, 0);
+        assert_eq!(faulted.len(), rec.len());
+        assert!(faulted
+            .accel
+            .iter()
+            .all(|a| a.x.abs() <= clip && a.y.abs() <= clip && a.z.abs() <= clip));
+        assert_ne!(faulted.accel, rec.accel, "clipping actually altered the stream");
+    }
+
+    #[test]
+    fn pipeline_survives_reference_faults() {
+        // The faulted stream must never panic the pipeline: it either
+        // processes (the interpolator bridges the gaps) or fails with the
+        // pipeline's typed error.
+        for seed in 0..8u64 {
+            let rec = recording(20 + seed);
+            let faulted = inject_imu_faults(&rec, &ImuFaultConfig::reference(), seed);
+            let _ = process_imu(&faulted, &ImuPipelineConfig::default());
+        }
+    }
+}

@@ -16,11 +16,15 @@
 //!   100 Hz, initial pose from accelerometer + magnetometer, gyroscope
 //!   dead-reckoning, coordinate transform, producing the 200×3 linear
 //!   acceleration matrix `A`.
+//! * [`fault`] — deterministic sensing-fault injection (sample dropout
+//!   bursts, accelerometer clipping) for the robustness/chaos suite.
 
+pub mod fault;
 pub mod gesture;
 pub mod pipeline;
 pub mod sensors;
 
+pub use fault::{inject_imu_faults, ImuFaultConfig};
 pub use gesture::{Gesture, GestureConfig, GestureGenerator, MimicConfig, VolunteerId};
 pub use pipeline::{process_imu, AccelMatrix, ImuPipelineConfig, PipelineError};
 pub use sensors::{sample_imu, DeviceModel, ImuRecording, ImuSpec};

@@ -258,28 +258,44 @@ impl Registry {
     /// Render every metric in Prometheus text exposition format. Histograms
     /// are rendered as `_count`/`_sum` plus `p50`/`p90`/`p99` quantile
     /// gauges (summary-style).
+    ///
+    /// Counter / gauge names may carry a Prometheus label suffix —
+    /// `wavekey_failures_total{label="timeout_ota"}` — which is preserved
+    /// verbatim: sanitization applies to the *family* (the part before
+    /// `{`) only, and the `# TYPE` header is emitted once per family, not
+    /// once per labeled series.
     pub fn prometheus_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
         for (name, metric) in self.snapshot() {
-            let flat = sanitize(&name);
+            let (family, labels) = match name.find('{') {
+                Some(split) => (sanitize(&name[..split]), &name[split..]),
+                None => (sanitize(&name), ""),
+            };
             match metric {
                 MetricSnapshot::Counter(v) => {
-                    let _ = writeln!(out, "# TYPE {flat} counter");
-                    let _ = writeln!(out, "{flat} {v}");
+                    if typed.insert(family.clone()) {
+                        let _ = writeln!(out, "# TYPE {family} counter");
+                    }
+                    let _ = writeln!(out, "{family}{labels} {v}");
                 }
                 MetricSnapshot::Gauge(v) => {
-                    let _ = writeln!(out, "# TYPE {flat} gauge");
-                    let _ = writeln!(out, "{flat} {v}");
+                    if typed.insert(family.clone()) {
+                        let _ = writeln!(out, "# TYPE {family} gauge");
+                    }
+                    let _ = writeln!(out, "{family}{labels} {v}");
                 }
                 MetricSnapshot::Histogram(h) => {
-                    let _ = writeln!(out, "# TYPE {flat} summary");
+                    if typed.insert(family.clone()) {
+                        let _ = writeln!(out, "# TYPE {family} summary");
+                    }
                     for (label, q) in [("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)] {
                         let _ =
-                            writeln!(out, "{flat}{{quantile=\"{label}\"}} {}", h.quantile(q));
+                            writeln!(out, "{family}{{quantile=\"{label}\"}} {}", h.quantile(q));
                     }
-                    let _ = writeln!(out, "{flat}_sum {}", h.sum());
-                    let _ = writeln!(out, "{flat}_count {}", h.count());
+                    let _ = writeln!(out, "{family}_sum {}", h.sum());
+                    let _ = writeln!(out, "{family}_count {}", h.count());
                 }
             }
         }
@@ -428,5 +444,20 @@ mod tests {
         assert!(text.contains("# TYPE stage_ot_round_a summary"));
         assert!(text.contains("stage_ot_round_a_count 1"));
         assert!(text.contains("quantile=\"0.99\""));
+    }
+
+    #[test]
+    fn prometheus_text_preserves_label_suffixes() {
+        let reg = Registry::new();
+        reg.inc_counter("wavekey_failures_total{label=\"timeout_ota\"}", 2);
+        reg.inc_counter("wavekey_failures_total{label=\"worker_panic\"}", 1);
+        reg.inc_counter("wavekey_failures_total{label=\"timeout_ota\"}", 1);
+        let text = reg.prometheus_text();
+        // The labels survive untouched (no `_`-mangling of `{`, `"`, `=`)
+        // and the family gets exactly one TYPE header.
+        assert!(text.contains("wavekey_failures_total{label=\"timeout_ota\"} 3"));
+        assert!(text.contains("wavekey_failures_total{label=\"worker_panic\"} 1"));
+        assert_eq!(text.matches("# TYPE wavekey_failures_total counter").count(), 1);
+        assert!(!text.contains("wavekey_failures_total_label"));
     }
 }

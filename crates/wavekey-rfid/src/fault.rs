@@ -1,0 +1,178 @@
+//! Deterministic sensing-layer fault injection for RFID recordings.
+//!
+//! The server-side counterpart of `wavekey_imu::fault`: stresses the raw
+//! backscatter stream ahead of [`crate::pipeline::process_rfid`]. Two
+//! fault families an Impinj-class deployment exhibits:
+//!
+//! * **RF phase spikes** — a competing emitter or a multipath flicker
+//!   kicks individual phase reports by a large wrapped offset.
+//! * **Tag-read gaps** — the tag leaves the beam (or loses power) and a
+//!   contiguous run of read slots returns nothing.
+//!
+//! Injection is a pure function of `(recording, config, seed)` so chaos
+//! soaks replay read-for-read.
+
+use crate::reader::RfidRecording;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What to inject into an RFID recording.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RfidFaultConfig {
+    /// Number of contiguous read gaps to carve out.
+    pub read_gaps: usize,
+    /// Reads removed per gap.
+    pub gap_len: usize,
+    /// Number of individual phase reports to spike.
+    pub phase_spikes: usize,
+    /// Spike amplitude (radians); the sign alternates per spike and the
+    /// result is re-wrapped into `[0, 2π)`.
+    pub spike_rad: f64,
+}
+
+impl RfidFaultConfig {
+    /// No faults: injection returns the recording unchanged.
+    pub fn none() -> RfidFaultConfig {
+        RfidFaultConfig { read_gaps: 0, gap_len: 0, phase_spikes: 0, spike_rad: 0.0 }
+    }
+
+    /// The reference chaos mixture used by the `fault_soak` bench: two
+    /// ~50 ms read gaps (10 reads at 200 Hz) and six π/2 phase spikes —
+    /// harsh but inside what the unwrapping + denoising pipeline absorbs.
+    pub fn reference() -> RfidFaultConfig {
+        RfidFaultConfig {
+            read_gaps: 2,
+            gap_len: 10,
+            phase_spikes: 6,
+            spike_rad: std::f64::consts::FRAC_PI_2,
+        }
+    }
+}
+
+impl Default for RfidFaultConfig {
+    fn default() -> RfidFaultConfig {
+        RfidFaultConfig::none()
+    }
+}
+
+/// Applies the configured faults to a recording, deterministically in
+/// `(recording, config, seed)`. Timestamp, phase, and magnitude streams
+/// stay index-aligned: a gap removes the same read from all three.
+pub fn inject_rfid_faults(
+    recording: &RfidRecording,
+    config: &RfidFaultConfig,
+    seed: u64,
+) -> RfidRecording {
+    let mut out = recording.clone();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0F1D_FA17);
+
+    if config.phase_spikes > 0 && !out.is_empty() {
+        for spike in 0..config.phase_spikes {
+            let idx = rng.gen_range(0..out.phase.len());
+            let sign = if spike % 2 == 0 { 1.0 } else { -1.0 };
+            let two_pi = std::f64::consts::TAU;
+            out.phase[idx] = (out.phase[idx] + sign * config.spike_rad).rem_euclid(two_pi);
+        }
+    }
+
+    if config.read_gaps > 0 && config.gap_len > 0 && !out.is_empty() {
+        let mut keep = vec![true; out.len()];
+        for _ in 0..config.read_gaps {
+            let start = rng.gen_range(0..out.len());
+            for flag in keep.iter_mut().skip(start).take(config.gap_len) {
+                *flag = false;
+            }
+        }
+        if keep.iter().filter(|&&k| k).count() >= 2 {
+            let filter = |v: &[f64]| -> Vec<f64> {
+                v.iter().zip(&keep).filter(|(_, &k)| k).map(|(x, _)| *x).collect()
+            };
+            out.ts = filter(&out.ts);
+            out.phase = filter(&out.phase);
+            out.magnitude = filter(&out.magnitude);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::TagModel;
+    use crate::environment::{Environment, UserPlacement};
+    use crate::pipeline::{process_rfid, RfidPipelineConfig};
+    use crate::reader::{record_rfid, ReaderSpec};
+    use wavekey_imu::gesture::{GestureConfig, GestureGenerator, VolunteerId};
+    use wavekey_math::Vec3;
+
+    fn recording(seed: u64) -> RfidRecording {
+        let mut generator = GestureGenerator::new(VolunteerId(0), seed);
+        let gesture = generator.generate(&GestureConfig::default());
+        let env = Environment::room(1);
+        let channel = env.channel(TagModel::Alien9640A, 0, seed);
+        let hand = UserPlacement::default().hand_position(&env);
+        record_rfid(
+            &gesture,
+            hand,
+            Vec3::new(0.03, 0.0, 0.0),
+            &channel,
+            &ReaderSpec::default(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn injection_is_deterministic_in_the_seed() {
+        let rec = recording(21);
+        let config = RfidFaultConfig::reference();
+        let a = inject_rfid_faults(&rec, &config, 5);
+        let b = inject_rfid_faults(&rec, &config, 5);
+        assert_eq!(a, b);
+        let c = inject_rfid_faults(&rec, &config, 6);
+        assert_ne!(a, c, "different seeds place different spikes and gaps");
+    }
+
+    #[test]
+    fn none_config_is_the_identity() {
+        let rec = recording(22);
+        assert_eq!(inject_rfid_faults(&rec, &RfidFaultConfig::none(), 0), rec);
+    }
+
+    #[test]
+    fn gaps_remove_aligned_reads_and_keep_order() {
+        let rec = recording(23);
+        let config =
+            RfidFaultConfig { read_gaps: 3, gap_len: 9, phase_spikes: 0, spike_rad: 0.0 };
+        let faulted = inject_rfid_faults(&rec, &config, 99);
+        assert!(faulted.len() < rec.len());
+        assert!(faulted.len() >= rec.len().saturating_sub(3 * 9));
+        assert_eq!(faulted.ts.len(), faulted.phase.len());
+        assert_eq!(faulted.ts.len(), faulted.magnitude.len());
+        assert!(faulted.ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn spikes_stay_wrapped_and_touch_only_phase() {
+        let rec = recording(24);
+        let config =
+            RfidFaultConfig { read_gaps: 0, gap_len: 0, phase_spikes: 8, spike_rad: 1.5 };
+        let faulted = inject_rfid_faults(&rec, &config, 7);
+        assert_eq!(faulted.len(), rec.len());
+        assert_eq!(faulted.ts, rec.ts);
+        assert_eq!(faulted.magnitude, rec.magnitude);
+        assert_ne!(faulted.phase, rec.phase);
+        assert!(faulted
+            .phase
+            .iter()
+            .all(|&p| (0.0..std::f64::consts::TAU).contains(&p)));
+    }
+
+    #[test]
+    fn pipeline_survives_reference_faults() {
+        for seed in 0..8u64 {
+            let rec = recording(30 + seed);
+            let faulted = inject_rfid_faults(&rec, &RfidFaultConfig::reference(), seed);
+            let _ = process_rfid(&faulted, &RfidPipelineConfig::default());
+        }
+    }
+}

@@ -18,14 +18,18 @@
 //!   server uses to discover the ticket/fob to range against.
 //! * [`pipeline`] — §IV-B-2: onset detection, phase unwrapping,
 //!   Savitzky-Golay denoising, producing the 400×2 matrix `R`.
+//! * [`fault`] — deterministic sensing-fault injection (RF phase spikes,
+//!   tag-read gaps) for the robustness/chaos suite.
 
 pub mod channel;
 pub mod environment;
+pub mod fault;
 pub mod inventory;
 pub mod pipeline;
 pub mod reader;
 
 pub use channel::{BackscatterChannel, Complex, TagModel};
+pub use fault::{inject_rfid_faults, RfidFaultConfig};
 pub use environment::{Environment, UserPlacement};
 pub use inventory::{run_inventory, Epc, FieldTag, InventoryConfig, InventoryReport};
 pub use pipeline::{process_rfid, RfidMatrix, RfidPipelineConfig, RfidPipelineError};
