@@ -7,6 +7,7 @@
 //! simple shift-subtract remainder exists as the slow path for one-time
 //! setup (computing `R² mod n`) and for reducing random samples.
 
+use crate::limb4::{cios_mont_mul_x4, fold_mul_x4, fold_sqr_x4, LANES};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::cmp::Ordering;
@@ -270,15 +271,48 @@ impl Ubig {
         r
     }
 
-    /// Remainder `self mod modulus` by shift-subtract long division.
-    ///
-    /// This is the *slow path*, used only for one-time setup and for
-    /// reducing random samples — the hot path is Montgomery arithmetic.
+    /// Remainder `self mod modulus` by shift-subtract long division over
+    /// an in-place limb buffer: the shifted modulus is materialized once
+    /// and walked down one bit per iteration, so a `2k → k`-limb
+    /// reduction allocates twice in total instead of once per quotient
+    /// bit. Still the *slow path* relative to Montgomery arithmetic —
+    /// used for setup, reducing random samples, and exponent arithmetic
+    /// (the batched OT sender reduces `a² mod (u−1)` through here).
     ///
     /// # Panics
     ///
     /// Panics if `modulus` is zero.
     pub fn rem(&self, modulus: &Ubig) -> Ubig {
+        assert!(!modulus.is_zero(), "division by zero");
+        if self.cmp_abs(modulus) == Ordering::Less {
+            return self.clone();
+        }
+        let shift = self.bit_len() - modulus.bit_len();
+        let mut r = self.limbs.clone();
+        // modulus << shift has exactly self.bit_len() bits, so it fits
+        // the same limb count as r.
+        let mut m = modulus.shl(shift).limbs;
+        m.resize(r.len(), 0);
+        for _ in 0..=shift {
+            if limbs_ge(&r, &m) {
+                limbs_sub_in_place(&mut r, &m);
+            }
+            // m >>= 1 in place.
+            let mut carry = 0u64;
+            for l in m.iter_mut().rev() {
+                let next = *l & 1;
+                *l = (*l >> 1) | (carry << 63);
+                carry = next;
+            }
+        }
+        let mut out = Ubig { limbs: r };
+        out.normalize();
+        out
+    }
+
+    /// Reference remainder: the original allocate-per-step shift-subtract
+    /// loop, retained so differential tests can pin [`Ubig::rem`].
+    pub fn rem_reference(&self, modulus: &Ubig) -> Ubig {
         assert!(!modulus.is_zero(), "division by zero");
         if self.cmp_abs(modulus) == Ordering::Less {
             return self.clone();
@@ -358,10 +392,10 @@ impl std::fmt::Display for Ubig {
 /// Largest modulus width (in limbs) served by the stack-scratch CIOS
 /// kernel; wider moduli fall back to the mul-then-REDC reference path.
 /// 32 limbs = 2048 bits, twice the WaveKey group width.
-const MAX_CIOS_LIMBS: usize = 32;
+pub(crate) const MAX_CIOS_LIMBS: usize = 32;
 
 /// `a >= b` over equal-length little-endian limb slices.
-fn limbs_ge(a: &[u64], b: &[u64]) -> bool {
+pub(crate) fn limbs_ge(a: &[u64], b: &[u64]) -> bool {
     debug_assert_eq!(a.len(), b.len());
     for i in (0..a.len()).rev() {
         match a[i].cmp(&b[i]) {
@@ -376,7 +410,7 @@ fn limbs_ge(a: &[u64], b: &[u64]) -> bool {
 /// `a -= b` over equal-length limb slices, wrapping modulo `2^(64·len)`
 /// (the final borrow is discarded — callers guarantee it cancels against
 /// a carried top bit).
-fn limbs_sub_in_place(a: &mut [u64], b: &[u64]) {
+pub(crate) fn limbs_sub_in_place(a: &mut [u64], b: &[u64]) {
     debug_assert_eq!(a.len(), b.len());
     let mut borrow = 0u64;
     for i in 0..a.len() {
@@ -394,7 +428,7 @@ fn limbs_sub_in_place(a: &mut [u64], b: &[u64]) {
 /// no heap allocation per multiplication. Multiply and reduce are fused:
 /// each outer iteration folds one limb of `b` in and one reduction step
 /// out, so the working set stays at `k + 2` limbs instead of `2k + 1`.
-fn cios_mont_mul(n: &[u64], n_prime: u64, a: &[u64], b: &[u64], out: &mut [u64]) {
+pub(crate) fn cios_mont_mul(n: &[u64], n_prime: u64, a: &[u64], b: &[u64], out: &mut [u64]) {
     let k = n.len();
     debug_assert!(k >= 1 && k <= MAX_CIOS_LIMBS);
     debug_assert!(a.len() == k && b.len() == k && out.len() == k);
@@ -831,6 +865,131 @@ impl MontgomeryCtx {
         }
     }
 
+    /// 4-way modular exponentiation: lane `l` computes
+    /// `bases[l]^exps[l] mod n`, all four advancing in lockstep through
+    /// the interleaved CIOS kernel ([`crate::limb4`]).
+    ///
+    /// The schedule is a fixed 4-bit window with an *always-multiply*
+    /// digit step (`tbl[0] = 1` absorbs zero digits), so every lane runs
+    /// the identical operation sequence regardless of its exponent —
+    /// that is what lets four independent exponentiations share one
+    /// vector instruction stream. Results are exactly those of
+    /// [`MontgomeryCtx::mod_pow`] per lane; moduli wider than
+    /// [`MAX_CIOS_LIMBS`] fall back to the scalar path.
+    pub fn mod_pow_x4(&self, bases: &[Ubig; LANES], exps: &[Ubig; LANES]) -> [Ubig; LANES] {
+        if self.k > MAX_CIOS_LIMBS {
+            return std::array::from_fn(|l| self.mod_pow(&bases[l], &exps[l]));
+        }
+        const W: usize = 4;
+        let k = self.k;
+        let bits = exps.iter().map(Ubig::bit_len).max().unwrap_or(0);
+        if bits == 0 {
+            let one = Ubig::one().rem(&self.n);
+            return std::array::from_fn(|_| one.clone());
+        }
+        let base_m: Vec<Vec<u64>> =
+            bases.iter().map(|b| self.to_mont_fixed(&b.rem(&self.n))).collect();
+        // tbl[d][j][l] = base_l^d in Montgomery form, interleaved layout.
+        let mut tbl: Vec<Vec<[u64; LANES]>> = Vec::with_capacity(1 << W);
+        let mut one_v = vec![[0u64; LANES]; k];
+        for j in 0..k {
+            one_v[j] = [self.one_fixed[j]; LANES];
+        }
+        tbl.push(one_v);
+        let mut b1 = vec![[0u64; LANES]; k];
+        for j in 0..k {
+            for l in 0..LANES {
+                b1[j][l] = base_m[l][j];
+            }
+        }
+        tbl.push(b1);
+        for d in 2..(1usize << W) {
+            let mut e = vec![[0u64; LANES]; k];
+            cios_mont_mul_x4(&self.n.limbs, self.n_prime, &tbl[d - 1], &tbl[1], &mut e);
+            tbl.push(e);
+        }
+        let windows = bits.div_ceil(W);
+        let mut acc = vec![[0u64; LANES]; k];
+        let mut tmp = vec![[0u64; LANES]; k];
+        let mut stage = vec![[0u64; LANES]; k];
+        // Seed from the top window's digits (zero digits pick up tbl[0]).
+        for l in 0..LANES {
+            let d = exps[l].bits((windows - 1) * W, W) as usize;
+            for j in 0..k {
+                acc[j][l] = tbl[d][j][l];
+            }
+        }
+        for win in (0..windows - 1).rev() {
+            for _ in 0..W {
+                cios_mont_mul_x4(&self.n.limbs, self.n_prime, &acc, &acc, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            for l in 0..LANES {
+                let d = exps[l].bits(win * W, W) as usize;
+                for j in 0..k {
+                    stage[j][l] = tbl[d][j][l];
+                }
+            }
+            cios_mont_mul_x4(&self.n.limbs, self.n_prime, &acc, &stage, &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
+        }
+        std::array::from_fn(|l| {
+            let col: Vec<u64> = (0..k).map(|j| acc[j][l]).collect();
+            self.from_mont_fixed(&col)
+        })
+    }
+
+    /// 4-way fixed-base exponentiation over one comb table: lane `l`
+    /// computes `base^exps[l] mod n` in lockstep through the interleaved
+    /// CIOS kernel, with zero digits multiplying by Montgomery `1` so
+    /// the schedule stays exponent-independent. A window is skipped
+    /// entirely only when *all four* digits are zero. Results are
+    /// exactly those of [`MontgomeryCtx::pow_fixed_base`] per lane; any
+    /// lane beyond the table's coverage (or a too-wide modulus) routes
+    /// the whole quad through the scalar path.
+    pub fn pow_fixed_base_x4(&self, t: &FixedBaseTable, exps: &[Ubig; LANES]) -> [Ubig; LANES] {
+        debug_assert_eq!(t.k, self.k, "table built for a different modulus width");
+        let cover = t.windows * t.w;
+        if self.k > MAX_CIOS_LIMBS || exps.iter().any(|e| e.bit_len() > cover) {
+            return std::array::from_fn(|l| self.pow_fixed_base(t, &exps[l]));
+        }
+        let k = self.k;
+        let epw = (1usize << t.w) - 1;
+        let mut acc = vec![[0u64; LANES]; k];
+        for j in 0..k {
+            acc[j] = [self.one_fixed[j]; LANES];
+        }
+        let mut stage = vec![[0u64; LANES]; k];
+        let mut tmp = vec![[0u64; LANES]; k];
+        for win in 0..t.windows {
+            let mut digits = [0usize; LANES];
+            for l in 0..LANES {
+                digits[l] = exps[l].bits(win * t.w, t.w) as usize;
+            }
+            if digits.iter().all(|&d| d == 0) {
+                continue;
+            }
+            for l in 0..LANES {
+                if digits[l] == 0 {
+                    for j in 0..k {
+                        stage[j][l] = self.one_fixed[j];
+                    }
+                } else {
+                    let entry = &t.table[(win * epw + digits[l] - 1) * k..][..k];
+                    for j in 0..k {
+                        stage[j][l] = entry[j];
+                    }
+                }
+            }
+            cios_mont_mul_x4(&self.n.limbs, self.n_prime, &acc, &stage, &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
+        }
+        std::array::from_fn(|l| {
+            let col: Vec<u64> = (0..k).map(|j| acc[j][l]).collect();
+            self.from_mont_fixed(&col)
+        })
+    }
+
     /// Modular inverse of `a` for a *prime* modulus, via Fermat's little
     /// theorem: `a^(n−2) mod n`.
     ///
@@ -842,6 +1001,234 @@ impl MontgomeryCtx {
         assert!(!a.is_zero(), "zero has no inverse");
         let exp = self.n.sub(&Ubig::from_u64(2));
         self.mod_pow(&a, &exp)
+    }
+}
+
+/// Recognizes a Crandall-form modulus `n = 2^(64k) − c` with small `c`.
+///
+/// Returns `c` when every limb above the lowest is all-ones and the
+/// implied `c = 2^64 − limbs[0]` fits in 32 bits (the bound the fold
+/// kernels' carry analysis in [`crate::limb4`] relies on). Single-limb
+/// moduli are excluded so small test groups (e.g. `2^61 − 1`) never take
+/// the special-form path.
+pub(crate) fn crandall_c(n: &Ubig) -> Option<u64> {
+    let k = n.limbs.len();
+    if k < 2 || k > MAX_CIOS_LIMBS {
+        return None;
+    }
+    if n.limbs[1..].iter().any(|&l| l != u64::MAX) {
+        return None;
+    }
+    let c = (u64::MAX - n.limbs[0]).checked_add(1)?;
+    if c > u64::from(u32::MAX) {
+        return None;
+    }
+    Some(c)
+}
+
+/// Precomputed fixed-base comb table holding *plain* (non-Montgomery)
+/// residues, for the Crandall fold-reduction exponentiation path.
+/// Same radix-2^w layout as [`FixedBaseTable`].
+#[derive(Debug, Clone)]
+pub struct CrandallCombTable {
+    base: Ubig,
+    w: usize,
+    windows: usize,
+    k: usize,
+    table: Vec<u64>,
+}
+
+impl CrandallCombTable {
+    /// Approximate table memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.table.len() * 8
+    }
+}
+
+/// Fold-reduction arithmetic context for a Crandall modulus
+/// `p = 2^(64k) − c`, `c < 2^32`.
+///
+/// Values stay in plain canonical form throughout (no Montgomery
+/// conversion), and each multiplication reduces with `k + 1` extra
+/// multiplies instead of a full `k² + k` REDC pass — see
+/// [`crate::limb4::fold_mul_x4`]. This is the batch executor's fast path
+/// for the WAVEKEY-1024 fleet group; the scalar route keeps generic
+/// Montgomery arithmetic on the same modulus, so both routes produce
+/// identical canonical residues and therefore bit-identical keys.
+#[derive(Debug, Clone)]
+pub struct CrandallCtx {
+    p: Ubig,
+    c: u64,
+    k: usize,
+}
+
+impl CrandallCtx {
+    /// Creates a context if `p` has the recognized Crandall form.
+    pub fn new(p: &Ubig) -> Option<CrandallCtx> {
+        let c = crandall_c(p)?;
+        Some(CrandallCtx { p: p.clone(), c, k: p.limbs.len() })
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Ubig {
+        &self.p
+    }
+
+    /// Scalar fold multiplication via a broadcast quad (setup-time only;
+    /// hot paths use the x4 kernels directly).
+    fn fold_mul(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        let k = self.k;
+        let mut av = vec![[0u64; LANES]; k];
+        let mut bv = vec![[0u64; LANES]; k];
+        for j in 0..k {
+            av[j] = [a[j]; LANES];
+            bv[j] = [b[j]; LANES];
+        }
+        let mut ov = vec![[0u64; LANES]; k];
+        fold_mul_x4(&self.p.limbs, self.c, &av, &bv, &mut ov);
+        for j in 0..k {
+            out[j] = ov[j][0];
+        }
+    }
+
+    /// 4-way exponentiation `bases[l]^exps[l] mod p` on plain residues.
+    ///
+    /// Fixed 5-bit always-multiply windows (`tbl[0] = 1` absorbs zero
+    /// digits), squarings through the dedicated [`fold_sqr_x4`] kernel.
+    /// Per lane the result equals `MontgomeryCtx::mod_pow` for the same
+    /// modulus: both produce the unique canonical residue.
+    pub fn pow_x4(&self, bases: &[Ubig; LANES], exps: &[Ubig; LANES]) -> [Ubig; LANES] {
+        const W: usize = 5;
+        let k = self.k;
+        let bits = exps.iter().map(Ubig::bit_len).max().unwrap_or(0);
+        if bits == 0 {
+            return std::array::from_fn(|_| Ubig::one());
+        }
+        let base_r: Vec<Vec<u64>> =
+            bases.iter().map(|b| pad_limbs(&b.rem(&self.p), k)).collect();
+        // tbl[d][j][l] = base_l^d as plain residues, interleaved layout.
+        let mut tbl: Vec<Vec<[u64; LANES]>> = Vec::with_capacity(1 << W);
+        let mut one_v = vec![[0u64; LANES]; k];
+        one_v[0] = [1u64; LANES];
+        tbl.push(one_v);
+        let mut b1 = vec![[0u64; LANES]; k];
+        for j in 0..k {
+            for l in 0..LANES {
+                b1[j][l] = base_r[l][j];
+            }
+        }
+        tbl.push(b1);
+        for d in 2..(1usize << W) {
+            let mut e = vec![[0u64; LANES]; k];
+            fold_mul_x4(&self.p.limbs, self.c, &tbl[d - 1], &tbl[1], &mut e);
+            tbl.push(e);
+        }
+        let windows = bits.div_ceil(W);
+        let mut acc = vec![[0u64; LANES]; k];
+        let mut tmp = vec![[0u64; LANES]; k];
+        let mut stage = vec![[0u64; LANES]; k];
+        for l in 0..LANES {
+            let d = exps[l].bits((windows - 1) * W, W) as usize;
+            for j in 0..k {
+                acc[j][l] = tbl[d][j][l];
+            }
+        }
+        for win in (0..windows - 1).rev() {
+            for _ in 0..W {
+                fold_sqr_x4(&self.p.limbs, self.c, &acc, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            for l in 0..LANES {
+                let d = exps[l].bits(win * W, W) as usize;
+                for j in 0..k {
+                    stage[j][l] = tbl[d][j][l];
+                }
+            }
+            fold_mul_x4(&self.p.limbs, self.c, &acc, &stage, &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
+        }
+        std::array::from_fn(|l| {
+            let col: Vec<u64> = (0..k).map(|j| acc[j][l]).collect();
+            ubig_from_limbs(&col)
+        })
+    }
+
+    /// Builds a plain-residue fixed-base comb table (layout and digit
+    /// semantics identical to [`MontgomeryCtx::fixed_base_table`]).
+    pub fn comb_table(&self, base: &Ubig, max_exp_bits: usize, w: usize) -> CrandallCombTable {
+        assert!(w >= 1 && w <= 8, "fixed-base window must be 1..=8 bits");
+        let k = self.k;
+        let windows = max_exp_bits.div_ceil(w).max(1);
+        let epw = (1usize << w) - 1;
+        let base_red = base.rem(&self.p);
+        let mut table = vec![0u64; windows * epw * k];
+        let mut cur = pad_limbs(&base_red, k);
+        let mut next = vec![0u64; k];
+        for win in 0..windows {
+            let start = win * epw * k;
+            table[start..start + k].copy_from_slice(&cur);
+            for d in 2..=epw {
+                let (lo, hi) = table.split_at_mut(start + (d - 1) * k);
+                self.fold_mul(&lo[start + (d - 2) * k..], &cur, &mut hi[..k]);
+            }
+            {
+                let last = &table[start + (epw - 1) * k..start + epw * k];
+                self.fold_mul(last, &cur, &mut next);
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        CrandallCombTable { base: base_red, w, windows, k, table }
+    }
+
+    /// 4-way fixed-base exponentiation over a plain-residue comb table;
+    /// zero digits stage the constant `1`, a window is skipped only when
+    /// all four digits are zero. Lanes whose exponent exceeds the table's
+    /// coverage route the whole quad through the general [`Self::pow_x4`].
+    pub fn pow_fixed_base_x4(
+        &self,
+        t: &CrandallCombTable,
+        exps: &[Ubig; LANES],
+    ) -> [Ubig; LANES] {
+        debug_assert_eq!(t.k, self.k, "table built for a different modulus width");
+        let cover = t.windows * t.w;
+        if exps.iter().any(|e| e.bit_len() > cover) {
+            let bases: [Ubig; LANES] = std::array::from_fn(|_| t.base.clone());
+            return self.pow_x4(&bases, exps);
+        }
+        let k = self.k;
+        let epw = (1usize << t.w) - 1;
+        let mut acc = vec![[0u64; LANES]; k];
+        acc[0] = [1u64; LANES];
+        let mut stage = vec![[0u64; LANES]; k];
+        let mut tmp = vec![[0u64; LANES]; k];
+        for win in 0..t.windows {
+            let mut digits = [0usize; LANES];
+            for l in 0..LANES {
+                digits[l] = exps[l].bits(win * t.w, t.w) as usize;
+            }
+            if digits.iter().all(|&d| d == 0) {
+                continue;
+            }
+            for l in 0..LANES {
+                if digits[l] == 0 {
+                    for j in 0..k {
+                        stage[j][l] = 0;
+                    }
+                    stage[0][l] = 1;
+                } else {
+                    let entry = &t.table[(win * epw + digits[l] - 1) * k..][..k];
+                    for j in 0..k {
+                        stage[j][l] = entry[j];
+                    }
+                }
+            }
+            fold_mul_x4(&self.p.limbs, self.c, &acc, &stage, &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
+        }
+        std::array::from_fn(|l| {
+            let col: Vec<u64> = (0..k).map(|j| acc[j][l]).collect();
+            ubig_from_limbs(&col)
+        })
     }
 }
 
@@ -1199,5 +1586,119 @@ mod tests {
     fn display_hex() {
         assert_eq!(format!("{}", Ubig::from_u64(255)), "0xff");
         assert_eq!(format!("{}", Ubig::zero()), "0x0");
+    }
+
+    #[test]
+    fn rem_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let moduli = [
+            Ubig::from_u64(7),
+            Ubig::from_u64(u64::MAX),
+            Ubig::from_hex("ffffffffffffffffffffffffffffff61"),
+            Ubig::from_hex(crate::group::MODP_1024_HEX),
+        ];
+        for m in &moduli {
+            for width_limbs in [1usize, 2, 16, 32] {
+                let bound = Ubig::one().shl(width_limbs * 64);
+                let a = Ubig::random_below(&bound, &mut rng);
+                assert_eq!(a.rem(m), a.rem_reference(m), "a {a} m {m}");
+            }
+            // Exact multiples and boundary values.
+            assert_eq!(m.rem(m), Ubig::zero());
+            assert_eq!(m.mul(&Ubig::from_u64(12345)).rem(m), Ubig::zero());
+            assert_eq!(m.sub(&Ubig::one()).rem(m), m.sub(&Ubig::one()));
+            assert_eq!(Ubig::zero().rem(m), Ubig::zero());
+        }
+    }
+
+    #[test]
+    fn mod_pow_x4_matches_scalar() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let moduli = [
+            Ubig::from_u64(0xffff_ffff_ffff_ffc5),
+            Ubig::from_hex("ffffffffffffffffffffffffffffff61"),
+            Ubig::from_hex("1000000000000000000000000000000000000000000000f1"),
+        ];
+        for m in &moduli {
+            let ctx = MontgomeryCtx::new(m.clone());
+            let bases: [Ubig; 4] =
+                std::array::from_fn(|_| Ubig::random_below(m, &mut rng));
+            // Mixed exponent widths: zero, tiny, and full-width lanes in
+            // one quad exercise the lockstep zero-digit handling.
+            let exps = [
+                Ubig::zero(),
+                Ubig::from_u64(3),
+                Ubig::random_below(m, &mut rng),
+                m.sub(&Ubig::one()),
+            ];
+            let got = ctx.mod_pow_x4(&bases, &exps);
+            for l in 0..4 {
+                assert_eq!(got[l], ctx.mod_pow(&bases[l], &exps[l]), "m {m} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_fixed_base_x4_matches_scalar() {
+        let m = Ubig::from_hex("f123456789abcdef123456789abcdef1");
+        let ctx = MontgomeryCtx::new(m.clone());
+        let base = Ubig::from_u64(2);
+        let mut rng = StdRng::seed_from_u64(43);
+        for w in [1usize, 4, 6] {
+            let table = ctx.fixed_base_table(&base, m.bit_len(), w);
+            let exps: [Ubig; 4] = [
+                Ubig::zero(),
+                Ubig::one(),
+                Ubig::random_below(&m, &mut rng),
+                m.sub(&Ubig::one()),
+            ];
+            let got = ctx.pow_fixed_base_x4(&table, &exps);
+            for l in 0..4 {
+                assert_eq!(got[l], ctx.pow_fixed_base(&table, &exps[l]), "w {w} lane {l}");
+            }
+        }
+        // A lane wider than the table's coverage routes the quad through
+        // the scalar fallback; results must be unchanged.
+        let table = ctx.fixed_base_table(&base, m.bit_len(), 6);
+        let wide = Ubig::one().shl(m.bit_len() + 7);
+        let exps = [
+            Ubig::from_u64(5),
+            wide.clone(),
+            Ubig::zero(),
+            Ubig::random_below(&m, &mut rng),
+        ];
+        let got = ctx.pow_fixed_base_x4(&table, &exps);
+        for l in 0..4 {
+            assert_eq!(got[l], ctx.pow_fixed_base(&table, &exps[l]), "fallback lane {l}");
+        }
+    }
+
+    #[test]
+    fn wide_modulus_beyond_cios_limit_falls_back() {
+        // A 33-limb (2112-bit) odd modulus exceeds MAX_CIOS_LIMBS: both
+        // the scalar ctx and the x4 path must route through the
+        // mul-then-REDC fallback and still agree with the reference.
+        let mut hex = String::from("1");
+        hex.push_str(&"0".repeat(527)); // 2^2108
+        let m = Ubig::from_hex(&hex).add(&Ubig::from_u64(7)); // odd
+        assert!(m.bit_len() > 64 * MAX_CIOS_LIMBS);
+        let ctx = MontgomeryCtx::new(m.clone());
+        let mut rng = StdRng::seed_from_u64(44);
+        let base = Ubig::random_below(&m, &mut rng);
+        let exp = Ubig::from_u64(rng.gen());
+        assert_eq!(ctx.mod_pow(&base, &exp), ctx.mod_pow_reference(&base, &exp));
+        assert_eq!(ctx.mod_mul(&base, &base), ctx.mod_mul_reference(&base, &base));
+        let bases: [Ubig; 4] = std::array::from_fn(|_| Ubig::random_below(&m, &mut rng));
+        let exps: [Ubig; 4] = std::array::from_fn(|_| Ubig::from_u64(rng.gen()));
+        let got = ctx.mod_pow_x4(&bases, &exps);
+        for l in 0..4 {
+            assert_eq!(got[l], ctx.mod_pow_reference(&bases[l], &exps[l]), "lane {l}");
+        }
+        // The fixed-base x4 path takes the same wide-modulus fallback.
+        let table = ctx.fixed_base_table(&Ubig::from_u64(2), 64, 4);
+        let got = ctx.pow_fixed_base_x4(&table, &exps);
+        for l in 0..4 {
+            assert_eq!(got[l], ctx.pow_fixed_base(&table, &exps[l]), "fixed lane {l}");
+        }
     }
 }

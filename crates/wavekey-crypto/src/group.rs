@@ -6,10 +6,13 @@
 //! prime with generator 2 — so both sides (and the adversary) know the
 //! parameters, exactly as in the paper's model.
 
-use crate::bigint::{is_probable_prime, FixedBaseTable, MontgomeryCtx, Ubig};
+use crate::bigint::{
+    is_probable_prime, CrandallCombTable, CrandallCtx, FixedBaseTable, MontgomeryCtx, Ubig,
+};
 use rand::rngs::StdRng;
 use std::cmp::Ordering;
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The RFC 2409 Oakley Group 2 prime (1024-bit), hexadecimal.
 pub const MODP_1024_HEX: &str = concat!(
@@ -17,6 +20,31 @@ pub const MODP_1024_HEX: &str = concat!(
     "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437",
     "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED",
     "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
+);
+
+/// The WAVEKEY-1024 fleet deployment prime: `p = 2^1024 − 1093337`,
+/// hexadecimal.
+///
+/// Provenance: `c = 1093337` is the smallest `c ≡ 1 (mod 8)` for which
+/// both `p = 2^1024 − c` and `(p−1)/2` pass the deterministic 12-witness
+/// Miller-Rabin test in [`is_probable_prime`] (search tool:
+/// `tools/primegen`). `p` is thus a safe prime with `p ≡ 7 (mod 8)`, so
+/// the generator 2 is a quadratic residue generating the order-`(p−1)/2`
+/// subgroup — the same convention as the RFC 2409 MODP group.
+///
+/// The Crandall form makes modular reduction a `k+1`-multiply fold
+/// instead of a full Montgomery REDC, which is what the batched OT path
+/// exploits. The trade-off is stated openly: a special-form modulus
+/// admits the special number field sieve, whose asymptotic cost for a
+/// 1024-bit SNFS-friendly prime is roughly that of a ~700-bit general
+/// modulus. [`MODP_1024_HEX`] therefore remains the protocol default;
+/// WAVEKEY-1024 is the opt-in fleet group for throughput-critical
+/// deployments that accept the margin. See DESIGN.md §12.
+pub const WAVEKEY_1024_HEX: &str = concat!(
+    "FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF",
+    "FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF",
+    "FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF",
+    "FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEF5127",
 );
 
 /// Fixed-base comb window width for generator powers. 6 bits puts the
@@ -37,6 +65,20 @@ pub struct DhGroup {
     /// powers without a Fermat inversion.
     order: Ubig,
     fixed_base: FixedBaseTable,
+    /// Fold-reduction fast path, present only when the modulus has
+    /// Crandall form `2^(64k) − c`. Used by the x4 batch entry points;
+    /// the scalar `pow`/`pow_g` stay on generic Montgomery arithmetic as
+    /// the pinned reference, so batched and scalar routes can be
+    /// compared on the same group with bit-identical outputs.
+    fold: Option<CrandallFast>,
+}
+
+/// The Crandall-modulus precomputation bundle: fold context plus a
+/// plain-residue generator comb table mirroring `fixed_base`.
+#[derive(Debug, Clone)]
+struct CrandallFast {
+    cr: CrandallCtx,
+    comb: CrandallCombTable,
 }
 
 impl DhGroup {
@@ -45,7 +87,11 @@ impl DhGroup {
         let order = ctx.modulus().sub(&Ubig::one());
         let max_exp_bits = ctx.modulus().bit_len();
         let fixed_base = ctx.fixed_base_table(&generator, max_exp_bits, FIXED_BASE_WINDOW);
-        DhGroup { ctx, generator, order, fixed_base }
+        let fold = CrandallCtx::new(ctx.modulus()).map(|cr| {
+            let comb = cr.comb_table(&generator, max_exp_bits, FIXED_BASE_WINDOW);
+            CrandallFast { cr, comb }
+        });
+        DhGroup { ctx, generator, order, fixed_base, fold }
     }
 
     /// The standard WaveKey group: 1024-bit MODP, generator 2.
@@ -55,10 +101,39 @@ impl DhGroup {
 
     /// The process-wide shared MODP-1024 group. Building a [`DhGroup`]
     /// precomputes the fixed-base table, so protocol code should use this
-    /// shared instance to amortize that cost across sessions.
+    /// shared instance to amortize that cost across sessions. Backed by
+    /// the keyed [`PrecompCache`]; the `&'static` shape is kept for the
+    /// hot paths that want a borrow with no refcount traffic.
     pub fn modp_1024_shared() -> &'static DhGroup {
-        static SHARED: OnceLock<DhGroup> = OnceLock::new();
-        SHARED.get_or_init(DhGroup::modp_1024)
+        static SHARED: OnceLock<Arc<DhGroup>> = OnceLock::new();
+        SHARED
+            .get_or_init(|| {
+                PrecompCache::global()
+                    .get(&Ubig::from_hex(MODP_1024_HEX), &Ubig::from_u64(2))
+            })
+            .as_ref()
+    }
+
+    /// The WAVEKEY-1024 fleet group: `2^1024 − 1093337`, generator 2.
+    /// Same element width and generator convention as [`DhGroup::modp_1024`],
+    /// but the Crandall-form modulus unlocks the fold-reduction batch
+    /// kernels ([`DhGroup::has_fold_path`] returns `true`). See
+    /// [`WAVEKEY_1024_HEX`] for the provenance and the SNFS trade-off.
+    pub fn wavekey_1024() -> DhGroup {
+        DhGroup::with_params(Ubig::from_hex(WAVEKEY_1024_HEX), Ubig::from_u64(2))
+    }
+
+    /// The process-wide shared WAVEKEY-1024 fleet group (two comb tables:
+    /// Montgomery for the scalar reference, plain-residue for the fold
+    /// path — sharing matters twice as much as for MODP).
+    pub fn wavekey_1024_shared() -> &'static DhGroup {
+        static SHARED: OnceLock<Arc<DhGroup>> = OnceLock::new();
+        SHARED
+            .get_or_init(|| {
+                PrecompCache::global()
+                    .get(&Ubig::from_hex(WAVEKEY_1024_HEX), &Ubig::from_u64(2))
+            })
+            .as_ref()
     }
 
     /// A deliberately tiny test group (61-bit prime) for fast unit tests.
@@ -66,6 +141,13 @@ impl DhGroup {
     pub fn tiny_test_group() -> DhGroup {
         // 2^61 − 1 is a Mersenne prime; generator 37 works for testing.
         DhGroup::with_params(Ubig::from_u64((1u64 << 61) - 1), Ubig::from_u64(37))
+    }
+
+    /// The cache-backed shared tiny test group: same parameters as
+    /// [`DhGroup::tiny_test_group`], but the comb table is built once per
+    /// process instead of once per session.
+    pub fn tiny_test_group_shared() -> Arc<DhGroup> {
+        PrecompCache::global().get(&Ubig::from_u64((1u64 << 61) - 1), &Ubig::from_u64(37))
     }
 
     /// The group modulus `u` (paper notation).
@@ -76,6 +158,20 @@ impl DhGroup {
     /// The generator `g`.
     pub fn generator(&self) -> &Ubig {
         &self.generator
+    }
+
+    /// `u − 1`, the order of the full multiplicative group mod `u`. The
+    /// batched OT sender folds exponent algebra (`−a² mod (u−1)`) through
+    /// this before hitting the fixed-base table.
+    pub fn order(&self) -> &Ubig {
+        &self.order
+    }
+
+    /// `true` when `other` is the same deployment group (same modulus
+    /// and generator) — the batch executor's grouping predicate.
+    pub fn same_params(&self, other: &DhGroup) -> bool {
+        std::ptr::eq(self, other)
+            || (self.modulus() == other.modulus() && self.generator == other.generator)
     }
 
     /// Byte width of a serialized group element.
@@ -106,6 +202,34 @@ impl DhGroup {
     /// `base^x mod u`.
     pub fn pow(&self, base: &Ubig, x: &Ubig) -> Ubig {
         self.ctx.mod_pow(base, x)
+    }
+
+    /// `true` when this group's modulus has Crandall form and the x4
+    /// entry points run on the fold-reduction kernels instead of
+    /// Montgomery CIOS.
+    pub fn has_fold_path(&self) -> bool {
+        self.fold.is_some()
+    }
+
+    /// Four generator powers in lockstep; results equal
+    /// [`DhGroup::pow_g`] per lane. Crandall-form groups dispatch to the
+    /// plain-residue fold comb, others to the Montgomery comb — both
+    /// return the canonical residue, so the dispatch is invisible to
+    /// callers.
+    pub fn pow_g_x4(&self, xs: &[Ubig; 4]) -> [Ubig; 4] {
+        match &self.fold {
+            Some(f) => f.cr.pow_fixed_base_x4(&f.comb, xs),
+            None => self.ctx.pow_fixed_base_x4(&self.fixed_base, xs),
+        }
+    }
+
+    /// Four general exponentiations in lockstep; results equal
+    /// [`DhGroup::pow`] per lane. Dispatches like [`DhGroup::pow_g_x4`].
+    pub fn pow_x4(&self, bases: &[Ubig; 4], xs: &[Ubig; 4]) -> [Ubig; 4] {
+        match &self.fold {
+            Some(f) => f.cr.pow_x4(bases, xs),
+            None => self.ctx.mod_pow_x4(bases, xs),
+        }
     }
 
     /// `a·b mod u`.
@@ -146,6 +270,55 @@ impl DhGroup {
     /// for the 1024-bit group, used in tests).
     pub fn check_prime(&self) -> bool {
         is_probable_prime(self.modulus())
+    }
+}
+
+/// Process-wide cache of per-deployment group precomputation, keyed by
+/// `(modulus, generator)`.
+///
+/// Building a [`DhGroup`] costs a full comb-table precomputation (~1.4 MB
+/// and ~10 ms for MODP-1024), which must be paid once per *deployment
+/// group*, never once per session: `SessionManager` shards, the parallel
+/// drive, and every batched OT round all resolve their group through
+/// here. The map is guarded by a plain mutex — after the first build per
+/// key, a lookup is a hash probe plus an `Arc` clone, nowhere near any
+/// hot loop.
+pub struct PrecompCache {
+    groups: Mutex<HashMap<(Vec<u8>, Vec<u8>), Arc<DhGroup>>>,
+}
+
+impl PrecompCache {
+    /// The process-wide instance.
+    pub fn global() -> &'static PrecompCache {
+        static CACHE: OnceLock<PrecompCache> = OnceLock::new();
+        CACHE.get_or_init(|| PrecompCache { groups: Mutex::new(HashMap::new()) })
+    }
+
+    /// Returns the cached group for `(modulus, generator)`, building its
+    /// tables on first use. The build happens under the lock so a table
+    /// is never computed twice by racing threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is even or zero (invalid Montgomery modulus).
+    pub fn get(&self, modulus: &Ubig, generator: &Ubig) -> Arc<DhGroup> {
+        let key = (modulus.to_be_bytes(), generator.to_be_bytes());
+        let mut map = self.groups.lock().expect("precomp cache poisoned");
+        map.entry(key)
+            .or_insert_with(|| {
+                Arc::new(DhGroup::with_params(modulus.clone(), generator.clone()))
+            })
+            .clone()
+    }
+
+    /// Number of distinct groups cached.
+    pub fn len(&self) -> usize {
+        self.groups.lock().expect("precomp cache poisoned").len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -226,8 +399,111 @@ mod tests {
     }
 
     #[test]
+    fn precomp_cache_returns_one_instance_per_key() {
+        let cache = PrecompCache::global();
+        let a = cache.get(&Ubig::from_u64((1u64 << 61) - 1), &Ubig::from_u64(37));
+        let b = DhGroup::tiny_test_group_shared();
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one table build");
+        // Cached group behaves exactly like a fresh build.
+        let fresh = DhGroup::tiny_test_group();
+        let x = Ubig::from_u64(0xABCDEF);
+        assert_eq!(a.pow_g(&x), fresh.pow_g(&x));
+        assert!(a.same_params(&fresh));
+        // A different generator is a different cache entry.
+        let c = cache.get(&Ubig::from_u64((1u64 << 61) - 1), &Ubig::from_u64(5));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(!a.same_params(&c));
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn x4_wrappers_match_scalar_group_ops() {
+        let g = DhGroup::tiny_test_group();
+        let mut rng = StdRng::seed_from_u64(6);
+        let xs: [Ubig; 4] = std::array::from_fn(|_| g.random_exponent(&mut rng));
+        let bases: [Ubig; 4] =
+            std::array::from_fn(|_| Ubig::random_below(g.modulus(), &mut rng));
+        let pg = g.pow_g_x4(&xs);
+        let pp = g.pow_x4(&bases, &xs);
+        for l in 0..4 {
+            assert_eq!(pg[l], g.pow_g(&xs[l]), "pow_g lane {l}");
+            assert_eq!(pp[l], g.pow(&bases[l], &xs[l]), "pow lane {l}");
+        }
+    }
+
+    #[test]
+    fn fold_path_presence_per_group() {
+        // Only the fleet group has Crandall form: the tiny Mersenne
+        // group is single-limb (excluded by detection) and MODP-1024's
+        // middle limbs are π-derived, not all-ones.
+        assert!(DhGroup::wavekey_1024().has_fold_path());
+        assert!(!DhGroup::tiny_test_group().has_fold_path());
+        assert!(!DhGroup::modp_1024().has_fold_path());
+    }
+
+    #[test]
+    fn wavekey_1024_has_expected_form() {
+        let p = Ubig::from_hex(WAVEKEY_1024_HEX);
+        assert_eq!(p.bit_len(), 1024);
+        // p = 2^1024 − 1093337 exactly.
+        assert_eq!(Ubig::one().shl(1024).sub(&p), Ubig::from_u64(1_093_337));
+        // p ≡ 7 (mod 8): generator 2 is a QR, matching the MODP setup.
+        assert_eq!(p.bits(0, 3), 7);
+    }
+
+    #[test]
+    fn wavekey_1024_dh_agreement_and_x4_dispatch() {
+        let g = DhGroup::wavekey_1024();
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = g.random_exponent(&mut rng);
+        let b = g.random_exponent(&mut rng);
+        let ga = g.pow_g(&a);
+        let gb = g.pow_g(&b);
+        assert_eq!(g.pow(&gb, &a), g.pow(&ga, &b));
+        // The x4 entry points run the fold kernels here; they must match
+        // the scalar Montgomery reference bit-for-bit.
+        let xs: [Ubig; 4] = std::array::from_fn(|_| g.random_exponent(&mut rng));
+        let bases: [Ubig; 4] =
+            std::array::from_fn(|_| Ubig::random_below(g.modulus(), &mut rng));
+        let pg = g.pow_g_x4(&xs);
+        let pp = g.pow_x4(&bases, &xs);
+        for l in 0..4 {
+            assert_eq!(pg[l], g.pow_g(&xs[l]), "fold pow_g lane {l}");
+            assert_eq!(pp[l], g.pow(&bases[l], &xs[l]), "fold pow lane {l}");
+        }
+        // Edge exponents through the fold comb: zero and order−1.
+        let edge: [Ubig; 4] = [
+            Ubig::zero(),
+            Ubig::one(),
+            g.order().sub(&Ubig::one()),
+            Ubig::from_u64(2),
+        ];
+        let pe = g.pow_g_x4(&edge);
+        for l in 0..4 {
+            assert_eq!(pe[l], g.pow_g(&edge[l]), "fold pow_g edge lane {l}");
+        }
+    }
+
+    #[test]
     #[ignore = "1024-bit Miller-Rabin is slow in debug; run with --ignored"]
     fn modp_1024_modulus_is_prime() {
         assert!(DhGroup::modp_1024().check_prime());
+    }
+
+    #[test]
+    #[ignore = "1024-bit Miller-Rabin is slow in debug; run with --ignored"]
+    fn wavekey_1024_modulus_is_safe_prime() {
+        let g = DhGroup::wavekey_1024();
+        assert!(g.check_prime());
+        // Safe prime: (p−1)/2 is also prime. Halve via a 1-bit shift on
+        // the big-endian bytes (Ubig has no shr).
+        let mut bytes = g.modulus().sub(&Ubig::one()).to_be_bytes();
+        let mut carry = 0u8;
+        for b in bytes.iter_mut() {
+            let new_carry = *b & 1;
+            *b = (*b >> 1) | (carry << 7);
+            carry = new_carry;
+        }
+        assert!(is_probable_prime(&Ubig::from_be_bytes(&bytes)));
     }
 }

@@ -25,12 +25,14 @@
 //!   decoding, plus the code-offset (fuzzy commitment) construction that
 //!   realizes the paper's `Challenge = ECC(K_M) ‖ N` reconciliation.
 
+pub mod batch;
 pub mod bigint;
 pub mod cipher;
 pub mod ecc;
 pub mod group;
 pub mod hmac;
 pub mod kdf;
+mod limb4;
 pub mod ot;
 mod par;
 pub mod rounds;

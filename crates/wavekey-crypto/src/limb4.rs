@@ -1,0 +1,522 @@
+//! Portable 4-wide limb lanes for the batched Montgomery kernels.
+//!
+//! The batch executor ([`crate::batch`]) produces groups of *independent*
+//! exponentiations over one modulus. Advancing four of them in lockstep
+//! turns the CIOS inner loop's serial carry chain — the scalar kernel's
+//! bottleneck, roughly one multiply retired per chain step — into four
+//! interleaved chains with no cross-lane dependencies, which the
+//! autovectorizer and the out-of-order core can overlap. Lanes are plain
+//! `[u64; 4]` arrays indexed `[limb][lane]` with explicit lane loops (no
+//! `std::simd`), so the crate stays dependency-free on stable.
+//!
+//! The scalar `cios_mont_mul` in [`crate::bigint`] is the pinned
+//! reference; [`cios_mont_mul_x4`] must match it lane-for-lane exactly.
+
+use crate::bigint::MAX_CIOS_LIMBS;
+
+/// Lane count of the vector kernels. Four independent 64×64→128 carry
+/// chains are enough to saturate the multiplier ports on current cores
+/// while keeping the interleaved scratch inside 2 KB of stack.
+pub(crate) const LANES: usize = 4;
+
+/// `t[..len(n)] (lane) >= n` over the interleaved layout.
+fn lane_ge(t: &[[u64; LANES]], n: &[u64], lane: usize) -> bool {
+    for j in (0..n.len()).rev() {
+        match t[j][lane].cmp(&n[j]) {
+            std::cmp::Ordering::Greater => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    true
+}
+
+/// `t[..len(n)] (lane) -= n`, wrapping modulo `2^(64k)` exactly like the
+/// scalar kernel's conditional subtract.
+fn lane_sub(t: &mut [[u64; LANES]], n: &[u64], lane: usize) {
+    let mut borrow = 0u64;
+    for (j, &nj) in n.iter().enumerate() {
+        let (d1, b1) = t[j][lane].overflowing_sub(nj);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        t[j][lane] = d2;
+        borrow = u64::from(b1) + u64::from(b2);
+    }
+}
+
+/// 4-way interleaved CIOS Montgomery multiplication.
+///
+/// Lane `l` computes `out_l = a_l·b_l·R⁻¹ mod n` for operands in
+/// Montgomery form, all lanes sharing the modulus `n` (exactly `n.len()`
+/// limbs each, values `< n`). The loop structure is the scalar
+/// `cios_mont_mul` transposed: each scalar step becomes a 4-lane step,
+/// so the per-lane sequence of limb operations — and therefore the
+/// result — is bit-identical to four scalar calls.
+pub(crate) fn cios_mont_mul_x4(
+    n: &[u64],
+    n_prime: u64,
+    a: &[[u64; LANES]],
+    b: &[[u64; LANES]],
+    out: &mut [[u64; LANES]],
+) {
+    let k = n.len();
+    debug_assert!(k >= 1 && k <= MAX_CIOS_LIMBS);
+    debug_assert!(a.len() == k && b.len() == k && out.len() == k);
+    let mut buf = [[0u64; LANES]; MAX_CIOS_LIMBS + 2];
+    let t = &mut buf[..k + 2];
+    // The four carry chains live in named locals (c0..c3) rather than an
+    // array: an indexed `[u128; 4]` spills to the stack and serializes
+    // every chain step through memory, which is exactly the latency the
+    // interleaving exists to hide. With register-resident chains the four
+    // multiplies per limb step issue back to back.
+    let a = &a[..k];
+    let n = &n[..k];
+    for i in 0..k {
+        // t += a · b[i].
+        let [b0, b1, b2, b3] = b[i];
+        let (b0, b1, b2, b3) =
+            (u128::from(b0), u128::from(b1), u128::from(b2), u128::from(b3));
+        let (mut c0, mut c1, mut c2, mut c3) = (0u128, 0u128, 0u128, 0u128);
+        for (tj, aj) in t[..k].iter_mut().zip(a.iter()) {
+            let cur = u128::from(tj[0]) + u128::from(aj[0]) * b0 + c0;
+            tj[0] = cur as u64;
+            c0 = cur >> 64;
+            let cur = u128::from(tj[1]) + u128::from(aj[1]) * b1 + c1;
+            tj[1] = cur as u64;
+            c1 = cur >> 64;
+            let cur = u128::from(tj[2]) + u128::from(aj[2]) * b2 + c2;
+            tj[2] = cur as u64;
+            c2 = cur >> 64;
+            let cur = u128::from(tj[3]) + u128::from(aj[3]) * b3 + c3;
+            tj[3] = cur as u64;
+            c3 = cur >> 64;
+        }
+        let cur = u128::from(t[k][0]) + c0;
+        t[k][0] = cur as u64;
+        t[k + 1][0] = (cur >> 64) as u64;
+        let cur = u128::from(t[k][1]) + c1;
+        t[k][1] = cur as u64;
+        t[k + 1][1] = (cur >> 64) as u64;
+        let cur = u128::from(t[k][2]) + c2;
+        t[k][2] = cur as u64;
+        t[k + 1][2] = (cur >> 64) as u64;
+        let cur = u128::from(t[k][3]) + c3;
+        t[k][3] = cur as u64;
+        t[k + 1][3] = (cur >> 64) as u64;
+        // t = (t + m·n) / 2^64 with per-lane m chosen so the low limb
+        // cancels; n and n' are shared across lanes.
+        let n0 = u128::from(n[0]);
+        let m0 = u128::from(t[0][0].wrapping_mul(n_prime));
+        let m1 = u128::from(t[0][1].wrapping_mul(n_prime));
+        let m2 = u128::from(t[0][2].wrapping_mul(n_prime));
+        let m3 = u128::from(t[0][3].wrapping_mul(n_prime));
+        let mut c0 = (u128::from(t[0][0]) + m0 * n0) >> 64;
+        let mut c1 = (u128::from(t[0][1]) + m1 * n0) >> 64;
+        let mut c2 = (u128::from(t[0][2]) + m2 * n0) >> 64;
+        let mut c3 = (u128::from(t[0][3]) + m3 * n0) >> 64;
+        for j in 1..k {
+            let nj = u128::from(n[j]);
+            let cur = u128::from(t[j][0]) + m0 * nj + c0;
+            t[j - 1][0] = cur as u64;
+            c0 = cur >> 64;
+            let cur = u128::from(t[j][1]) + m1 * nj + c1;
+            t[j - 1][1] = cur as u64;
+            c1 = cur >> 64;
+            let cur = u128::from(t[j][2]) + m2 * nj + c2;
+            t[j - 1][2] = cur as u64;
+            c2 = cur >> 64;
+            let cur = u128::from(t[j][3]) + m3 * nj + c3;
+            t[j - 1][3] = cur as u64;
+            c3 = cur >> 64;
+        }
+        let cur = u128::from(t[k][0]) + c0;
+        t[k - 1][0] = cur as u64;
+        t[k][0] = t[k + 1][0] + (cur >> 64) as u64;
+        let cur = u128::from(t[k][1]) + c1;
+        t[k - 1][1] = cur as u64;
+        t[k][1] = t[k + 1][1] + (cur >> 64) as u64;
+        let cur = u128::from(t[k][2]) + c2;
+        t[k - 1][2] = cur as u64;
+        t[k][2] = t[k + 1][2] + (cur >> 64) as u64;
+        let cur = u128::from(t[k][3]) + c3;
+        t[k - 1][3] = cur as u64;
+        t[k][3] = t[k + 1][3] + (cur >> 64) as u64;
+    }
+    // Per-lane [0, 2n) → [0, n) normalization, same rule as the scalar
+    // kernel: a set top word means the wrapping subtract's borrow cancels.
+    for l in 0..LANES {
+        if t[k][l] != 0 || lane_ge(t, n, l) {
+            lane_sub(t, n, l);
+        }
+    }
+    out.copy_from_slice(&t[..k]);
+}
+
+/// Reduces the `2k`-limb interleaved product `t` modulo `p = 2^(64k) − c`
+/// into `out`, producing canonical residues in `[0, p)`.
+///
+/// Because `2^(64k) ≡ c (mod p)`, the high half folds into the low half
+/// with one multiply per limb: `T ≡ T_lo + T_hi·c`. With `c < 2^32` the
+/// first fold leaves at most a 33-bit overflow limb, the second at most a
+/// single carry bit, so reduction costs `k + 1` multiplies instead of the
+/// `k² + k` of a Montgomery REDC pass — the entire point of choosing a
+/// Crandall-form deployment modulus.
+fn fold_reduce_x4(t: &[[u64; LANES]], p: &[u64], c: u64, out: &mut [[u64; LANES]]) {
+    let k = p.len();
+    let cw = u128::from(c);
+    // Fold 1: out = T_lo + T_hi·c, overflow limb per lane in `rk`.
+    let (mut c0, mut c1, mut c2, mut c3) = (0u128, 0u128, 0u128, 0u128);
+    for j in 0..k {
+        let cur = u128::from(t[j][0]) + u128::from(t[k + j][0]) * cw + c0;
+        out[j][0] = cur as u64;
+        c0 = cur >> 64;
+        let cur = u128::from(t[j][1]) + u128::from(t[k + j][1]) * cw + c1;
+        out[j][1] = cur as u64;
+        c1 = cur >> 64;
+        let cur = u128::from(t[j][2]) + u128::from(t[k + j][2]) * cw + c2;
+        out[j][2] = cur as u64;
+        c2 = cur >> 64;
+        let cur = u128::from(t[j][3]) + u128::from(t[k + j][3]) * cw + c3;
+        out[j][3] = cur as u64;
+        c3 = cur >> 64;
+    }
+    let rk = [c0 as u64, c1 as u64, c2 as u64, c3 as u64];
+    // Fold 2 (per lane): add rk·c (< 2^64) into the low limb and ripple.
+    // A carry out the top means the value passed 2^(64k): dropping that
+    // bit and adding c once more is exactly another subtraction of p.
+    for l in 0..LANES {
+        let mut cur = u128::from(out[0][l]) + u128::from(rk[l]) * cw;
+        out[0][l] = cur as u64;
+        let mut carry = (cur >> 64) as u64;
+        for oj in out[1..k].iter_mut() {
+            if carry == 0 {
+                break;
+            }
+            cur = u128::from(oj[l]) + u128::from(carry);
+            oj[l] = cur as u64;
+            carry = (cur >> 64) as u64;
+        }
+        if carry != 0 {
+            let mut cur = u128::from(out[0][l]) + cw;
+            out[0][l] = cur as u64;
+            let mut carry2 = (cur >> 64) as u64;
+            for oj in out[1..k].iter_mut() {
+                if carry2 == 0 {
+                    break;
+                }
+                cur = u128::from(oj[l]) + u128::from(carry2);
+                oj[l] = cur as u64;
+                carry2 = (cur >> 64) as u64;
+            }
+        }
+        // At most one conditional subtract reaches [0, p).
+        if lane_ge(out, p, l) {
+            lane_sub(out, p, l);
+        }
+    }
+}
+
+/// 4-way multiplication modulo a Crandall modulus `p = 2^(64k) − c`.
+///
+/// Operands are canonical residues (`< p`, exactly `k` limbs) — no
+/// Montgomery form anywhere, so chains of these stay bit-comparable to
+/// the scalar Montgomery route's canonical outputs at every step.
+pub(crate) fn fold_mul_x4(
+    p: &[u64],
+    c: u64,
+    a: &[[u64; LANES]],
+    b: &[[u64; LANES]],
+    out: &mut [[u64; LANES]],
+) {
+    let k = p.len();
+    debug_assert!(k >= 2 && k <= MAX_CIOS_LIMBS);
+    debug_assert!(a.len() == k && b.len() == k && out.len() == k);
+    let mut buf = [[0u64; LANES]; 2 * MAX_CIOS_LIMBS];
+    let t = &mut buf[..2 * k];
+    let a = &a[..k];
+    for i in 0..k {
+        let [b0, b1, b2, b3] = b[i];
+        let (b0, b1, b2, b3) =
+            (u128::from(b0), u128::from(b1), u128::from(b2), u128::from(b3));
+        let (mut c0, mut c1, mut c2, mut c3) = (0u128, 0u128, 0u128, 0u128);
+        for (tj, aj) in t[i..i + k].iter_mut().zip(a.iter()) {
+            let cur = u128::from(tj[0]) + u128::from(aj[0]) * b0 + c0;
+            tj[0] = cur as u64;
+            c0 = cur >> 64;
+            let cur = u128::from(tj[1]) + u128::from(aj[1]) * b1 + c1;
+            tj[1] = cur as u64;
+            c1 = cur >> 64;
+            let cur = u128::from(tj[2]) + u128::from(aj[2]) * b2 + c2;
+            tj[2] = cur as u64;
+            c2 = cur >> 64;
+            let cur = u128::from(tj[3]) + u128::from(aj[3]) * b3 + c3;
+            tj[3] = cur as u64;
+            c3 = cur >> 64;
+        }
+        t[i + k] = [c0 as u64, c1 as u64, c2 as u64, c3 as u64];
+    }
+    fold_reduce_x4(t, p, c, out);
+}
+
+/// 4-way squaring modulo a Crandall modulus `p = 2^(64k) − c`.
+///
+/// The off-diagonal half-product is computed once and doubled, so the
+/// product phase costs `k(k+1)/2` multiplies against the generic
+/// kernel's `k²` — and squarings are ~80% of a general exponentiation,
+/// which is why this kernel exists at all.
+pub(crate) fn fold_sqr_x4(p: &[u64], c: u64, a: &[[u64; LANES]], out: &mut [[u64; LANES]]) {
+    let k = p.len();
+    debug_assert!(k >= 2 && k <= MAX_CIOS_LIMBS);
+    debug_assert!(a.len() == k && out.len() == k);
+    let mut buf = [[0u64; LANES]; 2 * MAX_CIOS_LIMBS];
+    let t = &mut buf[..2 * k];
+    let a = &a[..k];
+    // Off-diagonal triangle: t += a[i]·a[j] for j > i.
+    for i in 0..k.saturating_sub(1) {
+        let [a0, a1, a2, a3] = a[i];
+        let (a0, a1, a2, a3) =
+            (u128::from(a0), u128::from(a1), u128::from(a2), u128::from(a3));
+        let (mut c0, mut c1, mut c2, mut c3) = (0u128, 0u128, 0u128, 0u128);
+        for j in i + 1..k {
+            let tj = &mut t[i + j];
+            let aj = &a[j];
+            let cur = u128::from(tj[0]) + u128::from(aj[0]) * a0 + c0;
+            tj[0] = cur as u64;
+            c0 = cur >> 64;
+            let cur = u128::from(tj[1]) + u128::from(aj[1]) * a1 + c1;
+            tj[1] = cur as u64;
+            c1 = cur >> 64;
+            let cur = u128::from(tj[2]) + u128::from(aj[2]) * a2 + c2;
+            tj[2] = cur as u64;
+            c2 = cur >> 64;
+            let cur = u128::from(tj[3]) + u128::from(aj[3]) * a3 + c3;
+            tj[3] = cur as u64;
+            c3 = cur >> 64;
+        }
+        t[i + k] = [c0 as u64, c1 as u64, c2 as u64, c3 as u64];
+    }
+    // Double the triangle, then add the diagonal a[i]² terms.
+    let mut msb = [0u64; LANES];
+    for tj in t.iter_mut() {
+        for l in 0..LANES {
+            let new_msb = tj[l] >> 63;
+            tj[l] = (tj[l] << 1) | msb[l];
+            msb[l] = new_msb;
+        }
+    }
+    let (mut c0, mut c1, mut c2, mut c3) = (0u128, 0u128, 0u128, 0u128);
+    for i in 0..k {
+        let [a0, a1, a2, a3] = a[i];
+        let sq = [
+            u128::from(a0) * u128::from(a0),
+            u128::from(a1) * u128::from(a1),
+            u128::from(a2) * u128::from(a2),
+            u128::from(a3) * u128::from(a3),
+        ];
+        let lo = t[2 * i];
+        let hi = t[2 * i + 1];
+        let cur = u128::from(lo[0]) + (sq[0] & u128::from(u64::MAX)) + c0;
+        t[2 * i][0] = cur as u64;
+        c0 = cur >> 64;
+        let cur = u128::from(hi[0]) + (sq[0] >> 64) + c0;
+        t[2 * i + 1][0] = cur as u64;
+        c0 = cur >> 64;
+        let cur = u128::from(lo[1]) + (sq[1] & u128::from(u64::MAX)) + c1;
+        t[2 * i][1] = cur as u64;
+        c1 = cur >> 64;
+        let cur = u128::from(hi[1]) + (sq[1] >> 64) + c1;
+        t[2 * i + 1][1] = cur as u64;
+        c1 = cur >> 64;
+        let cur = u128::from(lo[2]) + (sq[2] & u128::from(u64::MAX)) + c2;
+        t[2 * i][2] = cur as u64;
+        c2 = cur >> 64;
+        let cur = u128::from(hi[2]) + (sq[2] >> 64) + c2;
+        t[2 * i + 1][2] = cur as u64;
+        c2 = cur >> 64;
+        let cur = u128::from(lo[3]) + (sq[3] & u128::from(u64::MAX)) + c3;
+        t[2 * i][3] = cur as u64;
+        c3 = cur >> 64;
+        let cur = u128::from(hi[3]) + (sq[3] >> 64) + c3;
+        t[2 * i + 1][3] = cur as u64;
+        c3 = cur >> 64;
+    }
+    debug_assert!(c0 == 0 && c1 == 0 && c2 == 0 && c3 == 0);
+    fold_reduce_x4(t, p, c, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bigint::{cios_mont_mul, Ubig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// `-n⁻¹ mod 2^64` via Newton iteration (mirrors `MontgomeryCtx`).
+    fn n_prime_of(n0: u64) -> u64 {
+        let mut inv = n0;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        inv.wrapping_neg()
+    }
+
+    fn padded(v: &Ubig, k: usize) -> Vec<u64> {
+        let mut bytes = v.to_be_bytes();
+        bytes.reverse(); // little-endian bytes
+        let mut limbs = vec![0u64; k];
+        for (i, b) in bytes.iter().enumerate() {
+            limbs[i / 8] |= u64::from(*b) << ((i % 8) * 8);
+        }
+        limbs
+    }
+
+    #[test]
+    fn x4_kernel_matches_scalar_kernel_lane_for_lane() {
+        let moduli = [
+            Ubig::from_u64(0xffff_ffff_ffff_ffc5), // 1 limb
+            Ubig::from_hex("ffffffffffffffffffffffffffffff61"), // 2 limbs
+            Ubig::from_hex(crate::group::MODP_1024_HEX), // 16 limbs
+        ];
+        let mut rng = StdRng::seed_from_u64(0x51AD);
+        for n_u in &moduli {
+            let k = n_u.bit_len().div_ceil(64);
+            let n = padded(n_u, k);
+            let np = n_prime_of(n[0]);
+            // Random lane operands below n; the kernel is pure limb
+            // arithmetic, so any residues exercise it fully.
+            let mut a = vec![[0u64; LANES]; k];
+            let mut b = vec![[0u64; LANES]; k];
+            let mut av = Vec::new();
+            let mut bv = Vec::new();
+            for l in 0..LANES {
+                let al = padded(&Ubig::random_below(n_u, &mut rng), k);
+                let bl = padded(&Ubig::random_below(n_u, &mut rng), k);
+                for j in 0..k {
+                    a[j][l] = al[j];
+                    b[j][l] = bl[j];
+                }
+                av.push(al);
+                bv.push(bl);
+            }
+            let mut out = vec![[0u64; LANES]; k];
+            cios_mont_mul_x4(&n, np, &a, &b, &mut out);
+            for l in 0..LANES {
+                let mut expect = vec![0u64; k];
+                cios_mont_mul(&n, np, &av[l], &bv[l], &mut expect);
+                let got: Vec<u64> = (0..k).map(|j| out[j][l]).collect();
+                assert_eq!(got, expect, "modulus {n_u} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_kernels_match_plain_modular_arithmetic() {
+        // Crandall moduli 2^(64k) − c at both the small and the deployed
+        // width; the reference is plain schoolbook multiply + divide.
+        let cases = [
+            (Ubig::from_hex("ffffffffffffffffffffffffffffff61"), 159u64),
+            (Ubig::from_hex(crate::group::WAVEKEY_1024_HEX), 1_093_337u64),
+        ];
+        let mut rng = StdRng::seed_from_u64(0xF01D);
+        for (p_u, c) in &cases {
+            let k = p_u.bit_len().div_ceil(64);
+            let p = padded(p_u, k);
+            let mut a = vec![[0u64; LANES]; k];
+            let mut b = vec![[0u64; LANES]; k];
+            let mut av = Vec::new();
+            let mut bv = Vec::new();
+            for l in 0..LANES {
+                let au = Ubig::random_below(p_u, &mut rng);
+                let bu = Ubig::random_below(p_u, &mut rng);
+                let al = padded(&au, k);
+                let bl = padded(&bu, k);
+                for j in 0..k {
+                    a[j][l] = al[j];
+                    b[j][l] = bl[j];
+                }
+                av.push(au);
+                bv.push(bu);
+            }
+            let mut out = vec![[0u64; LANES]; k];
+            fold_mul_x4(&p, *c, &a, &b, &mut out);
+            for l in 0..LANES {
+                let expect = padded(&av[l].mul(&bv[l]).rem(p_u), k);
+                let got: Vec<u64> = (0..k).map(|j| out[j][l]).collect();
+                assert_eq!(got, expect, "mul modulus {p_u} lane {l}");
+            }
+            fold_sqr_x4(&p, *c, &a, &mut out);
+            for l in 0..LANES {
+                let expect = padded(&av[l].mul(&av[l]).rem(p_u), k);
+                let got: Vec<u64> = (0..k).map(|j| out[j][l]).collect();
+                assert_eq!(got, expect, "sqr modulus {p_u} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_kernels_edge_operands() {
+        // 0, 1, p−1 and 2 in one call: exercises the conditional subtract
+        // and the second-fold carry path on some lanes but not others.
+        let p_u = Ubig::from_hex("ffffffffffffffffffffffffffffff61");
+        let c = 159u64;
+        let k = 2;
+        let p = padded(&p_u, k);
+        let vals = [
+            Ubig::zero(),
+            Ubig::one(),
+            p_u.sub(&Ubig::one()),
+            Ubig::from_u64(2),
+        ];
+        let mut a = vec![[0u64; LANES]; k];
+        for (l, v) in vals.iter().enumerate() {
+            let pv = padded(v, k);
+            for j in 0..k {
+                a[j][l] = pv[j];
+            }
+        }
+        let mut out = vec![[0u64; LANES]; k];
+        fold_mul_x4(&p, c, &a, &a, &mut out);
+        for (l, v) in vals.iter().enumerate() {
+            let expect = padded(&v.mul(v).rem(&p_u), k);
+            let got: Vec<u64> = (0..k).map(|j| out[j][l]).collect();
+            assert_eq!(got, expect, "mul lane {l}");
+        }
+        fold_sqr_x4(&p, c, &a, &mut out);
+        for (l, v) in vals.iter().enumerate() {
+            let expect = padded(&v.mul(v).rem(&p_u), k);
+            let got: Vec<u64> = (0..k).map(|j| out[j][l]).collect();
+            assert_eq!(got, expect, "sqr lane {l}");
+        }
+    }
+
+    #[test]
+    fn x4_kernel_edge_operands() {
+        // Zero, one, and n−1 lanes in a single call hit the conditional
+        // subtract on some lanes and not others.
+        let n_u = Ubig::from_hex("ffffffffffffffffffffffffffffff61");
+        let k = 2;
+        let n = padded(&n_u, k);
+        let np = n_prime_of(n[0]);
+        let vals = [
+            Ubig::zero(),
+            Ubig::one(),
+            n_u.sub(&Ubig::one()),
+            Ubig::from_u64(2),
+        ];
+        let mut a = vec![[0u64; LANES]; k];
+        for (l, v) in vals.iter().enumerate() {
+            let p = padded(v, k);
+            for j in 0..k {
+                a[j][l] = p[j];
+            }
+        }
+        let mut out = vec![[0u64; LANES]; k];
+        cios_mont_mul_x4(&n, np, &a, &a, &mut out);
+        for (l, v) in vals.iter().enumerate() {
+            let p = padded(v, k);
+            let mut expect = vec![0u64; k];
+            cios_mont_mul(&n, np, &p, &p, &mut expect);
+            let got: Vec<u64> = (0..k).map(|j| out[j][l]).collect();
+            assert_eq!(got, expect, "lane {l}");
+        }
+    }
+}

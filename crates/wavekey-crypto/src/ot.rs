@@ -16,12 +16,14 @@
 //! round into one message (`M_A`, `M_B`, `M_E`), which this module
 //! mirrors: a batch of instances moves through three batched messages.
 
+use crate::batch::{BatchResults, JobId, ModexpBatch};
 use crate::bigint::Ubig;
 use crate::cipher::{ctr_decrypt, ctr_encrypt};
 use crate::group::DhGroup;
 use crate::par::par_map_range;
 use crate::sha256::sha256;
 use rand::rngs::StdRng;
+use std::cmp::Ordering;
 use wavekey_obs::Obs;
 
 /// The batched first message `M_A`: one group element per instance.
@@ -259,6 +261,134 @@ impl OtSender {
         let _span = obs.span("ot_sender_encrypt");
         self.encrypt(group, msg_b)
     }
+
+    /// Enqueue half of [`OtSender::start`]: samples the exponents with
+    /// the identical RNG consumption, pushes the `g^{a_i}` jobs onto
+    /// `batch`, and returns a pending handle to redeem after
+    /// [`ModexpBatch::execute`]. Gathering many sessions' starts into one
+    /// batch is what fills the 4-way kernel lanes fleet-wide.
+    pub fn start_enqueue<'g>(
+        group: &'g DhGroup,
+        secrets: Vec<(Vec<u8>, Vec<u8>)>,
+        rng: &mut StdRng,
+        batch: &mut ModexpBatch<'g>,
+    ) -> OtSenderPending {
+        let a: Vec<Ubig> = secrets.iter().map(|_| group.random_exponent(rng)).collect();
+        let jobs = a.iter().map(|ai| batch.push_pow_g(group, ai.clone())).collect();
+        OtSenderPending { secrets, a, jobs }
+    }
+
+    /// One-shot batched [`OtSender::start`]: enqueue, execute, commit.
+    /// Output is bit-identical to the scalar `start` for the same RNG.
+    pub fn start_batched(
+        group: &DhGroup,
+        secrets: Vec<(Vec<u8>, Vec<u8>)>,
+        rng: &mut StdRng,
+    ) -> (OtSender, OtMessageA) {
+        let mut batch = ModexpBatch::new();
+        let pending = OtSender::start_enqueue(group, secrets, rng, &mut batch);
+        let results = batch.execute();
+        pending.commit(&results)
+    }
+
+    /// Enqueue half of [`OtSender::encrypt`]. Each instance costs one
+    /// general job (`k⁰ = H(n^a)`) and one dependent multiply: the naive
+    /// `k¹ = H((n·g^{−a})^a)` second general exponentiation is folded
+    /// algebraically into `n^a · g^{−a² mod (u−1)}` — valid because the
+    /// generator's order divides `u−1` — so its ~1020 squarings become
+    /// one comb walk riding the fixed-base class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OtError::BatchMismatch`] when `M_B` has the wrong number
+    /// of elements.
+    pub fn encrypt_enqueue<'g>(
+        &self,
+        group: &'g DhGroup,
+        msg_b: &OtMessageB,
+        batch: &mut ModexpBatch<'g>,
+    ) -> Result<OtEncryptPending, OtError> {
+        if msg_b.elements.len() != self.secrets.len() {
+            return Err(OtError::BatchMismatch);
+        }
+        let order = group.order();
+        let mut k0 = Vec::with_capacity(self.a.len());
+        let mut k1 = Vec::with_capacity(self.a.len());
+        for (n, a) in msg_b.elements.iter().zip(&self.a) {
+            let id0 = batch.push_pow(group, n.clone(), a.clone());
+            // −a² mod (u−1), expressed the way inv_pow_g folds exponents
+            // so the canonical result matches the scalar route exactly.
+            let sq = a.mul(a);
+            let reduced = if sq.cmp_abs(order) == Ordering::Greater {
+                sq.rem(order)
+            } else {
+                sq
+            };
+            let id1 = batch.push_mul_pow_g(group, id0, order.sub(&reduced));
+            k0.push(id0);
+            k1.push(id1);
+        }
+        Ok(OtEncryptPending { k0, k1 })
+    }
+
+    /// One-shot batched [`OtSender::encrypt`].
+    ///
+    /// # Errors
+    ///
+    /// See [`OtSender::encrypt_enqueue`].
+    pub fn encrypt_batched(
+        &self,
+        group: &DhGroup,
+        msg_b: &OtMessageB,
+    ) -> Result<OtMessageE, OtError> {
+        let mut batch = ModexpBatch::new();
+        let pending = self.encrypt_enqueue(group, msg_b, &mut batch)?;
+        let results = batch.execute();
+        Ok(self.encrypt_commit(group, &pending, &results))
+    }
+
+    /// Commit half of [`OtSender::encrypt`]: derives both keys from the
+    /// executed batch and encrypts the payload pairs (hashing and the
+    /// stream cipher stay scalar — they are microseconds, not the
+    /// bottleneck).
+    pub fn encrypt_commit(
+        &self,
+        group: &DhGroup,
+        pending: &OtEncryptPending,
+        results: &BatchResults,
+    ) -> OtMessageE {
+        let pairs = par_map_range(self.secrets.len(), |i| {
+            let (x0, x1) = &self.secrets[i];
+            let k0 = derive_key(group, results.get(pending.k0[i]));
+            let k1 = derive_key(group, results.get(pending.k1[i]));
+            (ctr_encrypt(&k0, x0), ctr_encrypt(&k1, x1))
+        });
+        OtMessageE { pairs }
+    }
+}
+
+/// Pending [`OtSender::start`]: exponents sampled, `g^{a_i}` jobs in
+/// flight.
+#[derive(Debug)]
+pub struct OtSenderPending {
+    secrets: Vec<(Vec<u8>, Vec<u8>)>,
+    a: Vec<Ubig>,
+    jobs: Vec<JobId>,
+}
+
+impl OtSenderPending {
+    /// Redeems the executed batch into the sender state and `M_A`.
+    pub fn commit(self, results: &BatchResults) -> (OtSender, OtMessageA) {
+        let elements = self.jobs.iter().map(|&id| results.get(id).clone()).collect();
+        (OtSender { secrets: self.secrets, a: self.a }, OtMessageA { elements })
+    }
+}
+
+/// Pending [`OtSender::encrypt`]: both key-derivation jobs in flight.
+#[derive(Debug)]
+pub struct OtEncryptPending {
+    k0: Vec<JobId>,
+    k1: Vec<JobId>,
 }
 
 /// The OT receiver: holds the choice bits and the blinding exponents.
@@ -359,6 +489,151 @@ impl OtReceiver {
     ) -> Result<Vec<Vec<u8>>, OtError> {
         let _span = obs.span("ot_receiver_decrypt");
         self.decrypt(group, msg_e)
+    }
+
+    /// Enqueue half of [`OtReceiver::respond`]: samples the blinding
+    /// exponents identically to the scalar path and pushes the `g^{b_i}`
+    /// jobs. The choice-dependent blinding multiply happens at commit
+    /// (one scalar multiply per chosen instance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OtError::BatchMismatch`] when `M_A` has the wrong number
+    /// of elements.
+    pub fn respond_enqueue<'g>(
+        group: &'g DhGroup,
+        choices: &[bool],
+        msg_a: &OtMessageA,
+        rng: &mut StdRng,
+        batch: &mut ModexpBatch<'g>,
+    ) -> Result<OtReceiverPending, OtError> {
+        if msg_a.elements.len() != choices.len() {
+            return Err(OtError::BatchMismatch);
+        }
+        let b: Vec<Ubig> = choices.iter().map(|_| group.random_exponent(rng)).collect();
+        let jobs = b.iter().map(|bi| batch.push_pow_g(group, bi.clone())).collect();
+        Ok(OtReceiverPending {
+            choices: choices.to_vec(),
+            b,
+            m_a: msg_a.elements.clone(),
+            jobs,
+        })
+    }
+
+    /// One-shot batched [`OtReceiver::respond`].
+    ///
+    /// # Errors
+    ///
+    /// See [`OtReceiver::respond_enqueue`].
+    pub fn respond_batched(
+        group: &DhGroup,
+        choices: &[bool],
+        msg_a: &OtMessageA,
+        rng: &mut StdRng,
+    ) -> Result<(OtReceiver, OtMessageB), OtError> {
+        let mut batch = ModexpBatch::new();
+        let pending = OtReceiver::respond_enqueue(group, choices, msg_a, rng, &mut batch)?;
+        let results = batch.execute();
+        Ok(pending.commit(group, &results))
+    }
+
+    /// Enqueue half of [`OtReceiver::decrypt`]: one general job
+    /// `M_a^{b_i}` per instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OtError::BatchMismatch`] when `M_E` has the wrong number
+    /// of pairs.
+    pub fn decrypt_enqueue<'g>(
+        &self,
+        group: &'g DhGroup,
+        msg_e: &OtMessageE,
+        batch: &mut ModexpBatch<'g>,
+    ) -> Result<OtDecryptPending, OtError> {
+        if msg_e.pairs.len() != self.choices.len() {
+            return Err(OtError::BatchMismatch);
+        }
+        let jobs = self
+            .m_a
+            .iter()
+            .zip(&self.b)
+            .map(|(ma, bi)| batch.push_pow(group, ma.clone(), bi.clone()))
+            .collect();
+        let chosen = self
+            .choices
+            .iter()
+            .zip(&msg_e.pairs)
+            .map(|(&c, (e0, e1))| if c { e1.clone() } else { e0.clone() })
+            .collect();
+        Ok(OtDecryptPending { jobs, chosen })
+    }
+
+    /// One-shot batched [`OtReceiver::decrypt`].
+    ///
+    /// # Errors
+    ///
+    /// See [`OtReceiver::decrypt_enqueue`].
+    pub fn decrypt_batched(
+        &self,
+        group: &DhGroup,
+        msg_e: &OtMessageE,
+    ) -> Result<Vec<Vec<u8>>, OtError> {
+        let mut batch = ModexpBatch::new();
+        let pending = self.decrypt_enqueue(group, msg_e, &mut batch)?;
+        let results = batch.execute();
+        Ok(pending.commit(group, &results))
+    }
+}
+
+/// Pending [`OtReceiver::respond`]: blinding exponents sampled, `g^{b_i}`
+/// jobs in flight.
+#[derive(Debug)]
+pub struct OtReceiverPending {
+    choices: Vec<bool>,
+    b: Vec<Ubig>,
+    m_a: Vec<Ubig>,
+    jobs: Vec<JobId>,
+}
+
+impl OtReceiverPending {
+    /// Redeems the executed batch: applies the choice-dependent blinding
+    /// and returns the receiver state and `M_B`.
+    pub fn commit(self, group: &DhGroup, results: &BatchResults) -> (OtReceiver, OtMessageB) {
+        let elements: Vec<Ubig> = self
+            .jobs
+            .iter()
+            .zip(&self.choices)
+            .zip(&self.m_a)
+            .map(|((&id, &c), ma)| {
+                let gb = results.get(id);
+                if c {
+                    group.mul(ma, gb)
+                } else {
+                    gb.clone()
+                }
+            })
+            .collect();
+        let msg = OtMessageB { elements: elements.clone() };
+        (OtReceiver { choices: self.choices, b: self.b, m_a: self.m_a }, msg)
+    }
+}
+
+/// Pending [`OtReceiver::decrypt`]: key-derivation jobs in flight plus
+/// the chosen ciphertext of every instance.
+#[derive(Debug)]
+pub struct OtDecryptPending {
+    jobs: Vec<JobId>,
+    chosen: Vec<Vec<u8>>,
+}
+
+impl OtDecryptPending {
+    /// Redeems the executed batch into the decrypted payloads.
+    pub fn commit(self, group: &DhGroup, results: &BatchResults) -> Vec<Vec<u8>> {
+        self.jobs
+            .iter()
+            .zip(&self.chosen)
+            .map(|(&id, ct)| ctr_decrypt(&derive_key(group, results.get(id)), ct))
+            .collect()
     }
 }
 
@@ -479,6 +754,92 @@ mod tests {
         let group = DhGroup::tiny_test_group();
         let out = run_batch(&group, vec![], vec![]);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn batched_rounds_match_scalar_rounds_bit_for_bit() {
+        // Same RNG seeds through both routes: every wire message and
+        // every decrypted payload must be identical, on the generic
+        // Montgomery group and on the fold-path fleet group, across
+        // quad-aligned and ragged batch sizes.
+        let tiny = DhGroup::tiny_test_group();
+        let wk = DhGroup::wavekey_1024();
+        for group in [&tiny, &wk] {
+            for count in [1usize, 3, 4, 5] {
+                let secrets: Vec<_> = (0..count)
+                    .map(|i| (vec![i as u8; 4], vec![0xA0 | i as u8; 4]))
+                    .collect();
+                let choices: Vec<bool> = (0..count).map(|i| i % 2 == 1).collect();
+
+                let mut rng_s = StdRng::seed_from_u64(77);
+                let mut rng_r = StdRng::seed_from_u64(88);
+                let (sender, msg_a) = OtSender::start(group, secrets.clone(), &mut rng_s);
+                let (receiver, msg_b) =
+                    OtReceiver::respond(group, &choices, &msg_a, &mut rng_r).unwrap();
+                let msg_e = sender.encrypt(group, &msg_b).unwrap();
+                let out = receiver.decrypt(group, &msg_e).unwrap();
+
+                let mut rng_s = StdRng::seed_from_u64(77);
+                let mut rng_r = StdRng::seed_from_u64(88);
+                let (sender_b, msg_a_b) =
+                    OtSender::start_batched(group, secrets, &mut rng_s);
+                let (receiver_b, msg_b_b) =
+                    OtReceiver::respond_batched(group, &choices, &msg_a_b, &mut rng_r)
+                        .unwrap();
+                let msg_e_b = sender_b.encrypt_batched(group, &msg_b_b).unwrap();
+                let out_b = receiver_b.decrypt_batched(group, &msg_e_b).unwrap();
+
+                assert_eq!(msg_a_b, msg_a, "M_A count {count}");
+                assert_eq!(msg_b_b, msg_b, "M_B count {count}");
+                assert_eq!(msg_e_b, msg_e, "M_E count {count}");
+                assert_eq!(out_b, out, "payloads count {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_session_starts_share_one_batch() {
+        // Two independent sessions enqueue into ONE batch; committing
+        // against the shared execution must equal two scalar starts.
+        let group = DhGroup::tiny_test_group();
+        let mut batch = ModexpBatch::new();
+        let mut rng1 = StdRng::seed_from_u64(301);
+        let mut rng2 = StdRng::seed_from_u64(302);
+        let s1 = vec![(vec![1], vec![2]), (vec![3], vec![4])];
+        let s2 = vec![(vec![5], vec![6]), (vec![7], vec![8]), (vec![9], vec![10])];
+        let p1 = OtSender::start_enqueue(&group, s1.clone(), &mut rng1, &mut batch);
+        let p2 = OtSender::start_enqueue(&group, s2.clone(), &mut rng2, &mut batch);
+        let results = batch.execute();
+        let (_, msg_a1) = p1.commit(&results);
+        let (_, msg_a2) = p2.commit(&results);
+
+        let mut rng1 = StdRng::seed_from_u64(301);
+        let mut rng2 = StdRng::seed_from_u64(302);
+        let (_, ref_a1) = OtSender::start(&group, s1, &mut rng1);
+        let (_, ref_a2) = OtSender::start(&group, s2, &mut rng2);
+        assert_eq!(msg_a1, ref_a1);
+        assert_eq!(msg_a2, ref_a2);
+    }
+
+    #[test]
+    fn batched_enqueue_detects_mismatch() {
+        let group = DhGroup::tiny_test_group();
+        let mut rng = StdRng::seed_from_u64(11);
+        let (sender, msg_a) = OtSender::start(&group, vec![(vec![1], vec![2])], &mut rng);
+        let mut batch = ModexpBatch::new();
+        assert!(OtReceiver::respond_enqueue(
+            &group,
+            &[true, false],
+            &msg_a,
+            &mut rng,
+            &mut batch
+        )
+        .is_err());
+        let bad_b = OtMessageB { elements: vec![] };
+        assert_eq!(
+            sender.encrypt_enqueue(&group, &bad_b, &mut batch).unwrap_err(),
+            OtError::BatchMismatch
+        );
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! costs a 1024-bit exponentiation (or a table build).
 
 use proptest::prelude::*;
-use wavekey_crypto::bigint::{MontgomeryCtx, Ubig};
-use wavekey_crypto::group::{DhGroup, MODP_1024_HEX};
+use wavekey_crypto::batch::ModexpBatch;
+use wavekey_crypto::bigint::{CrandallCtx, MontgomeryCtx, Ubig};
+use wavekey_crypto::group::{DhGroup, MODP_1024_HEX, WAVEKEY_1024_HEX};
 
 /// Odd moduli spanning 1..=3 limbs (CIOS exercises carries differently
 /// per width). All > 2 so operands can be non-trivial.
@@ -114,6 +115,85 @@ proptest! {
         // And the inverse power really is the inverse.
         let prod = group.mul(&group.pow_g(&x), &group.inv_pow_g(&x));
         prop_assert_eq!(prod, Ubig::one());
+    }
+}
+
+proptest! {
+    // Each case is several 1024-bit (or multi-limb) exponentiations.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The 4-way interleaved CIOS exponentiation equals the scalar
+    /// Montgomery route lane-for-lane, on an awkward 2-limb modulus and
+    /// the real MODP-1024.
+    #[test]
+    fn quad_mod_pow_matches_scalar(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for m in [
+            Ubig::from_hex("ffffffffffffffffffffffffffffff61"),
+            Ubig::from_hex(MODP_1024_HEX),
+        ] {
+            let ctx = MontgomeryCtx::new(m.clone());
+            let bases: [Ubig; 4] =
+                std::array::from_fn(|_| Ubig::random_below(&m, &mut rng));
+            let exps: [Ubig; 4] =
+                std::array::from_fn(|_| Ubig::random_below(&m, &mut rng));
+            let fast = ctx.mod_pow_x4(&bases, &exps);
+            for l in 0..4 {
+                prop_assert_eq!(&fast[l], &ctx.mod_pow(&bases[l], &exps[l]), "lane {}", l);
+            }
+        }
+    }
+
+    /// The Crandall fold-reduction exponentiation (the WAVEKEY-1024
+    /// fleet group's fast path) equals the scalar Montgomery route.
+    #[test]
+    fn crandall_pow_matches_montgomery(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = Ubig::from_hex(WAVEKEY_1024_HEX);
+        let cr = CrandallCtx::new(&p).expect("fleet modulus is Crandall-form");
+        let mont = MontgomeryCtx::new(p.clone());
+        let bases: [Ubig; 4] = std::array::from_fn(|_| Ubig::random_below(&p, &mut rng));
+        let exps: [Ubig; 4] = std::array::from_fn(|_| Ubig::random_below(&p, &mut rng));
+        let fold = cr.pow_x4(&bases, &exps);
+        for l in 0..4 {
+            prop_assert_eq!(&fold[l], &mont.mod_pow(&bases[l], &exps[l]), "lane {}", l);
+        }
+    }
+
+    /// The batch executor (grouping, quad-packing, dummy-lane padding,
+    /// dependent MulPowG jobs) equals the pinned scalar route for any
+    /// job count — ragged tails included — with fold-path and
+    /// Montgomery-path moduli mixed in one batch.
+    #[test]
+    fn batch_executor_matches_scalar(seed in any::<u64>(), n in 1usize..10) {
+        use rand::SeedableRng;
+        let groups = [DhGroup::wavekey_1024_shared(), DhGroup::modp_1024_shared()];
+        let fill = |batch: &mut ModexpBatch<'static>| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            for i in 0..n {
+                let g = groups[i % groups.len()];
+                let x = g.random_exponent(&mut rng);
+                match i % 4 {
+                    0 => { batch.push_pow_g(g, x); }
+                    1 => { batch.push_inv_pow_g(g, x); }
+                    2 => {
+                        let base = Ubig::random_below(g.modulus(), &mut rng);
+                        batch.push_pow(g, base, x);
+                    }
+                    _ => {
+                        let base = Ubig::random_below(g.modulus(), &mut rng);
+                        let dep = batch.push_pow(g, base, x);
+                        batch.push_mul_pow_g(g, dep, g.random_exponent(&mut rng));
+                    }
+                }
+            }
+        };
+        let (mut fast, mut slow) = (ModexpBatch::new(), ModexpBatch::new());
+        fill(&mut fast);
+        fill(&mut slow);
+        prop_assert_eq!(fast.execute().into_vec(), slow.execute_scalar().into_vec());
     }
 }
 

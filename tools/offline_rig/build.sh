@@ -175,6 +175,7 @@ run_tests() {
     # Root integration tests (proptest-based crate tests are cargo-only).
     run_itest "$ROOT/tests/protocol_security.rs" wavekey rand
     run_itest "$ROOT/tests/differential_agreement.rs" wavekey rand
+    run_itest "$ROOT/tests/differential_crypto.rs" wavekey rand
     run_itest "$ROOT/tests/substrate_interop.rs" wavekey rand
     run_itest "$ROOT/tests/end_to_end.rs" wavekey rand
     run_itest "$ROOT/tests/thread_determinism.rs" wavekey rand rayon

@@ -1,0 +1,155 @@
+//! primegen — provenance tool for the WAVEKEY-1024 fleet prime.
+//!
+//! The fleet group's modulus is the Crandall-form safe prime
+//! `p = 2^1024 − c` with `c = 1093337`: the smallest `c ≡ 1 (mod 8)` for
+//! which both `p` and `(p−1)/2` pass the deterministic 12-witness
+//! Miller-Rabin test in `wavekey_crypto::bigint::is_probable_prime`.
+//! The congruence `c ≡ 1 (mod 8)` forces `p ≡ 7 (mod 8)`, which makes
+//! `g = 2` a quadratic residue generating the order-`(p−1)/2` subgroup —
+//! the RFC 2409 MODP convention the rest of the stack assumes.
+//!
+//! Modes (see `tools/primegen/run.sh`):
+//!
+//! * default — re-verify the committed `WAVEKEY_1024_HEX` constant
+//!   (sub-second): Crandall form, `c` value, `c ≡ 1 (mod 8)`, safe
+//!   primality of `p` and `(p−1)/2`.
+//! * `--search [k]` — redo the search from `c = 1` for `p = 2^(64k) − c`
+//!   (default `k = 16`). A small-prime sieve on `p` and `(p−1)/2`
+//!   discards most candidates before any Miller-Rabin work; the k = 16
+//!   run reproduces `c = 1093337` in a few minutes on one core.
+
+use wavekey_crypto::bigint::{is_probable_prime, Ubig};
+use wavekey_crypto::group::WAVEKEY_1024_HEX;
+
+/// `n / 2` via a big-endian byte shift (`Ubig` has no right shift).
+fn half(n: &Ubig) -> Ubig {
+    let bytes = n.to_be_bytes();
+    let mut out = vec![0u8; bytes.len()];
+    let mut carry = 0u8;
+    for (i, b) in bytes.iter().enumerate() {
+        out[i] = (b >> 1) | (carry << 7);
+        carry = b & 1;
+    }
+    Ubig::from_be_bytes(&out)
+}
+
+/// Odd primes below `bound` by trial division (the sieve is tiny).
+fn small_primes(bound: u64) -> Vec<u64> {
+    let mut primes = Vec::new();
+    'outer: for q in (3..bound).step_by(2) {
+        for &p in &primes {
+            if p * p > q {
+                break;
+            }
+            if q % p == 0 {
+                continue 'outer;
+            }
+        }
+        primes.push(q);
+    }
+    primes
+}
+
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc: u64 = 1 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = ((acc as u128 * base as u128) % m as u128) as u64;
+        }
+        base = ((base as u128 * base as u128) % m as u128) as u64;
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Searches upward from `c = 1` (stepping the `c ≡ 1 (mod 8)` residue
+/// class) for the first safe prime `p = 2^(64k) − c`; returns `c`.
+fn search(k: usize) -> u64 {
+    let sieve: Vec<(u64, u64, u64)> = small_primes(20_000)
+        .into_iter()
+        .map(|q| (q, pow_mod(2, 64 * k as u64, q), (q + 1) / 2))
+        .collect();
+    let mut c: u64 = 1;
+    let mut tested = 0u64;
+    loop {
+        // Cheap filter: p = 2^(64k) − c and (p−1)/2 must clear every
+        // small prime. (p−1)/2 mod q = ((p−1) mod q) · 2^{−1} mod q.
+        let clean = sieve.iter().all(|&(q, pw, inv2)| {
+            let p_mod = (pw + q - c % q) % q;
+            if p_mod == 0 {
+                return false;
+            }
+            let pm1 = (pw + q - (c + 1) % q) % q;
+            (pm1 as u128 * inv2 as u128) % q as u128 != 0
+        });
+        if clean {
+            tested += 1;
+            let p = Ubig::one().shl(64 * k).sub(&Ubig::from_u64(c));
+            if is_probable_prime(&p) && is_probable_prime(&half(&p.sub(&Ubig::one()))) {
+                println!(
+                    "found: p = 2^{} - {c}  ({tested} Miller-Rabin candidates tested)",
+                    64 * k
+                );
+                return c;
+            }
+        }
+        c = c.checked_add(8).expect("search range exhausted");
+        if c > u32::MAX as u64 {
+            panic!("no Crandall-fold-compatible safe prime below c = 2^32 for k = {k}");
+        }
+    }
+}
+
+/// Re-verifies the committed constant end to end.
+fn verify() {
+    let p = Ubig::from_hex(WAVEKEY_1024_HEX);
+    let c = Ubig::one().shl(1024).sub(&p);
+    let c_u64 = {
+        let bytes = c.to_be_bytes();
+        bytes.iter().fold(0u64, |acc, &b| (acc << 8) | b as u64)
+    };
+    println!("p   = 2^1024 - {c_u64}");
+    assert_eq!(c_u64, 1_093_337, "committed constant drifted");
+    assert_eq!(c_u64 % 8, 1, "c must be 1 mod 8 so that p is 7 mod 8");
+    assert!(is_probable_prime(&p), "p fails Miller-Rabin");
+    let q = half(&p.sub(&Ubig::one()));
+    assert!(is_probable_prime(&q), "(p-1)/2 fails Miller-Rabin");
+    println!("p and (p-1)/2 both pass the deterministic 12-witness Miller-Rabin test");
+    println!("p mod 8 = 7: generator 2 is a quadratic residue (MODP convention)");
+    println!("WAVEKEY_1024_HEX verified");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("--search") => {
+            let k: usize = args.get(2).map(|s| s.parse().expect("k")).unwrap_or(16);
+            let c = search(k);
+            println!("smallest c = {c} with c = 1 mod 8 and 2^{} - c a safe prime", 64 * k);
+        }
+        _ => verify(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The search reproduces known tiny Crandall safe primes quickly:
+    /// for k = 2, the first c ≡ 1 (mod 8) with 2^128 − c a safe prime.
+    #[test]
+    fn search_matches_direct_check_for_two_limbs() {
+        let c = search(2);
+        let p = Ubig::one().shl(128).sub(&Ubig::from_u64(c));
+        assert!(is_probable_prime(&p));
+        assert!(is_probable_prime(&half(&p.sub(&Ubig::one()))));
+        assert_eq!(c % 8, 1);
+    }
+
+    #[test]
+    fn half_shifts_right_by_one() {
+        let n = Ubig::from_hex("1fffffffffffffffffffffffffffffff");
+        assert_eq!(half(&n), Ubig::from_hex("0fffffffffffffffffffffffffffffff"));
+    }
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds and runs the WAVEKEY-1024 provenance tool against the offline
+# rig's rlibs (the cargo registry is unreachable in the dev container).
+#
+# Usage:
+#   tools/primegen/run.sh                # verify the committed constant
+#   tools/primegen/run.sh --search [k]   # redo the search (k limbs, default 16)
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/../.." && pwd)
+OUT="${RIG_OUT:-$ROOT/target/offline-rig}"
+
+"$ROOT/tools/offline_rig/build.sh" build >/dev/null
+
+BIN="$OUT/bin/primegen"
+if [[ ! -x "$BIN" || "$ROOT/tools/primegen/main.rs" -nt "$BIN" ]]; then
+    echo "[primegen] compile"
+    rustc --edition 2021 -C opt-level=3 -C target-cpu=native \
+        --crate-name primegen "$ROOT/tools/primegen/main.rs" \
+        -L "$OUT" --extern "wavekey_crypto=$OUT/libwavekey_crypto.rlib" \
+        -o "$BIN"
+fi
+exec "$BIN" "$@"
