@@ -255,4 +255,32 @@ awk -v bare="$fs_bare" -v rec="$fs_rec" -v min="$FAULT_MIN" 'BEGIN {
 [[ "$fs_ident" == "true" ]] \
     || { echo "FAIL: recovery layer perturbs fault-free runs" >&2; exit 1; }
 echo "OK: recovery layer survives the chaos mixture without corrupting keys"
+
+echo "== SLO load gate =="
+# The observability v2 contract: the Zipfian load generator drives
+# enrol-heavy / auth-heavy / fault-heavy mixes through the
+# SessionManager, evaluates each against declarative SLOs (p99 latency
+# via WAVEKEY_SLO_P99_MS, throughput floor via WAVEKEY_SLO_MIN_SPS —
+# defaults calibrated ~15x above the 1-core container's observed
+# numbers), checks that the fault-heavy causal timelines export
+# byte-identically across two runs, and appends a results/TREND.jsonl
+# ledger line. The gate requires every SLO verdict to pass, determinism
+# to hold, and zero divergent-key successes.
+LOAD_JSON="$ROOT/target/ci-bench-load.json"
+tools/offline_rig/build.sh run load_gen "$LOAD_JSON" >/dev/null
+
+slo_pass=$(field_of "slo_all_pass" "$LOAD_JSON")
+slo_det=$(field_of "timelines_deterministic" "$LOAD_JSON")
+slo_div=$(field_of "divergent_key_successes" "$LOAD_JSON")
+slo_sps=$(field_of "sessions_per_s" "$LOAD_JSON")
+[[ -n "$slo_pass" && -n "$slo_det" && -n "$slo_div" ]] \
+    || { echo "load generator produced no verdicts" >&2; exit 1; }
+echo "sessions/s $slo_sps, slo_all_pass=$slo_pass, timelines_deterministic=$slo_det, divergent $slo_div"
+[[ "$slo_det" == "true" ]] \
+    || { echo "FAIL: causal timelines diverge between identical fault-heavy runs" >&2; exit 1; }
+[[ "$slo_div" == "0" ]] \
+    || { echo "FAIL: a load-gen session completed with divergent keys" >&2; exit 1; }
+[[ "$slo_pass" == "true" ]] \
+    || { echo "FAIL: an SLO verdict failed (see $LOAD_JSON)" >&2; exit 1; }
+echo "OK: all traffic mixes hold their SLOs with deterministic timelines"
 echo "== done =="

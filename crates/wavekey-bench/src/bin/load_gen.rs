@@ -1,0 +1,459 @@
+//! Zipfian tenant/session load generator gated by the `wavekey-obs` SLO
+//! engine. Writes `results/BENCH_load.json` (consumed by the ci.sh SLO
+//! gate) and appends a trend line to `results/TREND.jsonl`.
+//!
+//! ```text
+//! cargo run --release -p wavekey-bench --bin load_gen [out_path]
+//! ```
+//!
+//! Three deterministic traffic mixes, all driven through
+//! [`SessionManager`] over the tiny test group (the protocol path, not
+//! the group arithmetic, is under test):
+//!
+//! 1. **enrol-heavy** — 96 key-establishment sessions across 64 tenants
+//!    whose popularity follows a Zipf(1.1) law, spawned in waves of 8
+//!    and interleaved by the round-robin scheduler; per-session latency
+//!    is the wall time from wave start to that session's completion.
+//! 2. **auth-heavy** — 600 Zipfian authentication requests: a tenant's
+//!    first request enrols it (a full managed session), every later
+//!    request is an HMAC-SHA256 sign + constant-time verify against the
+//!    established key.
+//! 3. **fault-heavy** — 96 sessions under the reference [`FaultPlan`]
+//!    mixture with ARQ recovery. The mix runs **twice** with a fresh
+//!    causal [`EventLog`] each time: the two JSONL timeline exports
+//!    must be byte-identical (`timelines_deterministic`), and no
+//!    surviving session may hold divergent mobile/server keys.
+//!
+//! Each mix is judged by declarative [`SloSpec`]s — a p99 latency
+//! objective (`WAVEKEY_SLO_P99_MS`, default 100 ms; the fault mix gets
+//! 4× slack for recovery backoff) with a success-rate floor, plus a
+//! throughput floor (`WAVEKEY_SLO_MIN_SPS`, default 20 sessions/s on
+//! the enrol mix) — calibrated ~15× above the 1-core container's
+//! observed numbers so only real regressions trip. The overall
+//! `slo_all_pass` verdict is what ci.sh gates on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+use wavekey_core::agreement::{AgreementConfig, RetryPolicy};
+use wavekey_core::channel::{Adversary, PassiveChannel};
+use wavekey_core::fault::{FaultPlan, FaultProfile};
+use wavekey_core::SessionManager;
+use wavekey_crypto::hmac::{hmac_sha256, mac_eq};
+use wavekey_obs::{
+    EventLog, Json, MemoryCollector, MultiCollector, Obs, SloReport, SloSpec,
+};
+
+const TENANTS: usize = 64;
+const ZIPF_S: f64 = 1.1;
+const SEED_LEN: usize = 24;
+const ENROL_SESSIONS: u64 = 96;
+const ENROL_WAVE: u64 = 8;
+const AUTH_OPS: u64 = 600;
+const FAULT_SESSIONS: u64 = 96;
+const FAULT_SEED: u64 = 0x10AD_F417;
+
+/// Inverse-CDF Zipf sampler over ranks `0..n` (rank 0 hottest).
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// The tenant's gesture-derived seed pair: one in-budget bit flip, like
+/// the fault-soak bench, so every session agrees when the wire allows.
+fn seed_pair(tenant: u64) -> (Vec<bool>, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(0x7E4A_47 + tenant);
+    let s_m: Vec<bool> = (0..SEED_LEN).map(|_| rng.gen()).collect();
+    let mut s_r = s_m.clone();
+    s_r[(tenant as usize) % SEED_LEN] ^= true;
+    (s_m, s_r)
+}
+
+fn rngs(i: u64) -> (StdRng, StdRng) {
+    (StdRng::seed_from_u64(0x10AD_A + i), StdRng::seed_from_u64(0x10AD_B + i))
+}
+
+fn config(retry: RetryPolicy) -> AgreementConfig {
+    AgreementConfig { use_tiny_group: true, tau: 10.0, bch_t: 5, retry, ..Default::default() }
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Linear-interpolation percentile over an unsorted sample set (ms in,
+/// ms out). Mirrors the obs crate's `percentile_sorted` semantics.
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// One mix's aggregate: latencies (ms), throughput, and outcome counts.
+struct MixStats {
+    name: &'static str,
+    latencies_ms: Vec<f64>,
+    ops: u64,
+    successes: u64,
+    retransmits: u64,
+    elapsed_s: f64,
+}
+
+impl MixStats {
+    fn success_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.ops as f64
+        }
+    }
+
+    fn ops_per_s(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.ops as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Evaluates this mix's latency SLO and renders the mix JSON object.
+    fn to_json(&self, report: &mut SloReport, p99_ms: f64, floor: f64) -> Json {
+        let seconds: Vec<f64> = self.latencies_ms.iter().map(|ms| ms / 1e3).collect();
+        let verdict = SloSpec::latency(&format!("{}_p99", self.name), 0.99, p99_ms / 1e3)
+            .with_success_floor(floor)
+            .evaluate(&seconds, self.success_rate());
+        let json = Json::obj(vec![
+            ("name", Json::Str(self.name.to_string())),
+            ("ops", Json::Num(self.ops as f64)),
+            ("successes", Json::Num(self.successes as f64)),
+            ("success_rate", Json::Num(self.success_rate())),
+            ("p50_ms", Json::Num(percentile(&self.latencies_ms, 0.50))),
+            ("p90_ms", Json::Num(percentile(&self.latencies_ms, 0.90))),
+            ("p99_ms", Json::Num(percentile(&self.latencies_ms, 0.99))),
+            ("ops_per_s", Json::Num(self.ops_per_s())),
+            ("retransmits", Json::Num(self.retransmits as f64)),
+            ("slo", Json::Arr(vec![verdict.to_json()])),
+        ]);
+        report.push(verdict);
+        json
+    }
+}
+
+/// Spawns `n` Zipfian-tenant sessions in waves of [`ENROL_WAVE`] and
+/// drives each wave to completion, recording per-session latency.
+fn enrol_mix(obs: &Obs) -> MixStats {
+    let _mix = obs.span("mix_enrol");
+    let config = config(RetryPolicy::arq());
+    let zipf = Zipf::new(TENANTS, ZIPF_S);
+    let mut tenant_rng = StdRng::seed_from_u64(FAULT_SEED ^ 0xE14);
+    let mut manager = SessionManager::new(12);
+    manager.set_obs(obs.clone());
+    let mut adversary = PassiveChannel;
+    let mut latencies_ms = Vec::new();
+    let t_mix = Instant::now();
+    for wave in 0..ENROL_SESSIONS / ENROL_WAVE {
+        let _w = obs.span("enrol_wave");
+        let t0 = Instant::now();
+        for j in 0..ENROL_WAVE {
+            let tenant = zipf.sample(&mut tenant_rng) as u64;
+            let (s_m, s_r) = seed_pair(tenant);
+            let (rng_m, rng_r) = rngs(wave * ENROL_WAVE + j);
+            manager
+                .spawn(&s_m, &s_r, &config, rng_m, rng_r, &mut adversary)
+                .expect("spawn enrol session");
+        }
+        let mut done = manager.outcomes().len();
+        loop {
+            let more = manager.step(&mut adversary);
+            while manager.outcomes().len() > done {
+                latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                done += 1;
+            }
+            if !more {
+                break;
+            }
+        }
+    }
+    MixStats {
+        name: "enrol_heavy",
+        latencies_ms,
+        ops: ENROL_SESSIONS,
+        successes: manager.successes() as u64,
+        retransmits: manager.retransmits_total(),
+        elapsed_s: t_mix.elapsed().as_secs_f64(),
+    }
+}
+
+/// Zipfian authentication traffic: first touch of a tenant enrols it
+/// through a managed session; every other op signs and verifies a
+/// request against the tenant's established key.
+fn auth_mix(obs: &Obs) -> MixStats {
+    let _mix = obs.span("mix_auth");
+    let config = config(RetryPolicy::arq());
+    let zipf = Zipf::new(TENANTS, ZIPF_S);
+    let mut op_rng = StdRng::seed_from_u64(FAULT_SEED ^ 0xA07);
+    let mut keys: Vec<Option<Vec<u8>>> = vec![None; TENANTS];
+    let mut latencies_ms = Vec::new();
+    let mut successes = 0u64;
+    let mut retransmits = 0u64;
+    let t_mix = Instant::now();
+    for op in 0..AUTH_OPS {
+        let tenant = zipf.sample(&mut op_rng);
+        let t0 = Instant::now();
+        if keys[tenant].is_none() {
+            // Lazy enrolment: one full managed session for this tenant.
+            let _e = obs.span("auth_enrol");
+            let (s_m, s_r) = seed_pair(tenant as u64);
+            let (rng_m, rng_r) = rngs(0x1000 + op);
+            let mut manager = SessionManager::new(12);
+            manager.set_obs(obs.clone());
+            let mut adversary = PassiveChannel;
+            let id = manager
+                .spawn(&s_m, &s_r, &config, rng_m, rng_r, &mut adversary)
+                .expect("spawn auth enrolment");
+            manager.run_to_completion(&mut adversary);
+            retransmits += manager.retransmits_total();
+            if let Some(Ok(out)) = manager.outcome(id) {
+                keys[tenant] = Some(out.agreement.key.clone());
+            }
+        }
+        let ok = match &keys[tenant] {
+            Some(key) => {
+                let _v = obs.span("auth_verify");
+                let message = [b"req", &op.to_le_bytes()[..]].concat();
+                let mac = hmac_sha256(key, &message);
+                mac_eq(&hmac_sha256(key, &message), &mac)
+            }
+            None => false,
+        };
+        successes += ok as u64;
+        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    MixStats {
+        name: "auth_heavy",
+        latencies_ms,
+        ops: AUTH_OPS,
+        successes,
+        retransmits,
+        elapsed_s: t_mix.elapsed().as_secs_f64(),
+    }
+}
+
+/// One full fault-heavy pass over a dedicated observability handle;
+/// returns the stats plus the number of divergent-key successes.
+fn fault_mix_run(obs: &Obs) -> (MixStats, u64) {
+    let config = config(RetryPolicy::arq());
+    let mut plan = FaultPlan::new(FAULT_SEED, FaultProfile::reference());
+    let mut manager = SessionManager::new(12);
+    manager.set_obs(obs.clone());
+    let mut ids = Vec::new();
+    let t_mix = Instant::now();
+    let t0 = Instant::now();
+    for i in 0..FAULT_SESSIONS {
+        let (s_m, s_r) = seed_pair(i);
+        let (rng_m, rng_r) = rngs(0x2000 + i);
+        ids.push(
+            manager
+                .spawn(&s_m, &s_r, &config, rng_m, rng_r, &mut plan as &mut dyn Adversary)
+                .expect("spawn fault session"),
+        );
+    }
+    let mut latencies_ms = Vec::new();
+    let mut done = manager.outcomes().len();
+    loop {
+        let more = manager.step(&mut plan);
+        while manager.outcomes().len() > done {
+            latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            done += 1;
+        }
+        if !more {
+            break;
+        }
+    }
+    let divergent = ids
+        .iter()
+        .filter(|id| {
+            matches!(
+                manager.outcome(**id),
+                Some(Ok(out)) if out.agreement.key != out.server_key
+            )
+        })
+        .count() as u64;
+    let stats = MixStats {
+        name: "fault_heavy",
+        latencies_ms,
+        ops: FAULT_SESSIONS,
+        successes: manager.successes() as u64,
+        retransmits: manager.retransmits_total(),
+        elapsed_s: t_mix.elapsed().as_secs_f64(),
+    };
+    (stats, divergent)
+}
+
+/// Runs the fault mix twice over fresh event logs; the causal timelines
+/// must export byte-identically (events carry no wall-clock fields).
+fn fault_mix(obs: &Obs) -> (MixStats, u64, bool, usize) {
+    let _mix = obs.span("mix_faults");
+    let run = || {
+        let log = Arc::new(EventLog::new(512));
+        let run_obs = Obs::new(log.clone());
+        let (stats, divergent) = fault_mix_run(&run_obs);
+        (stats, divergent, log.timelines_jsonl(), log.len())
+    };
+    let (stats, divergent, first, events) = run();
+    let (_, _, second, _) = run();
+    (stats, divergent, first == second, events)
+}
+
+/// Top profile stacks by total inclusive time, for the report.
+fn top_stacks(obs: &Obs, n: usize) -> Json {
+    let mut snapshot = obs.profile_snapshot();
+    snapshot.sort_by(|a, b| b.1.total_s.partial_cmp(&a.1.total_s).expect("finite totals"));
+    Json::Arr(
+        snapshot
+            .into_iter()
+            .take(n)
+            .map(|(path, stat)| {
+                Json::obj(vec![
+                    ("path", Json::Str(path)),
+                    ("count", Json::Num(stat.count as f64)),
+                    ("total_s", Json::Num(stat.total_s)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Appends one run line to `results/TREND.jsonl`, comparing against the
+/// previous line; returns (run index, regressed flag).
+fn append_trend(enrol: &MixStats, auth: &MixStats, faults: &MixStats, all_pass: bool) -> (u64, bool) {
+    let path = std::path::Path::new("results/TREND.jsonl");
+    let prior = std::fs::read_to_string(path).unwrap_or_default();
+    let last = prior.lines().rev().find(|l| !l.trim().is_empty()).and_then(Json::parse);
+    let run = last
+        .as_ref()
+        .and_then(|j| j.get("run"))
+        .and_then(Json::as_f64)
+        .map_or(1, |r| r as u64 + 1);
+    let p99 = percentile(&enrol.latencies_ms, 0.99);
+    let sps = enrol.ops_per_s();
+    // A regression flags when the enrol mix's p99 or throughput moved
+    // more than 25% the wrong way against the previous run. The flag is
+    // informational (the SLO gate is the hard line): trend noise on a
+    // shared CI box must not fail the build.
+    let regressed = last
+        .as_ref()
+        .map(|j| {
+            let prev_p99 = j.get("enrol_p99_ms").and_then(Json::as_f64).unwrap_or(p99);
+            let prev_sps = j.get("enrol_sps").and_then(Json::as_f64).unwrap_or(sps);
+            p99 > prev_p99 * 1.25 || sps < prev_sps * 0.75
+        })
+        .unwrap_or(false);
+    let line = Json::obj(vec![
+        ("run", Json::Num(run as f64)),
+        ("enrol_p99_ms", Json::Num(p99)),
+        ("enrol_sps", Json::Num(sps)),
+        ("auth_p99_ms", Json::Num(percentile(&auth.latencies_ms, 0.99))),
+        ("fault_p99_ms", Json::Num(percentile(&faults.latencies_ms, 0.99))),
+        ("fault_retransmits", Json::Num(faults.retransmits as f64)),
+        ("slo_all_pass", Json::Bool(all_pass)),
+        ("regressed_vs_prev", Json::Bool(regressed)),
+    ]);
+    let appended = format!("{}{}\n", prior, line.to_string_compact());
+    wavekey_bench::write_results("results/TREND.jsonl", &appended);
+    (run, regressed)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_load.json".to_string());
+    let p99_ms = env_f64("WAVEKEY_SLO_P99_MS", 100.0);
+    let min_sps = env_f64("WAVEKEY_SLO_MIN_SPS", 20.0);
+
+    let log = Arc::new(EventLog::new(512));
+    let memory = Arc::new(MemoryCollector::new());
+    let obs = Obs::new(Arc::new(MultiCollector::new(vec![memory, log.clone()])));
+
+    eprintln!("[load_gen] enrol-heavy mix: {ENROL_SESSIONS} sessions, {TENANTS} Zipf tenants…");
+    let enrol = enrol_mix(&obs);
+    eprintln!("[load_gen] auth-heavy mix: {AUTH_OPS} ops…");
+    let auth = auth_mix(&obs);
+    eprintln!("[load_gen] fault-heavy mix: {FAULT_SESSIONS} sessions ×2 (determinism check)…");
+    let (faults, divergent, deterministic, fault_events) = fault_mix(&obs);
+
+    let mut report = SloReport::new();
+    let enrol_json = enrol.to_json(&mut report, p99_ms, 0.99);
+    let auth_json = auth.to_json(&mut report, p99_ms, 0.99);
+    // The reference fault mixture kills a small tail even with ARQ; the
+    // floor asks recovery to save ≥85% (the soak gate's territory).
+    let faults_json = faults.to_json(&mut report, p99_ms * 4.0, 0.85);
+
+    let sps = enrol.ops_per_s();
+    let sps_pass = sps >= min_sps;
+    let all_pass = report.all_pass() && sps_pass && deterministic && divergent == 0;
+    let (trend_run, regressed) = append_trend(&enrol, &auth, &faults, all_pass);
+
+    for mix in [&enrol, &auth, &faults] {
+        println!(
+            "{:<12} ops {:>4}  ok {:>5.3}  p50 {:>8.3} ms  p99 {:>8.3} ms  {:>7.1} ops/s  rtx {}",
+            mix.name,
+            mix.ops,
+            mix.success_rate(),
+            percentile(&mix.latencies_ms, 0.50),
+            percentile(&mix.latencies_ms, 0.99),
+            mix.ops_per_s(),
+            mix.retransmits,
+        );
+    }
+    println!("sessions/s (enrol)        {sps:.1}  (floor {min_sps})  pass {sps_pass}");
+    println!("timelines deterministic   {deterministic}  ({fault_events} events/run)");
+    println!("divergent-key successes   {divergent}");
+    println!("slo_all_pass              {all_pass}");
+    println!("trend run #{trend_run}, regressed vs prev: {regressed}");
+
+    let json = Json::obj(vec![
+        ("mixes", Json::Arr(vec![enrol_json, auth_json, faults_json])),
+        ("sessions_per_s", Json::Num(sps)),
+        ("min_sessions_per_s", Json::Num(min_sps)),
+        ("slo_p99_ms", Json::Num(p99_ms)),
+        ("slo_all_pass", Json::Bool(all_pass)),
+        ("timelines_deterministic", Json::Bool(deterministic)),
+        ("divergent_key_successes", Json::Num(divergent as f64)),
+        ("fault_events_per_run", Json::Num(fault_events as f64)),
+        ("events_recorded", Json::Num(log.len() as f64)),
+        ("events_dropped", Json::Num(log.dropped() as f64)),
+        ("trend_run", Json::Num(trend_run as f64)),
+        ("regressed_vs_prev", Json::Bool(regressed)),
+        ("top_stacks", top_stacks(&obs, 8)),
+    ]);
+    wavekey_bench::write_results(&out_path, &format!("{}\n", json.to_string_pretty()));
+}

@@ -1,8 +1,11 @@
 //! The observability flight-record report: runs many full-protocol
 //! key-establishment sessions with a live collector attached and writes
 //! the aggregated per-stage latency / seed-mismatch / deadline report to
-//! `results/OBS_session.json`, plus the Prometheus text exposition of
-//! every derived metric to `results/OBS_metrics.prom`.
+//! `results/OBS_session.json`, the Prometheus text exposition of every
+//! derived metric to `results/OBS_metrics.prom`, the per-session causal
+//! event timelines to `results/OBS_events.jsonl`, and the hierarchical
+//! span profile (flamegraph collapsed-stack text) to
+//! `results/OBS_profile.txt`.
 //!
 //! This is the end-to-end demonstration of the `wavekey-obs` pipeline:
 //! `Session` records per-stage spans and a [`wavekey_obs::SessionTrace`]
@@ -38,6 +41,7 @@ fn main() {
     eprintln!("[obs_report] running {sessions} full-protocol sessions…");
     let mut successes = 0usize;
     for _ in 0..sessions {
+        let _attempt = obs.span("establish_key");
         if session.establish_key().is_ok() {
             successes += 1;
         }
@@ -94,4 +98,17 @@ fn main() {
     let report = set.report_json("full_protocol_modp1024");
     write_results("results/OBS_session.json", &report.to_string_pretty());
     write_results("results/OBS_metrics.prom", &obs.prometheus_text());
+
+    // Causal timelines: every machine state transition of every session,
+    // exported deterministically (sessions by id, events by sequence).
+    let events = collector.causal_events();
+    println!("\ncausal events: {} across {sessions} sessions", events.len());
+    write_results(
+        "results/OBS_events.jsonl",
+        &wavekey_obs::event::timelines_jsonl(&events),
+    );
+
+    // Hierarchical span profile in flamegraph collapsed-stack format
+    // (`path;subpath weight`, weight = exclusive microseconds).
+    write_results("results/OBS_profile.txt", &obs.profile_collapsed());
 }

@@ -326,6 +326,32 @@ pub fn run_agreement(
     crate::proto::driver::drive_lockstep(s_m, s_r, config, rng_mobile, rng_server, adversary)
 }
 
+/// [`run_agreement`] plus causal timeline emission: when `obs` is
+/// enabled, both machines emit state-transition events under
+/// `session_id` (actors "mobile" / "server" over one shared sequence)
+/// through [`crate::proto::driver::drive_lockstep_observed`]. With a
+/// disabled handle this is exactly [`run_agreement`].
+///
+/// # Errors
+///
+/// See [`run_agreement`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_agreement_observed(
+    s_m: &[bool],
+    s_r: &[bool],
+    config: &AgreementConfig,
+    rng_mobile: &mut StdRng,
+    rng_server: &mut StdRng,
+    adversary: &mut dyn Adversary,
+    obs: &Obs,
+    session_id: u64,
+) -> Result<AgreementOutcome, AgreementError> {
+    let events = wavekey_obs::EventScope::new(obs, session_id, "driver");
+    crate::proto::driver::drive_lockstep_observed(
+        s_m, s_r, config, rng_mobile, rng_server, adversary, &events,
+    )
+}
+
 /// [`run_agreement`] plus observability: on success the per-stage compute
 /// timings (already measured for the logical clocks) are recorded as
 /// pre-measured spans on `obs`, and success/failure counters are kept.

@@ -60,6 +60,17 @@ impl MessageKind {
         }
     }
 
+    /// Stable lower-case label for metrics and causal event timelines.
+    pub fn label(self) -> &'static str {
+        match self {
+            MessageKind::OtA => "ot_a",
+            MessageKind::OtB => "ot_b",
+            MessageKind::OtE => "ot_e",
+            MessageKind::Challenge => "challenge",
+            MessageKind::Response => "response",
+        }
+    }
+
     /// Parses a wire tag back into a kind (`None` for unknown tags).
     pub fn from_wire(tag: u8) -> Option<MessageKind> {
         match tag {

@@ -24,6 +24,7 @@ use crate::agreement::{
 use crate::bits::hamming_distance;
 use crate::channel::{Adversary, AdversaryAction, Direction};
 use rand::rngs::StdRng;
+use wavekey_obs::EventScope;
 
 /// Runs the full key agreement between two machines in lockstep.
 ///
@@ -43,6 +44,35 @@ pub fn drive_lockstep(
     rng_server: &mut StdRng,
     adversary: &mut dyn Adversary,
 ) -> Result<AgreementOutcome, AgreementError> {
+    drive_lockstep_observed(
+        s_m,
+        s_r,
+        config,
+        rng_mobile,
+        rng_server,
+        adversary,
+        &EventScope::disabled(),
+    )
+}
+
+/// [`drive_lockstep`] with causal timeline emission: both machines bind
+/// actor-tagged views of `events` ("mobile" / "server" sharing one
+/// per-session sequence), so every state transition lands in the scope's
+/// event log. A disabled scope makes this exactly [`drive_lockstep`].
+///
+/// # Errors
+///
+/// See [`drive_lockstep`].
+#[allow(clippy::too_many_arguments)]
+pub fn drive_lockstep_observed(
+    s_m: &[bool],
+    s_r: &[bool],
+    config: &AgreementConfig,
+    rng_mobile: &mut StdRng,
+    rng_server: &mut StdRng,
+    adversary: &mut dyn Adversary,
+    events: &EventScope,
+) -> Result<AgreementOutcome, AgreementError> {
     if s_m.is_empty() || s_m.len() != s_r.len() {
         return Err(AgreementError::BadSeeds);
     }
@@ -51,6 +81,10 @@ pub fn drive_lockstep(
     }
     let mut mobile = MobileAgreement::new(s_m, config, rng_mobile.clone())?;
     let mut server = ServerAgreement::new(s_r, config, rng_server.clone())?;
+    if events.is_enabled() {
+        mobile.bind_events(events.with_actor("mobile"));
+        server.bind_events(events.with_actor("server"));
+    }
     let result = exchange(&mut mobile, &mut server, config, adversary);
     *rng_mobile = mobile.rng().clone();
     *rng_server = server.rng().clone();

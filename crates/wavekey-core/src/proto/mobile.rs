@@ -26,6 +26,7 @@ use wavekey_crypto::ecc::{Bch, CodeOffset};
 use wavekey_crypto::hmac::{hmac_sha256, mac_eq};
 use wavekey_crypto::ot::{OtReceiver, OtSender};
 use wavekey_crypto::rounds;
+use wavekey_obs::EventScope;
 
 /// The mobile party's protocol state machine.
 #[derive(Debug)]
@@ -99,6 +100,13 @@ impl MobileAgreement {
         })
     }
 
+    /// Binds a causal [`EventScope`]: every state transition from here on
+    /// emits a timeline event under this scope's session id. Disabled
+    /// scopes (the default) keep transitions allocation-free.
+    pub fn bind_events(&mut self, scope: EventScope) {
+        self.core.events = scope;
+    }
+
     /// Generates the sequence pairs and the batched OT first message
     /// `M_{A,M}`; transitions `Init → OtRound(0)`.
     ///
@@ -128,7 +136,7 @@ impl MobileAgreement {
         self.ma_prep = d;
         self.core.stages.ot_round_a += d;
         self.sender = Some(sender);
-        self.core.state = State::OtRound(0);
+        self.core.transition(State::OtRound(0));
         Ok(Frame::new(MessageKind::OtA, ma))
     }
 
@@ -191,7 +199,7 @@ impl MobileAgreement {
         self.ma_prep = d;
         self.core.stages.ot_round_a += d;
         self.sender = Some(sender);
-        self.core.state = State::OtRound(0);
+        self.core.transition(State::OtRound(0));
         Ok(Frame::new(MessageKind::OtA, bytes))
     }
 
@@ -222,7 +230,7 @@ impl MobileAgreement {
             Ok(frames) if self.core.config.retry.enabled() => {
                 self.history.push((frame.kind, frames.clone()));
             }
-            Err(_) => self.core.state = State::Failed,
+            Err(_) => self.core.transition(State::Failed),
             _ => {}
         }
         result
@@ -292,7 +300,7 @@ impl MobileAgreement {
         self.mb_prep = d;
         self.core.stages.ot_round_b += d;
         self.receiver = Some(receiver);
-        self.core.state = State::OtRound(1);
+        self.core.transition(State::OtRound(1));
         Ok(Frame::new(MessageKind::OtB, mb))
     }
 
@@ -309,7 +317,7 @@ impl MobileAgreement {
         let me = round_e(sender, self.core.group.get(), &frame.payload).map_err(ot_err)?;
         let d = self.core.spend(t);
         self.core.stages.ot_round_e += d;
-        self.core.state = State::OtRound(2);
+        self.core.transition(State::OtRound(2));
         Ok(Frame::new(MessageKind::OtE, me))
     }
 
@@ -345,7 +353,7 @@ impl MobileAgreement {
         let d = self.core.spend(t);
         self.core.stages.prelim_key += d;
         self.k_m = k_m;
-        self.core.state = State::Reconcile;
+        self.core.transition(State::Reconcile);
         Ok(())
     }
 
@@ -371,7 +379,7 @@ impl MobileAgreement {
         let d = self.core.spend(t);
         self.core.stages.ecc_reconcile += d;
         self.nonce = nonce;
-        self.core.state = State::Confirm;
+        self.core.transition(State::Confirm);
         Ok(Frame::new(MessageKind::Challenge, challenge))
     }
 
@@ -390,7 +398,7 @@ impl MobileAgreement {
         }
         self.key = key;
         self.key_bits = key_bits;
-        self.core.state = State::Done;
+        self.core.transition(State::Done);
         Ok(())
     }
 

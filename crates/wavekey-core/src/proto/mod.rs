@@ -35,6 +35,7 @@ use crate::channel::MessageKind;
 use rand::rngs::StdRng;
 use std::time::Instant;
 use wavekey_crypto::group::DhGroup;
+use wavekey_obs::EventScope;
 
 /// Where a protocol machine currently stands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +53,23 @@ pub enum State {
     Done,
     /// A protocol error occurred; the machine accepts nothing further.
     Failed,
+}
+
+impl State {
+    /// Stable label for causal event timelines.
+    pub fn label(self) -> &'static str {
+        match self {
+            State::Init => "init",
+            State::OtRound(0) => "ot_round_a",
+            State::OtRound(1) => "ot_round_b",
+            State::OtRound(2) => "ot_round_e",
+            State::OtRound(_) => "ot_round",
+            State::Reconcile => "reconcile",
+            State::Confirm => "confirm",
+            State::Done => "done",
+            State::Failed => "failed",
+        }
+    }
 }
 
 /// Per-message arrival deadlines, in absolute protocol seconds (the
@@ -180,6 +198,9 @@ pub(crate) struct PartyCore {
     /// Latest arrival time of any *budgeted* message (the deadline
     /// consumption diagnostic).
     pub(crate) deadline_consumed: f64,
+    /// Causal event emitter for this party (disabled by default: one
+    /// pointer test per transition, no allocation).
+    pub(crate) events: EventScope,
 }
 
 impl PartyCore {
@@ -204,7 +225,16 @@ impl PartyCore {
                 ..AgreementStages::default()
             },
             deadline_consumed: 0.0,
+            events: EventScope::disabled(),
         })
+    }
+
+    /// Move to `state`, emitting a causal state-transition event when an
+    /// [`EventScope`] is bound. Every state assignment in the machines
+    /// goes through here so timelines never miss a transition.
+    pub(crate) fn transition(&mut self, state: State) {
+        self.state = state;
+        self.events.emit_state(state.label());
     }
 
     /// Registers a message arrival: records deadline consumption and

@@ -25,6 +25,7 @@ use wavekey_crypto::ecc::{Bch, CodeOffset};
 use wavekey_crypto::hmac::hmac_sha256;
 use wavekey_crypto::ot::{OtReceiver, OtSender};
 use wavekey_crypto::rounds;
+use wavekey_obs::EventScope;
 
 /// The server party's protocol state machine.
 #[derive(Debug)]
@@ -90,6 +91,13 @@ impl ServerAgreement {
         })
     }
 
+    /// Binds a causal [`EventScope`]: every state transition from here on
+    /// emits a timeline event under this scope's session id. Disabled
+    /// scopes (the default) keep transitions allocation-free.
+    pub fn bind_events(&mut self, scope: EventScope) {
+        self.core.events = scope;
+    }
+
     /// Generates the sequence pairs and the batched OT first message
     /// `M_{A,R}`; transitions `Init → OtRound(0)`.
     ///
@@ -118,7 +126,7 @@ impl ServerAgreement {
         let d = self.core.spend(t);
         self.core.stages.ot_round_a += d;
         self.sender = Some(sender);
-        self.core.state = State::OtRound(0);
+        self.core.transition(State::OtRound(0));
         Ok(Frame::new(MessageKind::OtA, ma))
     }
 
@@ -176,7 +184,7 @@ impl ServerAgreement {
         self.core.spend_shared(d);
         self.core.stages.ot_round_a += d;
         self.sender = Some(sender);
-        self.core.state = State::OtRound(0);
+        self.core.transition(State::OtRound(0));
         Ok(Frame::new(MessageKind::OtA, bytes))
     }
 
@@ -207,7 +215,7 @@ impl ServerAgreement {
             Ok(frames) if self.core.config.retry.enabled() => {
                 self.history.push((frame.kind, frames.clone()));
             }
-            Err(_) => self.core.state = State::Failed,
+            Err(_) => self.core.transition(State::Failed),
             _ => {}
         }
         result
@@ -275,7 +283,7 @@ impl ServerAgreement {
         let d = self.core.spend(t);
         self.core.stages.ot_round_b += d;
         self.receiver = Some(receiver);
-        self.core.state = State::OtRound(1);
+        self.core.transition(State::OtRound(1));
         Ok(Frame::new(MessageKind::OtB, mb))
     }
 
@@ -293,7 +301,7 @@ impl ServerAgreement {
         let me = round_e(sender, self.core.group.get(), &frame.payload).map_err(ot_err)?;
         let d = self.core.spend(t);
         self.core.stages.ot_round_e += d;
-        self.core.state = State::OtRound(2);
+        self.core.transition(State::OtRound(2));
         Ok(Frame::new(MessageKind::OtE, me))
     }
 
@@ -321,7 +329,7 @@ impl ServerAgreement {
         let d = self.core.spend(t);
         self.core.stages.prelim_key += d;
         self.k_r = k_r;
-        self.core.state = State::Reconcile;
+        self.core.transition(State::Reconcile);
         Ok(())
     }
 
@@ -352,7 +360,7 @@ impl ServerAgreement {
         let d = self.core.spend(t);
         self.core.stages.ecc_reconcile += d;
         self.key = key;
-        self.core.state = State::Done;
+        self.core.transition(State::Done);
         Ok(Frame::new(MessageKind::Response, response))
     }
 

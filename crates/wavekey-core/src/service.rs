@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 use wavekey_crypto::batch::ModexpBatch;
-use wavekey_obs::{Obs, SessionTrace};
+use wavekey_obs::{EventScope, Obs, SessionTrace};
 use wavekey_imu::gesture::VolunteerId;
 use wavekey_rfid::channel::TagModel;
 use wavekey_rfid::environment::Environment;
@@ -350,6 +350,10 @@ struct ManagedSession {
     /// Out-of-order deliveries deferred to the back of the queue
     /// (bounded by [`proto::replay_cap`]).
     defers_used: u32,
+    /// Manager-actor causal scope: delivery, recovery, and terminal
+    /// events for this session's timeline (disabled unless the manager
+    /// has an enabled [`Obs`]).
+    events: EventScope,
 }
 
 impl ManagedSession {
@@ -364,6 +368,7 @@ impl ManagedSession {
     /// would time out a silent peer.
     fn transmit(&mut self, adversary: &mut dyn Adversary, direction: Direction, frame: Frame) {
         let to_mobile = direction == Direction::ServerToMobile;
+        let kind_label = frame.kind.label();
         let clean = if self.retry.enabled() { Some(frame.clone()) } else { None };
         let mut attempt = 0u32;
         loop {
@@ -391,6 +396,7 @@ impl ManagedSession {
                     });
                 }
                 AdversaryAction::Duplicate => {
+                    self.events.emit_frame("duplicate", kind_label);
                     let bytes = copy.encode();
                     self.push(InFlight {
                         to_mobile,
@@ -408,7 +414,9 @@ impl ManagedSession {
                 AdversaryAction::Reorder => {
                     // Hold this frame behind the next transmission; a
                     // second reorder releases the first hold.
+                    self.events.emit_frame("reorder_hold", kind_label);
                     if let Some(held) = self.reorder_hold.take() {
+                        self.events.emit("reorder_release");
                         self.in_flight.push_back(held);
                     }
                     self.reorder_hold =
@@ -421,6 +429,7 @@ impl ManagedSession {
                     }
                     attempt += 1;
                     self.retransmits += 1;
+                    self.events.emit_full("retransmit", None, Some(kind_label), Some(attempt as u64));
                     let backoff = self.retry.backoff(attempt);
                     match direction {
                         Direction::MobileToServer => self.mobile.charge(backoff),
@@ -435,6 +444,7 @@ impl ManagedSession {
     fn push(&mut self, msg: InFlight) {
         self.in_flight.push_back(msg);
         if let Some(held) = self.reorder_hold.take() {
+            self.events.emit("reorder_release");
             self.in_flight.push_back(held);
         }
     }
@@ -454,6 +464,12 @@ impl ManagedSession {
         };
         self.nak_budget_used += 1;
         self.retransmits += 1;
+        self.events.emit_full(
+            "nak",
+            None,
+            Some(clean.kind.label()),
+            Some(self.nak_budget_used as u64),
+        );
         let backoff = self.retry.backoff(self.nak_budget_used.min(self.retry.max_retries));
         match direction {
             Direction::MobileToServer => self.mobile.charge(backoff),
@@ -522,11 +538,13 @@ impl ManagedSession {
                     && self.defers_used < replay_cap(&self.retry)
                 {
                     self.defers_used += 1;
+                    self.events.emit_frame("defer", frame.kind.label());
                     self.in_flight.push_back(msg);
                     return None;
                 }
             }
         }
+        self.events.emit_frame("deliver", frame.kind.label());
         let (produced, reply_direction) = if msg.to_mobile {
             (self.mobile.handle(&frame, msg.arrival), Direction::MobileToServer)
         } else {
@@ -550,6 +568,16 @@ impl ManagedSession {
             }));
         }
         None
+    }
+
+    /// Stamps the session's terminal causal event ("complete", "evict",
+    /// or "fail") at the end of its timeline.
+    fn emit_terminal(&self, result: &Result<ManagedOutcome, AgreementError>) {
+        match result {
+            Ok(_) => self.events.emit("complete"),
+            Err(AgreementError::Evicted) => self.events.emit("evict"),
+            Err(_) => self.events.emit("fail"),
+        }
     }
 }
 
@@ -621,9 +649,16 @@ impl SessionManager {
         }
         let mut mobile = MobileAgreement::new(s_m, config, rng_mobile)?;
         let mut server = ServerAgreement::new(s_r, config, rng_server)?;
+        // Bind causal scopes before start() so the first transitions land
+        // in the timeline; `next_id` only advances once the spawn sticks.
+        let id = self.next_id;
+        let events = EventScope::new(&self.obs, id, "manager");
+        if events.is_enabled() {
+            mobile.bind_events(events.with_actor("mobile"));
+            server.bind_events(events.with_actor("server"));
+        }
         let ma_m = mobile.start()?;
         let ma_r = server.start()?;
-        let id = self.next_id;
         self.next_id += 1;
         let mut session = ManagedSession {
             id,
@@ -637,6 +672,7 @@ impl SessionManager {
             retransmits: 0,
             nak_budget_used: 0,
             defers_used: 0,
+            events,
         };
         session.transmit(adversary, Direction::MobileToServer, ma_m);
         session.transmit(adversary, Direction::ServerToMobile, ma_r);
@@ -709,9 +745,14 @@ impl SessionManager {
         let share = t.elapsed().as_secs_f64() / (2.0 * machines.len().max(1) as f64);
         let mut ids = Vec::with_capacity(machines.len());
         for (mut mobile, mut server, pend_m, pend_r) in machines {
+            let id = self.next_id;
+            let events = EventScope::new(&self.obs, id, "manager");
+            if events.is_enabled() {
+                mobile.bind_events(events.with_actor("mobile"));
+                server.bind_events(events.with_actor("server"));
+            }
             let ma_m = mobile.start_commit(pend_m, &results, share)?;
             let ma_r = server.start_commit(pend_r, &results, share)?;
-            let id = self.next_id;
             self.next_id += 1;
             let mut session = ManagedSession {
                 id,
@@ -725,6 +766,7 @@ impl SessionManager {
                 retransmits: 0,
                 nak_budget_used: 0,
                 defers_used: 0,
+                events,
             };
             session.transmit(adversary, Direction::MobileToServer, ma_m);
             session.transmit(adversary, Direction::ServerToMobile, ma_r);
@@ -748,6 +790,7 @@ impl SessionManager {
         match self.sessions[self.cursor].advance(adversary, self.idle_timeout_passes) {
             Some(result) => {
                 let session = self.sessions.remove(self.cursor);
+                session.emit_terminal(&result);
                 self.retransmits_total += session.retransmits;
                 self.finish(session.id, result);
             }
@@ -759,6 +802,8 @@ impl SessionManager {
     /// Steps until every session has completed; returns the number of
     /// successes among all completed sessions.
     pub fn run_to_completion(&mut self, adversary: &mut dyn Adversary) -> usize {
+        let obs = self.obs.clone();
+        let _drive = obs.span("manager_drive");
         while self.step(adversary) {}
         self.successes()
     }
@@ -816,6 +861,7 @@ impl SessionManager {
                         break r;
                     }
                 };
+                session.emit_terminal(&result);
                 (session.retransmits, result)
             }));
             match caught {
@@ -879,6 +925,12 @@ impl SessionManager {
         self.obs.inc("manager_sessions_completed");
         if matches!(result, Err(AgreementError::Evicted)) {
             self.obs.inc("manager_sessions_evicted");
+        }
+        if matches!(result, Err(AgreementError::Worker(_))) {
+            // The session (and its scope) died with the worker: stamp the
+            // post-mortem event on a fresh scope whose sequence starts far
+            // past any live timeline, so it sorts last without colliding.
+            EventScope::starting_at(&self.obs, id, "manager", 1 << 20).emit("worker_panic");
         }
         if let Err(e) = &result {
             // Per-failure-label counter family plus the recoverable /
@@ -1335,6 +1387,47 @@ mod tests {
 
     fn arq_config() -> AgreementConfig {
         AgreementConfig { retry: RetryPolicy::arq(), ..manager_config() }
+    }
+
+    /// Same seeds, same fault plan → byte-identical causal timelines: the
+    /// sharded event log's JSONL export is deterministic, and it carries
+    /// both the machines' state transitions and the manager's recovery
+    /// events.
+    #[test]
+    fn causal_timelines_are_deterministic_under_replayed_faults() {
+        use crate::fault::FaultProfile;
+        use std::sync::Arc;
+        use wavekey_obs::EventLog;
+
+        let run = || {
+            let log = Arc::new(EventLog::new(256));
+            let obs = Obs::new(log.clone());
+            let config = arq_config();
+            let mut manager = SessionManager::new(8);
+            manager.set_obs(obs);
+            let mut plan = FaultPlan::new(42, FaultProfile::reference());
+            for i in 0..6u64 {
+                let (s_m, s_r) = seed_pair(800 + i);
+                manager
+                    .spawn(
+                        &s_m,
+                        &s_r,
+                        &config,
+                        StdRng::seed_from_u64(8100 + i),
+                        StdRng::seed_from_u64(8200 + i),
+                        &mut plan,
+                    )
+                    .expect("spawn");
+            }
+            manager.run_to_completion(&mut plan);
+            log.timelines_jsonl()
+        };
+        let first = run();
+        let second = run();
+        assert!(!first.is_empty(), "timelines were recorded");
+        assert!(first.contains("\"kind\":\"state\""), "machine transitions present");
+        assert!(first.contains("\"kind\":\"deliver\""), "manager deliveries present");
+        assert_eq!(first, second, "timelines byte-identical under a fixed seed");
     }
 
     /// Runs one managed session over `adversary` with `config`; returns

@@ -5,7 +5,7 @@
 //! configuration; every call to [`Session::establish_key`] simulates one
 //! fresh user gesture and runs the complete WaveKey workflow of Fig. 2.
 
-use crate::agreement::{run_agreement, AgreementConfig, AgreementError, AgreementOutcome};
+use crate::agreement::{AgreementConfig, AgreementError, AgreementOutcome};
 use crate::bits::hamming_distance;
 use crate::channel::{Adversary, PassiveChannel};
 use crate::config::WaveKeyConfig;
@@ -514,13 +514,15 @@ impl Session {
         let agreement_config = self.agreement_config();
         trace.deadline_s = Some(agreement_config.gesture_window + agreement_config.tau);
         let mut rng_server = StdRng::seed_from_u64(self.rng.gen());
-        let outcome = run_agreement(
+        let outcome = crate::agreement::run_agreement_observed(
             s_m,
             s_r,
             &agreement_config,
             &mut self.rng,
             &mut rng_server,
             adversary,
+            &self.obs,
+            trace.session_id,
         )?;
         for (name, seconds) in outcome.stages.timings() {
             trace.record_stage(name, seconds);

@@ -8,6 +8,7 @@
 //! post-hoc analysis). [`MultiCollector`] fans records out to several
 //! sinks at once.
 
+use crate::event::CausalEvent;
 use crate::json::Json;
 use crate::span::{EventRecord, SpanRecord};
 use crate::trace::SessionTrace;
@@ -28,6 +29,9 @@ pub trait Collector: Send + Sync {
     fn record_event(&self, _event: &EventRecord) {}
     /// A session completed (successfully or not).
     fn record_session(&self, _trace: &SessionTrace) {}
+    /// A causal event was emitted (see [`crate::event`]). Defaults to a
+    /// no-op so pre-existing collectors keep compiling unchanged.
+    fn record_causal(&self, _event: &CausalEvent) {}
 }
 
 /// The zero-overhead default: discards everything, and tells the handle to
@@ -47,6 +51,7 @@ pub struct MemoryCollector {
     spans: Mutex<Vec<(String, f64)>>,
     events: Mutex<Vec<(String, f64)>>,
     sessions: Mutex<Vec<SessionTrace>>,
+    causal: Mutex<Vec<CausalEvent>>,
 }
 
 impl MemoryCollector {
@@ -69,6 +74,12 @@ impl MemoryCollector {
     pub fn sessions(&self) -> Vec<SessionTrace> {
         self.sessions.lock().expect("sessions poisoned").clone()
     }
+
+    /// All recorded causal events (unbounded; tests and report bins only —
+    /// long-running processes should sink into [`crate::EventLog`]).
+    pub fn causal_events(&self) -> Vec<CausalEvent> {
+        self.causal.lock().expect("causal poisoned").clone()
+    }
 }
 
 impl Collector for MemoryCollector {
@@ -84,6 +95,9 @@ impl Collector for MemoryCollector {
     fn record_session(&self, trace: &SessionTrace) {
         self.sessions.lock().expect("sessions poisoned").push(trace.clone());
     }
+    fn record_causal(&self, event: &CausalEvent) {
+        self.causal.lock().expect("causal poisoned").push(event.clone());
+    }
 }
 
 /// One observability record parsed back from a JSON line.
@@ -95,6 +109,8 @@ pub enum ObsRecord {
     Event(String, f64),
     /// A full session trace.
     Session(SessionTrace),
+    /// A causal timeline event.
+    Causal(CausalEvent),
 }
 
 /// JSON-lines sink: one compact JSON object per record. Write errors are
@@ -148,6 +164,7 @@ impl JsonLinesCollector {
             "session" => Some(ObsRecord::Session(SessionTrace::from_json(
                 json.get("trace")?,
             )?)),
+            "causal" => Some(ObsRecord::Causal(CausalEvent::from_json(&json)?)),
             _ => None,
         }
     }
@@ -181,6 +198,9 @@ impl Collector for JsonLinesCollector {
             ("type", Json::Str("session".into())),
             ("trace", trace.to_json()),
         ]));
+    }
+    fn record_causal(&self, event: &CausalEvent) {
+        self.write_line(&event.to_json());
     }
 }
 
@@ -223,6 +243,11 @@ impl Collector for MultiCollector {
             s.record_session(trace);
         }
     }
+    fn record_causal(&self, event: &CausalEvent) {
+        for s in &self.sinks {
+            s.record_causal(event);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +281,16 @@ mod tests {
         trace.seed_mismatch_bits = Some(4);
         trace.record_stage(stage::ECC_RECONCILE, 0.0011);
         collector.record_session(&trace);
+        let causal = crate::event::CausalEvent {
+            session_id: 11,
+            seq: 2,
+            actor: "manager",
+            kind: "retransmit",
+            state: None,
+            frame: Some("ot_b".into()),
+            n: Some(1),
+        };
+        collector.record_causal(&causal);
         collector.flush();
 
         let text = String::from_utf8(buf.0.lock().expect("buf").clone()).expect("utf8");
@@ -269,6 +304,7 @@ mod tests {
                 ObsRecord::Span("ot_round_a".into(), 0.043),
                 ObsRecord::Event("seed_mismatch_bits".into(), 4.0),
                 ObsRecord::Session(trace),
+                ObsRecord::Causal(causal),
             ]
         );
     }

@@ -24,6 +24,17 @@
 //!   attempt end to end: per-stage timings (see [`stage`]), seed mismatch,
 //!   deadline slack consumed, and outcome. [`TraceSet`] aggregates many
 //!   traces into the `results/OBS_session.json` report.
+//! * **Causal events** — [`event`] adds the bounded, lock-sharded
+//!   [`EventLog`] of per-session [`CausalEvent`] timelines (session id,
+//!   sequence number, actor, state/frame context), emitted through cheap
+//!   per-session [`EventScope`] handles and exported as deterministic
+//!   JSONL.
+//! * **Profiles** — [`profile`] aggregates the RAII spans into a call
+//!   tree keyed by span path (inclusive/exclusive time, counts), exported
+//!   as JSON and flamegraph collapsed-stack text.
+//! * **SLOs** — [`slo`] evaluates declarative objectives (percentile +
+//!   threshold + window + success floor) into error budgets, burn rates,
+//!   and machine-readable verdicts that `ci.sh` gates on.
 //!
 //! ```
 //! use wavekey_obs::{Obs, SessionTrace, stage};
@@ -47,17 +58,23 @@
 #![deny(missing_docs)]
 
 pub mod collector;
+pub mod event;
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod profile;
+pub mod slo;
 pub mod span;
 pub mod trace;
 
 pub use collector::{
     Collector, JsonLinesCollector, MemoryCollector, MultiCollector, NullCollector, ObsRecord,
 };
+pub use event::{CausalEvent, EventLog, EventScope};
 pub use flight::FlightRecorder;
 pub use json::Json;
-pub use metrics::{Histogram, MetricSnapshot, Registry};
+pub use metrics::{Bucket, Histogram, MetricSnapshot, Registry};
+pub use profile::{PathStat, ProfileNode, ProfileStore};
+pub use slo::{SloReport, SloSpec, SloVerdict};
 pub use span::{EventRecord, Obs, SpanGuard, SpanRecord};
 pub use trace::{stage, SessionTrace, StageStats, StageTiming, TraceSet};

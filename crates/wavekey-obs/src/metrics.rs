@@ -69,6 +69,41 @@ impl Histogram {
         lower * (1.0 + (sub as f64 + 0.5) / SUB_BUCKETS as f64)
     }
 
+    /// The inclusive lower edge of a bucket: values `v` with
+    /// `lower_edge ≤ v < upper_edge` land in it (modulo the underflow and
+    /// overflow clamps at the ends).
+    fn bucket_lower_edge(index: usize) -> f64 {
+        let exp = MIN_EXP + (index / SUB_BUCKETS) as i32;
+        let sub = index % SUB_BUCKETS;
+        (exp as f64).exp2() * (1.0 + sub as f64 / SUB_BUCKETS as f64)
+    }
+
+    /// The exclusive upper edge of a bucket (hence a valid Prometheus
+    /// `le=` bound: every sample in the bucket is strictly below it).
+    fn bucket_upper_edge(index: usize) -> f64 {
+        let exp = MIN_EXP + (index / SUB_BUCKETS) as i32;
+        let sub = index % SUB_BUCKETS;
+        (exp as f64).exp2() * (1.0 + (sub as f64 + 1.0) / SUB_BUCKETS as f64)
+    }
+
+    /// The non-empty buckets in value order, with their edges, midpoint
+    /// representatives, and counts. Feeds the Prometheus
+    /// `_bucket{le="..."}` exposition and the bucket-resolution SLO
+    /// evaluator.
+    pub fn buckets(&self) -> Vec<Bucket> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| Bucket {
+                lower: Self::bucket_lower_edge(i),
+                upper: Self::bucket_upper_edge(i),
+                midpoint: Self::bucket_value(i),
+                count: *c as u64,
+            })
+            .collect()
+    }
+
     /// Record one sample. Negative, zero, and non-finite samples all land
     /// in the underflow bucket but still count toward `count`/`sum`.
     pub fn observe(&mut self, value: f64) {
@@ -151,6 +186,19 @@ impl Histogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+}
+
+/// One non-empty histogram bucket (see [`Histogram::buckets`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Inclusive lower edge.
+    pub lower: f64,
+    /// Exclusive upper edge.
+    pub upper: f64,
+    /// Midpoint representative (what [`Histogram::quantile`] answers in).
+    pub midpoint: f64,
+    /// Samples in the bucket.
+    pub count: u64,
 }
 
 /// One metric slot in the registry.
@@ -255,15 +303,19 @@ impl Registry {
         out
     }
 
-    /// Render every metric in Prometheus text exposition format. Histograms
-    /// are rendered as `_count`/`_sum` plus `p50`/`p90`/`p99` quantile
-    /// gauges (summary-style).
+    /// Render every metric in Prometheus text exposition format.
+    /// Histograms are true Prometheus histograms: cumulative
+    /// `_bucket{le="..."}` series over the non-empty log-linear buckets
+    /// (each `le` is the bucket's exclusive upper edge, so the cumulative
+    /// counts are exact), a closing `le="+Inf"` bucket, then `_sum` and
+    /// `_count`.
     ///
     /// Counter / gauge names may carry a Prometheus label suffix —
     /// `wavekey_failures_total{label="timeout_ota"}` — which is preserved
     /// verbatim: sanitization applies to the *family* (the part before
     /// `{`) only, and the `# TYPE` header is emitted once per family, not
-    /// once per labeled series.
+    /// once per labeled series. A labeled histogram merges `le` into the
+    /// existing label set.
     pub fn prometheus_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -288,14 +340,28 @@ impl Registry {
                 }
                 MetricSnapshot::Histogram(h) => {
                     if typed.insert(family.clone()) {
-                        let _ = writeln!(out, "# TYPE {family} summary");
+                        let _ = writeln!(out, "# TYPE {family} histogram");
                     }
-                    for (label, q) in [("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)] {
-                        let _ =
-                            writeln!(out, "{family}{{quantile=\"{label}\"}} {}", h.quantile(q));
+                    // Merge `le` into any pre-existing label suffix.
+                    let bucket_labels = |le: &str| match labels.strip_suffix('}') {
+                        Some(prefix) if !labels.is_empty() => {
+                            format!("{prefix},le=\"{le}\"}}")
+                        }
+                        _ => format!("{{le=\"{le}\"}}"),
+                    };
+                    let mut cumulative = 0u64;
+                    for bucket in h.buckets() {
+                        cumulative += bucket.count;
+                        let _ = writeln!(
+                            out,
+                            "{family}_bucket{} {cumulative}",
+                            bucket_labels(&format!("{}", bucket.upper))
+                        );
                     }
-                    let _ = writeln!(out, "{family}_sum {}", h.sum());
-                    let _ = writeln!(out, "{family}_count {}", h.count());
+                    let _ =
+                        writeln!(out, "{family}_bucket{} {}", bucket_labels("+Inf"), h.count());
+                    let _ = writeln!(out, "{family}_sum{labels} {}", h.sum());
+                    let _ = writeln!(out, "{family}_count{labels} {}", h.count());
                 }
             }
         }
@@ -441,9 +507,88 @@ mod tests {
         assert!(text.contains("# TYPE enroll_total counter"));
         assert!(text.contains("enroll_total 3"));
         assert!(text.contains("# TYPE deadline_budget_seconds gauge"));
-        assert!(text.contains("# TYPE stage_ot_round_a summary"));
+        assert!(text.contains("# TYPE stage_ot_round_a histogram"));
         assert!(text.contains("stage_ot_round_a_count 1"));
-        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("stage_ot_round_a_bucket{le=\"+Inf\"} 1"));
+        // 0.05 lands in [0.048828125, 0.05078125): exponent −5, sub-bucket 9.
+        assert!(text.contains("stage_ot_round_a_bucket{le=\"0.05078125\"} 1"), "{text}");
+        assert!(text.contains("stage_ot_round_a_sum 0.05"));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative_and_label_aware() {
+        let reg = Registry::new();
+        for v in [0.5, 0.5, 3.0] {
+            reg.observe("lat{tenant=\"a\"}", v);
+        }
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE lat histogram"));
+        // 0.5 is an exact lower edge (2^-1, sub 0): upper edge 0.53125.
+        assert!(text.contains("lat_bucket{tenant=\"a\",le=\"0.53125\"} 2"), "{text}");
+        // 3.0 is the lower edge of (2^1, sub 8): upper edge 3.125; the
+        // cumulative count includes the two earlier samples.
+        assert!(text.contains("lat_bucket{tenant=\"a\",le=\"3.125\"} 3"), "{text}");
+        assert!(text.contains("lat_bucket{tenant=\"a\",le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_sum{tenant=\"a\"} 4"));
+        assert!(text.contains("lat_count{tenant=\"a\"} 3"));
+        assert_eq!(text.matches("# TYPE lat histogram").count(), 1);
+    }
+
+    #[test]
+    fn bucket_boundaries_pin_power_of_two_edges() {
+        // Every power of two is the inclusive lower edge of its
+        // exponent's sub-bucket 0, and a value just below it lands in the
+        // previous exponent's top sub-bucket.
+        for exp in -16i32..=16 {
+            let v = (exp as f64).exp2();
+            let idx = Histogram::bucket_index(v);
+            assert_eq!(idx, ((exp - MIN_EXP) as usize) * SUB_BUCKETS, "2^{exp}");
+            assert_eq!(Histogram::bucket_lower_edge(idx), v, "2^{exp} lower edge");
+            assert_eq!(
+                Histogram::bucket_upper_edge(idx),
+                v * (1.0 + 1.0 / SUB_BUCKETS as f64),
+                "2^{exp} upper edge"
+            );
+            let below = v * (1.0 - 1e-12);
+            assert_eq!(
+                Histogram::bucket_index(below),
+                ((exp - 1 - MIN_EXP) as usize) * SUB_BUCKETS + (SUB_BUCKETS - 1),
+                "just below 2^{exp}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_edges_bracket_every_sample() {
+        // Seeded LCG sweep: every sample must satisfy
+        // lower ≤ v < upper for its own bucket, and the bucket list must
+        // partition the sample set exactly.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut h = Histogram::new();
+        let mut samples = Vec::new();
+        for _ in 0..4096 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Spread over ~12 powers of two around seconds-scale timings.
+            let v = 1e-4 * (1.0 + (state >> 40) as f64 / 1e3);
+            let idx = Histogram::bucket_index(v);
+            assert!(
+                Histogram::bucket_lower_edge(idx) <= v && v < Histogram::bucket_upper_edge(idx),
+                "{v} not inside bucket {idx}"
+            );
+            h.observe(v);
+            samples.push(v);
+        }
+        let buckets = h.buckets();
+        assert_eq!(buckets.iter().map(|b| b.count).sum::<u64>(), 4096);
+        for b in &buckets {
+            let exact = samples.iter().filter(|v| b.lower <= **v && **v < b.upper).count();
+            assert_eq!(exact as u64, b.count, "bucket [{}, {})", b.lower, b.upper);
+            assert!(b.lower < b.midpoint && b.midpoint < b.upper);
+        }
+        // Ascending, non-overlapping.
+        for pair in buckets.windows(2) {
+            assert!(pair[0].upper <= pair[1].lower + 1e-18);
+        }
     }
 
     #[test]

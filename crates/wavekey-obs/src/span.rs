@@ -10,10 +10,20 @@
 //! Span timings use [`std::time::Instant`], the monotonic clock.
 
 use crate::collector::Collector;
+use crate::event::CausalEvent;
 use crate::metrics::Registry;
+use crate::profile::{PathStat, ProfileStore};
 use crate::trace::SessionTrace;
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
+
+thread_local! {
+    /// The spans currently open on this thread, outermost first. Touched
+    /// only on the *enabled* path — a disabled handle never reaches it, so
+    /// the disabled span cost stays one pointer test.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = RefCell::new(Vec::new());
+}
 
 /// A completed span: a named duration.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +46,33 @@ pub struct EventRecord {
 struct Inner {
     collector: Arc<dyn Collector>,
     registry: Registry,
+    profile: ProfileStore,
+}
+
+impl Inner {
+    /// Record a span's time both flat (collector + `span.{name}`
+    /// histogram, as always) and hierarchically under `path` (the
+    /// `;`-joined ancestry) in the profile store.
+    fn record_span_at(&self, name: &'static str, path: &str, seconds: f64) {
+        self.collector.record_span(&SpanRecord { name, seconds });
+        self.registry.observe(&format!("span.{name}"), seconds);
+        self.profile.record(path, seconds);
+    }
+}
+
+/// The current thread's span path with `name` appended (`;`-joined).
+fn path_with(name: &str) -> String {
+    SPAN_STACK.with(|stack| {
+        let stack = stack.borrow();
+        if stack.is_empty() {
+            name.to_string()
+        } else {
+            let mut path = stack.join(";");
+            path.push(';');
+            path.push_str(name);
+            path
+        }
+    })
 }
 
 /// Observability handle passed into instrumented code.
@@ -66,7 +103,13 @@ impl Obs {
         if !collector.is_enabled() {
             return Obs::disabled();
         }
-        Obs { inner: Some(Arc::new(Inner { collector, registry: Registry::new() })) }
+        Obs {
+            inner: Some(Arc::new(Inner {
+                collector,
+                registry: Registry::new(),
+                profile: ProfileStore::new(),
+            })),
+        }
     }
 
     /// Convenience: an enabled handle with a [`crate::MemoryCollector`],
@@ -82,18 +125,30 @@ impl Obs {
     }
 
     /// Open an RAII span; the duration is recorded when the guard drops.
-    /// On a disabled handle this does not even read the clock.
+    /// On a disabled handle this does not even read the clock. When
+    /// enabled, the span also joins the thread's open-span stack, so its
+    /// closing time is attributed hierarchically in the profile call tree
+    /// (see [`crate::profile`]).
     pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
-        SpanGuard { live: self.inner.as_deref().map(|inner| (inner, name, Instant::now())) }
+        SpanGuard {
+            live: self.inner.as_deref().map(|inner| {
+                let depth = SPAN_STACK.with(|stack| {
+                    let mut stack = stack.borrow_mut();
+                    stack.push(name);
+                    stack.len() - 1
+                });
+                (inner, name, Instant::now(), depth)
+            }),
+        }
     }
 
     /// Record an already-measured duration as a span (used where code
     /// already times a stage for protocol-logic reasons, e.g. the
-    /// agreement's logical clocks — avoids double clock reads).
+    /// agreement's logical clocks — avoids double clock reads). Attributes
+    /// as a leaf under the spans currently open on this thread.
     pub fn record_duration(&self, name: &'static str, seconds: f64) {
         if let Some(inner) = self.inner.as_deref() {
-            inner.collector.record_span(&SpanRecord { name, seconds });
-            inner.registry.observe(&format!("span.{name}"), seconds);
+            inner.record_span_at(name, &path_with(name), seconds);
         }
     }
 
@@ -154,6 +209,36 @@ impl Obs {
         }
     }
 
+    /// Forward a causal event to the collector (see [`crate::event`]).
+    /// Instrumented code normally goes through an
+    /// [`crate::event::EventScope`], which stamps the causal identity and
+    /// calls this.
+    pub fn causal(&self, event: &CausalEvent) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.collector.record_causal(event);
+        }
+    }
+
+    /// Snapshot of the hierarchical span profile: `(path, stat)` sorted by
+    /// path (empty when disabled or nothing has been recorded).
+    pub fn profile_snapshot(&self) -> Vec<(String, PathStat)> {
+        self.inner.as_deref().map(|inner| inner.profile.snapshot()).unwrap_or_default()
+    }
+
+    /// The profile as flamegraph collapsed-stack text (empty when
+    /// disabled).
+    pub fn profile_collapsed(&self) -> String {
+        crate::profile::collapsed(&self.profile_snapshot())
+    }
+
+    /// The profile as a JSON call tree (`Json::Null` when disabled).
+    pub fn profile_json(&self) -> crate::json::Json {
+        if self.inner.is_none() {
+            return crate::json::Json::Null;
+        }
+        crate::profile::report_json(&self.profile_snapshot())
+    }
+
     /// Run `f` against the registry, if enabled (snapshotting, exporting).
     pub fn with_registry<T>(&self, f: impl FnOnce(&Registry) -> T) -> Option<T> {
         self.inner.as_deref().map(|inner| f(&inner.registry))
@@ -168,7 +253,7 @@ impl Obs {
 /// RAII guard returned by [`Obs::span`]; records the span on drop.
 #[must_use = "a span guard measures until it is dropped"]
 pub struct SpanGuard<'a> {
-    live: Option<(&'a Inner, &'static str, Instant)>,
+    live: Option<(&'a Inner, &'static str, Instant, usize)>,
 }
 
 impl SpanGuard<'_> {
@@ -178,10 +263,23 @@ impl SpanGuard<'_> {
     }
 
     fn close(&mut self) -> f64 {
-        if let Some((inner, name, start)) = self.live.take() {
+        if let Some((inner, name, start, depth)) = self.live.take() {
             let seconds = start.elapsed().as_secs_f64();
-            inner.collector.record_span(&SpanRecord { name, seconds });
-            inner.registry.observe(&format!("span.{name}"), seconds);
+            // Pop this span off the thread's stack and take the ancestry
+            // as the profile path. RAII guards nest LIFO; if a guard was
+            // held across manual stack surgery (another thread's guard
+            // moved here, say) fall back to attributing at the root.
+            let path = SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if stack.get(depth).copied() == Some(name) {
+                    let path = stack[..=depth].join(";");
+                    stack.truncate(depth);
+                    path
+                } else {
+                    name.to_string()
+                }
+            });
+            inner.record_span_at(name, &path, seconds);
             seconds
         } else {
             0.0
@@ -261,6 +359,87 @@ mod tests {
         assert!(text.contains("sessions_success 1"));
         assert!(text.contains("stage_ot_round_a_count 1"));
         assert!(text.contains("seed_mismatch_ratio_count 1"));
+    }
+
+    #[test]
+    fn nested_spans_build_hierarchical_profile_paths() {
+        let (obs, _mem) = Obs::with_memory();
+        {
+            let _outer = obs.span("outer");
+            {
+                let _inner = obs.span("inner");
+                obs.record_duration("leaf", 0.25);
+            }
+            obs.record_duration("sibling", 0.5);
+        }
+        obs.record_duration("root_leaf", 0.125);
+        let snap = obs.profile_snapshot();
+        let paths: Vec<&str> = snap.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec!["outer", "outer;inner", "outer;inner;leaf", "outer;sibling", "root_leaf"]
+        );
+        let leaf = snap.iter().find(|(p, _)| p == "outer;inner;leaf").expect("leaf");
+        assert_eq!(leaf.1.count, 1);
+        assert_eq!(leaf.1.total_s, 0.25);
+        // Exports exist and contain the paths.
+        assert!(obs.profile_collapsed().contains("outer;inner;leaf "));
+        let json = obs.profile_json();
+        assert!(json.get("tree").is_some());
+        // Flat span recording is unchanged: names stay bare.
+        let text = obs.prometheus_text();
+        assert!(text.contains("span_leaf_count 1"));
+    }
+
+    #[test]
+    fn disabled_handle_has_empty_profile_and_inert_causal() {
+        let obs = Obs::disabled();
+        {
+            let _g = obs.span("x");
+        }
+        obs.record_duration("y", 1.0);
+        assert!(obs.profile_snapshot().is_empty());
+        assert_eq!(obs.profile_collapsed(), "");
+        assert_eq!(obs.profile_json(), crate::json::Json::Null);
+        obs.causal(&CausalEvent {
+            session_id: 1,
+            seq: 0,
+            actor: "manager",
+            kind: "deliver",
+            state: None,
+            frame: None,
+            n: None,
+        });
+    }
+
+    #[test]
+    fn causal_events_reach_the_collector() {
+        let (obs, mem) = Obs::with_memory();
+        let scope = crate::event::EventScope::new(&obs, 42, "mobile");
+        scope.emit_state("ot_round_a");
+        scope.emit_state("done");
+        let events = mem.causal_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].session_id, 42);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].state.as_deref(), Some("done"));
+    }
+
+    #[test]
+    fn profile_paths_are_per_thread() {
+        let (obs, _mem) = Obs::with_memory();
+        let _outer = obs.span("main_only");
+        let handle = {
+            let obs = obs.clone();
+            std::thread::spawn(move || {
+                // This thread's stack is empty: no "main_only" ancestry.
+                let _g = obs.span("worker");
+            })
+        };
+        handle.join().expect("thread");
+        let snap = obs.profile_snapshot();
+        assert!(snap.iter().any(|(p, _)| p == "worker"));
+        assert!(!snap.iter().any(|(p, _)| p == "main_only;worker"));
     }
 
     #[test]

@@ -230,7 +230,9 @@ pub struct TraceSet {
 
 /// Exact percentile over a sorted sample slice (nearest-rank with linear
 /// interpolation, matching `wavekey_math::stats::percentile` semantics).
-fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+/// Shared with the SLO engine ([`crate::slo`]), which reports the
+/// observed value at each objective percentile.
+pub(crate) fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -510,5 +512,25 @@ mod tests {
         let ratio = mismatch.get("mean_ratio").and_then(Json::as_f64).expect("ratio");
         assert!((ratio - 3.0 / 48.0).abs() < 1e-12);
         assert_eq!(report.get("traces").and_then(Json::as_arr).map(<[Json]>::len), Some(100));
+    }
+
+    #[test]
+    fn percentile_interpolation_pins_exact_values() {
+        // Rank = q · (n − 1), linearly interpolated between neighbours.
+        let sorted: Vec<f64> = (1..=5).map(|v| v as f64).collect();
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 5.0);
+        assert_eq!(percentile_sorted(&sorted, 0.5), 3.0);
+        // q=0.6 → rank 2.4 → 3 + 0.4·(4−3) = 3.4.
+        assert!((percentile_sorted(&sorted, 0.6) - 3.4).abs() < 1e-12);
+        // q=0.9 over 1..=100 → rank 89.1 → 90.1.
+        let big: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert!((percentile_sorted(&big, 0.9) - 90.1).abs() < 1e-9);
+        // Degenerates.
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+        assert_eq!(percentile_sorted(&[7.0], 0.99), 7.0);
+        // Out-of-range q clamps.
+        assert_eq!(percentile_sorted(&sorted, -1.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 2.0), 5.0);
     }
 }

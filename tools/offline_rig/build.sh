@@ -14,6 +14,10 @@
 #   tools/offline_rig/build.sh test        # ... + compile & run all tests
 #   tools/offline_rig/build.sh bin NAME... # ... + build bench bins by name
 #   tools/offline_rig/build.sh run NAME [ARGS...]  # build bin and run it
+#
+# Any crates/wavekey-bench/src/bin/NAME.rs builds via `bin`/`run` — e.g.
+# `run load_gen target/ci-bench-load.json` drives the ci.sh SLO gate and
+# `run obs_report` regenerates the results/OBS_* artifacts.
 set -euo pipefail
 
 ROOT=$(cd "$(dirname "$0")/../.." && pwd)
