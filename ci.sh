@@ -283,4 +283,45 @@ echo "sessions/s $slo_sps, slo_all_pass=$slo_pass, timelines_deterministic=$slo_
 [[ "$slo_pass" == "true" ]] \
     || { echo "FAIL: an SLO verdict failed (see $LOAD_JSON)" >&2; exit 1; }
 echo "OK: all traffic mixes hold their SLOs with deterministic timelines"
+
+echo "== gateway soak gate =="
+# The async-gateway contract at fleet scale: WAVEKEY_GATEWAY_SESSIONS
+# (default 100,000) sessions all in flight at once through one event
+# loop must every one complete with matching mobile/gateway keys
+# (divergent_keys == 0), peak_in_flight must reach the fleet size (the
+# soak measures genuine concurrency, not a trickle), peak RSS must stay
+# under WAVEKEY_GATEWAY_MAX_RSS_MB, a strided lockstep mirror must be
+# bit-identical (byte chunking never reaches the machines), lossless
+# stream faults must change no key, and the lossy arm may evict but
+# never corrupt. The bench appends the run to results/TREND.jsonl.
+GW_JSON="$ROOT/target/ci-bench-gateway.json"
+tools/offline_rig/build.sh run gateway_soak "$GW_JSON" >/dev/null
+
+gw_sessions=$(field_of "sessions" "$GW_JSON")
+gw_completed=$(field_of "completed" "$GW_JSON")
+gw_peak=$(field_of "peak_in_flight" "$GW_JSON")
+gw_div=$(field_of "divergent_keys" "$GW_JSON")
+gw_rss=$(field_of "peak_rss_mb" "$GW_JSON")
+gw_rss_pass=$(field_of "rss_pass" "$GW_JSON")
+gw_lockstep=$(field_of "lockstep_bit_identical" "$GW_JSON")
+gw_lossless=$(field_of "lossless_keys_identical" "$GW_JSON")
+gw_lossy_div=$(field_of "lossy_divergent" "$GW_JSON")
+gw_pass=$(field_of "gateway_soak_pass" "$GW_JSON")
+[[ -n "$gw_sessions" && -n "$gw_completed" && -n "$gw_div" && -n "$gw_pass" ]] \
+    || { echo "gateway soak produced no verdicts" >&2; exit 1; }
+echo "sessions $gw_sessions: completed $gw_completed, peak_in_flight $gw_peak, divergent $gw_div"
+echo "peak RSS ${gw_rss} MiB (pass $gw_rss_pass), lockstep_bit_identical=$gw_lockstep, lossless_keys_identical=$gw_lossless, lossy divergent $gw_lossy_div"
+[[ "$gw_completed" == "$gw_sessions" ]] \
+    || { echo "FAIL: not every gateway session completed" >&2; exit 1; }
+[[ "$gw_div" == "0" && "$gw_lossy_div" == "0" ]] \
+    || { echo "FAIL: a gateway session completed with divergent keys" >&2; exit 1; }
+[[ "$gw_lockstep" == "true" ]] \
+    || { echo "FAIL: gateway keys diverge from the lockstep driver" >&2; exit 1; }
+[[ "$gw_lossless" == "true" ]] \
+    || { echo "FAIL: lossless stream faults perturbed a key" >&2; exit 1; }
+[[ "$gw_rss_pass" == "true" ]] \
+    || { echo "FAIL: gateway soak exceeded the memory ceiling" >&2; exit 1; }
+[[ "$gw_pass" == "true" ]] \
+    || { echo "FAIL: gateway soak gate failed (see $GW_JSON)" >&2; exit 1; }
+echo "OK: the gateway holds $gw_sessions concurrent sessions with lockstep-identical keys"
 echo "== done =="

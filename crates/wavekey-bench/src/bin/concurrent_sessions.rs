@@ -24,7 +24,6 @@
 //! `results/BENCH_throughput.json` (consumed by the CI throughput gate).
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
 use wavekey_core::agreement::{run_agreement, AgreementConfig};
 use wavekey_core::channel::{Adversary, PassiveChannel};
@@ -33,19 +32,15 @@ use wavekey_core::SessionManager;
 const SESSIONS: u64 = 48;
 const SEED_LEN: usize = 24;
 
+// One gesture-channel bit error per session: inside the BCH budget,
+// so reconciliation works for every session and success counts are
+// deterministic.
 fn seed_pair(base: u64) -> (Vec<bool>, Vec<bool>) {
-    let mut rng = StdRng::seed_from_u64(0xC0DE + base);
-    let s_m: Vec<bool> = (0..SEED_LEN).map(|_| rng.gen()).collect();
-    let mut s_r = s_m.clone();
-    // One gesture-channel bit error per session: inside the BCH budget,
-    // so reconciliation works for every session and success counts are
-    // deterministic.
-    s_r[(base as usize) % SEED_LEN] ^= true;
-    (s_m, s_r)
+    wavekey_bench::traffic::seed_pair(0xC0DE, base, SEED_LEN)
 }
 
 fn rngs(i: u64) -> (StdRng, StdRng) {
-    (StdRng::seed_from_u64(0xA11CE + i), StdRng::seed_from_u64(0xB0B + i))
+    wavekey_bench::traffic::rng_pair(0xA11CE, 0xB0B, i)
 }
 
 /// Spawns the benchmark's standard batch of sessions into a fresh manager.

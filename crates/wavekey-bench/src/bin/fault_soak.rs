@@ -26,7 +26,7 @@
 //! front-end absorbs them without panicking.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wavekey_bench::traffic::soak_config;
 use wavekey_core::agreement::{run_agreement, AgreementConfig, RetryPolicy};
 use wavekey_core::channel::PassiveChannel;
 use wavekey_core::fault::{FaultPlan, FaultProfile};
@@ -46,22 +46,18 @@ const SESSIONS: u64 = 96;
 const SEED_LEN: usize = 24;
 const FAULT_SEED: u64 = 0xFA_117;
 
+// One gesture-channel bit error per seed pair: inside the BCH budget,
+// so every session agrees when the wire cooperates.
 fn seed_pair(base: u64) -> (Vec<bool>, Vec<bool>) {
-    let mut rng = StdRng::seed_from_u64(0xC0DE + base);
-    let s_m: Vec<bool> = (0..SEED_LEN).map(|_| rng.gen()).collect();
-    let mut s_r = s_m.clone();
-    // One gesture-channel bit error: inside the BCH budget, so every
-    // session agrees when the wire cooperates.
-    s_r[(base as usize) % SEED_LEN] ^= true;
-    (s_m, s_r)
+    wavekey_bench::traffic::seed_pair(0xC0DE, base, SEED_LEN)
 }
 
 fn rngs(i: u64) -> (StdRng, StdRng) {
-    (StdRng::seed_from_u64(0xA11CE + i), StdRng::seed_from_u64(0xB0B + i))
+    wavekey_bench::traffic::rng_pair(0xA11CE, 0xB0B, i)
 }
 
 fn config(retry: RetryPolicy) -> AgreementConfig {
-    AgreementConfig { use_tiny_group: true, tau: 10.0, bch_t: 5, retry, ..Default::default() }
+    soak_config(retry)
 }
 
 /// Spawns the soak batch and drives it to completion under `adversary`.

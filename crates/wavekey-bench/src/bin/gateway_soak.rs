@@ -1,0 +1,285 @@
+//! Gateway soak: a 100k-session concurrent fleet through the async
+//! `wavekey-gateway` event loop, with lockstep-equivalence, fault, and
+//! memory gates. Writes `results/BENCH_gateway.json` (consumed by the
+//! ci.sh gateway soak gate) and appends a trend line to
+//! `results/TREND.jsonl`.
+//!
+//! ```text
+//! cargo run --release -p wavekey-bench --bin gateway_soak [out_path]
+//! ```
+//!
+//! Four deterministic arms over the tiny test group (the gateway and
+//! framing path, not group arithmetic, is under test):
+//!
+//! 1. **soak** — `WAVEKEY_GATEWAY_SESSIONS` (default 100,000) fault-free
+//!    sessions, all connected before the executor starts, so every
+//!    session is in flight at once: `peak_in_flight` must reach the
+//!    fleet size, every session must complete with matching
+//!    mobile/gateway keys, and peak RSS (`VmHWM`) must stay under
+//!    `WAVEKEY_GATEWAY_MAX_RSS_MB` (default 6144 — the fleet measures
+//!    ≈4.1 GiB at 100k, ≈41 KiB per in-flight session).
+//! 2. **lockstep mirror** — an evenly-strided subsample (~256 sessions)
+//!    of the soak arm is re-run through `drive_lockstep` with mirrored
+//!    seeds and RNG streams; keys must be bit-identical, proving byte
+//!    chunking and interleaving never reach the machines.
+//! 3. **lossless faults** — a smaller fleet under split-read and
+//!    stalled-write injection: every key must equal the fault-free run's.
+//! 4. **lossy faults** — the same fleet plus truncate-and-close: evicted
+//!    sessions are expected, but no surviving session may hold divergent
+//!    keys.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use wavekey_bench::traffic::{env_f64, env_u64, seed_pair};
+use wavekey_core::agreement::{AgreementConfig, AgreementError};
+use wavekey_core::proto::{driver, MobileAgreement};
+use wavekey_core::PassiveChannel;
+use wavekey_gateway::{
+    drive_mobile, server_rng, Executor, Gateway, GatewayConfig, SessionOutcome, SimNet,
+    StreamFaults,
+};
+use wavekey_obs::{Json, Obs};
+
+const SEED_BASE: u64 = 0x6A7E_0000;
+const MOBILE_RNG_BASE: u64 = 0x6A7E_0B11;
+const SEED_LEN: usize = 24;
+
+fn soak_agreement() -> AgreementConfig {
+    AgreementConfig { use_tiny_group: true, tau: 10.0, bch_t: 5, ..Default::default() }
+}
+
+fn mobile_rng(conn_id: u64) -> StdRng {
+    StdRng::seed_from_u64(MOBILE_RNG_BASE + conn_id)
+}
+
+/// One fleet run's aggregate.
+struct FleetStats {
+    /// Client-side results sorted by conn id (1-based, connect order).
+    results: Vec<(u64, Result<Vec<u8>, AgreementError>)>,
+    completed: u64,
+    evicted: u64,
+    failed: u64,
+    peak_live: u64,
+    /// Sessions where the client holds a key the gateway's table
+    /// disagrees with (or never recorded) — the zero-tolerance count.
+    divergent: u64,
+    wall_s: f64,
+}
+
+/// Connects `n` clients, then runs the whole fleet on one deterministic
+/// executor. All connects land in the listener backlog before the first
+/// poll, so the accept loop admits every session before any completes —
+/// the fleet genuinely has `n` sessions in flight at once.
+fn run_fleet(n: u64, faults: impl Fn(u64) -> StreamFaults) -> FleetStats {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let config = GatewayConfig::new(soak_agreement());
+    let agreement = config.agreement.clone();
+    let idle = config.idle_ticks;
+    let gateway = Gateway::new(config, Obs::disabled(), |conn_id| {
+        seed_pair(SEED_BASE, conn_id, SEED_LEN).1
+    });
+    let net = SimNet::new(1 << 16);
+    let mut exec = Executor::new();
+    gateway.listen(&exec.handle(), &net);
+    // The huge timer fires only once everything else has quiesced,
+    // closing the listener so the accept loop (and the run) can end.
+    {
+        let handle = exec.handle();
+        let net = net.clone();
+        exec.spawn(async move {
+            handle.sleep(1_000_000).await;
+            net.close();
+        });
+    }
+    let results = Rc::new(RefCell::new(Vec::with_capacity(n as usize)));
+    let t0 = Instant::now();
+    for i in 0..n {
+        let stream = net.connect_with(faults(i)).expect("listener open");
+        let conn_id = stream.conn_id();
+        let (s_m, _) = seed_pair(SEED_BASE, conn_id, SEED_LEN);
+        let mobile =
+            MobileAgreement::new(&s_m, &agreement, mobile_rng(conn_id)).expect("mobile machine");
+        let handle = exec.handle();
+        let results = Rc::clone(&results);
+        let delay = agreement.channel_delay;
+        exec.spawn(async move {
+            let got = drive_mobile(handle, stream, mobile, delay, idle).await;
+            results.borrow_mut().push((conn_id, got));
+        });
+    }
+    exec.run();
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut results = Rc::try_unwrap(results).expect("all client tasks done").into_inner();
+    results.sort_by_key(|(id, _)| *id);
+    let divergent = results
+        .iter()
+        .filter(|(conn_id, got)| match got {
+            Ok(key) => !matches!(
+                gateway.table().outcome(*conn_id),
+                Some(SessionOutcome::Done(server_key)) if server_key == *key
+            ),
+            Err(_) => false,
+        })
+        .count() as u64;
+    FleetStats {
+        results,
+        completed: gateway.table().completed(),
+        evicted: gateway.table().evicted(),
+        failed: gateway.table().failed(),
+        peak_live: gateway.table().peak_live(),
+        divergent,
+        wall_s,
+    }
+}
+
+/// Peak resident set of this process (`VmHWM`), in MiB.
+fn peak_rss_mb() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse::<f64>().ok())
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// Re-runs an evenly-strided subsample of the soak fleet through the
+/// lockstep driver with mirrored seeds/RNGs; returns
+/// `(checked, all bit-identical)`.
+fn lockstep_mirror(soak: &FleetStats, server_seed: u64) -> (u64, bool) {
+    let n = soak.results.len() as u64;
+    let stride = (n / 256).max(1);
+    let config = soak_agreement();
+    let mut checked = 0u64;
+    let mut identical = true;
+    for (conn_id, got) in soak.results.iter().filter(|(id, _)| (id - 1) % stride == 0) {
+        let Ok(gateway_key) = got else {
+            identical = false;
+            continue;
+        };
+        let (s_m, s_r) = seed_pair(SEED_BASE, *conn_id, SEED_LEN);
+        let mut rng_m = mobile_rng(*conn_id);
+        let mut rng_r = server_rng(server_seed, *conn_id);
+        let outcome = driver::drive_lockstep(
+            &s_m,
+            &s_r,
+            &config,
+            &mut rng_m,
+            &mut rng_r,
+            &mut PassiveChannel,
+        );
+        identical &= matches!(&outcome, Ok(out) if out.key == *gateway_key);
+        checked += 1;
+    }
+    (checked, identical && checked > 0)
+}
+
+/// Appends one gateway line to the `results/TREND.jsonl` run ledger.
+fn append_trend(sessions: u64, sps: f64, rss_mb: f64, pass: bool) -> u64 {
+    let prior = std::fs::read_to_string("results/TREND.jsonl").unwrap_or_default();
+    let run = prior
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .and_then(Json::parse)
+        .as_ref()
+        .and_then(|j| j.get("run"))
+        .and_then(Json::as_f64)
+        .map_or(1, |r| r as u64 + 1);
+    let line = Json::obj(vec![
+        ("run", Json::Num(run as f64)),
+        ("gateway_sessions", Json::Num(sessions as f64)),
+        ("gateway_sps", Json::Num(sps)),
+        ("gateway_peak_rss_mb", Json::Num(rss_mb)),
+        ("gateway_pass", Json::Bool(pass)),
+    ]);
+    let appended = format!("{}{}\n", prior, line.to_string_compact());
+    wavekey_bench::write_results("results/TREND.jsonl", &appended);
+    run
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_gateway.json".to_string());
+    let sessions = env_u64("WAVEKEY_GATEWAY_SESSIONS", 100_000);
+    let fault_sessions = env_u64("WAVEKEY_GATEWAY_FAULT_SESSIONS", 512);
+    let max_rss_mb = env_f64("WAVEKEY_GATEWAY_MAX_RSS_MB", 6144.0);
+    let server_seed = GatewayConfig::new(soak_agreement()).server_seed;
+
+    eprintln!("[gateway_soak] soak arm: {sessions} concurrent fault-free sessions…");
+    let soak = run_fleet(sessions, |_| StreamFaults::none());
+    let sps = if soak.wall_s > 0.0 { sessions as f64 / soak.wall_s } else { 0.0 };
+    let rss_mb = peak_rss_mb();
+    let rss_pass = rss_mb > 0.0 && rss_mb <= max_rss_mb;
+
+    eprintln!("[gateway_soak] lockstep mirror (stride over the soak fleet)…");
+    let (lockstep_checked, lockstep_identical) = lockstep_mirror(&soak, server_seed);
+
+    eprintln!("[gateway_soak] lossless-fault arm: {fault_sessions} sessions…");
+    let lossless = run_fleet(fault_sessions, |i| StreamFaults::lossless(0xFA_57 + i));
+    // Same conn ids, same seeds: splits and stalls must not change keys.
+    let lossless_identical = lossless.results.len() == fault_sessions as usize
+        && lossless
+            .results
+            .iter()
+            .zip(soak.results.iter())
+            .all(|((id_a, a), (id_b, b))| id_a == id_b && a.as_ref().ok() == b.as_ref().ok());
+
+    eprintln!("[gateway_soak] lossy-fault arm: {fault_sessions} sessions…");
+    let lossy = run_fleet(fault_sessions, |i| StreamFaults::lossy(0x10_55 + i));
+
+    let soak_pass = soak.completed == sessions
+        && soak.divergent == 0
+        && soak.peak_live >= sessions
+        && rss_pass
+        && lockstep_identical
+        && lossless_identical
+        && lossy.divergent == 0;
+    let trend_run = append_trend(sessions, sps, rss_mb, soak_pass);
+
+    println!("sessions                {sessions}");
+    println!("completed               {} (evicted {}, failed {})", soak.completed, soak.evicted, soak.failed);
+    println!("peak_in_flight          {}  (floor {sessions})", soak.peak_live);
+    println!("divergent keys          {}", soak.divergent);
+    println!("wall                    {:.2} s  ({sps:.0} sessions/s)", soak.wall_s);
+    println!("peak RSS                {rss_mb:.1} MiB  (ceiling {max_rss_mb:.0})  pass {rss_pass}");
+    println!("lockstep mirror         {lockstep_checked} checked, bit_identical {lockstep_identical}");
+    println!("lossless faults         keys identical {lossless_identical}");
+    println!(
+        "lossy faults            {} completed, {} evicted, {} divergent",
+        lossy.completed, lossy.evicted, lossy.divergent
+    );
+    println!("gateway_soak_pass       {soak_pass}");
+
+    let json = Json::obj(vec![
+        ("sessions", Json::Num(sessions as f64)),
+        ("completed", Json::Num(soak.completed as f64)),
+        ("evicted", Json::Num(soak.evicted as f64)),
+        ("failed", Json::Num(soak.failed as f64)),
+        ("peak_in_flight", Json::Num(soak.peak_live as f64)),
+        ("divergent_keys", Json::Num(soak.divergent as f64)),
+        ("wall_s", Json::Num(soak.wall_s)),
+        ("sessions_per_s", Json::Num(sps)),
+        ("peak_rss_mb", Json::Num(rss_mb)),
+        ("max_rss_mb", Json::Num(max_rss_mb)),
+        ("rss_pass", Json::Bool(rss_pass)),
+        ("lockstep_checked", Json::Num(lockstep_checked as f64)),
+        ("lockstep_bit_identical", Json::Bool(lockstep_identical)),
+        ("lossless_sessions", Json::Num(fault_sessions as f64)),
+        ("lossless_keys_identical", Json::Bool(lossless_identical)),
+        ("lossy_sessions", Json::Num(fault_sessions as f64)),
+        ("lossy_completed", Json::Num(lossy.completed as f64)),
+        ("lossy_evicted", Json::Num(lossy.evicted as f64)),
+        ("lossy_divergent", Json::Num(lossy.divergent as f64)),
+        ("gateway_soak_pass", Json::Bool(soak_pass)),
+        ("trend_run", Json::Num(trend_run as f64)),
+    ]);
+    wavekey_bench::write_results(&out_path, &format!("{}\n", json.to_string_pretty()));
+    if !soak_pass {
+        std::process::exit(1);
+    }
+}

@@ -33,9 +33,10 @@
 //! `slo_all_pass` verdict is what ci.sh gates on.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Instant;
+use wavekey_bench::traffic::{env_f64, percentile, soak_config, Zipf};
 use wavekey_core::agreement::{AgreementConfig, RetryPolicy};
 use wavekey_core::channel::{Adversary, PassiveChannel};
 use wavekey_core::fault::{FaultPlan, FaultProfile};
@@ -53,68 +54,20 @@ const ENROL_WAVE: u64 = 8;
 const AUTH_OPS: u64 = 600;
 const FAULT_SESSIONS: u64 = 96;
 const FAULT_SEED: u64 = 0x10AD_F417;
+const SEED_BASE: u64 = 0x7E4A_47;
+const RNG_BASE_MOBILE: u64 = 0x10AD_A;
+const RNG_BASE_SERVER: u64 = 0x10AD_B;
 
-/// Inverse-CDF Zipf sampler over ranks `0..n` (rank 0 hottest).
-struct Zipf {
-    cdf: Vec<f64>,
-}
-
-impl Zipf {
-    fn new(n: usize, s: f64) -> Zipf {
-        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
-        let total: f64 = weights.iter().sum();
-        let mut acc = 0.0;
-        let cdf = weights
-            .iter()
-            .map(|w| {
-                acc += w / total;
-                acc
-            })
-            .collect();
-        Zipf { cdf }
-    }
-
-    fn sample(&self, rng: &mut StdRng) -> usize {
-        let u: f64 = rng.gen();
-        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
-    }
-}
-
-/// The tenant's gesture-derived seed pair: one in-budget bit flip, like
-/// the fault-soak bench, so every session agrees when the wire allows.
 fn seed_pair(tenant: u64) -> (Vec<bool>, Vec<bool>) {
-    let mut rng = StdRng::seed_from_u64(0x7E4A_47 + tenant);
-    let s_m: Vec<bool> = (0..SEED_LEN).map(|_| rng.gen()).collect();
-    let mut s_r = s_m.clone();
-    s_r[(tenant as usize) % SEED_LEN] ^= true;
-    (s_m, s_r)
+    wavekey_bench::traffic::seed_pair(SEED_BASE, tenant, SEED_LEN)
 }
 
 fn rngs(i: u64) -> (StdRng, StdRng) {
-    (StdRng::seed_from_u64(0x10AD_A + i), StdRng::seed_from_u64(0x10AD_B + i))
+    wavekey_bench::traffic::rng_pair(RNG_BASE_MOBILE, RNG_BASE_SERVER, i)
 }
 
 fn config(retry: RetryPolicy) -> AgreementConfig {
-    AgreementConfig { use_tiny_group: true, tau: 10.0, bch_t: 5, retry, ..Default::default() }
-}
-
-fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-/// Linear-interpolation percentile over an unsorted sample set (ms in,
-/// ms out). Mirrors the obs crate's `percentile_sorted` semantics.
-fn percentile(samples: &[f64], q: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    let frac = rank - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    soak_config(retry)
 }
 
 /// One mix's aggregate: latencies (ms), throughput, and outcome counts.

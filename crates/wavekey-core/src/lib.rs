@@ -58,7 +58,8 @@ pub use channel::{Adversary, Direction, MessageKind, PassiveChannel};
 pub use config::WaveKeyConfig;
 pub use fault::{FaultKind, FaultPlan, FaultProfile, ScheduledFault};
 pub use model::WaveKeyModels;
-pub use proto::{Frame, FrameError, MobileAgreement, ServerAgreement};
+pub use proto::link::{Endpoint, LinkDiscipline};
+pub use proto::{Decoder, Frame, FrameError, MobileAgreement, ServerAgreement};
 pub use seed::SeedGenerator;
 pub use service::{AccessService, DegradePolicy, ManagedOutcome, ServiceTicket, SessionManager};
 pub use session::{ConfigGuard, Session, SessionConfig, SessionOutcome};

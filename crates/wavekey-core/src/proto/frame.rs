@@ -141,6 +141,138 @@ impl Frame {
     }
 }
 
+/// Incremental frame decoder for byte streams.
+///
+/// A connection-oriented transport delivers arbitrary chunks — half a
+/// header here, three frames and a tail there — so the gateway needs a
+/// decoder that accepts any split: [`Decoder::push`] appends bytes,
+/// [`Decoder::next_frame`] pops the next complete frame (or a typed
+/// error for a malformed header, after which the decoder resynchronizes
+/// by scanning forward for the next [`MAGIC`]).
+///
+/// Guarantees:
+///
+/// * **Split-point invariance** — the sequence of `Ok` frames depends
+///   only on the byte stream, never on how it was chunked. (Error
+///   *counts* may differ: a garbage run reports one [`FrameError::BadMagic`]
+///   per scan that discards bytes.)
+/// * **Totality** — no input panics; garbage is skipped, not trusted.
+/// * **Bounded amnesia** — a header whose declared payload never arrives
+///   is indistinguishable from a slow sender, so the decoder waits;
+///   stream owners bound that wait with idle timeouts, not the decoder.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily to keep pops O(1)).
+    start: usize,
+    resyncs: u64,
+}
+
+impl Decoder {
+    /// A fresh decoder with no buffered bytes.
+    pub fn new() -> Decoder {
+        Decoder::default()
+    }
+
+    /// Appends a chunk of received bytes (any split is fine).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes received but not yet consumed as frames or garbage.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// How many times the decoder lost framing and had to scan for the
+    /// next [`MAGIC`].
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Pops the next complete frame.
+    ///
+    /// * `None` — need more bytes (partial header or partial payload).
+    /// * `Some(Err(_))` — malformed bytes at the head of the buffer; the
+    ///   decoder has already skipped them and will resync on the next
+    ///   call. Callers typically count and continue.
+    /// * `Some(Ok(frame))` — one whole frame, consumed from the buffer.
+    pub fn next_frame(&mut self) -> Option<Result<Frame, FrameError>> {
+        if self.seek_magic() {
+            self.resyncs += 1;
+            self.compact();
+            return Some(Err(FrameError::BadMagic));
+        }
+        let w = &self.buf[self.start..];
+        if w.len() < HEADER_LEN {
+            self.compact();
+            return None;
+        }
+        // seek_magic leaves the window either empty, a bare MAGIC[0]
+        // tail, or aligned on the full magic — so the header is at 0.
+        let version = w[2];
+        if version != WIRE_VERSION {
+            return Some(self.reject(FrameError::UnknownVersion(version)));
+        }
+        let Some(kind) = MessageKind::from_wire(w[3]) else {
+            let tag = w[3];
+            return Some(self.reject(FrameError::UnknownKind(tag)));
+        };
+        let declared = u32::from_le_bytes(w[4..8].try_into().expect("4 bytes")) as usize;
+        if declared > MAX_PAYLOAD {
+            return Some(self.reject(FrameError::Oversized(declared)));
+        }
+        if w.len() < HEADER_LEN + declared {
+            self.compact();
+            return None;
+        }
+        let payload = w[HEADER_LEN..HEADER_LEN + declared].to_vec();
+        self.start += HEADER_LEN + declared;
+        self.compact();
+        Some(Ok(Frame { version, kind, payload }))
+    }
+
+    /// Discards bytes until the window starts with a plausible magic (a
+    /// full [`MAGIC`], or its first byte at the very end of the buffer —
+    /// the second byte may still be in flight). Returns whether any
+    /// garbage was discarded.
+    fn seek_magic(&mut self) -> bool {
+        let w = &self.buf[self.start..];
+        let mut skip = 0;
+        while skip < w.len() {
+            if w[skip] == MAGIC[0] && (skip + 1 == w.len() || w[skip + 1] == MAGIC[1]) {
+                break;
+            }
+            skip += 1;
+        }
+        self.start += skip;
+        skip > 0
+    }
+
+    /// The header at the window start is malformed: skip past its magic
+    /// so the next scan cannot trip on the same bytes, and count the
+    /// resync.
+    fn reject(&mut self, err: FrameError) -> Result<Frame, FrameError> {
+        self.start += MAGIC.len();
+        self.resyncs += 1;
+        self.compact();
+        Err(err)
+    }
+
+    /// Reclaims the consumed prefix once it dominates the buffer (or the
+    /// buffer is fully drained), keeping long-lived connections from
+    /// retaining every byte they ever received.
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +382,187 @@ mod tests {
         bytes[0] = b'X';
         assert_eq!(Frame::decode(&bytes).unwrap_err(), FrameError::BadMagic);
         assert_eq!(Frame::peek_kind(&bytes), None);
+    }
+
+    // ----------------------------------------------- streaming decoder
+
+    fn random_frames(rng: &mut StdRng, n: usize, max_len: usize) -> Vec<Frame> {
+        (0..n)
+            .map(|i| {
+                let kind = MessageKind::ALL[i % MessageKind::ALL.len()];
+                let len = rng.gen_range(0..max_len);
+                Frame::new(kind, (0..len).map(|_| rng.gen()).collect())
+            })
+            .collect()
+    }
+
+    /// Feeds `bytes` to a fresh decoder in chunks cut at `rng`-chosen
+    /// split points, returning every Ok frame (errors are tolerated).
+    fn decode_chunked(rng: &mut StdRng, bytes: &[u8], max_chunk: usize) -> (Vec<Frame>, Decoder) {
+        let mut dec = Decoder::new();
+        let mut got = Vec::new();
+        let mut at = 0;
+        while at < bytes.len() {
+            let take = rng.gen_range(1..=max_chunk.min(bytes.len() - at));
+            dec.push(&bytes[at..at + take]);
+            at += take;
+            while let Some(item) = dec.next_frame() {
+                if let Ok(frame) = item {
+                    got.push(frame);
+                }
+            }
+        }
+        (got, dec)
+    }
+
+    #[test]
+    fn streaming_decoder_is_split_point_invariant() {
+        // Seeded split-point fuzz (proptest twin:
+        // `decoder_split_points_do_not_change_frames` in
+        // tests/properties.rs): the same clean byte stream must yield the
+        // same frames no matter how it is chunked, with no resyncs and
+        // nothing left buffered.
+        let mut rng = StdRng::seed_from_u64(0xDECD_E5);
+        for case in 0..60 {
+            let n = rng.gen_range(1..12);
+            let frames = random_frames(&mut rng, n, 300);
+            let stream: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+            for max_chunk in [1usize, 3, 7, 64, stream.len()] {
+                let (got, dec) = decode_chunked(&mut rng, &stream, max_chunk);
+                assert_eq!(got, frames, "case {case} chunk {max_chunk}");
+                assert_eq!(dec.buffered(), 0, "case {case} chunk {max_chunk}");
+                assert_eq!(dec.resyncs(), 0, "case {case} chunk {max_chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_decoder_resyncs_through_garbage() {
+        // Frames separated by junk runs (junk avoids MAGIC[0] so a run
+        // can never fake a header): every frame must still be recovered,
+        // and the decoder must report at least one resync per junk run.
+        let mut rng = StdRng::seed_from_u64(0x6A4B_A6E);
+        for case in 0..40 {
+            let n = rng.gen_range(1..8);
+            let frames = random_frames(&mut rng, n, 128);
+            let mut stream = Vec::new();
+            let mut junk_runs = 0u64;
+            for frame in &frames {
+                if rng.gen_range(0..10) < 7 {
+                    junk_runs += 1;
+                    let len = rng.gen_range(1..40);
+                    stream.extend((0..len).map(|_| loop {
+                        let b: u8 = rng.gen();
+                        if b != MAGIC[0] {
+                            break b;
+                        }
+                    }));
+                }
+                stream.extend(frame.encode());
+            }
+            let (got, dec) = decode_chunked(&mut rng, &stream, 13);
+            assert_eq!(got, frames, "case {case}");
+            assert!(dec.resyncs() >= junk_runs, "case {case}");
+        }
+    }
+
+    #[test]
+    fn streaming_decoder_reports_header_errors_then_recovers() {
+        let good = Frame::new(MessageKind::OtB, vec![0xAA; 9]);
+        // A frame with a rewritten version byte, then an oversized
+        // header, then the good frame. Payload/length bytes avoid 0x57
+        // so the resync scan lands exactly on the good magic.
+        let mut stream = Frame::new(MessageKind::OtA, vec![1, 2, 3]).encode();
+        stream[2] = 9;
+        let mut oversized = Frame::new(MessageKind::OtE, vec![]).encode();
+        oversized[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        stream.extend(oversized);
+        stream.extend(good.encode());
+
+        let mut dec = Decoder::new();
+        dec.push(&stream);
+        let mut errs = Vec::new();
+        let mut frames = Vec::new();
+        while let Some(item) = dec.next_frame() {
+            match item {
+                Ok(f) => frames.push(f),
+                Err(e) => errs.push(e),
+            }
+        }
+        assert_eq!(frames, vec![good]);
+        assert!(errs.contains(&FrameError::UnknownVersion(9)), "{errs:?}");
+        assert!(errs.contains(&FrameError::Oversized(u32::MAX as usize)), "{errs:?}");
+        assert!(dec.resyncs() >= 2);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn streaming_decoder_waits_for_partial_frames() {
+        let frame = Frame::new(MessageKind::Challenge, vec![5u8; 32]);
+        let bytes = frame.encode();
+        let mut dec = Decoder::new();
+        for cut in [1usize, HEADER_LEN - 1, HEADER_LEN, HEADER_LEN + 10] {
+            let mut d = Decoder::new();
+            d.push(&bytes[..cut]);
+            assert!(d.next_frame().is_none(), "cut {cut}");
+            assert_eq!(d.buffered(), cut, "cut {cut}");
+        }
+        dec.push(&bytes[..5]);
+        assert!(dec.next_frame().is_none());
+        dec.push(&bytes[5..]);
+        assert_eq!(dec.next_frame(), Some(Ok(frame)));
+        assert_eq!(dec.buffered(), 0);
+        assert_eq!(dec.resyncs(), 0);
+    }
+
+    #[test]
+    fn streaming_decoder_mutation_fuzz_never_panics() {
+        // Mutate whole multi-frame streams (bit flips, deletions,
+        // splices), then feed them through random chunkings. The decoder
+        // must never panic, and every Ok frame must re-encode cleanly.
+        let mut rng = StdRng::seed_from_u64(0xFA22_DEC);
+        for _ in 0..300 {
+            let n = rng.gen_range(1..6);
+            let frames = random_frames(&mut rng, n, 100);
+            let mut stream: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+            for _ in 0..rng.gen_range(1..10) {
+                match rng.gen_range(0..3) {
+                    0 => {
+                        let idx = rng.gen_range(0..stream.len());
+                        stream[idx] ^= rng.gen_range(1..=u8::MAX);
+                    }
+                    1 => {
+                        let idx = rng.gen_range(0..stream.len());
+                        stream.remove(idx);
+                    }
+                    _ => {
+                        let idx = rng.gen_range(0..=stream.len());
+                        let extra: Vec<u8> =
+                            (0..rng.gen_range(1..16)).map(|_| rng.gen()).collect();
+                        stream.splice(idx..idx, extra);
+                    }
+                }
+            }
+            let (got, _) = decode_chunked(&mut rng, &stream, 17);
+            for frame in got {
+                assert_eq!(frame.version, WIRE_VERSION);
+                assert_eq!(Frame::decode(&frame.encode()), Ok(frame));
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_decoder_compacts_consumed_bytes() {
+        // A long-lived connection must not retain every byte it ever
+        // received: after draining many frames the internal buffer stays
+        // bounded by roughly one frame, not the whole history.
+        let mut dec = Decoder::new();
+        let frame = Frame::new(MessageKind::OtA, vec![7u8; 1024]);
+        for _ in 0..64 {
+            dec.push(&frame.encode());
+            assert_eq!(dec.next_frame(), Some(Ok(frame.clone())));
+            assert_eq!(dec.buffered(), 0);
+        }
     }
 
     #[test]

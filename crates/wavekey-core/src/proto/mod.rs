@@ -23,10 +23,12 @@
 
 pub mod driver;
 pub mod frame;
+pub mod link;
 pub mod mobile;
 pub mod server;
 
-pub use frame::{Frame, FrameError};
+pub use frame::{Decoder, Frame, FrameError};
+pub use link::{Endpoint, LinkDiscipline};
 pub use mobile::MobileAgreement;
 pub use server::ServerAgreement;
 

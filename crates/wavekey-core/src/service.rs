@@ -9,11 +9,12 @@
 //! everything below it (simulation, training, protocol) is wired up by
 //! [`crate::session::Session`].
 
-use crate::agreement::{AgreementConfig, AgreementError, AgreementOutcome, RetryPolicy};
+use crate::agreement::{AgreementConfig, AgreementError, AgreementOutcome};
 use crate::bits::hamming_distance;
 use crate::channel::{Adversary, AdversaryAction, Direction};
 use crate::model::WaveKeyModels;
-use crate::proto::{driver, replay_cap, Frame, MobileAgreement, ServerAgreement, State};
+use crate::proto::link::{Endpoint, LinkDiscipline};
+use crate::proto::{driver, Frame, MobileAgreement, ServerAgreement};
 use crate::session::{Session, SessionConfig, SessionOutcome};
 use crate::Error;
 use rand::rngs::StdRng;
@@ -331,25 +332,25 @@ struct InFlight {
 }
 
 /// One live machine pair under management.
+///
+/// The recovery judgement calls (retransmit budgets, NAK budgets, defer
+/// budgets) live in the shared [`LinkDiscipline`] so the async gateway
+/// enforces the same semantics; what stays here is the channel model —
+/// the in-flight queue, adversary interception, clean-copy checksums,
+/// and reorder holds.
 #[derive(Debug)]
 struct ManagedSession {
     id: u64,
-    mobile: MobileAgreement,
-    server: ServerAgreement,
+    mobile: Endpoint,
+    server: Endpoint,
     channel_delay: f64,
-    retry: RetryPolicy,
+    /// Session-level recovery budgets, shared by both directions.
+    disc: LinkDiscipline,
     in_flight: VecDeque<InFlight>,
     idle_passes: u32,
     /// A frame the adversary reordered: held back until the next frame
     /// goes onto the wire (or the queue drains), then delivered behind it.
     reorder_hold: Option<InFlight>,
-    /// Frames put back on the wire after a drop or a failed delivery.
-    retransmits: u64,
-    /// NAK retransmissions consumed (bounded by [`proto::replay_cap`]).
-    nak_budget_used: u32,
-    /// Out-of-order deliveries deferred to the back of the queue
-    /// (bounded by [`proto::replay_cap`]).
-    defers_used: u32,
     /// Manager-actor causal scope: delivery, recovery, and terminal
     /// events for this session's timeline (disabled unless the manager
     /// has an enabled [`Obs`]).
@@ -369,7 +370,7 @@ impl ManagedSession {
     fn transmit(&mut self, adversary: &mut dyn Adversary, direction: Direction, frame: Frame) {
         let to_mobile = direction == Direction::ServerToMobile;
         let kind_label = frame.kind.label();
-        let clean = if self.retry.enabled() { Some(frame.clone()) } else { None };
+        let clean = if self.disc.enabled() { Some(frame.clone()) } else { None };
         let mut attempt = 0u32;
         loop {
             let send_time = match direction {
@@ -424,13 +425,10 @@ impl ManagedSession {
                     return;
                 }
                 AdversaryAction::Drop => {
-                    if attempt >= self.retry.max_retries {
+                    let Some(backoff) = self.disc.drop_retry(&mut attempt) else {
                         return; // vanished; eviction will claim the session
-                    }
-                    attempt += 1;
-                    self.retransmits += 1;
+                    };
                     self.events.emit_full("retransmit", None, Some(kind_label), Some(attempt as u64));
-                    let backoff = self.retry.backoff(attempt);
                     match direction {
                         Direction::MobileToServer => self.mobile.charge(backoff),
                         Direction::ServerToMobile => self.server.charge(backoff),
@@ -453,24 +451,19 @@ impl ManagedSession {
     /// failure or in-transit corruption). Returns `false` when the budget
     /// is exhausted or no clean copy rode along (retries disabled).
     fn nak(&mut self, adversary: &mut dyn Adversary, msg: &InFlight) -> bool {
-        if !self.retry.enabled() || self.nak_budget_used >= replay_cap(&self.retry) {
-            return false;
-        }
         let Some(clean) = msg.clean.clone() else { return false };
+        let Some(backoff) = self.disc.nak_retry() else { return false };
         let direction = if msg.to_mobile {
             Direction::ServerToMobile
         } else {
             Direction::MobileToServer
         };
-        self.nak_budget_used += 1;
-        self.retransmits += 1;
         self.events.emit_full(
             "nak",
             None,
             Some(clean.kind.label()),
-            Some(self.nak_budget_used as u64),
+            Some(self.disc.nak_budget_used() as u64),
         );
-        let backoff = self.retry.backoff(self.nak_budget_used.min(self.retry.max_retries));
         match direction {
             Direction::MobileToServer => self.mobile.charge(backoff),
             Direction::ServerToMobile => self.server.charge(backoff),
@@ -513,7 +506,7 @@ impl ManagedSession {
                 return Some(Err(AgreementError::Wire(e.to_string())));
             }
         };
-        if self.retry.enabled() {
+        if self.disc.enabled() {
             // Link-layer CRC: the manager *is* the channel, so each
             // delivery can be compared against the clean copy that rode
             // along with it; a mismatch models a checksum failure and is
@@ -533,15 +526,10 @@ impl ManagedSession {
             // missing prerequisite cannot spin forever.
             let expected =
                 if msg.to_mobile { self.mobile.expected_kind() } else { self.server.expected_kind() };
-            if let Some(expected) = expected {
-                if frame.kind.wire_tag() > expected.wire_tag()
-                    && self.defers_used < replay_cap(&self.retry)
-                {
-                    self.defers_used += 1;
-                    self.events.emit_frame("defer", frame.kind.label());
-                    self.in_flight.push_back(msg);
-                    return None;
-                }
+            if self.disc.should_defer(expected, frame.kind) {
+                self.events.emit_frame("defer", frame.kind.label());
+                self.in_flight.push_back(msg);
+                return None;
             }
         }
         self.events.emit_frame("deliver", frame.kind.label());
@@ -557,14 +545,16 @@ impl ManagedSession {
         for out in produced {
             self.transmit(adversary, reply_direction, out);
         }
-        if self.mobile.state() == State::Done {
+        if self.mobile.is_done() {
+            let mobile = self.mobile.as_mobile().expect("mobile endpoint");
+            let server = self.server.as_server().expect("server endpoint");
             let mismatch =
-                hamming_distance(self.mobile.preliminary_key(), self.server.preliminary_key());
+                hamming_distance(mobile.preliminary_key(), server.preliminary_key());
             return Some(Ok(ManagedOutcome {
                 id: self.id,
-                agreement: driver::combine(&self.mobile, &self.server, mismatch),
-                server_key: self.server.key().to_vec(),
-                retransmits: self.retransmits,
+                agreement: driver::combine(mobile, server, mismatch),
+                server_key: server.key().to_vec(),
+                retransmits: self.disc.retransmits(),
             }));
         }
         None
@@ -662,16 +652,13 @@ impl SessionManager {
         self.next_id += 1;
         let mut session = ManagedSession {
             id,
-            mobile,
-            server,
+            mobile: Endpoint::mobile(mobile),
+            server: Endpoint::server(server),
             channel_delay: config.channel_delay,
-            retry: config.retry,
+            disc: LinkDiscipline::new(config.retry),
             in_flight: VecDeque::new(),
             idle_passes: 0,
             reorder_hold: None,
-            retransmits: 0,
-            nak_budget_used: 0,
-            defers_used: 0,
             events,
         };
         session.transmit(adversary, Direction::MobileToServer, ma_m);
@@ -756,16 +743,13 @@ impl SessionManager {
             self.next_id += 1;
             let mut session = ManagedSession {
                 id,
-                mobile,
-                server,
+                mobile: Endpoint::mobile(mobile),
+                server: Endpoint::server(server),
                 channel_delay: config.channel_delay,
-                retry: config.retry,
+                disc: LinkDiscipline::new(config.retry),
                 in_flight: VecDeque::new(),
                 idle_passes: 0,
                 reorder_hold: None,
-                retransmits: 0,
-                nak_budget_used: 0,
-                defers_used: 0,
                 events,
             };
             session.transmit(adversary, Direction::MobileToServer, ma_m);
@@ -791,7 +775,7 @@ impl SessionManager {
             Some(result) => {
                 let session = self.sessions.remove(self.cursor);
                 session.emit_terminal(&result);
-                self.retransmits_total += session.retransmits;
+                self.retransmits_total += session.disc.retransmits();
                 self.finish(session.id, result);
             }
             None => self.cursor += 1,
@@ -862,7 +846,7 @@ impl SessionManager {
                     }
                 };
                 session.emit_terminal(&result);
-                (session.retransmits, result)
+                (session.disc.retransmits(), result)
             }));
             match caught {
                 Ok((retransmits, result)) => (id, retransmits, result),
@@ -982,6 +966,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::agreement::RetryPolicy;
     use crate::config::WaveKeyConfig;
 
     fn service() -> AccessService {

@@ -8,8 +8,32 @@ use wavekey_core::bits::{
     deinterleave, hamming_distance, interleave, mismatch_rate, pack_bits, unpack_bits,
 };
 use wavekey_core::channel::MessageKind;
-use wavekey_core::proto::frame::{FrameError, HEADER_LEN, MAGIC, WIRE_VERSION};
+use wavekey_core::proto::frame::{Decoder, FrameError, HEADER_LEN, MAGIC, WIRE_VERSION};
 use wavekey_core::Frame;
+
+/// Feeds `stream` to a fresh [`Decoder`] cut at `cuts`-chosen split
+/// points, returning the Ok frames (errors tolerated) and the decoder.
+fn decode_at_splits(
+    stream: &[u8],
+    cuts: &[proptest::sample::Index],
+) -> (Vec<Frame>, Decoder) {
+    let mut points: Vec<usize> = cuts.iter().map(|c| c.index(stream.len() + 1)).collect();
+    points.push(0);
+    points.push(stream.len());
+    points.sort_unstable();
+    points.dedup();
+    let mut dec = Decoder::new();
+    let mut got = Vec::new();
+    for pair in points.windows(2) {
+        dec.push(&stream[pair[0]..pair[1]]);
+        while let Some(item) = dec.next_frame() {
+            if let Ok(frame) = item {
+                got.push(frame);
+            }
+        }
+    }
+    (got, dec)
+}
 
 fn any_kind() -> impl Strategy<Value = MessageKind> {
     proptest::sample::select(MessageKind::ALL.to_vec())
@@ -109,6 +133,75 @@ proptest! {
         }
         if let Ok(frame) = Frame::decode(&bytes) {
             prop_assert_eq!(frame.encode(), bytes);
+        }
+    }
+
+    #[test]
+    fn decoder_split_points_do_not_change_frames(
+        kinds in proptest::collection::vec(any_kind(), 1..10),
+        payload_lens in proptest::collection::vec(0usize..300, 1..10),
+        cuts in proptest::collection::vec(any::<proptest::sample::Index>(), 0..24)
+    ) {
+        // Proptest twin of frame.rs's seeded
+        // `streaming_decoder_is_split_point_invariant`: a clean stream
+        // yields the same frames under any chunking, with no resyncs and
+        // no residue.
+        let frames: Vec<Frame> = kinds
+            .iter()
+            .zip(payload_lens.iter().cycle())
+            .map(|(&kind, &len)| Frame::new(kind, vec![0x5A; len]))
+            .collect();
+        let stream: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+        let (got, dec) = decode_at_splits(&stream, &cuts);
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(dec.buffered(), 0);
+        prop_assert_eq!(dec.resyncs(), 0);
+    }
+
+    #[test]
+    fn decoder_resyncs_through_garbage_runs(
+        kinds in proptest::collection::vec(any_kind(), 1..6),
+        junk in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>().prop_filter("not magic", |b| *b != MAGIC[0]), 1..32),
+            1..6
+        ),
+        cuts in proptest::collection::vec(any::<proptest::sample::Index>(), 0..16)
+    ) {
+        // Junk runs (never containing MAGIC[0], so they cannot fake a
+        // header) interleaved between frames: every frame is recovered
+        // in order and the decoder records the losses of sync.
+        let frames: Vec<Frame> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| Frame::new(kind, vec![i as u8; 7]))
+            .collect();
+        let mut stream = Vec::new();
+        let mut runs = 0u64;
+        for (i, frame) in frames.iter().enumerate() {
+            if let Some(j) = junk.get(i % junk.len()) {
+                stream.extend_from_slice(j);
+                runs += 1;
+            }
+            stream.extend(frame.encode());
+        }
+        let (got, dec) = decode_at_splits(&stream, &cuts);
+        prop_assert_eq!(got, frames);
+        prop_assert!(dec.resyncs() >= runs);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_streams(
+        stream in proptest::collection::vec(any::<u8>(), 0..768),
+        cuts in proptest::collection::vec(any::<proptest::sample::Index>(), 0..16)
+    ) {
+        // Totality under arbitrary bytes and arbitrary chunking; any Ok
+        // frame must re-encode to a decodable image of itself.
+        let (got, dec) = decode_at_splits(&stream, &cuts);
+        prop_assert!(dec.buffered() <= stream.len());
+        for frame in got {
+            prop_assert_eq!(frame.version, WIRE_VERSION);
+            let bytes = frame.encode();
+            prop_assert_eq!(Frame::decode(&bytes), Ok(frame));
         }
     }
 

@@ -1,0 +1,819 @@
+//! The async WaveKey gateway.
+//!
+//! [`Gateway`] is the event-loop face of the protocol: it accepts
+//! simulated connections from a [`SimNet`], frames bytes through the
+//! streaming [`Decoder`], and drives one transport-agnostic
+//! [`Endpoint`] (the same session core `SessionManager` uses) per
+//! connection. The sans-IO split does the heavy lifting — machines
+//! never see sockets, the gateway never sees group elements — so a
+//! gateway session's key is **bit-identical** to the lockstep driver's
+//! for the same seeds and RNGs, regardless of how the bytes were
+//! chunked, stalled, or interleaved in flight.
+//!
+//! Concerns handled here, per connection:
+//!
+//! - incremental framing with resync (garbage never kills the loop),
+//! - a bounded write queue: flush-before-read, with eviction when the
+//!   queue overflows or stops draining (`reason="backpressure"`),
+//! - idle eviction on the executor's logical clock — timers only fire
+//!   when the whole system quiesces, so a *slow* peer is never confused
+//!   with a *gone* peer (`reason="idle"`),
+//! - graceful shutdown: new connections are rejected
+//!   (`reason="shutdown"`) while accepted sessions drain to completion,
+//! - start-cost pooling: eligible servers' first exponentiations are
+//!   collected into one cross-session [`ModexpBatch`] flushed at
+//!   `batch_max` or a `batch_ticks` deadline,
+//! - a per-connection [`EventScope`] causal timeline under actor
+//!   `"gateway"`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wavekey_core::agreement::{AgreementConfig, AgreementError};
+use wavekey_core::proto::link::{Endpoint, LinkDiscipline};
+use wavekey_core::proto::{Decoder, Frame, MobileAgreement, ServerAgreement, StartPending};
+use wavekey_crypto::batch::ModexpBatch;
+use wavekey_obs::{EventScope, Obs};
+
+use crate::exec::{race, Either, Handle};
+use crate::stream::{SimNet, SimStream};
+use crate::table::{EvictReason, SessionOutcome, SessionTable};
+
+/// Gateway tuning knobs on top of the protocol's [`AgreementConfig`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Protocol parameters for every session.
+    pub agreement: AgreementConfig,
+    /// Session-table shards (rounded up to a power of two).
+    pub shards: usize,
+    /// Per-connection write-queue byte bound; overflow evicts.
+    pub write_queue_cap: usize,
+    /// Logical ticks a connection may sit idle (no readable bytes, or
+    /// no write progress) before eviction.
+    pub idle_ticks: u64,
+    /// Flush the pooled start batch at this many pending sessions.
+    pub batch_max: usize,
+    /// ... or this many logical ticks after the first pending session.
+    pub batch_ticks: u64,
+    /// Base seed for per-connection server RNG derivation.
+    pub server_seed: u64,
+    /// Per-connection read buffer size in bytes.
+    pub read_buf: usize,
+}
+
+impl GatewayConfig {
+    /// Defaults sized for soak fleets: 64 shards, 64 KiB write queues,
+    /// 32-tick idle budget, 64-session start batches.
+    pub fn new(agreement: AgreementConfig) -> GatewayConfig {
+        GatewayConfig {
+            agreement,
+            shards: 64,
+            write_queue_cap: 1 << 16,
+            idle_ticks: 32,
+            batch_max: 64,
+            batch_ticks: 4,
+            server_seed: 0xC0_F7EE,
+            read_buf: 512,
+        }
+    }
+}
+
+/// The deterministic per-connection server RNG: the soak driver derives
+/// the same stream to mirror a gateway session in the lockstep driver.
+pub fn server_rng(base: u64, conn_id: u64) -> StdRng {
+    StdRng::seed_from_u64(base ^ conn_id.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+}
+
+struct GatewayInner {
+    config: GatewayConfig,
+    obs: Obs,
+    table: SessionTable,
+    accepting: AtomicBool,
+    rejected: AtomicU64,
+    seed_fn: Box<dyn Fn(u64) -> Vec<bool>>,
+}
+
+/// A cloneable handle to one gateway instance.
+#[derive(Clone)]
+pub struct Gateway {
+    inner: Arc<GatewayInner>,
+}
+
+/// A server whose pooled start exponentiations are awaiting the batch.
+struct PendingStart {
+    stream: SimStream,
+    server: ServerAgreement,
+    pending: StartPending,
+    scope: EventScope,
+}
+
+impl Gateway {
+    /// A gateway running `config`, reporting into `obs`, and asking
+    /// `seed_fn(conn_id)` for the server-side RFID seed bits of each
+    /// accepted connection (the deployment's sensing front-end; the
+    /// soak's scripted per-session seeds).
+    pub fn new(
+        config: GatewayConfig,
+        obs: Obs,
+        seed_fn: impl Fn(u64) -> Vec<bool> + 'static,
+    ) -> Gateway {
+        let table = SessionTable::new(config.shards);
+        Gateway {
+            inner: Arc::new(GatewayInner {
+                config,
+                obs,
+                table,
+                accepting: AtomicBool::new(true),
+                rejected: AtomicU64::new(0),
+                seed_fn: Box::new(seed_fn),
+            }),
+        }
+    }
+
+    /// The session table (live gauges and terminal outcomes).
+    pub fn table(&self) -> &SessionTable {
+        &self.inner.table
+    }
+
+    /// Connections rejected (accept-time errors or shutdown).
+    pub fn rejected(&self) -> u64 {
+        self.inner.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Spawns the accept loop onto the executor.
+    pub fn listen(&self, handle: &Handle, net: &SimNet) {
+        let gw = Arc::clone(&self.inner);
+        let net = net.clone();
+        let handle2 = handle.clone();
+        handle.spawn(accept_loop(gw, handle2, net));
+    }
+
+    /// Begins graceful shutdown: the listener refuses new connects,
+    /// queued-but-unaccepted connections are rejected with
+    /// `reason="shutdown"`, and every in-flight session drains to its
+    /// natural end.
+    pub fn shutdown(&self, net: &SimNet) {
+        self.inner.accepting.store(false, Ordering::Relaxed);
+        net.close();
+    }
+}
+
+impl GatewayInner {
+    fn count_evict(&self, reason: EvictReason) {
+        self.obs.with_registry(|r| {
+            r.inc_counter(&format!("wavekey_evictions_total{{reason=\"{}\"}}", reason.label()), 1);
+        });
+    }
+
+    /// Records a gateway eviction and closes the stream.
+    fn evict(&self, id: u64, reason: EvictReason, scope: &EventScope, stream: &SimStream) {
+        self.count_evict(reason);
+        scope.emit_full("evict", Some(reason.label()), None, None);
+        self.table.finish(id, SessionOutcome::Evicted(reason));
+        stream.close();
+    }
+}
+
+async fn accept_loop(gw: Arc<GatewayInner>, handle: Handle, net: SimNet) {
+    // Pooled start batch: only group-shared configs can cross-batch
+    // (tiny test groups are per-machine — same rule as `spawn_many`).
+    let batching = gw.config.agreement.batched_crypto && !gw.config.agreement.use_tiny_group;
+    let mut batch: ModexpBatch<'static> = ModexpBatch::new();
+    let mut pending: Vec<PendingStart> = Vec::new();
+    loop {
+        let accepted = if pending.is_empty() {
+            match net.accept().await {
+                Ok(stream) => Some(stream),
+                Err(_) => None,
+            }
+        } else {
+            match race(net.accept(), handle.sleep(gw.config.batch_ticks)).await {
+                Either::A(Ok(stream)) => Some(stream),
+                Either::A(Err(_)) => None,
+                Either::B(()) => {
+                    let flush = std::mem::take(&mut pending);
+                    flush_starts(&gw, &handle, std::mem::take(&mut batch), flush);
+                    continue;
+                }
+            }
+        };
+        let Some(stream) = accepted else {
+            // Listener closed: flush the stragglers, then stop.
+            let flush = std::mem::take(&mut pending);
+            flush_starts(&gw, &handle, std::mem::take(&mut batch), flush);
+            return;
+        };
+        if !gw.accepting.load(Ordering::Relaxed) {
+            gw.rejected.fetch_add(1, Ordering::Relaxed);
+            gw.count_evict(EvictReason::Shutdown);
+            stream.close();
+            continue;
+        }
+        let conn_id = stream.conn_id();
+        let seed = (gw.seed_fn)(conn_id);
+        let rng = server_rng(gw.config.server_seed, conn_id);
+        let mut server = match ServerAgreement::new(&seed, &gw.config.agreement, rng) {
+            Ok(server) => server,
+            Err(_) => {
+                gw.rejected.fetch_add(1, Ordering::Relaxed);
+                stream.close();
+                continue;
+            }
+        };
+        let scope = EventScope::new(&gw.obs, conn_id, "gateway");
+        if scope.is_enabled() {
+            server.bind_events(scope.with_actor("server"));
+        }
+        scope.emit("accept");
+        gw.obs.inc("gateway_conns_accepted");
+        if batching {
+            match server.start_enqueue(&mut batch) {
+                Ok(pend) => {
+                    pending.push(PendingStart { stream, server, pending: pend, scope });
+                    if pending.len() >= gw.config.batch_max {
+                        let flush = std::mem::take(&mut pending);
+                        flush_starts(&gw, &handle, std::mem::take(&mut batch), flush);
+                    }
+                    continue;
+                }
+                // Inapplicable after all (owned group): fall through to
+                // the scalar start.
+                Err(AgreementError::Config(_)) => {}
+                Err(err) => {
+                    fail_before_start(&gw, &stream, &scope, err);
+                    continue;
+                }
+            }
+        }
+        match server.start() {
+            Ok(first) => spawn_conn(&gw, &handle, stream, server, first, scope),
+            Err(err) => fail_before_start(&gw, &stream, &scope, err),
+        }
+    }
+}
+
+/// Executes the pooled start batch and launches every pending session,
+/// billing each server its amortized share of the batch wall time.
+fn flush_starts(
+    gw: &Arc<GatewayInner>,
+    handle: &Handle,
+    batch: ModexpBatch<'static>,
+    pending: Vec<PendingStart>,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    gw.obs.inc("gateway_start_batches");
+    let t = Instant::now();
+    let results = batch.execute();
+    let share = t.elapsed().as_secs_f64() / pending.len() as f64;
+    for p in pending {
+        let PendingStart { stream, mut server, pending: pend, scope } = p;
+        match server.start_commit(pend, &results, share) {
+            Ok(first) => spawn_conn(gw, handle, stream, server, first, scope),
+            Err(err) => fail_before_start(gw, &stream, &scope, err),
+        }
+    }
+}
+
+/// A session whose machine failed before its first frame: record the
+/// failure so the fleet accounting still sums to the accept count.
+fn fail_before_start(gw: &GatewayInner, stream: &SimStream, scope: &EventScope, err: AgreementError) {
+    let id = stream.conn_id();
+    gw.obs.inc("gateway_sessions_failed");
+    scope.emit("protocol_error");
+    gw.table.insert(id);
+    gw.table.finish(id, SessionOutcome::Failed(err));
+    stream.close();
+}
+
+fn spawn_conn(
+    gw: &Arc<GatewayInner>,
+    handle: &Handle,
+    stream: SimStream,
+    server: ServerAgreement,
+    first: Frame,
+    scope: EventScope,
+) {
+    let gw = Arc::clone(gw);
+    let handle2 = handle.clone();
+    let endpoint = Endpoint::server(server);
+    let disc = LinkDiscipline::new(gw.config.agreement.retry);
+    handle.spawn(serve_conn(gw, handle2, stream, endpoint, disc, first, scope));
+}
+
+/// Drives one accepted connection to a terminal table entry.
+async fn serve_conn(
+    gw: Arc<GatewayInner>,
+    handle: Handle,
+    stream: SimStream,
+    mut server: Endpoint,
+    mut disc: LinkDiscipline,
+    first: Frame,
+    scope: EventScope,
+) {
+    let id = stream.conn_id();
+    let idle = gw.config.idle_ticks;
+    let delay = gw.config.agreement.channel_delay;
+    gw.table.insert(id);
+    let mut wq: VecDeque<u8> = first.encode().into();
+    let mut dec = Decoder::new();
+    let mut held: VecDeque<Frame> = VecDeque::new();
+    let mut buf = vec![0u8; gw.config.read_buf.max(64)];
+    loop {
+        // Flush before reading: replies already owed take priority, and
+        // a queue that cannot drain is the backpressure signal.
+        while !wq.is_empty() {
+            if wq.len() > gw.config.write_queue_cap {
+                return gw.evict(id, EvictReason::Backpressure, &scope, &stream);
+            }
+            wq.make_contiguous();
+            let outcome = {
+                let (front, _) = wq.as_slices();
+                race(stream.write_some(front), handle.sleep(idle)).await
+            };
+            match outcome {
+                Either::A(Ok(n)) => {
+                    wq.drain(..n);
+                }
+                // Peer closed with our reply undelivered — it vanished.
+                Either::A(Err(_)) => return gw.evict(id, EvictReason::Idle, &scope, &stream),
+                // No write progress for a whole idle window.
+                Either::B(()) => return gw.evict(id, EvictReason::Backpressure, &scope, &stream),
+            }
+        }
+        if server.is_done() {
+            let key = server.key().to_vec();
+            scope.emit("complete");
+            gw.obs.inc("gateway_sessions_completed");
+            gw.table.finish(id, SessionOutcome::Done(key));
+            stream.close();
+            return;
+        }
+        match race(stream.read_some(&mut buf), handle.sleep(idle)).await {
+            Either::A(Ok(0)) | Either::A(Err(_)) => {
+                // EOF (or a torn stream) mid-protocol: the peer is gone.
+                return gw.evict(id, EvictReason::Idle, &scope, &stream);
+            }
+            Either::A(Ok(n)) => {
+                dec.push(&buf[..n]);
+                while let Some(item) = dec.next_frame() {
+                    let frame = match item {
+                        Ok(frame) => frame,
+                        Err(_) => {
+                            // Streams resync instead of NAKing: the
+                            // decoder already skipped the garbage.
+                            gw.obs.inc("gateway_frame_resyncs");
+                            scope.emit("resync");
+                            continue;
+                        }
+                    };
+                    if disc.should_defer(server.expected_kind(), frame.kind) {
+                        scope.emit_frame("defer", frame.kind.label());
+                        held.push_back(frame);
+                        continue;
+                    }
+                    scope.emit_frame("deliver", frame.kind.label());
+                    if !deliver(&gw, id, &mut server, &frame, delay, &mut wq, &scope) {
+                        stream.close();
+                        return;
+                    }
+                    // Progress may have made a deferred frame current.
+                    while let Some(pos) =
+                        held.iter().position(|h| server.expected_kind() == Some(h.kind))
+                    {
+                        let h = held.remove(pos).expect("position in bounds");
+                        scope.emit_frame("deliver", h.kind.label());
+                        if !deliver(&gw, id, &mut server, &h, delay, &mut wq, &scope) {
+                            stream.close();
+                            return;
+                        }
+                    }
+                }
+            }
+            Either::B(()) => return gw.evict(id, EvictReason::Idle, &scope, &stream),
+        }
+    }
+}
+
+/// Feeds one frame to the machine; queues replies. `false` means the
+/// session reached a terminal protocol failure (already recorded).
+fn deliver(
+    gw: &GatewayInner,
+    id: u64,
+    server: &mut Endpoint,
+    frame: &Frame,
+    delay: f64,
+    wq: &mut VecDeque<u8>,
+    scope: &EventScope,
+) -> bool {
+    let arrival = server.clock() + delay;
+    match server.handle(frame, arrival) {
+        Ok(replies) => {
+            for reply in &replies {
+                wq.extend(reply.encode());
+            }
+            true
+        }
+        Err(err) => {
+            gw.obs.inc("gateway_sessions_failed");
+            scope.emit("protocol_error");
+            gw.table.finish(id, SessionOutcome::Failed(err));
+            false
+        }
+    }
+}
+
+/// Drives the mobile side of one agreement over `stream` — the client
+/// mirror of the gateway's connection loop, shared by the unit tests
+/// and the `gateway_soak` fleet driver.
+///
+/// # Errors
+///
+/// [`AgreementError::Evicted`] when the gateway closes the stream or
+/// goes silent past `idle_ticks`; otherwise whatever the machine
+/// reports.
+pub async fn drive_mobile(
+    handle: Handle,
+    stream: SimStream,
+    mobile: MobileAgreement,
+    channel_delay: f64,
+    idle_ticks: u64,
+) -> Result<Vec<u8>, AgreementError> {
+    let mut mobile = Endpoint::mobile(mobile);
+    let first = mobile.start()?;
+    let mut wq: VecDeque<u8> = first.encode().into();
+    let mut dec = Decoder::new();
+    let mut buf = vec![0u8; 512];
+    loop {
+        while !wq.is_empty() {
+            wq.make_contiguous();
+            let outcome = {
+                let (front, _) = wq.as_slices();
+                race(stream.write_some(front), handle.sleep(idle_ticks)).await
+            };
+            match outcome {
+                Either::A(Ok(n)) => {
+                    wq.drain(..n);
+                }
+                Either::A(Err(_)) | Either::B(()) => return Err(AgreementError::Evicted),
+            }
+        }
+        if mobile.is_done() {
+            stream.close();
+            return Ok(mobile.key().to_vec());
+        }
+        match race(stream.read_some(&mut buf), handle.sleep(idle_ticks)).await {
+            Either::A(Ok(0)) | Either::A(Err(_)) | Either::B(()) => {
+                return Err(AgreementError::Evicted)
+            }
+            Either::A(Ok(n)) => {
+                dec.push(&buf[..n]);
+                while let Some(item) = dec.next_frame() {
+                    let Ok(frame) = item else { continue };
+                    let arrival = mobile.clock() + channel_delay;
+                    for reply in mobile.handle(&frame, arrival)? {
+                        wq.extend(reply.encode());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::stream::StreamFaults;
+    use rand::Rng;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use wavekey_core::proto::driver;
+    use wavekey_core::PassiveChannel;
+    use wavekey_obs::EventLog;
+
+    fn tiny_config() -> AgreementConfig {
+        AgreementConfig { use_tiny_group: true, tau: 10.0, bch_t: 5, ..Default::default() }
+    }
+
+    /// Mobile/server seed bits for session `conn_id`: close enough to
+    /// reconcile (one flipped bit).
+    fn seed_pair(conn_id: u64) -> (Vec<bool>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0000 + conn_id);
+        let s_m: Vec<bool> = (0..24).map(|_| rng.gen()).collect();
+        let mut s_r = s_m.clone();
+        let flip = (conn_id as usize) % s_r.len();
+        s_r[flip] = !s_r[flip];
+        (s_m, s_r)
+    }
+
+    fn mobile_rng(conn_id: u64) -> StdRng {
+        StdRng::seed_from_u64(0x0B11_E000 + conn_id)
+    }
+
+    fn gateway_config() -> GatewayConfig {
+        GatewayConfig::new(tiny_config())
+    }
+
+    /// Closes the listener once everything else has gone quiet: the
+    /// huge sleep only fires at quiesce, after every shorter timer
+    /// (idle budgets, batch deadlines) has been consumed or cancelled,
+    /// which lets the accept loop terminate so `run()` can return.
+    fn spawn_closer(exec: &Executor, net: &SimNet) {
+        let handle = exec.handle();
+        let net = net.clone();
+        exec.spawn(async move {
+            handle.sleep(1_000_000).await;
+            net.close();
+        });
+    }
+
+    /// Runs `n` clients against a gateway and returns
+    /// `(client keys by conn id, gateway)`.
+    fn run_fleet(
+        config: GatewayConfig,
+        obs: Obs,
+        n: u64,
+        faults: impl Fn(u64) -> StreamFaults,
+    ) -> (Vec<(u64, Result<Vec<u8>, AgreementError>)>, Gateway) {
+        let agreement = config.agreement.clone();
+        let idle = config.idle_ticks;
+        let gateway = Gateway::new(config, obs, |conn_id| seed_pair(conn_id).1);
+        let net = SimNet::new(1 << 16);
+        let mut exec = Executor::new();
+        gateway.listen(&exec.handle(), &net);
+        spawn_closer(&exec, &net);
+        let results = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..n {
+            let stream = net.connect_with(faults(i)).unwrap();
+            let conn_id = stream.conn_id();
+            let (s_m, _) = seed_pair(conn_id);
+            let mobile =
+                MobileAgreement::new(&s_m, &agreement, mobile_rng(conn_id)).expect("mobile");
+            let handle = exec.handle();
+            let results = Rc::clone(&results);
+            let delay = agreement.channel_delay;
+            exec.spawn(async move {
+                let got = drive_mobile(handle, stream, mobile, delay, idle).await;
+                results.borrow_mut().push((conn_id, got));
+            });
+        }
+        exec.run();
+        let mut out = Rc::try_unwrap(results).expect("tasks done").into_inner();
+        out.sort_by_key(|(id, _)| *id);
+        (out, gateway)
+    }
+
+    #[test]
+    fn fleet_completes_with_keys_bit_identical_to_lockstep() {
+        let (clients, gateway) = run_fleet(gateway_config(), Obs::disabled(), 12, |_| {
+            StreamFaults::none()
+        });
+        assert_eq!(gateway.table().completed(), 12);
+        assert_eq!(gateway.table().live(), 0);
+        assert_eq!(gateway.table().peak_live(), 12, "all sessions in flight at once");
+        for (conn_id, got) in clients {
+            let client_key = got.expect("client key");
+            // The gateway's record of the server key matches.
+            let Some(SessionOutcome::Done(server_key)) = gateway.table().outcome(conn_id) else {
+                panic!("no Done outcome for {conn_id}");
+            };
+            assert_eq!(client_key, server_key);
+            // And both equal the lockstep driver with mirrored seeds/RNGs.
+            let (s_m, s_r) = seed_pair(conn_id);
+            let mut rng_m = mobile_rng(conn_id);
+            let mut rng_r = server_rng(gateway_config().server_seed, conn_id);
+            let outcome = driver::drive_lockstep(
+                &s_m,
+                &s_r,
+                &tiny_config(),
+                &mut rng_m,
+                &mut rng_r,
+                &mut PassiveChannel,
+            )
+            .expect("lockstep");
+            assert_eq!(client_key, outcome.key, "conn {conn_id}");
+        }
+    }
+
+    #[test]
+    fn lossless_stream_faults_change_no_key() {
+        let clean = run_fleet(gateway_config(), Obs::disabled(), 8, |_| StreamFaults::none()).0;
+        let rough =
+            run_fleet(gateway_config(), Obs::disabled(), 8, |i| StreamFaults::lossless(0xF0 + i)).0;
+        assert_eq!(clean.len(), rough.len());
+        for ((id_a, a), (id_b, b)) in clean.iter().zip(rough.iter()) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(
+                a.as_ref().expect("clean"),
+                b.as_ref().expect("rough"),
+                "splits and stalls must not alter keys"
+            );
+        }
+    }
+
+    #[test]
+    fn half_open_peer_is_evicted_as_idle() {
+        let (obs, _) = Obs::with_memory();
+        let config = GatewayConfig { idle_ticks: 8, ..gateway_config() };
+        let gateway = Gateway::new(config, obs.clone(), |conn_id| seed_pair(conn_id).1);
+        let net = SimNet::new(1 << 16);
+        let mut exec = Executor::new();
+        gateway.listen(&exec.handle(), &net);
+        spawn_closer(&exec, &net);
+        // The client connects and then never writes a byte.
+        let stream = net.connect().unwrap();
+        let conn_id = stream.conn_id();
+        exec.run();
+        assert!(matches!(
+            gateway.table().outcome(conn_id),
+            Some(SessionOutcome::Evicted(EvictReason::Idle))
+        ));
+        assert_eq!(gateway.table().evicted(), 1);
+        assert!(obs
+            .prometheus_text()
+            .contains("wavekey_evictions_total{reason=\"idle\"} 1"));
+        drop(stream);
+    }
+
+    #[test]
+    fn peer_vanishing_mid_protocol_is_evicted_and_client_sees_evicted() {
+        let (obs, _) = Obs::with_memory();
+        let config = GatewayConfig { idle_ticks: 8, ..gateway_config() };
+        let agreement = config.agreement.clone();
+        let gateway = Gateway::new(config, obs.clone(), |conn_id| seed_pair(conn_id).1);
+        let net = SimNet::new(1 << 16);
+        let mut exec = Executor::new();
+        gateway.listen(&exec.handle(), &net);
+        spawn_closer(&exec, &net);
+        let stream = net.connect().unwrap();
+        let conn_id = stream.conn_id();
+        let (s_m, _) = seed_pair(conn_id);
+        let mut mobile = MobileAgreement::new(&s_m, &agreement, mobile_rng(conn_id)).unwrap();
+        exec.spawn(async move {
+            // Send the opening OT frame, then disappear mid-round.
+            let first = mobile.start().expect("start").encode();
+            let mut at = 0;
+            while at < first.len() {
+                at += stream.write_some(&first[at..]).await.expect("write");
+            }
+            stream.close();
+        });
+        exec.run();
+        assert!(matches!(
+            gateway.table().outcome(conn_id),
+            Some(SessionOutcome::Evicted(EvictReason::Idle))
+        ));
+    }
+
+    #[test]
+    fn stalled_reader_trips_backpressure_eviction() {
+        let (obs, _) = Obs::with_memory();
+        // 8-byte pipes: the server's opening frame cannot fit, and the
+        // client never reads, so the write queue stops draining.
+        let config = GatewayConfig { idle_ticks: 6, ..gateway_config() };
+        let gateway = Gateway::new(config, obs.clone(), |conn_id| seed_pair(conn_id).1);
+        let net = SimNet::new(8);
+        let mut exec = Executor::new();
+        gateway.listen(&exec.handle(), &net);
+        spawn_closer(&exec, &net);
+        let stream = net.connect().unwrap();
+        let conn_id = stream.conn_id();
+        exec.run();
+        assert!(matches!(
+            gateway.table().outcome(conn_id),
+            Some(SessionOutcome::Evicted(EvictReason::Backpressure))
+        ));
+        assert!(obs
+            .prometheus_text()
+            .contains("wavekey_evictions_total{reason=\"backpressure\"} 1"));
+        drop(stream);
+    }
+
+    #[test]
+    fn oversized_write_queue_evicts_for_backpressure() {
+        let (obs, _) = Obs::with_memory();
+        // A queue bound smaller than the opening frame: overflow path.
+        let config = GatewayConfig { write_queue_cap: 4, ..gateway_config() };
+        let gateway = Gateway::new(config, obs.clone(), |conn_id| seed_pair(conn_id).1);
+        let net = SimNet::new(1 << 16);
+        let mut exec = Executor::new();
+        gateway.listen(&exec.handle(), &net);
+        spawn_closer(&exec, &net);
+        let stream = net.connect().unwrap();
+        let conn_id = stream.conn_id();
+        exec.run();
+        assert!(matches!(
+            gateway.table().outcome(conn_id),
+            Some(SessionOutcome::Evicted(EvictReason::Backpressure))
+        ));
+        drop(stream);
+    }
+
+    #[test]
+    fn shutdown_rejects_queued_connections_and_drains_in_flight() {
+        let (obs, _) = Obs::with_memory();
+        let config = gateway_config();
+        let agreement = config.agreement.clone();
+        let idle = config.idle_ticks;
+        let gateway = Gateway::new(config, obs.clone(), |conn_id| seed_pair(conn_id).1);
+        let net = SimNet::new(1 << 16);
+        let mut exec = Executor::new();
+        gateway.listen(&exec.handle(), &net);
+
+        // Three in-flight clients, connected before the executor runs —
+        // the accept loop drains them on its first poll.
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..3 {
+            let stream = net.connect().unwrap();
+            let conn_id = stream.conn_id();
+            let (s_m, _) = seed_pair(conn_id);
+            let mobile = MobileAgreement::new(&s_m, &agreement, mobile_rng(conn_id)).unwrap();
+            let handle = exec.handle();
+            let done = Rc::clone(&done);
+            let delay = agreement.channel_delay;
+            exec.spawn(async move {
+                let got = drive_mobile(handle, stream, mobile, delay, idle).await;
+                done.borrow_mut().push(got.is_ok());
+            });
+        }
+        // A task scheduled after the clients: it queues one more
+        // connection and immediately shuts the gateway down, so the late
+        // connection is still unaccepted when shutdown lands.
+        let late_id = Rc::new(RefCell::new(0u64));
+        {
+            let gateway = gateway.clone();
+            let net = net.clone();
+            let done = Rc::clone(&done);
+            let late_id = Rc::clone(&late_id);
+            exec.spawn(async move {
+                let late = net.connect().expect("pre-shutdown connect");
+                *late_id.borrow_mut() = late.conn_id();
+                gateway.shutdown(&net);
+                // Connects after shutdown are refused outright.
+                done.borrow_mut().push(net.connect().is_err());
+                // The rejected stream reads EOF without a single frame.
+                let mut buf = [0u8; 64];
+                let n = late.read_some(&mut buf).await.expect("eof");
+                done.borrow_mut().push(n == 0);
+            });
+        }
+        exec.run();
+        // In-flight sessions completed despite shutdown; the queued one
+        // was rejected, never entering the table.
+        assert_eq!(done.borrow().len(), 5);
+        assert!(done.borrow().iter().all(|ok| *ok));
+        assert_eq!(gateway.table().completed(), 3);
+        assert_eq!(gateway.rejected(), 1);
+        assert!(gateway.table().outcome(*late_id.borrow()).is_none());
+        assert!(obs
+            .prometheus_text()
+            .contains("wavekey_evictions_total{reason=\"shutdown\"} 1"));
+    }
+
+    #[test]
+    fn pooled_start_batching_matches_scalar_starts_on_the_fleet_group() {
+        // Real group, so the cross-session ModexpBatch path is live.
+        let fleet = AgreementConfig {
+            use_tiny_group: false,
+            fleet_group: true,
+            batched_crypto: true,
+            tau: 10.0,
+            bch_t: 5,
+            ..Default::default()
+        };
+        let scalar = AgreementConfig { batched_crypto: false, ..fleet.clone() };
+        let batched_cfg =
+            GatewayConfig { batch_max: 2, ..GatewayConfig::new(fleet) };
+        let scalar_cfg = GatewayConfig::new(scalar);
+        let (batched, gw) = run_fleet(batched_cfg, Obs::disabled(), 3, |_| StreamFaults::none());
+        let (plain, _) = run_fleet(scalar_cfg, Obs::disabled(), 3, |_| StreamFaults::none());
+        assert_eq!(gw.table().completed(), 3);
+        for ((id_a, a), (id_b, b)) in batched.iter().zip(plain.iter()) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(
+                a.as_ref().expect("batched"),
+                b.as_ref().expect("scalar"),
+                "pooling starts must not change keys"
+            );
+        }
+    }
+
+    #[test]
+    fn per_connection_timelines_are_deterministic() {
+        let run = || {
+            let log = Arc::new(EventLog::new(256));
+            let obs = Obs::new(log.clone());
+            let (_, _gw) = run_fleet(gateway_config(), obs, 4, |_| StreamFaults::none());
+            log.timelines_jsonl()
+        };
+        let a = run();
+        assert!(a.contains("\"actor\":\"gateway\"") || a.contains("gateway"));
+        assert_eq!(a, run(), "same fleet, same causal timelines");
+    }
+}

@@ -1,0 +1,594 @@
+//! Simulated non-blocking byte streams with readiness.
+//!
+//! [`SimNet`] is an in-process listener: [`SimNet::connect`] creates a
+//! bounded duplex byte pipe and queues the server end for
+//! [`SimNet::accept`]. Streams behave like non-blocking sockets —
+//! partial reads and writes, would-block backpressure with waker
+//! registration on both sides, and EOF-after-drain close semantics — so
+//! the gateway's framing, flushing, and eviction logic runs against the
+//! same edge cases a kernel socket would produce, minus the
+//! nondeterminism.
+//!
+//! [`StreamFaults`] composes the repo's seeded fault-injection idiom
+//! (`wavekey_core::fault`) at the **stream** level: split reads (one
+//! frame arriving as many chunks), stalled writes (a send window going
+//! quiet for a few polls), and truncate-and-close (a peer dying mid
+//! frame). Decisions are pure functions of `(seed, connection, lane,
+//! op index)` — replaying a seed replays the exact fault schedule.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Stream-level failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The stream (or its peer) is closed.
+    Closed,
+    /// The listener refused the connection (shutdown).
+    Refused,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Closed => write!(f, "stream closed"),
+            StreamError::Refused => write!(f, "connection refused"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// SplitMix64 — the same generator `wavekey_core::fault` seeds its
+/// schedules with (kept in sync by the gateway's determinism tests).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeded stream-level fault plan, attached to a connection at
+/// [`SimNet::connect_with`] time. Probabilities are per mille per IO
+/// operation; `0` everywhere (the default) is a clean stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamFaults {
+    /// Seed for the whole connection's schedule.
+    pub seed: u64,
+    /// P(a read returns fewer bytes than available), per mille.
+    pub split_per_mille: u16,
+    /// P(a write poll stalls), per mille.
+    pub stall_per_mille: u16,
+    /// How many polls a stall lasts once triggered.
+    pub stall_polls: u32,
+    /// P(a write is truncated and the stream closed), per mille —
+    /// **lossy**: bytes are dropped and the session will be evicted.
+    pub truncate_per_mille: u16,
+}
+
+impl StreamFaults {
+    /// No faults.
+    pub fn none() -> StreamFaults {
+        StreamFaults::default()
+    }
+
+    /// Non-lossy turbulence: aggressive read splitting and write
+    /// stalling. Every byte still arrives, so sessions must complete
+    /// with bit-identical keys.
+    pub fn lossless(seed: u64) -> StreamFaults {
+        StreamFaults {
+            seed,
+            split_per_mille: 450,
+            stall_per_mille: 200,
+            stall_polls: 3,
+            truncate_per_mille: 0,
+        }
+    }
+
+    /// Lossless turbulence plus rare truncate-and-close — peers that
+    /// die mid-frame. Their sessions must be evicted, never produce a
+    /// divergent key.
+    pub fn lossy(seed: u64) -> StreamFaults {
+        StreamFaults { truncate_per_mille: 25, ..StreamFaults::lossless(seed) }
+    }
+
+    /// Whether any fault can fire.
+    pub fn armed(&self) -> bool {
+        self.split_per_mille > 0 || self.stall_per_mille > 0 || self.truncate_per_mille > 0
+    }
+
+    /// The raw decision hash for (`lane`, `op`).
+    fn roll(&self, lane: u64, op: u64, salt: u64) -> u64 {
+        splitmix64(
+            self.seed
+                ^ lane.wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ op.wrapping_mul(0x9FB2_1C65_1E98_DF25)
+                ^ salt,
+        )
+    }
+
+    fn fires(&self, per_mille: u16, lane: u64, op: u64, salt: u64) -> bool {
+        per_mille > 0 && self.roll(lane, op, salt) % 1000 < per_mille as u64
+    }
+}
+
+/// One direction of a duplex connection.
+#[derive(Debug)]
+struct Pipe {
+    buf: VecDeque<u8>,
+    cap: usize,
+    /// Writer closed (reader sees EOF once `buf` drains) — also set by
+    /// a full stream close, failing subsequent writes.
+    closed: bool,
+    read_waker: Option<Waker>,
+    write_waker: Option<Waker>,
+    read_ops: u64,
+    write_ops: u64,
+    stall_left: u32,
+    /// Fault lane: `conn_id * 2 + direction`.
+    lane: u64,
+}
+
+impl Pipe {
+    fn new(cap: usize, lane: u64) -> Pipe {
+        Pipe {
+            buf: VecDeque::new(),
+            cap,
+            closed: false,
+            read_waker: None,
+            write_waker: None,
+            read_ops: 0,
+            write_ops: 0,
+            stall_left: 0,
+            lane,
+        }
+    }
+
+    fn wake_reader(&mut self) {
+        if let Some(w) = self.read_waker.take() {
+            w.wake();
+        }
+    }
+
+    fn wake_writer(&mut self) {
+        if let Some(w) = self.write_waker.take() {
+            w.wake();
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Duplex {
+    /// Client → server bytes.
+    a2b: Pipe,
+    /// Server → client bytes.
+    b2a: Pipe,
+    faults: StreamFaults,
+}
+
+/// One end of a simulated connection.
+#[derive(Debug)]
+pub struct SimStream {
+    duplex: Arc<Mutex<Duplex>>,
+    /// True for the connecting (client) end.
+    a_side: bool,
+    conn_id: u64,
+}
+
+impl SimStream {
+    /// The listener-assigned connection id (same value on both ends).
+    pub fn conn_id(&self) -> u64 {
+        self.conn_id
+    }
+
+    /// Reads *some* bytes into `buf`: resolves with `Ok(n > 0)` on data,
+    /// `Ok(0)` on EOF (peer closed and the pipe drained), and waits
+    /// while the pipe is empty but open. Split faults may shorten `n`.
+    pub fn read_some<'a>(&'a self, buf: &'a mut [u8]) -> ReadSome<'a> {
+        ReadSome { stream: self, buf }
+    }
+
+    /// Writes *some* prefix of `bytes`: resolves with `Ok(n)` on first
+    /// progress, `Err(Closed)` when the stream is closed, and waits
+    /// while the pipe is full (or a stall fault holds the window shut).
+    pub fn write_some<'a>(&'a self, bytes: &'a [u8]) -> WriteSome<'a> {
+        WriteSome { stream: self, bytes }
+    }
+
+    /// Closes both directions: the peer reads EOF after draining
+    /// buffered bytes, and all writes fail with [`StreamError::Closed`].
+    pub fn close(&self) {
+        let mut dx = self.duplex.lock().unwrap();
+        dx.a2b.closed = true;
+        dx.b2a.closed = true;
+        dx.a2b.wake_reader();
+        dx.a2b.wake_writer();
+        dx.b2a.wake_reader();
+        dx.b2a.wake_writer();
+    }
+
+    /// Whether the stream has been closed (either end).
+    pub fn is_closed(&self) -> bool {
+        self.duplex.lock().unwrap().a2b.closed
+    }
+}
+
+/// Future returned by [`SimStream::read_some`].
+pub struct ReadSome<'a> {
+    stream: &'a SimStream,
+    buf: &'a mut [u8],
+}
+
+impl Future for ReadSome<'_> {
+    type Output = Result<usize, StreamError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut dx = this.stream.duplex.lock().unwrap();
+        let faults = dx.faults;
+        let pipe = if this.stream.a_side { &mut dx.b2a } else { &mut dx.a2b };
+        if pipe.buf.is_empty() {
+            if pipe.closed {
+                return Poll::Ready(Ok(0));
+            }
+            pipe.read_waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        pipe.read_ops += 1;
+        let mut n = this.buf.len().min(pipe.buf.len());
+        if n > 1 && faults.fires(faults.split_per_mille, pipe.lane, pipe.read_ops, 0x51) {
+            n = 1 + (faults.roll(pipe.lane, pipe.read_ops, 0x52) % (n as u64 - 1).max(1)) as usize;
+        }
+        for slot in this.buf.iter_mut().take(n) {
+            *slot = pipe.buf.pop_front().expect("n <= len");
+        }
+        pipe.wake_writer();
+        Poll::Ready(Ok(n))
+    }
+}
+
+/// Future returned by [`SimStream::write_some`].
+pub struct WriteSome<'a> {
+    stream: &'a SimStream,
+    bytes: &'a [u8],
+}
+
+impl Future for WriteSome<'_> {
+    type Output = Result<usize, StreamError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut dx = this.stream.duplex.lock().unwrap();
+        let faults = dx.faults;
+        let pipe = if this.stream.a_side { &mut dx.a2b } else { &mut dx.b2a };
+        if pipe.closed {
+            return Poll::Ready(Err(StreamError::Closed));
+        }
+        if this.bytes.is_empty() {
+            return Poll::Ready(Ok(0));
+        }
+        // A stalled send window: the poll fails but re-arms itself, so
+        // the stall resolves after `stall_polls` scheduler rounds rather
+        // than deadlocking the connection.
+        if pipe.stall_left > 0 {
+            pipe.stall_left -= 1;
+            cx.waker().wake_by_ref();
+            return Poll::Pending;
+        }
+        pipe.write_ops += 1;
+        if faults.fires(faults.stall_per_mille, pipe.lane, pipe.write_ops, 0x57) {
+            pipe.stall_left = faults.stall_polls;
+            cx.waker().wake_by_ref();
+            return Poll::Pending;
+        }
+        if faults.fires(faults.truncate_per_mille, pipe.lane, pipe.write_ops, 0x71) {
+            // The peer dies mid-frame: a prefix lands, the rest is lost,
+            // and the stream closes in both directions.
+            let keep = (faults.roll(pipe.lane, pipe.write_ops, 0x72)
+                % this.bytes.len() as u64) as usize;
+            let keep = keep.min(pipe.cap - pipe.buf.len());
+            pipe.buf.extend(&this.bytes[..keep]);
+            pipe.closed = true;
+            pipe.wake_reader();
+            drop(dx);
+            this.stream.close();
+            return Poll::Ready(Ok(keep));
+        }
+        let free = pipe.cap - pipe.buf.len();
+        if free == 0 {
+            pipe.write_waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let n = free.min(this.bytes.len());
+        pipe.buf.extend(&this.bytes[..n]);
+        pipe.wake_reader();
+        Poll::Ready(Ok(n))
+    }
+}
+
+#[derive(Debug)]
+struct NetInner {
+    backlog: VecDeque<SimStream>,
+    accept_waker: Option<Waker>,
+    closed: bool,
+    stream_cap: usize,
+    next_conn: u64,
+}
+
+/// An in-process listener creating [`SimStream`] pairs.
+#[derive(Debug, Clone)]
+pub struct SimNet {
+    inner: Arc<Mutex<NetInner>>,
+}
+
+impl SimNet {
+    /// A listener whose streams buffer up to `stream_cap` bytes per
+    /// direction.
+    pub fn new(stream_cap: usize) -> SimNet {
+        SimNet {
+            inner: Arc::new(Mutex::new(NetInner {
+                backlog: VecDeque::new(),
+                accept_waker: None,
+                closed: false,
+                stream_cap,
+                next_conn: 0,
+            })),
+        }
+    }
+
+    /// Connects a clean stream.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Refused`] once the listener closed.
+    pub fn connect(&self) -> Result<SimStream, StreamError> {
+        self.connect_with(StreamFaults::none())
+    }
+
+    /// Connects a stream with a seeded fault plan on its pipes.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Refused`] once the listener closed.
+    pub fn connect_with(&self, faults: StreamFaults) -> Result<SimStream, StreamError> {
+        let mut net = self.inner.lock().unwrap();
+        if net.closed {
+            return Err(StreamError::Refused);
+        }
+        net.next_conn += 1;
+        let conn_id = net.next_conn;
+        let duplex = Arc::new(Mutex::new(Duplex {
+            a2b: Pipe::new(net.stream_cap, conn_id * 2),
+            b2a: Pipe::new(net.stream_cap, conn_id * 2 + 1),
+            faults,
+        }));
+        let client = SimStream { duplex: Arc::clone(&duplex), a_side: true, conn_id };
+        let server = SimStream { duplex, a_side: false, conn_id };
+        net.backlog.push_back(server);
+        if let Some(w) = net.accept_waker.take() {
+            w.wake();
+        }
+        Ok(client)
+    }
+
+    /// Accepts the next queued connection; after [`SimNet::close`] the
+    /// backlog drains and then accepts fail with [`StreamError::Closed`].
+    pub fn accept(&self) -> Accept {
+        Accept { net: self.clone() }
+    }
+
+    /// Closes the listener: new connects are refused immediately;
+    /// already-queued connections still reach [`SimNet::accept`] (the
+    /// acceptor decides their fate — the gateway rejects them when
+    /// draining for shutdown).
+    pub fn close(&self) {
+        let mut net = self.inner.lock().unwrap();
+        net.closed = true;
+        if let Some(w) = net.accept_waker.take() {
+            w.wake();
+        }
+    }
+
+    /// Connections queued but not yet accepted.
+    pub fn pending(&self) -> usize {
+        self.inner.lock().unwrap().backlog.len()
+    }
+}
+
+/// Future returned by [`SimNet::accept`].
+pub struct Accept {
+    net: SimNet,
+}
+
+impl Future for Accept {
+    type Output = Result<SimStream, StreamError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut net = self.net.inner.lock().unwrap();
+        if let Some(stream) = net.backlog.pop_front() {
+            return Poll::Ready(Ok(stream));
+        }
+        if net.closed {
+            return Poll::Ready(Err(StreamError::Closed));
+        }
+        net.accept_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn bytes_flow_with_partial_writes_under_a_tiny_cap() {
+        let net = SimNet::new(4); // 4-byte pipe: every write is partial
+        let mut exec = Executor::new();
+        let client = net.connect().unwrap();
+        let payload: Vec<u8> = (0u8..32).collect();
+        let received = Rc::new(RefCell::new(Vec::new()));
+
+        {
+            let received = Rc::clone(&received);
+            let accept = net.accept();
+            exec.spawn(async move {
+                let server = accept.await.unwrap();
+                let mut buf = [0u8; 8];
+                loop {
+                    match server.read_some(&mut buf).await.unwrap() {
+                        0 => break,
+                        n => received.borrow_mut().extend_from_slice(&buf[..n]),
+                    }
+                }
+            });
+        }
+        {
+            let payload = payload.clone();
+            exec.spawn(async move {
+                let mut at = 0;
+                while at < payload.len() {
+                    let n = client.write_some(&payload[at..]).await.unwrap();
+                    assert!(n > 0 && n <= 4);
+                    at += n;
+                }
+                client.close();
+            });
+        }
+        exec.run();
+        assert_eq!(*received.borrow(), payload);
+    }
+
+    #[test]
+    fn close_gives_eof_after_drain_and_fails_writes() {
+        let net = SimNet::new(64);
+        let mut exec = Executor::new();
+        let client = net.connect().unwrap();
+        let accept = net.accept();
+        exec.spawn(async move {
+            let server = accept.await.unwrap();
+            server.write_some(b"tail").await.unwrap();
+            server.close();
+            assert_eq!(server.write_some(b"x").await, Err(StreamError::Closed));
+        });
+        let saw = Rc::new(RefCell::new(Vec::new()));
+        {
+            let saw = Rc::clone(&saw);
+            exec.spawn(async move {
+                let mut buf = [0u8; 16];
+                loop {
+                    match client.read_some(&mut buf).await.unwrap() {
+                        0 => break,
+                        n => saw.borrow_mut().extend_from_slice(&buf[..n]),
+                    }
+                }
+                // Buffered bytes arrived before the EOF.
+                assert_eq!(client.write_some(b"y").await, Err(StreamError::Closed));
+            });
+        }
+        exec.run();
+        assert_eq!(*saw.borrow(), b"tail");
+    }
+
+    #[test]
+    fn listener_refuses_after_close_but_drains_backlog() {
+        let net = SimNet::new(64);
+        let _queued = net.connect().unwrap();
+        net.close();
+        assert!(matches!(net.connect(), Err(StreamError::Refused)));
+        let mut exec = Executor::new();
+        let results = Rc::new(RefCell::new(Vec::new()));
+        {
+            let net = net.clone();
+            let results = Rc::clone(&results);
+            exec.spawn(async move {
+                results.borrow_mut().push(net.accept().await.is_ok());
+                results.borrow_mut().push(net.accept().await.is_ok());
+            });
+        }
+        exec.run();
+        // Queued-before-close accepted, then Closed.
+        assert_eq!(*results.borrow(), vec![true, false]);
+    }
+
+    #[test]
+    fn lossless_faults_deliver_every_byte_in_order() {
+        // Split reads and stalled writes reshape timing, never content.
+        let net = SimNet::new(16);
+        let mut exec = Executor::new();
+        let client = net.connect_with(StreamFaults::lossless(0xFA01)).unwrap();
+        let payload: Vec<u8> = (0..200u32).map(|i| (i * 7) as u8).collect();
+        let received = Rc::new(RefCell::new(Vec::new()));
+        {
+            let received = Rc::clone(&received);
+            let accept = net.accept();
+            exec.spawn(async move {
+                let server = accept.await.unwrap();
+                let mut buf = [0u8; 13];
+                loop {
+                    match server.read_some(&mut buf).await.unwrap() {
+                        0 => break,
+                        n => received.borrow_mut().extend_from_slice(&buf[..n]),
+                    }
+                }
+            });
+        }
+        {
+            let payload = payload.clone();
+            exec.spawn(async move {
+                let mut at = 0;
+                while at < payload.len() {
+                    at += client.write_some(&payload[at..]).await.unwrap();
+                }
+                client.close();
+            });
+        }
+        exec.run();
+        assert_eq!(*received.borrow(), payload);
+    }
+
+    #[test]
+    fn fault_schedules_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let net = SimNet::new(8);
+            let mut exec = Executor::new();
+            let client = net.connect_with(StreamFaults::lossy(seed)).unwrap();
+            let received = Rc::new(RefCell::new(Vec::new()));
+            {
+                let received = Rc::clone(&received);
+                let accept = net.accept();
+                exec.spawn(async move {
+                    let server = accept.await.unwrap();
+                    let mut buf = [0u8; 7];
+                    loop {
+                        match server.read_some(&mut buf).await {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => received.borrow_mut().extend_from_slice(&buf[..n]),
+                        }
+                    }
+                });
+            }
+            exec.spawn(async move {
+                let payload = [0xAB_u8; 256];
+                let mut at = 0;
+                while at < payload.len() {
+                    match client.write_some(&payload[at..]).await {
+                        Ok(n) => at += n,
+                        Err(_) => break,
+                    }
+                }
+                client.close();
+            });
+            exec.run();
+            let bytes = received.borrow().clone();
+            bytes
+        };
+        assert_eq!(run(7), run(7));
+        assert_eq!(run(8), run(8));
+    }
+}

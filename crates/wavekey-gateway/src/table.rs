@@ -1,0 +1,219 @@
+//! Sharded session table.
+//!
+//! The gateway tracks every in-flight connection in a [`SessionTable`]
+//! split across power-of-two shards, each behind its own mutex, so a
+//! 100k-session soak never serializes on one lock and a single shard's
+//! map stays small enough to rehash cheaply. Aggregate gauges (live,
+//! peak-live, completed, evicted) are lock-free atomics updated outside
+//! the shard locks.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use wavekey_core::agreement::AgreementError;
+
+/// Why the gateway removed a session before it finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictReason {
+    /// The peer went silent (or disappeared) past the idle budget.
+    Idle,
+    /// The connection's write queue stopped draining — the peer accepts
+    /// no bytes and the bounded queue refuses to grow.
+    Backpressure,
+    /// The gateway is shutting down and rejected the connection before
+    /// a session started.
+    Shutdown,
+}
+
+impl EvictReason {
+    /// The metric label value (`wavekey_evictions_total{reason=...}`).
+    pub fn label(self) -> &'static str {
+        match self {
+            EvictReason::Idle => "idle",
+            EvictReason::Backpressure => "backpressure",
+            EvictReason::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Terminal record for one session.
+#[derive(Debug, Clone)]
+pub enum SessionOutcome {
+    /// Agreement completed; the server-side key.
+    Done(Vec<u8>),
+    /// The protocol failed with a machine-level error.
+    Failed(AgreementError),
+    /// The gateway evicted the session.
+    Evicted(EvictReason),
+}
+
+#[derive(Debug)]
+struct Slot {
+    outcome: Option<SessionOutcome>,
+}
+
+/// Sharded map from connection id to session slot.
+#[derive(Debug)]
+pub struct SessionTable {
+    shards: Vec<Mutex<HashMap<u64, Slot>>>,
+    mask: u64,
+    live: AtomicU64,
+    peak_live: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl SessionTable {
+    /// A table with `shards` shards, rounded up to a power of two.
+    pub fn new(shards: usize) -> SessionTable {
+        let n = shards.max(1).next_power_of_two();
+        SessionTable {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n as u64 - 1,
+            live: AtomicU64::new(0),
+            peak_live: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Slot>> {
+        // Multiplicative spread so sequential conn ids do not all land
+        // in consecutive shards of one arena page.
+        let h = id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Registers a new in-flight session.
+    pub fn insert(&self, id: u64) {
+        self.shard(id).lock().unwrap().insert(id, Slot { outcome: None });
+        let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_live.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Records a terminal outcome for `id` and drops it from the live
+    /// set. Unknown ids are ignored (an eviction can race a completion
+    /// only through driver bugs; last write wins on the counters).
+    pub fn finish(&self, id: u64, outcome: SessionOutcome) {
+        let mut shard = self.shard(id).lock().unwrap();
+        let Some(slot) = shard.get_mut(&id) else { return };
+        if slot.outcome.is_some() {
+            return;
+        }
+        match &outcome {
+            SessionOutcome::Done(_) => self.completed.fetch_add(1, Ordering::Relaxed),
+            SessionOutcome::Failed(_) => self.failed.fetch_add(1, Ordering::Relaxed),
+            SessionOutcome::Evicted(_) => self.evicted.fetch_add(1, Ordering::Relaxed),
+        };
+        slot.outcome = Some(outcome);
+        drop(shard);
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sessions inserted but not yet finished.
+    pub fn live(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`live`](Self::live).
+    pub fn peak_live(&self) -> u64 {
+        self.peak_live.load(Ordering::Relaxed)
+    }
+
+    /// Sessions that completed the agreement.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Sessions that failed with a protocol error.
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Sessions evicted by the gateway.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Every recorded outcome, sorted by connection id.
+    pub fn outcomes(&self) -> Vec<(u64, SessionOutcome)> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            for (id, slot) in shard.lock().unwrap().iter() {
+                if let Some(outcome) = &slot.outcome {
+                    all.push((*id, outcome.clone()));
+                }
+            }
+        }
+        all.sort_by_key(|(id, _)| *id);
+        all
+    }
+
+    /// The outcome for one session, if terminal.
+    pub fn outcome(&self, id: u64) -> Option<SessionOutcome> {
+        self.shard(id).lock().unwrap().get(&id).and_then(|s| s.outcome.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(SessionTable::new(1).shard_count(), 1);
+        assert_eq!(SessionTable::new(5).shard_count(), 8);
+        assert_eq!(SessionTable::new(64).shard_count(), 64);
+    }
+
+    #[test]
+    fn live_and_peak_track_insert_and_finish() {
+        let table = SessionTable::new(4);
+        for id in 1..=10 {
+            table.insert(id);
+        }
+        assert_eq!(table.live(), 10);
+        assert_eq!(table.peak_live(), 10);
+        for id in 1..=6 {
+            table.finish(id, SessionOutcome::Done(vec![id as u8]));
+        }
+        table.finish(7, SessionOutcome::Evicted(EvictReason::Idle));
+        table.finish(8, SessionOutcome::Failed(AgreementError::ConfirmationFailed));
+        assert_eq!(table.live(), 2);
+        assert_eq!(table.peak_live(), 10);
+        assert_eq!(table.completed(), 6);
+        assert_eq!(table.evicted(), 1);
+        assert_eq!(table.failed(), 1);
+    }
+
+    #[test]
+    fn first_terminal_outcome_wins() {
+        let table = SessionTable::new(2);
+        table.insert(3);
+        table.finish(3, SessionOutcome::Done(vec![9]));
+        table.finish(3, SessionOutcome::Evicted(EvictReason::Idle));
+        assert!(matches!(table.outcome(3), Some(SessionOutcome::Done(k)) if k == vec![9]));
+        assert_eq!(table.live(), 0);
+        assert_eq!(table.evicted(), 0);
+    }
+
+    #[test]
+    fn outcomes_are_sorted_and_skip_live_sessions() {
+        let table = SessionTable::new(8);
+        for id in [5u64, 2, 9, 4] {
+            table.insert(id);
+        }
+        table.finish(9, SessionOutcome::Done(vec![1]));
+        table.finish(2, SessionOutcome::Done(vec![2]));
+        let ids: Vec<u64> = table.outcomes().into_iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![2, 9]);
+    }
+}

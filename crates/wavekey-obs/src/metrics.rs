@@ -605,4 +605,42 @@ mod tests {
         assert_eq!(text.matches("# TYPE wavekey_failures_total counter").count(), 1);
         assert!(!text.contains("wavekey_failures_total_label"));
     }
+
+    #[test]
+    fn eviction_reason_series_export_as_one_labeled_family() {
+        // The gateway's eviction counters: one family, one labeled series
+        // per reason, exported coherently by both exporters.
+        let reg = Registry::new();
+        for (reason, n) in [("idle", 3u64), ("backpressure", 2), ("shutdown", 1)] {
+            for _ in 0..n {
+                reg.inc_counter(&format!("wavekey_evictions_total{{reason=\"{reason}\"}}"), 1);
+            }
+        }
+        let text = reg.prometheus_text();
+        assert_eq!(text.matches("# TYPE wavekey_evictions_total counter").count(), 1);
+        assert!(text.contains("wavekey_evictions_total{reason=\"idle\"} 3"), "{text}");
+        assert!(text.contains("wavekey_evictions_total{reason=\"backpressure\"} 2"));
+        assert!(text.contains("wavekey_evictions_total{reason=\"shutdown\"} 1"));
+        // Snapshot order is sorted by full name, so scrapes are stable
+        // run-to-run (the timeline-determinism artifacts depend on this).
+        let series: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("wavekey_evictions_total{"))
+            .collect();
+        assert_eq!(
+            series,
+            vec![
+                "wavekey_evictions_total{reason=\"backpressure\"} 2",
+                "wavekey_evictions_total{reason=\"idle\"} 3",
+                "wavekey_evictions_total{reason=\"shutdown\"} 1",
+            ]
+        );
+        // The JSON exporter keys by the full labeled name with exact counts.
+        let json = reg.to_json();
+        let idle = json
+            .get("wavekey_evictions_total{reason=\"idle\"}")
+            .and_then(|m| m.get("value"))
+            .and_then(Json::as_f64);
+        assert_eq!(idle, Some(3.0));
+    }
 }

@@ -116,6 +116,8 @@ build_libs() {
         serde rand rayon wavekey_obs
     build_lib wavekey_core  "$ROOT/crates/wavekey-core"  -- serde rand \
         wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_obs
+    build_lib wavekey_gateway "$ROOT/crates/wavekey-gateway" -- rand \
+        wavekey_crypto wavekey_core wavekey_obs
     # facade
     local art="$OUT/libwavekey.rlib"
     if stale "$art" "$ROOT/src" "$OUT/libwavekey_core.rlib"; then
@@ -126,7 +128,7 @@ build_libs() {
             $(externs wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_core wavekey_obs)
     fi
     build_lib wavekey_bench "$ROOT/crates/wavekey-bench" -- rand \
-        wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_core wavekey_obs
+        wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_core wavekey_obs wavekey_gateway
 }
 
 # ------------------------------------------------------------------- tests
@@ -176,6 +178,10 @@ run_tests() {
         serde rand rayon wavekey_obs
     run_unit wavekey_core  "$ROOT/crates/wavekey-core"  -- serde rand \
         wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_obs
+    run_unit wavekey_gateway "$ROOT/crates/wavekey-gateway" -- rand \
+        wavekey_crypto wavekey_core wavekey_obs
+    run_unit wavekey_bench "$ROOT/crates/wavekey-bench" -- rand \
+        wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_core wavekey_obs wavekey_gateway
     # Root integration tests (proptest-based crate tests are cargo-only).
     run_itest "$ROOT/tests/protocol_security.rs" wavekey rand
     run_itest "$ROOT/tests/differential_agreement.rs" wavekey rand
@@ -197,7 +203,7 @@ build_bin() {
         # shellcheck disable=SC2046
         rustc --edition $EDITION "${OPT[@]}" --crate-name "$name" "$src" \
             -L "$OUT" -o "$bin" $(externs rand wavekey_bench \
-            wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_core wavekey_obs)
+            wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_core wavekey_obs wavekey_gateway)
     fi
 }
 
