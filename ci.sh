@@ -190,6 +190,42 @@ awk -v s="$nn_speedup" -v min="$NN_MIN" 'BEGIN {
     print "OK: GEMM backend holds its training-speed advantage"
 }'
 
+echo "== int8 quantized-inference gate =="
+# The quantized encoders are only admissible when they change nothing the
+# protocol can observe: every reference-corpus window must yield the same
+# key-seed as the f32 path (bit-identical, re-checked end to end by the
+# bench), both encoders must actually calibrate (no silent f32 fallback),
+# and the speed/size wins that justify the path must hold — whole-encoder
+# forward at least WAVEKEY_NN_INT8_SPEEDUP_MIN x the f32 GEMM forward
+# (default 2.0x, against ~3.9x measured at recording time) and the
+# serialized int8 models at most 30% of the f64 bytes. Reuses the
+# bench_nn_json run from the training gate above.
+INT8_MIN="${WAVEKEY_NN_INT8_SPEEDUP_MIN:-2.0}"
+int8_seeds=$(field_of "seeds_bit_identical" "$NN_JSON")
+int8_imu=$(field_of "imu_en_quantized" "$NN_JSON")
+int8_rf=$(field_of "rf_en_quantized" "$NN_JSON")
+int8_speedup=$(field_of "encoder_int8_speedup" "$NN_JSON")
+int8_ratio=$(field_of "int8_size_ratio" "$NN_JSON")
+[[ -n "$int8_seeds" && -n "$int8_speedup" && -n "$int8_ratio" ]] \
+    || { echo "nn bench recorded no int8 summary" >&2; exit 1; }
+echo "encoder int8 speedup ${int8_speedup}x (min ${INT8_MIN}x), size ratio ${int8_ratio}," \
+     "imu_quantized=$int8_imu rf_quantized=$int8_rf seeds_bit_identical=$int8_seeds"
+[[ "$int8_imu" == "true" && "$int8_rf" == "true" ]] \
+    || { echo "FAIL: an encoder fell back to f32 during calibration" >&2; exit 1; }
+[[ "$int8_seeds" == "true" ]] \
+    || { echo "FAIL: quantized key-seeds diverge from the f32 seeds" >&2; exit 1; }
+awk -v s="$int8_speedup" -v min="$INT8_MIN" -v r="$int8_ratio" 'BEGIN {
+    if (s + 0 < min + 0) {
+        print "FAIL: int8 encoder speedup below the regression floor"
+        exit 1
+    }
+    if (r + 0 > 0.30) {
+        print "FAIL: int8 model bytes exceed 30% of the f64 serialization"
+        exit 1
+    }
+    print "OK: int8 encoders hold seed equivalence with their speed and size wins"
+}'
+
 echo "== session throughput gate =="
 # The work-stealing parallel drive must (a) reproduce the sequential
 # scheduler's outcomes bit for bit and (b) not regress throughput: the

@@ -10,19 +10,36 @@
 //!
 //! The JSON schema is a flat list. Layer records are
 //! `{ "op": str, "reference_ns": float, "gemm_ns": float, "speedup": float }`;
-//! the final record is the training comparison with `reference_s`/`gemm_s`/
+//! int8 records are `{ "op": str, "f32_ns": float, "int8_ns": float,
+//! "int8_speedup": float }` (inference-shaped, batch 1) followed by one
+//! `int8_quantization_summary` record carrying the ci.sh int8-gate fields:
+//! `encoder_int8_speedup` (the slower of the two encoders' whole-forward
+//! speedups), `seeds_bit_identical` (quantized key-seeds equal the f32
+//! seeds on every corpus window), `model_bytes_f64`/`model_bytes_int8` and
+//! their `int8_size_ratio`, plus `wavekey_threads` (the `WAVEKEY_THREADS`
+//! cap in effect, 0 = unset, recorded the way `bench_crypto_json` does).
+//! The final record is the training comparison with `reference_s`/`gemm_s`/
 //! `train_speedup` plus `loss_bit_identical`, which must be `true`: the GEMM
 //! lowering preserves accumulation order, so the two backends produce
 //! bit-identical loss curves and models.
+//!
+//! The run also appends one `nn_int8_*` line to `results/TREND.jsonl`.
 
 use std::time::Instant;
 use wavekey_core::dataset::{generate, DatasetConfig};
 use wavekey_core::model::WaveKeyModels;
+use wavekey_core::quantize::calibrate;
+use wavekey_core::seed::SeedGenerator;
+use wavekey_core::session::{Session, SessionConfig};
 use wavekey_core::training::{train, TrainingConfig};
+use wavekey_core::WaveKeyConfig;
 use wavekey_imu::sensors::DeviceModel;
 use wavekey_nn::layer::{Conv1d, ConvTranspose1d, Dense, Layer};
+use wavekey_nn::net::Sequential;
+use wavekey_nn::quant::QuantizedSequential;
 use wavekey_nn::tensor::Tensor;
 use wavekey_nn::{set_kernel_backend, KernelBackend};
+use wavekey_obs::Json;
 
 /// Minimum total measurement time per op (seconds); `WAVEKEY_BENCH_WINDOW`
 /// overrides it.
@@ -58,6 +75,67 @@ struct LayerRecord {
     op: &'static str,
     reference_ns: f64,
     gemm_ns: f64,
+}
+
+struct Int8Record {
+    op: &'static str,
+    f32_ns: f64,
+    int8_ns: f64,
+}
+
+impl Int8Record {
+    fn speedup(&self) -> f64 {
+        self.f32_ns / self.int8_ns
+    }
+}
+
+/// Dataset samples are un-batched `[C, L]`; the conv stacks want
+/// `[1, C, L]`.
+fn batched(t: &Tensor) -> Tensor {
+    let s = t.shape();
+    t.reshaped(vec![1, s[0], s[1]])
+}
+
+/// A deterministic int8-range activation vector (timing does not depend
+/// on the values, only the geometry).
+fn input_q(n: usize) -> Vec<i16> {
+    (0..n).map(|i| ((i * 2_654_435_761) % 255) as i16 - 127).collect()
+}
+
+/// Prints and records one f32-vs-int8 comparison.
+fn int8_record(op: &'static str, f32_ns: f64, int8_ns: f64) -> Int8Record {
+    println!(
+        "{:<34} f32 {:>12.0} ns  int8 {:>12.0} ns  speedup {:>5.2}x",
+        op,
+        f32_ns,
+        int8_ns,
+        f32_ns / int8_ns
+    );
+    Int8Record { op, f32_ns, int8_ns }
+}
+
+/// Appends one int8-inference line to the `results/TREND.jsonl` run
+/// ledger (same pattern as `load_gen` / `gateway_soak`).
+fn append_trend(encoder_speedup: f64, seeds_identical: bool, size_ratio: f64) -> u64 {
+    let prior = std::fs::read_to_string("results/TREND.jsonl").unwrap_or_default();
+    let run = prior
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .and_then(Json::parse)
+        .as_ref()
+        .and_then(|j| j.get("run"))
+        .and_then(Json::as_f64)
+        .map_or(1, |r| r as u64 + 1);
+    let line = Json::obj(vec![
+        ("run", Json::Num(run as f64)),
+        ("nn_int8_encoder_speedup", Json::Num(encoder_speedup)),
+        ("nn_int8_seeds_bit_identical", Json::Bool(seeds_identical)),
+        ("nn_int8_size_ratio", Json::Num(size_ratio)),
+    ]);
+    let appended = format!("{}{}\n", prior, line.to_string_compact());
+    wavekey_bench::write_results("results/TREND.jsonl", &appended);
+    run
 }
 
 /// A deterministic pseudo-random input tensor (no RNG needed: layer seeds
@@ -165,6 +243,159 @@ fn main() {
          speedup {train_speedup:.2}x  loss_bit_identical {loss_bit_identical}"
     );
 
+    // Quantized inference: calibrate int8 encoders against the training
+    // corpus, verify key-seed equivalence end to end, and time the int8
+    // path against the f32 GEMM path at inference shapes (batch 1).
+    println!("\n== int8 quantized inference (batch 1, inference shapes) ==");
+    let mut models = WaveKeyModels::decode(&gemm_model).expect("trained model blob");
+    let n_b = WaveKeyConfig::default().n_b;
+    let outcome = calibrate(&mut models, &dataset, n_b);
+    println!(
+        "calibrate: imu_quantized {}  rf_quantized {}  ({} corpus windows)",
+        outcome.imu_quantized, outcome.rf_quantized, outcome.samples
+    );
+
+    let imu_inputs: Vec<Tensor> = dataset.samples.iter().map(|s| batched(&s.a)).collect();
+    let rf_inputs: Vec<Tensor> = dataset.samples.iter().map(|s| batched(&s.r)).collect();
+
+    // Independent re-check of the gated property: quantized key-seeds must
+    // equal the f32 seeds on every corpus window, for both encoders.
+    let seed_gen = SeedGenerator::new(n_b).expect("valid N_b");
+    let mut seeds_bit_identical = outcome.all_quantized();
+    if seeds_bit_identical {
+        let mut check = |net: &mut Sequential, q: &QuantizedSequential, xs: &[Tensor]| {
+            let mut q = q.clone();
+            xs.iter().all(|x| {
+                seed_gen.seed_from_latent(&net.forward(x, false).into_vec())
+                    == seed_gen.seed_from_latent(&q.forward(x).into_vec())
+            })
+        };
+        let imu_q = models.imu_en_q.clone().expect("imu slot");
+        let rf_q = models.rf_en_q.clone().expect("rf slot");
+        seeds_bit_identical = check(&mut models.imu_en, &imu_q, &imu_inputs)
+            && check(&mut models.rf_en, &rf_q, &rf_inputs);
+    }
+
+    // Timing copies: the calibrated slots when present, otherwise a plain
+    // quantization of the trained encoder (same kernels, so the fallback
+    // case still reports honest per-op timings — just not the gate pass).
+    let quantized_of = |net: &Sequential, calib: &[Tensor]| {
+        let mut tmp = net.clone();
+        QuantizedSequential::from_sequential(&mut tmp, calib).expect("encoder-shaped net")
+    };
+    let mut q_imu = models
+        .imu_en_q
+        .clone()
+        .unwrap_or_else(|| quantized_of(&models.imu_en, &imu_inputs));
+    let mut q_rf = models
+        .rf_en_q
+        .clone()
+        .unwrap_or_else(|| quantized_of(&models.rf_en, &rf_inputs));
+
+    let model_bytes_f64 = models.imu_en.encode().len() + models.rf_en.encode().len();
+    let model_bytes_int8 = q_imu.encode().len() + q_rf.encode().len();
+    let int8_size_ratio = model_bytes_int8 as f64 / model_bytes_f64 as f64;
+
+    // Per-op records: each conv stage and the dense head, f32 GEMM forward
+    // vs the int8 kernel path, at the single-window inference shapes.
+    let (mut cols, mut acc, mut out) = (Vec::new(), Vec::new(), Vec::new());
+    let mut int8_records = Vec::new();
+    {
+        let mut conv_pair = |op, mut f32_layer: Conv1d, q: &wavekey_nn::quant::QuantizedConv1d, shape: Vec<usize>| {
+            let x = input(shape.clone());
+            let xq = input_q(shape[1] * shape[2]);
+            let f32_ns = time_ns(|| {
+                std::hint::black_box(f32_layer.forward(&x, false));
+            });
+            let int8_ns = time_ns(|| {
+                q.forward(&xq, shape[2], &mut cols, &mut acc, &mut out);
+                std::hint::black_box(&out);
+            });
+            int8_record(op, f32_ns, int8_ns)
+        };
+        int8_records.push(conv_pair(
+            "imu_conv1_int8_3x8k7s2_l200",
+            Conv1d::with_stride(3, 8, 7, 2, 0, 11),
+            &q_imu.convs()[0].clone(),
+            vec![1, 3, 200],
+        ));
+        int8_records.push(conv_pair(
+            "imu_conv2_int8_8x16k5s2_l97",
+            Conv1d::with_stride(8, 16, 5, 2, 0, 12),
+            &q_imu.convs()[1].clone(),
+            vec![1, 8, 97],
+        ));
+        int8_records.push(conv_pair(
+            "rf_conv1_int8_3x8k9s4_l400",
+            Conv1d::with_stride(3, 8, 9, 4, 0, 13),
+            &q_rf.convs()[0].clone(),
+            vec![1, 3, 400],
+        ));
+    }
+    {
+        let mut f32_dense = Dense::new(752, 12, 14);
+        let x = input(vec![1, 752]);
+        let xq = input_q(752);
+        let q_dense = q_imu.dense().clone();
+        let f32_ns = time_ns(|| {
+            std::hint::black_box(f32_dense.forward(&x, false));
+        });
+        let int8_ns = time_ns(|| {
+            std::hint::black_box(q_dense.forward(&xq, &mut acc));
+        });
+        int8_records.push(int8_record("enc_dense_int8_752x12", f32_ns, int8_ns));
+    }
+
+    // Whole-encoder forwards: the quantity the ci.sh int8 gate floors.
+    let mut encoder_pair = |op, net: &mut Sequential, q: &mut QuantizedSequential, shape: Vec<usize>| {
+        let x = input(shape);
+        let f32_ns = time_ns(|| {
+            std::hint::black_box(net.forward(&x, false));
+        });
+        let int8_ns = time_ns(|| {
+            std::hint::black_box(q.forward(&x));
+        });
+        int8_record(op, f32_ns, int8_ns)
+    };
+    let imu_encoder =
+        encoder_pair("imu_encoder_int8_3x200", &mut models.imu_en, &mut q_imu, vec![1, 3, 200]);
+    let rf_encoder =
+        encoder_pair("rf_encoder_int8_3x400", &mut models.rf_en, &mut q_rf, vec![1, 3, 400]);
+    let encoder_int8_speedup = imu_encoder.speedup().min(rf_encoder.speedup());
+    int8_records.push(imu_encoder);
+    int8_records.push(rf_encoder);
+
+    // Stage benchmark: the whole sensing→seed pipeline (gesture synthesis,
+    // IMU/RF sensing, encoder forwards, equiprobable quantization, Gray
+    // coding) with and without quantized inference.
+    let sense_to_seed = {
+        let f32_config = SessionConfig::default();
+        let mut int8_config = SessionConfig::default();
+        int8_config.quantized_inference = true;
+        let mut f32_session = Session::new(f32_config, models.clone(), 0x5e55);
+        let mut int8_session = Session::new(int8_config, models.clone(), 0x5e55);
+        let f32_ns = time_ns(|| {
+            std::hint::black_box(f32_session.derive_seeds().expect("sensing pipeline"));
+        });
+        let int8_ns = time_ns(|| {
+            std::hint::black_box(int8_session.derive_seeds().expect("sensing pipeline"));
+        });
+        int8_record("sense_to_seed_stage", f32_ns, int8_ns)
+    };
+
+    let wavekey_threads = std::env::var("WAVEKEY_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    println!(
+        "encoder_int8_speedup {encoder_int8_speedup:.2}x  seeds_bit_identical \
+         {seeds_bit_identical}  model bytes {model_bytes_f64} -> {model_bytes_int8} \
+         ({:.1}%)",
+        int8_size_ratio * 100.0
+    );
+    let trend_run = append_trend(encoder_int8_speedup, seeds_bit_identical, int8_size_ratio);
+    println!("trend run {trend_run} appended to results/TREND.jsonl");
+
     // Flat JSON array, written by hand (no serializer needed here).
     let mut json = String::from("[\n");
     for l in &layers {
@@ -176,6 +407,29 @@ fn main() {
             l.reference_ns / l.gemm_ns
         ));
     }
+    for r in int8_records.iter().chain(std::iter::once(&sense_to_seed)) {
+        json.push_str(&format!(
+            "  {{\"op\": \"{}\", \"f32_ns\": {:.1}, \"int8_ns\": {:.1}, \"int8_speedup\": {:.3}}},\n",
+            r.op,
+            r.f32_ns,
+            r.int8_ns,
+            r.speedup()
+        ));
+    }
+    json.push_str(&format!(
+        "  {{\"op\": \"int8_quantization_summary\", \"encoder_int8_speedup\": {:.3}, \
+         \"seeds_bit_identical\": {}, \"imu_en_quantized\": {}, \"rf_en_quantized\": {}, \
+         \"model_bytes_f64\": {}, \"model_bytes_int8\": {}, \"int8_size_ratio\": {:.4}, \
+         \"wavekey_threads\": {}}},\n",
+        encoder_int8_speedup,
+        seeds_bit_identical,
+        outcome.imu_quantized,
+        outcome.rf_quantized,
+        model_bytes_f64,
+        model_bytes_int8,
+        int8_size_ratio,
+        wavekey_threads
+    ));
     json.push_str(&format!(
         "  {{\"op\": \"train_autoencoders\", \"reference_s\": {:.3}, \"gemm_s\": {:.3}, \
          \"train_speedup\": {:.3}, \"loss_bit_identical\": {}}}\n]\n",

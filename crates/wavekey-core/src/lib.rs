@@ -14,6 +14,10 @@
 //!   variance-based `l_f` pruning study of §VI-C-1.
 //! * [`seed`] — key-seed generation (§IV-C): encoder → equiprobable
 //!   quantization → Gray coding.
+//! * [`quantize`] — int8-encoder calibration gated on key-seed
+//!   equivalence: quantized encoders are only used when they produce
+//!   bit-identical seeds on the reference corpus, else the session
+//!   falls back to f32 per model.
 //! * [`agreement`] — the bidirectional-OT key agreement of Fig. 4 with
 //!   the `2 + τ` arrival deadline, code-offset reconciliation, and HMAC
 //!   confirmation.
@@ -45,6 +49,7 @@ pub mod dataset;
 pub mod fault;
 pub mod model;
 pub mod proto;
+pub mod quantize;
 pub mod seed;
 pub mod service;
 pub mod session;
@@ -60,6 +65,7 @@ pub use fault::{FaultKind, FaultPlan, FaultProfile, ScheduledFault};
 pub use model::WaveKeyModels;
 pub use proto::link::{Endpoint, LinkDiscipline};
 pub use proto::{Decoder, Frame, FrameError, MobileAgreement, ServerAgreement};
+pub use quantize::{calibrate, QuantizeOutcome};
 pub use seed::SeedGenerator;
 pub use service::{AccessService, DegradePolicy, ManagedOutcome, ServiceTicket, SessionManager};
 pub use session::{ConfigGuard, Session, SessionConfig, SessionOutcome};

@@ -14,6 +14,7 @@ use wavekey_imu::pipeline::AccelMatrix;
 use wavekey_math::{Mat3, Vec3};
 use wavekey_nn::layer::{BatchNorm1d, Conv1d, ConvTranspose1d, Dense, Flatten, ReLU, Reshape};
 use wavekey_nn::net::{ModelCodecError, Sequential};
+use wavekey_nn::quant::QuantizedSequential;
 use wavekey_nn::tensor::Tensor;
 use wavekey_rfid::pipeline::RfidMatrix;
 
@@ -38,6 +39,12 @@ pub struct WaveKeyModels {
     pub de: Sequential,
     /// Latent length `l_f` the networks currently produce.
     pub l_f: usize,
+    /// Int8-quantized IMU-En for the inference hot path, populated by
+    /// `quantize::calibrate` when the quantized seeds match the f32 seeds
+    /// on the calibration corpus (`None` ⇒ fall back to f32).
+    pub imu_en_q: Option<QuantizedSequential>,
+    /// Int8-quantized RF-En; same fallback contract as `imu_en_q`.
+    pub rf_en_q: Option<QuantizedSequential>,
 }
 
 impl WaveKeyModels {
@@ -53,15 +60,51 @@ impl WaveKeyModels {
             rf_en: build_rf_encoder(l_f, seed.wrapping_add(1)),
             de: build_decoder(l_f, seed.wrapping_add(2)),
             l_f,
+            imu_en_q: None,
+            rf_en_q: None,
         }
     }
 
-    /// Serializes all three networks to one binary blob.
+    /// Whether both encoders carry a calibrated quantized counterpart.
+    pub fn has_quantized(&self) -> bool {
+        self.imu_en_q.is_some() && self.rf_en_q.is_some()
+    }
+
+    /// Runs IMU-En forward in inference mode. With `quantized` set the
+    /// int8 path is used when `imu_en_q` is calibrated; otherwise (or when
+    /// calibration fell back) the f32 network runs.
+    pub fn imu_forward(&mut self, input: &Tensor, quantized: bool) -> Tensor {
+        match (&mut self.imu_en_q, quantized) {
+            (Some(q), true) => q.forward(input),
+            _ => self.imu_en.forward(input, false),
+        }
+    }
+
+    /// Runs RF-En forward in inference mode; see
+    /// [`WaveKeyModels::imu_forward`].
+    pub fn rf_forward(&mut self, input: &Tensor, quantized: bool) -> Tensor {
+        match (&mut self.rf_en_q, quantized) {
+            (Some(q), true) => q.forward(input),
+            _ => self.rf_en.forward(input, false),
+        }
+    }
+
+    /// Serializes all three networks to one binary blob, followed by a
+    /// flags byte and the quantized encoder blobs for whichever slots are
+    /// populated (bit 0 = IMU, bit 1 = RF).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&(self.l_f as u32).to_le_bytes());
         for net in [&self.imu_en, &self.rf_en, &self.de] {
             let bytes = net.encode();
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        let flags =
+            u8::from(self.imu_en_q.is_some()) | (u8::from(self.rf_en_q.is_some()) << 1);
+        out.push(flags);
+        for q in [&self.imu_en_q, &self.rf_en_q].into_iter().flatten() {
+            let bytes = q.encode();
             out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
             out.extend_from_slice(&bytes);
         }
@@ -93,13 +136,31 @@ impl WaveKeyModels {
             nets.push(Sequential::decode(&bytes[pos..pos + len])?);
             pos += len;
         }
+        // Quantized-encoder trailer. Blobs written before the int8 path
+        // existed end here; treat that as "no quantized slots".
+        let (mut imu_en_q, mut rf_en_q) = (None, None);
+        if pos != bytes.len() {
+            let flags = bytes[pos];
+            pos += 1;
+            for (bit, slot) in [(1u8, &mut imu_en_q), (2u8, &mut rf_en_q)] {
+                if flags & bit == 0 {
+                    continue;
+                }
+                let len = take_u32(&mut pos)? as usize;
+                if pos + len > bytes.len() {
+                    return Err(ModelCodecError::Truncated);
+                }
+                *slot = Some(QuantizedSequential::decode(&bytes[pos..pos + len])?);
+                pos += len;
+            }
+        }
         if pos != bytes.len() {
             return Err(ModelCodecError::TrailingBytes);
         }
         let de = nets.pop().expect("three nets");
         let rf_en = nets.pop().expect("three nets");
         let imu_en = nets.pop().expect("three nets");
-        Ok(WaveKeyModels { imu_en, rf_en, de, l_f })
+        Ok(WaveKeyModels { imu_en, rf_en, de, l_f, imu_en_q, rf_en_q })
     }
 
     /// Saves to a file.
@@ -397,6 +458,57 @@ mod tests {
         assert_eq!(decoded.imu_en, models.imu_en);
         assert_eq!(decoded.rf_en, models.rf_en);
         assert_eq!(decoded.de, models.de);
+    }
+
+    #[test]
+    fn models_codec_roundtrips_quantized_slots() {
+        let mut models = WaveKeyModels::new(12, 9);
+        let calib: Vec<Tensor> = (0..4)
+            .map(|i| {
+                let rows = (0..IMU_SAMPLES)
+                    .map(|s| {
+                        let t = s as f64 * (0.08 + 0.01 * i as f64);
+                        Vec3::new(t.sin(), (1.3 * t).cos(), 0.2 * t.sin())
+                    })
+                    .collect();
+                imu_to_tensor(&AccelMatrix::from_rows(rows, 0.0))
+            })
+            .collect();
+        models.imu_en_q =
+            Some(QuantizedSequential::from_sequential(&mut models.imu_en, &calib).unwrap());
+        let decoded = WaveKeyModels::decode(&models.encode()).unwrap();
+        assert_eq!(decoded.imu_en_q, models.imu_en_q);
+        assert_eq!(decoded.rf_en_q, None);
+        // Full-model comparison via re-encoding (the in-memory nets carry
+        // forward caches PartialEq would see).
+        assert_eq!(decoded.encode(), models.encode());
+    }
+
+    #[test]
+    fn models_codec_accepts_pre_trailer_blobs() {
+        // Blobs written before the quantized slots existed (three nets,
+        // no flags byte) must still load, with empty slots.
+        let models = WaveKeyModels::new(6, 13);
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(&(models.l_f as u32).to_le_bytes());
+        for net in [&models.imu_en, &models.rf_en, &models.de] {
+            let bytes = net.encode();
+            legacy.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            legacy.extend_from_slice(&bytes);
+        }
+        let decoded = WaveKeyModels::decode(&legacy).unwrap();
+        assert_eq!(decoded, models);
+        assert!(!decoded.has_quantized());
+    }
+
+    #[test]
+    fn forward_routing_falls_back_without_quantized_slots() {
+        let mut models = WaveKeyModels::new(12, 7);
+        let a = imu_to_tensor(&dummy_accel());
+        let float = models.imu_en.forward(&a, false);
+        // quantized=true with no calibrated slot must use the f32 path.
+        let routed = models.imu_forward(&a, true);
+        assert_eq!(float.data(), routed.data());
     }
 
     #[test]

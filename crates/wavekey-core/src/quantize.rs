@@ -1,0 +1,210 @@
+//! Int8-encoder calibration gated on key-seed equivalence.
+//!
+//! `wavekey-nn`'s [`QuantizedSequential`] keeps the quantized *latent*
+//! within ~1e-2 of the f32 latent, but WaveKey does not consume latents —
+//! it consumes the equiprobable-quantizer *bin indices* (§IV-C), and with
+//! `N_b = 9` the central bins are only ~0.28σ wide. A per-channel latent
+//! error of 1e-2 therefore crosses a bin boundary somewhere on any
+//! realistic corpus, and a single crossed bin changes the key-seed. So a
+//! quantized encoder is only usable when it lands every calibration
+//! latent in the *same bin* as the f32 encoder.
+//!
+//! [`calibrate`] enforces exactly that, per encoder:
+//!
+//! 1. Build the int8 network ([`QuantizedSequential::from_sequential`])
+//!    with the corpus as the activation-calibration set.
+//! 2. **Boundary-aware bias nudge**: for every latent channel, intersect
+//!    over the corpus the interval of output-bias corrections that keep
+//!    each sample inside its f32 bin, and move the channel's f32 output
+//!    bias to the mean f32−int8 gap clamped into that interval (interval
+//!    midpoint when the mean falls outside). The nudge never exceeds a
+//!    bin width, so it cannot manufacture agreement that the quantized
+//!    network doesn't already almost have.
+//! 3. **Drift check**: re-run the corpus and require bit-identical seeds
+//!    ([`SeedGenerator::seed_from_latent`]) on every sample. On any
+//!    mismatch — or an empty feasible interval, or an unsupported
+//!    architecture — the encoder's quantized slot stays `None` and the
+//!    session layer falls back to f32 for that model.
+//!
+//! The fallback is *per model*: a drifting IMU encoder does not disable
+//! the quantized RF encoder.
+
+use crate::dataset::Dataset;
+use crate::model::WaveKeyModels;
+use crate::seed::SeedGenerator;
+use wavekey_dsp::EquiprobableQuantizer;
+use wavekey_nn::net::Sequential;
+use wavekey_nn::quant::QuantizedSequential;
+use wavekey_nn::tensor::Tensor;
+
+/// What [`calibrate`] did to each encoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizeOutcome {
+    /// The IMU encoder now has a seed-equivalent quantized counterpart.
+    pub imu_quantized: bool,
+    /// The RF encoder now has a seed-equivalent quantized counterpart.
+    pub rf_quantized: bool,
+    /// Calibration samples checked per encoder.
+    pub samples: usize,
+}
+
+impl QuantizeOutcome {
+    /// Both encoders quantized successfully.
+    pub fn all_quantized(&self) -> bool {
+        self.imu_quantized && self.rf_quantized
+    }
+}
+
+/// Builds, nudges, and verifies quantized encoders for `models` against
+/// the reference `corpus`, populating `models.imu_en_q` / `models.rf_en_q`
+/// only when the quantized key-seeds are bit-identical to the f32 seeds
+/// on every corpus sample (with `n_b` quantization bins, the session
+/// config's `N_b`).
+pub fn calibrate(models: &mut WaveKeyModels, corpus: &Dataset, n_b: usize) -> QuantizeOutcome {
+    let imu_inputs: Vec<Tensor> = corpus.samples.iter().map(|s| batched(&s.a)).collect();
+    let rf_inputs: Vec<Tensor> = corpus.samples.iter().map(|s| batched(&s.r)).collect();
+    models.imu_en_q = seed_equivalent_quantized(&mut models.imu_en, &imu_inputs, n_b);
+    models.rf_en_q = seed_equivalent_quantized(&mut models.rf_en, &rf_inputs, n_b);
+    QuantizeOutcome {
+        imu_quantized: models.imu_en_q.is_some(),
+        rf_quantized: models.rf_en_q.is_some(),
+        samples: corpus.samples.len(),
+    }
+}
+
+/// Dataset samples are un-batched `[C, L]`; the conv layers want
+/// `[1, C, L]`.
+fn batched(t: &Tensor) -> Tensor {
+    let s = t.shape();
+    t.reshaped(vec![1, s[0], s[1]])
+}
+
+/// Quantizes one encoder and returns it only if it passes the
+/// seed-equivalence drift check on `inputs`.
+fn seed_equivalent_quantized(
+    net: &mut Sequential,
+    inputs: &[Tensor],
+    n_b: usize,
+) -> Option<QuantizedSequential> {
+    let quantizer = EquiprobableQuantizer::new(n_b).ok()?;
+    let seed_gen = SeedGenerator::new(n_b).ok()?;
+    let mut quantized = QuantizedSequential::from_sequential(net, inputs).ok()?;
+
+    let f32_latents: Vec<Vec<f32>> =
+        inputs.iter().map(|t| net.forward(t, false).into_vec()).collect();
+    let q_latents: Vec<Vec<f32>> =
+        inputs.iter().map(|t| quantized.forward(t).into_vec()).collect();
+
+    // Per-channel feasible bias-correction interval: corrections that keep
+    // every sample's quantized latent inside its f32 bin.
+    let boundaries = quantizer.boundaries();
+    let l_f = quantized.out_features();
+    let bias = quantized.output_bias_mut();
+    for ch in 0..l_f {
+        let (mut lo, mut hi) = (f64::NEG_INFINITY, f64::INFINITY);
+        let mut gap_sum = 0.0f64;
+        for (f, q) in f32_latents.iter().zip(&q_latents) {
+            let (fv, qv) = (f64::from(f[ch]), f64::from(q[ch]));
+            let bin = quantizer.quantize(fv);
+            // Bin `b` holds x with boundaries[b-1] ≤ x < boundaries[b]
+            // (open-ended at the extremes).
+            if bin > 0 {
+                lo = lo.max(boundaries[bin - 1] - qv);
+            }
+            if bin < boundaries.len() {
+                hi = hi.min(boundaries[bin] - qv);
+            }
+            gap_sum += fv - qv;
+        }
+        if lo >= hi {
+            return None; // no single correction fixes every sample
+        }
+        let mean_gap = gap_sum / f32_latents.len() as f64;
+        // Keep away from the interval edges: the correction is applied in
+        // f32, so give the f32 rounding of `bias + corr` headroom.
+        let corr = if lo.is_finite() && hi.is_finite() {
+            let margin = ((hi - lo) * 1e-3).min(1e-5);
+            mean_gap.clamp(lo + margin, hi - margin)
+        } else {
+            mean_gap.clamp(lo + 1e-5, hi - 1e-5)
+        };
+        bias[ch] += corr as f32;
+    }
+
+    // Exact drift check: the gated property itself, per sample.
+    for (input, f32_latent) in inputs.iter().zip(&f32_latents) {
+        let q_latent = quantized.forward(input).into_vec();
+        if seed_gen.seed_from_latent(f32_latent) != seed_gen.seed_from_latent(&q_latent) {
+            return None;
+        }
+    }
+    Some(quantized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate, DatasetConfig};
+    use crate::training::{train_autoencoders, TrainingConfig};
+
+    fn trained_fixture() -> (WaveKeyModels, Dataset) {
+        let dataset_config = DatasetConfig::tiny();
+        let config = TrainingConfig { epochs: 3, ..TrainingConfig::default() };
+        let models = train_autoencoders(&dataset_config, &config, 0x5eed).unwrap();
+        let corpus = generate(&dataset_config);
+        (models, corpus)
+    }
+
+    #[test]
+    fn calibrate_yields_bit_identical_seeds_or_falls_back() {
+        let (mut models, corpus) = trained_fixture();
+        let n_b = crate::WaveKeyConfig::default().n_b;
+        let outcome = calibrate(&mut models, &corpus, n_b);
+        assert_eq!(outcome.samples, corpus.len());
+        assert_eq!(outcome.imu_quantized, models.imu_en_q.is_some());
+        assert_eq!(outcome.rf_quantized, models.rf_en_q.is_some());
+        // Whatever was accepted must hold the seed-equivalence contract.
+        let seed_gen = SeedGenerator::new(n_b).unwrap();
+        if let Some(q) = &models.imu_en_q {
+            let mut q = q.clone();
+            for s in &corpus.samples {
+                let input = batched(&s.a);
+                let f = models.imu_en.forward(&input, false).into_vec();
+                let qv = q.forward(&input).into_vec();
+                assert_eq!(
+                    seed_gen.seed_from_latent(&f),
+                    seed_gen.seed_from_latent(&qv)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibrate_rejects_unsupported_decoder_shape() {
+        let (mut models, corpus) = trained_fixture();
+        // Swap IMU-En for the decoder (deconv — unquantizable): the IMU
+        // slot must fall back while the RF slot is judged independently.
+        models.imu_en = crate::model::build_decoder(models.l_f, 1);
+        let inputs: Vec<Tensor> = corpus.samples.iter().map(|s| batched(&s.a)).collect();
+        assert!(seed_equivalent_quantized(&mut models.imu_en, &inputs, 9).is_none());
+    }
+
+    #[test]
+    fn drift_check_rejects_a_perturbed_encoder() {
+        let (mut models, corpus) = trained_fixture();
+        let inputs: Vec<Tensor> = corpus.samples.iter().map(|s| batched(&s.a)).collect();
+        if let Some(mut q) =
+            seed_equivalent_quantized(&mut models.imu_en, &inputs, 9)
+        {
+            // A bias shift of two bin widths must trip the drift check.
+            q.output_bias_mut()[0] += 0.6;
+            let seed_gen = SeedGenerator::new(9).unwrap();
+            let drifted = inputs.iter().any(|t| {
+                let f = models.imu_en.forward(t, false).into_vec();
+                let qv = q.forward(t).into_vec();
+                seed_gen.seed_from_latent(&f) != seed_gen.seed_from_latent(&qv)
+            });
+            assert!(drifted, "0.6σ bias shift must cross a bin somewhere");
+        }
+    }
+}

@@ -47,6 +47,10 @@ pub struct SessionConfig {
     pub walkers: usize,
     /// Use the tiny test group for the OT (tests only; no security).
     pub use_tiny_group: bool,
+    /// Run the encoder forwards on the int8 path when the models carry
+    /// seed-equivalent quantized encoders (see [`crate::quantize`]);
+    /// models without a calibrated slot fall back to f32 per encoder.
+    pub quantized_inference: bool,
 }
 
 impl Default for SessionConfig {
@@ -63,6 +67,7 @@ impl Default for SessionConfig {
             placement: UserPlacement::default(),
             walkers: 0,
             use_tiny_group: false,
+            quantized_inference: false,
         }
     }
 }
@@ -356,15 +361,14 @@ impl Session {
         self.obs.record_duration(stage::RFID_PIPELINE, d);
 
         let t = Instant::now();
+        let quantized = self.config.quantized_inference;
         let f_m = self
             .models
-            .imu_en
-            .forward(&crate::model::imu_to_tensor(&a), false)
+            .imu_forward(&crate::model::imu_to_tensor(&a), quantized)
             .into_vec();
         let f_r = self
             .models
-            .rf_en
-            .forward(&crate::model::rfid_to_tensor(&r), false)
+            .rf_forward(&crate::model::rfid_to_tensor(&r), quantized)
             .into_vec();
         let d = t.elapsed().as_secs_f64();
         trace.record_stage(stage::ENCODER_FORWARD, d);
@@ -376,9 +380,9 @@ impl Session {
     /// acceleration matrix (used by the device-spoofing attacks, which
     /// run the public IMU-En on attacker-recovered data).
     pub fn latent_from_accel(&mut self, a: &wavekey_imu::pipeline::AccelMatrix) -> Vec<f32> {
+        let quantized = self.config.quantized_inference;
         self.models
-            .imu_en
-            .forward(&crate::model::imu_to_tensor(a), false)
+            .imu_forward(&crate::model::imu_to_tensor(a), quantized)
             .into_vec()
     }
 
@@ -627,6 +631,27 @@ mod tests {
             ..Default::default()
         };
         Session::new(config, models, 7)
+    }
+
+    #[test]
+    fn quantized_flag_without_calibrated_slots_changes_nothing() {
+        // quantized_inference=true on models without quantized slots must
+        // be a bit-exact no-op: every encoder falls back to f32 and the
+        // deterministic session produces the same seeds.
+        let models = WaveKeyModels::new(12, 1);
+        let base = SessionConfig {
+            use_tiny_group: true,
+            wavekey: WaveKeyConfig { tau: 10.0, ..Default::default() },
+            ..Default::default()
+        };
+        let quant_config =
+            SessionConfig { quantized_inference: true, ..base.clone() };
+        let mut plain = Session::new(base, models.clone(), 7);
+        let mut routed = Session::new(quant_config, models, 7);
+        let (s_m_a, s_r_a) = plain.derive_seeds().unwrap();
+        let (s_m_b, s_r_b) = routed.derive_seeds().unwrap();
+        assert_eq!(s_m_a, s_m_b);
+        assert_eq!(s_r_a, s_r_b);
     }
 
     #[test]

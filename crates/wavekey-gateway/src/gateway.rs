@@ -88,6 +88,23 @@ pub fn server_rng(base: u64, conn_id: u64) -> StdRng {
     StdRng::seed_from_u64(base ^ conn_id.wrapping_mul(0xD6E8_FEB8_6659_FD93))
 }
 
+/// Adapts a sensing [`wavekey_core::Session`] into a [`Gateway`] seed
+/// source: every accepted connection simulates one fresh gesture and
+/// hands the server-side seed `S_R` to the agreement. The session's
+/// encoder routing applies, so a config with `quantized_inference` set
+/// (and calibrated models) runs every gateway session on the int8 path.
+///
+/// The returned closure panics if the sensing pipeline fails — gateway
+/// deployments that need graceful sensing fallback should wrap their own
+/// seed source.
+pub fn session_seed_fn(session: wavekey_core::Session) -> impl Fn(u64) -> Vec<bool> {
+    let cell = std::cell::RefCell::new(session);
+    move |_conn_id| {
+        let (_, s_r) = cell.borrow_mut().derive_seeds().expect("sensing pipeline");
+        s_r
+    }
+}
+
 struct GatewayInner {
     config: GatewayConfig,
     obs: Obs,
@@ -598,6 +615,26 @@ mod tests {
             )
             .expect("lockstep");
             assert_eq!(client_key, outcome.key, "conn {conn_id}");
+        }
+    }
+
+    #[test]
+    fn session_seed_fn_mirrors_the_sensing_session() {
+        use wavekey_core::{Session, SessionConfig, WaveKeyConfig, WaveKeyModels};
+        let models = WaveKeyModels::new(12, 3);
+        let config = SessionConfig {
+            use_tiny_group: true,
+            wavekey: WaveKeyConfig { tau: 10.0, ..Default::default() },
+            // Models carry no calibrated slots, so the quantized flag
+            // exercises the per-model f32 fallback inside the closure.
+            quantized_inference: true,
+            ..Default::default()
+        };
+        let mut mirror = Session::new(config.clone(), models.clone(), 42);
+        let seed_fn = session_seed_fn(Session::new(config, models, 42));
+        for conn_id in 0..2u64 {
+            let (_, expect) = mirror.derive_seeds().unwrap();
+            assert_eq!(seed_fn(conn_id), expect, "conn {conn_id}");
         }
     }
 

@@ -247,6 +247,427 @@ fn kernel_edge(
     }
 }
 
+// ------------------------------------------------------------- int8 kernel
+
+/// Rows per register tile of the int8 microkernel.
+const QMR: usize = 4;
+/// Columns per register tile of the int8 microkernel.
+const QNR: usize = 4;
+/// Lanes per dot-product accumulator block: eight `i16·i16 → i32` MACs
+/// is exactly one `pmaddwd`-pair at the SSE2 baseline, which is what the
+/// autovectorizer emits for this shape.
+const QLANES: usize = 8;
+
+/// `C += A · Bᵀ` over quantized `i16` operands with exact i32
+/// accumulation.
+///
+/// One operand carries int8-range weights (`-127..=127`) widened into
+/// `i16` containers, the other up-to-15-bit activation codes
+/// (`-16383..=16383`, see `quant::AMAX`): the widening costs 2× the
+/// memory of true `i8` weight storage but lets the inner product lower
+/// straight to the SSE2 `pmaddwd` multiply-accumulate (8 MACs per
+/// instruction) without the SSE4.1 byte-extension the baseline target
+/// lacks, and the asymmetric 8×15-bit grid keeps the deepest model
+/// reduction (752 · 127 · 16383 ≈ 1.6e9) inside `i32`. Serialized models
+/// store true `i8` weights; the widened copies are built once at load
+/// time (see [`crate::quant`]).
+///
+/// Unlike [`gemm`], `B` is supplied *transposed* (`bt`: `n` rows of
+/// stride `rsbt`, `kd` used columns), so each `C[i][j]` is a dot product
+/// of two contiguous rows — the natural layout for quantized weights
+/// (`[out_ch][in_ch·k]`) and for the patch-major `im2row` packing the
+/// quantized convolutions use. Accumulation is exact integer arithmetic:
+/// any summation order gives the same result, so no order pinning is
+/// needed for reproducibility.
+///
+/// # Panics
+///
+/// Panics when a slice is too short for the stated geometry.
+pub fn gemm_i8(
+    c: &mut [i32],
+    rsc: usize,
+    a: &[i16],
+    rsa: usize,
+    bt: &[i16],
+    rsbt: usize,
+    m: usize,
+    kd: usize,
+    n: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(c.len() >= m * rsc && n <= rsc, "C too short for {m}x{n} (stride {rsc})");
+    assert!(kd == 0 || a.len() >= (m - 1) * rsa + kd, "A too short");
+    assert!(kd == 0 || bt.len() >= (n - 1) * rsbt + kd, "Bt too short");
+
+    let mut i0 = 0;
+    while i0 < m {
+        let mr = QMR.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let nr = QNR.min(n - j0);
+            // An MR×NR register tile: the A rows stay hot in L1 across
+            // the NR dot products, the Bt rows across the MR.
+            for r in 0..mr {
+                let arow = &a[(i0 + r) * rsa..][..kd];
+                for t in 0..nr {
+                    let brow = &bt[(j0 + t) * rsbt..][..kd];
+                    c[(i0 + r) * rsc + j0 + t] += dot_i16(arow, brow);
+                }
+            }
+            j0 += QNR;
+        }
+        i0 += QMR;
+    }
+}
+
+/// Output-position lanes per register block of [`gemm_i8_cols`].
+const QCOLS: usize = 8;
+
+/// `C += A · B` over quantized `i16` operands with `B` row-major
+/// (`kd` rows of exactly `n` columns) — the int8 convolution kernel.
+///
+/// [`gemm_i8`]'s per-element dot form wins for the long dense reduction
+/// (`kd = 752`) but loses badly at conv depths (`kd ≤ 40`), where the
+/// horizontal reduction dominates every short dot. This form instead
+/// keeps a [`QCOLS`]-wide register block of *output positions* live
+/// across the whole `k` loop and broadcasts one weight per step:
+///
+/// ```text
+/// C[i][j0..j0+8] += Σ_k  a[i][k] · b[k][j0..j0+8]
+/// ```
+///
+/// On x86-64 the hot loop is hand-written SSE2 (guaranteed baseline):
+/// adjacent `k` rows are interleaved with `punpck` and fed to
+/// `pmaddwd` — 8 exact `i16·i16 → i32` MACs per instruction, with a
+/// [`QCOLS`]·2-wide register block of output positions live across the
+/// whole `k` loop and no horizontal reduction until the final store.
+/// Other targets take a portable register-blocked loop the
+/// autovectorizer handles. Accumulation is exact `i32` either way, so
+/// the result is independent of summation order and identical across
+/// both paths. Callers that control the packing should pad `n` to a
+/// multiple of 16 (zero columns are exact no-ops) — remaining tail
+/// columns fall back to scalar dots.
+///
+/// # Panics
+///
+/// Panics when a slice is too short for the stated geometry.
+pub fn gemm_i8_cols(
+    c: &mut [i32],
+    rsc: usize,
+    a: &[i16],
+    rsa: usize,
+    b: &[i16],
+    m: usize,
+    kd: usize,
+    n: usize,
+) {
+    if m == 0 || n == 0 || kd == 0 {
+        return;
+    }
+    assert!(c.len() >= m * rsc && n <= rsc, "C too short for {m}x{n} (stride {rsc})");
+    assert!(a.len() >= (m - 1) * rsa + kd, "A too short");
+    assert!(b.len() >= kd * n, "B too short");
+
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: the geometry asserts above bound every pointer access.
+    unsafe {
+        gemm_i8_cols_sse2(c, rsc, a, rsa, b, m, kd, n);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    gemm_i8_cols_portable(c, rsc, a, rsa, b, m, kd, n);
+}
+
+/// The SSE2 body of [`gemm_i8_cols`]; geometry must satisfy its asserts.
+#[cfg(target_arch = "x86_64")]
+unsafe fn gemm_i8_cols_sse2(
+    c: &mut [i32],
+    rsc: usize,
+    a: &[i16],
+    rsa: usize,
+    b: &[i16],
+    m: usize,
+    kd: usize,
+    n: usize,
+) {
+    use std::arch::x86_64::*;
+    let jw = 2 * QCOLS;
+    let nb = n - n % jw;
+    let kb = kd - kd % 2;
+    for i in 0..m {
+        let wrow = &a[i * rsa..][..kd];
+        let mut j0 = 0;
+        while j0 < nb {
+            // SAFETY: all loads/stores below stay inside `b[..kd*n]` and
+            // row `i` of `c` (j0 + 16 ≤ nb ≤ n ≤ rsc).
+            unsafe {
+                let mut acc = [_mm_setzero_si128(); 4];
+                let mut kk = 0;
+                while kk < kb {
+                    // Two adjacent weights broadcast as (w₀, w₁) i16
+                    // pairs; the matching activation rows interleave to
+                    // (x₀(j), x₁(j)) pairs — the pmaddwd operand shape.
+                    let wv = _mm_set1_epi32(
+                        (i32::from(wrow[kk + 1] as u16) << 16) | i32::from(wrow[kk] as u16),
+                    );
+                    let r0 = b.as_ptr().add(kk * n + j0);
+                    let r1 = b.as_ptr().add((kk + 1) * n + j0);
+                    for t in 0..2 {
+                        let x0 = _mm_loadu_si128(r0.add(8 * t).cast());
+                        let x1 = _mm_loadu_si128(r1.add(8 * t).cast());
+                        let lo = _mm_unpacklo_epi16(x0, x1);
+                        let hi = _mm_unpackhi_epi16(x0, x1);
+                        acc[2 * t] = _mm_add_epi32(acc[2 * t], _mm_madd_epi16(lo, wv));
+                        acc[2 * t + 1] =
+                            _mm_add_epi32(acc[2 * t + 1], _mm_madd_epi16(hi, wv));
+                    }
+                    kk += 2;
+                }
+                if kk < kd {
+                    // Odd depth: pair the last row with zeros (exact).
+                    let wv = _mm_set1_epi32(i32::from(wrow[kk] as u16));
+                    let zero = _mm_setzero_si128();
+                    let r0 = b.as_ptr().add(kk * n + j0);
+                    for t in 0..2 {
+                        let x0 = _mm_loadu_si128(r0.add(8 * t).cast());
+                        let lo = _mm_unpacklo_epi16(x0, zero);
+                        let hi = _mm_unpackhi_epi16(x0, zero);
+                        acc[2 * t] = _mm_add_epi32(acc[2 * t], _mm_madd_epi16(lo, wv));
+                        acc[2 * t + 1] =
+                            _mm_add_epi32(acc[2 * t + 1], _mm_madd_epi16(hi, wv));
+                    }
+                }
+                let crow = c.as_mut_ptr().add(i * rsc + j0);
+                for (t, av) in acc.into_iter().enumerate() {
+                    let p: *mut __m128i = crow.add(4 * t).cast();
+                    _mm_storeu_si128(p, _mm_add_epi32(_mm_loadu_si128(p), av));
+                }
+            }
+            j0 += jw;
+        }
+        for j in nb..n {
+            let mut acc = 0i32;
+            for (kk, &w) in wrow.iter().enumerate() {
+                acc += i32::from(w) * i32::from(b[kk * n + j]);
+            }
+            c[i * rsc + j] += acc;
+        }
+    }
+}
+
+/// The portable body of [`gemm_i8_cols`] for non-x86-64 targets: a
+/// [`QCOLS`]-wide register block the autovectorizer can lower to the
+/// platform's widening multiply-accumulate.
+#[cfg(not(target_arch = "x86_64"))]
+fn gemm_i8_cols_portable(
+    c: &mut [i32],
+    rsc: usize,
+    a: &[i16],
+    rsa: usize,
+    b: &[i16],
+    m: usize,
+    kd: usize,
+    n: usize,
+) {
+    let nb = n - n % QCOLS;
+    for i in 0..m {
+        let wrow = &a[i * rsa..][..kd];
+        let (cmain, ctail) = c[i * rsc..][..n].split_at_mut(nb);
+        for (jb, accblk) in cmain.chunks_exact_mut(QCOLS).enumerate() {
+            let j0 = jb * QCOLS;
+            let mut lanes = [0i32; QCOLS];
+            for (kk, &w) in wrow.iter().enumerate() {
+                let w = i32::from(w);
+                let x: &[i16; QCOLS] = b[kk * n + j0..][..QCOLS].try_into().unwrap();
+                for (lane, &xv) in lanes.iter_mut().zip(x) {
+                    *lane += w * i32::from(xv);
+                }
+            }
+            for (o, v) in accblk.iter_mut().zip(lanes) {
+                *o += v;
+            }
+        }
+        for (j, o) in (nb..n).zip(ctail.iter_mut()) {
+            let mut acc = 0i32;
+            for (kk, &w) in wrow.iter().enumerate() {
+                acc += i32::from(w) * i32::from(b[kk * n + j]);
+            }
+            *o += acc;
+        }
+    }
+}
+
+/// Splits `src` into even-index and odd-index elements:
+/// `even[i] = src[2i]`, `odd[i] = src[2i+1]`. The strided-conv packers
+/// use this to phase-split an input channel once per layer, turning
+/// every strided im2row gather into a contiguous `memcpy` (applied
+/// twice it splits a stride-4 channel into its four phases).
+///
+/// On x86-64 this runs 16 elements per iteration in SSE2 (`pshuflw`/
+/// `pshufhw`/`pshufd` de-interleave plus a quadword merge); elsewhere a
+/// scalar loop does the same moves.
+///
+/// # Panics
+///
+/// Panics unless `even.len() == src.len().div_ceil(2)` and
+/// `odd.len() == src.len() / 2`.
+pub fn deinterleave2(src: &[i16], even: &mut [i16], odd: &mut [i16]) {
+    assert_eq!(even.len(), src.len().div_ceil(2), "even length mismatch");
+    assert_eq!(odd.len(), src.len() / 2, "odd length mismatch");
+    #[cfg(not(target_arch = "x86_64"))]
+    let done = 0;
+    #[cfg(target_arch = "x86_64")]
+    let done = {
+        use std::arch::x86_64::*;
+        let pairs = src.len() / 16;
+        // SAFETY: each iteration reads 16 elements of `src` and writes 8
+        // of `even` / `odd`, all within the lengths asserted above.
+        unsafe {
+            for t in 0..pairs {
+                let a = _mm_loadu_si128(src.as_ptr().add(16 * t).cast());
+                let b = _mm_loadu_si128(src.as_ptr().add(16 * t + 8).cast());
+                // (e₀ o₀ e₁ o₁ …) → (e₀ e₁ e₂ e₃ o₀ o₁ o₂ o₃)
+                let pa =
+                    _mm_shuffle_epi32(_mm_shufflehi_epi16(_mm_shufflelo_epi16(a, 0xD8), 0xD8), 0xD8);
+                let pb =
+                    _mm_shuffle_epi32(_mm_shufflehi_epi16(_mm_shufflelo_epi16(b, 0xD8), 0xD8), 0xD8);
+                _mm_storeu_si128(
+                    even.as_mut_ptr().add(8 * t).cast(),
+                    _mm_unpacklo_epi64(pa, pb),
+                );
+                _mm_storeu_si128(
+                    odd.as_mut_ptr().add(8 * t).cast(),
+                    _mm_unpackhi_epi64(pa, pb),
+                );
+            }
+        }
+        16 * pairs
+    };
+    for (i, pair) in src[done..].chunks(2).enumerate() {
+        even[done / 2 + i] = pair[0];
+        if let Some(&o) = pair.get(1) {
+            odd[done / 2 + i] = o;
+        }
+    }
+}
+
+/// Quantizes a float slice to symmetric activation codes:
+/// `dst[t] = trunc(v + ½·sign(v))` with `v = clamp(src[t]·inv, -cap, cap)`
+/// — round-half-away-from-zero on the clamped range, matching the scalar
+/// quantizer the calibrator uses. `dst` is cleared and refilled.
+///
+/// On x86-64 the loop runs 8 lanes at a time in SSE2 (the sign-carrying
+/// half is built by OR-ing the sign bit into `0.5`, exactly
+/// `f32::copysign`); elsewhere a scalar loop computes the identical
+/// operation sequence, so both paths are bit-identical.
+pub fn quantize_codes(dst: &mut Vec<i16>, src: &[f32], inv: f32, cap: f32) {
+    dst.clear();
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::*;
+        dst.resize(src.len(), 0);
+        let mut chunks_d = dst.chunks_exact_mut(8);
+        let mut chunks_s = src.chunks_exact(8);
+        // SAFETY: each chunk is exactly 8 elements; loads/stores are
+        // unaligned-tolerant.
+        unsafe {
+            let iv = _mm_set1_ps(inv);
+            let lo = _mm_set1_ps(-cap);
+            let hi = _mm_set1_ps(cap);
+            let half = _mm_set1_ps(0.5);
+            let sign = _mm_set1_ps(-0.0);
+            for (d, s) in (&mut chunks_d).zip(&mut chunks_s) {
+                let mut out = [_mm_setzero_si128(); 2];
+                for (t, o) in out.iter_mut().enumerate() {
+                    let v = _mm_mul_ps(_mm_loadu_ps(s[4 * t..].as_ptr()), iv);
+                    let v = _mm_min_ps(_mm_max_ps(v, lo), hi);
+                    let h = _mm_or_ps(half, _mm_and_ps(v, sign));
+                    *o = _mm_cvttps_epi32(_mm_add_ps(v, h));
+                }
+                let packed = _mm_packs_epi32(out[0], out[1]);
+                _mm_storeu_si128(d.as_mut_ptr().cast(), packed);
+            }
+        }
+        for (d, &s) in chunks_d.into_remainder().iter_mut().zip(chunks_s.remainder()) {
+            let v = (s * inv).clamp(-cap, cap);
+            *d = (v + 0.5f32.copysign(v)) as i16;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    dst.extend(src.iter().map(|&s| {
+        let v = (s * inv).clamp(-cap, cap);
+        (v + 0.5f32.copysign(v)) as i16
+    }));
+}
+
+/// Requantizes an `i32` accumulator slice to clamped activation codes:
+/// `out[t] = ⌊clamp(acc[t]·scale, 0, cap) + ½⌋` — the ReLU-folded
+/// round-half-up every quantized conv applies per output channel.
+///
+/// On x86-64 this runs 8 lanes at a time in SSE2 (`cvtdq2ps`/`maxps`/
+/// `minps`/`cvttps2dq`/`packssdw`); elsewhere a scalar loop computes the
+/// identical IEEE operation sequence, so both paths are bit-identical
+/// (the saturating pack is a no-op after the clamp). `f32::round` is
+/// deliberately avoided: it lowers to a per-element `roundf` libcall at
+/// the SSE2 baseline and dominates conv runtime.
+///
+/// # Panics
+///
+/// Panics when `out` and `acc` lengths differ.
+pub fn requant_relu(out: &mut [i16], acc: &[i32], scale: f32, cap: f32) {
+    assert_eq!(out.len(), acc.len(), "requant length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::*;
+        let mut chunks_o = out.chunks_exact_mut(8);
+        let mut chunks_a = acc.chunks_exact(8);
+        // SAFETY: each chunk is exactly 8 elements; loads/stores are
+        // unaligned-tolerant.
+        unsafe {
+            let sc = _mm_set1_ps(scale);
+            let zero = _mm_setzero_ps();
+            let capv = _mm_set1_ps(cap);
+            let half = _mm_set1_ps(0.5);
+            for (o, av) in (&mut chunks_o).zip(&mut chunks_a) {
+                let lo = _mm_cvtepi32_ps(_mm_loadu_si128(av.as_ptr().cast()));
+                let hi = _mm_cvtepi32_ps(_mm_loadu_si128(av[4..].as_ptr().cast()));
+                let lo = _mm_add_ps(_mm_min_ps(_mm_max_ps(_mm_mul_ps(lo, sc), zero), capv), half);
+                let hi = _mm_add_ps(_mm_min_ps(_mm_max_ps(_mm_mul_ps(hi, sc), zero), capv), half);
+                let packed = _mm_packs_epi32(_mm_cvttps_epi32(lo), _mm_cvttps_epi32(hi));
+                _mm_storeu_si128(o.as_mut_ptr().cast(), packed);
+            }
+        }
+        for (o, &av) in chunks_o.into_remainder().iter_mut().zip(chunks_a.remainder()) {
+            *o = ((av as f32 * scale).clamp(0.0, cap) + 0.5) as i16;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    for (o, &av) in out.iter_mut().zip(acc) {
+        *o = ((av as f32 * scale).clamp(0.0, cap) + 0.5) as i16;
+    }
+}
+
+/// Widening `i16·i16 → i32` dot product, blocked so the reduction keeps
+/// [`QLANES`] independent partial sums — the shape LLVM turns into a
+/// `pmaddwd` loop at the SSE2 baseline.
+#[inline]
+fn dot_i16(a: &[i16], b: &[i16]) -> i32 {
+    let mut acc = [0i32; QLANES];
+    let mut ca = a.chunks_exact(QLANES);
+    let mut cb = b.chunks_exact(QLANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for t in 0..QLANES {
+            acc[t] += i32::from(xa[t]) * i32::from(xb[t]);
+        }
+    }
+    let mut sum: i32 = acc.iter().sum();
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        sum += i32::from(x) * i32::from(y);
+    }
+    sum
+}
+
 // ----------------------------------------------------------------- backend
 
 /// Which compute kernels the layers dispatch to.
@@ -409,6 +830,212 @@ mod tests {
         assert_eq!(c, c_ref);
         for row in c.chunks(rsc) {
             assert!(row[n..].iter().all(|&v| v == 7.25), "tail columns must be untouched");
+        }
+    }
+
+    /// Naive scalar int8 GEMM over the same transposed-B layout.
+    fn gemm_i8_naive(
+        c: &mut [i32],
+        rsc: usize,
+        a: &[i16],
+        rsa: usize,
+        bt: &[i16],
+        rsbt: usize,
+        m: usize,
+        kd: usize,
+        n: usize,
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c[i * rsc + j];
+                for k in 0..kd {
+                    acc += i32::from(a[i * rsa + k]) * i32::from(bt[j * rsbt + k]);
+                }
+                c[i * rsc + j] = acc;
+            }
+        }
+    }
+
+    fn pseudo_i8(seed: u64, len: usize) -> Vec<i16> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as i64 % 128 - 64) as i16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn int8_kernel_matches_naive_over_odd_shapes() {
+        // Shapes straddling the QMR/QNR tile and QLANES chunk edges, plus
+        // the production encoder shapes (conv1/conv2/dense at batch 1).
+        for &(m, kd, n) in &[
+            (1, 1, 1),
+            (3, 7, 5),
+            (4, 8, 4),
+            (5, 17, 9),
+            (8, 21, 97),
+            (16, 40, 47),
+            (1, 752, 12),
+            (13, 300, 6),
+        ] {
+            let a = pseudo_i8(m as u64 * 131 + kd as u64, m * kd);
+            let bt = pseudo_i8(n as u64 * 37 + 5, n * kd);
+            let c0: Vec<i32> = (0..m * n).map(|i| i as i32 - 17).collect();
+            let mut c_fast = c0.clone();
+            let mut c_ref = c0;
+            gemm_i8(&mut c_fast, n, &a, kd, &bt, kd, m, kd, n);
+            gemm_i8_naive(&mut c_ref, n, &a, kd, &bt, kd, m, kd, n);
+            assert_eq!(c_fast, c_ref, "shape ({m},{kd},{n})");
+        }
+    }
+
+    #[test]
+    fn int8_kernel_respects_strides_and_tail_columns() {
+        let (m, kd, n, rsc, rsbt) = (6usize, 9usize, 10usize, 13usize, 12usize);
+        let a = pseudo_i8(1, m * kd);
+        let bt = pseudo_i8(2, n * rsbt);
+        let mut c = vec![7i32; m * rsc];
+        let mut c_ref = c.clone();
+        gemm_i8(&mut c, rsc, &a, kd, &bt, rsbt, m, kd, n);
+        gemm_i8_naive(&mut c_ref, rsc, &a, kd, &bt, rsbt, m, kd, n);
+        assert_eq!(c, c_ref);
+        for row in c.chunks(rsc) {
+            assert!(row[n..].iter().all(|&v| v == 7), "tail columns must be untouched");
+        }
+    }
+
+    #[test]
+    fn int8_accumulation_cannot_overflow_at_model_depths() {
+        // The deepest quantized reduction is the 752-wide encoder dense:
+        // i8 weights against 15-bit activations peak at 752 · 127 · 16383,
+        // inside i32 (and each pmaddwd pair sum is ≤ 2·127·16383 ≪ 2³¹).
+        let worst = 752i64 * 127 * 16383;
+        assert!(worst < i64::from(i32::MAX));
+        let a = vec![16383i16; 752];
+        let bt = vec![-127i16; 752];
+        let mut c = [0i32];
+        gemm_i8(&mut c, 1, &a, 752, &bt, 752, 1, 752, 1);
+        assert_eq!(c[0], -worst as i32);
+    }
+
+    /// Naive scalar GEMM over the row-major-B layout of [`gemm_i8_cols`].
+    fn gemm_i8_cols_naive(
+        c: &mut [i32],
+        rsc: usize,
+        a: &[i16],
+        rsa: usize,
+        b: &[i16],
+        m: usize,
+        kd: usize,
+        n: usize,
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c[i * rsc + j];
+                for k in 0..kd {
+                    acc += i32::from(a[i * rsa + k]) * i32::from(b[k * n + j]);
+                }
+                c[i * rsc + j] = acc;
+            }
+        }
+    }
+
+    fn pseudo_i15(seed: u64, len: usize) -> Vec<i16> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as i64 % 32_767 - 16_383) as i16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cols_kernel_matches_naive_over_odd_shapes() {
+        // Production conv geometries (kd = ic·k at batch 1) plus shapes
+        // straddling the QCOLS block edge (n = 1, 7, 8, 9, non-multiples);
+        // activations span the full 15-bit range.
+        for &(m, kd, n) in &[
+            (1, 1, 1),
+            (8, 21, 97),
+            (16, 40, 47),
+            (8, 27, 98),
+            (3, 5, 7),
+            (5, 4, 8),
+            (5, 2, 33),
+            (2, 13, 9),
+        ] {
+            let a = pseudo_i8(m as u64 * 59 + kd as u64, m * kd);
+            let b = pseudo_i15(n as u64 * 43 + 7, kd * n);
+            let c0: Vec<i32> = (0..m * n).map(|i| i as i32 * 3 - 40).collect();
+            let mut c_fast = c0.clone();
+            let mut c_ref = c0;
+            gemm_i8_cols(&mut c_fast, n, &a, kd, &b, m, kd, n);
+            gemm_i8_cols_naive(&mut c_ref, n, &a, kd, &b, m, kd, n);
+            assert_eq!(c_fast, c_ref, "shape ({m},{kd},{n})");
+        }
+    }
+
+    #[test]
+    fn cols_kernel_respects_strides_and_tail_columns() {
+        let (m, kd, n, rsc) = (4usize, 6usize, 9usize, 12usize);
+        let a = pseudo_i8(3, m * kd);
+        let b = pseudo_i15(4, kd * n);
+        let mut c = vec![-3i32; m * rsc];
+        let mut c_ref = c.clone();
+        gemm_i8_cols(&mut c, rsc, &a, kd, &b, m, kd, n);
+        gemm_i8_cols_naive(&mut c_ref, rsc, &a, kd, &b, m, kd, n);
+        assert_eq!(c, c_ref);
+        for row in c.chunks(rsc) {
+            assert!(row[n..].iter().all(|&v| v == -3), "tail columns must be untouched");
+        }
+    }
+
+    #[test]
+    fn deinterleave2_matches_scalar_over_odd_lengths() {
+        // Lengths straddling the 16-element SSE2 block (0, 1, tails,
+        // exact multiples) with full-range 15-bit values.
+        for &len in &[0usize, 1, 2, 15, 16, 17, 31, 32, 33, 97, 400] {
+            let src = pseudo_i15(len as u64 + 11, len);
+            let mut even = vec![0i16; len.div_ceil(2)];
+            let mut odd = vec![0i16; len / 2];
+            deinterleave2(&src, &mut even, &mut odd);
+            let e_ref: Vec<i16> = src.iter().step_by(2).copied().collect();
+            let o_ref: Vec<i16> = src.iter().skip(1).step_by(2).copied().collect();
+            assert_eq!(even, e_ref, "even, len {len}");
+            assert_eq!(odd, o_ref, "odd, len {len}");
+        }
+    }
+
+    #[test]
+    fn requant_relu_matches_scalar_over_odd_lengths() {
+        for &len in &[0usize, 1, 7, 8, 9, 100] {
+            let acc: Vec<i32> =
+                (0..len).map(|i| (i as i32 * 7_919_113) % 3_000_000 - 1_200_000).collect();
+            let mut out = vec![0i16; len];
+            requant_relu(&mut out, &acc, 0.0137, 16383.0);
+            for (&o, &a) in out.iter().zip(&acc) {
+                let want = ((a as f32 * 0.0137).clamp(0.0, 16383.0) + 0.5) as i16;
+                assert_eq!(o, want, "len {len}, acc {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_codes_matches_scalar_over_odd_lengths() {
+        for &len in &[0usize, 1, 7, 8, 9, 33, 200] {
+            let src: Vec<f32> =
+                (0..len).map(|i| ((i as f32 * 0.7311) % 4.0 - 2.0) * 1.3).collect();
+            let mut dst = Vec::new();
+            quantize_codes(&mut dst, &src, 8191.5, 16383.0);
+            assert_eq!(dst.len(), len);
+            for (&d, &s) in dst.iter().zip(&src) {
+                let v = (s * 8191.5).clamp(-16383.0, 16383.0);
+                let want = (v + 0.5f32.copysign(v)) as i16;
+                assert_eq!(d, want, "len {len}, src {s}");
+            }
         }
     }
 

@@ -532,6 +532,11 @@ impl BatchNorm1d {
         self.affine
     }
 
+    /// The numerical-stability epsilon added to the running variance.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     /// Removes feature `idx` (used by the pruning study together with
     /// [`Dense::remove_output`]).
     ///

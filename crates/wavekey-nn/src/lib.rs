@@ -19,6 +19,13 @@
 //!   differential-test oracle and selectable backend.
 //! * [`net`] — a [`net::Sequential`] container with forward/backward and a
 //!   compact binary (de)serialization format for trained models.
+//! * [`quant`] — post-training int8 quantization of encoder-shaped
+//!   networks: per-channel symmetric weight scales, calibrated 15-bit
+//!   activation scales, corpus-aware adaptive weight rounding, and an
+//!   inference-only forward on the exact-i32 kernels —
+//!   [`gemm::gemm_i8_cols`] (SSE2 `pmaddwd` on x86-64) for the convs and
+//!   [`gemm::gemm_i8`] for the dense head (serialized ~4× smaller under
+//!   a version-2 tag in [`net`]).
 //! * [`optim`] — SGD with momentum and Adam.
 //! * [`loss`] — mean-squared error (the joint WaveKey loss of Eq. (3) is
 //!   assembled from MSE pieces in `wavekey-core`).
@@ -61,14 +68,16 @@ pub mod loss;
 pub mod lowering;
 pub mod net;
 pub mod optim;
+pub mod quant;
 pub mod reference;
 pub mod tensor;
 
-pub use gemm::{configured_threads, kernel_backend, set_kernel_backend, KernelBackend};
+pub use gemm::{configured_threads, gemm_i8, kernel_backend, set_kernel_backend, KernelBackend};
 pub use layer::{
     BatchNorm1d, Conv1d, ConvTranspose1d, Dense, Flatten, Layer, LayerBox, ReLU, Reshape,
 };
 pub use loss::{mse, mse_pair};
 pub use net::Sequential;
 pub use optim::{Adam, Optimizer, Sgd};
+pub use quant::{QuantizeError, QuantizedSequential};
 pub use tensor::Tensor;

@@ -281,10 +281,103 @@ pub fn conv1d_backward(
 
 /// `true` when the zero-upsampled input's non-zero support is narrower
 /// than one kernel window: the lowered GEMM would multiply mostly padding
-/// zeros, so the naive loop is strictly cheaper. (Hit by the decoder's
+/// zeros, so a direct loop is strictly cheaper. (Hit by the decoder's
 /// first deconvolution, which expands a length-1 latent.)
 fn transpose_degenerate(l_in: usize, stride: usize, kernel: usize) -> bool {
     (l_in - 1) * stride + 1 < kernel
+}
+
+/// Degenerate-shape `ConvTranspose1d` forward: the reference loop nest
+/// re-expressed over flat row slices (no per-element 3-D indexing), with
+/// the identical accumulation order — bit-for-bit the reference result,
+/// without paying the im2col setup the lowered path would waste on
+/// padding zeros.
+fn conv_transpose1d_forward_degenerate(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+) -> Tensor {
+    let batch = input.shape()[0];
+    let in_channels = input.shape()[1];
+    let l_in = input.shape()[2];
+    let out_channels = weight.shape()[1];
+    let kernel = weight.shape()[2];
+    let l_out = (l_in - 1) * stride + kernel;
+    let (x, w, b) = (input.data(), weight.data(), bias.data());
+    let mut out = Tensor::zeros(vec![batch, out_channels, l_out]);
+    for (n, on) in out.data_mut().chunks_mut(out_channels * l_out).enumerate() {
+        for (oc, row) in on.chunks_mut(l_out).enumerate() {
+            row.fill(b[oc]);
+        }
+        for ic in 0..in_channels {
+            let xrow = &x[(n * in_channels + ic) * l_in..][..l_in];
+            for (i, &xv) in xrow.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                for oc in 0..out_channels {
+                    let wrow = &w[(ic * out_channels + oc) * kernel..][..kernel];
+                    let orow = &mut on[oc * l_out + i * stride..][..kernel];
+                    for (o, &wv) in orow.iter_mut().zip(wrow) {
+                        *o += xv * wv;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Degenerate-shape `ConvTranspose1d` backward; flat-slice mirror of the
+/// reference loops (same accumulation order), fused so the gradient read
+/// serves both the input- and weight-gradient in one pass.
+fn conv_transpose1d_backward_degenerate(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    stride: usize,
+    weight_grad: &mut Tensor,
+    bias_grad: &mut Tensor,
+) -> Tensor {
+    let batch = input.shape()[0];
+    let in_channels = input.shape()[1];
+    let l_in = input.shape()[2];
+    let out_channels = weight.shape()[1];
+    let kernel = weight.shape()[2];
+    let l_out = grad_output.shape()[2];
+    let (x, w, g) = (input.data(), weight.data(), grad_output.data());
+    {
+        let bg = bias_grad.data_mut();
+        for n in 0..batch {
+            for (oc, acc) in bg.iter_mut().enumerate() {
+                for &gv in &g[(n * out_channels + oc) * l_out..][..l_out] {
+                    *acc += gv;
+                }
+            }
+        }
+    }
+    let wg = weight_grad.data_mut();
+    let mut grad_input = Tensor::zeros(input.shape().to_vec());
+    for (n, gin) in grad_input.data_mut().chunks_mut(in_channels * l_in).enumerate() {
+        for ic in 0..in_channels {
+            for i in 0..l_in {
+                let xv = x[(n * in_channels + ic) * l_in + i];
+                let mut gi = 0.0;
+                for oc in 0..out_channels {
+                    let grow = &g[(n * out_channels + oc) * l_out + i * stride..][..kernel];
+                    let wrow = &w[(ic * out_channels + oc) * kernel..][..kernel];
+                    let wgrow = &mut wg[(ic * out_channels + oc) * kernel..][..kernel];
+                    for k in 0..kernel {
+                        gi += grow[k] * wrow[k];
+                        wgrow[k] += grow[k] * xv;
+                    }
+                }
+                gin[ic * l_in + i] = gi;
+            }
+        }
+    }
+    grad_input
 }
 
 /// GEMM-lowered `ConvTranspose1d` forward; see
@@ -302,7 +395,7 @@ pub fn conv_transpose1d_forward(
     let out_channels = weight.shape()[1];
     let kernel = weight.shape()[2];
     if transpose_degenerate(l_in, stride, kernel) {
-        return reference::conv_transpose1d_forward(input, weight, bias, stride);
+        return conv_transpose1d_forward_degenerate(input, weight, bias, stride);
     }
     let l_out = (l_in - 1) * stride + kernel;
     let ick = in_channels * kernel;
@@ -344,7 +437,7 @@ pub fn conv_transpose1d_backward(
     let out_channels = weight.shape()[1];
     let kernel = weight.shape()[2];
     if transpose_degenerate(l_in, stride, kernel) {
-        return reference::conv_transpose1d_backward(
+        return conv_transpose1d_backward_degenerate(
             input, weight, grad_output, stride, weight_grad, bias_grad,
         );
     }
@@ -606,6 +699,10 @@ mod tests {
             (3, 3, 2, 9, 5, 3),
             (2, 4, 1, 11, 8, 4),
             (1, 12, 16, 1, 8, 4),
+            // Degenerate support wider than one sample (l_in > 1): the
+            // specialized flat-slice path, not just the l_in = 1 case.
+            (2, 3, 5, 2, 8, 1),
+            (3, 2, 4, 3, 12, 2),
             (2, 8, 4, 32, 12, 3),
         ]
         .iter()

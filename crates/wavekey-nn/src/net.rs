@@ -9,10 +9,13 @@
 use crate::layer::{
     BatchNorm1d, Conv1d, ConvTranspose1d, Dense, Flatten, Layer, LayerBox, Param, ReLU, Reshape,
 };
+use crate::quant::QuantizedSequential;
 use crate::tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"WKNN";
 const VERSION: u32 = 1;
+/// Version tag for quantized int8 models ([`QuantizedSequential`]).
+const QUANT_VERSION: u32 = 2;
 
 /// A feed-forward stack of layers.
 ///
@@ -133,6 +136,106 @@ impl Sequential {
     }
 }
 
+impl QuantizedSequential {
+    /// Encodes the quantized network under the same `WKNN` magic as the
+    /// f32 format, with version tag 2. Weights are stored as true `i8`
+    /// (one byte each), so the encoding is roughly 4× smaller than the
+    /// f32 encoding of the same architecture.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, QUANT_VERSION);
+        put_u32(&mut out, self.convs().len() as u32);
+        for conv in self.convs() {
+            let (ic, oc, k, s) = conv.dims();
+            for v in [ic, oc, k, s] {
+                put_u32(&mut out, v as u32);
+            }
+            let (weight, weight_scale, bias_q, in_scale, out_scale) = conv.codec_fields();
+            put_i8s(&mut out, weight);
+            put_f32s(&mut out, weight_scale);
+            put_i32s(&mut out, bias_q);
+            out.extend_from_slice(&in_scale.to_le_bytes());
+            out.extend_from_slice(&out_scale.to_le_bytes());
+        }
+        let (inf, of) = self.dense().dims();
+        put_u32(&mut out, inf as u32);
+        put_u32(&mut out, of as u32);
+        let (weight, weight_scale, bias, in_scale) = self.dense().codec_fields();
+        put_i8s(&mut out, weight);
+        put_f32s(&mut out, weight_scale);
+        put_f32s(&mut out, bias);
+        out.extend_from_slice(&in_scale.to_le_bytes());
+        out
+    }
+
+    /// Decodes a network previously produced by
+    /// [`QuantizedSequential::encode`].
+    ///
+    /// Derived inference state (widened `i16` weights, requantization
+    /// multipliers) is rebuilt here, so a decoded model is forward-ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelCodecError`] on malformed input; a version-1 (f32)
+    /// model yields [`ModelCodecError::UnsupportedVersion`]`(1)`.
+    pub fn decode(bytes: &[u8]) -> Result<QuantizedSequential, ModelCodecError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            return Err(ModelCodecError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != QUANT_VERSION {
+            return Err(ModelCodecError::UnsupportedVersion(version));
+        }
+        let conv_count = r.u32()? as usize;
+        let mut convs = Vec::with_capacity(conv_count);
+        for _ in 0..conv_count {
+            let (ic, oc, k, s) = (
+                r.u32()? as usize,
+                r.u32()? as usize,
+                r.u32()? as usize,
+                r.u32()? as usize,
+            );
+            if ic == 0 || oc == 0 || k == 0 || s == 0 {
+                return Err(ModelCodecError::Truncated);
+            }
+            let weight = r.i8s()?;
+            let weight_scale = r.f32s()?;
+            let bias_q = r.i32s()?;
+            let in_scale = r.f32()?;
+            let out_scale = r.f32()?;
+            if weight.len() != oc * ic * k || weight_scale.len() != oc || bias_q.len() != oc {
+                return Err(ModelCodecError::Truncated);
+            }
+            convs.push(QuantizedSequential::conv_from_parts(
+                ic, oc, k, s, weight, weight_scale, bias_q, in_scale, out_scale,
+            ));
+        }
+        let (inf, of) = (r.u32()? as usize, r.u32()? as usize);
+        let weight = r.i8s()?;
+        let weight_scale = r.f32s()?;
+        let bias = r.f32s()?;
+        let in_scale = r.f32()?;
+        if inf == 0
+            || of == 0
+            || weight.len() != of * inf
+            || weight_scale.len() != of
+            || bias.len() != of
+        {
+            return Err(ModelCodecError::Truncated);
+        }
+        if r.pos != r.bytes.len() {
+            return Err(ModelCodecError::TrailingBytes);
+        }
+        Ok(QuantizedSequential::from_parts(
+            convs,
+            QuantizedSequential::dense_from_parts(inf, of, weight, weight_scale, bias, in_scale),
+        ))
+    }
+}
+
 /// Error decoding a serialized model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ModelCodecError {
@@ -169,6 +272,18 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
 }
 
 fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+    put_u32(out, vs.len() as u32);
+    for v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_i8s(out: &mut Vec<u8>, vs: &[i8]) {
+    put_u32(out, vs.len() as u32);
+    out.extend(vs.iter().map(|&v| v as u8));
+}
+
+fn put_i32s(out: &mut Vec<u8>, vs: &[i32]) {
     put_u32(out, vs.len() as u32);
     for v in vs {
         out.extend_from_slice(&v.to_le_bytes());
@@ -259,6 +374,25 @@ impl<'a> Reader<'a> {
     fn u32(&mut self) -> Result<u32, ModelCodecError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f32(&mut self) -> Result<f32, ModelCodecError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn i8s(&mut self) -> Result<Vec<i8>, ModelCodecError> {
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        Ok(b.iter().map(|&v| v as i8).collect())
+    }
+
+    fn i32s(&mut self) -> Result<Vec<i32>, ModelCodecError> {
+        let n = self.u32()? as usize;
+        let b = self.take(n.saturating_mul(4))?;
+        Ok(b.chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
     }
 
     fn f32s(&mut self) -> Result<Vec<f32>, ModelCodecError> {
@@ -435,6 +569,149 @@ mod tests {
             Sequential::decode(&bytes).unwrap_err(),
             ModelCodecError::UnsupportedVersion(99)
         );
+    }
+
+    #[test]
+    fn f32_roundtrip_is_bit_identical() {
+        // The codec stores raw little-endian f32 bits, so decode must
+        // reproduce every weight and running statistic exactly — not just
+        // within tolerance.
+        let mut net = toy_net();
+        let x = init::uniform(vec![8, 2, 10], -1.0, 1.0, 5);
+        net.forward(&x, true);
+        let decoded = Sequential::decode(&net.encode()).unwrap();
+        for (a, b) in net.layers().iter().zip(decoded.layers()) {
+            match (a, b) {
+                (LayerBox::Conv1d(x), LayerBox::Conv1d(y)) => {
+                    assert_bits_eq(x.weight.value.data(), y.weight.value.data());
+                    assert_bits_eq(x.bias.value.data(), y.bias.value.data());
+                }
+                (LayerBox::Dense(x), LayerBox::Dense(y)) => {
+                    assert_bits_eq(x.weight.value.data(), y.weight.value.data());
+                    assert_bits_eq(x.bias.value.data(), y.bias.value.data());
+                }
+                (LayerBox::BatchNorm1d(x), LayerBox::BatchNorm1d(y)) => {
+                    assert_bits_eq(&x.running_mean, &y.running_mean);
+                    assert_bits_eq(&x.running_var, &y.running_var);
+                }
+                (LayerBox::ReLU(_), LayerBox::ReLU(_))
+                | (LayerBox::Flatten(_), LayerBox::Flatten(_)) => {}
+                other => panic!("layer mismatch after roundtrip: {other:?}"),
+            }
+        }
+    }
+
+    fn assert_bits_eq(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    fn quantizable_net() -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Conv1d::with_stride(3, 8, 7, 2, 0, 31));
+        net.push(ReLU::new());
+        net.push(Conv1d::with_stride(8, 16, 5, 2, 0, 32));
+        net.push(ReLU::new());
+        net.push(Flatten::new());
+        // l = 60 → conv1 (k7 s2) 27 → conv2 (k5 s2) 12.
+        net.push(Dense::new(16 * 12, 12, 33));
+        net.push(BatchNorm1d::new(12, false));
+        net
+    }
+
+    fn quantized_fixture() -> (Sequential, QuantizedSequential, Vec<Tensor>) {
+        let mut net = quantizable_net();
+        let calib: Vec<Tensor> = (0..6)
+            .map(|i| init::uniform(vec![1, 3, 60], -1.0, 1.0, 100 + i))
+            .collect();
+        let q = QuantizedSequential::from_sequential(&mut net, &calib).unwrap();
+        (net, q, calib)
+    }
+
+    #[test]
+    fn quantized_roundtrip_preserves_model_and_forward() {
+        let (_, mut q, calib) = quantized_fixture();
+        let bytes = q.encode();
+        let mut decoded = QuantizedSequential::decode(&bytes).unwrap();
+        assert_eq!(q, decoded);
+        for input in &calib {
+            // Integer accumulation: the rebuilt model must match bit for
+            // bit, not approximately.
+            let a = q.forward(input);
+            let b = decoded.forward(input);
+            assert_eq!(
+                a.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_encoding_is_at_most_30_percent_of_f32() {
+        let (net, q, _) = quantized_fixture();
+        let f32_bytes = net.encode().len();
+        let int8_bytes = q.encode().len();
+        assert!(
+            int8_bytes * 100 <= f32_bytes * 30,
+            "int8 {int8_bytes}B vs f32 {f32_bytes}B"
+        );
+    }
+
+    #[test]
+    fn quantized_decode_rejects_wrong_versions() {
+        let (net, q, _) = quantized_fixture();
+        // A v1 (f32) blob is not a quantized model and vice versa.
+        assert_eq!(
+            QuantizedSequential::decode(&net.encode()).unwrap_err(),
+            ModelCodecError::UnsupportedVersion(1)
+        );
+        assert_eq!(
+            Sequential::decode(&q.encode()).unwrap_err(),
+            ModelCodecError::UnsupportedVersion(2)
+        );
+        let mut bytes = q.encode();
+        bytes[4..8].copy_from_slice(&77u32.to_le_bytes());
+        assert_eq!(
+            QuantizedSequential::decode(&bytes).unwrap_err(),
+            ModelCodecError::UnsupportedVersion(77)
+        );
+    }
+
+    #[test]
+    fn quantized_decode_rejects_mutations() {
+        let (_, q, _) = quantized_fixture();
+        let bytes = q.encode();
+        assert_eq!(
+            QuantizedSequential::decode(b"not a model").unwrap_err(),
+            ModelCodecError::BadMagic
+        );
+        // Every proper prefix must fail typed — never panic, never
+        // succeed (mirrors the frame-decoder fuzz pattern).
+        for cut in 0..bytes.len() {
+            let err = QuantizedSequential::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ModelCodecError::BadMagic
+                        | ModelCodecError::Truncated
+                        | ModelCodecError::UnsupportedVersion(_)
+                ),
+                "prefix {cut}: {err:?}"
+            );
+        }
+        // Trailing garbage after a complete model.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(
+            QuantizedSequential::decode(&extended).unwrap_err(),
+            ModelCodecError::TrailingBytes
+        );
+        // Corrupting a conv dimension breaks the weight-length invariant.
+        let mut corrupt = bytes;
+        corrupt[12..16].copy_from_slice(&9999u32.to_le_bytes());
+        assert!(QuantizedSequential::decode(&corrupt).is_err());
     }
 
     #[test]

@@ -1,0 +1,1246 @@
+//! Quantized int8 inference for the WaveKey encoder networks.
+//!
+//! The per-session hot path runs the two encoders (Fig. 5) forward once
+//! per key establishment; training is rare and stays f32. This module
+//! provides a post-training-quantized mirror of an encoder-shaped
+//! [`Sequential`] — `Conv1d`+`ReLU` stages, `Flatten`, a final `Dense`
+//! with the trailing non-affine `BatchNorm1d` folded in — that runs the
+//! whole forward on integer values with exact i32 accumulation through
+//! [`crate::gemm::gemm_i8_cols`] (convolutions) and
+//! [`crate::gemm::gemm_i8`] (the dense head):
+//!
+//! * **Weights** are quantized to int8 per *output channel* with
+//!   symmetric scales (`scale = max|w| / 127`), the standard scheme for
+//!   conv/dense layers whose channels have very different dynamic ranges.
+//!   Serialized models store these true `i8` rows — the ≈4× size win.
+//! * **Activations** are quantized per tensor to a finer symmetric
+//!   15-bit grid (`scale = max|x| / 16383` over the calibration corpus,
+//!   see [`AMAX`]). WaveKey consumes *equiprobable-quantizer bins* of the
+//!   latent, whose central bins are only ~0.28σ wide; int8 activations
+//!   leave ~1e-2 of latent error — enough to cross a bin somewhere on any
+//!   realistic corpus — while the 15-bit grid cuts that to ~1e-4 and
+//!   still rides the same 16-bit `pmaddwd` multiply lanes as the int8
+//!   weights, at identical speed and no extra model bytes. Convolution
+//!   outputs are requantized straight to the next layer's input scale
+//!   with the ReLU folded into the clamp (`0..=16383`), so intermediate
+//!   activations never leave the 15-bit grid.
+//! * **Accumulation** is exact `i32` (the deepest reduction, the 752-wide
+//!   encoder dense, peaks at `752·127·16383 ≈ 1.6e9`, inside `i32`), so
+//!   results are independent of summation order and thread count by
+//!   construction — no order pinning needed, unlike the f32 kernel.
+//! * **Requantization** multiplies the `i32` accumulator by a per-output-
+//!   channel f32 multiplier, clamps to the (non-negative, ReLU-folded)
+//!   activation range, and rounds half up by adding 0.5 and truncating —
+//!   a formulation that vectorizes at the SSE2 baseline, where
+//!   `f32::round` is a per-element `roundf` libcall. The arithmetic is
+//!   the same f32 operation everywhere (kernel and scalar reference), so
+//!   the forward stays bit-deterministic even where the accumulator
+//!   exceeds f32's 2²⁴ integer window.
+//! * The final dense layer **dequantizes** to f32 and adds a per-channel
+//!   f32 bias that carries the folded batch-norm shift plus a calibration
+//!   bias correction (the mean f32-vs-quantized latent gap over the
+//!   calibration corpus). `wavekey-core` further nudges this bias per
+//!   channel to pin *seed-level* equivalence on its reference corpus; see
+//!   [`QuantizedSequential::output_bias_mut`].
+//!
+//! At load time the `i8` weight rows are widened once into `i16` working
+//! copies so both inner products lower to the SSE2 `pmaddwd`
+//! multiply-accumulate (see the version-2 codec in [`crate::net`] for
+//! the serialized form).
+
+use crate::gemm::{deinterleave2, gemm_i8, gemm_i8_cols, quantize_codes, requant_relu};
+use crate::layer::{Layer, LayerBox};
+use crate::net::Sequential;
+use crate::tensor::Tensor;
+
+/// Largest quantized *weight* magnitude: symmetric `-127..=127` (the
+/// `-128` code is unused so negation stays closed).
+pub const QMAX: f32 = 127.0;
+
+/// Largest quantized *activation* magnitude: symmetric 15-bit codes.
+/// Chosen so the latent error stays well inside the equiprobable
+/// quantizer's bin margins (the seed-equivalence requirement) while the
+/// deepest reduction (`752 · 127 · 16383`) and every `pmaddwd` pair sum
+/// (`2 · 127 · 16383`) stay inside `i32` — see the module docs.
+pub const AMAX: f32 = 16383.0;
+
+/// Why a network could not be quantized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantizeError {
+    /// The layer stack is not the encoder shape this module supports
+    /// (`[Conv1d, ReLU]* Flatten Dense [BatchNorm1d(non-affine)]`).
+    UnsupportedArchitecture(String),
+    /// No calibration inputs were supplied.
+    EmptyCalibration,
+}
+
+impl std::fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantizeError::UnsupportedArchitecture(what) => {
+                write!(f, "cannot quantize: {what}")
+            }
+            QuantizeError::EmptyCalibration => write!(f, "calibration corpus is empty"),
+        }
+    }
+}
+
+impl std::error::Error for QuantizeError {}
+
+/// Quantizes one f32 activation to the symmetric 15-bit grid at
+/// `1/inv_scale`, rounding half away from zero. Spelled as clamp +
+/// `copysign` + truncate (identical results to `f32::round`) because
+/// `round` is a `roundf` libcall at the SSE2 baseline, and this runs
+/// per input element on the session hot path.
+#[inline]
+fn quantize_value(x: f32, inv_scale: f32) -> i16 {
+    let v = (x * inv_scale).clamp(-AMAX, AMAX);
+    (v + 0.5f32.copysign(v)) as i16
+}
+
+/// A quantized `Conv1d` with the following `ReLU` folded into its
+/// requantization clamp.
+#[derive(Debug, Clone)]
+pub struct QuantizedConv1d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    /// `[oc][ic·k]`, the serialized form.
+    weight: Vec<i8>,
+    /// The same values widened once into `i16` for the conv kernel
+    /// ([`gemm_i8_cols`]).
+    weight_wide: Vec<i16>,
+    /// Per-output-channel symmetric weight scales.
+    weight_scale: Vec<f32>,
+    /// Bias in accumulator units: `round(bias / (in_scale · w_scale))`.
+    bias_q: Vec<i32>,
+    in_scale: f32,
+    out_scale: f32,
+    /// Derived: `1 / in_scale` (input-side quantizer).
+    in_inv: f32,
+    /// Derived per-channel requantizer: `in_scale · w_scale / out_scale`.
+    requant: Vec<f32>,
+}
+
+impl QuantizedConv1d {
+    fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        weight: Vec<i8>,
+        weight_scale: Vec<f32>,
+        bias_q: Vec<i32>,
+        in_scale: f32,
+        out_scale: f32,
+    ) -> QuantizedConv1d {
+        let weight_wide = weight.iter().map(|&w| i16::from(w)).collect();
+        let requant =
+            weight_scale.iter().map(|&ws| in_scale * ws / out_scale).collect();
+        QuantizedConv1d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            weight,
+            weight_wide,
+            weight_scale,
+            bias_q,
+            in_scale,
+            out_scale,
+            in_inv: 1.0 / in_scale,
+            requant,
+        }
+    }
+
+    /// `(in_channels, out_channels, kernel, stride)`.
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.in_channels, self.out_channels, self.kernel, self.stride)
+    }
+
+    /// Output length for an input of `l_in` samples.
+    pub fn l_out(&self, l_in: usize) -> usize {
+        (l_in - self.kernel) / self.stride + 1
+    }
+
+    /// Raw codec fields: `(weight_i8, weight_scale, bias_q, in_scale,
+    /// out_scale)`.
+    pub fn codec_fields(&self) -> (&[i8], &[f32], &[i32], f32, f32) {
+        (&self.weight, &self.weight_scale, &self.bias_q, self.in_scale, self.out_scale)
+    }
+
+    /// Quantized forward over one sample: `input_q` is `[ic][l_in]` of
+    /// 15-bit activation codes, `out_q` receives `[oc][l_out]` post-ReLU
+    /// codes. `cols`/`acc` are caller scratch (resized here).
+    pub fn forward(
+        &self,
+        input_q: &[i16],
+        l_in: usize,
+        cols: &mut Vec<i16>,
+        acc: &mut Vec<i32>,
+        out_q: &mut Vec<i16>,
+    ) {
+        let l_out = self.l_out(l_in);
+        let ick = self.in_channels * self.kernel;
+        // Pad output positions to a multiple of 16 so the SSE2 GEMM
+        // block never hits its scalar-tail columns; the pad columns are
+        // zero activations (exact no-op MACs) and are never requantized.
+        let l_pad = l_out.div_ceil(16) * 16;
+        let rows_len = ick * l_pad;
+        // k-major packing: row `k = c·kernel + tap` holds that receptive-
+        // field tap for *every* output position `j` contiguously —
+        // `x_k(j) = input[c][j·stride + tap]` — so the kernel's inner loop
+        // runs unit-stride across output positions with one broadcast
+        // weight per row. For strides 2 and 4 each channel is first
+        // phase-split (vectorized de-interleave, once per layer) so that
+        // every row pack is a contiguous `memcpy` instead of a strided
+        // gather — the gather was costing more than the GEMM itself.
+        let phased = matches!(self.stride, 2 | 4);
+        let lp = l_in.div_ceil(self.stride.max(1));
+        let phase_len = if phased { self.in_channels * self.stride * lp } else { 0 };
+        let tmp_len = if self.stride == 4 { l_in + 1 } else { 0 };
+        cols.clear();
+        cols.resize(rows_len + phase_len + tmp_len, 0);
+        let (rows_buf, rest) = cols.split_at_mut(rows_len);
+        let (phases, tmp) = rest.split_at_mut(phase_len);
+        if phased {
+            for c in 0..self.in_channels {
+                let src = &input_q[c * l_in..][..l_in];
+                let chp = &mut phases[c * self.stride * lp..][..self.stride * lp];
+                if self.stride == 2 {
+                    let (p0, p1) = chp.split_at_mut(lp);
+                    deinterleave2(src, &mut p0[..l_in.div_ceil(2)], &mut p1[..l_in / 2]);
+                } else {
+                    // Two-level split: evens/odds first, then each half
+                    // again — evens-of-evens are phase 0, odds-of-evens
+                    // phase 2, and so on.
+                    let (t0, t1) = tmp.split_at_mut(l_in.div_ceil(2));
+                    let (e, rest) = chp.split_at_mut(lp);
+                    let (o, rest) = rest.split_at_mut(lp);
+                    let (e2, o2) = rest.split_at_mut(lp);
+                    let t0 = &mut t0[..l_in.div_ceil(2)];
+                    let t1 = &mut t1[..l_in / 2];
+                    deinterleave2(src, t0, t1);
+                    deinterleave2(t0, &mut e[..t0.len().div_ceil(2)], &mut e2[..t0.len() / 2]);
+                    deinterleave2(t1, &mut o[..t1.len().div_ceil(2)], &mut o2[..t1.len() / 2]);
+                }
+            }
+        }
+        for (k, row) in rows_buf.chunks_exact_mut(l_pad).enumerate() {
+            let (c, tap) = (k / self.kernel, k % self.kernel);
+            let row = &mut row[..l_out];
+            if self.stride == 1 {
+                row.copy_from_slice(&input_q[c * l_in + tap..][..l_out]);
+            } else if phased {
+                let (r, a) = (tap % self.stride, tap / self.stride);
+                row.copy_from_slice(&phases[(c * self.stride + r) * lp + a..][..l_out]);
+            } else {
+                let src = &input_q[c * l_in + tap..];
+                for (x, &s) in row.iter_mut().zip(src.iter().step_by(self.stride)) {
+                    *x = s;
+                }
+            }
+        }
+        acc.clear();
+        acc.resize(self.out_channels * l_pad, 0);
+        for (oc, row) in acc.chunks_mut(l_pad).enumerate() {
+            row.fill(self.bias_q[oc]);
+        }
+        gemm_i8_cols(
+            acc,
+            l_pad,
+            &self.weight_wide,
+            ick,
+            cols,
+            self.out_channels,
+            ick,
+            l_pad,
+        );
+        out_q.clear();
+        out_q.resize(self.out_channels * l_out, 0);
+        for oc in 0..self.out_channels {
+            // ReLU folds into the requantizer's lower clamp (symmetric
+            // scales put the zero point at code 0).
+            requant_relu(
+                &mut out_q[oc * l_out..][..l_out],
+                &acc[oc * l_pad..][..l_out],
+                self.requant[oc],
+                AMAX,
+            );
+        }
+    }
+
+    /// Scalar reference forward: naive loops, same quantization math.
+    /// Integer accumulation is exact, so this must equal [`Self::forward`]
+    /// bit for bit — the differential-test oracle.
+    pub fn reference_forward(&self, input_q: &[i16], l_in: usize) -> Vec<i16> {
+        let l_out = self.l_out(l_in);
+        let mut out = vec![0i16; self.out_channels * l_out];
+        for oc in 0..self.out_channels {
+            for ol in 0..l_out {
+                let mut acc = self.bias_q[oc];
+                for ic in 0..self.in_channels {
+                    for kk in 0..self.kernel {
+                        let w = self.weight
+                            [(oc * self.in_channels + ic) * self.kernel + kk];
+                        let x = input_q[ic * l_in + ol * self.stride + kk];
+                        acc += i32::from(w) * i32::from(x);
+                    }
+                }
+                out[oc * l_out + ol] =
+                    ((acc as f32 * self.requant[oc]).clamp(0.0, AMAX) + 0.5) as i16;
+            }
+        }
+        out
+    }
+}
+
+/// The quantized final `Dense` layer, with the trailing non-affine
+/// `BatchNorm1d` folded into its weights and bias; dequantizes to f32.
+#[derive(Debug, Clone)]
+pub struct QuantizedDense {
+    in_features: usize,
+    out_features: usize,
+    /// `[of][if]`, batch-norm already folded.
+    weight: Vec<i8>,
+    weight_wide: Vec<i16>,
+    weight_scale: Vec<f32>,
+    /// f32 output bias: folded batch-norm shift plus calibration bias
+    /// correction (and any seed-level nudge applied by the caller).
+    bias: Vec<f32>,
+    in_scale: f32,
+    /// Derived per-channel dequantizer: `in_scale · w_scale`.
+    dequant: Vec<f32>,
+}
+
+impl QuantizedDense {
+    fn new(
+        in_features: usize,
+        out_features: usize,
+        weight: Vec<i8>,
+        weight_scale: Vec<f32>,
+        bias: Vec<f32>,
+        in_scale: f32,
+    ) -> QuantizedDense {
+        let weight_wide = weight.iter().map(|&w| i16::from(w)).collect();
+        let dequant = weight_scale.iter().map(|&ws| in_scale * ws).collect();
+        QuantizedDense {
+            in_features,
+            out_features,
+            weight,
+            weight_wide,
+            weight_scale,
+            bias,
+            in_scale,
+            dequant,
+        }
+    }
+
+    /// `(in_features, out_features)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.in_features, self.out_features)
+    }
+
+    /// Raw codec fields: `(weight_i8, weight_scale, bias, in_scale)`.
+    pub fn codec_fields(&self) -> (&[i8], &[f32], &[f32], f32) {
+        (&self.weight, &self.weight_scale, &self.bias, self.in_scale)
+    }
+
+    /// Quantized forward over one sample: `input_q` holds `in_features`
+    /// 15-bit activation codes; returns the f32 output vector.
+    pub fn forward(&self, input_q: &[i16], acc: &mut Vec<i32>) -> Vec<f32> {
+        acc.clear();
+        acc.resize(self.out_features, 0);
+        gemm_i8(
+            acc,
+            self.out_features,
+            input_q,
+            self.in_features,
+            &self.weight_wide,
+            self.in_features,
+            1,
+            self.in_features,
+            self.out_features,
+        );
+        acc.iter()
+            .enumerate()
+            .map(|(o, &a)| a as f32 * self.dequant[o] + self.bias[o])
+            .collect()
+    }
+
+    /// Scalar reference forward; see [`QuantizedConv1d::reference_forward`].
+    pub fn reference_forward(&self, input_q: &[i16]) -> Vec<f32> {
+        (0..self.out_features)
+            .map(|o| {
+                let mut acc = 0i32;
+                for i in 0..self.in_features {
+                    acc += i32::from(self.weight[o * self.in_features + i])
+                        * i32::from(input_q[i]);
+                }
+                acc as f32 * self.dequant[o] + self.bias[o]
+            })
+            .collect()
+    }
+}
+
+/// A fully quantized encoder: conv stages, then the dense head.
+///
+/// Built from a trained f32 [`Sequential`] with
+/// [`QuantizedSequential::from_sequential`]; runs inference-only forwards
+/// (`[n, C, L] → [n, out]`) entirely on int8 values.
+#[derive(Debug, Clone)]
+pub struct QuantizedSequential {
+    convs: Vec<QuantizedConv1d>,
+    dense: QuantizedDense,
+    // Reused scratch: the per-session hot path must not churn the
+    // allocator (the PR 4 jitter lesson).
+    scratch_in: Vec<i16>,
+    scratch_out: Vec<i16>,
+    scratch_cols: Vec<i16>,
+    scratch_acc: Vec<i32>,
+}
+
+// Scratch buffers are working state, not identity.
+impl PartialEq for QuantizedSequential {
+    fn eq(&self, other: &QuantizedSequential) -> bool {
+        self.convs.len() == other.convs.len()
+            && self
+                .convs
+                .iter()
+                .zip(&other.convs)
+                .all(|(a, b)| a.codec_fields() == b.codec_fields() && a.dims() == b.dims())
+            && self.dense.codec_fields() == other.dense.codec_fields()
+            && self.dense.dims() == other.dense.dims()
+    }
+}
+
+impl QuantizedSequential {
+    /// Rebuilds from codec parts (the version-2 decoder in
+    /// [`crate::net`]).
+    pub fn from_parts(
+        convs: Vec<QuantizedConv1d>,
+        dense: QuantizedDense,
+    ) -> QuantizedSequential {
+        QuantizedSequential {
+            convs,
+            dense,
+            scratch_in: Vec::new(),
+            scratch_out: Vec::new(),
+            scratch_cols: Vec::new(),
+            scratch_acc: Vec::new(),
+        }
+    }
+
+    /// Assembles a conv layer for the codec.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv_from_parts(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        weight: Vec<i8>,
+        weight_scale: Vec<f32>,
+        bias_q: Vec<i32>,
+        in_scale: f32,
+        out_scale: f32,
+    ) -> QuantizedConv1d {
+        QuantizedConv1d::new(
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            weight,
+            weight_scale,
+            bias_q,
+            in_scale,
+            out_scale,
+        )
+    }
+
+    /// Assembles the dense head for the codec.
+    pub fn dense_from_parts(
+        in_features: usize,
+        out_features: usize,
+        weight: Vec<i8>,
+        weight_scale: Vec<f32>,
+        bias: Vec<f32>,
+        in_scale: f32,
+    ) -> QuantizedDense {
+        QuantizedDense::new(in_features, out_features, weight, weight_scale, bias, in_scale)
+    }
+
+    /// The conv stages.
+    pub fn convs(&self) -> &[QuantizedConv1d] {
+        &self.convs
+    }
+
+    /// The dense head.
+    pub fn dense(&self) -> &QuantizedDense {
+        &self.dense
+    }
+
+    /// Output width of the dense head.
+    pub fn out_features(&self) -> usize {
+        self.dense.out_features
+    }
+
+    /// The dense head's f32 output bias, mutably: `wavekey-core`'s
+    /// seed-equivalence calibration nudges these per channel (within the
+    /// latent quantizer's bin margins) so the quantized encoder lands in
+    /// the same key-seed bins as the f32 path on the reference corpus.
+    pub fn output_bias_mut(&mut self) -> &mut [f32] {
+        &mut self.dense.bias
+    }
+
+    /// Quantizes a trained encoder-shaped network against a calibration
+    /// corpus of representative inputs.
+    ///
+    /// The supported stack is `[Conv1d(p=0), ReLU]+ Flatten Dense`
+    /// optionally followed by a non-affine `BatchNorm1d` (folded into the
+    /// dense weights/bias). Weight scales are symmetric per output
+    /// channel; activation scales come from the corpus max; the dense
+    /// bias additionally absorbs the mean f32-vs-quantized output gap per
+    /// channel (bias correction).
+    ///
+    /// # Errors
+    ///
+    /// [`QuantizeError::UnsupportedArchitecture`] for any other layer
+    /// stack (callers fall back to the f32 path);
+    /// [`QuantizeError::EmptyCalibration`] when `calib` is empty.
+    pub fn from_sequential(
+        net: &mut Sequential,
+        calib: &[Tensor],
+    ) -> Result<QuantizedSequential, QuantizeError> {
+        if calib.is_empty() {
+            return Err(QuantizeError::EmptyCalibration);
+        }
+        let plan = EncoderPlan::of(net)?;
+
+        // --- calibration pass: per-stage activation ranges, f32 outputs,
+        // and the exact f32 *input* of every stage per corpus sample
+        // (`stage_inputs[s]`; index `plan.convs.len()` is the dense
+        // input). The f32 activations are the rounding targets below.
+        let mut in_max = 0f32;
+        let mut conv_out_max = vec![0f32; plan.convs.len()];
+        let mut f32_outputs: Vec<Vec<f32>> = Vec::with_capacity(calib.len());
+        let mut stage_inputs: Vec<Vec<Vec<f32>>> = vec![Vec::new(); plan.convs.len() + 1];
+        let mut l0 = 0usize;
+        for input in calib {
+            for &v in input.data() {
+                in_max = in_max.max(v.abs());
+            }
+            let (shape, batch) = match input.ndim() {
+                2 => (input.shape().to_vec(), 1),
+                _ => (input.shape()[1..].to_vec(), input.shape()[0]),
+            };
+            l0 = shape[1];
+            let per = shape[0] * shape[1];
+            for s in 0..batch {
+                stage_inputs[0].push(input.data()[s * per..][..per].to_vec());
+            }
+            let mut x = input.clone();
+            let mut conv_idx = 0usize;
+            for layer in net.layers_mut() {
+                x = layer.forward(&x, false);
+                if matches!(layer, LayerBox::ReLU(_)) {
+                    for &v in x.data() {
+                        conv_out_max[conv_idx] = conv_out_max[conv_idx].max(v.abs());
+                    }
+                    conv_idx += 1;
+                    let per = x.data().len() / x.shape()[0];
+                    for s in 0..x.shape()[0] {
+                        stage_inputs[conv_idx].push(x.data()[s * per..][..per].to_vec());
+                    }
+                }
+            }
+            for sample in 0..x.shape()[0] {
+                let w = x.shape()[1];
+                f32_outputs.push(x.data()[sample * w..][..w].to_vec());
+            }
+        }
+
+        // --- quantize stage by stage, advancing the corpus through each
+        // quantized stage so every layer's rounding is chosen against the
+        // integer codes it will actually see at inference time — and
+        // against the *accumulated* deviation from the f32 activations,
+        // so each stage's rounding also cancels upstream requantization
+        // and rounding error where the corpus lets it.
+        let mut in_scale = scale_for(in_max);
+        let mut codes: Vec<Vec<i16>> = stage_inputs[0]
+            .iter()
+            .map(|x| x.iter().map(|&v| quantize_value(v, 1.0 / in_scale)).collect())
+            .collect();
+        let mut l_cur = l0;
+        let mut convs = Vec::with_capacity(plan.convs.len());
+        for (stage, conv) in plan.convs.iter().enumerate() {
+            let out_scale = scale_for(conv_out_max[stage]);
+            let ick = conv.in_channels * conv.kernel;
+            let l_out = (l_cur - conv.kernel) / conv.stride + 1;
+            // Calibration activations, im2row'd across the whole corpus:
+            // row k holds tap k of every (sample, output position) — the
+            // integer codes the quantized stage consumes, and (in `dacts`,
+            // code units) their deviation from the true f32 activations.
+            let total = codes.len() * l_out;
+            let mut acts = vec![0i32; ick * total];
+            let mut dacts = vec![0f64; ick * total];
+            let inv = f64::from(in_scale);
+            for (s, (sample, xf)) in codes.iter().zip(&stage_inputs[stage]).enumerate() {
+                for k in 0..ick {
+                    let base = (k / conv.kernel) * l_cur + k % conv.kernel;
+                    let dst = s * l_out;
+                    for j in 0..l_out {
+                        let code = i32::from(sample[base + j * conv.stride]);
+                        acts[k * total + dst + j] = code;
+                        dacts[k * total + dst + j] =
+                            f64::from(code) - f64::from(xf[base + j * conv.stride]) / inv;
+                    }
+                }
+            }
+            let mut weight = vec![0i8; conv.out_channels * ick];
+            let mut weight_scale = vec![0f32; conv.out_channels];
+            let mut bias_q = vec![0i32; conv.out_channels];
+            for oc in 0..conv.out_channels {
+                let row = &conv.weight[oc * ick..][..ick];
+                let ws = channel_scale(row);
+                weight_scale[oc] = ws;
+                bias_q[oc] = (conv.bias[oc] / (in_scale * ws)).round() as i32;
+                let bias_err = f64::from(bias_q[oc]) * f64::from(ws)
+                    - f64::from(conv.bias[oc]) / inv;
+                weight[oc * ick..][..ick].copy_from_slice(&round_to_corpus(
+                    row, ws, &acts, &dacts, total, bias_err, 0,
+                ));
+            }
+            convs.push(QuantizedConv1d::new(
+                conv.in_channels,
+                conv.out_channels,
+                conv.kernel,
+                conv.stride,
+                weight,
+                weight_scale,
+                bias_q,
+                in_scale,
+                out_scale,
+            ));
+            let stage_conv = convs.last().expect("just pushed");
+            let (mut sc, mut sa) = (Vec::new(), Vec::new());
+            codes = codes
+                .iter()
+                .map(|sample| {
+                    let mut out = Vec::new();
+                    stage_conv.forward(sample, l_cur, &mut sc, &mut sa, &mut out);
+                    out
+                })
+                .collect();
+            l_cur = l_out;
+            in_scale = out_scale;
+        }
+
+        // Dense head with the batch-norm fold:
+        // y = (Σ w·x + b − μ)·istd  ⇒  w′ = w·istd, b′ = (b − μ)·istd.
+        // `codes` now holds the dense inputs ([oc][l_out] flattens
+        // row-major to exactly the dense feature order). With far more
+        // weights than corpus samples, this stage's rounding absorbs
+        // nearly all accumulated upstream deviation on the corpus.
+        let (inf, of) = (plan.dense_in, plan.dense_out);
+        let total = codes.len();
+        let mut acts = vec![0i32; inf * total];
+        let mut dacts = vec![0f64; inf * total];
+        let inv = f64::from(in_scale);
+        let n_convs = plan.convs.len();
+        for (s, (sample, xf)) in codes.iter().zip(&stage_inputs[n_convs]).enumerate() {
+            for (i, &v) in sample.iter().enumerate() {
+                acts[i * total + s] = i32::from(v);
+                dacts[i * total + s] = f64::from(v) - f64::from(xf[i]) / inv;
+            }
+        }
+        let mut weight = vec![0i8; of * inf];
+        let mut weight_scale = vec![0f32; of];
+        let mut bias = vec![0f32; of];
+        let mut folded = vec![0f32; inf];
+        for o in 0..of {
+            let istd = plan.fold_istd[o];
+            for (fw, &w) in folded.iter_mut().zip(&plan.dense_weight[o * inf..][..inf]) {
+                *fw = w * istd;
+            }
+            let ws = channel_scale(&folded);
+            weight_scale[o] = ws;
+            // 8 peak sweeps: the latent head is where flat per-sample
+            // residuals decide seed equivalence (see `round_to_corpus`).
+            weight[o * inf..][..inf].copy_from_slice(&round_to_corpus(
+                &folded, ws, &acts, &dacts, total, 0.0, 8,
+            ));
+            bias[o] = (plan.dense_bias[o] - plan.fold_mean[o]) * istd;
+        }
+        let dense = QuantizedDense::new(inf, of, weight, weight_scale, bias, in_scale);
+        let mut quantized = QuantizedSequential::from_parts(convs, dense);
+
+        // --- bias correction: absorb the mean per-channel latent gap.
+        let mut gap = vec![0f64; of];
+        let mut count = 0usize;
+        for (input, _) in calib.iter().zip(0..) {
+            let out = quantized.forward(input);
+            for sample in 0..out.shape()[0] {
+                let q = &out.data()[sample * of..][..of];
+                let f = &f32_outputs[count];
+                for (g, (&fv, &qv)) in gap.iter_mut().zip(f.iter().zip(q)) {
+                    *g += f64::from(fv) - f64::from(qv);
+                }
+                count += 1;
+            }
+        }
+        for (b, g) in quantized.dense.bias.iter_mut().zip(&gap) {
+            *b += (g / count as f64) as f32;
+        }
+        Ok(quantized)
+    }
+
+    /// Quantized inference forward: `[n, C, L] → [n, out]` (also accepts
+    /// a single `[C, L]` sample, returning `[1, out]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input geometry does not match the first conv.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (shape, batch) = match input.ndim() {
+            2 => (input.shape().to_vec(), 1),
+            _ => (input.shape()[1..].to_vec(), input.shape()[0]),
+        };
+        let (channels, l0) = (shape[0], shape[1]);
+        assert_eq!(channels, self.convs[0].in_channels, "input channel mismatch");
+        let of = self.dense.out_features;
+        let mut out = Tensor::zeros(vec![batch, of]);
+        let per_sample = channels * l0;
+        for n in 0..batch {
+            let x = &input.data()[n * per_sample..][..per_sample];
+            // Quantize the input once into 15-bit codes (vectorized;
+            // bit-identical to the scalar `quantize_value`).
+            quantize_codes(&mut self.scratch_in, x, self.convs[0].in_inv, AMAX);
+
+            let mut l_in = l0;
+            for (stage, conv) in self.convs.iter().enumerate() {
+                if stage > 0 {
+                    std::mem::swap(&mut self.scratch_in, &mut self.scratch_out);
+                }
+                conv.forward(
+                    &self.scratch_in,
+                    l_in,
+                    &mut self.scratch_cols,
+                    &mut self.scratch_acc,
+                    &mut self.scratch_out,
+                );
+                l_in = conv.l_out(l_in);
+            }
+            // [oc][l_out] flattens row-major to exactly the dense input.
+            let latent = self.dense.forward(&self.scratch_out, &mut self.scratch_acc);
+            out.data_mut()[n * of..][..of].copy_from_slice(&latent);
+        }
+        out
+    }
+
+    /// Scalar-reference forward of the whole network: same quantization
+    /// math, naive loops. Bit-identical to [`Self::forward`] because all
+    /// integer accumulation is exact — the network-level differential
+    /// oracle.
+    pub fn reference_forward(&self, input: &Tensor) -> Tensor {
+        let (shape, batch) = match input.ndim() {
+            2 => (input.shape().to_vec(), 1),
+            _ => (input.shape()[1..].to_vec(), input.shape()[0]),
+        };
+        let (channels, l0) = (shape[0], shape[1]);
+        let of = self.dense.out_features;
+        let mut out = Tensor::zeros(vec![batch, of]);
+        let per_sample = channels * l0;
+        for n in 0..batch {
+            let x = &input.data()[n * per_sample..][..per_sample];
+            let inv = self.convs[0].in_inv;
+            let mut q: Vec<i16> = x.iter().map(|&v| quantize_value(v, inv)).collect();
+            let mut l_in = l0;
+            for conv in &self.convs {
+                q = conv.reference_forward(&q, l_in);
+                l_in = conv.l_out(l_in);
+            }
+            let latent = self.dense.reference_forward(&q);
+            out.data_mut()[n * of..][..of].copy_from_slice(&latent);
+        }
+        out
+    }
+}
+
+/// Corpus-aware weight rounding (error diffusion).
+///
+/// Nearest rounding leaves each weight a residual `r = q·ws − w` whose
+/// corpus projection `Σ_k r_k · x_k(t)` is *input-dependent* — a bias
+/// nudge cannot absorb it, and over a 752-wide reduction it reaches
+/// ~1e-2 of a unit-variance latent, enough to cross the key quantizer's
+/// narrow equiprobable bins somewhere on any realistic corpus. But
+/// rounding direction is a free choice: this picks floor vs ceil per
+/// weight to minimize the *total* deviation of the quantized stage
+/// output from the true f32 output over the calibration corpus —
+/// seeded with the propagated upstream deviation
+/// `err₀(t) = Σ_k w_k · dacts_k(t) + bias_err` (`dacts`: code minus
+/// f32-activation-in-code-units per tap), so a stage with enough
+/// weights also cancels requantization and rounding noise from earlier
+/// stages. Greedy error diffusion plus refinement sweeps; the result
+/// stays on the same i8 grid — within one code of nearest — so the
+/// codec, model size, and overflow bounds are untouched; ties (e.g.
+/// unseen taps) fall back to nearest rounding.
+///
+/// `peak_sweeps` adds iteratively-reweighted refinement passes that
+/// weight each calibration sample by its squared residual (≈ an L⁴
+/// objective): total deviation is traded for *flat* per-sample
+/// deviation. The final stage wants this — the seed-equivalence bias
+/// nudge downstream must fit every sample's residual inside one
+/// key-quantizer bin, so the worst sample, not the sum, decides whether
+/// a whole latent channel calibrates. Interior stages pass 0: their
+/// residuals are absorbed by later stages' rounding, where flatness
+/// buys nothing.
+fn round_to_corpus(
+    row: &[f32],
+    ws: f32,
+    acts: &[i32],
+    dacts: &[f64],
+    total: usize,
+    bias_err: f64,
+    peak_sweeps: usize,
+) -> Vec<i8> {
+    const SWEEPS: usize = 3;
+    let kd = row.len();
+    debug_assert_eq!(acts.len(), kd * total);
+    let wsf = f64::from(ws);
+    let mut q = vec![0i8; kd];
+    let mut delta = vec![0f64; kd];
+    // Deviation per calibration activation, in f32 output units divided
+    // by the (constant) input scale: starts at the propagated upstream
+    // error, accumulates this stage's rounding residuals.
+    let mut err = vec![bias_err; total];
+    for (k, &w) in row.iter().enumerate() {
+        let wf = f64::from(w);
+        let d = &dacts[k * total..][..total];
+        for (e, &dv) in err.iter_mut().zip(d) {
+            *e += wf * dv;
+        }
+    }
+    for sweep in 0..SWEEPS {
+        for k in 0..kd {
+            let x = &acts[k * total..][..total];
+            if sweep > 0 {
+                let d = delta[k];
+                for (e, &xv) in err.iter_mut().zip(x) {
+                    *e -= d * f64::from(xv);
+                }
+            }
+            let w = f64::from(row[k]);
+            let t = w / wsf;
+            let near = t.round().clamp(-127.0, 127.0);
+            let other = if near >= t { near - 1.0 } else { near + 1.0 }
+                .clamp(-127.0, 127.0);
+            let (mut g, mut h) = (0f64, 0f64);
+            for (e, &xv) in err.iter().zip(x) {
+                let xf = f64::from(xv);
+                g += *e * xf;
+                h += xf * xf;
+            }
+            // ‖err + d·x‖² − ‖err‖² = 2·d·⟨err,x⟩ + d²·‖x‖², per candidate.
+            let cost = |cand: f64| {
+                let d = cand * wsf - w;
+                2.0 * d * g + d * d * h
+            };
+            // Strict `<` keeps nearest rounding on ties.
+            let best = if cost(other) < cost(near) { other } else { near };
+            let d = best * wsf - w;
+            for (e, &xv) in err.iter_mut().zip(x) {
+                *e += d * f64::from(xv);
+            }
+            delta[k] = d;
+            q[k] = best as i8;
+        }
+    }
+    // Peak-flattening: reweight samples by squared residual and re-sweep.
+    // The mean-gap component of the residual is free downstream (the bias
+    // nudge removes it), so weights are centred residuals.
+    let mut u = vec![0f64; total];
+    for _ in 0..peak_sweeps {
+        let mean = err.iter().sum::<f64>() / total as f64;
+        let var = err.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / total as f64;
+        if var <= 0.0 {
+            break;
+        }
+        for (uv, &e) in u.iter_mut().zip(&err) {
+            // Base L2 pressure on every sample plus extra on outliers —
+            // a bare squared-residual weight (true L⁴ IRLS) overshoots:
+            // it all but ignores the well-fit bulk of the corpus and
+            // mints new peaks there.
+            *uv = 1.0 + (e - mean) * (e - mean) / var;
+        }
+        for k in 0..kd {
+            let x = &acts[k * total..][..total];
+            let d = delta[k];
+            for (e, &xv) in err.iter_mut().zip(x) {
+                *e -= d * f64::from(xv);
+            }
+            let w = f64::from(row[k]);
+            let t = w / wsf;
+            let near = t.round().clamp(-127.0, 127.0);
+            let other = if near >= t { near - 1.0 } else { near + 1.0 }
+                .clamp(-127.0, 127.0);
+            let (mut g, mut h) = (0f64, 0f64);
+            for ((e, &xv), &uv) in err.iter().zip(x).zip(&u) {
+                let xf = f64::from(xv);
+                g += uv * *e * xf;
+                h += uv * xf * xf;
+            }
+            let cost = |cand: f64| {
+                let d = cand * wsf - w;
+                2.0 * d * g + d * d * h
+            };
+            let best = if cost(other) < cost(near) { other } else { near };
+            let d = best * wsf - w;
+            for (e, &xv) in err.iter_mut().zip(x) {
+                *e += d * f64::from(xv);
+            }
+            delta[k] = d;
+            q[k] = best as i8;
+        }
+    }
+    q
+}
+
+/// Per-output-channel symmetric scale, guarded for all-zero channels.
+fn channel_scale(values: &[f32]) -> f32 {
+    let max = values.iter().fold(0f32, |m, &v| m.max(v.abs()));
+    if max > 0.0 {
+        max / QMAX
+    } else {
+        1.0
+    }
+}
+
+/// Activation scale from a calibrated range maximum (15-bit grid).
+fn scale_for(max: f32) -> f32 {
+    if max > 0.0 {
+        max / AMAX
+    } else {
+        1.0
+    }
+}
+
+/// The f32 pieces `from_sequential` extracts from a supported stack.
+struct EncoderPlan {
+    convs: Vec<PlanConv>,
+    dense_weight: Vec<f32>,
+    dense_bias: Vec<f32>,
+    dense_in: usize,
+    dense_out: usize,
+    /// Batch-norm fold factors (identity when no trailing BN).
+    fold_mean: Vec<f32>,
+    fold_istd: Vec<f32>,
+}
+
+struct PlanConv {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl EncoderPlan {
+    fn of(net: &Sequential) -> Result<EncoderPlan, QuantizeError> {
+        let unsupported =
+            |what: &str| Err(QuantizeError::UnsupportedArchitecture(what.to_string()));
+        let layers = net.layers();
+        let mut idx = 0usize;
+        let mut convs = Vec::new();
+        while let Some(LayerBox::Conv1d(c)) = layers.get(idx) {
+            let (ic, oc, k, s, p) = c.dims();
+            if p != 0 {
+                return unsupported("padded convolution");
+            }
+            if !matches!(layers.get(idx + 1), Some(LayerBox::ReLU(_))) {
+                return unsupported("convolution without a following ReLU");
+            }
+            convs.push(PlanConv {
+                in_channels: ic,
+                out_channels: oc,
+                kernel: k,
+                stride: s,
+                weight: c.weight.value.data().to_vec(),
+                bias: c.bias.value.data().to_vec(),
+            });
+            idx += 2;
+        }
+        if convs.is_empty() {
+            return unsupported("no leading Conv1d+ReLU stage");
+        }
+        if !matches!(layers.get(idx), Some(LayerBox::Flatten(_))) {
+            return unsupported("expected Flatten before the dense head");
+        }
+        idx += 1;
+        let Some(LayerBox::Dense(d)) = layers.get(idx) else {
+            return unsupported("expected a Dense head");
+        };
+        let (dense_in, dense_out) = d.dims();
+        let dense_weight = d.weight.value.data().to_vec();
+        let dense_bias = d.bias.value.data().to_vec();
+        idx += 1;
+        let (fold_mean, fold_istd) = match layers.get(idx) {
+            None => (vec![0f32; dense_out], vec![1f32; dense_out]),
+            Some(LayerBox::BatchNorm1d(bn)) => {
+                if bn.is_affine() {
+                    return unsupported("affine batch-norm head");
+                }
+                if bn.features() != dense_out {
+                    return unsupported("batch-norm width mismatch");
+                }
+                idx += 1;
+                let istd: Vec<f32> = bn
+                    .running_var
+                    .iter()
+                    .map(|&v| 1.0 / (v + bn.eps()).sqrt())
+                    .collect();
+                (bn.running_mean.clone(), istd)
+            }
+            Some(_) => return unsupported("unexpected layer after the dense head"),
+        };
+        if idx != layers.len() {
+            return unsupported("trailing layers after the encoder head");
+        }
+        Ok(EncoderPlan {
+            convs,
+            dense_weight,
+            dense_bias,
+            dense_in,
+            dense_out,
+            fold_mean,
+            fold_istd,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{BatchNorm1d, Conv1d, ConvTranspose1d, Dense, Flatten, ReLU};
+
+    /// Deterministic pseudo-random f32s in [-1, 1).
+    fn pseudo(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+            })
+            .collect()
+    }
+
+    fn encoder_net(l_in: usize, l_f: usize, seed: u64) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Conv1d::with_stride(3, 8, 7, 2, 0, seed));
+        net.push(ReLU::new());
+        net.push(Conv1d::with_stride(8, 16, 5, 2, 0, seed.wrapping_add(1)));
+        net.push(ReLU::new());
+        net.push(Flatten::new());
+        let l1 = (l_in - 7) / 2 + 1;
+        let l2 = (l1 - 5) / 2 + 1;
+        net.push(Dense::new(16 * l2, l_f, seed.wrapping_add(2)));
+        net.push(BatchNorm1d::new(l_f, false));
+        net
+    }
+
+    fn calib_inputs(l_in: usize, count: usize, seed: u64) -> Vec<Tensor> {
+        (0..count)
+            .map(|i| {
+                Tensor::from_vec(pseudo(seed + i as u64, 3 * l_in), vec![1, 3, l_in])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kernel_forward_matches_scalar_reference_exhaustively() {
+        // Seeded-exhaustive differential over conv geometries including
+        // the production encoder stages; integer accumulation must make
+        // the tiled kernel and the naive loops bit-identical.
+        for &(ic, oc, k, s, l_in, seed) in &[
+            (1usize, 1usize, 1usize, 1usize, 1usize, 1u64),
+            (3, 8, 7, 2, 200, 2),
+            (8, 16, 5, 2, 97, 3),
+            (3, 8, 9, 4, 400, 4),
+            (2, 5, 3, 1, 17, 5),
+            (4, 3, 2, 2, 9, 6),
+        ] {
+            let ick = ic * k;
+            let weight: Vec<i8> = pseudo(seed, oc * ick)
+                .iter()
+                .map(|v| (v * 127.0) as i8)
+                .collect();
+            let conv = QuantizedConv1d::new(
+                ic,
+                oc,
+                k,
+                s,
+                weight,
+                vec![0.01; oc],
+                (0..oc as i32).map(|i| i * 3 - 7).collect(),
+                0.02,
+                0.03,
+            );
+            let input: Vec<i16> = pseudo(seed ^ 0xFF, ic * l_in)
+                .iter()
+                .map(|v| (v * 16383.0) as i16)
+                .collect();
+            let (mut cols, mut acc, mut out) = (Vec::new(), Vec::new(), Vec::new());
+            conv.forward(&input, l_in, &mut cols, &mut acc, &mut out);
+            let reference = conv.reference_forward(&input, l_in);
+            assert_eq!(out, reference, "conv ({ic},{oc},k{k},s{s},l{l_in})");
+        }
+    }
+
+    #[test]
+    fn dense_forward_matches_scalar_reference() {
+        for &(inf, of, seed) in &[(752usize, 12usize, 1u64), (40, 7, 2), (8, 1, 3)] {
+            let weight: Vec<i8> =
+                pseudo(seed, of * inf).iter().map(|v| (v * 127.0) as i8).collect();
+            let dense = QuantizedDense::new(
+                inf,
+                of,
+                weight,
+                pseudo(seed + 9, of).iter().map(|v| v.abs() * 0.01 + 1e-4).collect(),
+                pseudo(seed + 10, of),
+                0.015,
+            );
+            let input: Vec<i16> =
+                pseudo(seed ^ 0xAB, inf).iter().map(|v| (v * 16383.0) as i16).collect();
+            let mut acc = Vec::new();
+            let fast = dense.forward(&input, &mut acc);
+            assert_eq!(fast, dense.reference_forward(&input), "dense ({inf},{of})");
+        }
+    }
+
+    #[test]
+    fn requantize_clamps_and_rounds_half_away() {
+        let conv = QuantizedConv1d::new(
+            1,
+            1,
+            1,
+            1,
+            vec![100],
+            vec![1.0],
+            vec![0],
+            1.0,
+            // requant multiplier = 1·1/200 = 0.005
+            200.0,
+        );
+        let (mut cols, mut acc, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        // acc = 100·x; 100·100·0.005 = 50; 100·127·0.005 = 63.5 → 64 (half
+        // away from zero); negative pre-activations clamp to 0 (ReLU);
+        // huge values clamp to the 15-bit activation ceiling.
+        for (x, expect) in [(100i16, 50i16), (127, 64), (-50, 0), (127, 64)] {
+            conv.forward(&[x], 1, &mut cols, &mut acc, &mut out);
+            assert_eq!(out, vec![expect], "x = {x}");
+        }
+        let wide = QuantizedConv1d::new(1, 1, 1, 1, vec![127], vec![1.0], vec![0], 1.0, 0.5);
+        // acc = 127·16383 = 2_080_641; ·2 = 4_161_282 → clamps to 16383.
+        wide.forward(&[16383], 1, &mut cols, &mut acc, &mut out);
+        assert_eq!(out, vec![16383], "upper clamp");
+    }
+
+    #[test]
+    fn whole_network_forward_matches_scalar_reference() {
+        let mut net = encoder_net(64, 6, 77);
+        let calib = calib_inputs(64, 8, 1000);
+        let mut q = QuantizedSequential::from_sequential(&mut net, &calib).unwrap();
+        for input in &calib {
+            let fast = q.forward(input);
+            let reference = q.reference_forward(input);
+            assert_eq!(fast.data(), reference.data());
+        }
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_closely_after_calibration() {
+        let mut net = encoder_net(64, 6, 123);
+        let calib = calib_inputs(64, 16, 2000);
+        let mut q = QuantizedSequential::from_sequential(&mut net, &calib).unwrap();
+        let mut worst = 0f32;
+        for input in &calib {
+            let f = net.forward(input, false);
+            let qv = q.forward(input);
+            for (a, b) in f.data().iter().zip(qv.data()) {
+                worst = worst.max((a - b).abs());
+            }
+        }
+        // Random-init latents here have O(0.1) spread; 15-bit activations
+        // keep the quantized path within a small fraction of a percent —
+        // the margin that lets key-seed bins survive quantization.
+        assert!(worst < 0.005, "quantized latent deviation {worst}");
+    }
+
+    #[test]
+    fn batch_and_single_sample_forwards_agree() {
+        let mut net = encoder_net(32, 4, 9);
+        let calib = calib_inputs(32, 4, 44);
+        let mut q = QuantizedSequential::from_sequential(&mut net, &calib).unwrap();
+        let batch = Tensor::from_vec(
+            calib.iter().flat_map(|t| t.data().to_vec()).collect(),
+            vec![4, 3, 32],
+        );
+        let all = q.forward(&batch);
+        for (i, input) in calib.iter().enumerate() {
+            let one = q.forward(input);
+            assert_eq!(&all.data()[i * 4..][..4], one.data());
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_architectures() {
+        let calib = calib_inputs(32, 2, 5);
+        // Padded conv.
+        let mut padded = Sequential::new();
+        padded.push(Conv1d::with_stride(3, 4, 3, 1, 1, 1));
+        padded.push(ReLU::new());
+        padded.push(Flatten::new());
+        padded.push(Dense::new(4 * 32, 2, 2));
+        assert!(matches!(
+            QuantizedSequential::from_sequential(&mut padded, &calib),
+            Err(QuantizeError::UnsupportedArchitecture(_))
+        ));
+        // Decoder-style net (deconv) is not quantizable.
+        let mut deconv = Sequential::new();
+        deconv.push(ConvTranspose1d::new(3, 4, 4, 2, 3));
+        assert!(matches!(
+            QuantizedSequential::from_sequential(&mut deconv, &calib),
+            Err(QuantizeError::UnsupportedArchitecture(_))
+        ));
+        // Affine batch-norm head.
+        let mut affine = Sequential::new();
+        affine.push(Conv1d::with_stride(3, 4, 3, 1, 0, 1));
+        affine.push(ReLU::new());
+        affine.push(Flatten::new());
+        affine.push(Dense::new(4 * 30, 2, 2));
+        affine.push(BatchNorm1d::new(2, true));
+        assert!(matches!(
+            QuantizedSequential::from_sequential(&mut affine, &calib),
+            Err(QuantizeError::UnsupportedArchitecture(_))
+        ));
+        // Empty calibration corpus.
+        let mut ok = encoder_net(32, 4, 6);
+        assert_eq!(
+            QuantizedSequential::from_sequential(&mut ok, &[]).unwrap_err(),
+            QuantizeError::EmptyCalibration
+        );
+    }
+
+    #[test]
+    fn output_bias_nudge_shifts_the_latent() {
+        let mut net = encoder_net(32, 4, 11);
+        let calib = calib_inputs(32, 2, 7);
+        let mut q = QuantizedSequential::from_sequential(&mut net, &calib).unwrap();
+        let before = q.forward(&calib[0]);
+        q.output_bias_mut()[2] += 0.25;
+        let after = q.forward(&calib[0]);
+        assert!((after.data()[2] - before.data()[2] - 0.25).abs() < 1e-6);
+        assert_eq!(before.data()[0], after.data()[0]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based differentials for the int8 inference kernels: the
+//! SSE2 paths (GEMM, de-interleave, quantize, requantize) must match
+//! their scalar definitions exactly over arbitrary shapes, strides, and
+//! full-range w8a15 values.
+//!
+//! The seeded exhaustive differentials live as unit tests in
+//! `src/gemm.rs` / `src/quant.rs` (offline-rig-runnable); this file adds
+//! the proptest-driven sweep (cargo-only, like the other property suites
+//! in the workspace). Comparisons are `==`: integer accumulation is
+//! exact and the float requantization performs the identical IEEE
+//! operation sequence in both paths.
+
+use proptest::prelude::*;
+use wavekey_nn::gemm::{deinterleave2, gemm_i8_cols, quantize_codes, requant_relu};
+
+/// Deterministic weight row in the i8 range widened to i16.
+fn weights(seed: u64, n: usize) -> Vec<i16> {
+    (0..n)
+        .map(|i| {
+            let x = (i as u64 ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((x >> 32) % 255) as i16 - 127
+        })
+        .collect()
+}
+
+/// Deterministic activation codes in the 15-bit range.
+fn codes(seed: u64, n: usize) -> Vec<i16> {
+    (0..n)
+        .map(|i| {
+            let x = (i as u64 ^ seed).wrapping_mul(0xD134_2543_DE82_EF95);
+            ((x >> 30) % 32_767) as i16 - 16_383
+        })
+        .collect()
+}
+
+fn gemm_naive(c: &mut [i32], rsc: usize, a: &[i16], rsa: usize, b: &[i16], m: usize, kd: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for k in 0..kd {
+                acc += i32::from(a[i * rsa + k]) * i32::from(b[k * n + j]);
+            }
+            c[i * rsc + j] += acc;
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn cols_gemm_matches_naive(
+        m in 1usize..20,
+        kd in 1usize..48,
+        n in 1usize..130,
+        pad in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let rsc = n + pad;
+        let a = weights(seed, m * kd);
+        let b = codes(seed ^ 0xA5, kd * n);
+        let c0: Vec<i32> = (0..m * rsc).map(|i| i as i32 * 11 - 900).collect();
+        let mut c_fast = c0.clone();
+        let mut c_ref = c0;
+        gemm_i8_cols(&mut c_fast, rsc, &a, kd, &b, m, kd, n);
+        gemm_naive(&mut c_ref, rsc, &a, kd, &b, m, kd, n);
+        prop_assert_eq!(c_fast, c_ref);
+    }
+
+    #[test]
+    fn deinterleave2_matches_index_halves(
+        len in 0usize..300,
+        seed in any::<u64>(),
+    ) {
+        let src = codes(seed, len);
+        let mut even = vec![0i16; len.div_ceil(2)];
+        let mut odd = vec![0i16; len / 2];
+        deinterleave2(&src, &mut even, &mut odd);
+        let e_ref: Vec<i16> = src.iter().step_by(2).copied().collect();
+        let o_ref: Vec<i16> = src.iter().skip(1).step_by(2).copied().collect();
+        prop_assert_eq!(even, e_ref);
+        prop_assert_eq!(odd, o_ref);
+    }
+
+    #[test]
+    fn requant_relu_matches_scalar_formula(
+        len in 0usize..100,
+        scale in 1e-6f32..1e-2,
+        seed in any::<u64>(),
+    ) {
+        let acc: Vec<i32> = weights(seed, len)
+            .iter()
+            .map(|&w| i32::from(w) * 21_001)
+            .collect();
+        let mut out = vec![0i16; len];
+        requant_relu(&mut out, &acc, scale, 16_383.0);
+        for (&o, &a) in out.iter().zip(&acc) {
+            let want = ((a as f32 * scale).clamp(0.0, 16_383.0) + 0.5) as i16;
+            prop_assert_eq!(o, want);
+        }
+    }
+
+    #[test]
+    fn quantize_codes_matches_scalar_formula(
+        len in 0usize..100,
+        inv in 1.0f32..20_000.0,
+        seed in any::<u64>(),
+    ) {
+        let src: Vec<f32> = codes(seed, len).iter().map(|&v| f32::from(v) / 9_000.0).collect();
+        let mut dst = Vec::new();
+        quantize_codes(&mut dst, &src, inv, 16_383.0);
+        prop_assert_eq!(dst.len(), src.len());
+        for (&d, &s) in dst.iter().zip(&src) {
+            let v = (s * inv).clamp(-16_383.0, 16_383.0);
+            let want = (v + 0.5f32.copysign(v)) as i16;
+            prop_assert_eq!(d, want);
+        }
+    }
+}

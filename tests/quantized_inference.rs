@@ -1,0 +1,114 @@
+//! Quantized-inference integration: the int8 encoder path must be
+//! invisible to the protocol. Calibrated models must yield bit-identical
+//! key-seeds with `quantized_inference` on or off, the vectorized int8
+//! kernels must match the scalar reference network exactly on every
+//! window (seeded-exhaustive differential), and calibrated models must
+//! survive a serialization round trip without perturbing the seeds.
+
+use wavekey::core::calibrate;
+use wavekey::core::dataset::{generate, DatasetConfig};
+use wavekey::core::model::WaveKeyModels;
+use wavekey::core::session::{Session, SessionConfig};
+use wavekey::core::training::{train, TrainingConfig};
+use wavekey::core::WaveKeyConfig;
+use wavekey::nn::quant::QuantizedSequential;
+use wavekey::nn::tensor::Tensor;
+
+fn trained_models(corpus_cfg: &DatasetConfig) -> WaveKeyModels {
+    let ds = generate(corpus_cfg);
+    let cfg = TrainingConfig { epochs: 2, batch_size: 8, ..Default::default() };
+    let mut models = WaveKeyModels::new(cfg.l_f, 42);
+    train(&mut models, &ds, &cfg, 42).expect("training");
+    models
+}
+
+fn quantized_session(models: WaveKeyModels, quantized: bool, seed: u64) -> Session {
+    let config = SessionConfig {
+        use_tiny_group: true,
+        quantized_inference: quantized,
+        wavekey: WaveKeyConfig { tau: 10.0, ..Default::default() },
+        ..Default::default()
+    };
+    Session::new(config, models, seed)
+}
+
+fn batched(t: &Tensor) -> Tensor {
+    let s = t.shape();
+    t.reshaped(vec![1, s[0], s[1]])
+}
+
+#[test]
+fn quantized_sessions_derive_bit_identical_seeds() {
+    let corpus_cfg = DatasetConfig::tiny();
+    let mut models = trained_models(&corpus_cfg);
+    let corpus = generate(&corpus_cfg);
+    let outcome = calibrate(&mut models, &corpus, WaveKeyConfig::default().n_b);
+    assert_eq!(outcome.samples, corpus.len());
+    assert_eq!(outcome.imu_quantized, models.imu_en_q.is_some());
+    assert_eq!(outcome.rf_quantized, models.rf_en_q.is_some());
+
+    // Same session seed, only the inference path differs: seeds must be
+    // bit-identical whether the encoder ran in int8 or f32 — this holds
+    // both when calibration succeeded (the gated contract) and when a
+    // model fell back (routing returns to f32).
+    for session_seed in [7u64, 8, 9] {
+        let (f_m, f_r) = quantized_session(models.clone(), false, session_seed)
+            .derive_seeds()
+            .expect("f32 pipeline");
+        let (q_m, q_r) = quantized_session(models.clone(), true, session_seed)
+            .derive_seeds()
+            .expect("quantized pipeline");
+        assert_eq!(f_m, q_m, "mobile seed drifted (session seed {session_seed})");
+        assert_eq!(f_r, q_r, "reader seed drifted (session seed {session_seed})");
+    }
+}
+
+#[test]
+fn int8_kernels_match_scalar_reference_exhaustively() {
+    // Seeded-exhaustive differential: untrained (seed-randomized) encoder
+    // weights, every corpus window, both encoder geometries. The scalar
+    // reference network computes identical quantization math with naive
+    // loops, so any divergence indicts the vectorized GEMM/pack path.
+    for model_seed in [1u64, 2, 3] {
+        let mut models = WaveKeyModels::new(12, model_seed);
+        let corpus = generate(&DatasetConfig::tiny());
+        let imu_inputs: Vec<Tensor> =
+            corpus.samples.iter().map(|s| batched(&s.a)).collect();
+        let rf_inputs: Vec<Tensor> =
+            corpus.samples.iter().map(|s| batched(&s.r)).collect();
+        for (net, inputs) in
+            [(&mut models.imu_en, &imu_inputs), (&mut models.rf_en, &rf_inputs)]
+        {
+            let mut q = QuantizedSequential::from_sequential(net, inputs)
+                .expect("encoder-shaped network");
+            for (i, x) in inputs.iter().enumerate() {
+                let fast = q.forward(x);
+                let reference = q.reference_forward(x);
+                assert_eq!(
+                    fast.data(),
+                    reference.data(),
+                    "seed {model_seed}, window {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn calibrated_models_roundtrip_serialization_with_identical_seeds() {
+    let corpus_cfg = DatasetConfig::tiny();
+    let mut models = trained_models(&corpus_cfg);
+    let corpus = generate(&corpus_cfg);
+    calibrate(&mut models, &corpus, WaveKeyConfig::default().n_b);
+
+    let decoded = WaveKeyModels::decode(&models.encode()).expect("codec roundtrip");
+    assert_eq!(decoded.imu_en_q, models.imu_en_q);
+    assert_eq!(decoded.rf_en_q, models.rf_en_q);
+
+    let (a_m, a_r) =
+        quantized_session(models, true, 11).derive_seeds().expect("original");
+    let (b_m, b_r) =
+        quantized_session(decoded, true, 11).derive_seeds().expect("decoded");
+    assert_eq!(a_m, b_m);
+    assert_eq!(a_r, b_r);
+}

@@ -188,6 +188,7 @@ run_tests() {
     run_itest "$ROOT/tests/differential_crypto.rs" wavekey rand
     run_itest "$ROOT/tests/substrate_interop.rs" wavekey rand
     run_itest "$ROOT/tests/end_to_end.rs" wavekey rand
+    run_itest "$ROOT/tests/quantized_inference.rs" wavekey rand
     run_itest "$ROOT/tests/thread_determinism.rs" wavekey rand rayon
     note "all rig tests passed"
 }
