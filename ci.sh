@@ -360,4 +360,39 @@ echo "peak RSS ${gw_rss} MiB (pass $gw_rss_pass), lockstep_bit_identical=$gw_loc
 [[ "$gw_pass" == "true" ]] \
     || { echo "FAIL: gateway soak gate failed (see $GW_JSON)" >&2; exit 1; }
 echo "OK: the gateway holds $gw_sessions concurrent sessions with lockstep-identical keys"
+
+echo "== store soak gate =="
+# The durability contract: kill-and-recover at every journal record
+# boundary (clean cuts, torn tails, bit rot, live-faulted media) must
+# reproduce the never-crashed twin — the recovered-prefix rate must meet
+# WAVEKEY_STORE_SOAK_MIN (default 0.99), the fault-free full recovery
+# must be bit-identical, snapshot + tail replay must equal full replay,
+# and no recovery may surface a key the workload never bound
+# (divergent_keys == 0). The bench appends the run to results/TREND.jsonl.
+STORE_SOAK_MIN="${WAVEKEY_STORE_SOAK_MIN:-0.99}"
+STORE_JSON="$ROOT/target/ci-bench-store.json"
+tools/offline_rig/build.sh run store_soak "$STORE_JSON" >/dev/null
+
+st_ops=$(field_of "ops" "$STORE_JSON")
+st_kills=$(field_of "kill_points" "$STORE_JSON")
+st_rate=$(field_of "recovered_rate" "$STORE_JSON")
+st_div=$(field_of "divergent_keys" "$STORE_JSON")
+st_bit=$(field_of "fault_free_bit_identical" "$STORE_JSON")
+st_snap=$(field_of "snapshot_equivalent" "$STORE_JSON")
+st_pass=$(field_of "store_soak_pass" "$STORE_JSON")
+[[ -n "$st_rate" && -n "$st_div" && -n "$st_pass" ]] \
+    || { echo "store soak produced no verdicts" >&2; exit 1; }
+echo "ops $st_ops, kill points $st_kills, recovered_rate $st_rate (floor $STORE_SOAK_MIN), divergent $st_div"
+echo "fault_free_bit_identical=$st_bit, snapshot_equivalent=$st_snap"
+awk -v rate="$st_rate" -v min="$STORE_SOAK_MIN" 'BEGIN { exit !(rate >= min) }' \
+    || { echo "FAIL: recovery rate $st_rate below floor $STORE_SOAK_MIN" >&2; exit 1; }
+[[ "$st_div" == "0" ]] \
+    || { echo "FAIL: a recovery surfaced a divergent key" >&2; exit 1; }
+[[ "$st_bit" == "true" ]] \
+    || { echo "FAIL: fault-free recovery is not bit-identical to the twin" >&2; exit 1; }
+[[ "$st_snap" == "true" ]] \
+    || { echo "FAIL: snapshot + tail replay diverges from full replay" >&2; exit 1; }
+[[ "$st_pass" == "true" ]] \
+    || { echo "FAIL: store soak gate failed (see $STORE_JSON)" >&2; exit 1; }
+echo "OK: every kill point recovers to an exact operation prefix"
 echo "== done =="

@@ -32,9 +32,10 @@
 //!   (retransmission, duplicate idempotency, re-gesture fallback).
 //! * [`session`] — end-to-end key establishment: gesture → both sensing
 //!   pipelines → seeds → agreement.
-//! * [`service`] — the multi-user backend of the paper's application
+//! * [`service`] — the multi-tenant backend of the paper's application
 //!   contexts: ticket issuing, Gen2 discovery, per-ticket key binding,
-//!   request authentication.
+//!   rotation/re-enrolment, request authentication — durably persisted
+//!   through [`store`] (`wavekey-store`'s write-ahead journal).
 //! * [`attack`] — the §V / §VI-E attack suite: random guessing (Eq. (4)),
 //!   gesture mimicking, RFID signal spoofing, camera-aided data recovery
 //!   (remote and in-situ), and MitM manipulation.
@@ -67,8 +68,12 @@ pub use proto::link::{Endpoint, LinkDiscipline};
 pub use proto::{Decoder, Frame, FrameError, MobileAgreement, ServerAgreement};
 pub use quantize::{calibrate, QuantizeOutcome};
 pub use seed::SeedGenerator;
-pub use service::{AccessService, DegradePolicy, ManagedOutcome, ServiceTicket, SessionManager};
+pub use service::{AccessService, DegradePolicy, ManagedOutcome, ServiceTicket, SessionManager, DEFAULT_TENANT};
 pub use session::{ConfigGuard, Session, SessionConfig, SessionOutcome};
+
+/// The durable state layer under [`AccessService`] (re-exported so the
+/// facade and integration tests reach it as `wavekey_core::store`).
+pub use wavekey_store as store;
 
 /// Unified error type of the WaveKey scheme.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +88,8 @@ pub enum Error {
     Training(String),
     /// Invalid configuration.
     Config(String),
+    /// The durable store failed (media error, quota, rate limit, …).
+    Store(wavekey_store::StoreError),
 }
 
 impl std::fmt::Display for Error {
@@ -93,6 +100,7 @@ impl std::fmt::Display for Error {
             Error::Agreement(e) => write!(f, "key agreement: {e}"),
             Error::Training(msg) => write!(f, "training: {msg}"),
             Error::Config(msg) => write!(f, "config: {msg}"),
+            Error::Store(e) => write!(f, "durable store: {e}"),
         }
     }
 }
@@ -114,5 +122,11 @@ impl From<wavekey_rfid::pipeline::RfidPipelineError> for Error {
 impl From<AgreementError> for Error {
     fn from(e: AgreementError) -> Error {
         Error::Agreement(e)
+    }
+}
+
+impl From<wavekey_store::StoreError> for Error {
+    fn from(e: wavekey_store::StoreError) -> Error {
+        Error::Store(e)
     }
 }

@@ -598,6 +598,7 @@ fn outcome_label(err: &Error) -> String {
         Error::Agreement(e) => agreement_outcome_label(e),
         Error::Training(_) => "training_error".to_string(),
         Error::Config(_) => "config_error".to_string(),
+        Error::Store(_) => "store_error".to_string(),
     }
 }
 

@@ -26,7 +26,9 @@
 //! - a per-connection [`EventScope`] causal timeline under actor
 //!   `"gateway"`.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,6 +40,7 @@ use wavekey_core::proto::link::{Endpoint, LinkDiscipline};
 use wavekey_core::proto::{Decoder, Frame, MobileAgreement, ServerAgreement, StartPending};
 use wavekey_crypto::batch::ModexpBatch;
 use wavekey_obs::{EventScope, Obs};
+use wavekey_store::{DurableStore, StoreError, TenantQuota};
 
 use crate::exec::{race, Either, Handle};
 use crate::stream::{SimNet, SimStream};
@@ -105,6 +108,58 @@ pub fn session_seed_fn(session: wavekey_core::Session) -> impl Fn(u64) -> Vec<bo
     }
 }
 
+/// Persists completed gateway enrolments into a [`DurableStore`].
+///
+/// The executor is single-threaded, so the store is shared across
+/// connection tasks as `Rc<RefCell<_>>` — no locks, no Send bound. Each
+/// connection maps to a synthetic gateway EPC (`"GW" ‖ 0 ‖ 0 ‖ conn_id`),
+/// issued on first completion; re-connects of the same `conn_id` land as
+/// re-enrolments so the key generation advances instead of forking.
+pub struct EnrollmentSink {
+    store: Rc<RefCell<DurableStore>>,
+    tenant: u64,
+}
+
+impl EnrollmentSink {
+    /// A sink writing under `tenant` (created unlimited if absent).
+    pub fn new(store: Rc<RefCell<DurableStore>>, tenant: u64) -> Result<EnrollmentSink, StoreError> {
+        store.borrow_mut().ensure_tenant(tenant, TenantQuota::unlimited())?;
+        Ok(EnrollmentSink { store, tenant })
+    }
+
+    /// The synthetic EPC a connection's enrolment is stored under.
+    pub fn epc_for(conn_id: u64) -> [u8; 12] {
+        let mut epc = [0u8; 12];
+        epc[0] = b'G';
+        epc[1] = b'W';
+        epc[4..].copy_from_slice(&conn_id.to_le_bytes());
+        epc
+    }
+
+    /// The shared store handle (for draining / inspection after a run).
+    pub fn store(&self) -> Rc<RefCell<DurableStore>> {
+        Rc::clone(&self.store)
+    }
+
+    fn persist(&self, conn_id: u64, key: &[u8]) -> Result<(), StoreError> {
+        let mut store = self.store.borrow_mut();
+        let epc = Self::epc_for(conn_id);
+        let generation = match store.state().ticket(self.tenant, &epc) {
+            Some(t) => t.generation,
+            None => {
+                store.issue(self.tenant, epc, 0)?;
+                0
+            }
+        };
+        if generation == 0 {
+            store.bind_key(self.tenant, epc, key)?;
+        } else {
+            store.re_enroll(self.tenant, epc, key)?;
+        }
+        Ok(())
+    }
+}
+
 struct GatewayInner {
     config: GatewayConfig,
     obs: Obs,
@@ -112,6 +167,7 @@ struct GatewayInner {
     accepting: AtomicBool,
     rejected: AtomicU64,
     seed_fn: Box<dyn Fn(u64) -> Vec<bool>>,
+    sink: Option<EnrollmentSink>,
 }
 
 /// A cloneable handle to one gateway instance.
@@ -138,6 +194,27 @@ impl Gateway {
         obs: Obs,
         seed_fn: impl Fn(u64) -> Vec<bool> + 'static,
     ) -> Gateway {
+        Gateway::build(config, obs, seed_fn, None)
+    }
+
+    /// Like [`Gateway::new`], but every completed session's key is also
+    /// written through `sink` into its durable store before the session
+    /// is marked done — a crash after completion replays the enrolment.
+    pub fn with_sink(
+        config: GatewayConfig,
+        obs: Obs,
+        seed_fn: impl Fn(u64) -> Vec<bool> + 'static,
+        sink: EnrollmentSink,
+    ) -> Gateway {
+        Gateway::build(config, obs, seed_fn, Some(sink))
+    }
+
+    fn build(
+        config: GatewayConfig,
+        obs: Obs,
+        seed_fn: impl Fn(u64) -> Vec<bool> + 'static,
+        sink: Option<EnrollmentSink>,
+    ) -> Gateway {
         let table = SessionTable::new(config.shards);
         Gateway {
             inner: Arc::new(GatewayInner {
@@ -147,6 +224,7 @@ impl Gateway {
                 accepting: AtomicBool::new(true),
                 rejected: AtomicU64::new(0),
                 seed_fn: Box::new(seed_fn),
+                sink,
             }),
         }
     }
@@ -184,6 +262,24 @@ impl GatewayInner {
         self.obs.with_registry(|r| {
             r.inc_counter(&format!("wavekey_evictions_total{{reason=\"{}\"}}", reason.label()), 1);
         });
+    }
+
+    /// Writes a completed session's key through the sink, if one is
+    /// attached. Persistence failures don't kill the session — the key
+    /// was established and the peer already holds it — but they are
+    /// counted and time-lined so an operator sees the durability gap.
+    fn persist_enrollment(&self, conn_id: u64, key: &[u8], scope: &EventScope) {
+        let Some(sink) = &self.sink else { return };
+        match sink.persist(conn_id, key) {
+            Ok(()) => {
+                self.obs.inc("gateway_enrollments_persisted");
+                scope.emit("persist");
+            }
+            Err(_) => {
+                self.obs.inc("gateway_enrollment_persist_failures");
+                scope.emit_full("persist_failed", None, None, None);
+            }
+        }
     }
 
     /// Records a gateway eviction and closes the stream.
@@ -367,6 +463,7 @@ async fn serve_conn(
             let key = server.key().to_vec();
             scope.emit("complete");
             gw.obs.inc("gateway_sessions_completed");
+            gw.persist_enrollment(id, &key, &scope);
             gw.table.finish(id, SessionOutcome::Done(key));
             stream.close();
             return;
@@ -558,9 +655,20 @@ mod tests {
         n: u64,
         faults: impl Fn(u64) -> StreamFaults,
     ) -> (Vec<(u64, Result<Vec<u8>, AgreementError>)>, Gateway) {
+        let gateway = Gateway::new(config.clone(), obs, |conn_id| seed_pair(conn_id).1);
+        let out = run_fleet_on(&gateway, &config, n, faults);
+        (out, gateway)
+    }
+
+    /// Drives `n` clients against an already-built gateway.
+    fn run_fleet_on(
+        gateway: &Gateway,
+        config: &GatewayConfig,
+        n: u64,
+        faults: impl Fn(u64) -> StreamFaults,
+    ) -> Vec<(u64, Result<Vec<u8>, AgreementError>)> {
         let agreement = config.agreement.clone();
         let idle = config.idle_ticks;
-        let gateway = Gateway::new(config, obs, |conn_id| seed_pair(conn_id).1);
         let net = SimNet::new(1 << 16);
         let mut exec = Executor::new();
         gateway.listen(&exec.handle(), &net);
@@ -583,7 +691,7 @@ mod tests {
         exec.run();
         let mut out = Rc::try_unwrap(results).expect("tasks done").into_inner();
         out.sort_by_key(|(id, _)| *id);
-        (out, gateway)
+        out
     }
 
     #[test]
@@ -615,6 +723,48 @@ mod tests {
             )
             .expect("lockstep");
             assert_eq!(client_key, outcome.key, "conn {conn_id}");
+        }
+    }
+
+    #[test]
+    fn completed_sessions_persist_through_the_sink_and_survive_a_kill() {
+        use wavekey_store::{MemVolume, StoreConfig};
+
+        let media = MemVolume::new();
+        let store = DurableStore::open(Box::new(media.clone()), StoreConfig::default())
+            .expect("open store");
+        let tenant = 7;
+        let sink = EnrollmentSink::new(Rc::new(RefCell::new(store)), tenant).expect("sink");
+        let live = sink.store();
+
+        let config = gateway_config();
+        let gateway =
+            Gateway::with_sink(config.clone(), Obs::disabled(), |id| seed_pair(id).1, sink);
+        let clients = run_fleet_on(&gateway, &config, 6, |_| StreamFaults::none());
+        assert_eq!(gateway.table().completed(), 6);
+
+        // Every completed key is durably bound under the gateway EPC.
+        {
+            let store = live.borrow();
+            for (conn_id, got) in &clients {
+                let key = got.as_ref().expect("client key");
+                let epc = EnrollmentSink::epc_for(*conn_id);
+                assert_eq!(store.peek_key(tenant, epc), Some(key.as_slice()), "conn {conn_id}");
+            }
+        }
+
+        // Kill the gateway process: a fresh store on the same media
+        // replays the journal and serves the same keys.
+        let mut back = DurableStore::open(Box::new(media.deep_clone()), StoreConfig::default())
+            .expect("reopen");
+        assert_eq!(back.stats().replays, 1);
+        for (conn_id, got) in &clients {
+            let key = got.as_ref().expect("client key");
+            let fetched = back
+                .key_for(tenant, EnrollmentSink::epc_for(*conn_id))
+                .expect("fetch")
+                .map(<[u8]>::to_vec);
+            assert_eq!(fetched.as_deref(), Some(key.as_slice()), "conn {conn_id}");
         }
     }
 

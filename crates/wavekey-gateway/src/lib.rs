@@ -33,6 +33,6 @@ pub mod stream;
 pub mod table;
 
 pub use exec::{race, yield_now, Either, Executor, Handle};
-pub use gateway::{drive_mobile, server_rng, session_seed_fn, Gateway, GatewayConfig};
+pub use gateway::{drive_mobile, server_rng, session_seed_fn, EnrollmentSink, Gateway, GatewayConfig};
 pub use stream::{SimNet, SimStream, StreamError, StreamFaults};
 pub use table::{EvictReason, SessionOutcome, SessionTable};

@@ -27,6 +27,9 @@
 //!   models.
 //! * [`obs`] — observability: structured spans, metrics with
 //!   Prometheus/JSON exporters, and the per-session flight recorder.
+//! * [`store`] — the durable state layer under the access service: a
+//!   checksummed write-ahead journal, compacted snapshots, deterministic
+//!   replay, and seeded storage-fault injection.
 //!
 //! ## Quickstart
 //!
@@ -59,3 +62,4 @@ pub use wavekey_imu as imu;
 pub use wavekey_math as math;
 pub use wavekey_nn as nn;
 pub use wavekey_rfid as rfid;
+pub use wavekey_store as store;

@@ -1,0 +1,253 @@
+//! Crash-at-every-boundary recovery: the durable store's observable
+//! contract is that killing the process at ANY journal byte offset and
+//! recovering yields exactly the state after some prefix of the applied
+//! operations — never a torn half-operation, never a key the system
+//! didn't hold at some point ("divergent key"), never a panic.
+//!
+//! Three angles:
+//!
+//! 1. truncate the journal at every record boundary AND at mid-record
+//!    offsets, reopen, and check the recovered digest equals the digest
+//!    the twin store had after exactly that many complete operations;
+//! 2. snapshot + tail replay reconstructs the same state as full replay
+//!    while compacting the journal;
+//! 3. the `AccessService` facade end-to-end: issue/bind/rotate/revoke,
+//!    kill, reopen, and authenticate against the recovered keys.
+
+use std::collections::HashMap;
+
+use wavekey::core::service::{AccessService, DEFAULT_TENANT};
+use wavekey::core::session::SessionConfig;
+use wavekey::core::WaveKeyConfig;
+use wavekey::core::WaveKeyModels;
+use wavekey::rfid::channel::TagModel;
+use wavekey::store::record::decode_record;
+use wavekey::store::{
+    DurableStore, MemVolume, StoreConfig, TenantQuota, Volume, JOURNAL_FILE,
+};
+
+/// A deterministic mixed workload over two tenants. Every operation
+/// appends exactly one journal record.
+fn op_script() -> Vec<Op> {
+    let mut ops = vec![
+        Op::CreateTenant { max_tickets: 64 },
+        Op::CreateTenant { max_tickets: 64 },
+    ];
+    for i in 0u8..12 {
+        let tenant = 1 + u64::from(i % 2);
+        ops.push(Op::Issue { tenant, epc: epc_of(i) });
+        ops.push(Op::Bind { tenant, epc: epc_of(i), key: [0x10 + i; 32] });
+        if i % 3 == 0 {
+            ops.push(Op::Rotate { tenant, epc: epc_of(i), key: [0x80 + i; 32] });
+        }
+        if i % 5 == 4 {
+            ops.push(Op::Revoke { tenant, epc: epc_of(i) });
+        }
+    }
+    ops
+}
+
+#[derive(Clone)]
+enum Op {
+    CreateTenant { max_tickets: u32 },
+    Issue { tenant: u64, epc: [u8; 12] },
+    Bind { tenant: u64, epc: [u8; 12], key: [u8; 32] },
+    Rotate { tenant: u64, epc: [u8; 12], key: [u8; 32] },
+    Revoke { tenant: u64, epc: [u8; 12] },
+}
+
+fn epc_of(i: u8) -> [u8; 12] {
+    let mut e = [0u8; 12];
+    e[0] = b'T';
+    e[11] = i;
+    e
+}
+
+fn apply(store: &mut DurableStore, op: &Op) {
+    match op {
+        Op::CreateTenant { max_tickets } => {
+            store
+                .create_tenant(TenantQuota {
+                    max_tickets: *max_tickets,
+                    enroll_burst: u32::MAX,
+                    enroll_refill: 0,
+                })
+                .map(|_| ())
+                .expect("create tenant");
+        }
+        Op::Issue { tenant, epc } => {
+            store.issue(*tenant, *epc, 0).map(|_| ()).expect("issue");
+        }
+        Op::Bind { tenant, epc, key } => {
+            store.bind_key(*tenant, *epc, key).map(|_| ()).expect("bind");
+        }
+        Op::Rotate { tenant, epc, key } => {
+            store.rotate_key(*tenant, *epc, key).map(|_| ()).expect("rotate");
+        }
+        Op::Revoke { tenant, epc } => {
+            store.revoke(*tenant, *epc).expect("revoke");
+        }
+    }
+}
+
+/// Record boundaries (byte offsets) of a journal image, starting at 0
+/// and ending at `bytes.len()`.
+fn boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut offs = vec![0usize];
+    let mut at = 0;
+    while at < bytes.len() {
+        let (_, used) = decode_record(&bytes[at..]).expect("final journal is clean");
+        at += used;
+        offs.push(at);
+    }
+    offs
+}
+
+fn reopen_truncated(media: &MemVolume, cut: usize) -> DurableStore {
+    let mut image = media.deep_clone();
+    let journal = image.read(JOURNAL_FILE).expect("read journal").unwrap_or_default();
+    image
+        .write(JOURNAL_FILE, &journal[..cut.min(journal.len())])
+        .expect("truncate journal image");
+    DurableStore::open(Box::new(image), StoreConfig::default()).expect("recovery never fails")
+}
+
+#[test]
+fn truncation_at_every_offset_recovers_an_exact_operation_prefix() {
+    let media = MemVolume::new();
+    let mut store =
+        DurableStore::open(Box::new(media.clone()), StoreConfig::default()).expect("open");
+
+    // Digest after every complete operation, plus the key history every
+    // (tenant, epc) pair ever held — the "no divergent keys" oracle.
+    let ops = op_script();
+    let mut digests = vec![store.full_digest().expect("digest")];
+    let mut history: HashMap<(u64, [u8; 12]), Vec<Vec<u8>>> = HashMap::new();
+    for op in &ops {
+        apply(&mut store, op);
+        digests.push(store.full_digest().expect("digest"));
+        match op {
+            Op::Bind { tenant, epc, key } | Op::Rotate { tenant, epc, key } => {
+                history.entry((*tenant, *epc)).or_default().push(key.to_vec());
+            }
+            _ => {}
+        }
+    }
+
+    let journal = media.read(JOURNAL_FILE).expect("read journal").expect("journal exists");
+    let offs = boundaries(&journal);
+    assert_eq!(offs.len(), ops.len() + 1, "one record per operation");
+
+    let mut kill_points = 0usize;
+    for (i, pair) in offs.windows(2).enumerate() {
+        let (start, end) = (pair[0], pair[1]);
+        // Clean cut at the boundary, a cut inside the header, and a cut
+        // inside the payload: all must recover to exactly `i` ops.
+        for cut in [start, start + 7, start + (end - start) / 2 + 1] {
+            let mut back = reopen_truncated(&media, cut);
+            assert_eq!(
+                back.full_digest().expect("digest"),
+                digests[i],
+                "cut at byte {cut} must recover the {i}-op prefix"
+            );
+            // Every recovered key must be one the pair held at some point.
+            for (&(tenant, epc), held) in &history {
+                if let Some(key) = back.peek_key(tenant, epc) {
+                    assert!(
+                        held.iter().any(|h| h == key),
+                        "divergent key for tenant {tenant} epc {epc:?}"
+                    );
+                }
+            }
+            kill_points += 1;
+        }
+    }
+    // And the final boundary: a kill after the last append loses nothing.
+    let mut full = reopen_truncated(&media, journal.len());
+    assert_eq!(full.full_digest().expect("digest"), *digests.last().unwrap());
+    assert!(kill_points >= 3 * ops.len());
+}
+
+#[test]
+fn snapshot_plus_tail_replay_matches_full_replay() {
+    let plain = MemVolume::new();
+    let snapped = MemVolume::new();
+    let mut a = DurableStore::open(Box::new(plain.clone()), StoreConfig::default()).expect("open");
+    let mut b =
+        DurableStore::open(Box::new(snapped.clone()), StoreConfig::default()).expect("open");
+
+    let ops = op_script();
+    let mid = ops.len() / 2;
+    for (i, op) in ops.iter().enumerate() {
+        apply(&mut a, op);
+        apply(&mut b, op);
+        if i == mid {
+            b.snapshot().expect("snapshot");
+        }
+    }
+    assert!(
+        b.journal_len().expect("len") < a.journal_len().expect("len"),
+        "snapshot compacts the journal"
+    );
+
+    let mut ra =
+        DurableStore::open(Box::new(plain.deep_clone()), StoreConfig::default()).expect("reopen");
+    let mut rb =
+        DurableStore::open(Box::new(snapped.deep_clone()), StoreConfig::default()).expect("reopen");
+    assert_eq!(ra.full_digest().expect("digest"), rb.full_digest().expect("digest"));
+    assert_eq!(ra.full_state_bytes().expect("bytes"), rb.full_state_bytes().expect("bytes"));
+    assert!(
+        rb.stats().records_replayed < ra.stats().records_replayed,
+        "snapshotted store replays only the tail"
+    );
+}
+
+#[test]
+fn access_service_end_to_end_kill_and_reopen() {
+    let media = MemVolume::new();
+    let models = WaveKeyModels::new(12, 5);
+    let config = SessionConfig {
+        use_tiny_group: true,
+        wavekey: WaveKeyConfig { tau: 10.0, ..Default::default() },
+        ..Default::default()
+    };
+    let mut svc = AccessService::open(
+        models,
+        config.clone(),
+        2024,
+        Box::new(media.clone()),
+        StoreConfig::default(),
+    )
+    .expect("open service");
+
+    let badge = svc.issue_ticket(TagModel::Alien9640A);
+    let door = svc.issue_ticket(TagModel::DogBoneB);
+    let gone = svc.issue_ticket(TagModel::Alien9730A);
+    svc.store_mut().bind_key(DEFAULT_TENANT, badge.epc.0, &[0xAA; 32]).expect("bind");
+    svc.store_mut().bind_key(DEFAULT_TENANT, door.epc.0, &[0xBB; 32]).expect("bind");
+    svc.store_mut().bind_key(DEFAULT_TENANT, gone.epc.0, &[0xCC; 32]).expect("bind");
+    let rotated = svc.rotate_key(DEFAULT_TENANT, door.epc).expect("rotate");
+    svc.revoke_ticket(DEFAULT_TENANT, gone.epc).expect("revoke");
+
+    // Kill.
+    drop(svc);
+    let mut back = AccessService::open(
+        WaveKeyModels::new(12, 5),
+        config,
+        2024,
+        Box::new(media.deep_clone()),
+        StoreConfig::default(),
+    )
+    .expect("reopen service");
+
+    assert_eq!(back.issued(), 3);
+    let mac_badge = wavekey::crypto::hmac_sha256(&[0xAA; 32], b"open sesame");
+    let mac_door_old = wavekey::crypto::hmac_sha256(&[0xBB; 32], b"open sesame");
+    let mac_door_new = wavekey::crypto::hmac_sha256(&rotated, b"open sesame");
+    let mac_gone = wavekey::crypto::hmac_sha256(&[0xCC; 32], b"open sesame");
+    assert!(back.verify_request(badge.epc, b"open sesame", &mac_badge));
+    assert!(!back.verify_request(door.epc, b"open sesame", &mac_door_old));
+    assert!(back.verify_request(door.epc, b"open sesame", &mac_door_new));
+    assert!(!back.verify_request(gone.epc, b"open sesame", &mac_gone));
+    assert_eq!(back.store().stats().replays, 1);
+}

@@ -114,21 +114,22 @@ build_libs() {
     build_lib wavekey_rfid  "$ROOT/crates/wavekey-rfid"  -- serde rand wavekey_math wavekey_dsp wavekey_imu wavekey_obs
     build_lib wavekey_crypto "$ROOT/crates/wavekey-crypto" --cfg 'feature="parallel"' -- \
         serde rand rayon wavekey_obs
+    build_lib wavekey_store "$ROOT/crates/wavekey-store" --
     build_lib wavekey_core  "$ROOT/crates/wavekey-core"  -- serde rand \
-        wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_obs
+        wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_store wavekey_obs
     build_lib wavekey_gateway "$ROOT/crates/wavekey-gateway" -- rand \
-        wavekey_crypto wavekey_core wavekey_obs
+        wavekey_crypto wavekey_core wavekey_store wavekey_obs
     # facade
     local art="$OUT/libwavekey.rlib"
-    if stale "$art" "$ROOT/src" "$OUT/libwavekey_core.rlib"; then
+    if stale "$art" "$ROOT/src" "$OUT/libwavekey_core.rlib" "$OUT/libwavekey_store.rlib"; then
         note "lib wavekey (facade)"
         # shellcheck disable=SC2046
         rustc --edition $EDITION "${OPT[@]}" --crate-type rlib --crate-name wavekey \
             "$ROOT/src/lib.rs" -L "$OUT" --out-dir "$OUT" \
-            $(externs wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_core wavekey_obs)
+            $(externs wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_store wavekey_core wavekey_obs)
     fi
     build_lib wavekey_bench "$ROOT/crates/wavekey-bench" -- rand \
-        wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_core wavekey_obs wavekey_gateway
+        wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_store wavekey_core wavekey_obs wavekey_gateway
 }
 
 # ------------------------------------------------------------------- tests
@@ -176,12 +177,13 @@ run_tests() {
     run_unit wavekey_rfid  "$ROOT/crates/wavekey-rfid"  -- serde rand wavekey_math wavekey_dsp wavekey_imu wavekey_obs
     run_unit wavekey_crypto "$ROOT/crates/wavekey-crypto" --cfg 'feature="parallel"' -- \
         serde rand rayon wavekey_obs
+    run_unit wavekey_store "$ROOT/crates/wavekey-store" --
     run_unit wavekey_core  "$ROOT/crates/wavekey-core"  -- serde rand \
-        wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_obs
+        wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_store wavekey_obs
     run_unit wavekey_gateway "$ROOT/crates/wavekey-gateway" -- rand \
-        wavekey_crypto wavekey_core wavekey_obs
+        wavekey_crypto wavekey_core wavekey_store wavekey_obs
     run_unit wavekey_bench "$ROOT/crates/wavekey-bench" -- rand \
-        wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_core wavekey_obs wavekey_gateway
+        wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_store wavekey_core wavekey_obs wavekey_gateway
     # Root integration tests (proptest-based crate tests are cargo-only).
     run_itest "$ROOT/tests/protocol_security.rs" wavekey rand
     run_itest "$ROOT/tests/differential_agreement.rs" wavekey rand
@@ -190,6 +192,7 @@ run_tests() {
     run_itest "$ROOT/tests/end_to_end.rs" wavekey rand
     run_itest "$ROOT/tests/quantized_inference.rs" wavekey rand
     run_itest "$ROOT/tests/thread_determinism.rs" wavekey rand rayon
+    run_itest "$ROOT/tests/store_recovery.rs" wavekey rand
     note "all rig tests passed"
 }
 
@@ -204,7 +207,7 @@ build_bin() {
         # shellcheck disable=SC2046
         rustc --edition $EDITION "${OPT[@]}" --crate-name "$name" "$src" \
             -L "$OUT" -o "$bin" $(externs rand wavekey_bench \
-            wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_core wavekey_obs wavekey_gateway)
+            wavekey_math wavekey_dsp wavekey_nn wavekey_imu wavekey_rfid wavekey_crypto wavekey_store wavekey_core wavekey_obs wavekey_gateway)
     fi
 }
 
